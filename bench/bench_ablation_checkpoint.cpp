@@ -1,0 +1,135 @@
+// Ablation bench for the fault-tolerance design (§IV-A outline + the
+// `deterministic` property of §II-A): cost of checkpointing at every
+// barrier vs. the wider interval the deterministic property permits, and
+// the cost of one recovery + replay.
+//
+// Environment: RIPPLE_ABL_COMPONENTS, RIPPLE_TRIALS.
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "ebsp/job.h"
+#include "kvstore/partitioned_store.h"
+
+using namespace ripple;
+using namespace ripple::ebsp;
+
+namespace {
+
+/// An iterative job with real per-component state to checkpoint: each
+/// component smooths its value with two neighbors for `rounds` steps.
+class SmoothCompute : public Compute<std::uint32_t, double, double> {
+ public:
+  SmoothCompute(std::uint32_t n, int rounds) : n_(n), rounds_(rounds) {}
+
+  bool compute(Context& ctx) override {
+    double incoming = 0;
+    int count = 0;
+    for (const double v : ctx.inputMessages()) {
+      incoming += v;
+      ++count;
+    }
+    double value = ctx.readState().value_or(
+        static_cast<double>(ctx.key()) / static_cast<double>(n_));
+    if (count > 0) {
+      value = 0.5 * value + 0.5 * incoming / count;
+      ctx.writeState(value);
+    }
+    if (ctx.stepNum() <= rounds_) {
+      ctx.sendMessage((ctx.key() + 1) % n_, value);
+      ctx.sendMessage((ctx.key() + n_ - 1) % n_, value);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::uint32_t n_;
+  int rounds_;
+};
+
+class SmoothJob : public Job<std::uint32_t, double, double> {
+ public:
+  SmoothJob(std::uint32_t n, int rounds, bool deterministic)
+      : n_(n), rounds_(rounds), deterministic_(deterministic) {}
+
+  std::vector<std::string> stateTableNames() const override {
+    return {"smooth_state"};
+  }
+  std::shared_ptr<ComputeType> getCompute() override {
+    return std::make_shared<SmoothCompute>(n_, rounds_);
+  }
+  std::string referenceTable() const override { return "smooth_state"; }
+  JobProperties properties() const override {
+    JobProperties p;
+    p.deterministic = deterministic_;
+    return p;
+  }
+  std::vector<RawLoaderPtr> loaders() const override {
+    auto loader = std::make_shared<VectorLoader>();
+    for (std::uint32_t c = 0; c < n_; ++c) {
+      loader->enable(encodeToBytes(c));
+    }
+    return {loader};
+  }
+
+ private:
+  std::uint32_t n_;
+  int rounds_;
+  bool deterministic_;
+};
+
+JobResult runSmooth(std::uint32_t n, int rounds, bool deterministic,
+                    bool checkpointing, int interval, int failAtStep) {
+  auto store = kv::PartitionedStore::create(6);
+  kv::TableOptions tableOptions;
+  tableOptions.parts = 6;
+  store->createTable("smooth_state", tableOptions);
+  EngineOptions options;
+  options.checkpoint.enabled = checkpointing;
+  options.checkpoint.interval = interval;
+  if (failAtStep > 0) {
+    bool failed = false;
+    options.onBarrier = [failAtStep, failed](int step) mutable {
+      if (!failed && step == failAtStep) {
+        failed = true;
+        throw SimulatedFailure("injected shard failure");
+      }
+    };
+  }
+  Engine engine(store, options);
+  SmoothJob job(n, rounds, deterministic);
+  return runJob(engine, job);
+}
+
+void report(const char* label, const JobResult& r) {
+  std::cout << "  " << std::left << std::setw(42) << label << std::right
+            << std::fixed << std::setprecision(3) << std::setw(8)
+            << r.elapsedSeconds << " s" << std::setw(8)
+            << r.metrics.checkpoints << " ckpts" << std::setw(6)
+            << r.metrics.recoveries << " recov\n";
+}
+
+}  // namespace
+
+int main() {
+  const auto n = static_cast<std::uint32_t>(
+      bench::envLong("RIPPLE_ABL_COMPONENTS", 30'000));
+  const int rounds = 12;
+
+  bench::printHeader(
+      "Ablation: checkpointing cost and deterministic fast recovery");
+  std::cout << n << " components, " << rounds << " rounds\n\n";
+
+  report("no checkpointing",
+         runSmooth(n, rounds, true, false, 1, 0));
+  report("non-deterministic (ckpt every barrier)",
+         runSmooth(n, rounds, false, true, 4, 0));
+  report("deterministic, interval 4",
+         runSmooth(n, rounds, true, true, 4, 0));
+  report("deterministic, interval 4, fail@step 7",
+         runSmooth(n, rounds, true, true, 4, 7));
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Shared helpers for the table-reproduction benchmark harnesses.
+
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace ripple::bench {
+
+inline double envDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return end == v ? fallback : parsed;
+}
+
+inline long envLong(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  return end == v ? fallback : parsed;
+}
+
+/// Scale factor applied to workload sizes so the harnesses can run at
+/// paper scale (RIPPLE_SCALE=1) or faster (default smaller).
+inline double workloadScale(double fallback) {
+  return envDouble("RIPPLE_SCALE", fallback);
+}
+
+inline int trialCount(int fallback) {
+  return static_cast<int>(envLong("RIPPLE_TRIALS", fallback));
+}
+
+inline void printHeader(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+}  // namespace ripple::bench

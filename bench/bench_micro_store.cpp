@@ -1,0 +1,167 @@
+// Microbenchmarks (google-benchmark) for the substrate layers: store
+// point ops (local vs. routed), enumeration, the transport spill path,
+// codecs, and Huang weight arithmetic.  These quantify the cost structure
+// the architectural comparisons rest on (e.g. §IV-A's claim that spill
+// batching amortizes cross-part traffic).
+
+#include <benchmark/benchmark.h>
+
+#include "common/dyadic.h"
+#include "ebsp/transport.h"
+#include "kvstore/local_store.h"
+#include "kvstore/partitioned_store.h"
+#include "kvstore/store_util.h"
+
+using namespace ripple;
+
+namespace {
+
+kv::TablePtr makeTable(kv::KVStore& store, const std::string& name,
+                       std::uint32_t parts) {
+  kv::TableOptions options;
+  options.parts = parts;
+  return store.createTable(name, options);
+}
+
+void BM_LocalStorePut(benchmark::State& state) {
+  auto store = kv::LocalStore::create();
+  auto table = makeTable(*store, "t", 4);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    table->put(encodeToBytes(i++ % 100000), "value");
+  }
+}
+BENCHMARK(BM_LocalStorePut);
+
+void BM_PartitionedPutRouted(benchmark::State& state) {
+  auto store = kv::PartitionedStore::create(4);
+  auto table = makeTable(*store, "t", 4);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    // Caller thread is never a container thread: every put is routed
+    // through the owner's short-op executor (the "remote" path).
+    table->put(encodeToBytes(i++ % 100000), "value");
+  }
+  state.counters["remoteOps"] =
+      static_cast<double>(store->metrics().remoteOps.load());
+}
+BENCHMARK(BM_PartitionedPutRouted);
+
+void BM_PartitionedPutLocal(benchmark::State& state) {
+  auto store = kv::PartitionedStore::create(1);
+  auto table = makeTable(*store, "t", 1);
+  // Run the loop body collocated with the single part: the local path.
+  store->runInPart(*table, 0, [&] {
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+      table->put(encodeToBytes(i++ % 100000), "value");
+    }
+  });
+  state.counters["localOps"] =
+      static_cast<double>(store->metrics().localOps.load());
+}
+BENCHMARK(BM_PartitionedPutLocal);
+
+void BM_PartitionedGetRouted(benchmark::State& state) {
+  auto store = kv::PartitionedStore::create(4);
+  auto table = makeTable(*store, "t", 4);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    table->put(encodeToBytes(i), "value");
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->get(encodeToBytes(i++ % 10000)));
+  }
+}
+BENCHMARK(BM_PartitionedGetRouted);
+
+void BM_Enumerate(benchmark::State& state) {
+  auto store = kv::PartitionedStore::create(4);
+  auto table = makeTable(*store, "t", 4);
+  for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(state.range(0));
+       ++i) {
+    table->put(encodeToBytes(i), "value");
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kv::countPairs(*table));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Enumerate)->Arg(1000)->Arg(100000);
+
+void BM_SpillWriteDrain(benchmark::State& state) {
+  auto store = kv::PartitionedStore::create(4);
+  kv::TableOptions options;
+  options.parts = 4;
+  options.partitioner = ebsp::makeTransportPartitioner(4);
+  auto transport = store->createTable("tr", std::move(options));
+  auto refPartitioner = makeDefaultPartitioner(4);
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    ebsp::SpillWriter writer(*transport, 0, refPartitioner, {}, 4096);
+    for (std::size_t i = 0; i < batch; ++i) {
+      writer.addMessage(encodeToBytes<std::uint64_t>(i), "payload");
+    }
+    writer.flushAll();
+    for (std::uint32_t p = 0; p < 4; ++p) {
+      benchmark::DoNotOptimize(transport->drainPart(p));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_SpillWriteDrain)->Arg(1000)->Arg(50000);
+
+void BM_SpillWithCombiner(benchmark::State& state) {
+  auto store = kv::PartitionedStore::create(4);
+  kv::TableOptions options;
+  options.parts = 4;
+  options.partitioner = ebsp::makeTransportPartitioner(4);
+  auto transport = store->createTable("tr", std::move(options));
+  auto refPartitioner = makeDefaultPartitioner(4);
+  auto combiner = [](BytesView, BytesView a, BytesView) { return Bytes(a); };
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    ebsp::SpillWriter writer(*transport, 0, refPartitioner, ebsp::CombinerOps(combiner), 4096);
+    for (std::size_t i = 0; i < batch; ++i) {
+      // 100 distinct destinations: heavy combining.
+      writer.addMessage(encodeToBytes<std::uint64_t>(i % 100), "payload");
+    }
+    writer.flushAll();
+    for (std::uint32_t p = 0; p < 4; ++p) {
+      benchmark::DoNotOptimize(transport->drainPart(p));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_SpillWithCombiner)->Arg(50000);
+
+void BM_CodecRoundtrip(benchmark::State& state) {
+  std::vector<std::uint32_t> edges(64);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    edges[i] = i * 977;
+  }
+  for (auto _ : state) {
+    const Bytes encoded = encodeToBytes(edges);
+    benchmark::DoNotOptimize(
+        decodeFromBytes<std::vector<std::uint32_t>>(encoded));
+  }
+}
+BENCHMARK(BM_CodecRoundtrip);
+
+void BM_DyadicSplitCredit(benchmark::State& state) {
+  for (auto _ : state) {
+    WeightLedger ledger;
+    DyadicWeight w = DyadicWeight::one();
+    // Simulate a 200-hop message chain: split, credit remainder, repeat.
+    for (int i = 0; i < 200; ++i) {
+      const WeightSplit split = splitWeight(w, 1);
+      ledger.credit(split.remainder);
+      w = split.child;
+    }
+    ledger.credit(w);
+    benchmark::DoNotOptimize(ledger.complete());
+  }
+}
+BENCHMARK(BM_DyadicSplitCredit);
+
+}  // namespace

@@ -1,0 +1,92 @@
+// Reproduces Table II: "Block multiplications in each step" for the
+// BSPified SUMMA schedule with M = N = 3.
+//
+// Two independent sources must agree:
+//   1. the analytic schedule simulator (no engine, no arithmetic), and
+//   2. an instrumented synchronized run of the real SUMMA job on the
+//      EBSP engine (tiny blocks).
+//
+// Paper row (7 steps): 1 3 6 3 6 3 5 — "seven steps are required, even
+// though a given component does only three block multiplications ...
+// introducing the synchronization required by BSP has slowed down this
+// example by a factor of 7/3."
+//
+// Environment: RIPPLE_SUMMA_GRID (default 3) to print other grids too.
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.h"
+#include "kvstore/partitioned_store.h"
+#include "matrix/summa.h"
+#include "matrix/summa_schedule.h"
+
+using namespace ripple;
+
+namespace {
+
+void printRow(const char* label, const std::vector<std::uint64_t>& mults) {
+  std::cout << std::setw(22) << label;
+  for (const std::uint64_t m : mults) {
+    std::cout << std::setw(5) << m;
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  const auto grid = static_cast<std::uint32_t>(
+      bench::envLong("RIPPLE_SUMMA_GRID", 3));
+
+  bench::printHeader("Table II: Block multiplications in each step (M=N=" +
+                     std::to_string(grid) + ")");
+
+  // Source 1: analytic schedule.
+  const matrix::SummaSchedule schedule = matrix::simulateSummaSchedule(grid);
+
+  // Source 2: instrumented engine run with small blocks.
+  auto instr = std::make_shared<matrix::SummaInstrumentation>();
+  {
+    Rng rng(5);
+    matrix::BlockMatrix a(grid, 8);
+    matrix::BlockMatrix b(grid, 8);
+    a.fillRandom(rng);
+    b.fillRandom(rng);
+    auto store = kv::PartitionedStore::create(grid * grid);
+    ebsp::Engine engine(store);
+    matrix::SummaOptions options;
+    options.synchronized = true;
+    options.parts = grid * grid;
+    options.instrumentation = instr;
+    matrix::runSumma(engine, a, b, options);
+  }
+  std::vector<std::uint64_t> measured;
+  for (const auto& [step, mults] : instr->multsPerStep()) {
+    while (static_cast<int>(measured.size()) < step - 1) {
+      measured.push_back(0);
+    }
+    measured.push_back(mults);
+  }
+
+  std::cout << std::setw(22) << "Step";
+  for (std::size_t s = 1; s <= schedule.steps(); ++s) {
+    std::cout << std::setw(5) << s;
+  }
+  std::cout << "\n";
+  printRow("Simulated schedule", schedule.multsPerStep);
+  printRow("Engine (measured)", measured);
+  if (grid == 3) {
+    printRow("Paper", {1, 3, 6, 3, 6, 3, 5});
+  }
+  std::cout << "\nTotal multiplies: " << schedule.totalMultiplies() << " (= "
+            << grid << "^3), steps: " << schedule.steps()
+            << ", per-component multiplies: " << grid
+            << ", BSP slowdown factor: " << std::fixed << std::setprecision(3)
+            << schedule.slowdownFactor(grid) << " (paper: 7/3 = 2.333 for "
+            << "grid 3)\n";
+  const bool match = measured == schedule.multsPerStep;
+  std::cout << "Engine vs simulator: " << (match ? "MATCH" : "MISMATCH")
+            << "\n";
+  return match ? 0 : 1;
+}

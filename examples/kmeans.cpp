@@ -1,0 +1,192 @@
+// k-means clustering as a single iterated EBSP job — shows three Ripple
+// features working together that MapReduce handles awkwardly:
+//   * per-component private state (each point keeps its assignment),
+//   * broadcast data (the immutable initial centroids, in a ubiquitous
+//     table),
+//   * individual aggregators (per-cluster coordinate sums, readable the
+//     following step — so centroid updates need no extra jobs and no
+//     extra I/O rounds).
+//
+// Usage: kmeans [points] [clusters] [iterations]
+
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "common/random.h"
+#include "ebsp/job.h"
+#include "kvstore/partitioned_store.h"
+#include "kvstore/store_util.h"
+
+using namespace ripple;
+
+namespace {
+
+struct Point {
+  double x = 0;
+  double y = 0;
+  std::int32_t cluster = -1;
+
+  void encodeTo(ByteWriter& w) const {
+    w.putDouble(x);
+    w.putDouble(y);
+    w.putVarintSigned(cluster);
+  }
+  static Point decodeFrom(ByteReader& r) {
+    Point p;
+    p.x = r.getDouble();
+    p.y = r.getDouble();
+    p.cluster = static_cast<std::int32_t>(r.getVarintSigned());
+    return p;
+  }
+};
+
+std::string clusterAggName(int c) { return "cluster" + std::to_string(c); }
+
+// Aggregator payload: {sum x, sum y, count}.
+ebsp::RawAggregatorPtr centroidAggregator() {
+  return ebsp::makeAggregator<std::vector<double>>(
+      std::vector<double>{0, 0, 0},
+      [](std::vector<double> a, const std::vector<double>& b) {
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          a[i] += b[i];
+        }
+        return a;
+      });
+}
+
+class KMeansCompute : public ebsp::Compute<std::uint32_t, Point, std::uint8_t> {
+ public:
+  KMeansCompute(int clusters, int iterations)
+      : clusters_(clusters), iterations_(iterations) {}
+
+  bool compute(Context& ctx) override {
+    Point p = ctx.readState().value();
+    // Current centroids: previous step's aggregates, or the broadcast
+    // initial centroids in step 1.
+    std::int32_t best = -1;
+    double bestDist = 1e300;
+    for (int c = 0; c < clusters_; ++c) {
+      double cx;
+      double cy;
+      if (ctx.stepNum() == 1) {
+        const auto init =
+            ctx.broadcast<std::pair<double, double>>(std::uint32_t(c));
+        cx = init->first;
+        cy = init->second;
+      } else {
+        const auto sums =
+            ctx.aggregateResult<std::vector<double>>(clusterAggName(c));
+        if (!sums || (*sums)[2] == 0) {
+          continue;  // Empty cluster keeps no pull this round.
+        }
+        cx = (*sums)[0] / (*sums)[2];
+        cy = (*sums)[1] / (*sums)[2];
+      }
+      const double d = (p.x - cx) * (p.x - cx) + (p.y - cy) * (p.y - cy);
+      if (d < bestDist) {
+        bestDist = d;
+        best = c;
+      }
+    }
+    if (best != p.cluster) {
+      p.cluster = best;
+      ctx.writeState(p);
+    }
+    ctx.aggregate(clusterAggName(best), std::vector<double>{p.x, p.y, 1.0});
+    return ctx.stepNum() < iterations_;  // Stay enabled until done.
+  }
+
+ private:
+  int clusters_;
+  int iterations_;
+};
+
+class KMeansJob : public ebsp::Job<std::uint32_t, Point, std::uint8_t> {
+ public:
+  KMeansJob(int clusters, int iterations, kv::KVStore& store)
+      : clusters_(clusters), iterations_(iterations), store_(store) {}
+
+  std::vector<std::string> stateTableNames() const override {
+    return {"km_points"};
+  }
+  std::shared_ptr<ComputeType> getCompute() override {
+    return std::make_shared<KMeansCompute>(clusters_, iterations_);
+  }
+  std::vector<ebsp::AggregatorDecl> aggregators() const override {
+    std::vector<ebsp::AggregatorDecl> decls;
+    for (int c = 0; c < clusters_; ++c) {
+      decls.push_back({clusterAggName(c), centroidAggregator()});
+    }
+    return decls;
+  }
+  std::string referenceTable() const override { return "km_points"; }
+  std::string broadcastTable() const override { return "km_centroids"; }
+  std::vector<ebsp::RawLoaderPtr> loaders() const override {
+    kv::TablePtr points = store_.lookupTable("km_points");
+    return {std::make_shared<ebsp::FunctionLoader>(
+        [points](ebsp::LoaderContext& ctx) {
+          for (auto& [k, v] : kv::readAll(*points)) {
+            ctx.enableComponent(k);
+          }
+        })};
+  }
+
+ private:
+  int clusters_;
+  int iterations_;
+  kv::KVStore& store_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint32_t points = argc > 1 ? std::atoi(argv[1]) : 50'000;
+  const int clusters = argc > 2 ? std::atoi(argv[2]) : 5;
+  const int iterations = argc > 3 ? std::atoi(argv[3]) : 12;
+
+  auto store = kv::PartitionedStore::create(6);
+
+  // Points: a mixture of `clusters` Gaussians-ish blobs.
+  Rng rng(99);
+  kv::TableOptions pointOptions;
+  pointOptions.parts = 6;
+  kv::TypedTable<std::uint32_t, Point> pointTable(
+      store->createTable("km_points", pointOptions));
+  for (std::uint32_t i = 0; i < points; ++i) {
+    const int blob = static_cast<int>(i % static_cast<std::uint32_t>(clusters));
+    Point p;
+    p.x = blob * 10.0 + (rng.nextDouble() - 0.5) * 4.0;
+    p.y = blob * -6.0 + (rng.nextDouble() - 0.5) * 4.0;
+    pointTable.put(i, p);
+  }
+
+  // Immutable broadcast data: initial centroid guesses.
+  kv::TableOptions centroidOptions;
+  centroidOptions.ubiquitous = true;
+  kv::TypedTable<std::uint32_t, std::pair<double, double>> centroids(
+      store->createTable("km_centroids", centroidOptions));
+  for (int c = 0; c < clusters; ++c) {
+    centroids.put(static_cast<std::uint32_t>(c),
+                  {c * 10.0 + 3.0, c * -6.0 - 2.0});
+  }
+
+  ebsp::Engine engine(store);
+  KMeansJob job(clusters, iterations, *store);
+  const ebsp::JobResult result = ebsp::runJob(engine, job);
+
+  std::cout << "k-means: " << points << " points, " << clusters
+            << " clusters, " << result.steps << " steps, "
+            << std::fixed << std::setprecision(3) << result.elapsedSeconds
+            << " s\nfinal centroids:\n" << std::setprecision(2);
+  for (int c = 0; c < clusters; ++c) {
+    const auto sums =
+        result.aggregate<std::vector<double>>(clusterAggName(c));
+    if (sums && (*sums)[2] > 0) {
+      std::cout << "  c" << c << ": (" << (*sums)[0] / (*sums)[2] << ", "
+                << (*sums)[1] / (*sums)[2] << ")  n=" << (*sums)[2] << "\n";
+    }
+  }
+  return 0;
+}

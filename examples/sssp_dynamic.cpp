@@ -1,0 +1,79 @@
+// Dynamic single-source shortest paths demo: maintains hop distances on
+// a time-varying graph with the selective-enablement variant and the
+// full-scan (MapReduce-style) variant — the paper's §V-C experiment in
+// miniature.
+//
+// Usage: sssp_dynamic [vertices] [edges] [batches] [changesPerBatch]
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "apps/sssp.h"
+#include "kvstore/partitioned_store.h"
+
+using namespace ripple;
+
+int main(int argc, char** argv) {
+  const std::size_t vertices =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 10'000;
+  const std::uint64_t edges =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 180'000;
+  const int batches = argc > 3 ? std::atoi(argv[3]) : 10;
+  const std::size_t perBatch =
+      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1000;
+
+  graph::PowerLawOptions gen;
+  gen.vertices = vertices;
+  gen.edges = edges;
+  gen.undirected = true;
+  gen.seed = 11;
+  graph::Graph g = graph::generatePowerLaw(gen);
+  std::cout << "Undirected power-law graph: " << vertices << " vertices, "
+            << g.edges << " edges; " << batches << " batches of " << perBatch
+            << " changes\n";
+
+  // Pre-generate identical change batches for both variants.
+  Rng rng(123);
+  std::vector<std::vector<graph::GraphChange>> changeBatches;
+  for (int i = 0; i < batches; ++i) {
+    changeBatches.push_back(
+        graph::randomChangeBatch(vertices, perBatch, 1.8, rng));
+  }
+
+  auto runVariant = [&](bool selective) {
+    auto store = kv::PartitionedStore::create(6);
+    ebsp::Engine engine(store);
+    apps::SsspOptions options;
+    options.selective = selective;
+    options.source = 0;
+    options.parts = 6;
+    apps::SsspDriver driver(engine, options);
+    driver.loadGraph(g);
+    driver.initialize();
+
+    apps::SsspUpdateStats total;
+    for (const auto& batch : changeBatches) {
+      const apps::SsspUpdateStats s = driver.applyBatch(batch);
+      total.jobs += s.jobs;
+      total.steps += s.steps;
+      total.invocations += s.invocations;
+      total.messages += s.messages;
+      total.elapsedSeconds += s.elapsedSeconds;
+      total.virtualMakespan += s.virtualMakespan;
+    }
+    std::cout << std::fixed << std::setprecision(3)
+              << (selective ? "  selective enablement: " : "  full scan:            ")
+              << total.elapsedSeconds << " s for all batches ("
+              << total.invocations << " compute invocations, "
+              << total.messages << " messages, " << total.jobs << " jobs)\n";
+    return total.elapsedSeconds;
+  };
+
+  const double selectiveTime = runVariant(true);
+  const double fullTime = runVariant(false);
+  std::cout << std::setprecision(0)
+            << "full-scan/selective ratio: " << fullTime / selectiveTime
+            << "x (paper: 78 s vs 0.21 s = ~370x)\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// SUMMA matrix multiplication demo: multiplies two block matrices with
+// the BSPified (synchronized) schedule and with the no-sync execution
+// strategy, verifies both against a serial reference, and reports the
+// virtual-cluster makespans — the paper's §V-B experiment in miniature.
+//
+// Usage: summa_matmul [grid] [blockSize]
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "kvstore/partitioned_store.h"
+#include "matrix/summa.h"
+#include "matrix/summa_schedule.h"
+
+using namespace ripple;
+
+int main(int argc, char** argv) {
+  const auto grid = static_cast<std::uint32_t>(argc > 1 ? std::atoi(argv[1]) : 3);
+  const auto blockSize =
+      static_cast<std::size_t>(argc > 2 ? std::atoi(argv[2]) : 128);
+
+  std::cout << "C <- A x B on a " << grid << "x" << grid << " grid of "
+            << blockSize << "x" << blockSize << " blocks\n";
+
+  Rng rng(7);
+  matrix::BlockMatrix a(grid, blockSize);
+  matrix::BlockMatrix b(grid, blockSize);
+  a.fillRandom(rng);
+  b.fillRandom(rng);
+  const matrix::BlockMatrix expected = matrix::BlockMatrix::multiplyReference(a, b);
+
+  auto runVariant = [&](bool synchronized) {
+    auto store = kv::PartitionedStore::create(grid * grid);
+    ebsp::Engine engine(store);
+    matrix::SummaOptions options;
+    options.synchronized = synchronized;
+    options.parts = grid * grid;  // One component per virtual processor.
+    const matrix::SummaResult r = matrix::runSumma(engine, a, b, options);
+    const bool ok = r.c.approxEqual(expected, 1e-9);
+    std::cout << std::fixed << std::setprecision(4)
+              << (synchronized ? "  synchronized: " : "  no-sync:      ")
+              << r.job.virtualMakespan << " s virtual makespan, "
+              << r.job.elapsedSeconds << " s wall, steps=" << r.job.steps
+              << (ok ? "  [verified]" : "  [MISMATCH!]") << "\n";
+    return r.job.virtualMakespan;
+  };
+
+  const double syncTime = runVariant(true);
+  const double asyncTime = runVariant(false);
+  const auto schedule = matrix::simulateSummaSchedule(grid);
+  std::cout << std::setprecision(2)
+            << "sync/no-sync makespan ratio: " << syncTime / asyncTime
+            << " (schedule bound " << schedule.slowdownFactor(grid)
+            << ", paper measured 90s/51s = 1.76 for grid 3)\n";
+  return 0;
+}

@@ -1,0 +1,386 @@
+#include "apps/pagerank.h"
+
+#include <stdexcept>
+
+#include "ebsp/job.h"
+#include "kvstore/store_util.h"
+
+namespace ripple::apps {
+
+namespace {
+
+using graph::VertexId;
+
+constexpr const char* kSinkAggregator = "sink";
+
+/// BSP message: either a rank contribution along an edge, or the
+/// self-addressed structure+rank message.  The combiner folds
+/// contributions into each other and into the self message's accumulator,
+/// so each component receives exactly one combined message per step.
+struct PrMsg {
+  enum class Kind : std::uint8_t { kContrib = 0, kSelf = 1 };
+
+  Kind kind = Kind::kContrib;
+  double contrib = 0;  // Contribution value / accumulated contributions.
+  double rank = 0;     // kSelf: rank last computed.
+  std::vector<VertexId> edges;  // kSelf: structure.
+
+  void encodeTo(ByteWriter& w) const {
+    w.putU8(static_cast<std::uint8_t>(kind));
+    w.putDouble(contrib);
+    if (kind == Kind::kSelf) {
+      w.putDouble(rank);
+      w.putVarint(edges.size());
+      for (const VertexId e : edges) {
+        w.putVarint(e);
+      }
+    }
+  }
+
+  static PrMsg decodeFrom(ByteReader& r) {
+    PrMsg m;
+    m.kind = static_cast<Kind>(r.getU8());
+    m.contrib = r.getDouble();
+    if (m.kind == Kind::kSelf) {
+      m.rank = r.getDouble();
+      const auto n = static_cast<std::size_t>(r.getVarint());
+      m.edges.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        m.edges.push_back(static_cast<VertexId>(r.getVarint()));
+      }
+    }
+    return m;
+  }
+};
+
+PrMsg combinePrMsgs(const PrMsg& a, const PrMsg& b) {
+  if (a.kind == PrMsg::Kind::kContrib && b.kind == PrMsg::Kind::kContrib) {
+    PrMsg m = a;
+    m.contrib += b.contrib;
+    return m;
+  }
+  if (a.kind == PrMsg::Kind::kSelf && b.kind == PrMsg::Kind::kSelf) {
+    throw std::logic_error("PageRank: two self messages for one vertex");
+  }
+  PrMsg m = a.kind == PrMsg::Kind::kSelf ? a : b;
+  const PrMsg& contrib = a.kind == PrMsg::Kind::kContrib ? a : b;
+  m.contrib += contrib.contrib;
+  return m;
+}
+
+struct FoldedInput {
+  bool hasSelf = false;
+  double accum = 0;
+  double rank = 0;
+  std::vector<VertexId> edges;
+};
+
+FoldedInput foldInput(const std::vector<PrMsg>& messages) {
+  FoldedInput in;
+  for (const PrMsg& m : messages) {
+    if (m.kind == PrMsg::Kind::kSelf) {
+      if (in.hasSelf) {
+        throw std::logic_error("PageRank: duplicate self message");
+      }
+      in.hasSelf = true;
+      in.rank = m.rank;
+      in.edges = m.edges;
+    }
+    in.accum += m.contrib;
+  }
+  return in;
+}
+
+class PrComputeBase : public ebsp::Compute<VertexId, PrRecord, PrMsg> {
+ public:
+  PrComputeBase(std::uint64_t vertices, double damping, int iterations)
+      : n_(static_cast<double>(vertices)), d_(damping),
+        iterations_(iterations) {}
+
+  PrMsg combineMessages(const VertexId&, const PrMsg& a,
+                        const PrMsg& b) override {
+    return combinePrMsgs(a, b);
+  }
+
+  /// In-place fold: contributions accumulate without ever copying the
+  /// structure-carrying self message (the paper's Java combiner mutates
+  /// objects; copying the hub vertices' edge arrays per contribution
+  /// would be quadratic in hub degree).
+  void combineMessagesInto(const VertexId&, PrMsg& acc,
+                           const PrMsg& next) override {
+    if (next.kind == PrMsg::Kind::kSelf) {
+      if (acc.kind == PrMsg::Kind::kSelf) {
+        throw std::logic_error("PageRank: two self messages for one vertex");
+      }
+      const double contrib = acc.contrib;
+      acc = next;  // One structure copy per key per combining run.
+      acc.contrib += contrib;
+      return;
+    }
+    acc.contrib += next.contrib;
+  }
+
+  bool hasMessageCombiner() const override { return true; }
+
+ protected:
+  /// Send this iteration's outputs: rank contributions along edges (or
+  /// the sink-aggregator contribution for dangling vertices) plus the
+  /// self-addressed structure+rank message.
+  void emitRound(Context& ctx, const std::vector<VertexId>& edges,
+                 double rank) {
+    if (!edges.empty()) {
+      PrMsg contrib;
+      contrib.kind = PrMsg::Kind::kContrib;
+      contrib.contrib = rank / static_cast<double>(edges.size());
+      for (const VertexId e : edges) {
+        ctx.sendMessage(e, contrib);
+      }
+    } else {
+      ctx.aggregate(kSinkAggregator, rank / n_);
+    }
+    PrMsg self;
+    self.kind = PrMsg::Kind::kSelf;
+    self.rank = rank;
+    self.edges = edges;
+    ctx.sendMessage(ctx.key(), self);
+  }
+
+  [[nodiscard]] double newRank(Context& ctx, double accum) const {
+    const double sink =
+        ctx.aggregateResult<double>(kSinkAggregator).value_or(0.0);
+    return (1.0 - d_) / n_ + d_ * (accum + sink);
+  }
+
+  double n_;
+  double d_;
+  int iterations_;
+};
+
+/// Direct variant: one step per iteration.
+class DirectCompute : public PrComputeBase {
+ public:
+  using PrComputeBase::PrComputeBase;
+
+  bool compute(Context& ctx) override {
+    if (ctx.stepNum() == 1) {
+      // "The first step begins by reading a table holding the graph
+      // structure."
+      auto record = ctx.readState();
+      if (!record) {
+        throw std::logic_error("PageRank: vertex missing from graph table");
+      }
+      emitRound(ctx, record->edges, 1.0 / n_);
+      return false;
+    }
+    const FoldedInput in = foldInput(ctx.inputMessages());
+    if (!in.hasSelf) {
+      throw std::logic_error("PageRank: no self message at step " +
+                             std::to_string(ctx.stepNum()));
+    }
+    const double rank = newRank(ctx, in.accum);
+    if (ctx.stepNum() <= iterations_) {
+      emitRound(ctx, in.edges, rank);
+    } else {
+      // "The last step replaces each entry in that table with an
+      // enhanced vertex object that holds its rank as well as its
+      // structure."
+      PrRecord record;
+      record.edges = in.edges;
+      record.ranked = true;
+      record.rank = rank;
+      ctx.writeState(record);
+    }
+    return false;
+  }
+};
+
+/// MapReduce-emulation variant: two steps per iteration; structure+rank
+/// stored to the state table between reduce and the following map.
+class MapReduceCompute : public PrComputeBase {
+ public:
+  using PrComputeBase::PrComputeBase;
+
+  bool compute(Context& ctx) override {
+    const int step = ctx.stepNum();
+    if (step % 2 == 1) {
+      // Map-like step: read from the K/V table, shuffle messages.
+      auto record = ctx.readState();
+      if (!record) {
+        throw std::logic_error("PageRank(MR): vertex missing from table");
+      }
+      const double rank = record->ranked ? record->rank : 1.0 / n_;
+      emitRound(ctx, record->edges, rank);
+      return false;
+    }
+    // Reduce-like step: combine inputs, write structure+rank back.
+    const FoldedInput in = foldInput(ctx.inputMessages());
+    if (!in.hasSelf) {
+      throw std::logic_error("PageRank(MR): no self message in reduce");
+    }
+    PrRecord record;
+    record.edges = in.edges;
+    record.ranked = true;
+    record.rank = newRank(ctx, in.accum);
+    ctx.writeState(record);
+    // The continue signal enables the next map-like step.
+    return step / 2 < iterations_;
+  }
+};
+
+class PageRankJob : public ebsp::Job<VertexId, PrRecord, PrMsg> {
+ public:
+  PageRankJob(const PageRankOptions& options, kv::KVStore& store,
+              std::uint64_t vertices)
+      : options_(options), store_(store), vertices_(vertices) {}
+
+  std::vector<std::string> stateTableNames() const override {
+    return {options_.graphTable};
+  }
+
+  std::shared_ptr<ComputeType> getCompute() override {
+    if (options_.mapReduceVariant) {
+      return std::make_shared<MapReduceCompute>(vertices_, options_.damping,
+                                                options_.iterations);
+    }
+    return std::make_shared<DirectCompute>(vertices_, options_.damping,
+                                           options_.iterations);
+  }
+
+  std::vector<ebsp::AggregatorDecl> aggregators() const override {
+    return {{kSinkAggregator, ebsp::sumAggregator<double>()}};
+  }
+
+  std::string referenceTable() const override { return options_.graphTable; }
+
+  std::vector<ebsp::RawLoaderPtr> loaders() const override {
+    kv::TablePtr table = store_.lookupTable(options_.graphTable);
+    // Enable every vertex for the first (scan-like) step.
+    return {std::make_shared<ebsp::FunctionLoader>(
+        [table](ebsp::LoaderContext& ctx) {
+          for (auto& [k, v] : kv::readAll(*table)) {
+            ctx.enableComponent(k);
+          }
+        })};
+  }
+
+ private:
+  const PageRankOptions& options_;
+  kv::KVStore& store_;
+  std::uint64_t vertices_;
+};
+
+}  // namespace
+
+void PrRecord::encodeTo(ByteWriter& w) const {
+  w.putBool(ranked);
+  if (ranked) {
+    w.putDouble(rank);
+  }
+  w.putVarint(edges.size());
+  for (const VertexId e : edges) {
+    w.putVarint(e);
+  }
+}
+
+PrRecord PrRecord::decodeFrom(ByteReader& r) {
+  PrRecord rec;
+  rec.ranked = r.getBool();
+  if (rec.ranked) {
+    rec.rank = r.getDouble();
+  }
+  const auto n = static_cast<std::size_t>(r.getVarint());
+  rec.edges.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rec.edges.push_back(static_cast<VertexId>(r.getVarint()));
+  }
+  return rec;
+}
+
+kv::TablePtr loadPageRankGraph(kv::KVStore& store,
+                               const std::string& tableName,
+                               const graph::Graph& graph,
+                               std::uint32_t parts) {
+  kv::TableOptions options;
+  options.parts = parts;
+  kv::TablePtr table = store.createTable(tableName, std::move(options));
+  std::vector<std::pair<kv::Key, kv::Value>> batch;
+  batch.reserve(graph.vertexCount());
+  for (VertexId u = 0; u < graph.vertexCount(); ++u) {
+    PrRecord rec;
+    rec.edges = graph.adj[u];
+    batch.emplace_back(encodeToBytes(u), encodeToBytes(rec));
+  }
+  table->putBatch(batch);
+  return table;
+}
+
+PageRankResult runPageRank(ebsp::Engine& engine,
+                           const PageRankOptions& options) {
+  kv::KVStore& store = *engine.store();
+  kv::TablePtr table = store.lookupTable(options.graphTable);
+  if (!table) {
+    throw std::invalid_argument("runPageRank: graph table '" +
+                                options.graphTable + "' does not exist");
+  }
+  const std::uint64_t vertices = table->size();
+  PageRankJob job(options, store, vertices);
+
+  PageRankResult result;
+  result.job = ebsp::runJob(engine, job);
+
+  // Validation sum.
+  kv::TypedTable<VertexId, PrRecord> typed(table);
+  double sum = 0;
+  typed.forEach([&sum](const VertexId&, const PrRecord& rec) {
+    sum += rec.ranked ? rec.rank : 0.0;
+    return true;
+  });
+  result.rankSum = sum;
+  return result;
+}
+
+std::vector<double> readRanks(kv::KVStore& store, const std::string& tableName,
+                              std::size_t vertexCount) {
+  std::vector<double> ranks(vertexCount, 0.0);
+  kv::TypedTable<VertexId, PrRecord> typed(store.lookupTable(tableName));
+  typed.forEach([&ranks](const VertexId& u, const PrRecord& rec) {
+    if (u < ranks.size() && rec.ranked) {
+      ranks[u] = rec.rank;
+    }
+    return true;
+  });
+  return ranks;
+}
+
+std::vector<double> referencePageRank(const graph::Graph& graph,
+                                      double damping, int iterations) {
+  const std::size_t n = graph.vertexCount();
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (int it = 0; it < iterations; ++it) {
+    double sink = 0;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (graph.adj[u].empty()) {
+        sink += rank[u] / static_cast<double>(n);
+      }
+    }
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t u = 0; u < n; ++u) {
+      const auto& edges = graph.adj[u];
+      if (edges.empty()) {
+        continue;
+      }
+      const double share = rank[u] / static_cast<double>(edges.size());
+      for (const VertexId v : edges) {
+        next[v] += share;
+      }
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      rank[v] = (1.0 - damping) / static_cast<double>(n) +
+                damping * (next[v] + sink);
+    }
+  }
+  return rank;
+}
+
+}  // namespace ripple::apps

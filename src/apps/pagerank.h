@@ -1,0 +1,83 @@
+// PageRank on K/V EBSP — the paper's §V-A evaluation pair.
+//
+// Two variants, both on the same engine:
+//  * direct — one BSP step per iteration of the PageRank equations; the
+//    graph structure and ranking state ride in BSP messages (a
+//    self-addressed structure+rank message plus rank contributions along
+//    edges); the state table is read in the first step and written in the
+//    last.  One synchronization + one state-table I/O round per run of
+//    the iteration space.
+//  * MapReduce emulation — two BSP steps per iteration (map-like and
+//    reduce-like); structure and rank ride in messages only from map to
+//    reduce (the shuffle), and are written to / re-read from the state
+//    table between reduce and the following map.  Two synchronizations +
+//    two I/O rounds per iteration: "purely inferior ... doing strictly
+//    more work".
+//
+// Dangling vertices (out-degree 0) contribute rank/|V| to a sink-rank
+// aggregator; every vertex folds the previous step's sink value into its
+// new rank, implementing the A' matrix of the paper.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ebsp/engine.h"
+#include "graph/graph_gen.h"
+
+namespace ripple::apps {
+
+struct PageRankOptions {
+  double damping = 0.85;
+
+  /// Iterations of the PageRank equations.
+  int iterations = 10;
+
+  /// Graph/state table (created by loadPageRankGraph).
+  std::string graphTable = "pr_graph";
+
+  /// Run the MapReduce-emulation variant instead of the direct one.
+  bool mapReduceVariant = false;
+};
+
+struct PageRankResult {
+  ebsp::JobResult job;
+
+  /// Sum of final ranks (should be ~1).
+  double rankSum = 0;
+};
+
+/// Graph/rank record stored in the graph table: the out-edge array, plus
+/// the rank once the job has "enhanced" the record.
+struct PrRecord {
+  std::vector<graph::VertexId> edges;
+  bool ranked = false;
+  double rank = 0;
+
+  void encodeTo(ByteWriter& w) const;
+  static PrRecord decodeFrom(ByteReader& r);
+};
+
+/// Create `tableName` with `parts` parts and populate it with plain
+/// (unranked) vertex records.
+kv::TablePtr loadPageRankGraph(kv::KVStore& store,
+                               const std::string& tableName,
+                               const graph::Graph& graph,
+                               std::uint32_t parts);
+
+/// Rank the graph previously loaded into options.graphTable.  On return
+/// the table holds enhanced records carrying final ranks.
+PageRankResult runPageRank(ebsp::Engine& engine,
+                           const PageRankOptions& options);
+
+/// Read final ranks back from the graph table (indexed by vertex id).
+std::vector<double> readRanks(kv::KVStore& store,
+                              const std::string& tableName,
+                              std::size_t vertexCount);
+
+/// Serial reference implementation for validation.
+std::vector<double> referencePageRank(const graph::Graph& graph,
+                                      double damping, int iterations);
+
+}  // namespace ripple::apps

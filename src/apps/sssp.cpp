@@ -1,0 +1,567 @@
+#include "apps/sssp.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "ebsp/job.h"
+#include "kvstore/store_util.h"
+
+namespace ripple::apps {
+
+namespace {
+
+using graph::GraphChange;
+using graph::VertexId;
+
+constexpr const char* kChangedAggregator = "changed";
+
+std::int32_t safePlusOne(std::int32_t d, std::int32_t cap) {
+  if (d >= cap || d == kSsspInf) {
+    return kSsspInf;
+  }
+  const std::int32_t next = d + 1;
+  return next >= cap ? kSsspInf : next;
+}
+
+// ---------------------------------------------------------------------
+// Selective-enablement variant.
+// ---------------------------------------------------------------------
+
+/// Vertex record: neighbors plus the distance value most recently
+/// received from each (parallel arrays), and the vertex's own distance.
+struct SelRecord {
+  std::vector<VertexId> nbr;
+  std::vector<std::int32_t> nbrDist;
+  std::int32_t dist = kSsspInf;
+
+  void encodeTo(ByteWriter& w) const {
+    w.putVarint(nbr.size());
+    for (std::size_t i = 0; i < nbr.size(); ++i) {
+      w.putVarint(nbr[i]);
+      w.putVarintSigned(nbrDist[i]);
+    }
+    w.putVarintSigned(dist);
+  }
+
+  static SelRecord decodeFrom(ByteReader& r) {
+    SelRecord rec;
+    const auto n = static_cast<std::size_t>(r.getVarint());
+    rec.nbr.reserve(n);
+    rec.nbrDist.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      rec.nbr.push_back(static_cast<VertexId>(r.getVarint()));
+      rec.nbrDist.push_back(static_cast<std::int32_t>(r.getVarintSigned()));
+    }
+    rec.dist = static_cast<std::int32_t>(r.getVarintSigned());
+    return rec;
+  }
+
+  [[nodiscard]] std::int32_t minNeighborDist() const {
+    std::int32_t best = kSsspInf;
+    for (const std::int32_t d : nbrDist) {
+      best = std::min(best, d);
+    }
+    return best;
+  }
+};
+
+/// Distance message: carries the sender's id (the job's combiner "does
+/// not combine these messages").
+struct SelMsg {
+  VertexId sender = 0;
+  std::int32_t dist = kSsspInf;
+
+  void encodeTo(ByteWriter& w) const {
+    w.putVarint(sender);
+    w.putVarintSigned(dist);
+  }
+
+  static SelMsg decodeFrom(ByteReader& r) {
+    SelMsg m;
+    m.sender = static_cast<VertexId>(r.getVarint());
+    m.dist = static_cast<std::int32_t>(r.getVarintSigned());
+    return m;
+  }
+};
+
+class SelectiveCompute : public ebsp::Compute<VertexId, SelRecord, SelMsg> {
+ public:
+  SelectiveCompute(VertexId source, std::int32_t cap)
+      : source_(source), cap_(cap) {}
+
+  bool compute(Context& ctx) override {
+    auto rec = ctx.readState();
+    if (!rec) {
+      return false;  // Message to a vertex deleted in this batch.
+    }
+    bool stateChanged = false;
+    for (const SelMsg& m : ctx.inputMessages()) {
+      for (std::size_t i = 0; i < rec->nbr.size(); ++i) {
+        if (rec->nbr[i] == m.sender) {
+          if (rec->nbrDist[i] != m.dist) {
+            rec->nbrDist[i] = m.dist;
+            stateChanged = true;
+          }
+          break;
+        }
+      }
+    }
+    const std::int32_t nd = ctx.key() == source_
+                                ? 0
+                                : safePlusOne(rec->minNeighborDist(), cap_);
+    if (nd != rec->dist) {
+      rec->dist = nd;
+      stateChanged = true;
+      SelMsg update;
+      update.sender = ctx.key();
+      update.dist = nd;
+      for (const VertexId v : rec->nbr) {
+        ctx.sendMessage(v, update);
+      }
+    }
+    if (stateChanged) {
+      ctx.writeState(*rec);
+    }
+    return false;
+  }
+
+ private:
+  VertexId source_;
+  std::int32_t cap_;
+};
+
+class SelectiveJob : public ebsp::Job<VertexId, SelRecord, SelMsg> {
+ public:
+  SelectiveJob(const SsspOptions& options, std::vector<Bytes> seeds)
+      : options_(options), seeds_(std::move(seeds)) {}
+
+  std::vector<std::string> stateTableNames() const override {
+    return {options_.stateTable};
+  }
+
+  std::shared_ptr<ComputeType> getCompute() override {
+    return std::make_shared<SelectiveCompute>(options_.source,
+                                              options_.distanceCap);
+  }
+
+  std::string referenceTable() const override { return options_.stateTable; }
+
+  std::vector<ebsp::RawLoaderPtr> loaders() const override {
+    auto loader = std::make_shared<ebsp::VectorLoader>();
+    for (const Bytes& key : seeds_) {
+      loader->enable(key);
+    }
+    return {loader};
+  }
+
+ private:
+  const SsspOptions& options_;
+  std::vector<Bytes> seeds_;
+};
+
+// ---------------------------------------------------------------------
+// Full-scan (MapReduce-style) variant.
+// ---------------------------------------------------------------------
+
+struct FullRecord {
+  std::vector<VertexId> nbr;
+  std::int32_t dist = kSsspInf;
+
+  void encodeTo(ByteWriter& w) const {
+    w.putVarint(nbr.size());
+    for (const VertexId v : nbr) {
+      w.putVarint(v);
+    }
+    w.putVarintSigned(dist);
+  }
+
+  static FullRecord decodeFrom(ByteReader& r) {
+    FullRecord rec;
+    const auto n = static_cast<std::size_t>(r.getVarint());
+    rec.nbr.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      rec.nbr.push_back(static_cast<VertexId>(r.getVarint()));
+    }
+    rec.dist = static_cast<std::int32_t>(r.getVarintSigned());
+    return rec;
+  }
+};
+
+/// Full-scan message: a plain distance, or the self-addressed full state
+/// (which carries "the current distance value and the minimum distance
+/// value heard from a neighbor" as it is combined).
+struct FullMsg {
+  enum class Kind : std::uint8_t { kDist = 0, kSelf = 1 };
+
+  Kind kind = Kind::kDist;
+  std::int32_t dist = kSsspInf;   // kDist: sender distance; kSelf: own.
+  std::int32_t minIn = kSsspInf;  // kSelf: min combined neighbor distance.
+  std::vector<VertexId> nbr;      // kSelf.
+
+  void encodeTo(ByteWriter& w) const {
+    w.putU8(static_cast<std::uint8_t>(kind));
+    w.putVarintSigned(dist);
+    if (kind == Kind::kSelf) {
+      w.putVarintSigned(minIn);
+      w.putVarint(nbr.size());
+      for (const VertexId v : nbr) {
+        w.putVarint(v);
+      }
+    }
+  }
+
+  static FullMsg decodeFrom(ByteReader& r) {
+    FullMsg m;
+    m.kind = static_cast<Kind>(r.getU8());
+    m.dist = static_cast<std::int32_t>(r.getVarintSigned());
+    if (m.kind == Kind::kSelf) {
+      m.minIn = static_cast<std::int32_t>(r.getVarintSigned());
+      const auto n = static_cast<std::size_t>(r.getVarint());
+      m.nbr.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        m.nbr.push_back(static_cast<VertexId>(r.getVarint()));
+      }
+    }
+    return m;
+  }
+};
+
+class FullScanCompute : public ebsp::Compute<VertexId, FullRecord, FullMsg> {
+ public:
+  FullScanCompute(VertexId source, std::int32_t cap, bool invalidateWave)
+      : source_(source), cap_(cap), invalidate_(invalidateWave) {}
+
+  bool compute(Context& ctx) override {
+    if (ctx.stepNum() % 2 == 1) {
+      // Map-like step: read the table, shuffle messages.
+      auto rec = ctx.readState();
+      if (!rec) {
+        return false;
+      }
+      FullMsg self;
+      self.kind = FullMsg::Kind::kSelf;
+      self.dist = rec->dist;
+      self.nbr = rec->nbr;
+      ctx.sendMessage(ctx.key(), self);
+      FullMsg update;
+      update.kind = FullMsg::Kind::kDist;
+      update.dist = rec->dist;
+      for (const VertexId v : rec->nbr) {
+        ctx.sendMessage(v, update);
+      }
+      return false;
+    }
+
+    // Reduce-like step: the combiner has produced one message holding the
+    // full state plus the min incoming distance.
+    const auto& messages = ctx.inputMessages();
+    if (messages.size() != 1 || messages[0].kind != FullMsg::Kind::kSelf) {
+      // A vertex that only received neighbor distances (it was deleted
+      // mid-batch) — nothing to update.
+      return false;
+    }
+    const FullMsg& in = messages[0];
+    const std::int32_t prev = in.dist;
+    std::int32_t nd;
+    if (ctx.key() == source_) {
+      nd = 0;
+    } else if (invalidate_) {
+      // Keep the previous annotation only if some remaining neighbor
+      // justifies a value <= prev; otherwise it critically depended on a
+      // removed edge.
+      nd = (safePlusOne(in.minIn, cap_) <= prev) ? prev : kSsspInf;
+    } else {
+      nd = std::min(prev, safePlusOne(in.minIn, cap_));
+    }
+    if (nd != prev) {
+      ctx.aggregate(kChangedAggregator, std::uint64_t{1});
+    }
+    FullRecord rec;
+    rec.nbr = in.nbr;
+    rec.dist = nd;
+    ctx.writeState(rec);
+    return false;
+  }
+
+  /// "This job has a combiner with an obvious implementation": distances
+  /// fold by min; a distance folds into the self message's minIn.
+  FullMsg combineMessages(const VertexId&, const FullMsg& a,
+                          const FullMsg& b) override {
+    if (a.kind == FullMsg::Kind::kDist && b.kind == FullMsg::Kind::kDist) {
+      FullMsg m = a;
+      m.dist = std::min(a.dist, b.dist);
+      return m;
+    }
+    if (a.kind == FullMsg::Kind::kSelf && b.kind == FullMsg::Kind::kSelf) {
+      throw std::logic_error("SSSP(full): two self messages for one vertex");
+    }
+    FullMsg m = a.kind == FullMsg::Kind::kSelf ? a : b;
+    const FullMsg& d = a.kind == FullMsg::Kind::kDist ? a : b;
+    m.minIn = std::min(m.minIn, d.dist);
+    return m;
+  }
+
+  /// In-place fold avoiding neighbor-array copies per distance message.
+  void combineMessagesInto(const VertexId&, FullMsg& acc,
+                           const FullMsg& next) override {
+    if (next.kind == FullMsg::Kind::kSelf) {
+      if (acc.kind == FullMsg::Kind::kSelf) {
+        throw std::logic_error(
+            "SSSP(full): two self messages for one vertex");
+      }
+      const std::int32_t incoming = acc.dist;
+      acc = next;
+      acc.minIn = std::min(acc.minIn, incoming);
+      return;
+    }
+    if (acc.kind == FullMsg::Kind::kSelf) {
+      acc.minIn = std::min(acc.minIn, next.dist);
+    } else {
+      acc.dist = std::min(acc.dist, next.dist);
+    }
+  }
+
+  bool hasMessageCombiner() const override { return true; }
+
+ private:
+  VertexId source_;
+  std::int32_t cap_;
+  bool invalidate_;
+};
+
+class FullScanJob : public ebsp::Job<VertexId, FullRecord, FullMsg> {
+ public:
+  FullScanJob(const SsspOptions& options, kv::TablePtr table,
+              bool invalidateWave)
+      : options_(options), table_(std::move(table)),
+        invalidate_(invalidateWave) {}
+
+  std::vector<std::string> stateTableNames() const override {
+    return {options_.stateTable};
+  }
+
+  std::shared_ptr<ComputeType> getCompute() override {
+    return std::make_shared<FullScanCompute>(options_.source,
+                                             options_.distanceCap,
+                                             invalidate_);
+  }
+
+  std::vector<ebsp::AggregatorDecl> aggregators() const override {
+    return {{kChangedAggregator, ebsp::sumAggregator<std::uint64_t>()}};
+  }
+
+  std::string referenceTable() const override { return options_.stateTable; }
+
+  std::vector<ebsp::RawLoaderPtr> loaders() const override {
+    // Full scan: enable every vertex.
+    kv::TablePtr table = table_;
+    return {std::make_shared<ebsp::FunctionLoader>(
+        [table](ebsp::LoaderContext& ctx) {
+          for (auto& [k, v] : kv::readAll(*table)) {
+            ctx.enableComponent(k);
+          }
+        })};
+  }
+
+ private:
+  const SsspOptions& options_;
+  kv::TablePtr table_;
+  bool invalidate_;
+};
+
+}  // namespace
+
+void SsspUpdateStats::accumulate(const ebsp::JobResult& r) {
+  ++jobs;
+  steps += static_cast<std::uint64_t>(r.steps);
+  invocations += r.metrics.computeInvocations;
+  messages += r.metrics.messagesSent;
+  elapsedSeconds += r.elapsedSeconds;
+  virtualMakespan += r.virtualMakespan;
+}
+
+SsspDriver::SsspDriver(ebsp::Engine& engine, SsspOptions options)
+    : engine_(engine), options_(std::move(options)) {}
+
+void SsspDriver::loadGraph(const graph::Graph& graph) {
+  kv::TableOptions tableOptions;
+  tableOptions.parts = options_.parts;
+  table_ = engine_.store()->createTable(options_.stateTable,
+                                        std::move(tableOptions));
+  if (options_.distanceCap == kSsspInf) {
+    options_.distanceCap =
+        static_cast<std::int32_t>(graph.vertexCount()) + 1;
+  }
+  std::vector<std::pair<kv::Key, kv::Value>> batch;
+  batch.reserve(graph.vertexCount());
+  for (VertexId u = 0; u < graph.vertexCount(); ++u) {
+    if (options_.selective) {
+      SelRecord rec;
+      rec.nbr = graph.adj[u];
+      rec.nbrDist.assign(rec.nbr.size(), kSsspInf);
+      batch.emplace_back(encodeToBytes(u), encodeToBytes(rec));
+    } else {
+      FullRecord rec;
+      rec.nbr = graph.adj[u];
+      batch.emplace_back(encodeToBytes(u), encodeToBytes(rec));
+    }
+  }
+  table_->putBatch(batch);
+}
+
+SsspUpdateStats SsspDriver::initialize() {
+  if (options_.selective) {
+    return runSelective({}, /*initialize=*/true);
+  }
+  return runFullScan(/*hadDeletions=*/false);
+}
+
+SsspUpdateStats SsspDriver::applyBatch(
+    const std::vector<GraphChange>& batch) {
+  if (!table_) {
+    throw std::logic_error("SsspDriver: loadGraph first");
+  }
+  // Apply structural changes to the state table from the client side,
+  // remembering the endpoints of effective (non-no-op) changes.
+  std::vector<GraphChange> effective;
+  bool hadDeletions = false;
+
+  auto structural = [&](auto decode, auto encode) {
+    for (const GraphChange& c : batch) {
+      auto rawU = table_->get(encodeToBytes(c.u));
+      auto rawV = table_->get(encodeToBytes(c.v));
+      if (!rawU || !rawV) {
+        continue;
+      }
+      auto recU = decode(*rawU);
+      auto recV = decode(*rawV);
+      const auto itU =
+          std::find(recU.nbr.begin(), recU.nbr.end(), c.v);
+      const bool exists = itU != recU.nbr.end();
+      if (c.add == exists) {
+        continue;  // No-op.
+      }
+      if (c.add) {
+        encode(recU, recV, c, /*add=*/true);
+      } else {
+        encode(recU, recV, c, /*add=*/false);
+        hadDeletions = true;
+      }
+      table_->put(encodeToBytes(c.u), encodeToBytes(recU));
+      table_->put(encodeToBytes(c.v), encodeToBytes(recV));
+      effective.push_back(c);
+    }
+  };
+
+  if (options_.selective) {
+    structural(
+        [](const kv::Value& v) { return decodeFromBytes<SelRecord>(v); },
+        [&](SelRecord& u, SelRecord& v, const GraphChange& c, bool add) {
+          if (add) {
+            u.nbr.push_back(c.v);
+            u.nbrDist.push_back(v.dist);
+            v.nbr.push_back(c.u);
+            v.nbrDist.push_back(u.dist);
+          } else {
+            const auto iu = std::find(u.nbr.begin(), u.nbr.end(), c.v) -
+                            u.nbr.begin();
+            u.nbr.erase(u.nbr.begin() + iu);
+            u.nbrDist.erase(u.nbrDist.begin() + iu);
+            const auto iv = std::find(v.nbr.begin(), v.nbr.end(), c.u) -
+                            v.nbr.begin();
+            v.nbr.erase(v.nbr.begin() + iv);
+            v.nbrDist.erase(v.nbrDist.begin() + iv);
+          }
+        });
+    return runSelective(effective, /*initialize=*/false);
+  }
+
+  structural(
+      [](const kv::Value& v) { return decodeFromBytes<FullRecord>(v); },
+      [&](FullRecord& u, FullRecord& v, const GraphChange& c, bool add) {
+        if (add) {
+          u.nbr.push_back(c.v);
+          v.nbr.push_back(c.u);
+        } else {
+          u.nbr.erase(std::find(u.nbr.begin(), u.nbr.end(), c.v));
+          v.nbr.erase(std::find(v.nbr.begin(), v.nbr.end(), c.u));
+        }
+      });
+  if (effective.empty()) {
+    return {};
+  }
+  return runFullScan(hadDeletions);
+}
+
+SsspUpdateStats SsspDriver::runSelective(
+    const std::vector<GraphChange>& effective, bool initialize) {
+  std::unordered_set<VertexId> seedSet;
+  if (initialize) {
+    seedSet.insert(options_.source);
+  } else {
+    for (const GraphChange& c : effective) {
+      seedSet.insert(c.u);
+      seedSet.insert(c.v);
+    }
+  }
+  std::vector<Bytes> seeds;
+  seeds.reserve(seedSet.size());
+  for (const VertexId v : seedSet) {
+    seeds.push_back(encodeToBytes(v));
+  }
+
+  SsspUpdateStats stats;
+  if (seeds.empty()) {
+    return stats;
+  }
+  SelectiveJob job(options_, std::move(seeds));
+  stats.accumulate(ebsp::runJob(engine_, job));
+  return stats;
+}
+
+SsspUpdateStats SsspDriver::runFullScan(bool hadDeletions) {
+  SsspUpdateStats stats;
+  auto runWave = [&](bool invalidate) {
+    for (;;) {
+      FullScanJob job(options_, table_, invalidate);
+      ebsp::JobResult r = ebsp::runJob(engine_, job);
+      stats.accumulate(r);
+      const auto changed = r.aggregate<std::uint64_t>(kChangedAggregator);
+      if (!changed || *changed == 0) {
+        break;
+      }
+    }
+  };
+  // "If the batch of changes includes no edge deletions then the solution
+  // is updated by one wave of breadth-first updates, otherwise it is two."
+  if (hadDeletions) {
+    runWave(/*invalidate=*/true);
+  }
+  runWave(/*invalidate=*/false);
+  return stats;
+}
+
+std::vector<std::int32_t> SsspDriver::distances(std::size_t vertexCount) {
+  std::vector<std::int32_t> dist(vertexCount, kSsspInf);
+  if (options_.selective) {
+    kv::TypedTable<VertexId, SelRecord> typed(table_);
+    typed.forEach([&dist](const VertexId& u, const SelRecord& rec) {
+      if (u < dist.size()) {
+        dist[u] = rec.dist;
+      }
+      return true;
+    });
+  } else {
+    kv::TypedTable<VertexId, FullRecord> typed(table_);
+    typed.forEach([&dist](const VertexId& u, const FullRecord& rec) {
+      if (u < dist.size()) {
+        dist[u] = rec.dist;
+      }
+      return true;
+    });
+  }
+  return dist;
+}
+
+}  // namespace ripple::apps

@@ -1,0 +1,98 @@
+// Incremental single-source shortest paths on a time-varying undirected
+// graph — the paper's §V-C evaluation pair.
+//
+// Two variants, both on the same engine:
+//  * selective enablement — each vertex caches the distance value most
+//    recently received from each neighbor; distance messages carry the
+//    sender's id and are NOT combined.  After a batch of structural
+//    changes only the affected vertices are enabled, and updates ripple
+//    outward exactly as far as they must.  "Extra bookkeeping to support
+//    incrementality."
+//  * full scan — MapReduce-style: each update wave is a series of
+//    two-step jobs, each enabling EVERY vertex, shuffling full state
+//    plus distance messages, and writing the whole state table back; a
+//    "changed" aggregator drives an external loop until quiescence.  If
+//    the batch includes edge deletions the update takes two waves: first
+//    invalidate (raise to +inf distances that critically depended on a
+//    removed edge), then relax.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "ebsp/engine.h"
+#include "graph/graph_gen.h"
+
+namespace ripple::apps {
+
+/// Distance value for "unreachable".
+inline constexpr std::int32_t kSsspInf = std::numeric_limits<std::int32_t>::max();
+
+struct SsspOptions {
+  graph::VertexId source = 0;
+  std::string stateTable = "sssp_state";
+  std::uint32_t parts = 6;
+
+  /// Use the selective-enablement variant (false = full scan).
+  bool selective = true;
+
+  /// Distances >= cap are treated as +inf (bounds the count-to-infinity
+  /// behaviour of distance increases through cycles).  Set to the vertex
+  /// count by the driver.
+  std::int32_t distanceCap = kSsspInf;
+};
+
+/// Accumulated cost of one update (initialization or one change batch).
+struct SsspUpdateStats {
+  int jobs = 0;            // EBSP jobs run (full-scan waves iterate).
+  std::uint64_t steps = 0;
+  std::uint64_t invocations = 0;
+  std::uint64_t messages = 0;
+  double elapsedSeconds = 0;
+  double virtualMakespan = 0;
+
+  void accumulate(const ebsp::JobResult& r);
+};
+
+/// Maintains the distance annotations.  Usage:
+///   SsspDriver driver(engine, options);
+///   driver.loadGraph(g);
+///   driver.initialize();             // BFS from the source
+///   driver.applyBatch(changes);      // repeatedly
+///   auto dist = driver.distances(n); // kSsspInf = unreachable
+class SsspDriver {
+ public:
+  SsspDriver(ebsp::Engine& engine, SsspOptions options);
+
+  /// Create and populate the state table from an undirected graph.
+  void loadGraph(const graph::Graph& graph);
+
+  /// Compute the initial annotations (all vertices start at +inf; the
+  /// source's update ripples out).
+  SsspUpdateStats initialize();
+
+  /// Apply a batch of primitive changes and update the annotations.
+  /// No-op changes (per the paper, batches are generated "without regard
+  /// to which already exist") are detected and skipped.
+  SsspUpdateStats applyBatch(const std::vector<graph::GraphChange>& batch);
+
+  /// Read back all distance annotations (kSsspInf = unreachable).
+  [[nodiscard]] std::vector<std::int32_t> distances(std::size_t vertexCount);
+
+  [[nodiscard]] const SsspOptions& options() const { return options_; }
+
+ private:
+  class Impl;
+  SsspUpdateStats runSelective(
+      const std::vector<graph::GraphChange>& effective, bool initialize);
+  SsspUpdateStats runFullScan(bool hadDeletions);
+
+  ebsp::Engine& engine_;
+  SsspOptions options_;
+  kv::TablePtr table_;
+};
+
+}  // namespace ripple::apps

@@ -1,0 +1,117 @@
+#include "common/bytes.h"
+
+namespace ripple {
+
+void ByteWriter::putFixed32(std::uint32_t v) {
+  char tmp[4];
+  tmp[0] = static_cast<char>(v & 0xff);
+  tmp[1] = static_cast<char>((v >> 8) & 0xff);
+  tmp[2] = static_cast<char>((v >> 16) & 0xff);
+  tmp[3] = static_cast<char>((v >> 24) & 0xff);
+  buf_.append(tmp, 4);
+}
+
+void ByteWriter::putFixed64(std::uint64_t v) {
+  char tmp[8];
+  for (int i = 0; i < 8; ++i) {
+    tmp[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+  buf_.append(tmp, 8);
+}
+
+void ByteWriter::putVarint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<char>(v));
+}
+
+void ByteWriter::putVarintSigned(std::int64_t v) {
+  // Zigzag: map sign bit into bit 0 so small magnitudes stay short.
+  const auto u = (static_cast<std::uint64_t>(v) << 1) ^
+                 static_cast<std::uint64_t>(v >> 63);
+  putVarint(u);
+}
+
+void ByteWriter::putDouble(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  putFixed64(bits);
+}
+
+void ByteWriter::putBytes(BytesView v) {
+  putVarint(v.size());
+  putRaw(v);
+}
+
+std::uint8_t ByteReader::getU8() {
+  need(1);
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t ByteReader::getFixed32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::getFixed64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+std::uint64_t ByteReader::getVarint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    if (shift >= 70) {
+      throw CodecError("ByteReader: varint too long");
+    }
+    need(1);
+    const auto b = static_cast<std::uint8_t>(data_[pos_++]);
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      return v;
+    }
+    shift += 7;
+  }
+}
+
+std::int64_t ByteReader::getVarintSigned() {
+  const std::uint64_t u = getVarint();
+  return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+double ByteReader::getDouble() {
+  const std::uint64_t bits = getFixed64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+BytesView ByteReader::getBytes() {
+  const std::uint64_t n = getVarint();
+  return getRaw(static_cast<std::size_t>(n));
+}
+
+BytesView ByteReader::getRaw(std::size_t n) {
+  need(n);
+  BytesView v = data_.substr(pos_, n);
+  pos_ += n;
+  return v;
+}
+
+}  // namespace ripple

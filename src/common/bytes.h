@@ -1,0 +1,110 @@
+// Byte-string building blocks for Ripple's serialization boundary.
+//
+// The engine moves keys, values, and BSP messages around as flat byte
+// strings; the typed public API encodes through Codec<T> (codec.h) into
+// these buffers.  Encoding is little-endian with LEB128 varints for
+// lengths and integer payloads.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ripple {
+
+/// Flat owned byte string.  std::string is used for its SSO and cheap
+/// moves; contents are raw bytes, not text.
+using Bytes = std::string;
+
+/// Non-owning view over encoded bytes.
+using BytesView = std::string_view;
+
+/// Thrown when a reader runs off the end of a buffer or decodes a
+/// malformed varint.  Indicates either corruption or a codec mismatch.
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only encoder.  All put* methods append to the owned buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void putU8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void putFixed32(std::uint32_t v);
+  void putFixed64(std::uint64_t v);
+
+  /// LEB128 unsigned varint (1-10 bytes).
+  void putVarint(std::uint64_t v);
+
+  /// Zigzag-encoded signed varint.
+  void putVarintSigned(std::int64_t v);
+
+  /// IEEE-754 doubles, bit-copied little-endian.
+  void putDouble(double v);
+
+  void putBool(bool v) { putU8(v ? 1 : 0); }
+
+  /// Length-prefixed byte string.
+  void putBytes(BytesView v);
+
+  /// Raw bytes, no length prefix (caller knows the framing).
+  void putRaw(BytesView v) { buf_.append(v.data(), v.size()); }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] bool empty() const { return buf_.empty(); }
+
+  /// Move the accumulated buffer out; the writer is left empty and reusable.
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+
+  [[nodiscard]] BytesView view() const { return buf_; }
+
+  void clear() { buf_.clear(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Sequential decoder over a non-owned buffer.  The underlying bytes must
+/// outlive the reader.
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t getU8();
+  [[nodiscard]] std::uint32_t getFixed32();
+  [[nodiscard]] std::uint64_t getFixed64();
+  [[nodiscard]] std::uint64_t getVarint();
+  [[nodiscard]] std::int64_t getVarintSigned();
+  [[nodiscard]] double getDouble();
+  [[nodiscard]] bool getBool() { return getU8() != 0; }
+
+  /// Length-prefixed byte string; returns a view into the underlying buffer.
+  [[nodiscard]] BytesView getBytes();
+
+  /// Raw bytes of a caller-known length.
+  [[nodiscard]] BytesView getRaw(std::size_t n);
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool atEnd() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (remaining() < n) {
+      throw CodecError("ByteReader: buffer underrun");
+    }
+  }
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ripple

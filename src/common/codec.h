@@ -1,0 +1,168 @@
+// Codec<T>: the trait that carries application types across Ripple's byte
+// boundary.  Specializations exist for the arithmetic types, strings,
+// pairs, tuples, vectors, and optionals; applications add their own by
+// specializing Codec<T> or by giving T `encodeTo(ByteWriter&) const` and
+// `static T decodeFrom(ByteReader&)` members (picked up automatically).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace ripple {
+
+template <typename T, typename Enable = void>
+struct Codec;  // Primary template intentionally undefined.
+
+/// Detects member-function based codecs.
+template <typename T>
+concept SelfCodable = requires(const T& t, ByteWriter& w, ByteReader& r) {
+  { t.encodeTo(w) } -> std::same_as<void>;
+  { T::decodeFrom(r) } -> std::convertible_to<T>;
+};
+
+template <SelfCodable T>
+struct Codec<T> {
+  static void encode(ByteWriter& w, const T& v) { v.encodeTo(w); }
+  static T decode(ByteReader& r) { return T::decodeFrom(r); }
+};
+
+template <typename T>
+struct Codec<T, std::enable_if_t<std::is_integral_v<T> && std::is_signed_v<T> &&
+                                 !std::is_same_v<T, bool>>> {
+  static void encode(ByteWriter& w, T v) {
+    w.putVarintSigned(static_cast<std::int64_t>(v));
+  }
+  static T decode(ByteReader& r) { return static_cast<T>(r.getVarintSigned()); }
+};
+
+template <typename T>
+struct Codec<T,
+             std::enable_if_t<std::is_integral_v<T> && std::is_unsigned_v<T> &&
+                              !std::is_same_v<T, bool>>> {
+  static void encode(ByteWriter& w, T v) {
+    w.putVarint(static_cast<std::uint64_t>(v));
+  }
+  static T decode(ByteReader& r) { return static_cast<T>(r.getVarint()); }
+};
+
+template <>
+struct Codec<bool> {
+  static void encode(ByteWriter& w, bool v) { w.putBool(v); }
+  static bool decode(ByteReader& r) { return r.getBool(); }
+};
+
+template <>
+struct Codec<double> {
+  static void encode(ByteWriter& w, double v) { w.putDouble(v); }
+  static double decode(ByteReader& r) { return r.getDouble(); }
+};
+
+template <>
+struct Codec<float> {
+  static void encode(ByteWriter& w, float v) {
+    w.putDouble(static_cast<double>(v));
+  }
+  static float decode(ByteReader& r) {
+    return static_cast<float>(r.getDouble());
+  }
+};
+
+template <>
+struct Codec<std::string> {
+  static void encode(ByteWriter& w, const std::string& v) { w.putBytes(v); }
+  static std::string decode(ByteReader& r) { return std::string(r.getBytes()); }
+};
+
+template <typename A, typename B>
+struct Codec<std::pair<A, B>> {
+  static void encode(ByteWriter& w, const std::pair<A, B>& v) {
+    Codec<A>::encode(w, v.first);
+    Codec<B>::encode(w, v.second);
+  }
+  static std::pair<A, B> decode(ByteReader& r) {
+    A a = Codec<A>::decode(r);
+    B b = Codec<B>::decode(r);
+    return {std::move(a), std::move(b)};
+  }
+};
+
+template <typename... Ts>
+struct Codec<std::tuple<Ts...>> {
+  static void encode(ByteWriter& w, const std::tuple<Ts...>& v) {
+    std::apply([&](const Ts&... xs) { (Codec<Ts>::encode(w, xs), ...); }, v);
+  }
+  static std::tuple<Ts...> decode(ByteReader& r) {
+    // Braced init guarantees left-to-right evaluation of the decodes.
+    return std::tuple<Ts...>{Codec<Ts>::decode(r)...};
+  }
+};
+
+template <typename T>
+struct Codec<std::vector<T>> {
+  static void encode(ByteWriter& w, const std::vector<T>& v) {
+    w.putVarint(v.size());
+    for (const T& x : v) {
+      Codec<T>::encode(w, x);
+    }
+  }
+  static std::vector<T> decode(ByteReader& r) {
+    const auto n = static_cast<std::size_t>(r.getVarint());
+    std::vector<T> v;
+    v.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v.push_back(Codec<T>::decode(r));
+    }
+    return v;
+  }
+};
+
+template <typename T>
+struct Codec<std::optional<T>> {
+  static void encode(ByteWriter& w, const std::optional<T>& v) {
+    w.putBool(v.has_value());
+    if (v) {
+      Codec<T>::encode(w, *v);
+    }
+  }
+  static std::optional<T> decode(ByteReader& r) {
+    if (!r.getBool()) {
+      return std::nullopt;
+    }
+    return Codec<T>::decode(r);
+  }
+};
+
+/// Encode a value to a fresh byte string.
+template <typename T>
+[[nodiscard]] Bytes encodeToBytes(const T& v) {
+  ByteWriter w;
+  Codec<T>::encode(w, v);
+  return w.take();
+}
+
+/// Decode a value from a complete byte string; throws CodecError if bytes
+/// remain (catches codec mismatches early).
+template <typename T>
+[[nodiscard]] T decodeFromBytes(BytesView data) {
+  ByteReader r(data);
+  T v = Codec<T>::decode(r);
+  if (!r.atEnd()) {
+    throw CodecError("decodeFromBytes: trailing bytes after value");
+  }
+  return v;
+}
+
+/// Decode from a prefix of a byte string (framing handled by the caller).
+template <typename T>
+[[nodiscard]] T decodePrefix(ByteReader& r) {
+  return Codec<T>::decode(r);
+}
+
+}  // namespace ripple

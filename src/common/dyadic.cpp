@@ -1,0 +1,99 @@
+#include "common/dyadic.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ripple {
+
+double DyadicWeight::approx() const {
+  return static_cast<double>(mantissa) * std::ldexp(1.0, -static_cast<int>(exponent));
+}
+
+WeightSplit splitWeight(DyadicWeight w, std::uint64_t children) {
+  if (children == 0) {
+    throw std::invalid_argument("splitWeight: children must be >= 1");
+  }
+  if (w.mantissa == 0) {
+    throw std::invalid_argument("splitWeight: zero weight");
+  }
+  // Find the smallest s with mantissa * 2^s > children, so each child can
+  // take 1/2^(e+s) and a positive remainder is left.
+  std::uint32_t s = 0;
+  std::uint64_t scaled = w.mantissa;
+  while (scaled <= children) {
+    if (scaled > (UINT64_MAX >> 1)) {
+      throw std::overflow_error("splitWeight: mantissa overflow");
+    }
+    scaled <<= 1;
+    ++s;
+  }
+  const std::uint64_t newExp64 =
+      static_cast<std::uint64_t>(w.exponent) + static_cast<std::uint64_t>(s);
+  if (newExp64 > UINT32_MAX) {
+    throw std::overflow_error("splitWeight: exponent overflow");
+  }
+  const auto newExp = static_cast<std::uint32_t>(newExp64);
+  WeightSplit out;
+  out.child = DyadicWeight{1, newExp};
+  out.remainder = DyadicWeight{scaled - children, newExp};
+  return out;
+}
+
+void WeightLedger::credit(DyadicWeight w) {
+  if (w.mantissa == 0) {
+    return;
+  }
+  // m/2^e = sum over set bits i of m of 1/2^(e-i).  Each term's exponent
+  // is non-negative because the total system weight never exceeds 1.
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    if ((w.mantissa >> i) & 1ULL) {
+      if (i > w.exponent) {
+        throw std::invalid_argument("WeightLedger: weight exceeds 1");
+      }
+      normalizeFrom(w.exponent - i);
+    }
+  }
+  // A full unit plus anything else means more weight was returned than
+  // was ever issued — an accounting bug upstream.
+  if (!counts_.empty() && counts_[0] == 1 && nonzero_ > 1) {
+    throw std::logic_error("WeightLedger: accumulated weight exceeds 1");
+  }
+}
+
+void WeightLedger::normalizeFrom(std::size_t e) {
+  if (counts_.size() <= e) {
+    counts_.resize(e + 1, 0);
+  }
+  // Add a unit at exponent e, propagating carries toward exponent 0
+  // (two halves make a whole at the next-coarser exponent).
+  for (;;) {
+    counts_[e] += 1;
+    if (counts_[e] == 1) {
+      ++nonzero_;
+      return;
+    }
+    // counts_[e] == 2: carry.
+    counts_[e] = 0;
+    --nonzero_;
+    if (e == 0) {
+      throw std::logic_error("WeightLedger: accumulated weight exceeds 1");
+    }
+    --e;
+  }
+}
+
+bool WeightLedger::complete() const {
+  return nonzero_ == 1 && !counts_.empty() && counts_[0] == 1;
+}
+
+double WeightLedger::approx() const {
+  double total = 0;
+  for (std::size_t e = 0; e < counts_.size(); ++e) {
+    if (counts_[e]) {
+      total += std::ldexp(1.0, -static_cast<int>(e));
+    }
+  }
+  return total;
+}
+
+}  // namespace ripple

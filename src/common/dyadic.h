@@ -1,0 +1,67 @@
+// Exact dyadic-rational weights for Huang's termination-detection
+// algorithm (Huang 1989), which Ripple's no-sync engine uses (paper §IV-A:
+// "We detect distributed termination essentially by Huang's algorithm").
+//
+// The controller owns total weight 1.  Every in-flight message and every
+// active compute invocation carries a weight m/2^e.  Processing a message
+// splits its weight among the messages it sends and returns the remainder
+// to the controller.  The computation has terminated exactly when the
+// controller has accumulated weight 1 again.
+//
+// Floating point would underflow after ~10^3 splits; these weights are
+// exact for any depth.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ripple {
+
+/// Weight value m / 2^e with m >= 1.
+struct DyadicWeight {
+  std::uint64_t mantissa = 1;
+  std::uint32_t exponent = 0;
+
+  [[nodiscard]] bool operator==(const DyadicWeight&) const = default;
+
+  /// The unit weight 1/2^0 — the controller's initial holding.
+  [[nodiscard]] static DyadicWeight one() { return {1, 0}; }
+
+  /// Approximate numeric value, for logging only.
+  [[nodiscard]] double approx() const;
+};
+
+/// Result of splitting a weight across `children` messages.
+struct WeightSplit {
+  DyadicWeight child;      // Weight carried by EACH child message.
+  DyadicWeight remainder;  // Returned to the controller.
+};
+
+/// Split `w` into `children` equal child weights plus a positive remainder.
+/// children must be >= 1.  Children get 1/2^(e+s); the remainder gets the
+/// exact rest, so child*children + remainder == w.
+[[nodiscard]] WeightSplit splitWeight(DyadicWeight w, std::uint64_t children);
+
+/// Exact accumulator of returned weights.  Not thread-safe; callers
+/// serialize access (the async engine's controller holds a mutex).
+class WeightLedger {
+ public:
+  /// Add a returned weight.
+  void credit(DyadicWeight w);
+
+  /// True when the accumulated sum is exactly 1.
+  [[nodiscard]] bool complete() const;
+
+  /// Approximate accumulated value, for diagnostics.
+  [[nodiscard]] double approx() const;
+
+ private:
+  // counts_[e] in {0,1} after normalization; sum = Σ counts_[e] / 2^e.
+  std::vector<std::uint64_t> counts_;
+  std::size_t nonzero_ = 0;
+
+  void normalizeFrom(std::size_t e);
+};
+
+}  // namespace ripple

@@ -1,0 +1,60 @@
+#include "common/executor.h"
+
+#include <stdexcept>
+
+namespace ripple {
+
+SerialExecutor::SerialExecutor(std::string name) : name_(std::move(name)) {
+  worker_ = std::thread([this] { loop(); });
+}
+
+SerialExecutor::~SerialExecutor() { shutdown(); }
+
+void SerialExecutor::execute(Task task) {
+  if (!tasks_.push(std::move(task))) {
+    throw std::runtime_error("SerialExecutor '" + name_ +
+                             "': execute after shutdown");
+  }
+}
+
+bool SerialExecutor::onThisThread() const {
+  return std::this_thread::get_id() == worker_.get_id();
+}
+
+void SerialExecutor::shutdown() {
+  tasks_.close();
+  if (worker_.joinable()) {
+    worker_.join();
+  }
+}
+
+void SerialExecutor::loop() {
+  for (;;) {
+    std::optional<Task> task = tasks_.pop();
+    if (!task) {
+      return;  // Closed and drained.
+    }
+    (*task)();
+  }
+}
+
+CountdownLatch::CountdownLatch(std::size_t count) : count_(count) {}
+
+void CountdownLatch::countDown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ > 0 && --count_ == 0) {
+    cv_.notify_all();
+  }
+}
+
+void CountdownLatch::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return count_ == 0; });
+}
+
+std::size_t CountdownLatch::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+}  // namespace ripple

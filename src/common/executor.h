@@ -1,0 +1,87 @@
+// Serial executors: one worker thread consuming a task queue.
+//
+// A PartitionedStore gives each part two of these (a short-op executor and
+// a long-op executor), which is how "mobile code" runs adjacent to the data
+// it touches.  submit() returns a future-like completion; execute() is
+// fire-and-forget.
+
+#pragma once
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/queue.h"
+
+namespace ripple {
+
+class SerialExecutor {
+ public:
+  using Task = std::function<void()>;
+
+  explicit SerialExecutor(std::string name = "executor");
+  ~SerialExecutor();
+
+  SerialExecutor(const SerialExecutor&) = delete;
+  SerialExecutor& operator=(const SerialExecutor&) = delete;
+
+  /// Enqueue fire-and-forget work.  Throws if the executor is shut down.
+  void execute(Task task);
+
+  /// Enqueue work and get a future for its completion/result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    execute([task] { (*task)(); });
+    return result;
+  }
+
+  /// Run fn on the executor thread and wait for it (rethrows exceptions).
+  template <typename F>
+  auto run(F&& fn) -> std::invoke_result_t<F> {
+    if (onThisThread()) {
+      // Re-entrant call from a task already running here; waiting would
+      // deadlock, so invoke inline (serialization already holds).
+      return std::forward<F>(fn)();
+    }
+    return submit(std::forward<F>(fn)).get();
+  }
+
+  /// True if called from the executor's own worker thread.
+  [[nodiscard]] bool onThisThread() const;
+
+  /// Drain outstanding tasks and join the worker.  Idempotent.
+  void shutdown();
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  void loop();
+
+  std::string name_;
+  BlockingQueue<Task> tasks_;
+  std::thread worker_;
+};
+
+/// Simple countdown latch (std::latch lacks a timed wait and re-use story
+/// we want in tests).
+class CountdownLatch {
+ public:
+  explicit CountdownLatch(std::size_t count);
+
+  void countDown();
+  void wait();
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t count_;
+};
+
+}  // namespace ripple

@@ -1,0 +1,42 @@
+#include "common/hash.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ripple {
+
+std::uint64_t fnv1a64(BytesView data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Partitioner::Partitioner(std::uint32_t parts)
+    : Partitioner(parts, [](BytesView k) { return mix64(fnv1a64(k)); }) {}
+
+Partitioner::Partitioner(std::uint32_t parts, HashFn hash)
+    : parts_(parts), hash_(std::move(hash)) {
+  if (parts_ == 0) {
+    throw std::invalid_argument("Partitioner: parts must be positive");
+  }
+}
+
+std::uint32_t Partitioner::partOf(BytesView key) const {
+  return static_cast<std::uint32_t>(hash_(key) % parts_);
+}
+
+PartitionerPtr makeDefaultPartitioner(std::uint32_t parts) {
+  return std::make_shared<const Partitioner>(parts);
+}
+
+}  // namespace ripple

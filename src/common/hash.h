@@ -1,0 +1,51 @@
+// Hashing and partitioning.
+//
+// A Partitioner maps a key's bytes to a part index.  Tables that must be
+// co-placed share a Partitioner instance (see TableConfig::consistentWith),
+// which is how Ripple guarantees that a component's state, inbox, and
+// transport spills land in the same part.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/bytes.h"
+
+namespace ripple {
+
+/// 64-bit FNV-1a over raw bytes.  Stable across platforms and runs, which
+/// matters because partition assignment must be deterministic.
+[[nodiscard]] std::uint64_t fnv1a64(BytesView data);
+
+/// Finalizing mix (splitmix64 finalizer); spreads low-entropy inputs.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x);
+
+/// Maps key bytes to [0, parts).  The default implementation hashes with
+/// fnv1a64+mix64; clients control placement by controlling key bytes or by
+/// supplying a custom hash function (paper §III-A: "The table client can
+/// control the assignment of keys to parts by controlling the hash values
+/// of its keys").
+class Partitioner {
+ public:
+  using HashFn = std::function<std::uint64_t(BytesView)>;
+
+  explicit Partitioner(std::uint32_t parts);
+  Partitioner(std::uint32_t parts, HashFn hash);
+
+  [[nodiscard]] std::uint32_t parts() const { return parts_; }
+  [[nodiscard]] std::uint32_t partOf(BytesView key) const;
+  [[nodiscard]] std::uint64_t hashOf(BytesView key) const { return hash_(key); }
+
+ private:
+  std::uint32_t parts_;
+  HashFn hash_;
+};
+
+using PartitionerPtr = std::shared_ptr<const Partitioner>;
+
+/// Default-hash partitioner shared pointer convenience.
+[[nodiscard]] PartitionerPtr makeDefaultPartitioner(std::uint32_t parts);
+
+}  // namespace ripple

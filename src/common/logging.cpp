@@ -1,0 +1,71 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace ripple::log {
+
+namespace {
+
+Level levelFromEnv() {
+  const char* env = std::getenv("RIPPLE_LOG");
+  if (env == nullptr) {
+    return Level::kWarn;
+  }
+  if (std::strcmp(env, "debug") == 0) return Level::kDebug;
+  if (std::strcmp(env, "info") == 0) return Level::kInfo;
+  if (std::strcmp(env, "warn") == 0) return Level::kWarn;
+  if (std::strcmp(env, "error") == 0) return Level::kError;
+  if (std::strcmp(env, "off") == 0) return Level::kOff;
+  return Level::kWarn;
+}
+
+std::atomic<Level>& thresholdVar() {
+  static std::atomic<Level> level{levelFromEnv()};
+  return level;
+}
+
+const char* levelName(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO";
+    case Level::kWarn:
+      return "WARN";
+    case Level::kError:
+      return "ERROR";
+    case Level::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Level threshold() { return thresholdVar().load(std::memory_order_relaxed); }
+
+void setThreshold(Level level) {
+  thresholdVar().store(level, std::memory_order_relaxed);
+}
+
+void emit(Level level, const std::string& message) {
+  if (level < threshold()) {
+    return;
+  }
+  static std::mutex mu;
+  const auto now = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now().time_since_epoch())
+                       .count();
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[%8lld.%03lld %s] %s\n",
+               static_cast<long long>(now / 1000),
+               static_cast<long long>(now % 1000), levelName(level),
+               message.c_str());
+}
+
+}  // namespace ripple::log

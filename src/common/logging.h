@@ -1,0 +1,54 @@
+// Minimal leveled logger.  Thread-safe, writes to stderr, level settable
+// globally (RIPPLE_LOG env var: debug|info|warn|error|off).
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ripple::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Current global threshold; messages below it are dropped.
+[[nodiscard]] Level threshold();
+void setThreshold(Level level);
+
+/// Emit one line (already formatted) at the given level.
+void emit(Level level, const std::string& message);
+
+namespace detail {
+
+class LineLogger {
+ public:
+  explicit LineLogger(Level level) : level_(level) {}
+  LineLogger(const LineLogger&) = delete;
+  LineLogger& operator=(const LineLogger&) = delete;
+  ~LineLogger() { emit(level_, out_.str()); }
+
+  template <typename T>
+  LineLogger& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream out_;
+};
+
+}  // namespace detail
+
+[[nodiscard]] inline bool enabled(Level level) { return level >= threshold(); }
+
+}  // namespace ripple::log
+
+#define RIPPLE_LOG(level)                            \
+  if (!::ripple::log::enabled(level)) {              \
+  } else                                             \
+    ::ripple::log::detail::LineLogger(level)
+
+#define RIPPLE_DEBUG RIPPLE_LOG(::ripple::log::Level::kDebug)
+#define RIPPLE_INFO RIPPLE_LOG(::ripple::log::Level::kInfo)
+#define RIPPLE_WARN RIPPLE_LOG(::ripple::log::Level::kWarn)
+#define RIPPLE_ERROR RIPPLE_LOG(::ripple::log::Level::kError)

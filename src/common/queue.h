@@ -1,0 +1,114 @@
+// Closeable blocking MPMC queue.
+//
+// FIFO overall (mutex-serialized), which gives the per-(sender,receiver)
+// ordering guarantee Ripple's async engine relies on: if one sender pushes
+// a then b, every consumer sequence observes a before b.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace ripple {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  BlockingQueue() = default;
+  BlockingQueue(const BlockingQueue&) = delete;
+  BlockingQueue& operator=(const BlockingQueue&) = delete;
+
+  /// Enqueue; returns false if the queue was already closed.
+  bool push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available or the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    return popLocked();
+  }
+
+  /// Wait at most `timeout`; nullopt on timeout or closed-and-drained.
+  template <typename Rep, typename Period>
+  std::optional<T> popFor(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, timeout, [&] { return !items_.empty() || closed_; });
+    return popLocked();
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> tryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Steal from the back (used by the run-anywhere work stealing path;
+  /// stealing from the tail is only legal when ordering does not matter).
+  std::optional<T> trySteal() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.back());
+    items_.pop_back();
+    return item;
+  }
+
+  /// After close(), pushes fail and pops drain the remainder then return
+  /// nullopt.  Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  std::optional<T> popLocked() {
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace ripple

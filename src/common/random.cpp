@@ -1,0 +1,115 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/hash.h"
+
+namespace ripple {
+
+namespace {
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // splitmix64 expansion of the seed, per the xoshiro authors' advice.
+  std::uint64_t s = seed;
+  for (auto& word : state_) {
+    s += 0x9e3779b97f4a7c15ULL;
+    word = mix64(s);
+  }
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::nextBelow(std::uint64_t bound) {
+  if (bound == 0) {
+    throw std::invalid_argument("Rng::nextBelow: bound must be positive");
+  }
+  // Rejection sampling over the largest multiple of bound.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  for (;;) {
+    const std::uint64_t v = next();
+    if (v < limit) {
+      return v % bound;
+    }
+  }
+}
+
+double Rng::nextDouble() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::nextBool(double p) { return nextDouble() < p; }
+
+PowerLawSampler::PowerLawSampler(std::size_t n, double alpha, Rng& rng,
+                                 bool shuffle, double shift) {
+  if (n == 0) {
+    throw std::invalid_argument("PowerLawSampler: n must be positive");
+  }
+  std::vector<double> weights(n);
+  double total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    weights[i] = std::pow(static_cast<double>(i) + shift, -alpha);
+    total += weights[i];
+  }
+
+  // Vose's alias method.
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = scaled[l] + scaled[s] - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (const std::uint32_t i : large) {
+    prob_[i] = 1.0;
+  }
+  for (const std::uint32_t i : small) {
+    prob_[i] = 1.0;  // Numerical leftovers.
+  }
+
+  perm_.resize(n);
+  std::iota(perm_.begin(), perm_.end(), 0);
+  if (shuffle) {
+    for (std::size_t i = n - 1; i > 0; --i) {
+      const auto j = static_cast<std::size_t>(rng.nextBelow(i + 1));
+      std::swap(perm_[i], perm_[j]);
+    }
+  }
+}
+
+std::size_t PowerLawSampler::sample(Rng& rng) const {
+  const auto i = static_cast<std::size_t>(rng.nextBelow(prob_.size()));
+  const std::size_t rank = rng.nextDouble() < prob_[i] ? i : alias_[i];
+  return perm_[rank];
+}
+
+}  // namespace ripple

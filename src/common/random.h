@@ -1,0 +1,52 @@
+// Deterministic randomness for workload generation.
+//
+// Xoshiro256** seeded via splitmix64, plus the discrete power-law sampler
+// the paper's graph generators need ("biased power-law distribution for
+// edge attachments").
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ripple {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound) without modulo bias.
+  std::uint64_t nextBelow(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double nextDouble();
+
+  /// Bernoulli with probability p.
+  bool nextBool(double p);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+/// Samples integers in [0, n) with P(i) proportional to (i + shift)^-alpha.
+/// Uses an alias table, so sampling is O(1) after O(n) setup.  With the
+/// identity permutation disabled (shuffle=true) the popularity ranking is
+/// decoupled from vertex numbering, matching "biased" attachment.
+class PowerLawSampler {
+ public:
+  PowerLawSampler(std::size_t n, double alpha, Rng& rng, bool shuffle = true,
+                  double shift = 1.0);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+  [[nodiscard]] std::size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;        // Alias-table acceptance probabilities.
+  std::vector<std::uint32_t> alias_;
+  std::vector<std::uint32_t> perm_;  // Rank -> vertex id.
+};
+
+}  // namespace ripple

@@ -1,0 +1,46 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace ripple {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::stddev() const {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+std::string RunningStats::summary(int precision) const {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << mean() << " ± " << stddev();
+  return out.str();
+}
+
+RunningStats summarize(const std::vector<double>& values) {
+  RunningStats stats;
+  for (const double v : values) {
+    stats.add(v);
+  }
+  return stats;
+}
+
+}  // namespace ripple

@@ -1,0 +1,58 @@
+// Timing and summary statistics for the benchmark harnesses.
+
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ripple {
+
+/// Wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsedMillis() const { return elapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Welford online mean/variance; the benches report mean ± stddev the way
+/// the paper's tables do.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Sample standard deviation (n-1 denominator), matching the paper's
+  /// "estimated standard deviation".
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+  /// "12.34 ± 0.56" with the given precision.
+  [[nodiscard]] std::string summary(int precision = 2) const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Collect per-trial values then summarize.
+[[nodiscard]] RunningStats summarize(const std::vector<double>& values);
+
+}  // namespace ripple

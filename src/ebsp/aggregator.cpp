@@ -1,0 +1,60 @@
+#include "ebsp/aggregator.h"
+
+namespace ripple::ebsp {
+
+RawAggregatorPtr countAggregator() {
+  return makeAggregator<std::uint64_t>(
+      0, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+}
+
+RawAggregatorPtr boolAndAggregator() {
+  return makeAggregator<bool>(true, [](bool a, bool b) { return a && b; });
+}
+
+RawAggregatorPtr boolOrAggregator() {
+  return makeAggregator<bool>(false, [](bool a, bool b) { return a || b; });
+}
+
+void AggregatorSet::add(const std::string& name, BytesView value) {
+  const RawAggregator& technique = techniqueFor(name);
+  auto it = partials_.find(name);
+  if (it == partials_.end()) {
+    partials_.emplace(name, Bytes(value));
+  } else {
+    it->second = technique.combine(it->second, value);
+  }
+}
+
+void AggregatorSet::merge(const AggregatorSet& other) {
+  for (const auto& [name, value] : other.partials_) {
+    add(name, value);
+  }
+}
+
+std::map<std::string, Bytes> AggregatorSet::finalize() const {
+  std::map<std::string, Bytes> out;
+  if (techniques_ == nullptr) {
+    return out;
+  }
+  for (const auto& [name, technique] : *techniques_) {
+    auto it = partials_.find(name);
+    out.emplace(name,
+                it == partials_.end() ? technique->identity() : it->second);
+  }
+  return out;
+}
+
+const RawAggregator& AggregatorSet::techniqueFor(
+    const std::string& name) const {
+  if (techniques_ == nullptr) {
+    throw std::invalid_argument("AggregatorSet: job declares no aggregators");
+  }
+  auto it = techniques_->find(name);
+  if (it == techniques_->end()) {
+    throw std::invalid_argument("AggregatorSet: unknown aggregator '" + name +
+                                "'");
+  }
+  return *it->second;
+}
+
+}  // namespace ripple::ebsp

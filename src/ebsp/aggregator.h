@@ -1,0 +1,145 @@
+// Individually defined aggregators (paper §II, as in Pregel).
+//
+// Each aggregator has a name and an aggregation technique.  Compute
+// invocations feed values in by name; the results of a step's aggregation
+// are readable, again by name, in the following step.  The engine runs
+// partial aggregations independently per part while components execute
+// and combines the partials at the barrier (paper §IV-A).
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "common/codec.h"
+
+namespace ripple::ebsp {
+
+/// Type-erased aggregation technique over encoded values.  Must be
+/// commutative and associative; the engine combines partials in
+/// unspecified order.
+class RawAggregator {
+ public:
+  virtual ~RawAggregator() = default;
+
+  /// Identity element (the result when no values were contributed).
+  [[nodiscard]] virtual Bytes identity() const = 0;
+
+  [[nodiscard]] virtual Bytes combine(BytesView a, BytesView b) const = 0;
+};
+
+using RawAggregatorPtr = std::shared_ptr<const RawAggregator>;
+
+/// A named aggregator declaration.
+struct AggregatorDecl {
+  std::string name;
+  RawAggregatorPtr technique;
+};
+
+/// Typed aggregator built from a binary function and an identity.
+template <typename T, typename Fn>
+class TypedAggregator : public RawAggregator {
+ public:
+  TypedAggregator(T identity, Fn fn)
+      : identity_(std::move(identity)), fn_(std::move(fn)) {}
+
+  [[nodiscard]] Bytes identity() const override {
+    return encodeToBytes(identity_);
+  }
+
+  [[nodiscard]] Bytes combine(BytesView a, BytesView b) const override {
+    return encodeToBytes(
+        fn_(decodeFromBytes<T>(a), decodeFromBytes<T>(b)));
+  }
+
+ private:
+  T identity_;
+  Fn fn_;
+};
+
+template <typename T, typename Fn>
+RawAggregatorPtr makeAggregator(T identity, Fn fn) {
+  return std::make_shared<const TypedAggregator<T, Fn>>(std::move(identity),
+                                                        std::move(fn));
+}
+
+/// Standard aggregator library.
+template <typename T>
+RawAggregatorPtr sumAggregator() {
+  return makeAggregator<T>(T{}, [](T a, T b) { return a + b; });
+}
+
+template <typename T>
+RawAggregatorPtr minAggregator(T identity) {
+  return makeAggregator<T>(identity, [](T a, T b) { return a < b ? a : b; });
+}
+
+template <typename T>
+RawAggregatorPtr maxAggregator(T identity) {
+  return makeAggregator<T>(identity, [](T a, T b) { return a < b ? b : a; });
+}
+
+RawAggregatorPtr countAggregator();
+RawAggregatorPtr boolAndAggregator();
+RawAggregatorPtr boolOrAggregator();
+
+/// Read-only view over a step's final aggregator values.
+class AggregateReader {
+ public:
+  explicit AggregateReader(const std::map<std::string, Bytes>* finals)
+      : finals_(finals) {}
+
+  [[nodiscard]] std::optional<Bytes> raw(const std::string& name) const {
+    if (finals_ == nullptr) {
+      return std::nullopt;
+    }
+    auto it = finals_->find(name);
+    if (it == finals_->end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+  template <typename T>
+  [[nodiscard]] std::optional<T> get(const std::string& name) const {
+    auto r = raw(name);
+    if (!r) {
+      return std::nullopt;
+    }
+    return decodeFromBytes<T>(*r);
+  }
+
+ private:
+  const std::map<std::string, Bytes>* finals_;
+};
+
+/// Mutable per-part partial aggregation state used inside a step.
+class AggregatorSet {
+ public:
+  explicit AggregatorSet(
+      const std::map<std::string, RawAggregatorPtr>* techniques)
+      : techniques_(techniques) {}
+
+  /// Contribute one value to the named aggregator.
+  void add(const std::string& name, BytesView value);
+
+  /// Merge another set's partials into this one.
+  void merge(const AggregatorSet& other);
+
+  /// Finalize: every declared aggregator gets a value (identity when no
+  /// contributions were made).
+  [[nodiscard]] std::map<std::string, Bytes> finalize() const;
+
+  [[nodiscard]] bool empty() const { return partials_.empty(); }
+
+ private:
+  const RawAggregator& techniqueFor(const std::string& name) const;
+
+  const std::map<std::string, RawAggregatorPtr>* techniques_;
+  std::map<std::string, Bytes> partials_;
+};
+
+}  // namespace ripple::ebsp

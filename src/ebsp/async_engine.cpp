@@ -1,0 +1,611 @@
+#include "ebsp/async_engine.h"
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+
+#include "common/dyadic.h"
+#include "common/logging.h"
+#include "common/stats.h"
+#include "sim/cost_model.h"
+
+namespace ripple::ebsp {
+
+namespace {
+
+std::string uniqueRunId() {
+  static std::atomic<std::uint64_t> counter{0};
+  return "a" + std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+enum class EnvelopeKind : std::uint8_t {
+  kMessage = 0,
+  kEnable = 1,  // Continue signal / loader enablement: empty-input invoke.
+  kCreate = 2,
+};
+
+struct Envelope {
+  EnvelopeKind kind = EnvelopeKind::kMessage;
+  Bytes destKey;
+  Bytes payload;
+  int tabIdx = 0;
+  std::uint32_t senderPart = 0;
+  DyadicWeight weight;
+  double sendVt = 0;
+};
+
+Bytes encodeEnvelope(const Envelope& e) {
+  ByteWriter w;
+  w.putU8(static_cast<std::uint8_t>(e.kind));
+  w.putBytes(e.destKey);
+  w.putBytes(e.payload);
+  w.putVarintSigned(e.tabIdx);
+  w.putFixed32(e.senderPart);
+  w.putVarint(e.weight.mantissa);
+  w.putVarint(e.weight.exponent);
+  w.putDouble(e.sendVt);
+  return w.take();
+}
+
+Envelope decodeEnvelope(BytesView data) {
+  ByteReader r(data);
+  Envelope e;
+  e.kind = static_cast<EnvelopeKind>(r.getU8());
+  e.destKey = Bytes(r.getBytes());
+  e.payload = Bytes(r.getBytes());
+  e.tabIdx = static_cast<int>(r.getVarintSigned());
+  e.senderPart = r.getFixed32();
+  e.weight.mantissa = r.getVarint();
+  e.weight.exponent = static_cast<std::uint32_t>(r.getVarint());
+  e.sendVt = r.getDouble();
+  if (!r.atEnd()) {
+    throw CodecError("decodeEnvelope: trailing bytes");
+  }
+  return e;
+}
+
+}  // namespace
+
+class AsyncEngine::Run {
+ public:
+  Run(kv::KVStorePtr store, const AsyncEngineOptions& options, RawJob& job)
+      : store_(std::move(store)), options_(options), job_(job),
+        props_(deriveProperties(job)), runId_(uniqueRunId()) {
+    validateRawJob(job_);
+    if (!props_.noSync()) {
+      throw std::invalid_argument(
+          "AsyncEngine: job properties do not permit no-sync execution "
+          "(need ((one-msg & no-continue & no-ss-order) | incremental) & "
+          "no-agg & no-client-sync); declared: " +
+          props_.describe());
+    }
+    if (!options_.queuing) {
+      throw std::invalid_argument("AsyncEngine: a Queuing factory is "
+                                  "required");
+    }
+    resolveTables();
+    if (options_.virtualTime) {
+      vt_ = std::make_unique<sim::VirtualCluster>(parts_, options_.costModel);
+    }
+    queues_ = options_.queuing->createQueueSet("__ebsp_q_" + runId_, ref_);
+    stealing_ = options_.workStealing && props_.runAnywhere();
+    partMetrics_.assign(parts_, PartMetrics{});
+  }
+
+  ~Run() { options_.queuing->deleteQueueSet("__ebsp_q_" + runId_); }
+
+  JobResult execute() {
+    Stopwatch wall;
+    const std::uint64_t initial = loadInitial();
+    if (initial > 0) {
+      queues_->runWorkers([this](mq::WorkerContext& ctx) { worker(ctx); });
+    }
+    if (failure_) {
+      std::rethrow_exception(failure_);
+    }
+    {
+      std::lock_guard<std::mutex> lock(controlMu_);
+      if (initial > 0 && !ledger_.complete()) {
+        throw std::logic_error(
+            "AsyncEngine: workers exited with incomplete weight (ledger at " +
+            std::to_string(ledger_.approx()) + ")");
+      }
+    }
+    exportResults();
+    directFinish();
+
+    JobResult result;
+    result.steps = 0;  // No steps without barriers.
+    result.virtualMakespan = vt_ ? vt_->makespan() : 0.0;
+    result.elapsedSeconds = wall.elapsedSeconds();
+    accumulateMetrics();
+    result.metrics = metrics_;
+    return result;
+  }
+
+ private:
+  struct PartMetrics {
+    std::uint64_t invocations = 0;
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t stateReads = 0;
+    std::uint64_t stateWrites = 0;
+    std::uint64_t creations = 0;
+    std::uint64_t directs = 0;
+    std::uint64_t stolen = 0;
+  };
+
+  /// Per-invocation context: buffers outputs so the engine can split the
+  /// carried weight across them after compute returns.
+  class Context : public RawComputeContext {
+   public:
+    Context(Run& run, std::uint32_t part, PartMetrics& metrics)
+        : run_(run), part_(part), metrics_(metrics) {}
+
+    /// `vtBase` is the part's virtual clock at invocation start; outgoing
+    /// messages are stamped with vtBase plus the CPU time consumed up to
+    /// the outputMessage call, so a send issued early in an invocation is
+    /// not artificially delayed behind later compute (this is what lets
+    /// SUMMA-style pipelined forwards overlap with block arithmetic).
+    void reset(BytesView key, std::vector<Bytes>* messages, double vtBase) {
+      key_ = key;
+      messages_ = messages;
+      outgoing_.clear();
+      creations_.clear();
+      continueSignal_ = false;
+      vtBase_ = vtBase;
+      cpuStart_ = sim::threadCpuSeconds();
+    }
+
+    [[nodiscard]] int stepNum() const override { return 0; }
+    [[nodiscard]] BytesView key() const override { return key_; }
+
+    std::optional<Bytes> readState(int tabIdx) override {
+      ++metrics_.stateReads;
+      return run_.stateTable(tabIdx).get(key_);
+    }
+
+    void writeState(int tabIdx, BytesView state) override {
+      ++metrics_.stateWrites;
+      run_.stateTable(tabIdx).put(key_, state);
+    }
+
+    void deleteState(int tabIdx) override {
+      ++metrics_.stateWrites;
+      run_.stateTable(tabIdx).erase(key_);
+    }
+
+    void createState(int tabIdx, BytesView key, BytesView state) override {
+      run_.stateTable(tabIdx);  // Range check.
+      ++metrics_.creations;
+      creations_.push_back({tabIdx, Bytes(key), Bytes(state)});
+    }
+
+    [[nodiscard]] const std::vector<Bytes>& inputMessages() const override {
+      return *messages_;
+    }
+
+    void outputMessage(BytesView destKey, BytesView payload) override {
+      Outgoing out;
+      out.destKey = Bytes(destKey);
+      out.payload = Bytes(payload);
+      out.sendVt = vtBase_ + (sim::threadCpuSeconds() - cpuStart_);
+      outgoing_.push_back(std::move(out));
+    }
+
+    void aggregateValue(const std::string&, BytesView) override {
+      throw std::logic_error(
+          "AsyncEngine: individual aggregators are not available under "
+          "no-sync execution (no-agg is required)");
+    }
+
+    [[nodiscard]] std::optional<Bytes> aggregateResult(
+        const std::string&) const override {
+      return std::nullopt;
+    }
+
+    std::optional<Bytes> broadcastDatum(BytesView key) override {
+      if (!run_.broadcast_) {
+        return std::nullopt;
+      }
+      return run_.broadcast_->get(key);
+    }
+
+    void directOutput(BytesView key, BytesView value) override {
+      ++metrics_.directs;
+      run_.directOutput(key, value);
+    }
+
+    void setContinue(bool value) { continueSignal_ = value; }
+
+    struct Creation {
+      int tabIdx;
+      Bytes key;
+      Bytes state;
+    };
+
+    struct Outgoing {
+      Bytes destKey;
+      Bytes payload;
+      double sendVt = 0;
+    };
+
+    std::vector<Outgoing> outgoing_;
+    std::vector<Creation> creations_;
+    bool continueSignal_ = false;
+
+   private:
+    Run& run_;
+    std::uint32_t part_;
+    PartMetrics& metrics_;
+    BytesView key_;
+    std::vector<Bytes>* messages_ = nullptr;
+    double vtBase_ = 0;
+    double cpuStart_ = 0;
+  };
+
+  void resolveTables() {
+    ref_ = store_->lookupTable(job_.referenceTable);
+    if (!ref_) {
+      throw std::invalid_argument("AsyncEngine: reference table '" +
+                                  job_.referenceTable + "' does not exist");
+    }
+    parts_ = ref_->numParts();
+    for (const std::string& name : job_.stateTableNames) {
+      kv::TablePtr t = store_->lookupTable(name);
+      if (!t) {
+        t = store_->createConsistentTable(name, *ref_);
+      } else if (t->numParts() != parts_) {
+        throw std::invalid_argument(
+            "AsyncEngine: state table '" + name +
+            "' is not consistently partitioned with the reference table");
+      }
+      stateTables_.push_back(std::move(t));
+    }
+    if (!job_.broadcastTable.empty()) {
+      broadcast_ = store_->lookupTable(job_.broadcastTable);
+      if (!broadcast_) {
+        throw std::invalid_argument("AsyncEngine: broadcast table '" +
+                                    job_.broadcastTable + "' does not exist");
+      }
+    }
+  }
+
+  kv::Table& stateTable(int tabIdx) {
+    if (tabIdx < 0 || tabIdx >= static_cast<int>(stateTables_.size())) {
+      throw std::out_of_range("AsyncEngine: state table index out of range");
+    }
+    return *stateTables_[static_cast<std::size_t>(tabIdx)];
+  }
+
+  /// Returns the number of initial envelopes enqueued.
+  std::uint64_t loadInitial() {
+    struct InitialContext : LoaderContext {
+      explicit InitialContext(Run& run) : run(run) {}
+
+      void emitMessage(BytesView destKey, BytesView payload) override {
+        Envelope e;
+        e.kind = EnvelopeKind::kMessage;
+        e.destKey = Bytes(destKey);
+        e.payload = Bytes(payload);
+        envelopes.push_back(std::move(e));
+      }
+
+      void enableComponent(BytesView key) override {
+        Envelope e;
+        e.kind = EnvelopeKind::kEnable;
+        e.destKey = Bytes(key);
+        envelopes.push_back(std::move(e));
+      }
+
+      void putState(int tabIdx, BytesView key, BytesView state) override {
+        states.emplace_back(tabIdx, std::make_pair(Bytes(key), Bytes(state)));
+      }
+
+      void aggregateValue(const std::string& name, BytesView) override {
+        throw std::logic_error("AsyncEngine: loader aggregator input '" +
+                               name + "' under no-sync execution");
+      }
+
+      Run& run;
+      std::vector<Envelope> envelopes;
+      std::vector<std::pair<int, std::pair<Bytes, Bytes>>> states;
+    };
+
+    InitialContext ctx(*this);
+    for (const RawLoaderPtr& loader : job_.loaders) {
+      loader->load(ctx);
+    }
+
+    std::vector<std::vector<std::pair<kv::Key, kv::Value>>> byTable(
+        stateTables_.size());
+    for (auto& [tabIdx, kv] : ctx.states) {
+      stateTable(tabIdx);  // Range check.
+      byTable[static_cast<std::size_t>(tabIdx)].push_back(std::move(kv));
+    }
+    for (std::size_t i = 0; i < byTable.size(); ++i) {
+      if (!byTable[i].empty()) {
+        stateTables_[i]->putBatch(byTable[i]);
+      }
+    }
+
+    if (ctx.envelopes.empty()) {
+      return 0;
+    }
+    // The controller hands out weight 1 across the initial envelopes and
+    // keeps (credits) the remainder.
+    const WeightSplit split =
+        splitWeight(DyadicWeight::one(), ctx.envelopes.size());
+    for (Envelope& e : ctx.envelopes) {
+      e.weight = split.child;
+      e.senderPart = ref_->partOf(e.destKey);  // Loader acts as local sender.
+      queues_->put(ref_->partOf(e.destKey), encodeEnvelope(e));
+    }
+    credit(split.remainder);
+    return ctx.envelopes.size();
+  }
+
+  void worker(mq::WorkerContext& wctx) {
+    const std::uint32_t part = wctx.queueIndex();
+    PartMetrics& metrics = partMetrics_[part];
+    Context ctx(*this, part, metrics);
+    std::uint32_t stealCursor = part;
+
+    for (;;) {
+      if (failed_.load(std::memory_order_acquire)) {
+        return;
+      }
+      std::optional<Bytes> raw = wctx.tryRead();
+      bool stolen = false;
+      if (!raw && stealing_) {
+        for (std::uint32_t i = 1; i < parts_ && !raw; ++i) {
+          stealCursor = (stealCursor + 1) % parts_;
+          raw = wctx.trySteal(stealCursor);
+        }
+        stolen = raw.has_value();
+      }
+      if (!raw) {
+        raw = wctx.read(options_.pollTimeout);
+        if (!raw) {
+          if (closed_.load(std::memory_order_acquire)) {
+            return;
+          }
+          continue;
+        }
+      }
+      if (stolen) {
+        ++metrics.stolen;
+      }
+      try {
+        process(decodeEnvelope(*raw), part, ctx, metrics);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(controlMu_);
+          if (!failure_) {
+            failure_ = std::current_exception();
+          }
+        }
+        failed_.store(true, std::memory_order_release);
+        closeQueues();
+        return;
+      }
+    }
+  }
+
+  void process(Envelope env, std::uint32_t part, Context& ctx,
+               PartMetrics& metrics) {
+    double vtBase = 0;
+    if (vt_) {
+      vtBase = vt_->deliver(part, env.sendVt);
+    }
+
+    if (env.kind == EnvelopeKind::kCreate) {
+      applyCreation(env);
+      credit(env.weight);
+      return;
+    }
+
+    std::vector<Bytes> messages;
+    if (env.kind == EnvelopeKind::kMessage) {
+      messages.push_back(std::move(env.payload));
+    }
+    ctx.reset(env.destKey, &messages, vtBase);
+    bool cont = false;
+    {
+      sim::ChargeScope charge(vt_.get(), part);
+      cont = job_.compute.compute(ctx);
+    }
+    if (vt_ && options_.costModel.perMessageCost > 0) {
+      vt_->charge(part, options_.costModel.perMessageCost *
+                            static_cast<double>(messages.size()));
+    }
+    ++metrics.invocations;
+    metrics.delivered += messages.size();
+
+    if (cont && props_.declared.noContinue) {
+      throw std::logic_error(
+          "AsyncEngine: job declared no-continue but compute returned the "
+          "positive continue signal");
+    }
+
+    const std::uint64_t children = ctx.outgoing_.size() +
+                                   ctx.creations_.size() +
+                                   (cont ? 1 : 0);
+    if (children == 0) {
+      credit(env.weight);
+      return;
+    }
+
+    const WeightSplit split = splitWeight(env.weight, children);
+    const double sendVt = vt_ ? vt_->now(part) : 0.0;
+
+    for (auto& outgoing : ctx.outgoing_) {
+      Envelope out;
+      out.kind = EnvelopeKind::kMessage;
+      out.destKey = std::move(outgoing.destKey);
+      out.payload = std::move(outgoing.payload);
+      out.senderPart = part;
+      out.weight = split.child;
+      out.sendVt = vt_ ? outgoing.sendVt : 0.0;
+      enqueue(std::move(out));
+      ++metrics.sent;
+    }
+    for (auto& creation : ctx.creations_) {
+      Envelope out;
+      out.kind = EnvelopeKind::kCreate;
+      out.destKey = std::move(creation.key);
+      out.payload = std::move(creation.state);
+      out.tabIdx = creation.tabIdx;
+      out.senderPart = part;
+      out.weight = split.child;
+      out.sendVt = sendVt;
+      enqueue(std::move(out));
+    }
+    if (cont) {
+      Envelope out;
+      out.kind = EnvelopeKind::kEnable;
+      out.destKey = Bytes(ctx.key());
+      out.senderPart = part;
+      out.weight = split.child;
+      out.sendVt = sendVt;
+      enqueue(std::move(out));
+    }
+    credit(split.remainder);
+  }
+
+  void enqueue(Envelope&& env) {
+    const std::uint32_t destPart = ref_->partOf(env.destKey);
+    if (!queues_->put(destPart, encodeEnvelope(env))) {
+      throw std::logic_error("AsyncEngine: enqueue after close");
+    }
+  }
+
+  /// Component creation applied at the owner, serialized by the owner's
+  /// worker; merges with an existing state through combine2states.
+  void applyCreation(const Envelope& env) {
+    kv::Table& table = stateTable(env.tabIdx);
+    const auto existing = table.get(env.destKey);
+    if (existing) {
+      if (!job_.compute.combineStates) {
+        throw std::logic_error(
+            "AsyncEngine: createState for an existing component but the job "
+            "supplies no combine2states");
+      }
+      table.put(env.destKey,
+                job_.compute.combineStates(env.destKey, *existing,
+                                           env.payload));
+    } else {
+      table.put(env.destKey, env.payload);
+    }
+  }
+
+  void credit(DyadicWeight w) {
+    bool complete = false;
+    {
+      std::lock_guard<std::mutex> lock(controlMu_);
+      ledger_.credit(w);
+      complete = ledger_.complete();
+    }
+    if (complete) {
+      closeQueues();
+    }
+  }
+
+  void closeQueues() {
+    closed_.store(true, std::memory_order_release);
+    queues_->close();
+  }
+
+  void directOutput(BytesView key, BytesView value) {
+    if (!job_.directOutputter) {
+      return;
+    }
+    if (job_.directOutputter->wantsSerial()) {
+      std::lock_guard<std::mutex> lock(directMu_);
+      job_.directOutputter->consume(key, value);
+    } else {
+      job_.directOutputter->consume(key, value);
+    }
+  }
+
+  void directFinish() {
+    if (job_.directOutputter) {
+      job_.directOutputter->finish();
+    }
+  }
+
+  void exportResults() {
+    for (const auto& [tabIdx, writer] : job_.writers) {
+      class Export : public kv::PairConsumer {
+       public:
+        Export(RawExporter& exporter, std::mutex& mu)
+            : exporter_(exporter), mu_(mu) {}
+        bool consume(std::uint32_t, kv::KeyView k, kv::ValueView v) override {
+          if (exporter_.wantsSerial()) {
+            std::lock_guard<std::mutex> lock(mu_);
+            exporter_.consume(k, v);
+          } else {
+            exporter_.consume(k, v);
+          }
+          return true;
+        }
+
+       private:
+        RawExporter& exporter_;
+        std::mutex& mu_;
+      };
+      std::mutex mu;
+      Export consumer(*writer, mu);
+      stateTables_[static_cast<std::size_t>(tabIdx)]->enumerate(consumer);
+      writer->finish();
+    }
+  }
+
+  void accumulateMetrics() {
+    for (const PartMetrics& m : partMetrics_) {
+      metrics_.computeInvocations += m.invocations;
+      metrics_.messagesSent += m.sent;
+      metrics_.messagesDelivered += m.delivered;
+      metrics_.stateReads += m.stateReads;
+      metrics_.stateWrites += m.stateWrites;
+      metrics_.creations += m.creations;
+      metrics_.directOutputs += m.directs;
+      metrics_.stolenMessages += m.stolen;
+    }
+  }
+
+  kv::KVStorePtr store_;
+  const AsyncEngineOptions& options_;
+  RawJob& job_;
+  EffectiveProperties props_;
+  std::string runId_;
+
+  kv::TablePtr ref_;
+  std::vector<kv::TablePtr> stateTables_;
+  kv::TablePtr broadcast_;
+  std::uint32_t parts_ = 0;
+  mq::QueueSetPtr queues_;
+  bool stealing_ = false;
+
+  std::unique_ptr<sim::VirtualCluster> vt_;
+
+  std::mutex controlMu_;
+  WeightLedger ledger_;
+  std::atomic<bool> closed_{false};
+  std::atomic<bool> failed_{false};
+  std::exception_ptr failure_;
+
+  std::mutex directMu_;
+  std::vector<PartMetrics> partMetrics_;
+  EngineMetrics metrics_;
+};
+
+AsyncEngine::AsyncEngine(kv::KVStorePtr store, AsyncEngineOptions options)
+    : store_(std::move(store)), options_(std::move(options)) {}
+
+JobResult AsyncEngine::run(RawJob& job) {
+  Run run(store_, options_, job);
+  return run.execute();
+}
+
+}  // namespace ripple::ebsp

@@ -1,0 +1,55 @@
+// The no-sync execution strategy (paper §IV-A): "When synchronization is
+// not needed, the job is instead executed in one dispatch of EBSP
+// implementation code to a queue set, where its instances invoke
+// components and exchange messages until there is no more work to do.  We
+// detect distributed termination essentially by Huang's algorithm."
+//
+// Requirements (paper §II-A): ((one-msg ∧ no-continue ∧ no-ss-order) ∨
+// incremental) ∧ no-agg ∧ no-client-sync.  Messages are delivered as they
+// arrive, preserving order per (sender part, receiver queue); there are no
+// steps and no barriers.  When the job additionally satisfies run-anywhere
+// (no-collect ∧ rare-state), idle workers steal work from other queues.
+
+#pragma once
+
+#include <chrono>
+#include <memory>
+
+#include "ebsp/raw_job.h"
+#include "kvstore/table.h"
+#include "mq/queue.h"
+#include "sim/virtual_time.h"
+
+namespace ripple::ebsp {
+
+struct AsyncEngineOptions {
+  sim::CostModel costModel = sim::CostModel::defaults();
+  bool virtualTime = true;
+
+  /// Queue poll timeout for idle workers.
+  std::chrono::milliseconds pollTimeout{2};
+
+  /// Enable work stealing when the job's properties allow run-anywhere.
+  bool workStealing = true;
+
+  /// Queue-set factory; the engine front-end defaults this to the
+  /// in-memory implementation.
+  mq::QueuingPtr queuing;
+};
+
+class AsyncEngine {
+ public:
+  AsyncEngine(kv::KVStorePtr store, AsyncEngineOptions options);
+
+  /// Runs a job without synchronization barriers.  Throws
+  /// std::invalid_argument if the job's properties do not permit no-sync
+  /// execution.
+  JobResult run(RawJob& job);
+
+ private:
+  class Run;
+  kv::KVStorePtr store_;
+  AsyncEngineOptions options_;
+};
+
+}  // namespace ripple::ebsp

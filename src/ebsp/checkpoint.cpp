@@ -1,0 +1,153 @@
+#include "ebsp/checkpoint.h"
+
+#include <stdexcept>
+
+#include "common/codec.h"
+
+namespace ripple::ebsp {
+
+namespace {
+
+constexpr std::string_view kStepKeyPrefix = "step/";
+constexpr std::string_view kAggKey = "aggs";
+
+Bytes encodeAggFinals(const std::map<std::string, Bytes>& finals) {
+  ByteWriter w;
+  w.putVarint(finals.size());
+  for (const auto& [name, value] : finals) {
+    w.putBytes(name);
+    w.putBytes(value);
+  }
+  return w.take();
+}
+
+std::map<std::string, Bytes> decodeAggFinals(BytesView data) {
+  ByteReader r(data);
+  std::map<std::string, Bytes> finals;
+  const auto n = static_cast<std::size_t>(r.getVarint());
+  for (std::size_t i = 0; i < n; ++i) {
+    Bytes name(r.getBytes());
+    finals.emplace(std::move(name), Bytes(r.getBytes()));
+  }
+  return finals;
+}
+
+}  // namespace
+
+Checkpointer::Checkpointer(kv::KVStorePtr store, std::string jobId,
+                           std::vector<kv::TablePtr> tables,
+                           kv::TablePtr placement)
+    : store_(std::move(store)), jobId_(std::move(jobId)),
+      tables_(std::move(tables)), placement_(std::move(placement)) {
+  shadows_.reserve(tables_.size());
+  for (std::size_t i = 0; i < tables_.size(); ++i) {
+    shadows_.push_back(
+        store_->createConsistentTable(shadowName(i), *tables_[i],
+                                      tables_[i]->options().ordered));
+  }
+  kv::TableOptions metaOptions;
+  metaOptions.parts = 1;
+  meta_ = store_->createTable("__ck_" + jobId_ + "_meta", metaOptions);
+}
+
+Checkpointer::~Checkpointer() {
+  try {
+    cleanup();
+  } catch (...) {
+    // Destructor must not throw; shadow tables are store-lifetime private.
+  }
+}
+
+std::string Checkpointer::shadowName(std::size_t i) const {
+  return "__ck_" + jobId_ + "_" + std::to_string(i);
+}
+
+void Checkpointer::checkpoint(int completedStep,
+                              const std::map<std::string, Bytes>& aggFinals) {
+  // Copy each part of each table into its shadow, collocated with the
+  // part's container.  All shadow writes complete before the shard-step
+  // records are written (the paper's "commit transactions in the right
+  // order").
+  store_->runInParts(*placement_, [&](std::uint32_t part) {
+    for (std::size_t i = 0; i < tables_.size(); ++i) {
+      shadows_[i]->clearPart(part);
+      class Copier : public kv::PairConsumer {
+       public:
+        explicit Copier(kv::Table& dst) : dst_(dst) {}
+        bool consume(std::uint32_t, kv::KeyView k, kv::ValueView v) override {
+          dst_.put(k, v);
+          return true;
+        }
+
+       private:
+        kv::Table& dst_;
+      };
+      Copier copier(*shadows_[i]);
+      tables_[i]->enumeratePart(part, copier);
+    }
+  });
+  for (std::uint32_t part = 0; part < placement_->numParts(); ++part) {
+    meta_->put(Bytes(kStepKeyPrefix) + std::to_string(part),
+               encodeToBytes<std::int64_t>(completedStep));
+  }
+  meta_->put(Bytes(kAggKey), encodeAggFinals(aggFinals));
+}
+
+bool Checkpointer::hasCheckpoint() const {
+  // Complete iff every shard records the same completed step.
+  std::optional<std::int64_t> step;
+  for (std::uint32_t part = 0; part < placement_->numParts(); ++part) {
+    auto v = meta_->get(Bytes(kStepKeyPrefix) + std::to_string(part));
+    if (!v) {
+      return false;
+    }
+    const auto s = decodeFromBytes<std::int64_t>(*v);
+    if (step && *step != s) {
+      return false;
+    }
+    step = s;
+  }
+  return step.has_value();
+}
+
+int Checkpointer::restore(std::map<std::string, Bytes>& aggFinals) {
+  if (!hasCheckpoint()) {
+    throw std::runtime_error("Checkpointer: no complete checkpoint");
+  }
+  store_->runInParts(*placement_, [&](std::uint32_t part) {
+    for (std::size_t i = 0; i < tables_.size(); ++i) {
+      // Delete the failed shard's writes, then reinstate the snapshot.
+      tables_[i]->clearPart(part);
+      class Copier : public kv::PairConsumer {
+       public:
+        explicit Copier(kv::Table& dst) : dst_(dst) {}
+        bool consume(std::uint32_t, kv::KeyView k, kv::ValueView v) override {
+          dst_.put(k, v);
+          return true;
+        }
+
+       private:
+        kv::Table& dst_;
+      };
+      Copier copier(*tables_[i]);
+      shadows_[i]->enumeratePart(part, copier);
+    }
+  });
+  const auto aggs = meta_->get(Bytes(kAggKey));
+  aggFinals = aggs ? decodeAggFinals(*aggs) : std::map<std::string, Bytes>{};
+  const auto step = meta_->get(Bytes(kStepKeyPrefix) + "0");
+  return static_cast<int>(decodeFromBytes<std::int64_t>(*step));
+}
+
+void Checkpointer::cleanup() {
+  for (std::size_t i = 0; i < shadows_.size(); ++i) {
+    store_->dropTable(shadowName(i));
+  }
+  shadows_.clear();
+  if (meta_) {
+    store_->dropTable(meta_->name());
+    meta_.reset();
+  }
+}
+
+}  // namespace ripple::ebsp

@@ -1,0 +1,85 @@
+// Failure recovery for synchronized jobs (paper §IV-A outline).
+//
+// "Add a table that maps shard ID to completed step number, and commit
+// transactions in the right order; recover from primary shard failure by
+// deleting writes done by the failed shard(s) and retry."
+//
+// This implementation snapshots each part's state tables and collection
+// table at a barrier (the snapshot plays the role of the replicated
+// shard), records the completed step per shard, and on failure restores
+// every part from the snapshot and replays forward.  The ordering rule is
+// respected by writing all shadow data before the shard-step record.
+//
+// The `deterministic` job property (paper §II-A) enables the fast-recovery
+// optimization: deterministic jobs may checkpoint every k-th barrier and
+// replay the gap (replayed steps recompute identical results); jobs
+// without the property are checkpointed at every barrier so that no
+// nondeterministic step is ever re-executed.
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "kvstore/table.h"
+
+namespace ripple::ebsp {
+
+struct CheckpointConfig {
+  bool enabled = false;
+
+  /// Checkpoint every `interval` barriers.  Forced to 1 for jobs that are
+  /// not declared deterministic.
+  int interval = 1;
+};
+
+/// Thrown by failure-injection hooks; the engine catches it and recovers.
+class SimulatedFailure : public std::runtime_error {
+ public:
+  explicit SimulatedFailure(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class Checkpointer {
+ public:
+  /// `tables` is every table whose content defines the job's restartable
+  /// state: the job's state tables plus the engine's collection table.
+  Checkpointer(kv::KVStorePtr store, std::string jobId,
+               std::vector<kv::TablePtr> tables, kv::TablePtr placement);
+
+  ~Checkpointer();
+
+  Checkpointer(const Checkpointer&) = delete;
+  Checkpointer& operator=(const Checkpointer&) = delete;
+
+  /// Snapshot all tables and record `completedStep` plus the aggregator
+  /// finals.  Called at a barrier, after the collection for step
+  /// completedStep+1 has been built.
+  void checkpoint(int completedStep,
+                  const std::map<std::string, Bytes>& aggFinals);
+
+  /// True if a complete checkpoint exists.
+  [[nodiscard]] bool hasCheckpoint() const;
+
+  /// Restore all tables from the snapshot; returns the recorded step and
+  /// outputs the aggregator finals.  Throws if no checkpoint exists.
+  int restore(std::map<std::string, Bytes>& aggFinals);
+
+  /// Drop all shadow tables.
+  void cleanup();
+
+ private:
+  [[nodiscard]] std::string shadowName(std::size_t i) const;
+
+  kv::KVStorePtr store_;
+  std::string jobId_;
+  std::vector<kv::TablePtr> tables_;
+  std::vector<kv::TablePtr> shadows_;
+  kv::TablePtr placement_;
+  kv::TablePtr meta_;  // shard -> completed step; plus aggregator finals.
+};
+
+}  // namespace ripple::ebsp

@@ -1,0 +1,53 @@
+#include "ebsp/engine.h"
+
+#include "common/logging.h"
+
+namespace ripple::ebsp {
+
+Engine::Engine(kv::KVStorePtr store, EngineOptions options)
+    : store_(std::move(store)), options_(std::move(options)) {
+  if (!options_.queuing) {
+    options_.queuing = mq::makeMemQueuing(store_);
+  }
+}
+
+bool Engine::wouldRunNoSync(const RawJob& job) const {
+  switch (options_.mode) {
+    case ExecutionMode::kSynchronized:
+      return false;
+    case ExecutionMode::kNoSync:
+      return true;
+    case ExecutionMode::kAuto:
+      return deriveProperties(job).noSync();
+  }
+  return false;
+}
+
+JobResult Engine::run(RawJob& job) {
+  if (wouldRunNoSync(job)) {
+    RIPPLE_DEBUG << "Engine: no-sync execution ("
+                 << deriveProperties(job).describe() << ")";
+    AsyncEngineOptions async;
+    async.costModel = options_.costModel;
+    async.virtualTime = options_.virtualTime;
+    async.pollTimeout = options_.pollTimeout;
+    async.workStealing = options_.workStealing;
+    async.queuing = options_.queuing;
+    AsyncEngine engine(store_, async);
+    return engine.run(job);
+  }
+  RIPPLE_DEBUG << "Engine: synchronized execution ("
+               << deriveProperties(job).describe() << ")";
+  SyncEngineOptions sync;
+  sync.costModel = options_.costModel;
+  sync.virtualTime = options_.virtualTime;
+  sync.maxSteps = options_.maxSteps;
+  sync.spillBatch = options_.spillBatch;
+  sync.checkpoint = options_.checkpoint;
+  sync.onBarrier = options_.onBarrier;
+  sync.onStep = options_.onStep;
+  SyncEngine engine(store_, sync);
+  return engine.run(job);
+}
+
+}  // namespace ripple::ebsp

@@ -1,0 +1,64 @@
+// Engine front-end: selects the execution strategy from the job's
+// properties (paper §II-A/§IV-A) and runs the job.
+
+#pragma once
+
+#include "ebsp/async_engine.h"
+#include "ebsp/raw_job.h"
+#include "ebsp/sync_engine.h"
+#include "kvstore/table.h"
+#include "mq/queue.h"
+
+namespace ripple::ebsp {
+
+enum class ExecutionMode {
+  /// Use no-sync execution when the job's properties permit it,
+  /// synchronized steps otherwise.
+  kAuto,
+  /// Always run with synchronization barriers.
+  kSynchronized,
+  /// Require no-sync execution; throws if the properties forbid it.
+  kNoSync,
+};
+
+struct EngineOptions {
+  ExecutionMode mode = ExecutionMode::kAuto;
+
+  sim::CostModel costModel = sim::CostModel::defaults();
+  bool virtualTime = true;
+
+  // Synchronized strategy knobs.
+  int maxSteps = 1'000'000;
+  std::size_t spillBatch = 4096;
+  CheckpointConfig checkpoint;
+  std::function<void(int step)> onBarrier;
+  std::function<void(int step, std::uint64_t invocations)> onStep;
+
+  // No-sync strategy knobs.
+  std::chrono::milliseconds pollTimeout{2};
+  bool workStealing = true;
+
+  /// Queue-set factory for no-sync execution; defaults to the in-memory
+  /// implementation over the engine's store.
+  mq::QueuingPtr queuing;
+};
+
+class Engine {
+ public:
+  explicit Engine(kv::KVStorePtr store, EngineOptions options = {});
+
+  /// Run a job to completion; strategy chosen per `options.mode`.
+  JobResult run(RawJob& job);
+
+  /// Which strategy `run` would pick for this job.
+  [[nodiscard]] bool wouldRunNoSync(const RawJob& job) const;
+
+  [[nodiscard]] const kv::KVStorePtr& store() const { return store_; }
+  [[nodiscard]] const EngineOptions& options() const { return options_; }
+
+ private:
+  kv::KVStorePtr store_;
+  EngineOptions options_;
+};
+
+}  // namespace ripple::ebsp

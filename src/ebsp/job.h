@@ -1,0 +1,337 @@
+// The typed K/V EBSP programming model — the C++ rendering of the paper's
+// Listings 1 (Job), 2 (Compute), and 3 (ComputeContext).
+//
+// A job is parameterized by its component Key type, State type, Message
+// type, and the direct-job-output key/value types.  All types cross the
+// engine boundary through Codec<T> (common/codec.h).
+//
+//   struct MyCompute : ebsp::Compute<int, double, double> {
+//     bool compute(Context& ctx) override { ... }
+//   };
+//   struct MyJob : ebsp::Job<int, double, double> { ... };
+//   ebsp::Engine engine(store);
+//   ebsp::JobResult r = ebsp::runJob(engine, myJob);
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/codec.h"
+#include "ebsp/engine.h"
+#include "ebsp/library.h"
+#include "ebsp/raw_job.h"
+
+namespace ripple::ebsp {
+
+/// Typed view over RawComputeContext (paper Listing 3).  Constructed per
+/// compute invocation; the input messages are decoded once, eagerly.
+template <typename Key, typename State, typename Message,
+          typename OutKey = Bytes, typename OutValue = Bytes>
+class TypedComputeContext {
+ public:
+  explicit TypedComputeContext(RawComputeContext& raw)
+      : raw_(raw), key_(decodeFromBytes<Key>(raw.key())) {
+    const auto& rawMessages = raw.inputMessages();
+    messages_.reserve(rawMessages.size());
+    for (const Bytes& m : rawMessages) {
+      messages_.push_back(decodeFromBytes<Message>(m));
+    }
+  }
+
+  [[nodiscard]] int stepNum() const { return raw_.stepNum(); }
+  [[nodiscard]] const Key& key() const { return key_; }
+
+  [[nodiscard]] std::optional<State> readState(int tabIdx = 0) {
+    auto raw = raw_.readState(tabIdx);
+    if (!raw) {
+      return std::nullopt;
+    }
+    return decodeFromBytes<State>(*raw);
+  }
+
+  void writeState(const State& state, int tabIdx = 0) {
+    raw_.writeState(tabIdx, encodeToBytes(state));
+  }
+
+  /// Read-modify-write convenience (the paper's readWriteState): reads
+  /// the state, applies fn, writes the result back.  fn receives a
+  /// default-constructed State when no entry exists.
+  template <typename Fn>
+  void readWriteState(Fn&& fn, int tabIdx = 0) {
+    State s = readState(tabIdx).value_or(State{});
+    fn(s);
+    writeState(s, tabIdx);
+  }
+
+  void deleteState(int tabIdx = 0) { raw_.deleteState(tabIdx); }
+
+  /// Request creation of another component's state (merged at the next
+  /// barrier through Compute::combineStates on conflicts).
+  void createState(const Key& key, const State& state, int tabIdx = 0) {
+    raw_.createState(tabIdx, encodeToBytes(key), encodeToBytes(state));
+  }
+
+  [[nodiscard]] const std::vector<Message>& inputMessages() const {
+    return messages_;
+  }
+
+  /// Send a message for delivery in the following step.
+  void sendMessage(const Key& destKey, const Message& message) {
+    raw_.outputMessage(encodeToBytes(destKey), encodeToBytes(message));
+  }
+
+  template <typename V>
+  void aggregate(const std::string& name, const V& value) {
+    raw_.aggregateValue(name, encodeToBytes(value));
+  }
+
+  /// The previous step's final value of a named aggregator.
+  template <typename V>
+  [[nodiscard]] std::optional<V> aggregateResult(
+      const std::string& name) const {
+    auto raw = raw_.aggregateResult(name);
+    if (!raw) {
+      return std::nullopt;
+    }
+    return decodeFromBytes<V>(*raw);
+  }
+
+  /// Read a broadcast datum from the job's ubiquitous table.
+  template <typename BV, typename BK>
+  [[nodiscard]] std::optional<BV> broadcast(const BK& key) {
+    auto raw = raw_.broadcastDatum(encodeToBytes(key));
+    if (!raw) {
+      return std::nullopt;
+    }
+    return decodeFromBytes<BV>(*raw);
+  }
+
+  void directOutput(const OutKey& key, const OutValue& value) {
+    raw_.directOutput(encodeToBytes(key), encodeToBytes(value));
+  }
+
+  /// Escape hatch for advanced uses.
+  [[nodiscard]] RawComputeContext& raw() { return raw_; }
+
+ private:
+  RawComputeContext& raw_;
+  Key key_;
+  std::vector<Message> messages_;
+};
+
+/// Typed Compute (paper Listing 2).
+template <typename Key, typename State, typename Message,
+          typename OutKey = Bytes, typename OutValue = Bytes>
+class Compute {
+ public:
+  using Context = TypedComputeContext<Key, State, Message, OutKey, OutValue>;
+
+  virtual ~Compute() = default;
+
+  /// Component execution; the returned value is the continue signal.
+  virtual bool compute(Context& ctx) = 0;
+
+  /// Pairwise message combiner; only consulted when hasMessageCombiner()
+  /// is true.  Must be commutative and associative.
+  virtual Message combineMessages(const Key& key, const Message& m1,
+                                  const Message& m2) {
+    (void)key;
+    (void)m1;
+    (void)m2;
+    throw std::logic_error("combineMessages not implemented");
+  }
+
+  /// In-place combining: fold `next` into the accumulator.  The default
+  /// delegates to combineMessages; override when the message carries bulk
+  /// data and copying it per fold would be wasteful (e.g. PageRank's
+  /// structure-carrying self message accumulating rank contributions).
+  virtual void combineMessagesInto(const Key& key, Message& acc,
+                                   const Message& next) {
+    acc = combineMessages(key, acc, next);
+  }
+
+  /// Merge of conflicting created states; only consulted when
+  /// hasStateCombiner() is true.
+  virtual State combineStates(const Key& key, const State& s1,
+                              const State& s2) {
+    (void)key;
+    (void)s1;
+    (void)s2;
+    throw std::logic_error("combineStates not implemented");
+  }
+
+  /// Declares whether the job supplies a message combiner.  The engine
+  /// behaves differently with one (eager sender-side combining; single
+  /// combined message per key), so presence is declared, not probed.
+  [[nodiscard]] virtual bool hasMessageCombiner() const { return false; }
+
+  [[nodiscard]] virtual bool hasStateCombiner() const { return false; }
+};
+
+/// Typed Job (paper Listing 1).
+template <typename Key, typename State, typename Message,
+          typename OutKey = Bytes, typename OutValue = Bytes>
+class Job {
+ public:
+  using ComputeType = Compute<Key, State, Message, OutKey, OutValue>;
+
+  virtual ~Job() = default;
+
+  /// Names of the job's state tables; compute addresses them by index
+  /// into this list.
+  [[nodiscard]] virtual std::vector<std::string> stateTableNames() const = 0;
+
+  [[nodiscard]] virtual std::shared_ptr<ComputeType> getCompute() = 0;
+
+  /// Named aggregators ("getAggregators" + "getComputeAggregate").
+  [[nodiscard]] virtual std::vector<AggregatorDecl> aggregators() const {
+    return {};
+  }
+
+  /// Table whose partitioning places the job's components.
+  [[nodiscard]] virtual std::string referenceTable() const = 0;
+
+  /// Ubiquitous table holding broadcast data; empty for none.
+  [[nodiscard]] virtual std::string broadcastTable() const { return {}; }
+
+  [[nodiscard]] virtual JobProperties properties() const { return {}; }
+
+  /// Early-termination callback; null = no aborter (no-client-sync).
+  [[nodiscard]] virtual Aborter aborter() const { return nullptr; }
+
+  [[nodiscard]] virtual std::vector<RawLoaderPtr> loaders() const {
+    return {};
+  }
+
+  /// Exporters keyed by state-table index ("getWriters").
+  [[nodiscard]] virtual std::map<int, RawExporterPtr> writers() const {
+    return {};
+  }
+
+  [[nodiscard]] virtual RawExporterPtr directOutputter() const {
+    return nullptr;
+  }
+};
+
+/// Adapt a typed job to the raw representation the engines execute.  The
+/// compute object is shared; the raw job holds callbacks into it ("mobile
+/// code ... distributed by Ripple and invoked near its data").
+template <typename Key, typename State, typename Message, typename OutKey,
+          typename OutValue>
+RawJob toRawJob(Job<Key, State, Message, OutKey, OutValue>& job) {
+  using C = Compute<Key, State, Message, OutKey, OutValue>;
+  std::shared_ptr<C> compute = job.getCompute();
+  if (!compute) {
+    throw std::invalid_argument("toRawJob: job supplies no Compute");
+  }
+
+  RawJob raw;
+  raw.stateTableNames = job.stateTableNames();
+  raw.referenceTable = job.referenceTable();
+  raw.broadcastTable = job.broadcastTable();
+  raw.properties = job.properties();
+  raw.aborter = job.aborter();
+  raw.loaders = job.loaders();
+  raw.writers = job.writers();
+  raw.directOutputter = job.directOutputter();
+  for (AggregatorDecl& decl : job.aggregators()) {
+    raw.aggregators.emplace(std::move(decl.name), std::move(decl.technique));
+  }
+
+  raw.compute.compute = [compute](RawComputeContext& rctx) {
+    TypedComputeContext<Key, State, Message, OutKey, OutValue> ctx(rctx);
+    return compute->compute(ctx);
+  };
+  if (compute->hasMessageCombiner()) {
+    raw.compute.combineMessages = [compute](BytesView key, BytesView m1,
+                                            BytesView m2) {
+      return encodeToBytes(compute->combineMessages(
+          decodeFromBytes<Key>(key), decodeFromBytes<Message>(m1),
+          decodeFromBytes<Message>(m2)));
+    };
+    // Accumulator form: decode once, fold in place, encode once.
+    raw.compute.combineBegin = [](BytesView, BytesView first)
+        -> RawCompute::CombineAcc {
+      return std::make_shared<Message>(decodeFromBytes<Message>(first));
+    };
+    raw.compute.combineAdd = [compute](const RawCompute::CombineAcc& acc,
+                                       BytesView key, BytesView next) {
+      compute->combineMessagesInto(decodeFromBytes<Key>(key),
+                                   *std::static_pointer_cast<Message>(acc),
+                                   decodeFromBytes<Message>(next));
+    };
+    raw.compute.combineFinish = [](const RawCompute::CombineAcc& acc,
+                                   BytesView) {
+      return encodeToBytes(*std::static_pointer_cast<Message>(acc));
+    };
+  }
+  if (compute->hasStateCombiner()) {
+    raw.compute.combineStates = [compute](BytesView key, BytesView s1,
+                                          BytesView s2) {
+      return encodeToBytes(compute->combineStates(
+          decodeFromBytes<Key>(key), decodeFromBytes<State>(s1),
+          decodeFromBytes<State>(s2)));
+    };
+  }
+  return raw;
+}
+
+/// Run a typed job on an engine.
+template <typename Key, typename State, typename Message, typename OutKey,
+          typename OutValue>
+JobResult runJob(Engine& engine,
+                 Job<Key, State, Message, OutKey, OutValue>& job) {
+  RawJob raw = toRawJob(job);
+  return engine.run(raw);
+}
+
+/// Typed loader context sugar.
+template <typename Key, typename Message>
+class TypedLoader : public RawLoader {
+ public:
+  class Context {
+   public:
+    explicit Context(LoaderContext& raw) : raw_(raw) {}
+
+    void emitMessage(const Key& destKey, const Message& message) {
+      raw_.emitMessage(encodeToBytes(destKey), encodeToBytes(message));
+    }
+
+    void enableComponent(const Key& key) {
+      raw_.enableComponent(encodeToBytes(key));
+    }
+
+    template <typename State>
+    void putState(int tabIdx, const Key& key, const State& state) {
+      raw_.putState(tabIdx, encodeToBytes(key), encodeToBytes(state));
+    }
+
+    template <typename V>
+    void aggregateValue(const std::string& name, const V& value) {
+      raw_.aggregateValue(name, encodeToBytes(value));
+    }
+
+   private:
+    LoaderContext& raw_;
+  };
+
+  explicit TypedLoader(std::function<void(Context&)> fn)
+      : fn_(std::move(fn)) {}
+
+  void load(LoaderContext& raw) override {
+    Context ctx(raw);
+    fn_(ctx);
+  }
+
+ private:
+  std::function<void(Context&)> fn_;
+};
+
+template <typename Key, typename Message>
+RawLoaderPtr makeTypedLoader(
+    std::function<void(typename TypedLoader<Key, Message>::Context&)> fn) {
+  return std::make_shared<TypedLoader<Key, Message>>(std::move(fn));
+}
+
+}  // namespace ripple::ebsp

@@ -1,0 +1,121 @@
+// Library loaders and exporters (paper §II: "A client can implement its
+// own Loader or use one provided in the Ripple library").
+
+#pragma once
+
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "ebsp/raw_job.h"
+
+namespace ripple::ebsp {
+
+/// Loader producing initial messages / enables / state / aggregator input
+/// from in-memory vectors.
+class VectorLoader : public RawLoader {
+ public:
+  VectorLoader& message(Bytes destKey, Bytes payload) {
+    messages_.emplace_back(std::move(destKey), std::move(payload));
+    return *this;
+  }
+
+  VectorLoader& enable(Bytes key) {
+    enables_.push_back(std::move(key));
+    return *this;
+  }
+
+  VectorLoader& state(int tabIdx, Bytes key, Bytes state) {
+    states_.push_back({tabIdx, std::move(key), std::move(state)});
+    return *this;
+  }
+
+  VectorLoader& aggregate(std::string name, Bytes value) {
+    aggregates_.emplace_back(std::move(name), std::move(value));
+    return *this;
+  }
+
+  void load(LoaderContext& ctx) override {
+    for (const auto& [k, p] : messages_) {
+      ctx.emitMessage(k, p);
+    }
+    for (const auto& k : enables_) {
+      ctx.enableComponent(k);
+    }
+    for (const auto& s : states_) {
+      ctx.putState(s.tabIdx, s.key, s.state);
+    }
+    for (const auto& [n, v] : aggregates_) {
+      ctx.aggregateValue(n, v);
+    }
+  }
+
+ private:
+  struct StateEntry {
+    int tabIdx;
+    Bytes key;
+    Bytes state;
+  };
+  std::vector<std::pair<Bytes, Bytes>> messages_;
+  std::vector<Bytes> enables_;
+  std::vector<StateEntry> states_;
+  std::vector<std::pair<std::string, Bytes>> aggregates_;
+};
+
+/// Loader wrapping a callable: fn(LoaderContext&).
+class FunctionLoader : public RawLoader {
+ public:
+  explicit FunctionLoader(std::function<void(LoaderContext&)> fn)
+      : fn_(std::move(fn)) {}
+
+  void load(LoaderContext& ctx) override { fn_(ctx); }
+
+ private:
+  std::function<void(LoaderContext&)> fn_;
+};
+
+/// Exporter collecting pairs into an in-memory vector (thread-safe).
+class CollectingExporter : public RawExporter {
+ public:
+  void consume(BytesView key, BytesView value) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    pairs_.emplace_back(Bytes(key), Bytes(value));
+  }
+
+  [[nodiscard]] bool wantsSerial() const override { return false; }
+
+  [[nodiscard]] std::vector<std::pair<Bytes, Bytes>> take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(pairs_);
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pairs_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<Bytes, Bytes>> pairs_;
+};
+
+/// Exporter wrapping a callable: fn(key, value).
+class FunctionExporter : public RawExporter {
+ public:
+  explicit FunctionExporter(std::function<void(BytesView, BytesView)> fn)
+      : fn_(std::move(fn)) {}
+
+  void consume(BytesView key, BytesView value) override { fn_(key, value); }
+
+ private:
+  std::function<void(BytesView, BytesView)> fn_;
+};
+
+/// Exporter that drops everything (useful in benches).
+class NullExporter : public RawExporter {
+ public:
+  void consume(BytesView, BytesView) override {}
+  [[nodiscard]] bool wantsSerial() const override { return false; }
+};
+
+}  // namespace ripple::ebsp

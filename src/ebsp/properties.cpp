@@ -1,0 +1,32 @@
+#include "ebsp/properties.h"
+
+#include <sstream>
+
+namespace ripple::ebsp {
+
+std::string EffectiveProperties::describe() const {
+  std::ostringstream out;
+  auto flag = [&](const char* name, bool v) {
+    if (v) {
+      out << name << ' ';
+    }
+  };
+  flag("needs-order", declared.needsOrder);
+  flag("no-continue", declared.noContinue);
+  flag("one-msg", declared.oneMsg);
+  flag("rare-state", declared.rareState);
+  flag("no-ss-order", declared.noSsOrder);
+  flag("incremental", declared.incremental);
+  flag("deterministic", declared.deterministic);
+  flag("no-agg", noAgg);
+  flag("no-client-sync", noClientSync);
+  out << "=> ";
+  flag("no-sort", noSort());
+  flag("no-collect", noCollect());
+  flag("run-anywhere", runAnywhere());
+  flag("no-sync", noSync());
+  flag("fast-recovery", fastRecovery());
+  return out.str();
+}
+
+}  // namespace ripple::ebsp

@@ -1,0 +1,87 @@
+// Job properties and the execution optimizations they enable (paper §II-A).
+//
+// Nine properties are defined.  Two (no-agg, no-client-sync) are detected
+// by Ripple from the job itself before execution; the other seven are
+// explicit declarations by the job.  Combinations of properties enable the
+// five optimization areas: no-sort, no-collect, run-anywhere, no-sync, and
+// deterministic (fast) failure recovery.
+
+#pragma once
+
+#include <string>
+
+namespace ripple::ebsp {
+
+/// Explicitly declared job properties.  Defaults are the conservative
+/// choices (every optimization off).
+struct JobProperties {
+  /// needs-order: collocated compute invocations must be ordered by key.
+  bool needsOrder = false;
+
+  /// no-continue: the compute method always returns the negative
+  /// continue signal (components are driven purely by messages).
+  bool noContinue = false;
+
+  /// one-msg: for a given destination key and step, there is at most one
+  /// message.
+  bool oneMsg = false;
+
+  /// rare-state: the bandwidth of state access is much less than the
+  /// bandwidth of messaging.
+  bool rareState = false;
+
+  /// no-ss-order: compute invocations for a given key need not be in
+  /// step order.
+  bool noSsOrder = false;
+
+  /// incremental: messages for a component may be delivered in any order
+  /// and grouping, with no regard for steps, provided per-(sender,
+  /// receiver) order is preserved.
+  bool incremental = false;
+
+  /// deterministic: the compute function is deterministic, enabling
+  /// faster failure recovery.
+  bool deterministic = false;
+};
+
+/// Properties Ripple detects itself plus the declared ones; the engine
+/// front-end fills in the detected pair (paper: "The first two properties
+/// can easily be detected by Ripple before it starts actually running the
+/// job").
+struct EffectiveProperties {
+  JobProperties declared;
+
+  /// no-agg: the job has no individual aggregators (detected).
+  bool noAgg = false;
+
+  /// no-client-sync: the job has no aborter (detected).
+  bool noClientSync = false;
+
+  /// (not needs-order) => the implementation does not need to sort.
+  [[nodiscard]] bool noSort() const { return !declared.needsOrder; }
+
+  /// one-msg and no-continue => no collecting of message lists.
+  [[nodiscard]] bool noCollect() const {
+    return declared.oneMsg && declared.noContinue;
+  }
+
+  /// no-collect and rare-state => work can run anywhere (work stealing).
+  [[nodiscard]] bool runAnywhere() const {
+    return noCollect() && declared.rareState;
+  }
+
+  /// (no-collect and no-ss-order, or incremental) and no-agg and
+  /// no-client-sync => no synchronization barrier needed.
+  [[nodiscard]] bool noSync() const {
+    return ((noCollect() && declared.noSsOrder) || declared.incremental) &&
+           noAgg && noClientSync;
+  }
+
+  /// deterministic => optimized failure recovery.
+  [[nodiscard]] bool fastRecovery() const { return declared.deterministic; }
+
+  /// Human-readable summary for logs and DESIGN/EXPERIMENTS appendices.
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace ripple::ebsp

@@ -1,0 +1,37 @@
+#include "ebsp/raw_job.h"
+
+#include <stdexcept>
+
+namespace ripple::ebsp {
+
+void validateRawJob(const RawJob& job) {
+  if (!job.compute.compute) {
+    throw std::invalid_argument("RawJob: compute function is required");
+  }
+  if (job.referenceTable.empty()) {
+    throw std::invalid_argument("RawJob: referenceTable is required");
+  }
+  for (const auto& [idx, writer] : job.writers) {
+    if (idx < 0 || idx >= static_cast<int>(job.stateTableNames.size())) {
+      throw std::invalid_argument("RawJob: writer index out of range");
+    }
+    if (!writer) {
+      throw std::invalid_argument("RawJob: null writer");
+    }
+  }
+  for (const auto& [name, agg] : job.aggregators) {
+    if (!agg) {
+      throw std::invalid_argument("RawJob: null aggregator '" + name + "'");
+    }
+  }
+}
+
+EffectiveProperties deriveProperties(const RawJob& job) {
+  EffectiveProperties p;
+  p.declared = job.properties;
+  p.noAgg = job.aggregators.empty();
+  p.noClientSync = !static_cast<bool>(job.aborter);
+  return p;
+}
+
+}  // namespace ripple::ebsp

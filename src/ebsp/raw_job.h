@@ -1,0 +1,240 @@
+// The raw (byte-level) job model the engines execute.
+//
+// Application code normally uses the typed layer in ebsp/job.h, which
+// adapts a Job<Key, State, Message, OutK, OutV> down to this
+// representation through Codec<T>.  Keeping the engines non-templated
+// means they compile once, and the byte boundary is exactly the paper's
+// K/V data model.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "ebsp/aggregator.h"
+#include "ebsp/properties.h"
+
+namespace ripple::ebsp {
+
+/// Facilities available to a compute invocation (paper Listing 3).
+class RawComputeContext {
+ public:
+  virtual ~RawComputeContext() = default;
+
+  /// Step number, starting at 1 for the first step.  The no-sync engine
+  /// reports 0 (there are no steps without barriers).
+  [[nodiscard]] virtual int stepNum() const = 0;
+
+  /// The component's key.
+  [[nodiscard]] virtual BytesView key() const = 0;
+
+  /// Read this component's entry in state table `tabIdx` (index into the
+  /// job's state table list).
+  [[nodiscard]] virtual std::optional<Bytes> readState(int tabIdx) = 0;
+
+  /// Write this component's entry in state table `tabIdx`.
+  virtual void writeState(int tabIdx, BytesView state) = 0;
+
+  /// Delete this component's entry in state table `tabIdx`.
+  virtual void deleteState(int tabIdx) = 0;
+
+  /// Request creation of ANOTHER component's state.  Applied at the next
+  /// barrier; conflicting creations are merged by combine2states.
+  virtual void createState(int tabIdx, BytesView key, BytesView state) = 0;
+
+  /// Messages delivered to this component this step.
+  [[nodiscard]] virtual const std::vector<Bytes>& inputMessages() const = 0;
+
+  /// Send a message for delivery in the following step.
+  virtual void outputMessage(BytesView destKey, BytesView payload) = 0;
+
+  /// Contribute a value to a named aggregator.
+  virtual void aggregateValue(const std::string& name, BytesView value) = 0;
+
+  /// Read the previous step's final value of a named aggregator.
+  [[nodiscard]] virtual std::optional<Bytes> aggregateResult(
+      const std::string& name) const = 0;
+
+  /// Read an entry of the job's broadcast (ubiquitous) table.
+  [[nodiscard]] virtual std::optional<Bytes> broadcastDatum(
+      BytesView key) = 0;
+
+  /// Emit a direct-job-output pair (paper §II: "a distinct set of
+  /// key-value pairs output by compute invocations and handled in a
+  /// client-specified way").
+  virtual void directOutput(BytesView key, BytesView value) = 0;
+};
+
+/// The compute triple (paper Listing 2).  combineMessages is optional
+/// (empty std::function = no combiner; the engine then collects message
+/// lists).  combineStates resolves conflicting createState requests.
+///
+/// Combining at the byte boundary re-encodes the full merged message per
+/// pairwise call, which is quadratic for fan-in onto a message carrying
+/// bulk data (e.g. PageRank's structure+rank self message).  The optional
+/// accumulator API (combineBegin/Add/Finish) lets the typed layer keep a
+/// decoded accumulator alive across a combining run and encode once — the
+/// cost profile of an in-memory object store's combiner.  When set, the
+/// engines prefer it; combineMessages remains the semantic definition.
+struct RawCompute {
+  using CombineAcc = std::shared_ptr<void>;
+
+  /// Returns the continue signal: true to be enabled next step.
+  std::function<bool(RawComputeContext&)> compute;
+
+  /// Pairwise message combiner (key, m1, m2) -> combined message.  The
+  /// platform may apply it at arbitrary times and places.
+  std::function<Bytes(BytesView key, BytesView m1, BytesView m2)>
+      combineMessages;
+
+  /// Accumulator combining: begin(key, first) opens an accumulator from
+  /// the first message; add folds further messages in place; finish
+  /// encodes the combined message.
+  std::function<CombineAcc(BytesView key, BytesView first)> combineBegin;
+  std::function<void(const CombineAcc&, BytesView key, BytesView next)>
+      combineAdd;
+  std::function<Bytes(const CombineAcc&, BytesView key)> combineFinish;
+
+  /// Merge of conflicting new component states (key, s1, s2) -> merged.
+  std::function<Bytes(BytesView key, BytesView s1, BytesView s2)>
+      combineStates;
+
+  [[nodiscard]] bool hasCombiner() const {
+    return static_cast<bool>(combineMessages) ||
+           static_cast<bool>(combineBegin);
+  }
+};
+
+/// Aborter: invoked between steps with the step's aggregate results;
+/// returning true stops execution immediately (paper §II).
+using Aborter = std::function<bool(const AggregateReader&, int stepNum)>;
+
+/// What a loader may do while establishing a job's initial condition
+/// (paper §II: initial message set, table population, enabling additional
+/// components, aggregator input).
+class LoaderContext {
+ public:
+  virtual ~LoaderContext() = default;
+
+  virtual void emitMessage(BytesView destKey, BytesView payload) = 0;
+  virtual void enableComponent(BytesView key) = 0;
+  virtual void putState(int tabIdx, BytesView key, BytesView state) = 0;
+  virtual void aggregateValue(const std::string& name, BytesView value) = 0;
+};
+
+/// A source of initial condition data (marker interface Loader in the
+/// paper; this is the method every concrete loader interface shares).
+class RawLoader {
+ public:
+  virtual ~RawLoader() = default;
+  virtual void load(LoaderContext& ctx) = 0;
+};
+
+using RawLoaderPtr = std::shared_ptr<RawLoader>;
+
+/// Consumes final key/value pairs of a state table, or direct job output
+/// (paper §II: Exporter "specifies what to do with each key-value pair").
+/// consume may be called from multiple threads; implementations either
+/// synchronize or request serial delivery via wantsSerial().
+class RawExporter {
+ public:
+  virtual ~RawExporter() = default;
+  virtual void consume(BytesView key, BytesView value) = 0;
+  virtual void finish() {}
+  [[nodiscard]] virtual bool wantsSerial() const { return true; }
+};
+
+using RawExporterPtr = std::shared_ptr<RawExporter>;
+
+/// The raw job description (paper Listing 1).
+struct RawJob {
+  /// State tables, by name; compute addresses them by index into this
+  /// list.  They are created by the engine (consistently partitioned with
+  /// the reference table) if they do not already exist.
+  std::vector<std::string> stateTableNames;
+
+  RawCompute compute;
+
+  /// Named aggregators.
+  std::map<std::string, RawAggregatorPtr> aggregators;
+
+  /// The table whose partitioning places the job's components.  Must
+  /// exist, or be listed in stateTableNames (it is then created).
+  std::string referenceTable;
+
+  /// Ubiquitous table holding the job's immutable broadcast data; empty
+  /// if none.
+  std::string broadcastTable;
+
+  /// Declared properties (the detected pair is derived by the engine).
+  JobProperties properties;
+
+  /// Optional early-termination callback; null = no-client-sync.
+  Aborter aborter;
+
+  /// Initial condition sources.
+  std::vector<RawLoaderPtr> loaders;
+
+  /// Exporters for final state tables: map from state table index to the
+  /// exporter for that table's final contents.
+  std::map<int, RawExporterPtr> writers;
+
+  /// Exporter for direct job output; null if the job emits none.
+  RawExporterPtr directOutputter;
+};
+
+/// Per-run metrics (message/IO accounting referenced by EXPERIMENTS.md).
+struct EngineMetrics {
+  std::uint64_t steps = 0;
+  std::uint64_t computeInvocations = 0;
+  std::uint64_t messagesSent = 0;
+  std::uint64_t messagesDelivered = 0;
+  std::uint64_t combinerCalls = 0;
+  std::uint64_t spillsWritten = 0;
+  std::uint64_t spillBytes = 0;
+  std::uint64_t stateReads = 0;
+  std::uint64_t stateWrites = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t directOutputs = 0;
+  std::uint64_t creations = 0;
+  std::uint64_t stolenMessages = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t recoveries = 0;
+};
+
+/// Execution results (paper §II: final aggregator results and the number
+/// of steps taken are supplied to the client; final states live in the
+/// K/V store and are also pushed through writers).
+struct JobResult {
+  int steps = 0;
+  std::map<std::string, Bytes> aggregatorFinals;
+  bool aborted = false;
+
+  /// Virtual-cluster makespan in seconds (see src/sim/), 0 when disabled.
+  double virtualMakespan = 0;
+
+  /// Wall-clock seconds of the run.
+  double elapsedSeconds = 0;
+
+  EngineMetrics metrics;
+
+  template <typename T>
+  [[nodiscard]] std::optional<T> aggregate(const std::string& name) const {
+    AggregateReader reader(&aggregatorFinals);
+    return reader.get<T>(name);
+  }
+};
+
+/// Throws std::invalid_argument on malformed jobs.
+void validateRawJob(const RawJob& job);
+
+/// Combine the declared properties with the detected pair (no-agg,
+/// no-client-sync).
+[[nodiscard]] EffectiveProperties deriveProperties(const RawJob& job);
+
+}  // namespace ripple::ebsp

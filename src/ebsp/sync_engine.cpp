@@ -1,0 +1,696 @@
+#include "ebsp/sync_engine.h"
+
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "ebsp/transport.h"
+#include "sim/cost_model.h"
+
+namespace ripple::ebsp {
+
+namespace {
+
+std::string uniqueRunId() {
+  static std::atomic<std::uint64_t> counter{0};
+  return std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+void addAtomic(std::atomic<double>& acc, double delta) {
+  double cur = acc.load();
+  while (!acc.compare_exchange_weak(cur, cur + delta)) {
+  }
+}
+
+/// Serializes exporter access when the exporter asks for it.
+class ExporterSink {
+ public:
+  explicit ExporterSink(RawExporter* exporter) : exporter_(exporter) {}
+
+  void consume(BytesView key, BytesView value) {
+    if (exporter_ == nullptr) {
+      return;
+    }
+    if (exporter_->wantsSerial()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      exporter_->consume(key, value);
+    } else {
+      exporter_->consume(key, value);
+    }
+  }
+
+  void finish() {
+    if (exporter_ != nullptr) {
+      exporter_->finish();
+    }
+  }
+
+  [[nodiscard]] bool present() const { return exporter_ != nullptr; }
+
+ private:
+  RawExporter* exporter_;
+  std::mutex mu_;
+};
+
+}  // namespace
+
+class SyncEngine::Run {
+ public:
+  Run(kv::KVStorePtr store, const SyncEngineOptions& options, RawJob& job)
+      : store_(std::move(store)), options_(options), job_(job),
+        props_(deriveProperties(job)), runId_(uniqueRunId()),
+        directSink_(job.directOutputter.get()) {
+    validateRawJob(job_);
+    resolveTables();
+    if (options_.virtualTime) {
+      vt_ = std::make_unique<sim::VirtualCluster>(parts_, options_.costModel);
+    }
+    if (options_.checkpoint.enabled) {
+      if (directSink_.present() && !props_.declared.deterministic) {
+        throw std::invalid_argument(
+            "SyncEngine: checkpointing a job with direct output requires the "
+            "deterministic property (replay would duplicate output)");
+      }
+      std::vector<kv::TablePtr> restartable = stateTables_;
+      restartable.push_back(collection_);
+      checkpointer_ = std::make_unique<Checkpointer>(
+          store_, "job" + runId_, std::move(restartable), ref_);
+      // Non-deterministic steps must never re-execute: checkpoint every
+      // barrier (the fast-recovery optimization of the deterministic
+      // property is a wider interval).
+      checkpointInterval_ =
+          props_.fastRecovery() ? std::max(1, options_.checkpoint.interval)
+                                : 1;
+    }
+  }
+
+  ~Run() {
+    // Private engine tables are dropped even on exceptions.
+    store_->dropTable(transport_->name());
+    store_->dropTable(collection_->name());
+  }
+
+  JobResult execute() {
+    Stopwatch wall;
+    loadInitial();
+
+    std::uint64_t pending = collection_->size();
+    int step = 0;
+    bool aborted = false;
+
+    while (pending > 0 && step < options_.maxSteps) {
+      ++step;
+      // Deterministic replay after recovery: steps up to the failed step
+      // re-emit direct output already delivered; suppression lifts when
+      // execution passes the failure point.
+      if (replayBoundary_ > 0 && step > replayBoundary_) {
+        suppressDirectOutput_.store(false, std::memory_order_relaxed);
+        replayBoundary_ = 0;
+      }
+      const int runStep = step;
+
+      // --- Superstep: every part runs its enabled components. ---
+      partOutcomes_.assign(parts_, PartOutcome{});
+      for (auto& o : partOutcomes_) {
+        o.aggs = AggregatorSet(&job_.aggregators);
+      }
+      std::uint64_t invocationsThisStep = 0;
+      store_->runInParts(*ref_, [&](std::uint32_t part) {
+        processPart(part, runStep);
+      });
+      for (const auto& o : partOutcomes_) {
+        invocationsThisStep += o.invocations;
+      }
+      if (options_.onStep) {
+        options_.onStep(runStep, invocationsThisStep);
+      }
+      accumulateMetrics();
+
+      // --- Barrier. ---
+      if (vt_) {
+        if (log::enabled(log::Level::kDebug)) {
+          std::ostringstream clocks;
+          for (std::uint32_t p = 0; p < parts_; ++p) {
+            clocks << ' ' << vt_->now(p);
+          }
+          RIPPLE_DEBUG << "step " << step << " vt clocks:" << clocks.str()
+                       << " inv=" << invocationsThisStep;
+        }
+        vt_->barrier();
+      }
+      ++metrics_.barriers;
+
+      // --- Collect: move spills into the next step's collection. ---
+      std::vector<std::uint64_t> collected(parts_, 0);
+      store_->runInParts(*ref_, [&](std::uint32_t part) {
+        collected[part] = collectPart(part);
+      });
+      pending = 0;
+      for (const std::uint64_t c : collected) {
+        pending += c;
+      }
+
+      // --- Aggregation finals for the next step. ---
+      AggregatorSet total(&job_.aggregators);
+      for (const auto& o : partOutcomes_) {
+        total.merge(o.aggs);
+      }
+      aggFinals_ = total.finalize();
+
+      // --- Client sync (aborter). ---
+      if (job_.aborter &&
+          job_.aborter(AggregateReader(&aggFinals_), step)) {
+        aborted = true;
+        break;
+      }
+
+      // --- Checkpoint / failure hooks. ---
+      if (checkpointer_ && step % checkpointInterval_ == 0) {
+        checkpointer_->checkpoint(step, aggFinals_);
+        ++metrics_.checkpoints;
+      }
+      if (options_.onBarrier) {
+        try {
+          options_.onBarrier(step);
+        } catch (const SimulatedFailure&) {
+          const int failStep = step;
+          step = recover();
+          replayBoundary_ = failStep;
+          pending = collection_->size();
+        }
+      }
+    }
+    if (pending > 0 && !aborted) {
+      throw std::runtime_error("SyncEngine: maxSteps exceeded");
+    }
+
+    exportResults();
+    directSink_.finish();
+    RIPPLE_DEBUG << "phase cpu: drain=" << phaseDrain_.load()
+                 << " flush=" << phaseFlush_.load()
+                 << " collect=" << phaseCollect_.load();
+
+    JobResult result;
+    result.steps = step;
+    result.aggregatorFinals = aggFinals_;
+    result.aborted = aborted;
+    result.virtualMakespan = vt_ ? vt_->makespan() : 0.0;
+    result.elapsedSeconds = wall.elapsedSeconds();
+    result.metrics = metrics_;
+    result.metrics.steps = static_cast<std::uint64_t>(step);
+    return result;
+  }
+
+ private:
+  struct PartOutcome {
+    AggregatorSet aggs{nullptr};
+    std::uint64_t invocations = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t combinerCalls = 0;
+    std::uint64_t spills = 0;
+    std::uint64_t spillBytes = 0;
+    std::uint64_t stateReads = 0;
+    std::uint64_t stateWrites = 0;
+    std::uint64_t creations = 0;
+    std::uint64_t directs = 0;
+  };
+
+  /// RawComputeContext implementation for the synchronized engine.  One
+  /// instance per part per step, reset per component invocation.
+  class Context : public RawComputeContext {
+   public:
+    Context(Run& run, std::uint32_t part, int step, SpillWriter& writer,
+            PartOutcome& outcome)
+        : run_(run), part_(part), step_(step), writer_(writer),
+          outcome_(outcome) {}
+
+    void reset(BytesView key, const std::vector<Bytes>* messages) {
+      key_ = key;
+      messages_ = messages;
+    }
+
+    [[nodiscard]] int stepNum() const override { return step_; }
+    [[nodiscard]] BytesView key() const override { return key_; }
+
+    std::optional<Bytes> readState(int tabIdx) override {
+      ++outcome_.stateReads;
+      return run_.stateTable(tabIdx).get(key_);
+    }
+
+    void writeState(int tabIdx, BytesView state) override {
+      ++outcome_.stateWrites;
+      run_.stateTable(tabIdx).put(key_, state);
+    }
+
+    void deleteState(int tabIdx) override {
+      ++outcome_.stateWrites;
+      run_.stateTable(tabIdx).erase(key_);
+    }
+
+    void createState(int tabIdx, BytesView key, BytesView state) override {
+      run_.stateTable(tabIdx);  // Range check.
+      ++outcome_.creations;
+      writer_.addCreate(tabIdx, key, state);
+    }
+
+    [[nodiscard]] const std::vector<Bytes>& inputMessages() const override {
+      return *messages_;
+    }
+
+    void outputMessage(BytesView destKey, BytesView payload) override {
+      writer_.addMessage(destKey, payload);
+    }
+
+    void aggregateValue(const std::string& name, BytesView value) override {
+      outcome_.aggs.add(name, value);
+    }
+
+    [[nodiscard]] std::optional<Bytes> aggregateResult(
+        const std::string& name) const override {
+      return AggregateReader(&run_.aggFinals_).raw(name);
+    }
+
+    std::optional<Bytes> broadcastDatum(BytesView key) override {
+      if (!run_.broadcast_) {
+        return std::nullopt;
+      }
+      return run_.broadcast_->get(key);
+    }
+
+    void directOutput(BytesView key, BytesView value) override {
+      ++outcome_.directs;
+      if (run_.suppressDirectOutput_.load(std::memory_order_relaxed)) {
+        return;  // Deterministic replay after recovery: already emitted.
+      }
+      run_.directSink_.consume(key, value);
+    }
+
+   private:
+    Run& run_;
+    std::uint32_t part_;
+    int step_;
+    SpillWriter& writer_;
+    PartOutcome& outcome_;
+    BytesView key_;
+    const std::vector<Bytes>* messages_ = nullptr;
+  };
+
+  void resolveTables() {
+    ref_ = store_->lookupTable(job_.referenceTable);
+    if (!ref_) {
+      throw std::invalid_argument("SyncEngine: reference table '" +
+                                  job_.referenceTable + "' does not exist");
+    }
+    parts_ = ref_->numParts();
+
+    for (const std::string& name : job_.stateTableNames) {
+      kv::TablePtr t = store_->lookupTable(name);
+      if (!t) {
+        t = store_->createConsistentTable(name, *ref_);
+      } else if (t->numParts() != parts_) {
+        throw std::invalid_argument(
+            "SyncEngine: state table '" + name +
+            "' is not consistently partitioned with the reference table");
+      }
+      stateTables_.push_back(std::move(t));
+    }
+
+    if (!job_.broadcastTable.empty()) {
+      broadcast_ = store_->lookupTable(job_.broadcastTable);
+      if (!broadcast_) {
+        throw std::invalid_argument("SyncEngine: broadcast table '" +
+                                    job_.broadcastTable + "' does not exist");
+      }
+    }
+
+    kv::TableOptions transportOptions;
+    transportOptions.parts = parts_;
+    transportOptions.partitioner = makeTransportPartitioner(parts_);
+    transport_ = store_->createTable("__ebsp_tr_" + runId_,
+                                     std::move(transportOptions));
+    collection_ = store_->createConsistentTable(
+        "__ebsp_col_" + runId_, *ref_,
+        /*ordered=*/props_.declared.needsOrder);
+  }
+
+  kv::Table& stateTable(int tabIdx) {
+    if (tabIdx < 0 || tabIdx >= static_cast<int>(stateTables_.size())) {
+      throw std::out_of_range("SyncEngine: state table index " +
+                              std::to_string(tabIdx) + " out of range");
+    }
+    return *stateTables_[static_cast<std::size_t>(tabIdx)];
+  }
+
+  /// Run loaders on the client thread; build the step-1 collection and
+  /// the initial aggregator finals.
+  void loadInitial() {
+    struct InitialContext : LoaderContext {
+      explicit InitialContext(Run& run)
+          : run(run), aggs(&run.job_.aggregators) {}
+
+      void emitMessage(BytesView destKey, BytesView payload) override {
+        auto& cv = pending[Bytes(destKey)];
+        if (combiner && !cv.messages.empty()) {
+          // Initial volumes are modest; pairwise-style fold through a
+          // slot keeps the semantics identical to the engine's combining.
+          CombineSlot slot;
+          slot.addMessage(combiner, destKey, cv.messages[0]);
+          slot.addMessage(combiner, destKey, payload);
+          cv.messages[0] = slot.take(combiner, destKey);
+        } else {
+          cv.messages.emplace_back(payload);
+        }
+      }
+
+      void enableComponent(BytesView key) override {
+        pending[Bytes(key)].enabled = true;
+      }
+
+      void putState(int tabIdx, BytesView key, BytesView state) override {
+        states.emplace_back(tabIdx, std::make_pair(Bytes(key), Bytes(state)));
+      }
+
+      void aggregateValue(const std::string& name, BytesView value) override {
+        aggs.add(name, value);
+      }
+
+      Run& run;
+      CombinerOps combiner = CombinerOps::fromCompute(run.job_.compute);
+      std::unordered_map<Bytes, CollectedValue> pending;
+      std::vector<std::pair<int, std::pair<Bytes, Bytes>>> states;
+      AggregatorSet aggs;
+    };
+
+    InitialContext ctx(*this);
+    for (const RawLoaderPtr& loader : job_.loaders) {
+      loader->load(ctx);
+    }
+
+    // State population, grouped per table.
+    std::vector<std::vector<std::pair<kv::Key, kv::Value>>> byTable(
+        stateTables_.size());
+    for (auto& [tabIdx, kv] : ctx.states) {
+      stateTable(tabIdx);  // Range check.
+      byTable[static_cast<std::size_t>(tabIdx)].push_back(std::move(kv));
+    }
+    for (std::size_t i = 0; i < byTable.size(); ++i) {
+      if (!byTable[i].empty()) {
+        stateTables_[i]->putBatch(byTable[i]);
+      }
+    }
+
+    // Step-1 collection entries.
+    std::vector<std::pair<kv::Key, kv::Value>> entries;
+    entries.reserve(ctx.pending.size());
+    for (auto& [key, cv] : ctx.pending) {
+      entries.emplace_back(key, encodeCollected(cv));
+    }
+    collection_->putBatch(entries);
+
+    // Initial aggregator values are readable during step 1.
+    aggFinals_ = ctx.aggs.finalize();
+  }
+
+  void processPart(std::uint32_t part, int step) {
+    PartOutcome& outcome = partOutcomes_[part];
+    SpillWriter writer(*transport_, part, ref_->options().partitioner,
+                       CombinerOps::fromCompute(job_.compute),
+                       options_.spillBatch);
+    Context ctx(*this, part, step, writer, outcome);
+
+    // The drain preserves key order for ordered collection tables, which
+    // is how needs-order jobs get their sorted invocation sequence.
+    const double drainStart = sim::threadCpuSeconds();
+    auto entries = collection_->drainPart(part);
+    addAtomic(phaseDrain_, sim::threadCpuSeconds() - drainStart);
+    for (auto& [key, encoded] : entries) {
+      const CollectedValue cv = decodeCollected(encoded);
+      ctx.reset(key, &cv.messages);
+      bool cont = false;
+      {
+        sim::ChargeScope charge(vt_.get(), part);
+        cont = job_.compute.compute(ctx);
+      }
+      if (vt_ && options_.costModel.perMessageCost > 0) {
+        vt_->charge(part, options_.costModel.perMessageCost *
+                              static_cast<double>(cv.messages.size()));
+      }
+      ++outcome.invocations;
+      outcome.delivered += cv.messages.size();
+      if (cont) {
+        if (props_.declared.noContinue) {
+          throw std::logic_error(
+              "SyncEngine: job declared no-continue but compute returned "
+              "the positive continue signal");
+        }
+        // The continue signal is a special kind of BSP message to self.
+        writer.addEnable(key);
+      }
+    }
+    const double flushStart = sim::threadCpuSeconds();
+    writer.flushAll();
+    addAtomic(phaseFlush_, sim::threadCpuSeconds() - flushStart);
+    outcome.messages = writer.messagesAdded();
+    outcome.combinerCalls = writer.combinerCalls();
+    outcome.spills = writer.spillsWritten();
+    outcome.spillBytes = writer.bytesWritten();
+  }
+
+  /// Drain this part's spills and build its slice of the next collection.
+  /// Returns the number of components with pending work.
+  std::uint64_t collectPart(std::uint32_t part) {
+    const double collectStart = sim::threadCpuSeconds();
+    struct PhaseGuard {
+      std::atomic<double>* acc;
+      double start;
+      ~PhaseGuard() { addAtomic(*acc, sim::threadCpuSeconds() - start); }
+    } guard{&phaseCollect_, collectStart};
+    sim::ChargeScope charge(vt_.get(), part);
+    auto spills = transport_->drainPart(part);
+    if (spills.empty()) {
+      return 0;
+    }
+
+    if (props_.noCollect() && !props_.declared.needsOrder) {
+      // one-msg + no-continue: no value lists, no grouping map; each
+      // record becomes its own collection entry directly.
+      std::uint64_t count = 0;
+      for (const auto& [spillKey, spillValue] : spills) {
+        decodeSpill(spillValue, [&](TransportRecord&& rec) {
+          applyNoCollectRecord(std::move(rec), count);
+        });
+      }
+      return count;
+    }
+
+    const CombinerOps combiner = CombinerOps::fromCompute(job_.compute);
+    struct GroupEntry {
+      bool enabled = false;
+      std::vector<Bytes> messages;  // Without a combiner.
+      CombineSlot slot;             // With a combiner.
+    };
+    std::unordered_map<Bytes, GroupEntry> group;
+    std::vector<std::pair<Bytes, std::pair<int, Bytes>>> creations;
+    for (const auto& [spillKey, spillValue] : spills) {
+      decodeSpill(spillValue, [&](TransportRecord&& rec) {
+        switch (rec.kind) {
+          case RecordKind::kMessage: {
+            GroupEntry& entry = group[rec.key];
+            if (combiner) {
+              entry.slot.addMessage(combiner, rec.key, rec.payload);
+            } else {
+              entry.messages.push_back(std::move(rec.payload));
+            }
+            break;
+          }
+          case RecordKind::kEnable:
+            group[rec.key].enabled = true;
+            break;
+          case RecordKind::kCreate:
+            creations.emplace_back(std::move(rec.key),
+                                   std::make_pair(rec.tabIdx,
+                                                  std::move(rec.payload)));
+            break;
+        }
+      });
+    }
+
+    applyCreations(creations);
+
+    for (auto& [key, entry] : group) {
+      CollectedValue cv;
+      cv.enabled = entry.enabled;
+      if (!entry.slot.empty()) {
+        cv.messages.push_back(entry.slot.take(combiner, key));
+      } else {
+        cv.messages = std::move(entry.messages);
+      }
+      collection_->put(key, encodeCollected(cv));
+    }
+    return group.size();
+  }
+
+  void applyNoCollectRecord(TransportRecord&& rec, std::uint64_t& count) {
+    switch (rec.kind) {
+      case RecordKind::kMessage: {
+        CollectedValue cv;
+        cv.messages.push_back(std::move(rec.payload));
+        collection_->put(rec.key, encodeCollected(cv));
+        ++count;
+        break;
+      }
+      case RecordKind::kEnable: {
+        // Only loaders produce enables under no-continue; handled in
+        // loadInitial.  Seeing one here is a property violation.
+        throw std::logic_error(
+            "SyncEngine: enable record under no-collect execution");
+      }
+      case RecordKind::kCreate: {
+        std::vector<std::pair<Bytes, std::pair<int, Bytes>>> one;
+        one.emplace_back(std::move(rec.key),
+                         std::make_pair(rec.tabIdx, std::move(rec.payload)));
+        applyCreations(one);
+        break;
+      }
+    }
+  }
+
+  /// Apply deferred component creations, merging conflicts through
+  /// combine2states.  A pre-existing state entry participates in the
+  /// merge as the first operand.
+  void applyCreations(
+      std::vector<std::pair<Bytes, std::pair<int, Bytes>>>& creations) {
+    if (creations.empty()) {
+      return;
+    }
+    std::unordered_map<Bytes, std::unordered_map<int, Bytes>> merged;
+    for (auto& [key, entry] : creations) {
+      auto& [tabIdx, state] = entry;
+      auto& perTable = merged[key];
+      auto it = perTable.find(tabIdx);
+      if (it == perTable.end()) {
+        perTable.emplace(tabIdx, std::move(state));
+      } else {
+        if (!job_.compute.combineStates) {
+          throw std::logic_error(
+              "SyncEngine: conflicting createState calls but the job "
+              "supplies no combine2states");
+        }
+        it->second = job_.compute.combineStates(key, it->second, state);
+      }
+    }
+    for (auto& [key, perTable] : merged) {
+      for (auto& [tabIdx, state] : perTable) {
+        kv::Table& table = stateTable(tabIdx);
+        const auto existing = table.get(key);
+        if (existing) {
+          if (!job_.compute.combineStates) {
+            throw std::logic_error(
+                "SyncEngine: createState for an existing component but the "
+                "job supplies no combine2states");
+          }
+          table.put(key, job_.compute.combineStates(key, *existing, state));
+        } else {
+          table.put(key, state);
+        }
+      }
+    }
+  }
+
+  int recover() {
+    if (!checkpointer_ || !checkpointer_->hasCheckpoint()) {
+      throw std::runtime_error(
+          "SyncEngine: failure without a usable checkpoint");
+    }
+    ++metrics_.recoveries;
+    const int resumeStep = checkpointer_->restore(aggFinals_);
+    RIPPLE_INFO << "SyncEngine: recovered to completed step " << resumeStep;
+    // Deterministic jobs replay steps; suppress re-emission of direct
+    // output until we pass the previously completed work.  (Engine-level
+    // suppression is coarse: it clears at the end of the replayed
+    // barrier.)
+    if (directSink_.present()) {
+      suppressDirectOutput_.store(true, std::memory_order_relaxed);
+    }
+    return resumeStep;
+  }
+
+  void exportResults() {
+    for (const auto& [tabIdx, writer] : job_.writers) {
+      class Export : public kv::PairConsumer {
+       public:
+        explicit Export(ExporterSink& sink) : sink_(sink) {}
+        bool consume(std::uint32_t, kv::KeyView k, kv::ValueView v) override {
+          sink_.consume(k, v);
+          return true;
+        }
+
+       private:
+        ExporterSink& sink_;
+      };
+      ExporterSink sink(writer.get());
+      Export consumer(sink);
+      stateTables_[static_cast<std::size_t>(tabIdx)]->enumerate(consumer);
+      sink.finish();
+    }
+  }
+
+  void accumulateMetrics() {
+    for (const auto& o : partOutcomes_) {
+      metrics_.computeInvocations += o.invocations;
+      metrics_.messagesSent += o.messages;
+      metrics_.messagesDelivered += o.delivered;
+      metrics_.combinerCalls += o.combinerCalls;
+      metrics_.spillsWritten += o.spills;
+      metrics_.spillBytes += o.spillBytes;
+      metrics_.stateReads += o.stateReads;
+      metrics_.stateWrites += o.stateWrites;
+      metrics_.creations += o.creations;
+      metrics_.directOutputs += o.directs;
+    }
+  }
+
+  kv::KVStorePtr store_;
+  const SyncEngineOptions& options_;
+  RawJob& job_;
+  EffectiveProperties props_;
+  std::string runId_;
+
+  kv::TablePtr ref_;
+  std::vector<kv::TablePtr> stateTables_;
+  kv::TablePtr broadcast_;
+  kv::TablePtr transport_;
+  kv::TablePtr collection_;
+  std::uint32_t parts_ = 0;
+
+  std::unique_ptr<sim::VirtualCluster> vt_;
+  std::unique_ptr<Checkpointer> checkpointer_;
+  int checkpointInterval_ = 1;
+  int replayBoundary_ = 0;
+
+  std::vector<PartOutcome> partOutcomes_;
+  std::map<std::string, Bytes> aggFinals_;
+  EngineMetrics metrics_;
+  ExporterSink directSink_;
+  std::atomic<bool> suppressDirectOutput_{false};
+
+  // Phase CPU accounting, reported at debug log level.
+  std::atomic<double> phaseDrain_{0};
+  std::atomic<double> phaseFlush_{0};
+  std::atomic<double> phaseCollect_{0};
+};
+
+SyncEngine::SyncEngine(kv::KVStorePtr store, SyncEngineOptions options)
+    : store_(std::move(store)), options_(std::move(options)) {}
+
+JobResult SyncEngine::run(RawJob& job) {
+  Run run(store_, options_, job);
+  return run.execute();
+}
+
+}  // namespace ripple::ebsp

@@ -1,0 +1,57 @@
+// The synchronized execution strategy (paper §IV-A): a series of steps
+// separated by global barriers, messages moved between parts as spills
+// through the transport table, and (key -> value list) collection tables
+// driving the following step's compute invocations.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "ebsp/checkpoint.h"
+#include "ebsp/raw_job.h"
+#include "kvstore/table.h"
+#include "sim/virtual_time.h"
+
+namespace ripple::ebsp {
+
+struct SyncEngineOptions {
+  /// Virtual-cluster cost model (see src/sim/virtual_time.h).
+  sim::CostModel costModel = sim::CostModel::defaults();
+
+  /// Track virtual time (small per-invocation clock_gettime cost).
+  bool virtualTime = true;
+
+  /// Safety valve against non-terminating jobs.
+  int maxSteps = 1'000'000;
+
+  /// Records per spill before the sender flushes to the transport table.
+  std::size_t spillBatch = 4096;
+
+  CheckpointConfig checkpoint;
+
+  /// Test/diagnostics hook invoked after each barrier with the completed
+  /// step number.  May throw SimulatedFailure to exercise recovery.
+  std::function<void(int step)> onBarrier;
+
+  /// Hook invoked as each step starts: (stepNum, enabledComponentCount).
+  /// Used by the Table II instrumentation.
+  std::function<void(int step, std::uint64_t invocations)> onStep;
+};
+
+/// Runs a RawJob to completion with barriers.  One engine instance runs
+/// one job at a time; the private transport/collection tables carry a
+/// unique run id so concurrent engines on one store do not collide.
+class SyncEngine {
+ public:
+  SyncEngine(kv::KVStorePtr store, SyncEngineOptions options);
+
+  JobResult run(RawJob& job);
+
+ private:
+  class Run;
+  kv::KVStorePtr store_;
+  SyncEngineOptions options_;
+};
+
+}  // namespace ripple::ebsp

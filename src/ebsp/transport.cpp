@@ -1,0 +1,210 @@
+#include "ebsp/transport.h"
+
+#include <utility>
+
+namespace ripple::ebsp {
+
+PartitionerPtr makeTransportPartitioner(std::uint32_t parts) {
+  return std::make_shared<const Partitioner>(
+      parts, [](BytesView key) -> std::uint64_t {
+        ByteReader r(key);
+        return r.getFixed32();
+      });
+}
+
+kv::Key makeSpillKey(std::uint32_t destPart, std::uint32_t senderPart,
+                     std::uint64_t seq) {
+  ByteWriter w(16);
+  w.putFixed32(destPart);
+  w.putFixed32(senderPart);
+  w.putFixed64(seq);
+  return w.take();
+}
+
+Bytes encodeSpill(const std::vector<TransportRecord>& records) {
+  ByteWriter w;
+  w.putVarint(records.size());
+  for (const TransportRecord& rec : records) {
+    w.putU8(static_cast<std::uint8_t>(rec.kind));
+    w.putBytes(rec.key);
+    switch (rec.kind) {
+      case RecordKind::kMessage:
+        w.putBytes(rec.payload);
+        break;
+      case RecordKind::kEnable:
+        break;
+      case RecordKind::kCreate:
+        w.putVarintSigned(rec.tabIdx);
+        w.putBytes(rec.payload);
+        break;
+    }
+  }
+  return w.take();
+}
+
+void decodeSpill(BytesView spill,
+                 const std::function<void(TransportRecord&&)>& sink) {
+  ByteReader r(spill);
+  const auto n = static_cast<std::size_t>(r.getVarint());
+  for (std::size_t i = 0; i < n; ++i) {
+    TransportRecord rec;
+    rec.kind = static_cast<RecordKind>(r.getU8());
+    rec.key = Bytes(r.getBytes());
+    switch (rec.kind) {
+      case RecordKind::kMessage:
+        rec.payload = Bytes(r.getBytes());
+        break;
+      case RecordKind::kEnable:
+        break;
+      case RecordKind::kCreate:
+        rec.tabIdx = static_cast<int>(r.getVarintSigned());
+        rec.payload = Bytes(r.getBytes());
+        break;
+      default:
+        throw CodecError("decodeSpill: unknown record kind");
+    }
+    sink(std::move(rec));
+  }
+  if (!r.atEnd()) {
+    throw CodecError("decodeSpill: trailing bytes");
+  }
+}
+
+void CombineSlot::addMessage(const CombinerOps& ops, BytesView key,
+                             BytesView payload) {
+  if (empty()) {
+    hasFirst_ = true;
+    first_ = Bytes(payload);
+    return;
+  }
+  if (ops.accumulating()) {
+    if (!acc_) {
+      acc_ = ops.begin(key, first_);
+      hasFirst_ = false;
+      first_.clear();
+    }
+    ops.add(acc_, key, payload);
+    return;
+  }
+  first_ = ops.pairwise(key, first_, payload);
+}
+
+Bytes CombineSlot::take(const CombinerOps& ops, BytesView key) {
+  if (acc_) {
+    Bytes out = ops.finish(acc_, key);
+    acc_.reset();
+    return out;
+  }
+  hasFirst_ = false;
+  return std::move(first_);
+}
+
+SpillWriter::SpillWriter(kv::Table& transport, std::uint32_t senderPart,
+                         PartitionerPtr refPartitioner, CombinerOps combiner,
+                         std::size_t maxBatch)
+    : transport_(transport), senderPart_(senderPart),
+      refPartitioner_(std::move(refPartitioner)),
+      combiner_(std::move(combiner)), maxBatch_(maxBatch),
+      buffers_(transport.numParts()), combined_(transport.numParts()) {}
+
+void SpillWriter::addMessage(BytesView destKey, BytesView payload) {
+  ++messages_;
+  const std::uint32_t destPart = destPartOf_(destKey);
+  if (combiner_) {
+    auto& m = combined_[destPart];
+    auto it = m.find(Bytes(destKey));
+    if (it == m.end()) {
+      it = m.emplace(Bytes(destKey), CombineSlot{}).first;
+    } else {
+      ++combinerCalls_;
+    }
+    it->second.addMessage(combiner_, destKey, payload);
+    return;
+  }
+  TransportRecord rec;
+  rec.kind = RecordKind::kMessage;
+  rec.key = Bytes(destKey);
+  rec.payload = Bytes(payload);
+  add(destPart, std::move(rec));
+}
+
+void SpillWriter::addEnable(BytesView destKey) {
+  TransportRecord rec;
+  rec.kind = RecordKind::kEnable;
+  rec.key = Bytes(destKey);
+  add(destPartOf_(destKey), std::move(rec));
+}
+
+void SpillWriter::addCreate(int tabIdx, BytesView destKey, BytesView state) {
+  TransportRecord rec;
+  rec.kind = RecordKind::kCreate;
+  rec.key = Bytes(destKey);
+  rec.payload = Bytes(state);
+  rec.tabIdx = tabIdx;
+  add(destPartOf_(destKey), std::move(rec));
+}
+
+void SpillWriter::add(std::uint32_t destPart, TransportRecord record) {
+  auto& buf = buffers_[destPart];
+  buf.push_back(std::move(record));
+  if (buf.size() >= maxBatch_) {
+    flushPart(destPart);
+  }
+}
+
+void SpillWriter::flushPart(std::uint32_t destPart) {
+  auto& buf = buffers_[destPart];
+  if (buf.empty()) {
+    return;
+  }
+  const Bytes spill = encodeSpill(buf);
+  transport_.put(makeSpillKey(destPart, senderPart_, seq_++), spill);
+  bytes_ += spill.size();
+  ++spills_;
+  buf.clear();
+}
+
+void SpillWriter::flushAll() {
+  // Move combined messages into the record buffers first.
+  for (std::uint32_t part = 0; part < combined_.size(); ++part) {
+    for (auto& [key, slot] : combined_[part]) {
+      TransportRecord rec;
+      rec.kind = RecordKind::kMessage;
+      rec.key = key;
+      rec.payload = slot.take(combiner_, key);
+      buffers_[part].push_back(std::move(rec));
+      if (buffers_[part].size() >= maxBatch_) {
+        flushPart(part);
+      }
+    }
+    combined_[part].clear();
+  }
+  for (std::uint32_t part = 0;
+       part < static_cast<std::uint32_t>(buffers_.size()); ++part) {
+    flushPart(part);
+  }
+}
+
+Bytes encodeCollected(const CollectedValue& v) {
+  ByteWriter w;
+  w.putBool(v.enabled);
+  w.putVarint(v.messages.size());
+  for (const Bytes& m : v.messages) {
+    w.putBytes(m);
+  }
+  return w.take();
+}
+
+CollectedValue decodeCollected(BytesView data) {
+  ByteReader r(data);
+  CollectedValue v;
+  v.enabled = r.getBool();
+  const auto n = static_cast<std::size_t>(r.getVarint());
+  v.messages.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v.messages.emplace_back(r.getBytes());
+  }
+  return v;
+}
+
+}  // namespace ripple::ebsp

@@ -1,0 +1,167 @@
+// Transport-table spill machinery (paper §IV-A).
+//
+// "BSP messages are transported in batches called spills.  Our prototype
+// implementation uses a table, called the transport table, to move the
+// spills between parts.  Each spill from part S to part D is written to
+// the transport table with a new unique key that is constructed to be
+// located in part D."
+//
+// Three record kinds cross a barrier: ordinary messages, enablement
+// control records (the continue signal transformed into "a special kind
+// of BSP message"), and deferred component-creation requests.
+
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/codec.h"
+#include "ebsp/raw_job.h"
+#include "kvstore/table.h"
+
+namespace ripple::ebsp {
+
+/// The combining strategy extracted from a RawCompute: the accumulator
+/// API when available, the pairwise function otherwise.
+struct CombinerOps {
+  std::function<Bytes(BytesView, BytesView, BytesView)> pairwise;
+  std::function<RawCompute::CombineAcc(BytesView, BytesView)> begin;
+  std::function<void(const RawCompute::CombineAcc&, BytesView, BytesView)>
+      add;
+  std::function<Bytes(const RawCompute::CombineAcc&, BytesView)> finish;
+
+  CombinerOps() = default;
+
+  /// Pairwise-only (convenience for tests/benches).
+  CombinerOps(  // NOLINT(google-explicit-constructor)
+      std::function<Bytes(BytesView, BytesView, BytesView)> p)
+      : pairwise(std::move(p)) {}
+
+  [[nodiscard]] static CombinerOps fromCompute(const RawCompute& compute) {
+    CombinerOps ops;
+    ops.pairwise = compute.combineMessages;
+    ops.begin = compute.combineBegin;
+    ops.add = compute.combineAdd;
+    ops.finish = compute.combineFinish;
+    return ops;
+  }
+
+  [[nodiscard]] explicit operator bool() const {
+    return static_cast<bool>(pairwise) || accumulating();
+  }
+
+  [[nodiscard]] bool accumulating() const {
+    return begin && add && finish;
+  }
+};
+
+/// Per-destination-key combining state: the first message is kept as raw
+/// bytes; a second message opens the accumulator (or folds pairwise), so
+/// singleton destinations never pay a decode/encode round trip.
+class CombineSlot {
+ public:
+  void addMessage(const CombinerOps& ops, BytesView key, BytesView payload);
+
+  /// The combined message.  Leaves the slot empty.
+  [[nodiscard]] Bytes take(const CombinerOps& ops, BytesView key);
+
+  [[nodiscard]] bool empty() const { return !hasFirst_ && !acc_; }
+
+ private:
+  bool hasFirst_ = false;
+  Bytes first_;
+  RawCompute::CombineAcc acc_;
+};
+
+enum class RecordKind : std::uint8_t {
+  kMessage = 0,
+  kEnable = 1,
+  kCreate = 2,
+};
+
+struct TransportRecord {
+  RecordKind kind = RecordKind::kMessage;
+  Bytes key;      // Destination component key.
+  Bytes payload;  // Message payload / created state (empty for kEnable).
+  int tabIdx = 0; // State table index for kCreate.
+};
+
+/// Partitioner for the transport table: keys carry their destination part
+/// in the leading 4 bytes.
+[[nodiscard]] PartitionerPtr makeTransportPartitioner(std::uint32_t parts);
+
+/// Construct a spill key located in `destPart`.
+[[nodiscard]] kv::Key makeSpillKey(std::uint32_t destPart,
+                                   std::uint32_t senderPart,
+                                   std::uint64_t seq);
+
+/// Encode/decode a batch of records (one spill value).
+[[nodiscard]] Bytes encodeSpill(const std::vector<TransportRecord>& records);
+void decodeSpill(BytesView spill,
+                 const std::function<void(TransportRecord&&)>& sink);
+
+/// Accumulates one source part's outgoing records for a step, batching
+/// them into spills.  When a message combiner is supplied, messages to the
+/// same destination key are combined eagerly at the sender ("the platform
+/// may combine some of them ... at arbitrary times and places").
+class SpillWriter {
+ public:
+  /// `refPartitioner` maps destination COMPONENT keys to parts (the
+  /// reference table's partitioner); `maxBatch` counts records per
+  /// destination part before a flush.
+  SpillWriter(kv::Table& transport, std::uint32_t senderPart,
+              PartitionerPtr refPartitioner, CombinerOps combiner,
+              std::size_t maxBatch = 4096);
+
+  void addMessage(BytesView destKey, BytesView payload);
+  void addEnable(BytesView destKey);
+  void addCreate(int tabIdx, BytesView destKey, BytesView state);
+
+  /// Write out all buffered records.  Must be called before the barrier.
+  void flushAll();
+
+  [[nodiscard]] std::uint64_t messagesAdded() const { return messages_; }
+  [[nodiscard]] std::uint64_t combinerCalls() const { return combinerCalls_; }
+  [[nodiscard]] std::uint64_t spillsWritten() const { return spills_; }
+  [[nodiscard]] std::uint64_t bytesWritten() const { return bytes_; }
+
+ private:
+  void add(std::uint32_t destPart, TransportRecord record);
+  void flushPart(std::uint32_t destPart);
+
+  [[nodiscard]] std::uint32_t destPartOf_(BytesView destKey) const {
+    return refPartitioner_->partOf(destKey);
+  }
+
+  kv::Table& transport_;
+  std::uint32_t senderPart_;
+  PartitionerPtr refPartitioner_;
+  CombinerOps combiner_;
+  std::size_t maxBatch_;
+  std::uint64_t seq_ = 0;
+
+  // Per destination part: plain record buffer, and (when combining) a
+  // destKey -> combining slot map for kMessage records.
+  std::vector<std::vector<TransportRecord>> buffers_;
+  std::vector<std::unordered_map<Bytes, CombineSlot>> combined_;
+
+  std::uint64_t messages_ = 0;
+  std::uint64_t combinerCalls_ = 0;
+  std::uint64_t spills_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Value stored in the collection table for one component: the enablement
+/// flag plus the collected message list.
+struct CollectedValue {
+  bool enabled = false;
+  std::vector<Bytes> messages;
+};
+
+[[nodiscard]] Bytes encodeCollected(const CollectedValue& v);
+[[nodiscard]] CollectedValue decodeCollected(BytesView data);
+
+}  // namespace ripple::ebsp

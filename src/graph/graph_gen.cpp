@@ -1,0 +1,150 @@
+#include "graph/graph_gen.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace ripple::graph {
+
+namespace {
+
+bool hasEdge(const Graph& g, VertexId u, VertexId v) {
+  const auto& nbrs = g.adj[u];
+  return std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
+}
+
+void removeEdgeOneWay(Graph& g, VertexId u, VertexId v) {
+  auto& nbrs = g.adj[u];
+  auto it = std::find(nbrs.begin(), nbrs.end(), v);
+  if (it != nbrs.end()) {
+    *it = nbrs.back();
+    nbrs.pop_back();
+  }
+}
+
+}  // namespace
+
+Graph generatePowerLaw(const PowerLawOptions& options) {
+  if (options.vertices == 0) {
+    throw std::invalid_argument("generatePowerLaw: vertices must be > 0");
+  }
+  Rng rng(options.seed);
+  PowerLawSampler sampler(options.vertices, options.alpha, rng);
+
+  Graph g;
+  g.adj.resize(options.vertices);
+
+  // Light dedupe: a hash set of recent edges bounded to the edge count.
+  std::unordered_set<std::uint64_t> seen;
+  if (options.dedupe) {
+    seen.reserve(static_cast<std::size_t>(options.edges) * 2);
+  }
+
+  for (std::uint64_t e = 0; e < options.edges; ++e) {
+    VertexId u = 0;
+    VertexId v = 0;
+    bool accepted = false;
+    // Dense power-law graphs collide constantly around the hubs.  Retry
+    // with progressively more uniform endpoint choices: pure power-law
+    // first, then one uniform endpoint, then both — the bulk of the
+    // distribution stays skewed while the edge count stays exact.
+    for (int attempt = 0; attempt < 96 && !accepted; ++attempt) {
+      if (attempt < 24) {
+        u = static_cast<VertexId>(sampler.sample(rng));
+        v = static_cast<VertexId>(sampler.sample(rng));
+      } else if (attempt < 56) {
+        u = static_cast<VertexId>(rng.nextBelow(options.vertices));
+        v = static_cast<VertexId>(sampler.sample(rng));
+      } else {
+        u = static_cast<VertexId>(rng.nextBelow(options.vertices));
+        v = static_cast<VertexId>(rng.nextBelow(options.vertices));
+      }
+      if (u == v) {
+        continue;
+      }
+      if (!options.dedupe) {
+        accepted = true;
+        break;
+      }
+      const std::uint64_t code =
+          (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint64_t>(v);
+      if (seen.insert(code).second) {
+        accepted = true;
+      }
+    }
+    if (!accepted) {
+      continue;  // Bounded retries exhausted; drop this edge.
+    }
+    g.adj[u].push_back(v);
+    ++g.edges;
+    if (options.undirected) {
+      g.adj[v].push_back(u);
+    }
+  }
+  return g;
+}
+
+std::vector<GraphChange> randomChangeBatch(std::size_t vertices,
+                                           std::size_t count, double alpha,
+                                           Rng& rng) {
+  PowerLawSampler sampler(vertices, alpha, rng, /*shuffle=*/true);
+  std::vector<GraphChange> batch;
+  batch.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    GraphChange c;
+    c.add = rng.nextBool(0.5);
+    c.u = static_cast<VertexId>(sampler.sample(rng));
+    do {
+      c.v = static_cast<VertexId>(sampler.sample(rng));
+    } while (c.v == c.u);
+    batch.push_back(c);
+  }
+  return batch;
+}
+
+std::vector<GraphChange> applyChanges(Graph& g,
+                                      const std::vector<GraphChange>& batch) {
+  std::vector<GraphChange> effective;
+  for (const GraphChange& c : batch) {
+    if (c.u >= g.adj.size() || c.v >= g.adj.size()) {
+      continue;
+    }
+    const bool exists = hasEdge(g, c.u, c.v);
+    if (c.add && !exists) {
+      g.adj[c.u].push_back(c.v);
+      g.adj[c.v].push_back(c.u);
+      ++g.edges;
+      effective.push_back(c);
+    } else if (!c.add && exists) {
+      removeEdgeOneWay(g, c.u, c.v);
+      removeEdgeOneWay(g, c.v, c.u);
+      --g.edges;
+      effective.push_back(c);
+    }
+  }
+  return effective;
+}
+
+std::vector<std::int32_t> bfsDistances(const Graph& g, VertexId source) {
+  std::vector<std::int32_t> dist(g.vertexCount(), -1);
+  if (source >= g.vertexCount()) {
+    return dist;
+  }
+  std::deque<VertexId> frontier;
+  dist[source] = 0;
+  frontier.push_back(source);
+  while (!frontier.empty()) {
+    const VertexId u = frontier.front();
+    frontier.pop_front();
+    for (const VertexId v : g.adj[u]) {
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace ripple::graph

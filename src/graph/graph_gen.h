@@ -1,0 +1,71 @@
+// Random graph generation for the evaluation workloads.
+//
+// Table I graphs: "Each graph follows a biased power-law distribution for
+// edge attachments."  SSSP graph: "about 1.8 million random edges ...
+// source and destination randomly chosen according to a power law
+// distribution", on 100,000 initially unconnected vertices, followed by
+// batches of random edge additions and removals.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ripple::graph {
+
+using VertexId = std::uint32_t;
+
+/// Adjacency-list graph.  Directed: adj[u] holds out-neighbors.  The SSSP
+/// workload uses it as undirected by inserting both directions.
+struct Graph {
+  std::vector<std::vector<VertexId>> adj;
+  std::uint64_t edges = 0;
+
+  [[nodiscard]] std::size_t vertexCount() const { return adj.size(); }
+};
+
+struct PowerLawOptions {
+  std::size_t vertices = 0;
+  std::uint64_t edges = 0;
+  /// Exponent of the attachment distribution.
+  double alpha = 1.8;
+  std::uint64_t seed = 1;
+  /// Insert both directions (for undirected workloads).
+  bool undirected = false;
+  /// Permit parallel edges/self loops to be retried away (keeps the edge
+  /// count exact).  Retrying forever on dense graphs is avoided with a
+  /// bounded retry, after which the duplicate is accepted.
+  bool dedupe = true;
+};
+
+/// Generate a graph with power-law-biased endpoints.
+[[nodiscard]] Graph generatePowerLaw(const PowerLawOptions& options);
+
+/// A primitive change to a time-varying graph (paper §V-C: gaining or
+/// losing an edge; vertex add/remove is expressed by edges only here
+/// because an isolated vertex has no effect on distances).
+struct GraphChange {
+  bool add = true;
+  VertexId u = 0;
+  VertexId v = 0;
+};
+
+/// A batch of random primitive changes "generated without regard to which
+/// already exist, so some of these changes will be no-ops".
+[[nodiscard]] std::vector<GraphChange> randomChangeBatch(
+    std::size_t vertices, std::size_t count, double alpha, Rng& rng);
+
+/// Apply a change batch to an in-memory undirected graph (reference
+/// implementation used by tests and by the driver's bookkeeping).
+/// Returns the changes that were NOT no-ops.
+std::vector<GraphChange> applyChanges(Graph& g,
+                                      const std::vector<GraphChange>& batch);
+
+/// Reference BFS distances (hop counts) from `source`; -1 for
+/// unreachable.  Used to validate both SSSP variants.
+[[nodiscard]] std::vector<std::int32_t> bfsDistances(const Graph& g,
+                                                     VertexId source);
+
+}  // namespace ripple::graph

@@ -1,0 +1,18 @@
+// Non-template pieces of the Graph EBSP layer.
+
+#include "graph/pregel.h"
+
+namespace ripple::graph {
+
+// The Pregel layer is header-template code; this translation unit anchors
+// the library target and hosts shared non-template helpers.
+
+std::uint64_t totalOutDegree(const Graph& g) {
+  std::uint64_t total = 0;
+  for (const auto& nbrs : g.adj) {
+    total += nbrs.size();
+  }
+  return total;
+}
+
+}  // namespace ripple::graph

@@ -1,0 +1,283 @@
+// Graph EBSP: a Pregel-style vertex-centric programming model layered on
+// K/V EBSP (the Graph EBSP box in the paper's Fig. 2; related work:
+// "Ripple's programming model is that of Pregel, simplified from graph
+// based data to key/value data, and extended; the functionality of Pregel
+// can be constructed atop Ripple's K/V EBSP").
+//
+// A vertex is an EBSP component keyed by VertexId; its state is a
+// VertexState record in the job's single state table.  voteToHalt() maps
+// to the negative continue signal; delivery of a message re-enables a
+// halted vertex — exactly EBSP's enablement rule.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ebsp/job.h"
+#include "graph/graph_gen.h"
+#include "kvstore/store_util.h"
+
+namespace ripple::graph {
+
+/// Per-vertex record stored in the vertex table.
+template <typename V>
+struct VertexState {
+  V value{};
+  std::vector<VertexId> outEdges;
+
+  void encodeTo(ByteWriter& w) const {
+    Codec<V>::encode(w, value);
+    w.putVarint(outEdges.size());
+    for (const VertexId e : outEdges) {
+      w.putVarint(e);
+    }
+  }
+
+  static VertexState decodeFrom(ByteReader& r) {
+    VertexState s;
+    s.value = Codec<V>::decode(r);
+    const auto n = static_cast<std::size_t>(r.getVarint());
+    s.outEdges.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      s.outEdges.push_back(static_cast<VertexId>(r.getVarint()));
+    }
+    return s;
+  }
+};
+
+/// A vertex program (user code).  V = vertex value, M = message.
+template <typename V, typename M>
+class VertexProgram {
+ public:
+  class Context;
+
+  virtual ~VertexProgram() = default;
+
+  /// Called once per superstep for each active vertex.
+  virtual void compute(Context& ctx, const std::vector<M>& messages) = 0;
+
+  /// Optional message combiner (declared, like EBSP's).
+  [[nodiscard]] virtual bool hasCombiner() const { return false; }
+  virtual M combine(VertexId to, const M& a, const M& b) {
+    (void)to;
+    (void)a;
+    (void)b;
+    throw std::logic_error("VertexProgram::combine not implemented");
+  }
+
+  [[nodiscard]] virtual std::vector<ebsp::AggregatorDecl> aggregators()
+      const {
+    return {};
+  }
+
+  class Context {
+   public:
+    using Ebsp = ebsp::TypedComputeContext<VertexId, VertexState<V>, M>;
+
+    Context(Ebsp& inner, VertexState<V> state)
+        : inner_(inner), state_(std::move(state)) {}
+
+    [[nodiscard]] VertexId id() const { return inner_.key(); }
+    [[nodiscard]] int superstep() const { return inner_.stepNum(); }
+
+    [[nodiscard]] const V& value() const { return state_.value; }
+    void setValue(V value) {
+      state_.value = std::move(value);
+      dirty_ = true;
+    }
+
+    [[nodiscard]] const std::vector<VertexId>& outEdges() const {
+      return state_.outEdges;
+    }
+
+    void addEdge(VertexId target) {
+      state_.outEdges.push_back(target);
+      dirty_ = true;
+    }
+
+    bool removeEdge(VertexId target) {
+      auto& edges = state_.outEdges;
+      auto it = std::find(edges.begin(), edges.end(), target);
+      if (it == edges.end()) {
+        return false;
+      }
+      edges.erase(it);
+      dirty_ = true;
+      return true;
+    }
+
+    void sendMessage(VertexId target, const M& message) {
+      inner_.sendMessage(target, message);
+    }
+
+    void sendToAllNeighbors(const M& message) {
+      for (const VertexId e : state_.outEdges) {
+        inner_.sendMessage(e, message);
+      }
+    }
+
+    /// Halt until re-activated by a message.
+    void voteToHalt() { halted_ = true; }
+
+    template <typename T>
+    void aggregate(const std::string& name, const T& value) {
+      inner_.template aggregate<T>(name, value);
+    }
+
+    template <typename T>
+    [[nodiscard]] std::optional<T> aggregateResult(
+        const std::string& name) const {
+      return inner_.template aggregateResult<T>(name);
+    }
+
+    [[nodiscard]] bool halted() const { return halted_; }
+    [[nodiscard]] bool dirty() const { return dirty_; }
+    [[nodiscard]] VertexState<V>& mutableState() { return state_; }
+
+   private:
+    Ebsp& inner_;
+    VertexState<V> state_;
+    bool halted_ = false;
+    bool dirty_ = false;
+  };
+};
+
+struct PregelOptions {
+  /// Existing table of (VertexId -> VertexState<V>) records.
+  std::string vertexTable;
+
+  /// Hard superstep limit enforced through an aborter.
+  int maxSupersteps = 10'000;
+
+  /// If false, no vertex is enabled initially except those explicitly
+  /// given initial messages via `initialMessages`.
+  bool enableAllInitially = true;
+};
+
+struct PregelResult {
+  ebsp::JobResult job;
+};
+
+namespace detail {
+
+template <typename V, typename M>
+class PregelJob : public ebsp::Job<VertexId, VertexState<V>, M> {
+ public:
+  using Base = ebsp::Job<VertexId, VertexState<V>, M>;
+
+  PregelJob(VertexProgram<V, M>& program, kv::KVStore& store,
+            PregelOptions options)
+      : program_(program), store_(store), options_(std::move(options)) {}
+
+  std::vector<std::string> stateTableNames() const override {
+    return {options_.vertexTable};
+  }
+
+  std::shared_ptr<typename Base::ComputeType> getCompute() override {
+    return std::make_shared<ComputeImpl>(program_);
+  }
+
+  std::vector<ebsp::AggregatorDecl> aggregators() const override {
+    return program_.aggregators();
+  }
+
+  std::string referenceTable() const override { return options_.vertexTable; }
+
+  ebsp::Aborter aborter() const override {
+    const int limit = options_.maxSupersteps;
+    return [limit](const ebsp::AggregateReader&, int step) {
+      return step >= limit;
+    };
+  }
+
+  std::vector<ebsp::RawLoaderPtr> loaders() const override {
+    if (!options_.enableAllInitially) {
+      return {};
+    }
+    kv::TablePtr table = store_.lookupTable(options_.vertexTable);
+    if (!table) {
+      throw std::invalid_argument("Pregel: vertex table '" +
+                                  options_.vertexTable + "' does not exist");
+    }
+    return {std::make_shared<ebsp::FunctionLoader>(
+        [table](ebsp::LoaderContext& ctx) {
+          for (auto& [k, v] : kv::readAll(*table)) {
+            ctx.enableComponent(k);
+          }
+        })};
+  }
+
+ private:
+  class ComputeImpl : public Base::ComputeType {
+   public:
+    explicit ComputeImpl(VertexProgram<V, M>& program) : program_(program) {}
+
+    bool compute(typename Base::ComputeType::Context& ctx) override {
+      auto state = ctx.readState();
+      if (!state) {
+        // A message addressed to a vertex that does not exist; Pregel
+        // semantics create it implicitly with default state.
+        state = VertexState<V>{};
+      }
+      typename VertexProgram<V, M>::Context vctx(ctx, std::move(*state));
+      program_.compute(vctx, ctx.inputMessages());
+      if (vctx.dirty()) {
+        ctx.writeState(vctx.mutableState());
+      }
+      return !vctx.halted();
+    }
+
+    M combineMessages(const VertexId& key, const M& a, const M& b) override {
+      return program_.combine(key, a, b);
+    }
+
+    bool hasMessageCombiner() const override {
+      return program_.hasCombiner();
+    }
+
+   private:
+    VertexProgram<V, M>& program_;
+  };
+
+  VertexProgram<V, M>& program_;
+  kv::KVStore& store_;
+  PregelOptions options_;
+};
+
+}  // namespace detail
+
+/// Run a vertex program over the vertex table.
+template <typename V, typename M>
+PregelResult runPregel(ebsp::Engine& engine, VertexProgram<V, M>& program,
+                       PregelOptions options) {
+  detail::PregelJob<V, M> job(program, *engine.store(), std::move(options));
+  PregelResult result;
+  result.job = ebsp::runJob(engine, job);
+  return result;
+}
+
+/// Sum of out-degrees (== directed edge count).
+[[nodiscard]] std::uint64_t totalOutDegree(const Graph& g);
+
+/// Populate `tableName` with the graph's vertices, all valued `init`.
+template <typename V>
+kv::TablePtr loadVertexTable(kv::KVStore& store, const std::string& tableName,
+                             const Graph& graph, std::uint32_t parts,
+                             const V& init) {
+  kv::TableOptions options;
+  options.parts = parts;
+  kv::TablePtr table = store.createTable(tableName, std::move(options));
+  std::vector<std::pair<kv::Key, kv::Value>> batch;
+  batch.reserve(graph.vertexCount());
+  for (VertexId u = 0; u < graph.vertexCount(); ++u) {
+    VertexState<V> s;
+    s.value = init;
+    s.outEdges = graph.adj[u];
+    batch.emplace_back(encodeToBytes(u), encodeToBytes(s));
+  }
+  table->putBatch(batch);
+  return table;
+}
+
+}  // namespace ripple::graph

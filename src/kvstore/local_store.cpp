@@ -1,0 +1,190 @@
+#include "kvstore/local_store.h"
+
+#include <stdexcept>
+
+#include "kvstore/part_data.h"
+
+namespace ripple::kv {
+
+namespace {
+
+class LocalTable : public Table {
+ public:
+  LocalTable(std::string name, TableOptions options, StoreMetrics* metrics,
+             std::recursive_mutex* mu)
+      : name_(std::move(name)), options_(std::move(options)),
+        metrics_(metrics), mu_(mu) {
+    if (options_.ubiquitous) {
+      options_.parts = 1;
+    }
+    if (!options_.partitioner) {
+      options_.partitioner = makeDefaultPartitioner(options_.parts);
+    }
+    if (options_.partitioner->parts() != options_.parts) {
+      throw std::invalid_argument("LocalTable '" + name_ +
+                                  "': partitioner/parts mismatch");
+    }
+    parts_.reserve(options_.parts);
+    for (std::uint32_t i = 0; i < options_.parts; ++i) {
+      parts_.emplace_back(options_.ordered);
+    }
+  }
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] const TableOptions& options() const override {
+    return options_;
+  }
+  [[nodiscard]] std::uint32_t numParts() const override {
+    return options_.parts;
+  }
+  [[nodiscard]] std::uint32_t partOf(KeyView key) const override {
+    return options_.partitioner->partOf(key);
+  }
+
+  std::optional<Value> get(KeyView key) override {
+    std::lock_guard<std::recursive_mutex> lock(*mu_);
+    metrics_->localOps.fetch_add(1, std::memory_order_relaxed);
+    const Bytes* v = parts_[partOf(key)].find(key);
+    if (v == nullptr) {
+      return std::nullopt;
+    }
+    return *v;
+  }
+
+  void put(KeyView key, ValueView value) override {
+    std::lock_guard<std::recursive_mutex> lock(*mu_);
+    metrics_->localOps.fetch_add(1, std::memory_order_relaxed);
+    parts_[partOf(key)].put(key, value);
+  }
+
+  bool erase(KeyView key) override {
+    std::lock_guard<std::recursive_mutex> lock(*mu_);
+    metrics_->localOps.fetch_add(1, std::memory_order_relaxed);
+    return parts_[partOf(key)].erase(key);
+  }
+
+  [[nodiscard]] std::uint64_t size() const override {
+    std::lock_guard<std::recursive_mutex> lock(*mu_);
+    std::uint64_t total = 0;
+    for (const auto& p : parts_) {
+      total += p.size();
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::uint64_t partSize(std::uint32_t part) const override {
+    std::lock_guard<std::recursive_mutex> lock(*mu_);
+    return parts_.at(part).size();
+  }
+
+  Bytes enumerate(PairConsumer& consumer) override {
+    Bytes result;
+    bool first = true;
+    for (std::uint32_t p = 0; p < numParts(); ++p) {
+      Bytes r = enumeratePart(p, consumer);
+      result = first ? std::move(r) : consumer.combine(std::move(result),
+                                                       std::move(r));
+      first = false;
+    }
+    return result;
+  }
+
+  Bytes enumeratePart(std::uint32_t part, PairConsumer& consumer) override {
+    metrics_->scans.fetch_add(1, std::memory_order_relaxed);
+    // Snapshot under the lock; callbacks run outside it so they can
+    // freely mutate this or other tables.
+    std::vector<std::pair<Bytes, Bytes>> snapshot;
+    {
+      std::lock_guard<std::recursive_mutex> lock(*mu_);
+      snapshot.reserve(parts_.at(part).size());
+      parts_.at(part).forEach([&](BytesView k, BytesView v) {
+        snapshot.emplace_back(Bytes(k), Bytes(v));
+        return true;
+      });
+    }
+    consumer.setupPart(part);
+    for (const auto& [k, v] : snapshot) {
+      if (!consumer.consume(part, k, v)) {
+        break;
+      }
+    }
+    return consumer.finalizePart(part);
+  }
+
+  Bytes processParts(PartConsumer& consumer) override {
+    Bytes result;
+    bool first = true;
+    for (std::uint32_t p = 0; p < numParts(); ++p) {
+      Bytes r = consumer.processPart(p, *this);
+      result = first ? std::move(r) : consumer.combine(std::move(result),
+                                                       std::move(r));
+      first = false;
+    }
+    return result;
+  }
+
+  std::uint64_t clearPart(std::uint32_t part) override {
+    std::lock_guard<std::recursive_mutex> lock(*mu_);
+    return parts_.at(part).clear();
+  }
+
+  std::vector<std::pair<Key, Value>> drainPart(std::uint32_t part) override {
+    std::lock_guard<std::recursive_mutex> lock(*mu_);
+    metrics_->scans.fetch_add(1, std::memory_order_relaxed);
+    return parts_.at(part).drain();
+  }
+
+ private:
+  std::string name_;
+  TableOptions options_;
+  StoreMetrics* metrics_;
+  std::recursive_mutex* mu_;
+  std::vector<detail::PartData> parts_;
+};
+
+}  // namespace
+
+std::shared_ptr<LocalStore> LocalStore::create() {
+  return std::shared_ptr<LocalStore>(new LocalStore());
+}
+
+TablePtr LocalStore::createTable(const std::string& name,
+                                 TableOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.contains(name)) {
+    throw std::invalid_argument("LocalStore: table '" + name +
+                                "' already exists");
+  }
+  auto table = std::make_shared<LocalTable>(name, std::move(options),
+                                            &metrics_, &tableMu_);
+  tables_.emplace(name, table);
+  return table;
+}
+
+TablePtr LocalStore::lookupTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second;
+}
+
+void LocalStore::dropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_.erase(name);
+}
+
+void LocalStore::runInParts(const Table& placement,
+                            const std::function<void(std::uint32_t)>& fn) {
+  for (std::uint32_t p = 0; p < placement.numParts(); ++p) {
+    fn(p);
+  }
+}
+
+void LocalStore::runInPart(const Table& placement, std::uint32_t part,
+                           const std::function<void()>& fn) {
+  if (part >= placement.numParts()) {
+    throw std::out_of_range("LocalStore::runInPart: bad part");
+  }
+  fn();
+}
+
+}  // namespace ripple::kv

@@ -1,0 +1,46 @@
+// LocalStore: the single-threaded debugging implementation of the K/V
+// store SPI.  Everything is a plain in-process map; "collocated" execution
+// runs inline on the caller's thread.  Useful for deterministic tests and
+// as the second, independent implementation demonstrating the SPI's
+// portability claim (the paper shipped WXS, HBase, and a debugging store).
+
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "kvstore/table.h"
+
+namespace ripple::kv {
+
+class LocalStore : public KVStore,
+                   public std::enable_shared_from_this<LocalStore> {
+ public:
+  static std::shared_ptr<LocalStore> create();
+
+  TablePtr createTable(const std::string& name, TableOptions options) override;
+  TablePtr lookupTable(const std::string& name) override;
+  void dropTable(const std::string& name) override;
+
+  void runInParts(const Table& placement,
+                  const std::function<void(std::uint32_t)>& fn) override;
+  void runInPart(const Table& placement, std::uint32_t part,
+                 const std::function<void()>& fn) override;
+
+  StoreMetrics& metrics() override { return metrics_; }
+
+ private:
+  LocalStore() = default;
+
+  std::mutex mu_;  // Guards the table registry.
+  // One coarse lock serializes all table contents: this store optimizes
+  // for debuggability, not concurrency.  Recursive because consumer
+  // call-backs may re-enter table operations.
+  std::recursive_mutex tableMu_;
+  std::unordered_map<std::string, TablePtr> tables_;
+  StoreMetrics metrics_;
+};
+
+}  // namespace ripple::kv

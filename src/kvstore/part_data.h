@@ -1,0 +1,95 @@
+// Internal storage organization of one part of one table: hash-organized
+// by default, tree-organized when the table is ordered (the no-sort
+// optimization toggles this, paper §II-A / §IV-A).
+
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace ripple::kv::detail {
+
+class PartData {
+ public:
+  explicit PartData(bool ordered) {
+    if (ordered) {
+      data_.emplace<Ordered>();
+    } else {
+      data_.emplace<Hashed>();
+    }
+  }
+
+  [[nodiscard]] const Bytes* find(BytesView key) const {
+    return std::visit(
+        [&](const auto& m) -> const Bytes* {
+          auto it = m.find(Bytes(key));
+          return it == m.end() ? nullptr : &it->second;
+        },
+        data_);
+  }
+
+  void put(BytesView key, BytesView value) {
+    std::visit(
+        [&](auto& m) { m.insert_or_assign(Bytes(key), Bytes(value)); },
+        data_);
+  }
+
+  bool erase(BytesView key) {
+    return std::visit([&](auto& m) { return m.erase(Bytes(key)) > 0; }, data_);
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return std::visit([](const auto& m) { return m.size(); }, data_);
+  }
+
+  std::size_t clear() {
+    return std::visit(
+        [](auto& m) {
+          const std::size_t n = m.size();
+          m.clear();
+          return n;
+        },
+        data_);
+  }
+
+  /// Enumerate pairs; fn returning false stops.  Ordered tables iterate
+  /// in ascending key order; hashed tables in unspecified order.
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    std::visit(
+        [&](const auto& m) {
+          for (const auto& [k, v] : m) {
+            if (!fn(BytesView(k), BytesView(v))) {
+              return;
+            }
+          }
+        },
+        data_);
+  }
+
+  [[nodiscard]] std::vector<std::pair<Bytes, Bytes>> drain() {
+    std::vector<std::pair<Bytes, Bytes>> out;
+    std::visit(
+        [&](auto& m) {
+          out.reserve(m.size());
+          for (auto& [k, v] : m) {
+            out.emplace_back(k, std::move(v));
+          }
+          m.clear();
+        },
+        data_);
+    return out;
+  }
+
+ private:
+  using Hashed = std::unordered_map<Bytes, Bytes>;
+  using Ordered = std::map<Bytes, Bytes>;
+  std::variant<Hashed, Ordered> data_;
+};
+
+}  // namespace ripple::kv::detail

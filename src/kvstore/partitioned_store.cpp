@@ -1,0 +1,511 @@
+#include "kvstore/partitioned_store.h"
+
+#include <future>
+#include <shared_mutex>
+#include <stdexcept>
+
+#include "kvstore/part_data.h"
+
+namespace ripple::kv {
+
+namespace detail {
+
+/// One container: two serial executors (short ops, long ops) hosting the
+/// parts assigned to it.  Additional threads (queue-set workers) may be
+/// adopted into the container via a thread-local registration.
+class Container {
+ public:
+  explicit Container(std::uint32_t index)
+      : index_(index),
+        ops_("kv-ops-" + std::to_string(index)),
+        scans_("kv-scan-" + std::to_string(index)) {}
+
+  [[nodiscard]] std::uint32_t index() const { return index_; }
+  [[nodiscard]] SerialExecutor& ops() { return ops_; }
+  [[nodiscard]] SerialExecutor& scans() { return scans_; }
+
+  /// True when the calling thread belongs to this container.
+  [[nodiscard]] bool onLocalThread() const {
+    return adopted() == this || ops_.onThisThread() || scans_.onThisThread();
+  }
+
+  /// Register/deregister the calling thread as part of this container.
+  void adoptCurrentThread() { adopted() = this; }
+  void releaseCurrentThread() {
+    if (adopted() == this) {
+      adopted() = nullptr;
+    }
+  }
+
+  void shutdown() {
+    ops_.shutdown();
+    scans_.shutdown();
+  }
+
+ private:
+  static Container*& adopted() {
+    thread_local Container* current = nullptr;
+    return current;
+  }
+
+  std::uint32_t index_;
+  SerialExecutor ops_;
+  SerialExecutor scans_;
+};
+
+}  // namespace detail
+
+namespace {
+
+/// A partitioned (non-ubiquitous) table.  Each part's data is guarded by
+/// its own mutex because the container's two executors may both touch it.
+/// Enumerations snapshot the part under the lock and run call-backs
+/// outside it, so user code can issue routed operations without deadlock.
+class PartitionedTable : public Table {
+ public:
+  PartitionedTable(std::string name, TableOptions options,
+                   PartitionedStore* store, StoreMetrics* metrics)
+      : name_(std::move(name)), options_(std::move(options)), store_(store),
+        metrics_(metrics) {
+    if (!options_.partitioner) {
+      options_.partitioner = makeDefaultPartitioner(options_.parts);
+    }
+    if (options_.partitioner->parts() != options_.parts) {
+      throw std::invalid_argument("PartitionedTable '" + name_ +
+                                  "': partitioner/parts mismatch");
+    }
+    parts_.reserve(options_.parts);
+    for (std::uint32_t i = 0; i < options_.parts; ++i) {
+      parts_.push_back(std::make_unique<LockedPart>(options_.ordered));
+    }
+  }
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] const TableOptions& options() const override {
+    return options_;
+  }
+  [[nodiscard]] std::uint32_t numParts() const override {
+    return options_.parts;
+  }
+  [[nodiscard]] std::uint32_t partOf(KeyView key) const override {
+    return options_.partitioner->partOf(key);
+  }
+
+  std::optional<Value> get(KeyView key) override {
+    const std::uint32_t part = partOf(key);
+    return onOwner(part, key.size(), [&]() -> std::optional<Value> {
+      LockedPart& p = *parts_[part];
+      std::lock_guard<std::mutex> lock(p.mu);
+      const Bytes* v = p.data.find(key);
+      if (v == nullptr) {
+        return std::nullopt;
+      }
+      return *v;
+    });
+  }
+
+  void put(KeyView key, ValueView value) override {
+    const std::uint32_t part = partOf(key);
+    onOwner(part, key.size() + value.size(), [&] {
+      LockedPart& p = *parts_[part];
+      std::lock_guard<std::mutex> lock(p.mu);
+      p.data.put(key, value);
+    });
+  }
+
+  bool erase(KeyView key) override {
+    const std::uint32_t part = partOf(key);
+    return onOwner(part, key.size(), [&] {
+      LockedPart& p = *parts_[part];
+      std::lock_guard<std::mutex> lock(p.mu);
+      return p.data.erase(key);
+    });
+  }
+
+  void putBatch(const std::vector<std::pair<Key, Value>>& entries) override {
+    // Group by part so each owner executor is visited once.
+    std::vector<std::vector<const std::pair<Key, Value>*>> byPart(numParts());
+    for (const auto& e : entries) {
+      byPart[partOf(e.first)].push_back(&e);
+    }
+    std::vector<std::future<void>> pending;
+    for (std::uint32_t part = 0; part < numParts(); ++part) {
+      if (byPart[part].empty()) {
+        continue;
+      }
+      auto apply = [this, part, group = std::move(byPart[part])] {
+        LockedPart& p = *parts_[part];
+        std::lock_guard<std::mutex> lock(p.mu);
+        for (const auto* e : group) {
+          p.data.put(e->first, e->second);
+        }
+      };
+      detail::Container& c = containerFor(part);
+      if (c.onLocalThread()) {
+        metrics_->localOps.fetch_add(1, std::memory_order_relaxed);
+        apply();
+      } else {
+        metrics_->remoteOps.fetch_add(1, std::memory_order_relaxed);
+        pending.push_back(c.ops().submit(std::move(apply)));
+      }
+    }
+    for (auto& f : pending) {
+      f.get();
+    }
+  }
+
+  [[nodiscard]] std::uint64_t size() const override {
+    std::uint64_t total = 0;
+    for (const auto& p : parts_) {
+      std::lock_guard<std::mutex> lock(p->mu);
+      total += p->data.size();
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::uint64_t partSize(std::uint32_t part) const override {
+    LockedPart& p = *parts_.at(part);
+    std::lock_guard<std::mutex> lock(p.mu);
+    return p.data.size();
+  }
+
+  Bytes enumerate(PairConsumer& consumer) override {
+    // Drive every part concurrently on its long-op executor, then combine.
+    std::vector<std::future<Bytes>> futures;
+    futures.reserve(numParts());
+    for (std::uint32_t part = 0; part < numParts(); ++part) {
+      futures.push_back(containerFor(part).scans().submit(
+          [this, part, &consumer] { return enumerateLocal(part, consumer); }));
+    }
+    Bytes result;
+    bool first = true;
+    for (auto& f : futures) {
+      Bytes r = f.get();
+      result = first ? std::move(r)
+                     : consumer.combine(std::move(result), std::move(r));
+      first = false;
+    }
+    return result;
+  }
+
+  Bytes enumeratePart(std::uint32_t part, PairConsumer& consumer) override {
+    detail::Container& c = containerFor(part);
+    if (c.onLocalThread()) {
+      return enumerateLocal(part, consumer);
+    }
+    return c.scans()
+        .submit([this, part, &consumer] {
+          return enumerateLocal(part, consumer);
+        })
+        .get();
+  }
+
+  Bytes processParts(PartConsumer& consumer) override {
+    std::vector<std::future<Bytes>> futures;
+    futures.reserve(numParts());
+    for (std::uint32_t part = 0; part < numParts(); ++part) {
+      futures.push_back(containerFor(part).scans().submit(
+          [this, part, &consumer] { return consumer.processPart(part, *this); }));
+    }
+    Bytes result;
+    bool first = true;
+    for (auto& f : futures) {
+      Bytes r = f.get();
+      result = first ? std::move(r)
+                     : consumer.combine(std::move(result), std::move(r));
+      first = false;
+    }
+    return result;
+  }
+
+  std::uint64_t clearPart(std::uint32_t part) override {
+    LockedPart& p = *parts_.at(part);
+    std::lock_guard<std::mutex> lock(p.mu);
+    return p.data.clear();
+  }
+
+  std::vector<std::pair<Key, Value>> drainPart(std::uint32_t part) override {
+    metrics_->scans.fetch_add(1, std::memory_order_relaxed);
+    LockedPart& p = *parts_.at(part);
+    std::lock_guard<std::mutex> lock(p.mu);
+    return p.data.drain();
+  }
+
+ private:
+  struct LockedPart {
+    explicit LockedPart(bool ordered) : data(ordered) {}
+    mutable std::mutex mu;
+    detail::PartData data;
+  };
+
+  detail::Container& containerFor(std::uint32_t part) {
+    return store_->containerFor(part);
+  }
+
+  /// Run a point op on the owner: directly when already on the owner's
+  /// threads (local), otherwise routed through the short-op executor
+  /// (remote, marshalled).
+  template <typename Fn>
+  std::invoke_result_t<Fn> onOwner(std::uint32_t part, std::size_t bytes,
+                                   Fn&& fn) {
+    detail::Container& c = containerFor(part);
+    if (c.onLocalThread()) {
+      metrics_->localOps.fetch_add(1, std::memory_order_relaxed);
+      return fn();
+    }
+    metrics_->remoteOps.fetch_add(1, std::memory_order_relaxed);
+    metrics_->bytesMarshalled.fetch_add(bytes, std::memory_order_relaxed);
+    return c.ops().submit(std::forward<Fn>(fn)).get();
+  }
+
+  Bytes enumerateLocal(std::uint32_t part, PairConsumer& consumer) {
+    metrics_->scans.fetch_add(1, std::memory_order_relaxed);
+    // Snapshot under the part lock; run call-backs outside it so they can
+    // freely issue (possibly routed) store operations.
+    std::vector<std::pair<Bytes, Bytes>> snapshot;
+    {
+      LockedPart& p = *parts_.at(part);
+      std::lock_guard<std::mutex> lock(p.mu);
+      snapshot.reserve(p.data.size());
+      p.data.forEach([&](BytesView k, BytesView v) {
+        snapshot.emplace_back(Bytes(k), Bytes(v));
+        return true;
+      });
+    }
+    consumer.setupPart(part);
+    for (const auto& [k, v] : snapshot) {
+      if (!consumer.consume(part, k, v)) {
+        break;
+      }
+    }
+    return consumer.finalizePart(part);
+  }
+
+  std::string name_;
+  TableOptions options_;
+  PartitionedStore* store_;
+  StoreMetrics* metrics_;
+  std::vector<std::unique_ptr<LockedPart>> parts_;
+};
+
+/// Ubiquitous table: a single logical part, fully replicated; reads are
+/// served from any thread without routing (paper §III-A's contract:
+/// "quick to read and of limited size").
+class UbiquitousTable : public Table {
+ public:
+  UbiquitousTable(std::string name, TableOptions options,
+                  StoreMetrics* metrics)
+      : name_(std::move(name)), options_(std::move(options)),
+        metrics_(metrics), data_(options_.ordered) {
+    options_.parts = 1;
+    options_.partitioner = makeDefaultPartitioner(1);
+  }
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] const TableOptions& options() const override {
+    return options_;
+  }
+  [[nodiscard]] std::uint32_t numParts() const override { return 1; }
+  [[nodiscard]] std::uint32_t partOf(KeyView) const override { return 0; }
+
+  std::optional<Value> get(KeyView key) override {
+    metrics_->localOps.fetch_add(1, std::memory_order_relaxed);
+    std::shared_lock lock(mu_);
+    const Bytes* v = data_.find(key);
+    if (v == nullptr) {
+      return std::nullopt;
+    }
+    return *v;
+  }
+
+  void put(KeyView key, ValueView value) override {
+    metrics_->localOps.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock lock(mu_);
+    data_.put(key, value);
+  }
+
+  bool erase(KeyView key) override {
+    std::unique_lock lock(mu_);
+    return data_.erase(key);
+  }
+
+  [[nodiscard]] std::uint64_t size() const override {
+    std::shared_lock lock(mu_);
+    return data_.size();
+  }
+
+  [[nodiscard]] std::uint64_t partSize(std::uint32_t) const override {
+    return size();
+  }
+
+  Bytes enumerate(PairConsumer& consumer) override {
+    return enumeratePart(0, consumer);
+  }
+
+  Bytes enumeratePart(std::uint32_t part, PairConsumer& consumer) override {
+    if (part != 0) {
+      throw std::out_of_range("UbiquitousTable: bad part");
+    }
+    std::vector<std::pair<Bytes, Bytes>> snapshot;
+    {
+      std::shared_lock lock(mu_);
+      snapshot.reserve(data_.size());
+      data_.forEach([&](BytesView k, BytesView v) {
+        snapshot.emplace_back(Bytes(k), Bytes(v));
+        return true;
+      });
+    }
+    consumer.setupPart(0);
+    for (const auto& [k, v] : snapshot) {
+      if (!consumer.consume(0, k, v)) {
+        break;
+      }
+    }
+    return consumer.finalizePart(0);
+  }
+
+  Bytes processParts(PartConsumer& consumer) override {
+    return consumer.processPart(0, *this);
+  }
+
+  std::uint64_t clearPart(std::uint32_t) override {
+    std::unique_lock lock(mu_);
+    return data_.clear();
+  }
+
+  std::vector<std::pair<Key, Value>> drainPart(std::uint32_t) override {
+    std::unique_lock lock(mu_);
+    return data_.drain();
+  }
+
+ private:
+  std::string name_;
+  TableOptions options_;
+  StoreMetrics* metrics_;
+  mutable std::shared_mutex mu_;
+  detail::PartData data_;
+};
+
+}  // namespace
+
+PartitionedStore::PartitionedStore(std::uint32_t containers) {
+  if (containers == 0) {
+    throw std::invalid_argument(
+        "PartitionedStore: containers must be positive");
+  }
+  containers_.reserve(containers);
+  for (std::uint32_t i = 0; i < containers; ++i) {
+    containers_.push_back(std::make_unique<detail::Container>(i));
+  }
+}
+
+PartitionedStore::~PartitionedStore() { shutdown(); }
+
+std::shared_ptr<PartitionedStore> PartitionedStore::create(
+    std::uint32_t containers) {
+  return std::shared_ptr<PartitionedStore>(new PartitionedStore(containers));
+}
+
+detail::Container& PartitionedStore::containerFor(std::uint32_t part) {
+  return *containers_[part % containers_.size()];
+}
+
+std::uint32_t PartitionedStore::containerCount() const {
+  return static_cast<std::uint32_t>(containers_.size());
+}
+
+TablePtr PartitionedStore::createTable(const std::string& name,
+                                       TableOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.contains(name)) {
+    throw std::invalid_argument("PartitionedStore: table '" + name +
+                                "' already exists");
+  }
+  TablePtr table;
+  if (options.ubiquitous) {
+    table = std::make_shared<UbiquitousTable>(name, std::move(options),
+                                              &metrics_);
+  } else {
+    table = std::make_shared<PartitionedTable>(name, std::move(options), this,
+                                               &metrics_);
+  }
+  tables_.emplace(name, table);
+  return table;
+}
+
+TablePtr PartitionedStore::lookupTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second;
+}
+
+void PartitionedStore::dropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_.erase(name);
+}
+
+void PartitionedStore::runInParts(
+    const Table& placement, const std::function<void(std::uint32_t)>& fn) {
+  std::vector<std::future<void>> futures;
+  futures.reserve(placement.numParts());
+  for (std::uint32_t part = 0; part < placement.numParts(); ++part) {
+    futures.push_back(
+        containerFor(part).scans().submit([part, &fn] { fn(part); }));
+  }
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) {
+        first = std::current_exception();
+      }
+    }
+  }
+  if (first) {
+    std::rethrow_exception(first);
+  }
+}
+
+void PartitionedStore::runInPart(const Table& placement, std::uint32_t part,
+                                 const std::function<void()>& fn) {
+  if (part >= placement.numParts()) {
+    throw std::out_of_range("PartitionedStore::runInPart: bad part");
+  }
+  detail::Container& c = containerFor(part);
+  if (c.scans().onThisThread()) {
+    fn();
+    return;
+  }
+  c.scans().submit(fn).get();
+}
+
+void PartitionedStore::postToPart(const Table& placement, std::uint32_t part,
+                                  std::function<void()> fn) {
+  if (part >= placement.numParts()) {
+    throw std::out_of_range("PartitionedStore::postToPart: bad part");
+  }
+  containerFor(part).scans().execute(std::move(fn));
+}
+
+std::shared_ptr<void> PartitionedStore::adoptPartThread(
+    const Table& placement, std::uint32_t part) {
+  if (part >= placement.numParts()) {
+    throw std::out_of_range("PartitionedStore::adoptPartThread: bad part");
+  }
+  detail::Container& c = containerFor(part);
+  c.adoptCurrentThread();
+  // Token releases the registration; it must be destroyed on the same
+  // thread that created it.
+  return std::shared_ptr<void>(nullptr, [&c](void*) {
+    c.releaseCurrentThread();
+  });
+}
+
+void PartitionedStore::shutdown() {
+  for (auto& c : containers_) {
+    c->shutdown();
+  }
+}
+
+}  // namespace ripple::kv

@@ -1,0 +1,82 @@
+// PartitionedStore: the parallel in-process implementation of the K/V
+// store SPI, standing in for IBM WebSphere eXtreme Scale in the paper's
+// evaluation (see DESIGN.md §2).
+//
+// The store hosts data in N "containers".  Each container owns two serial
+// executors, mirroring the paper's parallel debugging store: a short-op
+// executor serving request/response operations (get, put, erase) and a
+// long-op executor serving long-running requests (enumerations and
+// collocated mobile code).  Part p of a table is hosted by container
+// p mod N, so consistently-partitioned tables co-place corresponding
+// parts.
+//
+// Operations issued from a part's own container threads are served
+// directly (local, unmarshalled); operations from anywhere else are
+// routed to the owner's short-op executor and their bytes counted as
+// marshalled, reproducing the cost structure of a distributed store.
+
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/executor.h"
+#include "kvstore/table.h"
+
+namespace ripple::kv {
+
+namespace detail {
+class Container;
+}  // namespace detail
+
+class PartitionedStore : public KVStore,
+                         public std::enable_shared_from_this<PartitionedStore> {
+ public:
+  /// Create a store with `containers` executor pairs (the paper's
+  /// PageRank runs used 6).
+  static std::shared_ptr<PartitionedStore> create(std::uint32_t containers);
+
+  ~PartitionedStore() override;
+
+  PartitionedStore(const PartitionedStore&) = delete;
+  PartitionedStore& operator=(const PartitionedStore&) = delete;
+
+  TablePtr createTable(const std::string& name, TableOptions options) override;
+  TablePtr lookupTable(const std::string& name) override;
+  void dropTable(const std::string& name) override;
+
+  void runInParts(const Table& placement,
+                  const std::function<void(std::uint32_t)>& fn) override;
+  void runInPart(const Table& placement, std::uint32_t part,
+                 const std::function<void()>& fn) override;
+  void postToPart(const Table& placement, std::uint32_t part,
+                  std::function<void()> fn) override;
+  std::shared_ptr<void> adoptPartThread(const Table& placement,
+                                        std::uint32_t part) override;
+
+  StoreMetrics& metrics() override { return metrics_; }
+
+  [[nodiscard]] std::uint32_t containerCount() const;
+
+  /// Drain executors and join all container threads.  Called by the
+  /// destructor; idempotent.
+  void shutdown();
+
+  /// Container hosting part `part` (internal; used by table objects).
+  detail::Container& containerFor(std::uint32_t part);
+
+ private:
+  explicit PartitionedStore(std::uint32_t containers);
+
+  std::vector<std::unique_ptr<detail::Container>> containers_;
+  std::mutex mu_;  // Guards the table registry.
+  std::unordered_map<std::string, TablePtr> tables_;
+  StoreMetrics metrics_;
+
+  friend class PartitionedTable;
+};
+
+}  // namespace ripple::kv

@@ -1,0 +1,59 @@
+#include "kvstore/store_util.h"
+
+#include <mutex>
+
+namespace ripple::kv {
+
+namespace {
+
+class CollectAll : public PairConsumer {
+ public:
+  bool consume(std::uint32_t, KeyView k, ValueView v) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    out_.emplace_back(Key(k), Value(v));
+    return true;
+  }
+
+  [[nodiscard]] std::vector<std::pair<Key, Value>> take() {
+    return std::move(out_);
+  }
+
+ private:
+  std::mutex mu_;  // Parts may be enumerated concurrently.
+  std::vector<std::pair<Key, Value>> out_;
+};
+
+class CountingConsumer : public PairConsumer {
+ public:
+  void setupPart(std::uint32_t) override {}
+
+  bool consume(std::uint32_t, KeyView, ValueView) override {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_.load(); }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+};
+
+}  // namespace
+
+std::vector<std::pair<Key, Value>> readAll(Table& table) {
+  CollectAll collector;
+  table.enumerate(collector);
+  return collector.take();
+}
+
+void copyTable(Table& src, Table& dst) {
+  dst.putBatch(readAll(src));
+}
+
+std::uint64_t countPairs(Table& table) {
+  CountingConsumer counter;
+  table.enumerate(counter);
+  return counter.count();
+}
+
+}  // namespace ripple::kv

@@ -1,0 +1,72 @@
+// Convenience helpers over the raw byte-oriented Table interface: typed
+// table views and whole-table utilities used by loaders, exporters,
+// examples, and tests.
+
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/codec.h"
+#include "kvstore/table.h"
+
+namespace ripple::kv {
+
+/// Snapshot every pair of a table (all parts).
+[[nodiscard]] std::vector<std::pair<Key, Value>> readAll(Table& table);
+
+/// Copy every pair from `src` into `dst`.
+void copyTable(Table& src, Table& dst);
+
+/// Total pair count computed by enumeration (exercise path for tests;
+/// Table::size() is the fast path).
+[[nodiscard]] std::uint64_t countPairs(Table& table);
+
+/// A typed view over a byte table; encodes keys/values through Codec.
+template <typename K, typename V>
+class TypedTable {
+ public:
+  explicit TypedTable(TablePtr table) : table_(std::move(table)) {}
+
+  [[nodiscard]] Table& raw() { return *table_; }
+  [[nodiscard]] const TablePtr& ptr() const { return table_; }
+
+  [[nodiscard]] std::optional<V> get(const K& key) {
+    auto raw = table_->get(encodeToBytes(key));
+    if (!raw) {
+      return std::nullopt;
+    }
+    return decodeFromBytes<V>(*raw);
+  }
+
+  void put(const K& key, const V& value) {
+    table_->put(encodeToBytes(key), encodeToBytes(value));
+  }
+
+  bool erase(const K& key) { return table_->erase(encodeToBytes(key)); }
+
+  /// Enumerate every pair (decoded); fn returning false stops that part.
+  void forEach(const std::function<bool(const K&, const V&)>& fn) {
+    class Consumer : public PairConsumer {
+     public:
+      explicit Consumer(const std::function<bool(const K&, const V&)>& fn)
+          : fn_(fn) {}
+      bool consume(std::uint32_t, KeyView k, ValueView v) override {
+        return fn_(decodeFromBytes<K>(k), decodeFromBytes<V>(v));
+      }
+
+     private:
+      const std::function<bool(const K&, const V&)>& fn_;
+    };
+    Consumer consumer(fn);
+    table_->enumerate(consumer);
+  }
+
+  [[nodiscard]] std::uint64_t size() const { return table_->size(); }
+
+ private:
+  TablePtr table_;
+};
+
+}  // namespace ripple::kv

@@ -1,0 +1,219 @@
+// The Key/Value Store SPI (paper §III-A).
+//
+// This is the narrow interface that makes the rest of Ripple
+// store-independent: tables partitioned into parts, get/put/delete by key,
+// part and pair enumeration with client call-backs, consistent
+// partitioning across tables, ubiquitous (replicated-everywhere) tables,
+// and — crucially — the ability to run mobile client code collocated with
+// a part's data.  Two implementations ship: LocalStore (single-threaded
+// debugging store) and PartitionedStore (parallel store with per-part
+// executors and a marshalling boundary between parts).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/hash.h"
+
+namespace ripple::kv {
+
+using Key = Bytes;
+using Value = Bytes;
+using KeyView = BytesView;
+using ValueView = BytesView;
+
+/// Configuration for table creation.
+struct TableOptions {
+  /// Number of parts (partitions).  Ignored for ubiquitous tables (1).
+  std::uint32_t parts = 1;
+
+  /// Ordered tables enumerate each part's pairs in ascending key order
+  /// (byte-lexicographic); unordered tables use a hash organization.  The
+  /// engine requests ordering only when the job declares needs-order
+  /// (the no-sort optimization, paper §II-A).
+  bool ordered = false;
+
+  /// Ubiquitous tables are quick to read and of limited size; the contents
+  /// fit in every location where they are used (paper §III-A).  Implemented
+  /// as a single fully-replicated part.
+  bool ubiquitous = false;
+
+  /// Partitioner mapping keys to parts.  Shared partitioner instances give
+  /// consistent partitioning across tables (co-placement).  When null the
+  /// store creates a default hash partitioner over `parts`.
+  PartitionerPtr partitioner;
+};
+
+/// Counters exposed by store implementations; used by tests and by the
+/// I/O-round accounting in EXPERIMENTS.md.
+struct StoreMetrics {
+  std::atomic<std::uint64_t> localOps{0};    // Ops served on the owner thread.
+  std::atomic<std::uint64_t> remoteOps{0};   // Ops routed across parts.
+  std::atomic<std::uint64_t> bytesMarshalled{0};
+  std::atomic<std::uint64_t> scans{0};       // Part enumerations.
+
+  void reset() {
+    localOps = 0;
+    remoteOps = 0;
+    bytesMarshalled = 0;
+    scans = 0;
+  }
+};
+
+/// Call-back for pair enumeration (paper §III-A).  One consumer instance
+/// may be driven concurrently for different parts; implementations keep
+/// per-part state keyed by the part index given to setupPart.
+class PairConsumer {
+ public:
+  virtual ~PairConsumer() = default;
+
+  /// Called once per part before any pairs from that part.
+  virtual void setupPart(std::uint32_t part) { (void)part; }
+
+  /// Called for each pair.  Return true to continue enumerating this
+  /// part, false to stop after this pair.
+  virtual bool consume(std::uint32_t part, KeyView key, ValueView value) = 0;
+
+  /// Called once per part after its pairs; the returned result is
+  /// combined with its peers via combine().
+  virtual Bytes finalizePart(std::uint32_t part) {
+    (void)part;
+    return {};
+  }
+
+  /// Pairwise, associative combination of per-part results.
+  virtual Bytes combine(Bytes a, Bytes b) {
+    return a.empty() ? std::move(b) : std::move(a);
+  }
+};
+
+class Table;
+
+/// Call-back for part enumeration: processPart runs collocated with the
+/// part (on the part's long-operation executor in PartitionedStore).
+class PartConsumer {
+ public:
+  virtual ~PartConsumer() = default;
+
+  virtual Bytes processPart(std::uint32_t part, Table& table) = 0;
+
+  /// Pairwise, associative combination of per-part results.
+  virtual Bytes combine(Bytes a, Bytes b) {
+    return a.empty() ? std::move(b) : std::move(a);
+  }
+};
+
+/// A partitioned key/value table.
+///
+/// Point operations (get/put/erase) may be called from any thread; when
+/// called from the owning part's executor they are served locally without
+/// marshalling, otherwise they are routed to the owner.  Batch and
+/// enumeration entry points exist so that callers can amortize routing.
+class Table {
+ public:
+  virtual ~Table() = default;
+
+  [[nodiscard]] virtual const std::string& name() const = 0;
+  [[nodiscard]] virtual const TableOptions& options() const = 0;
+  [[nodiscard]] virtual std::uint32_t numParts() const = 0;
+
+  /// Part that owns `key` under this table's partitioner.
+  [[nodiscard]] virtual std::uint32_t partOf(KeyView key) const = 0;
+
+  [[nodiscard]] virtual std::optional<Value> get(KeyView key) = 0;
+  virtual void put(KeyView key, ValueView value) = 0;
+
+  /// Returns true if the key existed.
+  virtual bool erase(KeyView key) = 0;
+
+  /// Routed batch put; entries may target any mix of parts.
+  virtual void putBatch(const std::vector<std::pair<Key, Value>>& entries);
+
+  /// Total number of pairs (sums parts; approximate under concurrency).
+  [[nodiscard]] virtual std::uint64_t size() const = 0;
+
+  /// Number of pairs in one part.
+  [[nodiscard]] virtual std::uint64_t partSize(std::uint32_t part) const = 0;
+
+  /// Enumerate every pair of every part, driving `consumer` per part
+  /// (concurrently where the store supports it) and returning the
+  /// combined finalize results.
+  virtual Bytes enumerate(PairConsumer& consumer) = 0;
+
+  /// Enumerate one part only, on the caller's thread of choice per the
+  /// store (collocated where supported).  Returns finalizePart's result.
+  virtual Bytes enumeratePart(std::uint32_t part, PairConsumer& consumer) = 0;
+
+  /// Run mobile code per part (collocated), combining results.
+  virtual Bytes processParts(PartConsumer& consumer) = 0;
+
+  /// Remove every pair in one part; returns the number removed.  Used by
+  /// transport-table draining and by failure injection in tests.
+  virtual std::uint64_t clearPart(std::uint32_t part) = 0;
+
+  /// Read-and-remove every pair of one part (the transport-table drain).
+  virtual std::vector<std::pair<Key, Value>> drainPart(std::uint32_t part) = 0;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+/// The key/value store: create/drop/lookup tables, plus collocated
+/// execution placed like a given table (the storage+compute fusion of
+/// paper §III-A).
+class KVStore {
+ public:
+  virtual ~KVStore() = default;
+
+  /// Create a table.  Throws if the name exists.
+  virtual TablePtr createTable(const std::string& name,
+                               TableOptions options) = 0;
+
+  /// Create a table guaranteed to be consistently partitioned with
+  /// `like` (same parts, same partitioner), per paper §III-A.
+  TablePtr createConsistentTable(const std::string& name, const Table& like,
+                                 bool ordered = false);
+
+  /// Null if absent.
+  virtual TablePtr lookupTable(const std::string& name) = 0;
+
+  virtual void dropTable(const std::string& name) = 0;
+
+  /// Run `fn` for every part of `placement`, collocated with each part
+  /// where supported, and wait for all to finish.  Exceptions from any
+  /// part are rethrown (first one wins).
+  virtual void runInParts(const Table& placement,
+                          const std::function<void(std::uint32_t)>& fn) = 0;
+
+  /// Run `fn` collocated with one part of `placement` and wait.
+  virtual void runInPart(const Table& placement, std::uint32_t part,
+                         const std::function<void()>& fn) = 0;
+
+  /// Fire-and-forget collocated execution; completion observed via the
+  /// caller's own synchronization.  Default implementation runs inline.
+  virtual void postToPart(const Table& placement, std::uint32_t part,
+                          std::function<void()> fn);
+
+  /// Adopt the CALLING thread into the location hosting `part` of
+  /// `placement` until the returned token is destroyed: operations on
+  /// co-placed parts issued from this thread are then served locally.
+  /// This is how long-lived mobile code (queue-set workers) runs adjacent
+  /// to its data.  Default: no-op token.
+  virtual std::shared_ptr<void> adoptPartThread(const Table& placement,
+                                                std::uint32_t part);
+
+  [[nodiscard]] virtual StoreMetrics& metrics() = 0;
+
+  /// Number of parts a table created "like" `placement` would have.
+  [[nodiscard]] virtual std::uint32_t partsOf(const Table& placement) const;
+};
+
+using KVStorePtr = std::shared_ptr<KVStore>;
+
+}  // namespace ripple::kv

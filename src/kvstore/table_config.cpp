@@ -1,0 +1,34 @@
+#include "kvstore/table.h"
+
+namespace ripple::kv {
+
+void Table::putBatch(const std::vector<std::pair<Key, Value>>& entries) {
+  for (const auto& [k, v] : entries) {
+    put(k, v);
+  }
+}
+
+TablePtr KVStore::createConsistentTable(const std::string& name,
+                                        const Table& like, bool ordered) {
+  TableOptions options = like.options();
+  options.ordered = ordered;
+  options.ubiquitous = false;
+  // Sharing the partitioner instance is the consistency guarantee: both
+  // tables map every key to the same part index.
+  return createTable(name, options);
+}
+
+void KVStore::postToPart(const Table& placement, std::uint32_t part,
+                         std::function<void()> fn) {
+  runInPart(placement, part, fn);
+}
+
+std::uint32_t KVStore::partsOf(const Table& placement) const {
+  return placement.numParts();
+}
+
+std::shared_ptr<void> KVStore::adoptPartThread(const Table&, std::uint32_t) {
+  return nullptr;
+}
+
+}  // namespace ripple::kv

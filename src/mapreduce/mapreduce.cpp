@@ -1,0 +1,49 @@
+// Non-template conveniences for the MapReduce layer.
+
+#include "mapreduce/mapreduce.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace ripple::mr {
+
+MapReduceSpec<std::string, std::string, std::string, std::uint64_t,
+              std::string, std::uint64_t>
+wordCountSpec(const std::string& inputTable, const std::string& outputTable) {
+  MapReduceSpec<std::string, std::string, std::string, std::uint64_t,
+                std::string, std::uint64_t>
+      spec;
+  spec.inputTable = inputTable;
+  spec.outputTable = outputTable;
+  spec.mapper = [](const std::string&, const std::string& line,
+                   const auto& emit) {
+    std::string word;
+    for (const char c : line) {
+      if (std::isalnum(static_cast<unsigned char>(c))) {
+        word.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+      } else if (!word.empty()) {
+        emit(word, 1);
+        word.clear();
+      }
+    }
+    if (!word.empty()) {
+      emit(word, 1);
+    }
+  };
+  spec.combiner = [](const std::string&, std::uint64_t a, std::uint64_t b) {
+    return a + b;
+  };
+  spec.reducer = [](const std::string& word,
+                    const std::vector<std::uint64_t>& counts,
+                    const auto& emit) {
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : counts) {
+      total += c;
+    }
+    emit(word, total);
+  };
+  return spec;
+}
+
+}  // namespace ripple::mr

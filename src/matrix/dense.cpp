@@ -1,0 +1,126 @@
+#include "matrix/dense.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ripple::matrix {
+
+void DenseBlock::multiplyAccumulate(const DenseBlock& a, const DenseBlock& b) {
+  if (a.cols_ != b.rows_ || rows_ != a.rows_ || cols_ != b.cols_) {
+    throw std::invalid_argument("DenseBlock::multiplyAccumulate: dimension "
+                                "mismatch");
+  }
+  // i-k-j loop order: streams b row-wise for cache friendliness.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < a.cols_; ++k) {
+      const double aik = a.data_[i * a.cols_ + k];
+      if (aik == 0.0) {
+        continue;
+      }
+      const double* brow = &b.data_[k * b.cols_];
+      double* crow = &data_[i * cols_];
+      for (std::size_t j = 0; j < cols_; ++j) {
+        crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+void DenseBlock::add(const DenseBlock& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("DenseBlock::add: dimension mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += other.data_[i];
+  }
+}
+
+void DenseBlock::fillRandom(Rng& rng) {
+  for (double& x : data_) {
+    x = rng.nextDouble() * 2.0 - 1.0;
+  }
+}
+
+bool DenseBlock::approxEqual(const DenseBlock& other, double tolerance) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    return false;
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i] - other.data_[i]) > tolerance) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double DenseBlock::frobeniusNorm() const {
+  double sum = 0;
+  for (const double x : data_) {
+    sum += x * x;
+  }
+  return std::sqrt(sum);
+}
+
+void DenseBlock::encodeTo(ByteWriter& w) const {
+  w.putVarint(rows_);
+  w.putVarint(cols_);
+  for (const double x : data_) {
+    w.putDouble(x);
+  }
+}
+
+DenseBlock DenseBlock::decodeFrom(ByteReader& r) {
+  const auto rows = static_cast<std::size_t>(r.getVarint());
+  const auto cols = static_cast<std::size_t>(r.getVarint());
+  DenseBlock b(rows, cols);
+  for (std::size_t i = 0; i < rows * cols; ++i) {
+    b.data_[i] = r.getDouble();
+  }
+  return b;
+}
+
+BlockMatrix::BlockMatrix(std::size_t grid, std::size_t blockSize)
+    : grid_(grid), blockSize_(blockSize) {
+  blocks_.reserve(grid * grid);
+  for (std::size_t i = 0; i < grid * grid; ++i) {
+    blocks_.emplace_back(blockSize, blockSize);
+  }
+}
+
+void BlockMatrix::fillRandom(Rng& rng) {
+  for (DenseBlock& b : blocks_) {
+    b.fillRandom(rng);
+  }
+}
+
+BlockMatrix BlockMatrix::multiplyReference(const BlockMatrix& a,
+                                           const BlockMatrix& b) {
+  if (a.grid_ != b.grid_ || a.blockSize_ != b.blockSize_) {
+    throw std::invalid_argument("BlockMatrix::multiplyReference: shape "
+                                "mismatch");
+  }
+  BlockMatrix c(a.grid_, a.blockSize_);
+  for (std::size_t i = 0; i < a.grid_; ++i) {
+    for (std::size_t j = 0; j < a.grid_; ++j) {
+      for (std::size_t k = 0; k < a.grid_; ++k) {
+        c.block(i, j).multiplyAccumulate(a.block(i, k), b.block(k, j));
+      }
+    }
+  }
+  return c;
+}
+
+bool BlockMatrix::approxEqual(const BlockMatrix& other,
+                              double tolerance) const {
+  if (grid_ != other.grid_ || blockSize_ != other.blockSize_) {
+    return false;
+  }
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (!blocks_[i].approxEqual(other.blocks_[i], tolerance)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ripple::matrix

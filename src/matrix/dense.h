@@ -1,0 +1,86 @@
+// Dense matrix blocks: the arithmetic kernel under the SUMMA workload.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/codec.h"
+#include "common/random.h"
+
+namespace ripple::matrix {
+
+/// Row-major dense block of doubles.
+class DenseBlock {
+ public:
+  DenseBlock() = default;
+  DenseBlock(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+
+  /// this += a * b.  Dimensions must agree; throws otherwise.
+  void multiplyAccumulate(const DenseBlock& a, const DenseBlock& b);
+
+  /// this += other (element-wise).
+  void add(const DenseBlock& other);
+
+  void fillRandom(Rng& rng);
+
+  [[nodiscard]] bool approxEqual(const DenseBlock& other,
+                                 double tolerance = 1e-9) const;
+
+  [[nodiscard]] double frobeniusNorm() const;
+
+  // Codec support (SelfCodable).
+  void encodeTo(ByteWriter& w) const;
+  static DenseBlock decodeFrom(ByteReader& r);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// A dense matrix stored as a G x G grid of b x b blocks (the SUMMA
+/// decomposition with M = N = G).
+class BlockMatrix {
+ public:
+  BlockMatrix() = default;
+  BlockMatrix(std::size_t grid, std::size_t blockSize);
+
+  [[nodiscard]] std::size_t grid() const { return grid_; }
+  [[nodiscard]] std::size_t blockSize() const { return blockSize_; }
+
+  [[nodiscard]] const DenseBlock& block(std::size_t i, std::size_t j) const {
+    return blocks_[i * grid_ + j];
+  }
+  DenseBlock& block(std::size_t i, std::size_t j) {
+    return blocks_[i * grid_ + j];
+  }
+
+  void fillRandom(Rng& rng);
+
+  /// Reference (serial) product: C = A * B, blockwise.
+  [[nodiscard]] static BlockMatrix multiplyReference(const BlockMatrix& a,
+                                                     const BlockMatrix& b);
+
+  [[nodiscard]] bool approxEqual(const BlockMatrix& other,
+                                 double tolerance = 1e-9) const;
+
+ private:
+  std::size_t grid_ = 0;
+  std::size_t blockSize_ = 0;
+  std::vector<DenseBlock> blocks_;
+};
+
+}  // namespace ripple::matrix

@@ -1,0 +1,449 @@
+#include "matrix/summa.h"
+
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "ebsp/job.h"
+#include "kvstore/store_util.h"
+
+namespace ripple::matrix {
+
+namespace {
+
+using ripple::ebsp::AggregatorDecl;
+using ripple::ebsp::JobProperties;
+using ripple::ebsp::RawLoaderPtr;
+
+/// Direction of a block message.
+enum class Dir : std::uint8_t { kA = 0, kB = 1 };
+
+struct SummaMsg {
+  Dir dir = Dir::kA;
+  std::uint32_t batch = 0;
+  DenseBlock block;
+
+  void encodeTo(ByteWriter& w) const {
+    w.putU8(static_cast<std::uint8_t>(dir));
+    w.putVarint(batch);
+    block.encodeTo(w);
+  }
+
+  static SummaMsg decodeFrom(ByteReader& r) {
+    SummaMsg m;
+    m.dir = static_cast<Dir>(r.getU8());
+    m.batch = static_cast<std::uint32_t>(r.getVarint());
+    m.block = DenseBlock::decodeFrom(r);
+    return m;
+  }
+};
+
+/// Component state: grid coordinates, local A/B blocks, the C accumulator,
+/// arrived-but-unconsumed blocks, and pipeline cursors.
+struct SummaState {
+  std::uint32_t grid = 0;
+  std::uint32_t i = 0;
+  std::uint32_t j = 0;
+
+  // haveA[k] / haveB[k]: the batch-k operand if currently held.  The own
+  // blocks start present at batch j (for A) and i (for B).
+  std::vector<std::optional<DenseBlock>> haveA;
+  std::vector<std::optional<DenseBlock>> haveB;
+  std::vector<bool> sentA;  // Sent/forwarded on the horizontal channel.
+  std::vector<bool> sentB;
+  std::uint32_t nextMult = 0;
+  DenseBlock c;
+
+  void encodeTo(ByteWriter& w) const {
+    w.putVarint(grid);
+    w.putVarint(i);
+    w.putVarint(j);
+    auto encodeOptVec = [&](const std::vector<std::optional<DenseBlock>>& v) {
+      w.putVarint(v.size());
+      for (const auto& ob : v) {
+        w.putBool(ob.has_value());
+        if (ob) {
+          ob->encodeTo(w);
+        }
+      }
+    };
+    encodeOptVec(haveA);
+    encodeOptVec(haveB);
+    auto encodeBoolVec = [&](const std::vector<bool>& v) {
+      w.putVarint(v.size());
+      for (const bool b : v) {
+        w.putBool(b);
+      }
+    };
+    encodeBoolVec(sentA);
+    encodeBoolVec(sentB);
+    w.putVarint(nextMult);
+    c.encodeTo(w);
+  }
+
+  static SummaState decodeFrom(ByteReader& r) {
+    SummaState s;
+    s.grid = static_cast<std::uint32_t>(r.getVarint());
+    s.i = static_cast<std::uint32_t>(r.getVarint());
+    s.j = static_cast<std::uint32_t>(r.getVarint());
+    auto decodeOptVec = [&](std::vector<std::optional<DenseBlock>>& v) {
+      const auto n = static_cast<std::size_t>(r.getVarint());
+      v.resize(n);
+      for (auto& ob : v) {
+        if (r.getBool()) {
+          ob = DenseBlock::decodeFrom(r);
+        }
+      }
+    };
+    decodeOptVec(s.haveA);
+    decodeOptVec(s.haveB);
+    auto decodeBoolVec = [&](std::vector<bool>& v) {
+      const auto n = static_cast<std::size_t>(r.getVarint());
+      v.assign(n, false);
+      for (std::size_t k = 0; k < n; ++k) {
+        v[k] = r.getBool();
+      }
+    };
+    decodeBoolVec(s.sentA);
+    decodeBoolVec(s.sentB);
+    s.nextMult = static_cast<std::uint32_t>(r.getVarint());
+    s.c = DenseBlock::decodeFrom(r);
+    return s;
+  }
+};
+
+std::uint32_t componentKey(std::uint32_t grid, std::uint32_t i,
+                           std::uint32_t j) {
+  return i * grid + j;
+}
+
+/// Hop position of component (at ring index `self`) in the multicast of
+/// the block originating at ring index `origin`: 0 = origin, G-1 = tail.
+std::uint32_t hopPosition(std::uint32_t self, std::uint32_t origin,
+                          std::uint32_t grid) {
+  return (self + grid - origin) % grid;
+}
+
+class SummaCompute : public ebsp::Compute<std::uint32_t, SummaState, SummaMsg> {
+ public:
+  SummaCompute(bool limited, std::shared_ptr<SummaInstrumentation> instr)
+      : limited_(limited), instr_(std::move(instr)) {}
+
+  bool compute(Context& ctx) override {
+    // The component's working state is cached as a live object between
+    // invocations and written back to the K/V table once the component is
+    // done.  This mirrors the paper's store contract — "local operations
+    // do not marshal" — a mature in-memory store (WXS) keeps collocated
+    // state as live objects; re-encoding several dense blocks on every
+    // invocation would be an artifact of this port, not of the design,
+    // and it would mask the synchronization effects §V-B measures.
+    SummaState& s = liveState(ctx);
+    const std::uint32_t g = s.grid;
+
+    // 1. Ingest arrived blocks.  Per-channel FIFO plus SUMMA's send order
+    //    guarantees batch order per direction.
+    for (const SummaMsg& m : ctx.inputMessages()) {
+      if (m.dir == Dir::kA) {
+        s.haveA[m.batch] = m.block;
+      } else {
+        s.haveB[m.batch] = m.block;
+      }
+    }
+
+    // 2. Work loop.  Synchronized mode performs at most one send per
+    //    direction and one multiply, then waits for the barrier;
+    //    unsynchronized mode drains everything possible.
+    bool didASend = false;
+    bool didBSend = false;
+    bool didMult = false;
+    for (;;) {
+      bool progressed = false;
+
+      if ((!limited_ || !didASend)) {
+        if (trySend(ctx, s, Dir::kA)) {
+          didASend = true;
+          progressed = true;
+        }
+      }
+      if ((!limited_ || !didBSend)) {
+        if (trySend(ctx, s, Dir::kB)) {
+          didBSend = true;
+          progressed = true;
+        }
+      }
+      if ((!limited_ || !didMult)) {
+        if (s.nextMult < g && s.haveA[s.nextMult].has_value() &&
+            s.haveB[s.nextMult].has_value()) {
+          s.c.multiplyAccumulate(*s.haveA[s.nextMult], *s.haveB[s.nextMult]);
+          if (instr_) {
+            instr_->recordMultiply(ctx.stepNum());
+          }
+          ++s.nextMult;
+          didMult = true;
+          progressed = true;
+        }
+      }
+      releaseConsumed(s);
+      if (!progressed) {
+        break;
+      }
+      if (limited_ && didASend && didBSend && didMult) {
+        break;
+      }
+    }
+
+    // 3. Write back once the component has finished all multiplies and
+    //    sends; until then the live cached object carries the state.
+    if (s.nextMult == g && !nextSendBatch(s, Dir::kA) &&
+        !nextSendBatch(s, Dir::kB)) {
+      ctx.writeState(s);
+      dropLiveState(ctx.key());
+      return false;
+    }
+
+    // Continue while actions remain possible without new input; blocks
+    // still in flight re-enable the component on arrival.
+    const bool backlog = hasImmediateWork(s);
+    if (limited_) {
+      return backlog;
+    }
+    return false;
+  }
+
+ private:
+  /// Fetch (or load from the state table on first touch) the component's
+  /// live state object.  Each component is only ever touched by its own
+  /// part's thread, so the returned reference is safe to use outside the
+  /// registry lock.
+  SummaState& liveState(Context& ctx) {
+    const std::uint32_t key = ctx.key();
+    {
+      std::lock_guard<std::mutex> lock(liveMu_);
+      auto it = live_.find(key);
+      if (it != live_.end()) {
+        return *it->second;
+      }
+    }
+    auto stateOpt = ctx.readState();
+    if (!stateOpt) {
+      throw std::logic_error("SUMMA: component has no state");
+    }
+    auto owned = std::make_unique<SummaState>(std::move(*stateOpt));
+    SummaState* raw = owned.get();
+    std::lock_guard<std::mutex> lock(liveMu_);
+    live_.emplace(key, std::move(owned));
+    return *raw;
+  }
+
+  void dropLiveState(std::uint32_t key) {
+    std::lock_guard<std::mutex> lock(liveMu_);
+    live_.erase(key);
+  }
+  /// Batch this component must send next on the given channel, if any:
+  /// the smallest unsent batch in its schedule.  A component participates
+  /// in the multicast of batch k unless it is the tail of the ring.
+  [[nodiscard]] static std::optional<std::uint32_t> nextSendBatch(
+      const SummaState& s, Dir dir) {
+    const std::uint32_t g = s.grid;
+    if (g < 2) {
+      return std::nullopt;  // Single component: nothing to multicast.
+    }
+    const std::uint32_t self = dir == Dir::kA ? s.j : s.i;
+    const auto& sent = dir == Dir::kA ? s.sentA : s.sentB;
+    for (std::uint32_t k = 0; k < g; ++k) {
+      const std::uint32_t pos = hopPosition(self, k, g);
+      if (pos > g - 2) {
+        continue;  // Tail: no forward for this batch.
+      }
+      if (!sent[k]) {
+        return k;  // Channel order: batches strictly ascending.
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Send the next due block on `dir`'s channel if it is in hand.
+  bool trySend(Context& ctx, SummaState& s, Dir dir) {
+    const auto batch = nextSendBatch(s, dir);
+    if (!batch) {
+      return false;
+    }
+    const auto& have = dir == Dir::kA ? s.haveA : s.haveB;
+    if (!have[*batch].has_value()) {
+      return false;  // Not arrived yet; channel order forbids skipping.
+    }
+    const std::uint32_t g = s.grid;
+    SummaMsg m;
+    m.dir = dir;
+    m.batch = *batch;
+    m.block = *have[*batch];
+    std::uint32_t destKey;
+    if (dir == Dir::kA) {
+      destKey = componentKey(g, s.i, (s.j + 1) % g);
+      s.sentA[*batch] = true;
+    } else {
+      destKey = componentKey(g, (s.i + 1) % g, s.j);
+      s.sentB[*batch] = true;
+    }
+    ctx.sendMessage(destKey, m);
+    return true;
+  }
+
+  /// Drop operand blocks that have been both multiplied and forwarded
+  /// (SUMMA's limited-buffering virtue).
+  static void releaseConsumed(SummaState& s) {
+    const std::uint32_t g = s.grid;
+    auto release = [&](std::vector<std::optional<DenseBlock>>& have,
+                       const std::vector<bool>& sent, std::uint32_t self) {
+      for (std::uint32_t k = 0; k < g; ++k) {
+        if (!have[k]) {
+          continue;
+        }
+        const bool used = s.nextMult > k;
+        const std::uint32_t pos = hopPosition(self, k, g);
+        const bool forwarded = pos > g - 2 || sent[k];
+        if (used && forwarded) {
+          have[k].reset();
+        }
+      }
+    };
+    release(s.haveA, s.sentA, s.j);
+    release(s.haveB, s.sentB, s.i);
+  }
+
+  /// Any action currently possible without further input?
+  [[nodiscard]] bool hasImmediateWork(const SummaState& s) const {
+    const std::uint32_t g = s.grid;
+    if (s.nextMult < g && s.haveA[s.nextMult].has_value() &&
+        s.haveB[s.nextMult].has_value()) {
+      return true;
+    }
+    for (const Dir dir : {Dir::kA, Dir::kB}) {
+      const auto batch = nextSendBatch(s, dir);
+      if (batch) {
+        const auto& have = dir == Dir::kA ? s.haveA : s.haveB;
+        if (have[*batch].has_value()) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  bool limited_;
+  std::shared_ptr<SummaInstrumentation> instr_;
+  std::mutex liveMu_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<SummaState>> live_;
+};
+
+class SummaJob : public ebsp::Job<std::uint32_t, SummaState, SummaMsg> {
+ public:
+  SummaJob(const BlockMatrix& a, const BlockMatrix& b,
+           const SummaOptions& options)
+      : a_(a), b_(b), options_(options) {}
+
+  std::vector<std::string> stateTableNames() const override {
+    return {options_.stateTable};
+  }
+
+  std::shared_ptr<ComputeType> getCompute() override {
+    return std::make_shared<SummaCompute>(options_.synchronized,
+                                          options_.instrumentation);
+  }
+
+  std::string referenceTable() const override { return options_.stateTable; }
+
+  JobProperties properties() const override {
+    JobProperties p;
+    if (!options_.synchronized) {
+      // Pipelined multicasts interleaved with local computation: exactly
+      // the paper's `incremental` example.  The compute function never
+      // returns the positive continue signal in this variant.
+      p.incremental = true;
+      p.noContinue = true;
+    }
+    return p;
+  }
+
+  std::vector<RawLoaderPtr> loaders() const override {
+    const BlockMatrix& a = a_;
+    const BlockMatrix& b = b_;
+    return {std::make_shared<ebsp::FunctionLoader>(
+        [&a, &b](ebsp::LoaderContext& ctx) {
+          const auto g = static_cast<std::uint32_t>(a.grid());
+          for (std::uint32_t i = 0; i < g; ++i) {
+            for (std::uint32_t j = 0; j < g; ++j) {
+              SummaState s;
+              s.grid = g;
+              s.i = i;
+              s.j = j;
+              s.haveA.resize(g);
+              s.haveB.resize(g);
+              s.sentA.assign(g, false);
+              s.sentB.assign(g, false);
+              s.haveA[j] = a.block(i, j);
+              s.haveB[i] = b.block(i, j);
+              s.c = DenseBlock(a.blockSize(), a.blockSize());
+              const Bytes key = encodeToBytes(componentKey(g, i, j));
+              ctx.putState(0, key, encodeToBytes(s));
+              ctx.enableComponent(key);
+            }
+          }
+        })};
+  }
+
+ private:
+  const BlockMatrix& a_;
+  const BlockMatrix& b_;
+  const SummaOptions& options_;
+};
+
+}  // namespace
+
+SummaResult runSumma(ebsp::Engine& engine, const BlockMatrix& a,
+                     const BlockMatrix& b, const SummaOptions& options) {
+  if (a.grid() != b.grid() || a.blockSize() != b.blockSize()) {
+    throw std::invalid_argument("runSumma: shape mismatch");
+  }
+  kv::KVStore& store = *engine.store();
+  kv::TableOptions tableOptions;
+  tableOptions.parts = options.parts;
+  // Components are placed round-robin by grid index, one per part when
+  // parts == G*G — the paper's layout ("all matrices stored in the same
+  // MN components", each on its own processor).  A hash partitioner
+  // would collide components onto shared parts and distort the load
+  // balance the experiment measures.
+  tableOptions.partitioner = std::make_shared<const Partitioner>(
+      options.parts, [](BytesView key) -> std::uint64_t {
+        ByteReader r(key);
+        return r.getVarint();
+      });
+  kv::TablePtr table = store.createTable(options.stateTable, tableOptions);
+
+  SummaJob job(a, b, options);
+  SummaResult result;
+  result.job = ebsp::runJob(engine, job);
+
+  // Read back the C blocks.
+  const auto g = static_cast<std::uint32_t>(a.grid());
+  result.c = BlockMatrix(g, a.blockSize());
+  kv::TypedTable<std::uint32_t, SummaState> typed(table);
+  for (std::uint32_t i = 0; i < g; ++i) {
+    for (std::uint32_t j = 0; j < g; ++j) {
+      auto s = typed.get(componentKey(g, i, j));
+      if (!s) {
+        throw std::logic_error("runSumma: missing component state");
+      }
+      if (s->nextMult != g) {
+        throw std::logic_error("runSumma: component finished with " +
+                               std::to_string(s->nextMult) + "/" +
+                               std::to_string(g) + " multiplies");
+      }
+      result.c.block(i, j) = std::move(s->c);
+    }
+  }
+  store.dropTable(options.stateTable);
+  return result;
+}
+
+}  // namespace ripple::matrix

@@ -1,0 +1,76 @@
+// SUMMA-style matrix multiplication on K/V EBSP (paper §V-B).
+//
+// C <- A x B with all three matrices decomposed into a G x G grid of
+// blocks held by G*G components.  Each A block is multicast along its grid
+// row and each B block down its grid column, pipelined as point-to-point
+// sends from one grid point to the next; a component multiplies
+// corresponding blocks as they meet and accumulates into its local C
+// block (the per-component state).
+//
+// Two execution variants, with identical arithmetic:
+//  * synchronized (BSPified) — per step a component performs at most one
+//    block multiply and at most one block send per direction, in an order
+//    consistent with original SUMMA; blocks are delivered in the step
+//    after they are sent.  Uses the continue signal to stay enabled while
+//    it has backlog.
+//  * no-sync — the job declares the `incremental` property (messages may
+//    be delivered in any grouping provided per-(sender,receiver) order is
+//    preserved — which is exactly what the SUMMA pattern needs); each
+//    component processes blocks as they arrive, with no per-step limits
+//    and no barriers.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "ebsp/engine.h"
+#include "matrix/dense.h"
+
+namespace ripple::matrix {
+
+/// Per-step multiply counts observed during a synchronized run (Table II
+/// instrumentation).  Thread-safe.
+class SummaInstrumentation {
+ public:
+  void recordMultiply(int step) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++multsPerStep_[step];
+  }
+
+  [[nodiscard]] std::map<int, std::uint64_t> multsPerStep() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return multsPerStep_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<int, std::uint64_t> multsPerStep_;
+};
+
+struct SummaOptions {
+  /// Run with synchronization barriers (BSPified) or without (no-sync).
+  bool synchronized = true;
+
+  /// State table name; also the job's reference table.  The table is
+  /// created with `parts` parts (the paper's run used one part per
+  /// component: a 3x3 grid on a store with enough containers).
+  std::string stateTable = "summa_state";
+  std::uint32_t parts = 9;
+
+  /// Optional Table II instrumentation (synchronized runs only).
+  std::shared_ptr<SummaInstrumentation> instrumentation;
+};
+
+struct SummaResult {
+  ebsp::JobResult job;
+  BlockMatrix c;
+};
+
+/// Multiply A x B on the engine's store.  A and B must share grid and
+/// block size.  The state table named in `options` must not yet exist.
+SummaResult runSumma(ebsp::Engine& engine, const BlockMatrix& a,
+                     const BlockMatrix& b, const SummaOptions& options);
+
+}  // namespace ripple::matrix

@@ -1,0 +1,235 @@
+#include "matrix/summa_schedule.h"
+
+#include <algorithm>
+#include <optional>
+#include <queue>
+#include <stdexcept>
+
+namespace ripple::matrix {
+
+namespace {
+
+enum class Dir : std::uint8_t { kA = 0, kB = 1 };
+
+struct Component {
+  std::uint32_t i = 0;
+  std::uint32_t j = 0;
+  std::vector<bool> haveA;
+  std::vector<bool> haveB;
+  std::vector<bool> sentA;
+  std::vector<bool> sentB;
+  std::uint32_t nextMult = 0;
+};
+
+std::uint32_t hopPosition(std::uint32_t self, std::uint32_t origin,
+                          std::uint32_t grid) {
+  return (self + grid - origin) % grid;
+}
+
+std::optional<std::uint32_t> nextSendBatch(const Component& c, Dir dir,
+                                           std::uint32_t g) {
+  if (g < 2) {
+    return std::nullopt;
+  }
+  const std::uint32_t self = dir == Dir::kA ? c.j : c.i;
+  const auto& sent = dir == Dir::kA ? c.sentA : c.sentB;
+  for (std::uint32_t k = 0; k < g; ++k) {
+    if (hopPosition(self, k, g) > g - 2) {
+      continue;
+    }
+    if (!sent[k]) {
+      return k;
+    }
+  }
+  return std::nullopt;
+}
+
+bool canMultiply(const Component& c, std::uint32_t g) {
+  return c.nextMult < g && c.haveA[c.nextMult] && c.haveB[c.nextMult];
+}
+
+bool hasImmediateWork(const Component& c, std::uint32_t g) {
+  if (canMultiply(c, g)) {
+    return true;
+  }
+  for (const Dir dir : {Dir::kA, Dir::kB}) {
+    const auto batch = nextSendBatch(c, dir, g);
+    if (batch && (dir == Dir::kA ? c.haveA : c.haveB)[*batch]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+SummaSchedule simulateSummaSchedule(std::uint32_t grid) {
+  if (grid == 0) {
+    throw std::invalid_argument("simulateSummaSchedule: grid must be > 0");
+  }
+  const std::uint32_t g = grid;
+  std::vector<Component> comps(g * g);
+  for (std::uint32_t i = 0; i < g; ++i) {
+    for (std::uint32_t j = 0; j < g; ++j) {
+      Component& c = comps[i * g + j];
+      c.i = i;
+      c.j = j;
+      c.haveA.assign(g, false);
+      c.haveB.assign(g, false);
+      c.sentA.assign(g, false);
+      c.sentB.assign(g, false);
+      c.haveA[j] = true;
+      c.haveB[i] = true;
+    }
+  }
+
+  struct Msg {
+    Dir dir;
+    std::uint32_t batch;
+  };
+  std::vector<std::vector<Msg>> inbox(g * g);
+  std::vector<bool> enabled(g * g, true);
+
+  SummaSchedule schedule;
+  const std::uint64_t wanted = static_cast<std::uint64_t>(g) * g * g;
+  std::uint64_t done = 0;
+  const int maxSteps = static_cast<int>(8 * g + 8);
+
+  for (int step = 1; done < wanted; ++step) {
+    if (step > maxSteps) {
+      throw std::logic_error("simulateSummaSchedule: schedule did not finish");
+    }
+    std::vector<std::vector<Msg>> nextInbox(g * g);
+    std::vector<bool> nextEnabled(g * g, false);
+    std::uint64_t mults = 0;
+
+    for (std::uint32_t idx = 0; idx < g * g; ++idx) {
+      if (!enabled[idx] && inbox[idx].empty()) {
+        continue;
+      }
+      Component& c = comps[idx];
+      for (const Msg& m : inbox[idx]) {
+        (m.dir == Dir::kA ? c.haveA : c.haveB)[m.batch] = true;
+      }
+      // At most one send per direction and one multiply per step, as in
+      // the engine's synchronized SummaCompute.
+      for (const Dir dir : {Dir::kA, Dir::kB}) {
+        const auto batch = nextSendBatch(c, dir, g);
+        if (batch && (dir == Dir::kA ? c.haveA : c.haveB)[*batch]) {
+          std::uint32_t dest;
+          if (dir == Dir::kA) {
+            dest = c.i * g + (c.j + 1) % g;
+            c.sentA[*batch] = true;
+          } else {
+            dest = ((c.i + 1) % g) * g + c.j;
+            c.sentB[*batch] = true;
+          }
+          nextInbox[dest].push_back({dir, *batch});
+        }
+      }
+      if (canMultiply(c, g)) {
+        ++c.nextMult;
+        ++mults;
+        ++done;
+      }
+      if (hasImmediateWork(c, g)) {
+        nextEnabled[idx] = true;
+      }
+    }
+
+    schedule.multsPerStep.push_back(mults);
+    inbox = std::move(nextInbox);
+    enabled = std::move(nextEnabled);
+  }
+  return schedule;
+}
+
+double simulateNoSyncMakespan(std::uint32_t grid) {
+  if (grid == 0) {
+    throw std::invalid_argument("simulateNoSyncMakespan: grid must be > 0");
+  }
+  const std::uint32_t g = grid;
+  std::vector<Component> comps(g * g);
+  std::vector<double> clock(g * g, 0.0);
+  for (std::uint32_t i = 0; i < g; ++i) {
+    for (std::uint32_t j = 0; j < g; ++j) {
+      Component& c = comps[i * g + j];
+      c.i = i;
+      c.j = j;
+      c.haveA.assign(g, false);
+      c.haveB.assign(g, false);
+      c.sentA.assign(g, false);
+      c.sentB.assign(g, false);
+      c.haveA[j] = true;
+      c.haveB[i] = true;
+    }
+  }
+
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    std::uint32_t dest;
+    Dir dir;
+    std::uint32_t batch;
+    bool operator>(const Event& other) const {
+      return time > other.time || (time == other.time && seq > other.seq);
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  std::uint64_t seq = 0;
+
+  // Each component runs once at time 0 to prime the pipeline, then once
+  // per arriving block: forward first (free), then multiply (cost 1 per
+  // block multiply, serializing the component).
+  auto runComponent = [&](std::uint32_t idx, double now) {
+    Component& c = comps[idx];
+    double& t = clock[idx];
+    t = std::max(t, now);
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (const Dir dir : {Dir::kA, Dir::kB}) {
+        const auto batch = nextSendBatch(c, dir, g);
+        if (batch && (dir == Dir::kA ? c.haveA : c.haveB)[*batch]) {
+          std::uint32_t dest;
+          if (dir == Dir::kA) {
+            dest = c.i * g + (c.j + 1) % g;
+            c.sentA[*batch] = true;
+          } else {
+            dest = ((c.i + 1) % g) * g + c.j;
+            c.sentB[*batch] = true;
+          }
+          events.push({t, seq++, dest, dir, *batch});
+          progressed = true;
+        }
+      }
+      if (canMultiply(c, g)) {
+        t += 1.0;  // One block multiply.
+        ++c.nextMult;
+        progressed = true;
+      }
+    }
+  };
+
+  for (std::uint32_t idx = 0; idx < g * g; ++idx) {
+    runComponent(idx, 0.0);
+  }
+  while (!events.empty()) {
+    const Event e = events.top();
+    events.pop();
+    Component& c = comps[e.dest];
+    (e.dir == Dir::kA ? c.haveA : c.haveB)[e.batch] = true;
+    runComponent(e.dest, e.time);
+  }
+
+  double makespan = 0;
+  for (std::uint32_t idx = 0; idx < g * g; ++idx) {
+    if (comps[idx].nextMult != g) {
+      throw std::logic_error("simulateNoSyncMakespan: incomplete component");
+    }
+    makespan = std::max(makespan, clock[idx]);
+  }
+  return makespan;
+}
+
+}  // namespace ripple::matrix

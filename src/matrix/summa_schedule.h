@@ -1,0 +1,47 @@
+// Analytic simulator of the BSPified SUMMA schedule (paper Table II).
+//
+// Simulates the per-step behaviour of the synchronized SUMMA job — at
+// most one block multiply and one block send per direction per component
+// per step, sends in SUMMA-consistent channel order, delivery in the
+// following step — without doing any block arithmetic.  Used to
+// regenerate Table II and to cross-check the real engine's instrumented
+// run (they must agree step for step).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ripple::matrix {
+
+struct SummaSchedule {
+  /// multsPerStep[s] = number of block multiplications in step s+1.
+  std::vector<std::uint64_t> multsPerStep;
+
+  [[nodiscard]] std::uint64_t steps() const { return multsPerStep.size(); }
+  [[nodiscard]] std::uint64_t totalMultiplies() const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t m : multsPerStep) {
+      total += m;
+    }
+    return total;
+  }
+
+  /// max over components of multiplies done serially == G; the
+  /// synchronization slowdown factor of the paper is steps()/G (7/3 for
+  /// G = 3).
+  [[nodiscard]] double slowdownFactor(std::uint32_t grid) const {
+    return static_cast<double>(steps()) / static_cast<double>(grid);
+  }
+};
+
+/// Simulate the synchronized schedule for a G x G grid.
+[[nodiscard]] SummaSchedule simulateSummaSchedule(std::uint32_t grid);
+
+/// Simulate the unsynchronized (pipelined) execution in idealized time
+/// units where one block multiply costs 1 and communication is free;
+/// returns the makespan in multiply-units.  The paper's ideal no-sync
+/// time is G (every component pipelines its G multiplies).
+[[nodiscard]] double simulateNoSyncMakespan(std::uint32_t grid);
+
+}  // namespace ripple::matrix

@@ -1,0 +1,152 @@
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/queue.h"
+#include "mq/queue.h"
+
+namespace ripple::mq {
+
+namespace {
+
+class MemQueueSet : public QueueSet,
+                    public std::enable_shared_from_this<MemQueueSet> {
+ public:
+  MemQueueSet(std::string name, kv::KVStorePtr store, kv::TablePtr placement)
+      : name_(std::move(name)), store_(std::move(store)),
+        placement_(std::move(placement)),
+        queues_(placement_->numParts()) {
+    for (auto& q : queues_) {
+      q = std::make_unique<BlockingQueue<Bytes>>();
+    }
+  }
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+  [[nodiscard]] std::uint32_t numQueues() const override {
+    return static_cast<std::uint32_t>(queues_.size());
+  }
+
+  bool put(std::uint32_t queue, Bytes message) override {
+    return queues_.at(queue)->push(std::move(message));
+  }
+
+  void runWorkers(const std::function<void(WorkerContext&)>& body) override {
+    // Workers are long-lived mobile code; each gets a dedicated thread
+    // adopted into its part's location so state access stays local.
+    // (Store executors cannot host them: a looping worker would starve
+    // every other task on its executor.)
+    std::vector<std::thread> threads;
+    threads.reserve(queues_.size());
+    std::mutex failMu;
+    std::exception_ptr failure;
+    for (std::uint32_t part = 0; part < numQueues(); ++part) {
+      threads.emplace_back([&, part] {
+        auto token = store_->adoptPartThread(*placement_, part);
+        Context ctx(this, part);
+        try {
+          body(ctx);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(failMu);
+          if (!failure) {
+            failure = std::current_exception();
+          }
+        }
+      });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+    if (failure) {
+      std::rethrow_exception(failure);
+    }
+  }
+
+  void close() override {
+    for (auto& q : queues_) {
+      q->close();
+    }
+  }
+
+  [[nodiscard]] std::uint64_t backlog() const override {
+    std::uint64_t total = 0;
+    for (const auto& q : queues_) {
+      total += q->size();
+    }
+    return total;
+  }
+
+ private:
+  class Context : public WorkerContext {
+   public:
+    Context(MemQueueSet* set, std::uint32_t queue) : set_(set), queue_(queue) {}
+
+    [[nodiscard]] std::uint32_t queueIndex() const override { return queue_; }
+
+    std::optional<Bytes> read(std::chrono::milliseconds timeout) override {
+      return set_->queues_[queue_]->popFor(timeout);
+    }
+
+    std::optional<Bytes> tryRead() override {
+      return set_->queues_[queue_]->tryPop();
+    }
+
+    std::optional<Bytes> trySteal(std::uint32_t fromQueue) override {
+      if (fromQueue == queue_ || fromQueue >= set_->numQueues()) {
+        return std::nullopt;
+      }
+      return set_->queues_[fromQueue]->trySteal();
+    }
+
+   private:
+    MemQueueSet* set_;
+    std::uint32_t queue_;
+  };
+
+  std::string name_;
+  kv::KVStorePtr store_;
+  kv::TablePtr placement_;
+  std::vector<std::unique_ptr<BlockingQueue<Bytes>>> queues_;
+};
+
+class MemQueuing : public Queuing {
+ public:
+  explicit MemQueuing(kv::KVStorePtr store) : store_(std::move(store)) {}
+
+  QueueSetPtr createQueueSet(const std::string& name,
+                             const kv::TablePtr& placement) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sets_.contains(name)) {
+      throw std::invalid_argument("MemQueuing: queue set '" + name +
+                                  "' already exists");
+    }
+    auto set = std::make_shared<MemQueueSet>(name, store_, placement);
+    sets_.emplace(name, set);
+    return set;
+  }
+
+  void deleteQueueSet(const std::string& name) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sets_.find(name);
+    if (it != sets_.end()) {
+      it->second->close();
+      sets_.erase(it);
+    }
+  }
+
+ private:
+  kv::KVStorePtr store_;
+  std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<MemQueueSet>> sets_;
+};
+
+}  // namespace
+
+QueuingPtr makeMemQueuing(kv::KVStorePtr store) {
+  return std::make_shared<MemQueuing>(std::move(store));
+}
+
+}  // namespace ripple::mq

@@ -1,0 +1,100 @@
+// The Message Queuing SPI (paper §III-B).
+//
+// A *queue set* is placed like a given key/value table: one queue per part
+// of that table.  Mobile client code runs in each part reading (with a
+// timeout) from the local queue of the set; messages can be put into a
+// given queue of a queue set from anywhere in the system.
+//
+// Delivery guarantee relied on by the no-sync engine: per (sender thread,
+// queue) FIFO — if one sender puts a then b into the same queue, readers
+// observe a before b.
+
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "kvstore/table.h"
+
+namespace ripple::mq {
+
+/// Read access to the local queue, handed to worker code running in a part.
+class WorkerContext {
+ public:
+  virtual ~WorkerContext() = default;
+
+  /// Which queue (== part index) this worker serves.
+  [[nodiscard]] virtual std::uint32_t queueIndex() const = 0;
+
+  /// Blocking read with timeout; nullopt on timeout or when the set is
+  /// closed and the queue drained.
+  virtual std::optional<Bytes> read(std::chrono::milliseconds timeout) = 0;
+
+  /// Non-blocking read.
+  virtual std::optional<Bytes> tryRead() = 0;
+
+  /// Attempt to steal one message from another queue of the set.  Only
+  /// legal when the job's properties allow run-anywhere (paper §II-A);
+  /// stealing forfeits per-sender ordering for the stolen message.
+  /// Default: stealing unsupported.
+  virtual std::optional<Bytes> trySteal(std::uint32_t fromQueue) {
+    (void)fromQueue;
+    return std::nullopt;
+  }
+};
+
+class QueueSet {
+ public:
+  virtual ~QueueSet() = default;
+
+  [[nodiscard]] virtual const std::string& name() const = 0;
+  [[nodiscard]] virtual std::uint32_t numQueues() const = 0;
+
+  /// Enqueue into one queue; callable from anywhere.  Returns false if
+  /// the set is closed.
+  virtual bool put(std::uint32_t queue, Bytes message) = 0;
+
+  /// Run `body` once per queue, collocated with the corresponding part,
+  /// and block until every instance returns.  Workers typically loop on
+  /// ctx.read() until a termination condition of the client's choosing.
+  virtual void runWorkers(
+      const std::function<void(WorkerContext&)>& body) = 0;
+
+  /// Close the set: subsequent puts fail, reads drain then return nullopt
+  /// immediately.  Idempotent.
+  virtual void close() = 0;
+
+  /// Messages currently buffered across all queues (diagnostics).
+  [[nodiscard]] virtual std::uint64_t backlog() const = 0;
+};
+
+using QueueSetPtr = std::shared_ptr<QueueSet>;
+
+/// Factory for queue sets; the paper's adjunct lower-level interface.
+class Queuing {
+ public:
+  virtual ~Queuing() = default;
+
+  /// Create a queue set placed like `placement` (queue i collocated with
+  /// part i).  Throws if the name exists.
+  virtual QueueSetPtr createQueueSet(const std::string& name,
+                                     const kv::TablePtr& placement) = 0;
+
+  virtual void deleteQueueSet(const std::string& name) = 0;
+};
+
+using QueuingPtr = std::shared_ptr<Queuing>;
+
+/// Direct in-memory implementation (one blocking queue per part).
+[[nodiscard]] QueuingPtr makeMemQueuing(kv::KVStorePtr store);
+
+/// The paper's generic implementation: each queue set is backed by a new
+/// table of the underlying store ("a private extension in the Table
+/// interface"), with sequenced keys providing per-queue FIFO.
+[[nodiscard]] QueuingPtr makeTableQueuing(kv::KVStorePtr store);
+
+}  // namespace ripple::mq

@@ -1,0 +1,232 @@
+// Table-backed queue set: the paper's "generic implementation of the
+// message queuing interface based on a private extension in the Table
+// interface.  Each new queue set is implemented by such a new table."
+//
+// Message keys are (queue, sequence) pairs; a custom partitioner routes a
+// key to part == queue, giving queue-per-part placement.  Readers drain
+// their part and re-order by sequence.  Per-sender FIFO holds because a
+// sender's next put begins only after its previous put completed, so its
+// sequence numbers are monotone and already-stored messages are never
+// outrun by later ones.
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/codec.h"
+#include "mq/queue.h"
+
+namespace ripple::mq {
+
+namespace {
+
+kv::Key queueKey(std::uint32_t queue, std::uint64_t seq) {
+  ByteWriter w(12);
+  w.putFixed32(queue);
+  w.putFixed64(seq);
+  return w.take();
+}
+
+std::pair<std::uint32_t, std::uint64_t> parseQueueKey(BytesView key) {
+  ByteReader r(key);
+  const std::uint32_t queue = r.getFixed32();
+  const std::uint64_t seq = r.getFixed64();
+  return {queue, seq};
+}
+
+class TableQueueSet : public QueueSet {
+ public:
+  TableQueueSet(std::string name, kv::KVStorePtr store,
+                kv::TablePtr placement)
+      : name_(std::move(name)), store_(std::move(store)),
+        placement_(std::move(placement)) {
+    const std::uint32_t parts = placement_->numParts();
+    kv::TableOptions options;
+    options.parts = parts;
+    // Route key -> part by the queue index embedded in the key.
+    options.partitioner = std::make_shared<const Partitioner>(
+        parts, [](BytesView key) -> std::uint64_t {
+          ByteReader r(key);
+          return r.getFixed32();
+        });
+    table_ = store_->createTable("__mq_" + name_, std::move(options));
+    seq_ = std::vector<std::atomic<std::uint64_t>>(parts);
+  }
+
+  ~TableQueueSet() override {
+    if (store_->lookupTable(table_->name())) {
+      store_->dropTable(table_->name());
+    }
+  }
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+  [[nodiscard]] std::uint32_t numQueues() const override {
+    return placement_->numParts();
+  }
+
+  bool put(std::uint32_t queue, Bytes message) override {
+    if (closed_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    if (queue >= numQueues()) {
+      throw std::out_of_range("TableQueueSet: bad queue index");
+    }
+    const std::uint64_t seq =
+        seq_[queue].fetch_add(1, std::memory_order_relaxed);
+    table_->put(queueKey(queue, seq), message);
+    return true;
+  }
+
+  void runWorkers(const std::function<void(WorkerContext&)>& body) override {
+    std::vector<std::thread> threads;
+    threads.reserve(numQueues());
+    std::mutex failMu;
+    std::exception_ptr failure;
+    for (std::uint32_t part = 0; part < numQueues(); ++part) {
+      threads.emplace_back([&, part] {
+        auto token = store_->adoptPartThread(*placement_, part);
+        Context ctx(this, part);
+        try {
+          body(ctx);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(failMu);
+          if (!failure) {
+            failure = std::current_exception();
+          }
+        }
+      });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+    if (failure) {
+      std::rethrow_exception(failure);
+    }
+  }
+
+  void close() override { closed_.store(true, std::memory_order_release); }
+
+  /// Drop the backing table (called on deleteQueueSet; the set is then
+  /// unusable).  Idempotent with the destructor's cleanup.
+  void dropBacking() {
+    close();
+    if (store_->lookupTable(table_->name())) {
+      store_->dropTable(table_->name());
+    }
+  }
+
+  [[nodiscard]] std::uint64_t backlog() const override {
+    return table_->size();
+  }
+
+ private:
+  class Context : public WorkerContext {
+   public:
+    Context(TableQueueSet* set, std::uint32_t queue)
+        : set_(set), queue_(queue) {}
+
+    [[nodiscard]] std::uint32_t queueIndex() const override { return queue_; }
+
+    std::optional<Bytes> read(std::chrono::milliseconds timeout) override {
+      const auto deadline = std::chrono::steady_clock::now() + timeout;
+      for (;;) {
+        if (auto msg = tryRead()) {
+          return msg;
+        }
+        if (set_->closed_.load(std::memory_order_acquire) ||
+            std::chrono::steady_clock::now() >= deadline) {
+          // One final drain: messages stored before close must be read.
+          return tryRead();
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+
+    std::optional<Bytes> tryRead() override {
+      if (!buffer_.empty()) {
+        Bytes msg = std::move(buffer_.front());
+        buffer_.pop_front();
+        return msg;
+      }
+      refill();
+      if (buffer_.empty()) {
+        return std::nullopt;
+      }
+      Bytes msg = std::move(buffer_.front());
+      buffer_.pop_front();
+      return msg;
+    }
+
+   private:
+    void refill() {
+      auto drained = set_->table_->drainPart(queue_);
+      if (drained.empty()) {
+        return;
+      }
+      std::sort(drained.begin(), drained.end(),
+                [](const auto& a, const auto& b) {
+                  return parseQueueKey(a.first).second <
+                         parseQueueKey(b.first).second;
+                });
+      for (auto& [k, v] : drained) {
+        buffer_.push_back(std::move(v));
+      }
+    }
+
+    TableQueueSet* set_;
+    std::uint32_t queue_;
+    std::deque<Bytes> buffer_;
+  };
+
+  std::string name_;
+  kv::KVStorePtr store_;
+  kv::TablePtr placement_;
+  kv::TablePtr table_;
+  std::vector<std::atomic<std::uint64_t>> seq_;
+  std::atomic<bool> closed_{false};
+};
+
+class TableQueuing : public Queuing {
+ public:
+  explicit TableQueuing(kv::KVStorePtr store) : store_(std::move(store)) {}
+
+  QueueSetPtr createQueueSet(const std::string& name,
+                             const kv::TablePtr& placement) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sets_.contains(name)) {
+      throw std::invalid_argument("TableQueuing: queue set '" + name +
+                                  "' already exists");
+    }
+    auto set = std::make_shared<TableQueueSet>(name, store_, placement);
+    sets_.emplace(name, set);
+    return set;
+  }
+
+  void deleteQueueSet(const std::string& name) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sets_.find(name);
+    if (it != sets_.end()) {
+      it->second->dropBacking();
+      sets_.erase(it);
+    }
+  }
+
+ private:
+  kv::KVStorePtr store_;
+  std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<TableQueueSet>> sets_;
+};
+
+}  // namespace
+
+QueuingPtr makeTableQueuing(kv::KVStorePtr store) {
+  return std::make_shared<TableQueuing>(std::move(store));
+}
+
+}  // namespace ripple::mq

@@ -1,0 +1,38 @@
+#include "sim/cost_model.h"
+
+#include <ctime>
+#include <cstdlib>
+
+namespace ripple::sim {
+
+namespace {
+
+double envOr(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return end == v ? fallback : parsed;
+}
+
+}  // namespace
+
+double threadCpuSeconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+CostModel costModelFromEnv() {
+  CostModel m = CostModel::defaults();
+  m.barrierOverhead = envOr("RIPPLE_SIM_BARRIER", m.barrierOverhead);
+  m.messageLatency = envOr("RIPPLE_SIM_LATENCY", m.messageLatency);
+  m.invocationOverhead = envOr("RIPPLE_SIM_INVOKE", m.invocationOverhead);
+  m.perMessageCost = envOr("RIPPLE_SIM_PER_MSG", m.perMessageCost);
+  return m;
+}
+
+}  // namespace ripple::sim

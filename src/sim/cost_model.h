@@ -1,0 +1,50 @@
+// Cost-model helpers: environment overrides and RAII measurement scopes.
+
+#pragma once
+
+#include <chrono>
+
+#include "sim/virtual_time.h"
+
+namespace ripple::sim {
+
+/// CostModel::defaults() with optional environment overrides:
+///   RIPPLE_SIM_BARRIER   — barrier overhead, seconds
+///   RIPPLE_SIM_LATENCY   — message latency, seconds
+///   RIPPLE_SIM_INVOKE    — per-invocation overhead, seconds
+///   RIPPLE_SIM_PER_MSG   — per-message cost, seconds
+[[nodiscard]] CostModel costModelFromEnv();
+
+/// Current thread's consumed CPU time in seconds.  Thread CPU time (not
+/// wall time) keeps virtual-time charges accurate even when the physical
+/// machine has fewer cores than the virtual cluster and threads preempt
+/// each other.
+[[nodiscard]] double threadCpuSeconds();
+
+/// Measures the thread CPU time of a scope and charges it (plus the
+/// per-invocation overhead) to one part's virtual clock on destruction.
+/// Used around compute invocations so virtual time reflects actual CPU
+/// work arranged onto virtual processors.
+class ChargeScope {
+ public:
+  ChargeScope(VirtualCluster* cluster, std::uint32_t part)
+      : cluster_(cluster), part_(part),
+        start_(cluster ? threadCpuSeconds() : 0.0) {}
+
+  ChargeScope(const ChargeScope&) = delete;
+  ChargeScope& operator=(const ChargeScope&) = delete;
+
+  ~ChargeScope() {
+    if (cluster_ != nullptr) {
+      const double dt = threadCpuSeconds() - start_;
+      cluster_->charge(part_, dt + cluster_->model().invocationOverhead);
+    }
+  }
+
+ private:
+  VirtualCluster* cluster_;  // May be null: measurement disabled.
+  std::uint32_t part_;
+  double start_;
+};
+
+}  // namespace ripple::sim

@@ -1,0 +1,39 @@
+#include "sim/virtual_time.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ripple::sim {
+
+VirtualCluster::VirtualCluster(std::uint32_t parts, CostModel model)
+    : clock_(parts, 0.0), model_(model) {
+  if (parts == 0) {
+    throw std::invalid_argument("VirtualCluster: parts must be positive");
+  }
+}
+
+double VirtualCluster::charge(std::uint32_t part, double seconds) {
+  clock_.at(part) += seconds;
+  return clock_[part];
+}
+
+double VirtualCluster::deliver(std::uint32_t part, double sendTime) {
+  const double arrival = sendTime + model_.messageLatency;
+  double& c = clock_.at(part);
+  c = std::max(c, arrival);
+  return c;
+}
+
+double VirtualCluster::barrier() {
+  const double t = makespan() + model_.barrierOverhead;
+  std::fill(clock_.begin(), clock_.end(), t);
+  return t;
+}
+
+double VirtualCluster::makespan() const {
+  return *std::max_element(clock_.begin(), clock_.end());
+}
+
+void VirtualCluster::reset() { std::fill(clock_.begin(), clock_.end(), 0.0); }
+
+}  // namespace ripple::sim

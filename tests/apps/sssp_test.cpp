@@ -1,0 +1,223 @@
+// Incremental SSSP (§V-C): both variants against BFS ground truth across
+// randomized change batches, plus the selective/full cost asymmetry.
+
+#include "apps/sssp.h"
+
+#include <gtest/gtest.h>
+
+#include "kvstore/partitioned_store.h"
+
+namespace ripple::apps {
+namespace {
+
+graph::Graph undirectedGraph(std::size_t vertices, std::uint64_t edges,
+                             std::uint64_t seed) {
+  graph::PowerLawOptions options;
+  options.vertices = vertices;
+  options.edges = edges;
+  options.undirected = true;
+  options.seed = seed;
+  return graph::generatePowerLaw(options);
+}
+
+void expectMatchesBfs(SsspDriver& driver, const graph::Graph& g,
+                      graph::VertexId source, const char* what) {
+  const auto expected = graph::bfsDistances(g, source);
+  const auto measured = driver.distances(g.vertexCount());
+  ASSERT_EQ(measured.size(), expected.size());
+  for (std::size_t v = 0; v < expected.size(); ++v) {
+    const std::int32_t want =
+        expected[v] < 0 ? kSsspInf : expected[v];
+    EXPECT_EQ(measured[v], want) << what << ": vertex " << v;
+  }
+}
+
+struct DriverSetup {
+  std::shared_ptr<kv::PartitionedStore> store;
+  std::unique_ptr<ebsp::Engine> engine;
+  std::unique_ptr<SsspDriver> driver;
+};
+
+DriverSetup makeDriver(const graph::Graph& g, bool selective,
+                       graph::VertexId source = 0) {
+  DriverSetup setup;
+  setup.store = kv::PartitionedStore::create(4);
+  setup.engine = std::make_unique<ebsp::Engine>(setup.store);
+  SsspOptions options;
+  options.selective = selective;
+  options.source = source;
+  options.parts = 4;
+  setup.driver = std::make_unique<SsspDriver>(*setup.engine, options);
+  setup.driver->loadGraph(g);
+  return setup;
+}
+
+class SsspVariantTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(SsspVariantTest, InitialDistancesMatchBfs) {
+  const graph::Graph g = undirectedGraph(300, 1200, 1);
+  DriverSetup setup = makeDriver(g, GetParam());
+  setup.driver->initialize();
+  expectMatchesBfs(*setup.driver, g, 0, "initial");
+}
+
+TEST_P(SsspVariantTest, DisconnectedComponentsStayAtInfinity) {
+  graph::Graph g;
+  g.adj.resize(10);
+  auto addEdge = [&](graph::VertexId a, graph::VertexId b) {
+    g.adj[a].push_back(b);
+    g.adj[b].push_back(a);
+  };
+  addEdge(0, 1);
+  addEdge(1, 2);
+  addEdge(5, 6);  // Separate component.
+  DriverSetup setup = makeDriver(g, GetParam());
+  setup.driver->initialize();
+  const auto dist = setup.driver->distances(10);
+  EXPECT_EQ(dist[2], 2);
+  EXPECT_EQ(dist[5], kSsspInf);
+  EXPECT_EQ(dist[6], kSsspInf);
+}
+
+TEST_P(SsspVariantTest, EdgeAdditionShortensPaths) {
+  graph::Graph g;
+  g.adj.resize(6);
+  auto addEdge = [&](graph::VertexId a, graph::VertexId b) {
+    g.adj[a].push_back(b);
+    g.adj[b].push_back(a);
+  };
+  // A line 0-1-2-3-4-5.
+  for (graph::VertexId u = 0; u < 5; ++u) {
+    addEdge(u, u + 1);
+  }
+  DriverSetup setup = makeDriver(g, GetParam());
+  setup.driver->initialize();
+
+  std::vector<graph::GraphChange> batch{{true, 0, 5}};
+  graph::applyChanges(g, batch);
+  setup.driver->applyBatch(batch);
+  expectMatchesBfs(*setup.driver, g, 0, "after addition");
+  EXPECT_EQ(setup.driver->distances(6)[5], 1);
+}
+
+TEST_P(SsspVariantTest, EdgeDeletionLengthensPaths) {
+  graph::Graph g;
+  g.adj.resize(6);
+  auto addEdge = [&](graph::VertexId a, graph::VertexId b) {
+    g.adj[a].push_back(b);
+    g.adj[b].push_back(a);
+  };
+  // A cycle 0-1-2-3-4-5-0.
+  for (graph::VertexId u = 0; u < 6; ++u) {
+    addEdge(u, (u + 1) % 6);
+  }
+  DriverSetup setup = makeDriver(g, GetParam());
+  setup.driver->initialize();
+  EXPECT_EQ(setup.driver->distances(6)[5], 1);
+
+  std::vector<graph::GraphChange> batch{{false, 0, 5}};
+  graph::applyChanges(g, batch);
+  setup.driver->applyBatch(batch);
+  expectMatchesBfs(*setup.driver, g, 0, "after deletion");
+  EXPECT_EQ(setup.driver->distances(6)[5], 5);
+}
+
+TEST_P(SsspVariantTest, DeletionCanDisconnect) {
+  graph::Graph g;
+  g.adj.resize(4);
+  auto addEdge = [&](graph::VertexId a, graph::VertexId b) {
+    g.adj[a].push_back(b);
+    g.adj[b].push_back(a);
+  };
+  addEdge(0, 1);
+  addEdge(1, 2);
+  addEdge(2, 3);
+  DriverSetup setup = makeDriver(g, GetParam());
+  setup.driver->initialize();
+
+  std::vector<graph::GraphChange> batch{{false, 1, 2}};
+  graph::applyChanges(g, batch);
+  setup.driver->applyBatch(batch);
+  const auto dist = setup.driver->distances(4);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], kSsspInf);
+  EXPECT_EQ(dist[3], kSsspInf);
+}
+
+TEST_P(SsspVariantTest, RandomizedBatchesTrackBfs) {
+  graph::Graph g = undirectedGraph(200, 900, 17);
+  DriverSetup setup = makeDriver(g, GetParam());
+  setup.driver->initialize();
+  expectMatchesBfs(*setup.driver, g, 0, "initial");
+
+  Rng rng(99);
+  for (int batchNo = 0; batchNo < 6; ++batchNo) {
+    const auto batch = graph::randomChangeBatch(200, 60, 1.8, rng);
+    graph::applyChanges(g, batch);
+    setup.driver->applyBatch(batch);
+    expectMatchesBfs(*setup.driver, g, 0,
+                     ("batch " + std::to_string(batchNo)).c_str());
+  }
+}
+
+TEST_P(SsspVariantTest, NoOpBatchIsCheap) {
+  graph::Graph g;
+  g.adj.resize(4);
+  g.adj[0].push_back(1);
+  g.adj[1].push_back(0);
+  DriverSetup setup = makeDriver(g, GetParam());
+  setup.driver->initialize();
+  // Removing a non-existent edge and re-adding an existing one: no-ops.
+  std::vector<graph::GraphChange> batch{{false, 2, 3}, {true, 0, 1}};
+  const SsspUpdateStats stats = setup.driver->applyBatch(batch);
+  if (GetParam()) {
+    EXPECT_EQ(stats.jobs, 0);  // Selective: nothing was effective.
+  }
+  expectMatchesBfs(*setup.driver, g, 0, "no-op batch");
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, SsspVariantTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Selective" : "FullScan";
+                         });
+
+TEST(SsspComparison, SelectiveDoesFarLessWork) {
+  graph::Graph g = undirectedGraph(500, 3000, 23);
+  DriverSetup selective = makeDriver(g, true);
+  DriverSetup fullScan = makeDriver(g, false);
+  selective.driver->initialize();
+  fullScan.driver->initialize();
+
+  Rng rng(7);
+  const auto batch = graph::randomChangeBatch(500, 20, 1.8, rng);
+  graph::Graph gCopy = g;
+  graph::applyChanges(gCopy, batch);
+
+  const SsspUpdateStats sel = selective.driver->applyBatch(batch);
+  const SsspUpdateStats full = fullScan.driver->applyBatch(batch);
+
+  // Identical answers...
+  expectMatchesBfs(*selective.driver, gCopy, 0, "selective");
+  expectMatchesBfs(*fullScan.driver, gCopy, 0, "full");
+  // ...with selective enablement touching a small fraction of vertices.
+  EXPECT_LT(sel.invocations * 5, full.invocations);
+  EXPECT_LT(sel.messages * 5, full.messages);
+}
+
+TEST(SsspDriver, LoadGraphRequiredBeforeBatches) {
+  auto store = kv::PartitionedStore::create(2);
+  ebsp::Engine engine(store);
+  SsspOptions options;
+  SsspDriver driver(engine, options);
+  EXPECT_THROW(driver.applyBatch({}), std::logic_error);
+}
+
+TEST(SsspDriver, NonZeroSource) {
+  graph::Graph g = undirectedGraph(150, 600, 31);
+  DriverSetup setup = makeDriver(g, true, /*source=*/42);
+  setup.driver->initialize();
+  expectMatchesBfs(*setup.driver, g, 42, "non-zero source");
+}
+
+}  // namespace
+}  // namespace ripple::apps

@@ -1,0 +1,162 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace ripple {
+namespace {
+
+TEST(ByteWriter, FixedWidthRoundtrip) {
+  ByteWriter w;
+  w.putFixed32(0xdeadbeefu);
+  w.putFixed64(0x0123456789abcdefull);
+  w.putU8(7);
+
+  ByteReader r(w.view());
+  EXPECT_EQ(r.getFixed32(), 0xdeadbeefu);
+  EXPECT_EQ(r.getFixed64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.getU8(), 7);
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(ByteWriter, FixedIsLittleEndian) {
+  ByteWriter w;
+  w.putFixed32(0x01020304u);
+  const Bytes b = w.take();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(b[0]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(b[3]), 0x01);
+}
+
+TEST(ByteWriter, TakeLeavesWriterReusable) {
+  ByteWriter w;
+  w.putU8(1);
+  const Bytes first = w.take();
+  EXPECT_EQ(first.size(), 1u);
+  EXPECT_TRUE(w.empty());
+  w.putU8(2);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+class VarintTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintTest, Roundtrip) {
+  ByteWriter w;
+  w.putVarint(GetParam());
+  ByteReader r(w.view());
+  EXPECT_EQ(r.getVarint(), GetParam());
+  EXPECT_TRUE(r.atEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, VarintTest,
+    ::testing::Values(0ull, 1ull, 127ull, 128ull, 129ull, 16383ull, 16384ull,
+                      (1ull << 32) - 1, 1ull << 32, (1ull << 56) + 123,
+                      std::numeric_limits<std::uint64_t>::max()));
+
+class SignedVarintTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(SignedVarintTest, Roundtrip) {
+  ByteWriter w;
+  w.putVarintSigned(GetParam());
+  ByteReader r(w.view());
+  EXPECT_EQ(r.getVarintSigned(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, SignedVarintTest,
+    ::testing::Values(0ll, 1ll, -1ll, 63ll, 64ll, -64ll, -65ll, 1234567ll,
+                      -1234567ll, std::numeric_limits<std::int64_t>::max(),
+                      std::numeric_limits<std::int64_t>::min()));
+
+TEST(Varint, SmallValuesAreOneByte) {
+  ByteWriter w;
+  w.putVarint(127);
+  EXPECT_EQ(w.size(), 1u);
+  w.clear();
+  w.putVarint(128);
+  EXPECT_EQ(w.size(), 2u);
+}
+
+TEST(Varint, ZigzagKeepsSmallMagnitudesShort) {
+  ByteWriter w;
+  w.putVarintSigned(-1);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+class DoubleTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DoubleTest, Roundtrip) {
+  ByteWriter w;
+  w.putDouble(GetParam());
+  ByteReader r(w.view());
+  const double v = r.getDouble();
+  if (std::isnan(GetParam())) {
+    EXPECT_TRUE(std::isnan(v));
+  } else {
+    EXPECT_EQ(v, GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, DoubleTest,
+    ::testing::Values(0.0, -0.0, 1.0, -1.5, 3.141592653589793,
+                      std::numeric_limits<double>::infinity(),
+                      -std::numeric_limits<double>::infinity(),
+                      std::numeric_limits<double>::quiet_NaN(),
+                      std::numeric_limits<double>::denorm_min(),
+                      std::numeric_limits<double>::max()));
+
+TEST(Bytes, LengthPrefixedRoundtrip) {
+  ByteWriter w;
+  w.putBytes("hello");
+  w.putBytes("");
+  w.putBytes(std::string(1000, 'x'));
+  ByteReader r(w.view());
+  EXPECT_EQ(r.getBytes(), "hello");
+  EXPECT_EQ(r.getBytes(), "");
+  EXPECT_EQ(r.getBytes().size(), 1000u);
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Bytes, RawBytesPreserveEmbeddedNulls) {
+  ByteWriter w;
+  const std::string data("a\0b\0c", 5);
+  w.putBytes(data);
+  ByteReader r(w.view());
+  EXPECT_EQ(r.getBytes(), BytesView(data));
+}
+
+TEST(ByteReader, UnderrunThrows) {
+  ByteReader r("ab");
+  EXPECT_THROW(r.getFixed32(), CodecError);
+}
+
+TEST(ByteReader, UnderrunOnBytesThrows) {
+  ByteWriter w;
+  w.putVarint(100);  // Length prefix with no payload behind it.
+  ByteReader r(w.view());
+  EXPECT_THROW(r.getBytes(), CodecError);
+}
+
+TEST(ByteReader, MalformedVarintThrows) {
+  const Bytes bad(11, static_cast<char>(0xff));  // Never terminates.
+  ByteReader r(bad);
+  EXPECT_THROW(r.getVarint(), CodecError);
+}
+
+TEST(ByteReader, RemainingAndPosition) {
+  ByteWriter w;
+  w.putFixed32(1);
+  w.putFixed32(2);
+  ByteReader r(w.view());
+  EXPECT_EQ(r.remaining(), 8u);
+  (void)r.getFixed32();
+  EXPECT_EQ(r.position(), 4u);
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,116 @@
+#include "common/codec.h"
+
+#include <gtest/gtest.h>
+
+namespace ripple {
+namespace {
+
+template <typename T>
+void expectRoundtrip(const T& value) {
+  EXPECT_EQ(decodeFromBytes<T>(encodeToBytes(value)), value);
+}
+
+TEST(Codec, Integers) {
+  expectRoundtrip<int>(-42);
+  expectRoundtrip<int>(0);
+  expectRoundtrip<long long>(-1234567890123ll);
+  expectRoundtrip<unsigned>(42u);
+  expectRoundtrip<std::uint64_t>(1ull << 63);
+  expectRoundtrip<std::int16_t>(-300);
+  expectRoundtrip<std::uint8_t>(255);
+}
+
+TEST(Codec, Bool) {
+  expectRoundtrip(true);
+  expectRoundtrip(false);
+}
+
+TEST(Codec, FloatingPoint) {
+  expectRoundtrip(3.25);
+  expectRoundtrip(-1e-300);
+  expectRoundtrip(2.5f);
+}
+
+TEST(Codec, Strings) {
+  expectRoundtrip(std::string());
+  expectRoundtrip(std::string("ripple"));
+  expectRoundtrip(std::string(10'000, 'z'));
+}
+
+TEST(Codec, Pairs) {
+  expectRoundtrip(std::pair<int, std::string>(7, "seven"));
+  expectRoundtrip(std::pair<double, double>(1.5, -2.5));
+}
+
+TEST(Codec, Tuples) {
+  expectRoundtrip(std::tuple<int, std::string, bool>(1, "a", true));
+  expectRoundtrip(std::tuple<>());
+}
+
+TEST(Codec, Vectors) {
+  expectRoundtrip(std::vector<int>{});
+  expectRoundtrip(std::vector<int>{1, -2, 3});
+  expectRoundtrip(std::vector<std::string>{"a", "", "ccc"});
+  expectRoundtrip(
+      std::vector<std::vector<int>>{{1, 2}, {}, {3}});
+}
+
+TEST(Codec, Optionals) {
+  expectRoundtrip(std::optional<int>{});
+  expectRoundtrip(std::optional<int>{5});
+  expectRoundtrip(std::optional<std::string>{"x"});
+}
+
+TEST(Codec, TrailingBytesDetected) {
+  ByteWriter w;
+  w.putVarintSigned(1);
+  w.putU8(0);  // Garbage after the value.
+  EXPECT_THROW(decodeFromBytes<int>(w.view()), CodecError);
+}
+
+struct CustomRecord {
+  int a = 0;
+  std::string b;
+
+  bool operator==(const CustomRecord&) const = default;
+
+  void encodeTo(ByteWriter& w) const {
+    Codec<int>::encode(w, a);
+    Codec<std::string>::encode(w, b);
+  }
+  static CustomRecord decodeFrom(ByteReader& r) {
+    CustomRecord rec;
+    rec.a = Codec<int>::decode(r);
+    rec.b = Codec<std::string>::decode(r);
+    return rec;
+  }
+};
+
+TEST(Codec, SelfCodableTypesArePickedUpAutomatically) {
+  static_assert(SelfCodable<CustomRecord>);
+  expectRoundtrip(CustomRecord{3, "three"});
+  expectRoundtrip(std::vector<CustomRecord>{{1, "x"}, {2, "y"}});
+}
+
+TEST(Codec, TupleDecodeOrderIsLeftToRight) {
+  // If evaluation order were wrong, the fields would swap.
+  using T = std::tuple<std::uint8_t, std::uint8_t>;
+  const T t(1, 2);
+  const Bytes encoded = encodeToBytes(t);
+  ASSERT_EQ(encoded.size(), 2u);
+  EXPECT_EQ(decodeFromBytes<T>(encoded), t);
+}
+
+TEST(Codec, DecodePrefixLeavesRemainderUnread) {
+  ByteWriter w;
+  Codec<int>::encode(w, 9);
+  Codec<int>::encode(w, 10);
+  const Bytes b = w.take();
+  ByteReader r(b);
+  EXPECT_EQ(decodePrefix<int>(r), 9);
+  EXPECT_EQ(decodePrefix<int>(r), 10);
+  EXPECT_TRUE(r.atEnd());
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,125 @@
+#include "common/dyadic.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "common/random.h"
+
+namespace ripple {
+namespace {
+
+TEST(DyadicWeight, OneIsUnit) {
+  EXPECT_EQ(DyadicWeight::one().approx(), 1.0);
+}
+
+class SplitWeightTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SplitWeightTest, ChildrenPlusRemainderEqualsOriginal) {
+  const std::uint64_t children = GetParam();
+  const DyadicWeight w = DyadicWeight::one();
+  const WeightSplit split = splitWeight(w, children);
+
+  // Exact check via the ledger: crediting all children and the remainder
+  // must restore exactly 1.
+  WeightLedger ledger;
+  for (std::uint64_t i = 0; i < children; ++i) {
+    ledger.credit(split.child);
+  }
+  ledger.credit(split.remainder);
+  EXPECT_TRUE(ledger.complete());
+  EXPECT_GT(split.remainder.mantissa, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, SplitWeightTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 7u, 8u, 100u,
+                                           1000u, 65536u));
+
+TEST(SplitWeight, RejectsZeroChildren) {
+  EXPECT_THROW(splitWeight(DyadicWeight::one(), 0), std::invalid_argument);
+}
+
+TEST(SplitWeight, RejectsZeroWeight) {
+  EXPECT_THROW(splitWeight(DyadicWeight{0, 0}, 1), std::invalid_argument);
+}
+
+TEST(WeightLedger, IncompleteUntilAllReturned) {
+  WeightLedger ledger;
+  const WeightSplit split = splitWeight(DyadicWeight::one(), 3);
+  ledger.credit(split.remainder);
+  ledger.credit(split.child);
+  ledger.credit(split.child);
+  EXPECT_FALSE(ledger.complete());
+  ledger.credit(split.child);
+  EXPECT_TRUE(ledger.complete());
+}
+
+TEST(WeightLedger, OverflowBeyondOneThrows) {
+  WeightLedger ledger;
+  ledger.credit(DyadicWeight::one());
+  EXPECT_THROW(ledger.credit(DyadicWeight{1, 4}), std::logic_error);
+}
+
+TEST(WeightLedger, DeepChainStaysExact) {
+  // A 100000-hop chain: doubles would underflow around 2^-1074; the
+  // dyadic representation must stay exact.
+  WeightLedger ledger;
+  DyadicWeight w = DyadicWeight::one();
+  for (int i = 0; i < 100'000; ++i) {
+    const WeightSplit split = splitWeight(w, 1);
+    ledger.credit(split.remainder);
+    w = split.child;
+    EXPECT_FALSE(ledger.complete());
+  }
+  ledger.credit(w);
+  EXPECT_TRUE(ledger.complete());
+}
+
+TEST(WeightLedger, RandomizedMessageTreeTerminatesExactly) {
+  // Simulate Huang's algorithm over a random message tree: every
+  // in-flight message holds weight; processing spawns 0-4 children.
+  Rng rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    WeightLedger ledger;
+    std::deque<DyadicWeight> inflight;
+    const WeightSplit initial = splitWeight(DyadicWeight::one(), 2);
+    inflight.push_back(initial.child);
+    inflight.push_back(initial.child);
+    ledger.credit(initial.remainder);
+
+    int processed = 0;
+    while (!inflight.empty()) {
+      const DyadicWeight w = inflight.front();
+      inflight.pop_front();
+      ++processed;
+      const std::uint64_t children =
+          processed > 300 ? 0 : rng.nextBelow(5);  // Eventually drain.
+      if (children == 0) {
+        ledger.credit(w);
+      } else {
+        const WeightSplit split = splitWeight(w, children);
+        for (std::uint64_t i = 0; i < children; ++i) {
+          inflight.push_back(split.child);
+        }
+        ledger.credit(split.remainder);
+      }
+      // The invariant: ledger complete iff nothing is in flight.
+      EXPECT_EQ(ledger.complete(), inflight.empty());
+    }
+  }
+}
+
+TEST(WeightLedger, ApproxTracksCompleteness) {
+  WeightLedger ledger;
+  EXPECT_EQ(ledger.approx(), 0.0);
+  const WeightSplit split = splitWeight(DyadicWeight::one(), 2);
+  ledger.credit(split.remainder);
+  EXPECT_GT(ledger.approx(), 0.0);
+  EXPECT_LT(ledger.approx(), 1.0);
+  ledger.credit(split.child);
+  ledger.credit(split.child);
+  EXPECT_EQ(ledger.approx(), 1.0);
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,94 @@
+#include "common/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace ripple {
+namespace {
+
+TEST(SerialExecutor, ExecutesInSubmissionOrder) {
+  SerialExecutor exec("test");
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    exec.execute([&order, i] { order.push_back(i); });
+  }
+  exec.submit([] {}).get();  // Flush.
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(SerialExecutor, SubmitReturnsValue) {
+  SerialExecutor exec;
+  EXPECT_EQ(exec.submit([] { return 41 + 1; }).get(), 42);
+}
+
+TEST(SerialExecutor, SubmitPropagatesExceptions) {
+  SerialExecutor exec;
+  auto f = exec.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(SerialExecutor, OnThisThread) {
+  SerialExecutor exec;
+  EXPECT_FALSE(exec.onThisThread());
+  EXPECT_TRUE(exec.submit([&] { return exec.onThisThread(); }).get());
+}
+
+TEST(SerialExecutor, RunIsReentrantFromOwnThread) {
+  SerialExecutor exec;
+  // A task calling run() on its own executor must not deadlock.
+  const int result = exec.run([&] { return exec.run([] { return 5; }); });
+  EXPECT_EQ(result, 5);
+}
+
+TEST(SerialExecutor, ExecuteAfterShutdownThrows) {
+  SerialExecutor exec;
+  exec.shutdown();
+  EXPECT_THROW(exec.execute([] {}), std::runtime_error);
+}
+
+TEST(SerialExecutor, ShutdownDrainsPendingTasks) {
+  SerialExecutor exec;
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    exec.execute([&count] { count.fetch_add(1); });
+  }
+  exec.shutdown();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(CountdownLatch, WaitsForAllCounts) {
+  CountdownLatch latch(3);
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    latch.wait();
+    released.store(true);
+  });
+  EXPECT_EQ(latch.pending(), 3u);
+  latch.countDown();
+  latch.countDown();
+  EXPECT_FALSE(released.load());
+  latch.countDown();
+  waiter.join();
+  EXPECT_TRUE(released.load());
+}
+
+TEST(CountdownLatch, ExtraCountDownIsHarmless) {
+  CountdownLatch latch(1);
+  latch.countDown();
+  latch.countDown();
+  latch.wait();
+  EXPECT_EQ(latch.pending(), 0u);
+}
+
+TEST(CountdownLatch, ZeroInitialCountIsAlreadyReleased) {
+  CountdownLatch latch(0);
+  latch.wait();  // Must not block.
+}
+
+}  // namespace
+}  // namespace ripple

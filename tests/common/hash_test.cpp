@@ -1,0 +1,84 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace ripple {
+namespace {
+
+TEST(Fnv1a, KnownVectorsAndDeterminism) {
+  // FNV-1a 64 reference values.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("hello"), fnv1a64("hello"));
+  EXPECT_NE(fnv1a64("hello"), fnv1a64("hellp"));
+}
+
+TEST(Mix64, SpreadsSequentialInputs) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    outputs.insert(mix64(i));
+  }
+  EXPECT_EQ(outputs.size(), 1000u);
+}
+
+TEST(Partitioner, RejectsZeroParts) {
+  EXPECT_THROW(Partitioner(0), std::invalid_argument);
+}
+
+TEST(Partitioner, PartsInRange) {
+  Partitioner p(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint32_t part = p.partOf("key" + std::to_string(i));
+    EXPECT_LT(part, 7u);
+  }
+}
+
+TEST(Partitioner, DeterministicAcrossInstances) {
+  Partitioner p1(6);
+  Partitioner p2(6);
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    EXPECT_EQ(p1.partOf(key), p2.partOf(key));
+  }
+}
+
+TEST(Partitioner, ReasonablyBalanced) {
+  Partitioner p(6);
+  std::vector<int> counts(6, 0);
+  const int n = 60'000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[p.partOf("key" + std::to_string(i))];
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, n / 6 / 2);
+    EXPECT_LT(c, n / 6 * 2);
+  }
+}
+
+TEST(Partitioner, CustomHashControlsPlacement) {
+  // "The table client can control the assignment of keys to parts by
+  // controlling the hash values of its keys."
+  Partitioner p(4, [](BytesView key) -> std::uint64_t {
+    return static_cast<std::uint64_t>(key.size());
+  });
+  EXPECT_EQ(p.partOf(""), 0u);
+  EXPECT_EQ(p.partOf("abc"), 3u);
+  EXPECT_EQ(p.partOf("abcd"), 0u);
+}
+
+TEST(Partitioner, SharedInstanceGivesConsistentPartitioning) {
+  PartitionerPtr shared = makeDefaultPartitioner(5);
+  // Two "tables" using the same instance co-place every key by
+  // construction.
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = std::to_string(i);
+    EXPECT_EQ(shared->partOf(key), shared->partOf(key));
+  }
+  EXPECT_EQ(shared->parts(), 5u);
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,132 @@
+#include "common/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ripple {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(BlockingQueue, FifoOrder) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(BlockingQueue, TryPopOnEmpty) {
+  BlockingQueue<int> q;
+  EXPECT_EQ(q.tryPop(), std::nullopt);
+}
+
+TEST(BlockingQueue, PopForTimesOut) {
+  BlockingQueue<int> q;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(q.popFor(20ms), std::nullopt);
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 15ms);
+}
+
+TEST(BlockingQueue, CloseDrainsThenReturnsNullopt) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_FALSE(q.push(3));
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), std::nullopt);
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(BlockingQueue, CloseWakesBlockedConsumer) {
+  BlockingQueue<int> q;
+  std::thread consumer([&] { EXPECT_EQ(q.pop(), std::nullopt); });
+  std::this_thread::sleep_for(10ms);
+  q.close();
+  consumer.join();
+}
+
+TEST(BlockingQueue, StealTakesFromBack) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.trySteal(), 3);
+  EXPECT_EQ(q.pop(), 1);
+}
+
+TEST(BlockingQueue, SizeTracksContents) {
+  BlockingQueue<int> q;
+  EXPECT_TRUE(q.empty());
+  q.push(1);
+  q.push(2);
+  EXPECT_EQ(q.size(), 2u);
+  (void)q.pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(BlockingQueue, PerSenderOrderUnderConcurrency) {
+  // Two producers each push an ascending sequence; consumers must see
+  // each producer's elements in order (the guarantee Ripple's async
+  // engine depends on).
+  BlockingQueue<std::pair<int, int>> q;  // (producer, seq)
+  constexpr int kPerProducer = 5000;
+  auto producer = [&](int id) {
+    for (int i = 0; i < kPerProducer; ++i) {
+      ASSERT_TRUE(q.push({id, i}));
+    }
+  };
+  std::thread p1(producer, 1);
+  std::thread p2(producer, 2);
+
+  std::vector<int> lastSeen(3, -1);
+  int received = 0;
+  while (received < 2 * kPerProducer) {
+    auto item = q.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(item->second, lastSeen[item->first] + 1);
+    lastSeen[item->first] = item->second;
+    ++received;
+  }
+  p1.join();
+  p2.join();
+}
+
+TEST(BlockingQueue, ManyProducersManyConsumers) {
+  BlockingQueue<int> q;
+  constexpr int kProducers = 4;
+  constexpr int kItems = 2000;
+  std::atomic<long> sum{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q] {
+      for (int i = 1; i <= kItems; ++i) {
+        q.push(i);
+      }
+    });
+  }
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) {
+        sum.fetch_add(*v);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads[p].join();
+  }
+  q.close();
+  for (std::size_t i = kProducers; i < threads.size(); ++i) {
+    threads[i].join();
+  }
+  EXPECT_EQ(sum.load(), 4L * kItems * (kItems + 1) / 2);
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,114 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace ripple {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  Rng c(43);
+  Rng d(42);
+  bool differs = false;
+  for (int i = 0; i < 10 && !differs; ++i) {
+    differs = c.next() != d.next();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.nextBelow(13), 13u);
+  }
+  EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextBelowRejectsZero) {
+  Rng rng(7);
+  EXPECT_THROW(rng.nextBelow(0), std::invalid_argument);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.nextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    hits += rng.nextBool(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / 10'000.0, 0.3, 0.03);
+}
+
+TEST(PowerLawSampler, SamplesWholeRange) {
+  Rng rng(3);
+  PowerLawSampler sampler(100, 1.5, rng, /*shuffle=*/false);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100'000; ++i) {
+    const std::size_t v = sampler.sample(rng);
+    ASSERT_LT(v, 100u);
+    ++counts[v];
+  }
+  // Unshuffled: rank 0 is the most popular, and popularity decays.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[99]);
+}
+
+TEST(PowerLawSampler, HeavySkewForLargeAlpha) {
+  Rng rng(5);
+  PowerLawSampler sampler(1000, 2.5, rng, /*shuffle=*/false);
+  int topTen = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    if (sampler.sample(rng) < 10) {
+      ++topTen;
+    }
+  }
+  // With alpha 2.5 the top 10 of 1000 ranks dominate.
+  EXPECT_GT(topTen, n / 2);
+}
+
+TEST(PowerLawSampler, ShuffleDecouplesPopularityFromId) {
+  Rng rng(13);
+  PowerLawSampler sampler(1000, 2.0, rng, /*shuffle=*/true);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 50'000; ++i) {
+    ++counts[sampler.sample(rng)];
+  }
+  // The most popular id is very unlikely to be id 0 after shuffling
+  // (probability 1/1000); mostly we assert it samples many distinct ids.
+  EXPECT_GT(counts.size(), 100u);
+}
+
+TEST(PowerLawSampler, RejectsEmptyDomain) {
+  Rng rng(1);
+  EXPECT_THROW(PowerLawSampler(0, 1.5, rng), std::invalid_argument);
+}
+
+TEST(PowerLawSampler, SingleElementDomain) {
+  Rng rng(1);
+  PowerLawSampler sampler(1, 1.5, rng);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(sampler.sample(rng), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace ripple

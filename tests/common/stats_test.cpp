@@ -1,0 +1,76 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+namespace ripple {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMeanAndSampleStddev) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample stddev (n-1): sqrt(32/7).
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SummaryFormat) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_EQ(s.summary(1), "2.0 ± 1.4");
+}
+
+TEST(RunningStats, NegativeValues) {
+  RunningStats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), -3.0);
+}
+
+TEST(Summarize, MatchesIncremental) {
+  const std::vector<double> values{1.5, 2.5, 10.0, -4.0};
+  RunningStats direct;
+  for (const double v : values) {
+    direct.add(v);
+  }
+  const RunningStats viaHelper = summarize(values);
+  EXPECT_DOUBLE_EQ(viaHelper.mean(), direct.mean());
+  EXPECT_DOUBLE_EQ(viaHelper.stddev(), direct.stddev());
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(sw.elapsedSeconds(), 0.015);
+  EXPECT_GE(sw.elapsedMillis(), 15.0);
+  sw.reset();
+  EXPECT_LT(sw.elapsedSeconds(), 0.015);
+}
+
+}  // namespace
+}  // namespace ripple

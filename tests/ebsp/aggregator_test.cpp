@@ -1,0 +1,118 @@
+#include "ebsp/aggregator.h"
+
+#include <gtest/gtest.h>
+
+namespace ripple::ebsp {
+namespace {
+
+TEST(AggregatorLibrary, Sum) {
+  auto agg = sumAggregator<double>();
+  EXPECT_EQ(decodeFromBytes<double>(agg->identity()), 0.0);
+  EXPECT_EQ(decodeFromBytes<double>(
+                agg->combine(encodeToBytes(1.5), encodeToBytes(2.5))),
+            4.0);
+}
+
+TEST(AggregatorLibrary, MinMax) {
+  auto mn = minAggregator<int>(1000);
+  auto mx = maxAggregator<int>(-1000);
+  EXPECT_EQ(decodeFromBytes<int>(
+                mn->combine(encodeToBytes(5), encodeToBytes(3))),
+            3);
+  EXPECT_EQ(decodeFromBytes<int>(
+                mx->combine(encodeToBytes(5), encodeToBytes(3))),
+            5);
+  EXPECT_EQ(decodeFromBytes<int>(mn->identity()), 1000);
+}
+
+TEST(AggregatorLibrary, CountAndBools) {
+  auto count = countAggregator();
+  EXPECT_EQ(decodeFromBytes<std::uint64_t>(count->combine(
+                encodeToBytes<std::uint64_t>(2), encodeToBytes<std::uint64_t>(3))),
+            5u);
+  auto land = boolAndAggregator();
+  auto lor = boolOrAggregator();
+  EXPECT_FALSE(decodeFromBytes<bool>(
+      land->combine(encodeToBytes(true), encodeToBytes(false))));
+  EXPECT_TRUE(decodeFromBytes<bool>(
+      lor->combine(encodeToBytes(true), encodeToBytes(false))));
+  EXPECT_TRUE(decodeFromBytes<bool>(land->identity()));
+  EXPECT_FALSE(decodeFromBytes<bool>(lor->identity()));
+}
+
+class AggregatorSetTest : public ::testing::Test {
+ protected:
+  AggregatorSetTest() {
+    techniques_.emplace("sum", sumAggregator<std::int64_t>());
+    techniques_.emplace("min", minAggregator<std::int64_t>(1'000'000));
+  }
+  std::map<std::string, RawAggregatorPtr> techniques_;
+};
+
+TEST_F(AggregatorSetTest, PartialAggregationAndFinalize) {
+  AggregatorSet set(&techniques_);
+  set.add("sum", encodeToBytes<std::int64_t>(3));
+  set.add("sum", encodeToBytes<std::int64_t>(4));
+  set.add("min", encodeToBytes<std::int64_t>(9));
+  set.add("min", encodeToBytes<std::int64_t>(2));
+
+  const auto finals = set.finalize();
+  EXPECT_EQ(decodeFromBytes<std::int64_t>(finals.at("sum")), 7);
+  EXPECT_EQ(decodeFromBytes<std::int64_t>(finals.at("min")), 2);
+}
+
+TEST_F(AggregatorSetTest, UncontributedAggregatorsGetIdentity) {
+  AggregatorSet set(&techniques_);
+  const auto finals = set.finalize();
+  EXPECT_EQ(decodeFromBytes<std::int64_t>(finals.at("sum")), 0);
+  EXPECT_EQ(decodeFromBytes<std::int64_t>(finals.at("min")), 1'000'000);
+}
+
+TEST_F(AggregatorSetTest, MergeCombinesPerPartPartials) {
+  // The engine aggregates partials per part then merges at the barrier
+  // (paper §IV-A).
+  AggregatorSet part0(&techniques_);
+  AggregatorSet part1(&techniques_);
+  part0.add("sum", encodeToBytes<std::int64_t>(10));
+  part1.add("sum", encodeToBytes<std::int64_t>(5));
+  part1.add("min", encodeToBytes<std::int64_t>(-3));
+  part0.merge(part1);
+  const auto finals = part0.finalize();
+  EXPECT_EQ(decodeFromBytes<std::int64_t>(finals.at("sum")), 15);
+  EXPECT_EQ(decodeFromBytes<std::int64_t>(finals.at("min")), -3);
+}
+
+TEST_F(AggregatorSetTest, UnknownNameThrows) {
+  AggregatorSet set(&techniques_);
+  EXPECT_THROW(set.add("nope", encodeToBytes<std::int64_t>(1)),
+               std::invalid_argument);
+}
+
+TEST(AggregatorSet, NullTechniquesRejectsAdds) {
+  AggregatorSet set(nullptr);
+  EXPECT_THROW(set.add("x", "v"), std::invalid_argument);
+  EXPECT_TRUE(set.finalize().empty());
+}
+
+TEST(AggregateReader, ReadsTypedValues) {
+  std::map<std::string, Bytes> finals;
+  finals["pi"] = encodeToBytes(3.14);
+  AggregateReader reader(&finals);
+  EXPECT_EQ(reader.get<double>("pi"), 3.14);
+  EXPECT_EQ(reader.get<double>("tau"), std::nullopt);
+  AggregateReader empty(nullptr);
+  EXPECT_EQ(empty.raw("pi"), std::nullopt);
+}
+
+TEST(MakeAggregator, CustomTechnique) {
+  // String concatenation with a custom merge (order-dependent combine is
+  // discouraged, but the plumbing must honor the function).
+  auto agg = makeAggregator<std::int64_t>(
+      1, [](std::int64_t a, std::int64_t b) { return a * b; });
+  EXPECT_EQ(decodeFromBytes<std::int64_t>(agg->combine(
+                encodeToBytes<std::int64_t>(6), encodeToBytes<std::int64_t>(7))),
+            42);
+}
+
+}  // namespace
+}  // namespace ripple::ebsp

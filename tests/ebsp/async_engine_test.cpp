@@ -1,0 +1,354 @@
+// No-sync engine semantics: property gating, Huang termination, ordering
+// guarantees, work stealing, and equivalence with synchronized execution.
+
+#include "ebsp/async_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include "common/codec.h"
+#include "ebsp/library.h"
+#include "ebsp/sync_engine.h"
+#include "kvstore/partitioned_store.h"
+#include "mq/queue.h"
+
+namespace ripple::ebsp {
+namespace {
+
+kv::KVStorePtr newStore(std::uint32_t containers = 4) {
+  return kv::PartitionedStore::create(containers);
+}
+
+kv::TablePtr makeRef(kv::KVStore& store, std::uint32_t parts = 4) {
+  kv::TableOptions options;
+  options.parts = parts;
+  return store.createTable("ref", std::move(options));
+}
+
+JobProperties noSyncProps() {
+  JobProperties p;
+  p.oneMsg = true;
+  p.noContinue = true;
+  p.noSsOrder = true;
+  return p;
+}
+
+RawJob baseJob(std::function<bool(RawComputeContext&)> compute) {
+  RawJob job;
+  job.referenceTable = "ref";
+  job.stateTableNames = {"ref"};
+  job.properties = noSyncProps();
+  job.compute.compute = std::move(compute);
+  return job;
+}
+
+JobResult run(kv::KVStorePtr store, RawJob& job,
+              AsyncEngineOptions options = {}) {
+  if (!options.queuing) {
+    options.queuing = mq::makeMemQueuing(store);
+  }
+  AsyncEngine engine(std::move(store), std::move(options));
+  return engine.run(job);
+}
+
+TEST(AsyncEngine, RejectsJobsThatNeedSync) {
+  auto store = newStore();
+  makeRef(*store);
+  RawJob job = baseJob([](RawComputeContext&) { return false; });
+  job.properties = JobProperties{};  // No qualifying properties.
+  EXPECT_THROW(run(store, job), std::invalid_argument);
+}
+
+TEST(AsyncEngine, RejectsAggregators) {
+  auto store = newStore();
+  makeRef(*store);
+  RawJob job = baseJob([](RawComputeContext&) { return false; });
+  job.aggregators.emplace("a", countAggregator());  // Breaks no-agg.
+  EXPECT_THROW(run(store, job), std::invalid_argument);
+}
+
+TEST(AsyncEngine, RejectsAborter) {
+  auto store = newStore();
+  makeRef(*store);
+  RawJob job = baseJob([](RawComputeContext&) { return false; });
+  job.aborter = [](const AggregateReader&, int) { return false; };
+  EXPECT_THROW(run(store, job), std::invalid_argument);
+}
+
+TEST(AsyncEngine, EmptyInitialConditionTerminatesImmediately) {
+  auto store = newStore();
+  makeRef(*store);
+  RawJob job = baseJob([](RawComputeContext&) { return false; });
+  const JobResult r = run(store, job);
+  EXPECT_EQ(r.metrics.computeInvocations, 0u);
+  EXPECT_EQ(r.steps, 0);
+}
+
+TEST(AsyncEngine, ChainTerminatesViaHuang) {
+  auto store = newStore();
+  makeRef(*store);
+  std::atomic<int> invocations{0};
+  RawJob job = baseJob([&](RawComputeContext& ctx) {
+    invocations.fetch_add(1);
+    const auto hop = decodeFromBytes<std::int64_t>(ctx.inputMessages()[0]);
+    if (hop < 500) {
+      ctx.outputMessage(encodeToBytes(hop + 1), encodeToBytes(hop + 1));
+    }
+    return false;
+  });
+  auto loader = std::make_shared<VectorLoader>();
+  loader->message(encodeToBytes<std::int64_t>(0),
+                  encodeToBytes<std::int64_t>(0));
+  job.loaders = {loader};
+  const JobResult r = run(store, job);
+  EXPECT_EQ(invocations.load(), 501);
+  EXPECT_EQ(r.metrics.messagesSent, 500u);
+}
+
+TEST(AsyncEngine, FanOutFanInProcessesEverything) {
+  auto store = newStore();
+  makeRef(*store);
+  std::atomic<std::int64_t> leafSum{0};
+  RawJob job = baseJob([&](RawComputeContext& ctx) {
+    const auto depth = decodeFromBytes<std::int64_t>(ctx.inputMessages()[0]);
+    if (depth < 10) {
+      ctx.outputMessage(Bytes(ctx.key()) + "L", encodeToBytes(depth + 1));
+      ctx.outputMessage(Bytes(ctx.key()) + "R", encodeToBytes(depth + 1));
+    } else {
+      leafSum.fetch_add(1);
+    }
+    return false;
+  });
+  auto loader = std::make_shared<VectorLoader>();
+  loader->message("root", encodeToBytes<std::int64_t>(0));
+  job.loaders = {loader};
+  run(store, job);
+  EXPECT_EQ(leafSum.load(), 1024);
+}
+
+TEST(AsyncEngine, PerChannelFifoHolds) {
+  // An incremental job: one sender component streams sequenced messages
+  // to one receiver; the receiver must observe them in order.
+  auto store = newStore();
+  makeRef(*store, 4);
+  std::mutex mu;
+  std::vector<std::int64_t> received;
+  RawJob job = baseJob([&](RawComputeContext& ctx) {
+    if (ctx.key() == "sender") {
+      for (std::int64_t i = 0; i < 200; ++i) {
+        ctx.outputMessage("receiver", encodeToBytes(i));
+      }
+    } else {
+      std::lock_guard<std::mutex> lock(mu);
+      for (const Bytes& m : ctx.inputMessages()) {
+        received.push_back(decodeFromBytes<std::int64_t>(m));
+      }
+    }
+    return false;
+  });
+  job.properties = JobProperties{};
+  job.properties.incremental = true;  // The other no-sync path.
+  job.properties.noContinue = true;
+  auto loader = std::make_shared<VectorLoader>();
+  loader->enable("sender");
+  job.loaders = {loader};
+  run(store, job);
+  ASSERT_EQ(received.size(), 200u);
+  for (std::int64_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(received[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(AsyncEngine, StateWritesVisibleAfterRun) {
+  auto store = newStore();
+  auto ref = makeRef(*store);
+  RawJob job = baseJob([](RawComputeContext& ctx) {
+    ctx.writeState(0, ctx.inputMessages()[0]);
+    return false;
+  });
+  auto loader = std::make_shared<VectorLoader>();
+  for (int i = 0; i < 50; ++i) {
+    loader->message(encodeToBytes(i), encodeToBytes(i * 2));
+  }
+  job.loaders = {loader};
+  run(store, job);
+  EXPECT_EQ(ref->size(), 50u);
+  EXPECT_EQ(decodeFromBytes<int>(*ref->get(encodeToBytes(7))), 14);
+}
+
+TEST(AsyncEngine, WorkStealingHappensUnderSkew) {
+  auto store = newStore(4);
+  // Constant partitioner: all components land in part 0.
+  kv::TableOptions options;
+  options.parts = 4;
+  options.partitioner = std::make_shared<const Partitioner>(
+      4, [](BytesView) -> std::uint64_t { return 0; });
+  store->createTable("ref", std::move(options));
+
+  RawJob job = baseJob([](RawComputeContext& ctx) {
+    const auto hop = decodeFromBytes<std::int64_t>(ctx.inputMessages()[0]);
+    volatile double x = 1.0;
+    for (int i = 0; i < 10000; ++i) {
+      x = x * 1.0000001;
+    }
+    if (hop < 30) {
+      ctx.outputMessage(Bytes(ctx.key()) + "x", encodeToBytes(hop + 1));
+    }
+    return false;
+  });
+  job.properties.rareState = true;  // Enables run-anywhere.
+  auto loader = std::make_shared<VectorLoader>();
+  for (int c = 0; c < 16; ++c) {
+    loader->message("chain" + std::to_string(c),
+                    encodeToBytes<std::int64_t>(0));
+  }
+  job.loaders = {loader};
+  const JobResult r = run(store, job);
+  EXPECT_EQ(r.metrics.computeInvocations, 16u * 31u);
+  EXPECT_GT(r.metrics.stolenMessages, 0u);
+}
+
+TEST(AsyncEngine, StealingDisabledWithoutRareState) {
+  auto store = newStore(4);
+  kv::TableOptions options;
+  options.parts = 4;
+  options.partitioner = std::make_shared<const Partitioner>(
+      4, [](BytesView) -> std::uint64_t { return 0; });
+  store->createTable("ref", std::move(options));
+  RawJob job = baseJob([](RawComputeContext& ctx) {
+    const auto hop = decodeFromBytes<std::int64_t>(ctx.inputMessages()[0]);
+    if (hop < 10) {
+      ctx.outputMessage(Bytes(ctx.key()) + "x", encodeToBytes(hop + 1));
+    }
+    return false;
+  });
+  // rareState stays false: no-collect holds but run-anywhere does not.
+  auto loader = std::make_shared<VectorLoader>();
+  for (int c = 0; c < 8; ++c) {
+    loader->message("chain" + std::to_string(c),
+                    encodeToBytes<std::int64_t>(0));
+  }
+  job.loaders = {loader};
+  const JobResult r = run(store, job);
+  EXPECT_EQ(r.metrics.stolenMessages, 0u);
+}
+
+TEST(AsyncEngine, CreateStateRoutesAndMerges) {
+  auto store = newStore();
+  auto ref = makeRef(*store);
+  RawJob job = baseJob([](RawComputeContext& ctx) {
+    ctx.createState(0, "target", encodeToBytes<std::int64_t>(1));
+    return false;
+  });
+  job.compute.combineStates = [](BytesView, BytesView a, BytesView b) {
+    return encodeToBytes(decodeFromBytes<std::int64_t>(a) +
+                         decodeFromBytes<std::int64_t>(b));
+  };
+  auto loader = std::make_shared<VectorLoader>();
+  for (int i = 0; i < 10; ++i) {
+    loader->message(encodeToBytes(i), encodeToBytes(i));
+  }
+  job.loaders = {loader};
+  run(store, job);
+  EXPECT_EQ(decodeFromBytes<std::int64_t>(*ref->get("target")), 10);
+}
+
+TEST(AsyncEngine, ComputeExceptionPropagates) {
+  auto store = newStore();
+  makeRef(*store);
+  RawJob job = baseJob([](RawComputeContext&) -> bool {
+    throw std::runtime_error("compute failed");
+  });
+  auto loader = std::make_shared<VectorLoader>();
+  loader->message("a", "m");
+  job.loaders = {loader};
+  EXPECT_THROW(run(store, job), std::runtime_error);
+}
+
+TEST(AsyncEngine, ContinueSignalReinvokesUnderIncremental) {
+  auto store = newStore();
+  makeRef(*store);
+  std::atomic<int> invocations{0};
+  RawJob job = baseJob([&](RawComputeContext& ctx) {
+    (void)ctx;
+    return invocations.fetch_add(1) < 4;  // Continue 4 times.
+  });
+  job.properties = JobProperties{};
+  job.properties.incremental = true;
+  auto loader = std::make_shared<VectorLoader>();
+  loader->enable("c");
+  job.loaders = {loader};
+  run(store, job);
+  EXPECT_EQ(invocations.load(), 5);
+}
+
+TEST(AsyncEngine, TableBackedQueuingWorksToo) {
+  auto store = newStore();
+  makeRef(*store);
+  std::atomic<int> invocations{0};
+  RawJob job = baseJob([&](RawComputeContext& ctx) {
+    invocations.fetch_add(1);
+    const auto hop = decodeFromBytes<std::int64_t>(ctx.inputMessages()[0]);
+    if (hop < 50) {
+      ctx.outputMessage(encodeToBytes(hop + 1), encodeToBytes(hop + 1));
+    }
+    return false;
+  });
+  auto loader = std::make_shared<VectorLoader>();
+  loader->message(encodeToBytes<std::int64_t>(0),
+                  encodeToBytes<std::int64_t>(0));
+  job.loaders = {loader};
+  AsyncEngineOptions options;
+  options.queuing = mq::makeTableQueuing(store);
+  run(store, job, options);
+  EXPECT_EQ(invocations.load(), 51);
+}
+
+TEST(AsyncAndSync, ProduceIdenticalFinalState) {
+  // A commutative accumulation job valid in both modes; final state must
+  // agree between engines.
+  auto makeJob = [](std::atomic<long>* sum) {
+    RawJob job;
+    job.referenceTable = "ref";
+    job.stateTableNames = {"ref"};
+    job.properties = noSyncProps();
+    job.compute.compute = [sum](RawComputeContext& ctx) {
+      const auto v = decodeFromBytes<std::int64_t>(ctx.inputMessages()[0]);
+      sum->fetch_add(v);
+      if (v > 1) {
+        // Split v into two messages v/2 and v-v/2 to distinct children.
+        ctx.outputMessage(Bytes(ctx.key()) + "a", encodeToBytes(v / 2));
+        ctx.outputMessage(Bytes(ctx.key()) + "b", encodeToBytes(v - v / 2));
+      }
+      return false;
+    };
+    auto loader = std::make_shared<VectorLoader>();
+    loader->message("root", encodeToBytes<std::int64_t>(64));
+    job.loaders = {loader};
+    return job;
+  };
+
+  std::atomic<long> asyncSum{0};
+  {
+    auto store = newStore();
+    makeRef(*store);
+    RawJob job = makeJob(&asyncSum);
+    run(store, job);
+  }
+  std::atomic<long> syncSum{0};
+  {
+    auto store = newStore();
+    makeRef(*store);
+    RawJob job = makeJob(&syncSum);
+    SyncEngine engine(store, {});
+    engine.run(job);
+  }
+  EXPECT_EQ(asyncSum.load(), syncSum.load());
+  EXPECT_GT(asyncSum.load(), 64);
+}
+
+}  // namespace
+}  // namespace ripple::ebsp

@@ -1,0 +1,259 @@
+// Engine front-end strategy selection, the CombineSlot accumulator path,
+// and the library loaders/exporters.
+
+#include "ebsp/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/codec.h"
+#include "ebsp/library.h"
+#include "ebsp/transport.h"
+#include "kvstore/partitioned_store.h"
+
+namespace ripple::ebsp {
+namespace {
+
+RawJob minimalJob() {
+  RawJob job;
+  job.referenceTable = "ref";
+  job.compute.compute = [](RawComputeContext&) { return false; };
+  return job;
+}
+
+TEST(EngineFront, AutoPicksNoSyncFromProperties) {
+  auto store = kv::PartitionedStore::create(2);
+  Engine engine(store);
+
+  RawJob plain = minimalJob();
+  EXPECT_FALSE(engine.wouldRunNoSync(plain));
+
+  RawJob incremental = minimalJob();
+  incremental.properties.incremental = true;
+  EXPECT_TRUE(engine.wouldRunNoSync(incremental));
+
+  RawJob noCollect = minimalJob();
+  noCollect.properties.oneMsg = true;
+  noCollect.properties.noContinue = true;
+  noCollect.properties.noSsOrder = true;
+  EXPECT_TRUE(engine.wouldRunNoSync(noCollect));
+
+  // Aggregators force synchronized execution under kAuto.
+  RawJob withAgg = minimalJob();
+  withAgg.properties.incremental = true;
+  withAgg.aggregators.emplace("a", countAggregator());
+  EXPECT_FALSE(engine.wouldRunNoSync(withAgg));
+}
+
+TEST(EngineFront, ModeOverridesProperties) {
+  auto store = kv::PartitionedStore::create(2);
+  EngineOptions syncOptions;
+  syncOptions.mode = ExecutionMode::kSynchronized;
+  Engine syncEngine(store, syncOptions);
+  RawJob incremental = minimalJob();
+  incremental.properties.incremental = true;
+  EXPECT_FALSE(syncEngine.wouldRunNoSync(incremental));
+
+  EngineOptions asyncOptions;
+  asyncOptions.mode = ExecutionMode::kNoSync;
+  Engine asyncEngine(store, asyncOptions);
+  RawJob plain = minimalJob();
+  EXPECT_TRUE(asyncEngine.wouldRunNoSync(plain));
+}
+
+TEST(EngineFront, ForcedNoSyncRejectsUnsuitableJob) {
+  auto store = kv::PartitionedStore::create(2);
+  kv::TableOptions tableOptions;
+  tableOptions.parts = 2;
+  store->createTable("ref", std::move(tableOptions));
+  EngineOptions options;
+  options.mode = ExecutionMode::kNoSync;
+  Engine engine(store, options);
+  RawJob plain = minimalJob();  // No qualifying properties.
+  EXPECT_THROW(engine.run(plain), std::invalid_argument);
+}
+
+TEST(EngineFront, ForcedSyncRunsIncrementalJob) {
+  auto store = kv::PartitionedStore::create(2);
+  kv::TableOptions tableOptions;
+  tableOptions.parts = 2;
+  store->createTable("ref", std::move(tableOptions));
+  EngineOptions options;
+  options.mode = ExecutionMode::kSynchronized;
+  Engine engine(store, options);
+
+  std::atomic<int> invocations{0};
+  RawJob job = minimalJob();
+  job.properties.incremental = true;
+  job.compute.compute = [&](RawComputeContext&) {
+    invocations.fetch_add(1);
+    return false;
+  };
+  auto loader = std::make_shared<VectorLoader>();
+  loader->message("a", "m");
+  job.loaders = {loader};
+  const JobResult r = engine.run(job);
+  EXPECT_EQ(r.steps, 1);  // Synchronized: steps are counted.
+  EXPECT_EQ(invocations.load(), 1);
+}
+
+// ---------------------------------------------------------------------
+// CombineSlot / CombinerOps.
+// ---------------------------------------------------------------------
+
+CombinerOps pairwiseSum() {
+  return CombinerOps([](BytesView, BytesView a, BytesView b) {
+    return encodeToBytes(decodeFromBytes<std::int64_t>(a) +
+                         decodeFromBytes<std::int64_t>(b));
+  });
+}
+
+CombinerOps accumulatingSum() {
+  CombinerOps ops;
+  ops.begin = [](BytesView, BytesView first) -> RawCompute::CombineAcc {
+    return std::make_shared<std::int64_t>(
+        decodeFromBytes<std::int64_t>(first));
+  };
+  ops.add = [](const RawCompute::CombineAcc& acc, BytesView, BytesView next) {
+    *std::static_pointer_cast<std::int64_t>(acc) +=
+        decodeFromBytes<std::int64_t>(next);
+  };
+  ops.finish = [](const RawCompute::CombineAcc& acc, BytesView) {
+    return encodeToBytes(*std::static_pointer_cast<std::int64_t>(acc));
+  };
+  return ops;
+}
+
+class CombineSlotTest : public ::testing::TestWithParam<bool> {
+ protected:
+  CombinerOps ops() const {
+    return GetParam() ? accumulatingSum() : pairwiseSum();
+  }
+};
+
+TEST_P(CombineSlotTest, SingleMessagePassesThroughUntouched) {
+  CombineSlot slot;
+  EXPECT_TRUE(slot.empty());
+  slot.addMessage(ops(), "k", encodeToBytes<std::int64_t>(7));
+  EXPECT_FALSE(slot.empty());
+  EXPECT_EQ(decodeFromBytes<std::int64_t>(slot.take(ops(), "k")), 7);
+  EXPECT_TRUE(slot.empty());
+}
+
+TEST_P(CombineSlotTest, ManyMessagesFold) {
+  CombineSlot slot;
+  for (std::int64_t i = 1; i <= 100; ++i) {
+    slot.addMessage(ops(), "k", encodeToBytes(i));
+  }
+  EXPECT_EQ(decodeFromBytes<std::int64_t>(slot.take(ops(), "k")), 5050);
+}
+
+TEST_P(CombineSlotTest, EmptyPayloadIsAValidFirstMessage) {
+  auto opsConcat = CombinerOps([](BytesView, BytesView a, BytesView b) {
+    return Bytes(a) + Bytes(b);
+  });
+  CombineSlot slot;
+  slot.addMessage(opsConcat, "k", "");
+  EXPECT_FALSE(slot.empty());
+  slot.addMessage(opsConcat, "k", "x");
+  EXPECT_EQ(slot.take(opsConcat, "k"), "x");
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, CombineSlotTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Accumulating" : "Pairwise";
+                         });
+
+TEST(CombinerOps, FromComputePrefersWhatIsSet) {
+  RawCompute compute;
+  EXPECT_FALSE(static_cast<bool>(CombinerOps::fromCompute(compute)));
+  compute.combineMessages = [](BytesView, BytesView a, BytesView) {
+    return Bytes(a);
+  };
+  CombinerOps pairwiseOnly = CombinerOps::fromCompute(compute);
+  EXPECT_TRUE(static_cast<bool>(pairwiseOnly));
+  EXPECT_FALSE(pairwiseOnly.accumulating());
+  EXPECT_TRUE(compute.hasCombiner());
+}
+
+// ---------------------------------------------------------------------
+// Library loaders / exporters.
+// ---------------------------------------------------------------------
+
+struct RecordingLoaderContext : LoaderContext {
+  void emitMessage(BytesView k, BytesView p) override {
+    messages.emplace_back(Bytes(k), Bytes(p));
+  }
+  void enableComponent(BytesView k) override { enables.emplace_back(k); }
+  void putState(int tab, BytesView k, BytesView s) override {
+    states.push_back({tab, Bytes(k), Bytes(s)});
+  }
+  void aggregateValue(const std::string& n, BytesView v) override {
+    aggregates.emplace_back(n, Bytes(v));
+  }
+  struct StateEntry {
+    int tab;
+    Bytes key;
+    Bytes state;
+  };
+  std::vector<std::pair<Bytes, Bytes>> messages;
+  std::vector<Bytes> enables;
+  std::vector<StateEntry> states;
+  std::vector<std::pair<std::string, Bytes>> aggregates;
+};
+
+TEST(Library, VectorLoaderEmitsEverything) {
+  VectorLoader loader;
+  loader.message("m1", "p1").enable("e1").state(2, "s1", "v1").aggregate(
+      "agg", "x");
+  RecordingLoaderContext ctx;
+  loader.load(ctx);
+  ASSERT_EQ(ctx.messages.size(), 1u);
+  EXPECT_EQ(ctx.messages[0].first, "m1");
+  ASSERT_EQ(ctx.enables.size(), 1u);
+  ASSERT_EQ(ctx.states.size(), 1u);
+  EXPECT_EQ(ctx.states[0].tab, 2);
+  ASSERT_EQ(ctx.aggregates.size(), 1u);
+  EXPECT_EQ(ctx.aggregates[0].first, "agg");
+}
+
+TEST(Library, FunctionLoaderDelegates) {
+  FunctionLoader loader([](LoaderContext& ctx) { ctx.emitMessage("k", "v"); });
+  RecordingLoaderContext ctx;
+  loader.load(ctx);
+  EXPECT_EQ(ctx.messages.size(), 1u);
+}
+
+TEST(Library, CollectingExporterIsThreadSafeAndTakes) {
+  CollectingExporter exporter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&exporter, t] {
+      for (int i = 0; i < 100; ++i) {
+        exporter.consume("k" + std::to_string(t), "v");
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(exporter.count(), 400u);
+  EXPECT_EQ(exporter.take().size(), 400u);
+  EXPECT_EQ(exporter.count(), 0u);
+}
+
+TEST(Library, FunctionAndNullExporters) {
+  int calls = 0;
+  FunctionExporter fn([&calls](BytesView, BytesView) { ++calls; });
+  fn.consume("k", "v");
+  EXPECT_EQ(calls, 1);
+
+  NullExporter null;
+  null.consume("k", "v");  // Must not crash; drops silently.
+  EXPECT_FALSE(null.wantsSerial());
+}
+
+}  // namespace
+}  // namespace ripple::ebsp

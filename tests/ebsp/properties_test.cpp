@@ -1,0 +1,145 @@
+// The nine job properties and the five derived optimizations (§II-A).
+
+#include "ebsp/properties.h"
+
+#include <gtest/gtest.h>
+
+#include "ebsp/raw_job.h"
+
+namespace ripple::ebsp {
+namespace {
+
+EffectiveProperties make(JobProperties declared, bool noAgg,
+                         bool noClientSync) {
+  EffectiveProperties p;
+  p.declared = declared;
+  p.noAgg = noAgg;
+  p.noClientSync = noClientSync;
+  return p;
+}
+
+TEST(Properties, DefaultsAreConservative) {
+  EffectiveProperties p;
+  EXPECT_TRUE(p.noSort());  // needs-order defaults off.
+  EXPECT_FALSE(p.noCollect());
+  EXPECT_FALSE(p.runAnywhere());
+  EXPECT_FALSE(p.noSync());
+  EXPECT_FALSE(p.fastRecovery());
+}
+
+TEST(Properties, NoSortIffNotNeedsOrder) {
+  JobProperties d;
+  d.needsOrder = true;
+  EXPECT_FALSE(make(d, true, true).noSort());
+  d.needsOrder = false;
+  EXPECT_TRUE(make(d, true, true).noSort());
+}
+
+TEST(Properties, NoCollectNeedsBothOneMsgAndNoContinue) {
+  JobProperties d;
+  d.oneMsg = true;
+  EXPECT_FALSE(make(d, true, true).noCollect());
+  d.noContinue = true;
+  EXPECT_TRUE(make(d, true, true).noCollect());
+  d.oneMsg = false;
+  EXPECT_FALSE(make(d, true, true).noCollect());
+}
+
+TEST(Properties, RunAnywhereNeedsNoCollectAndRareState) {
+  JobProperties d;
+  d.oneMsg = true;
+  d.noContinue = true;
+  EXPECT_FALSE(make(d, true, true).runAnywhere());
+  d.rareState = true;
+  EXPECT_TRUE(make(d, true, true).runAnywhere());
+  d.noContinue = false;  // Breaks no-collect.
+  EXPECT_FALSE(make(d, true, true).runAnywhere());
+}
+
+struct NoSyncCase {
+  bool oneMsg, noContinue, noSsOrder, incremental, noAgg, noClientSync;
+  bool expected;
+};
+
+class NoSyncTest : public ::testing::TestWithParam<NoSyncCase> {};
+
+TEST_P(NoSyncTest, Predicate) {
+  const NoSyncCase& c = GetParam();
+  JobProperties d;
+  d.oneMsg = c.oneMsg;
+  d.noContinue = c.noContinue;
+  d.noSsOrder = c.noSsOrder;
+  d.incremental = c.incremental;
+  EXPECT_EQ(make(d, c.noAgg, c.noClientSync).noSync(), c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, NoSyncTest,
+    ::testing::Values(
+        // (no-collect & no-ss-order) path.
+        NoSyncCase{true, true, true, false, true, true, true},
+        NoSyncCase{true, true, false, false, true, true, false},
+        NoSyncCase{true, false, true, false, true, true, false},
+        NoSyncCase{false, true, true, false, true, true, false},
+        // incremental path.
+        NoSyncCase{false, false, false, true, true, true, true},
+        // Aggregators or an aborter always forbid no-sync.
+        NoSyncCase{true, true, true, false, false, true, false},
+        NoSyncCase{true, true, true, false, true, false, false},
+        NoSyncCase{false, false, false, true, false, true, false},
+        NoSyncCase{false, false, false, true, true, false, false},
+        // Both paths simultaneously is still fine.
+        NoSyncCase{true, true, true, true, true, true, true}));
+
+TEST(Properties, FastRecoveryTracksDeterministic) {
+  JobProperties d;
+  d.deterministic = true;
+  EXPECT_TRUE(make(d, false, false).fastRecovery());
+}
+
+TEST(Properties, DescribeListsActiveFlags) {
+  JobProperties d;
+  d.oneMsg = true;
+  d.noContinue = true;
+  const std::string s = make(d, true, true).describe();
+  EXPECT_NE(s.find("one-msg"), std::string::npos);
+  EXPECT_NE(s.find("no-collect"), std::string::npos);
+  EXPECT_EQ(s.find("needs-order"), std::string::npos);
+}
+
+TEST(DeriveProperties, DetectsNoAggAndNoClientSync) {
+  RawJob job;
+  // "The first two properties can easily be detected by Ripple."
+  EXPECT_TRUE(deriveProperties(job).noAgg);
+  EXPECT_TRUE(deriveProperties(job).noClientSync);
+
+  job.aggregators.emplace("a", countAggregator());
+  EXPECT_FALSE(deriveProperties(job).noAgg);
+
+  job.aborter = [](const AggregateReader&, int) { return false; };
+  EXPECT_FALSE(deriveProperties(job).noClientSync);
+}
+
+TEST(ValidateRawJob, RejectsMissingCompute) {
+  RawJob job;
+  job.referenceTable = "t";
+  EXPECT_THROW(validateRawJob(job), std::invalid_argument);
+}
+
+TEST(ValidateRawJob, RejectsMissingReferenceTable) {
+  RawJob job;
+  job.compute.compute = [](RawComputeContext&) { return false; };
+  EXPECT_THROW(validateRawJob(job), std::invalid_argument);
+}
+
+TEST(ValidateRawJob, RejectsWriterIndexOutOfRange) {
+  RawJob job;
+  job.compute.compute = [](RawComputeContext&) { return false; };
+  job.referenceTable = "t";
+  job.stateTableNames = {"s"};
+  job.writers[3] = nullptr;
+  EXPECT_THROW(validateRawJob(job), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ripple::ebsp

@@ -1,0 +1,541 @@
+// Synchronized engine semantics, driven through raw jobs for precise
+// control over the machinery.
+
+#include "ebsp/sync_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+
+#include "common/codec.h"
+#include "ebsp/library.h"
+#include "kvstore/local_store.h"
+#include "kvstore/partitioned_store.h"
+#include "kvstore/store_util.h"
+
+namespace ripple::ebsp {
+namespace {
+
+kv::KVStorePtr newStore() { return kv::PartitionedStore::create(4); }
+
+kv::TablePtr makeRef(kv::KVStore& store, const std::string& name = "ref",
+                     std::uint32_t parts = 4) {
+  kv::TableOptions options;
+  options.parts = parts;
+  return store.createTable(name, std::move(options));
+}
+
+RawJob baseJob(std::function<bool(RawComputeContext&)> compute) {
+  RawJob job;
+  job.referenceTable = "ref";
+  job.stateTableNames = {"ref"};
+  job.compute.compute = std::move(compute);
+  return job;
+}
+
+JobResult run(kv::KVStorePtr store, RawJob& job, SyncEngineOptions options = {}) {
+  SyncEngine engine(std::move(store), std::move(options));
+  return engine.run(job);
+}
+
+TEST(SyncEngine, NoInitialWorkMeansZeroSteps) {
+  auto store = newStore();
+  makeRef(*store);
+  RawJob job = baseJob([](RawComputeContext&) { return false; });
+  const JobResult r = run(store, job);
+  EXPECT_EQ(r.steps, 0);
+  EXPECT_EQ(r.metrics.computeInvocations, 0u);
+}
+
+TEST(SyncEngine, MissingReferenceTableThrows) {
+  auto store = newStore();
+  RawJob job = baseJob([](RawComputeContext&) { return false; });
+  EXPECT_THROW(run(store, job), std::invalid_argument);
+}
+
+TEST(SyncEngine, MessagesAreDeliveredTheFollowingStep) {
+  auto store = newStore();
+  makeRef(*store);
+  std::mutex mu;
+  std::vector<std::pair<int, Bytes>> invocations;  // (step, key)
+  RawJob job = baseJob([&](RawComputeContext& ctx) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      invocations.emplace_back(ctx.stepNum(), Bytes(ctx.key()));
+    }
+    if (ctx.stepNum() == 1) {
+      ctx.outputMessage("b", "hello");
+    }
+    return false;
+  });
+  auto loader = std::make_shared<VectorLoader>();
+  loader->message("a", "start");
+  job.loaders = {loader};
+
+  const JobResult r = run(store, job);
+  EXPECT_EQ(r.steps, 2);
+  ASSERT_EQ(invocations.size(), 2u);
+  EXPECT_EQ(invocations[0], (std::pair<int, Bytes>{1, "a"}));
+  EXPECT_EQ(invocations[1], (std::pair<int, Bytes>{2, "b"}));
+}
+
+TEST(SyncEngine, SelectiveEnablement) {
+  // 100 components exist in state; only the messaged one is invoked.
+  auto store = newStore();
+  auto ref = makeRef(*store);
+  for (int i = 0; i < 100; ++i) {
+    ref->put(encodeToBytes(i), "state");
+  }
+  std::atomic<int> invocations{0};
+  RawJob job = baseJob([&](RawComputeContext&) {
+    invocations.fetch_add(1);
+    return false;
+  });
+  auto loader = std::make_shared<VectorLoader>();
+  loader->message(encodeToBytes(17), "poke");
+  job.loaders = {loader};
+  run(store, job);
+  EXPECT_EQ(invocations.load(), 1);
+}
+
+TEST(SyncEngine, ContinueSignalEnablesNextStep) {
+  auto store = newStore();
+  makeRef(*store);
+  std::atomic<int> invocations{0};
+  RawJob job = baseJob([&](RawComputeContext& ctx) {
+    invocations.fetch_add(1);
+    EXPECT_TRUE(ctx.inputMessages().empty() || ctx.stepNum() == 1);
+    return ctx.stepNum() < 5;  // Stay enabled for 5 steps.
+  });
+  auto loader = std::make_shared<VectorLoader>();
+  loader->enable("self");
+  job.loaders = {loader};
+  const JobResult r = run(store, job);
+  EXPECT_EQ(r.steps, 5);
+  EXPECT_EQ(invocations.load(), 5);
+}
+
+TEST(SyncEngine, StatePersistsAcrossSteps) {
+  auto store = newStore();
+  makeRef(*store);
+  RawJob job = baseJob([](RawComputeContext& ctx) {
+    const auto prev = ctx.readState(0);
+    const std::int64_t count =
+        prev ? decodeFromBytes<std::int64_t>(*prev) + 1 : 1;
+    ctx.writeState(0, encodeToBytes(count));
+    return count < 4;
+  });
+  auto loader = std::make_shared<VectorLoader>();
+  loader->enable("c");
+  job.loaders = {loader};
+  const JobResult r = run(store, job);
+  EXPECT_EQ(r.steps, 4);
+  auto final = store->lookupTable("ref")->get("c");
+  EXPECT_EQ(decodeFromBytes<std::int64_t>(*final), 4);
+}
+
+TEST(SyncEngine, MultipleStateTables) {
+  auto store = newStore();
+  makeRef(*store);
+  RawJob job = baseJob([](RawComputeContext& ctx) {
+    ctx.writeState(0, "in-ref");
+    ctx.writeState(1, "in-aux");
+    EXPECT_EQ(ctx.readState(1), "in-aux");
+    ctx.deleteState(0);
+    EXPECT_EQ(ctx.readState(0), std::nullopt);
+    EXPECT_THROW(ctx.readState(7), std::out_of_range);
+    return false;
+  });
+  job.stateTableNames = {"ref", "aux"};
+  auto loader = std::make_shared<VectorLoader>();
+  loader->enable("x");
+  job.loaders = {loader};
+  run(store, job);
+  // aux was created consistently with ref and holds the write.
+  EXPECT_EQ(store->lookupTable("aux")->get("x"), "in-aux");
+  EXPECT_EQ(store->lookupTable("ref")->get("x"), std::nullopt);
+}
+
+TEST(SyncEngine, AggregatorVisibleNextStep) {
+  auto store = newStore();
+  makeRef(*store);
+  std::mutex mu;
+  std::vector<std::optional<std::int64_t>> seen;
+  RawJob job = baseJob([&](RawComputeContext& ctx) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      auto raw = ctx.aggregateResult("total");
+      seen.push_back(raw ? std::optional<std::int64_t>(
+                               decodeFromBytes<std::int64_t>(*raw))
+                         : std::nullopt);
+    }
+    ctx.aggregateValue("total",
+                       encodeToBytes<std::int64_t>(ctx.stepNum() * 10));
+    return ctx.stepNum() < 3;
+  });
+  job.aggregators.emplace("total", sumAggregator<std::int64_t>());
+  auto loader = std::make_shared<VectorLoader>();
+  loader->enable("c");
+  job.loaders = {loader};
+  const JobResult r = run(store, job);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], 0);   // Initial condition: identity (no loader input).
+  EXPECT_EQ(seen[1], 10);  // Step 1's aggregation.
+  EXPECT_EQ(seen[2], 20);
+  EXPECT_EQ(r.aggregate<std::int64_t>("total"), 30);
+}
+
+TEST(SyncEngine, LoaderAggregatorInputReadableAtStepOne) {
+  auto store = newStore();
+  makeRef(*store);
+  std::optional<std::int64_t> atStep1;
+  RawJob job = baseJob([&](RawComputeContext& ctx) {
+    atStep1 = decodeFromBytes<std::int64_t>(*ctx.aggregateResult("seed"));
+    return false;
+  });
+  job.aggregators.emplace("seed", sumAggregator<std::int64_t>());
+  auto loader = std::make_shared<VectorLoader>();
+  loader->enable("c");
+  loader->aggregate("seed", encodeToBytes<std::int64_t>(99));
+  job.loaders = {loader};
+  run(store, job);
+  EXPECT_EQ(atStep1, 99);
+}
+
+TEST(SyncEngine, AborterStopsExecution) {
+  auto store = newStore();
+  makeRef(*store);
+  RawJob job = baseJob([](RawComputeContext&) {
+    return true;  // Would run forever.
+  });
+  job.aborter = [](const AggregateReader&, int step) { return step >= 3; };
+  auto loader = std::make_shared<VectorLoader>();
+  loader->enable("c");
+  job.loaders = {loader};
+  const JobResult r = run(store, job);
+  EXPECT_TRUE(r.aborted);
+  EXPECT_EQ(r.steps, 3);
+}
+
+TEST(SyncEngine, CombinerCollapsesMessagesAcrossParts) {
+  auto store = newStore();
+  makeRef(*store);
+  std::atomic<int> deliveredLists{0};
+  std::atomic<std::int64_t> deliveredSum{0};
+  RawJob job = baseJob([&](RawComputeContext& ctx) {
+    if (ctx.stepNum() == 1) {
+      // 20 senders each send 1 to "sink".
+      ctx.outputMessage("sink", encodeToBytes<std::int64_t>(1));
+      return false;
+    }
+    deliveredLists.fetch_add(
+        static_cast<int>(ctx.inputMessages().size()));
+    for (const Bytes& m : ctx.inputMessages()) {
+      deliveredSum.fetch_add(decodeFromBytes<std::int64_t>(m));
+    }
+    return false;
+  });
+  job.compute.combineMessages = [](BytesView, BytesView a, BytesView b) {
+    return encodeToBytes(decodeFromBytes<std::int64_t>(a) +
+                         decodeFromBytes<std::int64_t>(b));
+  };
+  auto loader = std::make_shared<VectorLoader>();
+  for (int i = 0; i < 20; ++i) {
+    loader->enable(encodeToBytes(i));
+  }
+  job.loaders = {loader};
+  const JobResult r = run(store, job);
+  EXPECT_EQ(deliveredSum.load(), 20);
+  EXPECT_EQ(deliveredLists.load(), 1);  // Fully combined into one message.
+  EXPECT_GT(r.metrics.combinerCalls, 0u);
+}
+
+TEST(SyncEngine, WithoutCombinerMessagesAreCollected) {
+  auto store = newStore();
+  makeRef(*store);
+  std::atomic<int> listSize{0};
+  RawJob job = baseJob([&](RawComputeContext& ctx) {
+    if (ctx.stepNum() == 1) {
+      ctx.outputMessage("sink", Bytes(ctx.key()));
+      return false;
+    }
+    listSize.store(static_cast<int>(ctx.inputMessages().size()));
+    return false;
+  });
+  auto loader = std::make_shared<VectorLoader>();
+  for (int i = 0; i < 7; ++i) {
+    loader->enable(encodeToBytes(i));
+  }
+  job.loaders = {loader};
+  run(store, job);
+  EXPECT_EQ(listSize.load(), 7);
+}
+
+TEST(SyncEngine, CreateStateAppliesAtBarrierWithConflictMerge) {
+  auto store = newStore();
+  makeRef(*store);
+  RawJob job = baseJob([](RawComputeContext& ctx) {
+    if (ctx.stepNum() == 1) {
+      // Every component creates the same new component's state.
+      ctx.createState(0, "shared-new", encodeToBytes<std::int64_t>(1));
+    }
+    return false;
+  });
+  job.compute.combineStates = [](BytesView, BytesView a, BytesView b) {
+    return encodeToBytes(decodeFromBytes<std::int64_t>(a) +
+                         decodeFromBytes<std::int64_t>(b));
+  };
+  auto loader = std::make_shared<VectorLoader>();
+  for (int i = 0; i < 5; ++i) {
+    loader->enable(encodeToBytes(i));
+  }
+  job.loaders = {loader};
+  run(store, job);
+  const auto v = store->lookupTable("ref")->get("shared-new");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(decodeFromBytes<std::int64_t>(*v), 5);
+}
+
+TEST(SyncEngine, CreateStateConflictWithoutMergerThrows) {
+  auto store = newStore();
+  makeRef(*store);
+  RawJob job = baseJob([](RawComputeContext& ctx) {
+    ctx.createState(0, "shared", "s");
+    return false;
+  });
+  auto loader = std::make_shared<VectorLoader>();
+  loader->enable(encodeToBytes(1));
+  loader->enable(encodeToBytes(2));
+  job.loaders = {loader};
+  EXPECT_ANY_THROW(run(store, job));
+}
+
+TEST(SyncEngine, BroadcastDataReadable) {
+  auto store = newStore();
+  makeRef(*store);
+  kv::TableOptions ubiOptions;
+  ubiOptions.ubiquitous = true;
+  auto ubi = store->createTable("config", std::move(ubiOptions));
+  ubi->put("factor", encodeToBytes(2.5));
+
+  std::atomic<bool> sawIt{false};
+  RawJob job = baseJob([&](RawComputeContext& ctx) {
+    const auto v = ctx.broadcastDatum("factor");
+    if (v && decodeFromBytes<double>(*v) == 2.5) {
+      sawIt.store(true);
+    }
+    EXPECT_EQ(ctx.broadcastDatum("missing"), std::nullopt);
+    return false;
+  });
+  job.broadcastTable = "config";
+  auto loader = std::make_shared<VectorLoader>();
+  loader->enable("c");
+  job.loaders = {loader};
+  run(store, job);
+  EXPECT_TRUE(sawIt.load());
+}
+
+TEST(SyncEngine, DirectOutputStreamsToExporter) {
+  auto store = newStore();
+  makeRef(*store);
+  auto collector = std::make_shared<CollectingExporter>();
+  RawJob job = baseJob([](RawComputeContext& ctx) {
+    ctx.directOutput(Bytes(ctx.key()), "out");
+    return false;
+  });
+  job.directOutputter = collector;
+  auto loader = std::make_shared<VectorLoader>();
+  for (int i = 0; i < 9; ++i) {
+    loader->enable(encodeToBytes(i));
+  }
+  job.loaders = {loader};
+  const JobResult r = run(store, job);
+  EXPECT_EQ(collector->count(), 9u);
+  EXPECT_EQ(r.metrics.directOutputs, 9u);
+}
+
+TEST(SyncEngine, WritersExportFinalStates) {
+  auto store = newStore();
+  makeRef(*store);
+  auto collector = std::make_shared<CollectingExporter>();
+  RawJob job = baseJob([](RawComputeContext& ctx) {
+    ctx.writeState(0, "final");
+    return false;
+  });
+  job.writers[0] = collector;
+  auto loader = std::make_shared<VectorLoader>();
+  for (int i = 0; i < 6; ++i) {
+    loader->enable(encodeToBytes(i));
+  }
+  job.loaders = {loader};
+  run(store, job);
+  EXPECT_EQ(collector->count(), 6u);
+}
+
+TEST(SyncEngine, NeedsOrderInvokesInKeyOrderPerPart) {
+  auto store = newStore();
+  makeRef(*store, "ref", 2);
+  std::mutex mu;
+  std::map<std::uint32_t, std::vector<Bytes>> perPartKeys;
+  auto ref = store->lookupTable("ref");
+  RawJob job = baseJob([&](RawComputeContext& ctx) {
+    std::lock_guard<std::mutex> lock(mu);
+    perPartKeys[ref->partOf(ctx.key())].emplace_back(ctx.key());
+    return false;
+  });
+  job.properties.needsOrder = true;
+  auto loader = std::make_shared<VectorLoader>();
+  for (int i = 99; i >= 0; --i) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "k%03d", i);
+    loader->enable(buf);
+  }
+  job.loaders = {loader};
+  run(store, job);
+  std::size_t total = 0;
+  for (const auto& [part, keys] : perPartKeys) {
+    EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+    total += keys.size();
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(SyncEngine, NoContinueViolationIsDetected) {
+  auto store = newStore();
+  makeRef(*store);
+  RawJob job = baseJob([](RawComputeContext&) { return true; });
+  job.properties.noContinue = true;
+  auto loader = std::make_shared<VectorLoader>();
+  loader->enable("c");
+  job.loaders = {loader};
+  EXPECT_ANY_THROW(run(store, job));
+}
+
+TEST(SyncEngine, MaxStepsGuardsNonTermination) {
+  auto store = newStore();
+  makeRef(*store);
+  RawJob job = baseJob([](RawComputeContext&) { return true; });
+  auto loader = std::make_shared<VectorLoader>();
+  loader->enable("c");
+  job.loaders = {loader};
+  SyncEngineOptions options;
+  options.maxSteps = 10;
+  EXPECT_THROW(run(store, job, options), std::runtime_error);
+}
+
+TEST(SyncEngine, NoCollectFastPathDeliversSingleMessages) {
+  auto store = newStore();
+  makeRef(*store);
+  std::atomic<int> invocations{0};
+  RawJob job = baseJob([&](RawComputeContext& ctx) {
+    invocations.fetch_add(1);
+    EXPECT_LE(ctx.inputMessages().size(), 1u);
+    const std::int64_t hop =
+        decodeFromBytes<std::int64_t>(ctx.inputMessages()[0]);
+    if (hop < 20) {
+      ctx.outputMessage(encodeToBytes(hop + 1), encodeToBytes(hop + 1));
+    }
+    return false;
+  });
+  job.properties.oneMsg = true;
+  job.properties.noContinue = true;
+  auto loader = std::make_shared<VectorLoader>();
+  loader->message(encodeToBytes<std::int64_t>(0),
+                  encodeToBytes<std::int64_t>(0));
+  job.loaders = {loader};
+  const JobResult r = run(store, job);
+  EXPECT_EQ(invocations.load(), 21);
+  EXPECT_EQ(r.steps, 21);
+}
+
+TEST(SyncEngine, OnStepHookReportsInvocations) {
+  auto store = newStore();
+  makeRef(*store);
+  std::vector<std::uint64_t> perStep;
+  RawJob job = baseJob([&](RawComputeContext& ctx) {
+    if (ctx.stepNum() == 1) {
+      ctx.outputMessage("x", "m");
+      ctx.outputMessage("y", "m");
+    }
+    return false;
+  });
+  auto loader = std::make_shared<VectorLoader>();
+  loader->enable("a");
+  job.loaders = {loader};
+  SyncEngineOptions options;
+  options.onStep = [&](int, std::uint64_t invocations) {
+    perStep.push_back(invocations);
+  };
+  run(store, job, options);
+  ASSERT_EQ(perStep.size(), 2u);
+  EXPECT_EQ(perStep[0], 1u);
+  EXPECT_EQ(perStep[1], 2u);
+}
+
+TEST(SyncEngine, RunsOnLocalStoreToo) {
+  auto store = kv::LocalStore::create();
+  kv::TableOptions options;
+  options.parts = 3;
+  store->createTable("ref", std::move(options));
+  std::atomic<int> invocations{0};
+  RawJob job = baseJob([&](RawComputeContext& ctx) {
+    invocations.fetch_add(1);
+    if (ctx.stepNum() < 3) {
+      ctx.outputMessage(Bytes(ctx.key()) + "x", "m");
+    }
+    return false;
+  });
+  auto loader = std::make_shared<VectorLoader>();
+  loader->message("a", "m");
+  job.loaders = {loader};
+  const JobResult r = run(store, job);
+  EXPECT_EQ(r.steps, 3);
+  EXPECT_EQ(invocations.load(), 3);
+}
+
+TEST(SyncEngine, MetricsAccounting) {
+  auto store = newStore();
+  makeRef(*store);
+  RawJob job = baseJob([](RawComputeContext& ctx) {
+    if (ctx.stepNum() == 1) {
+      ctx.outputMessage("b", "m1");
+      ctx.outputMessage("c", "m2");
+    }
+    ctx.writeState(0, "s");
+    return false;
+  });
+  auto loader = std::make_shared<VectorLoader>();
+  loader->enable("a");
+  job.loaders = {loader};
+  const JobResult r = run(store, job);
+  EXPECT_EQ(r.metrics.steps, 2u);
+  EXPECT_EQ(r.metrics.computeInvocations, 3u);
+  EXPECT_EQ(r.metrics.messagesSent, 2u);
+  EXPECT_EQ(r.metrics.messagesDelivered, 2u);
+  EXPECT_EQ(r.metrics.barriers, 2u);
+  EXPECT_EQ(r.metrics.stateWrites, 3u);
+  EXPECT_GT(r.metrics.spillsWritten, 0u);
+  EXPECT_GT(r.virtualMakespan, 0.0);
+  EXPECT_GT(r.elapsedSeconds, 0.0);
+}
+
+TEST(SyncEngine, EngineTablesAreCleanedUp) {
+  auto store = newStore();
+  makeRef(*store);
+  RawJob job = baseJob([](RawComputeContext&) { return false; });
+  auto loader = std::make_shared<VectorLoader>();
+  loader->enable("a");
+  job.loaders = {loader};
+  run(store, job);
+  // Only the reference table remains.
+  EXPECT_NE(store->lookupTable("ref"), nullptr);
+  // Transport/collection tables carry the __ebsp prefix; probe a few ids.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(store->lookupTable("__ebsp_tr_" + std::to_string(i)), nullptr);
+    EXPECT_EQ(store->lookupTable("__ebsp_col_" + std::to_string(i)), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace ripple::ebsp

@@ -1,0 +1,186 @@
+#include "ebsp/transport.h"
+
+#include <gtest/gtest.h>
+
+#include "kvstore/partitioned_store.h"
+
+namespace ripple::ebsp {
+namespace {
+
+TEST(SpillKey, RoutesToDestinationPart) {
+  auto partitioner = makeTransportPartitioner(6);
+  for (std::uint32_t dest = 0; dest < 6; ++dest) {
+    const kv::Key key = makeSpillKey(dest, 3, 12345);
+    EXPECT_EQ(partitioner->partOf(key), dest);
+  }
+}
+
+TEST(SpillKey, UniquePerSenderAndSequence) {
+  EXPECT_NE(makeSpillKey(1, 2, 3), makeSpillKey(1, 2, 4));
+  EXPECT_NE(makeSpillKey(1, 2, 3), makeSpillKey(1, 3, 3));
+}
+
+TEST(SpillCodec, RoundtripsAllRecordKinds) {
+  std::vector<TransportRecord> records;
+  TransportRecord msg;
+  msg.kind = RecordKind::kMessage;
+  msg.key = "dest";
+  msg.payload = "payload";
+  records.push_back(msg);
+  TransportRecord enable;
+  enable.kind = RecordKind::kEnable;
+  enable.key = "wake";
+  records.push_back(enable);
+  TransportRecord create;
+  create.kind = RecordKind::kCreate;
+  create.key = "new";
+  create.payload = "state";
+  create.tabIdx = 2;
+  records.push_back(create);
+
+  const Bytes encoded = encodeSpill(records);
+  std::vector<TransportRecord> decoded;
+  decodeSpill(encoded,
+              [&](TransportRecord&& r) { decoded.push_back(std::move(r)); });
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(decoded[0].key, "dest");
+  EXPECT_EQ(decoded[0].payload, "payload");
+  EXPECT_EQ(decoded[1].kind, RecordKind::kEnable);
+  EXPECT_EQ(decoded[1].key, "wake");
+  EXPECT_EQ(decoded[2].kind, RecordKind::kCreate);
+  EXPECT_EQ(decoded[2].tabIdx, 2);
+  EXPECT_EQ(decoded[2].payload, "state");
+}
+
+TEST(SpillCodec, TrailingGarbageThrows) {
+  Bytes encoded = encodeSpill({});
+  encoded.push_back('x');
+  EXPECT_THROW(decodeSpill(encoded, [](TransportRecord&&) {}), CodecError);
+}
+
+class SpillWriterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_ = kv::PartitionedStore::create(4);
+    kv::TableOptions options;
+    options.parts = 4;
+    options.partitioner = makeTransportPartitioner(4);
+    transport_ = store_->createTable("tr", std::move(options));
+    refPartitioner_ = makeDefaultPartitioner(4);
+  }
+
+  std::vector<TransportRecord> drainAll() {
+    std::vector<TransportRecord> all;
+    for (std::uint32_t p = 0; p < 4; ++p) {
+      for (const auto& [k, v] : transport_->drainPart(p)) {
+        decodeSpill(v, [&](TransportRecord&& r) {
+          all.push_back(std::move(r));
+        });
+      }
+    }
+    return all;
+  }
+
+  kv::KVStorePtr store_;
+  kv::TablePtr transport_;
+  PartitionerPtr refPartitioner_;
+};
+
+TEST_F(SpillWriterTest, BuffersUntilFlush) {
+  SpillWriter writer(*transport_, 0, refPartitioner_, CombinerOps{}, 4096);
+  writer.addMessage("a", "1");
+  writer.addMessage("b", "2");
+  EXPECT_EQ(transport_->size(), 0u);  // Nothing written yet.
+  writer.flushAll();
+  EXPECT_GT(transport_->size(), 0u);
+  EXPECT_EQ(drainAll().size(), 2u);
+  EXPECT_EQ(writer.messagesAdded(), 2u);
+}
+
+TEST_F(SpillWriterTest, AutoFlushesAtBatchLimit) {
+  SpillWriter writer(*transport_, 0, refPartitioner_, CombinerOps{},
+                     /*maxBatch=*/8);
+  // 64 messages to one destination key => one part fills up and flushes.
+  for (int i = 0; i < 64; ++i) {
+    writer.addMessage("same-key", std::to_string(i));
+  }
+  EXPECT_GT(writer.spillsWritten(), 0u);
+  writer.flushAll();
+  EXPECT_EQ(drainAll().size(), 64u);
+}
+
+TEST_F(SpillWriterTest, RecordsLandInDestinationKeyPart) {
+  SpillWriter writer(*transport_, 2, refPartitioner_, CombinerOps{}, 4096);
+  const Bytes destKey = "component-x";
+  const std::uint32_t expectedPart = refPartitioner_->partOf(destKey);
+  writer.addMessage(destKey, "m");
+  writer.flushAll();
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    const auto drained = transport_->drainPart(p);
+    if (p == expectedPart) {
+      EXPECT_EQ(drained.size(), 1u);
+    } else {
+      EXPECT_TRUE(drained.empty());
+    }
+  }
+}
+
+TEST_F(SpillWriterTest, EagerCombiningMergesSameDestination) {
+  auto combiner = [](BytesView, BytesView a, BytesView b) {
+    return encodeToBytes(decodeFromBytes<std::int64_t>(a) +
+                         decodeFromBytes<std::int64_t>(b));
+  };
+  SpillWriter writer(*transport_, 0, refPartitioner_, CombinerOps(combiner), 4096);
+  for (int i = 1; i <= 10; ++i) {
+    writer.addMessage("dest", encodeToBytes<std::int64_t>(i));
+  }
+  writer.addMessage("other", encodeToBytes<std::int64_t>(100));
+  writer.flushAll();
+  EXPECT_EQ(writer.combinerCalls(), 9u);
+
+  const auto records = drainAll();
+  ASSERT_EQ(records.size(), 2u);
+  std::int64_t destSum = 0;
+  for (const auto& r : records) {
+    if (r.key == "dest") {
+      destSum = decodeFromBytes<std::int64_t>(r.payload);
+    }
+  }
+  EXPECT_EQ(destSum, 55);
+}
+
+TEST_F(SpillWriterTest, EnablesAndCreationsFlowThrough) {
+  SpillWriter writer(*transport_, 1, refPartitioner_, CombinerOps{}, 4096);
+  writer.addEnable("wake-me");
+  writer.addCreate(1, "new-comp", "init");
+  writer.flushAll();
+  const auto records = drainAll();
+  ASSERT_EQ(records.size(), 2u);
+}
+
+TEST_F(SpillWriterTest, ByteAccountingIsPlausible) {
+  SpillWriter writer(*transport_, 0, refPartitioner_, CombinerOps{}, 4096);
+  writer.addMessage("key", std::string(1000, 'p'));
+  writer.flushAll();
+  EXPECT_GT(writer.bytesWritten(), 1000u);
+  EXPECT_EQ(writer.spillsWritten(), 1u);
+}
+
+TEST(CollectedValueCodec, Roundtrip) {
+  CollectedValue v;
+  v.enabled = true;
+  v.messages = {"m1", "", "m3"};
+  const CollectedValue out = decodeCollected(encodeCollected(v));
+  EXPECT_TRUE(out.enabled);
+  ASSERT_EQ(out.messages.size(), 3u);
+  EXPECT_EQ(out.messages[0], "m1");
+  EXPECT_EQ(out.messages[1], "");
+  EXPECT_EQ(out.messages[2], "m3");
+
+  const CollectedValue empty = decodeCollected(encodeCollected({}));
+  EXPECT_FALSE(empty.enabled);
+  EXPECT_TRUE(empty.messages.empty());
+}
+
+}  // namespace
+}  // namespace ripple::ebsp

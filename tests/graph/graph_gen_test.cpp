@@ -1,0 +1,167 @@
+#include "graph/graph_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/pregel.h"
+
+namespace ripple::graph {
+namespace {
+
+TEST(PowerLawGen, ProducesRequestedShape) {
+  PowerLawOptions options;
+  options.vertices = 1000;
+  options.edges = 10'000;
+  options.seed = 7;
+  const Graph g = generatePowerLaw(options);
+  EXPECT_EQ(g.vertexCount(), 1000u);
+  // Bounded dedupe retries may drop a few edges but not many.
+  EXPECT_GT(g.edges, 9'500u);
+  EXPECT_LE(g.edges, 10'000u);
+  std::uint64_t degreeSum = 0;
+  for (const auto& nbrs : g.adj) {
+    degreeSum += nbrs.size();
+  }
+  EXPECT_EQ(degreeSum, g.edges);
+}
+
+TEST(PowerLawGen, DeterministicPerSeed) {
+  PowerLawOptions options;
+  options.vertices = 200;
+  options.edges = 1000;
+  options.seed = 5;
+  const Graph a = generatePowerLaw(options);
+  const Graph b = generatePowerLaw(options);
+  EXPECT_EQ(a.adj, b.adj);
+  options.seed = 6;
+  const Graph c = generatePowerLaw(options);
+  EXPECT_NE(a.adj, c.adj);
+}
+
+TEST(PowerLawGen, DegreeDistributionIsSkewed) {
+  PowerLawOptions options;
+  options.vertices = 2000;
+  options.edges = 40'000;
+  options.seed = 11;
+  const Graph g = generatePowerLaw(options);
+  std::vector<std::size_t> degrees;
+  degrees.reserve(g.vertexCount());
+  for (const auto& nbrs : g.adj) {
+    degrees.push_back(nbrs.size());
+  }
+  std::sort(degrees.rbegin(), degrees.rend());
+  const std::size_t top1pct =
+      std::accumulate(degrees.begin(), degrees.begin() + 20, std::size_t{0});
+  // "Biased power-law edge attachments": the hubs carry far more than a
+  // uniform share (20/2000 of edges = 400).
+  EXPECT_GT(top1pct, 1200u);
+}
+
+TEST(PowerLawGen, UndirectedInsertsBothDirections) {
+  PowerLawOptions options;
+  options.vertices = 100;
+  options.edges = 500;
+  options.undirected = true;
+  options.seed = 3;
+  const Graph g = generatePowerLaw(options);
+  for (VertexId u = 0; u < g.vertexCount(); ++u) {
+    for (const VertexId v : g.adj[u]) {
+      const auto& back = g.adj[v];
+      EXPECT_NE(std::find(back.begin(), back.end(), u), back.end());
+    }
+  }
+}
+
+TEST(PowerLawGen, NoSelfLoops) {
+  PowerLawOptions options;
+  options.vertices = 500;
+  options.edges = 5000;
+  options.seed = 9;
+  const Graph g = generatePowerLaw(options);
+  for (VertexId u = 0; u < g.vertexCount(); ++u) {
+    EXPECT_EQ(std::count(g.adj[u].begin(), g.adj[u].end(), u), 0);
+  }
+}
+
+TEST(PowerLawGen, RejectsEmptyGraph) {
+  PowerLawOptions options;
+  EXPECT_THROW(generatePowerLaw(options), std::invalid_argument);
+}
+
+TEST(ChangeBatch, GeneratesRequestedCount) {
+  Rng rng(1);
+  const auto batch = randomChangeBatch(100, 50, 1.8, rng);
+  EXPECT_EQ(batch.size(), 50u);
+  for (const GraphChange& c : batch) {
+    EXPECT_LT(c.u, 100u);
+    EXPECT_LT(c.v, 100u);
+    EXPECT_NE(c.u, c.v);
+  }
+}
+
+TEST(ApplyChanges, DetectsNoOps) {
+  Graph g;
+  g.adj.resize(4);
+  std::vector<GraphChange> batch;
+  batch.push_back({true, 0, 1});   // Effective add.
+  batch.push_back({true, 0, 1});   // No-op duplicate add.
+  batch.push_back({false, 2, 3});  // No-op remove (absent).
+  batch.push_back({false, 0, 1});  // Effective remove.
+  const auto effective = applyChanges(g, batch);
+  ASSERT_EQ(effective.size(), 2u);
+  EXPECT_TRUE(effective[0].add);
+  EXPECT_FALSE(effective[1].add);
+  EXPECT_EQ(g.edges, 0u);
+  EXPECT_TRUE(g.adj[0].empty());
+  EXPECT_TRUE(g.adj[1].empty());
+}
+
+TEST(ApplyChanges, MaintainsUndirectedSymmetry) {
+  Graph g;
+  g.adj.resize(10);
+  Rng rng(2);
+  for (int round = 0; round < 20; ++round) {
+    const auto batch = randomChangeBatch(10, 10, 1.5, rng);
+    applyChanges(g, batch);
+  }
+  for (VertexId u = 0; u < 10; ++u) {
+    for (const VertexId v : g.adj[u]) {
+      const auto& back = g.adj[v];
+      EXPECT_NE(std::find(back.begin(), back.end(), u), back.end());
+    }
+  }
+}
+
+TEST(BfsDistances, SmallGraph) {
+  Graph g;
+  g.adj.resize(6);
+  auto addEdge = [&](VertexId a, VertexId b) {
+    g.adj[a].push_back(b);
+    g.adj[b].push_back(a);
+  };
+  addEdge(0, 1);
+  addEdge(1, 2);
+  addEdge(2, 3);
+  addEdge(0, 4);
+  // Vertex 5 isolated.
+  const auto dist = bfsDistances(g, 0);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], 2);
+  EXPECT_EQ(dist[3], 3);
+  EXPECT_EQ(dist[4], 1);
+  EXPECT_EQ(dist[5], -1);
+}
+
+TEST(TotalOutDegree, CountsDirectedEdges) {
+  Graph g;
+  g.adj.resize(3);
+  g.adj[0] = {1, 2};
+  g.adj[1] = {2};
+  EXPECT_EQ(totalOutDegree(g), 3u);
+}
+
+}  // namespace
+}  // namespace ripple::graph

@@ -1,0 +1,245 @@
+// Graph EBSP (Pregel-like) layer: vertex programs, voteToHalt
+// re-activation, combiners, aggregators, and the superstep limit.
+
+#include "graph/pregel.h"
+
+#include <gtest/gtest.h>
+
+#include "kvstore/partitioned_store.h"
+
+namespace ripple::graph {
+namespace {
+
+/// Max-value propagation: every vertex adopts the largest value it has
+/// heard and gossips on change — the classic Pregel example.
+class MaxValueProgram : public VertexProgram<std::int64_t, std::int64_t> {
+ public:
+  void compute(Context& ctx,
+               const std::vector<std::int64_t>& messages) override {
+    std::int64_t best = ctx.value();
+    for (const std::int64_t m : messages) {
+      best = std::max(best, m);
+    }
+    if (ctx.superstep() == 1 || best > ctx.value()) {
+      ctx.setValue(best);
+      ctx.sendToAllNeighbors(best);
+    }
+    ctx.voteToHalt();
+  }
+
+  bool hasCombiner() const override { return true; }
+  std::int64_t combine(VertexId, const std::int64_t& a,
+                       const std::int64_t& b) override {
+    return std::max(a, b);
+  }
+};
+
+Graph lineGraph(std::size_t n) {
+  Graph g;
+  g.adj.resize(n);
+  for (VertexId u = 0; u + 1 < n; ++u) {
+    g.adj[u].push_back(u + 1);
+    g.adj[u + 1].push_back(u);
+  }
+  return g;
+}
+
+TEST(Pregel, MaxValuePropagatesAcrossComponent) {
+  auto store = kv::PartitionedStore::create(4);
+  const Graph g = lineGraph(20);
+  loadVertexTable<std::int64_t>(*store, "verts", g, 4, 0);
+  // Give each vertex its id as initial value.
+  kv::TypedTable<VertexId, VertexState<std::int64_t>> table(
+      store->lookupTable("verts"));
+  for (VertexId u = 0; u < 20; ++u) {
+    auto s = table.get(u);
+    s->value = u;
+    table.put(u, *s);
+  }
+
+  ebsp::Engine engine(store);
+  MaxValueProgram program;
+  PregelOptions options;
+  options.vertexTable = "verts";
+  const PregelResult r = runPregel(engine, program, options);
+
+  for (VertexId u = 0; u < 20; ++u) {
+    EXPECT_EQ(table.get(u)->value, 19);
+  }
+  // A 20-vertex line needs ~20 supersteps for the max to reach the end.
+  EXPECT_GE(r.job.steps, 19);
+  EXPECT_GT(r.job.metrics.combinerCalls, 0u);
+}
+
+TEST(Pregel, HaltedVerticesAreNotReinvoked) {
+  // Vertices halt immediately and send nothing: one superstep total.
+  class HaltProgram : public VertexProgram<std::int64_t, std::int64_t> {
+   public:
+    void compute(Context& ctx, const std::vector<std::int64_t>&) override {
+      ctx.voteToHalt();
+    }
+  };
+  auto store = kv::PartitionedStore::create(2);
+  const Graph g = lineGraph(10);
+  loadVertexTable<std::int64_t>(*store, "verts", g, 2, 0);
+  ebsp::Engine engine(store);
+  HaltProgram program;
+  PregelOptions options;
+  options.vertexTable = "verts";
+  const PregelResult r = runPregel(engine, program, options);
+  EXPECT_EQ(r.job.steps, 1);
+  EXPECT_EQ(r.job.metrics.computeInvocations, 10u);
+}
+
+TEST(Pregel, MessageReactivatesHaltedVertex) {
+  // Vertex 0 sends to vertex 1 in superstep 1 and halts; vertex 1 halts
+  // in superstep 1 but is re-activated by the message in superstep 2.
+  class PokeProgram : public VertexProgram<std::int64_t, std::int64_t> {
+   public:
+    void compute(Context& ctx,
+                 const std::vector<std::int64_t>& messages) override {
+      if (ctx.superstep() == 1 && ctx.id() == 0) {
+        ctx.sendMessage(1, 42);
+      }
+      if (!messages.empty()) {
+        ctx.setValue(messages[0]);
+      }
+      ctx.voteToHalt();
+    }
+  };
+  auto store = kv::PartitionedStore::create(2);
+  const Graph g = lineGraph(3);
+  loadVertexTable<std::int64_t>(*store, "verts", g, 2, 0);
+  ebsp::Engine engine(store);
+  PokeProgram program;
+  PregelOptions options;
+  options.vertexTable = "verts";
+  const PregelResult r = runPregel(engine, program, options);
+  EXPECT_EQ(r.job.steps, 2);
+  kv::TypedTable<VertexId, VertexState<std::int64_t>> table(
+      store->lookupTable("verts"));
+  EXPECT_EQ(table.get(1)->value, 42);
+  EXPECT_EQ(table.get(2)->value, 0);
+}
+
+TEST(Pregel, MaxSuperstepsAborts) {
+  // A program that never halts.
+  class SpinProgram : public VertexProgram<std::int64_t, std::int64_t> {
+   public:
+    void compute(Context&, const std::vector<std::int64_t>&) override {}
+  };
+  auto store = kv::PartitionedStore::create(2);
+  const Graph g = lineGraph(4);
+  loadVertexTable<std::int64_t>(*store, "verts", g, 2, 0);
+  ebsp::Engine engine(store);
+  SpinProgram program;
+  PregelOptions options;
+  options.vertexTable = "verts";
+  options.maxSupersteps = 7;
+  const PregelResult r = runPregel(engine, program, options);
+  EXPECT_TRUE(r.job.aborted);
+  EXPECT_EQ(r.job.steps, 7);
+}
+
+TEST(Pregel, AggregatorsFlowThrough) {
+  // Count active vertices per superstep via an aggregator.
+  class CountProgram : public VertexProgram<std::int64_t, std::int64_t> {
+   public:
+    void compute(Context& ctx, const std::vector<std::int64_t>&) override {
+      ctx.aggregate<std::uint64_t>("active", 1);
+      if (ctx.superstep() >= 2) {
+        ctx.voteToHalt();
+      }
+    }
+    std::vector<ebsp::AggregatorDecl> aggregators() const override {
+      return {{"active", ebsp::countAggregator()}};
+    }
+  };
+  auto store = kv::PartitionedStore::create(2);
+  const Graph g = lineGraph(6);
+  loadVertexTable<std::int64_t>(*store, "verts", g, 2, 0);
+  ebsp::Engine engine(store);
+  CountProgram program;
+  PregelOptions options;
+  options.vertexTable = "verts";
+  const PregelResult r = runPregel(engine, program, options);
+  EXPECT_EQ(r.job.aggregate<std::uint64_t>("active"), 6u);
+  EXPECT_EQ(r.job.steps, 2);
+}
+
+TEST(Pregel, EdgeMutationPersists) {
+  class MutateProgram : public VertexProgram<std::int64_t, std::int64_t> {
+   public:
+    void compute(Context& ctx, const std::vector<std::int64_t>&) override {
+      if (ctx.id() == 0) {
+        ctx.addEdge(5);
+        ctx.removeEdge(1);
+      }
+      ctx.voteToHalt();
+    }
+  };
+  auto store = kv::PartitionedStore::create(2);
+  const Graph g = lineGraph(6);
+  loadVertexTable<std::int64_t>(*store, "verts", g, 2, 0);
+  ebsp::Engine engine(store);
+  MutateProgram program;
+  PregelOptions options;
+  options.vertexTable = "verts";
+  runPregel(engine, program, options);
+  kv::TypedTable<VertexId, VertexState<std::int64_t>> table(
+      store->lookupTable("verts"));
+  const auto edges = table.get(0)->outEdges;
+  EXPECT_EQ(edges, std::vector<VertexId>{5});
+}
+
+TEST(Pregel, MessageToUnknownVertexCreatesIt) {
+  class SpawnProgram : public VertexProgram<std::int64_t, std::int64_t> {
+   public:
+    void compute(Context& ctx,
+                 const std::vector<std::int64_t>& messages) override {
+      if (ctx.superstep() == 1) {
+        ctx.sendMessage(999, 7);  // Not in the vertex table.
+      }
+      if (!messages.empty()) {
+        ctx.setValue(messages[0]);
+      }
+      ctx.voteToHalt();
+    }
+  };
+  auto store = kv::PartitionedStore::create(2);
+  const Graph g = lineGraph(2);
+  loadVertexTable<std::int64_t>(*store, "verts", g, 2, 0);
+  ebsp::Engine engine(store);
+  SpawnProgram program;
+  PregelOptions options;
+  options.vertexTable = "verts";
+  runPregel(engine, program, options);
+  kv::TypedTable<VertexId, VertexState<std::int64_t>> table(
+      store->lookupTable("verts"));
+  ASSERT_TRUE(table.get(999).has_value());
+  EXPECT_EQ(table.get(999)->value, 7);
+}
+
+TEST(Pregel, VertexStateCodecRoundtrip) {
+  VertexState<std::pair<double, std::string>> s;
+  s.value = {1.5, "tag"};
+  s.outEdges = {1, 2, 300000};
+  const auto decoded =
+      decodeFromBytes<VertexState<std::pair<double, std::string>>>(
+          encodeToBytes(s));
+  EXPECT_EQ(decoded.value.first, 1.5);
+  EXPECT_EQ(decoded.value.second, "tag");
+  EXPECT_EQ(decoded.outEdges, s.outEdges);
+}
+
+TEST(Pregel, MissingVertexTableThrows) {
+  auto store = kv::PartitionedStore::create(2);
+  ebsp::Engine engine(store);
+  MaxValueProgram program;
+  PregelOptions options;
+  options.vertexTable = "missing";
+  EXPECT_THROW(runPregel(engine, program, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ripple::graph

@@ -1,0 +1,221 @@
+// Cross-layer integration: several programming models sharing one store
+// and engine, PageRank implemented TWICE (apps layer and Graph EBSP
+// layer) agreeing with each other, and the Fig. 2 layering exercised top
+// to bottom.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/pagerank.h"
+#include "apps/sssp.h"
+#include "graph/pregel.h"
+#include "kvstore/local_store.h"
+#include "kvstore/partitioned_store.h"
+#include "mapreduce/mapreduce.h"
+#include "matrix/summa.h"
+
+namespace ripple {
+namespace {
+
+TEST(Integration, MultipleModelsShareOneStore) {
+  auto store = kv::PartitionedStore::create(4);
+  ebsp::Engine engine(store);
+
+  // 1. MapReduce word count.
+  {
+    kv::TableOptions options;
+    options.parts = 4;
+    kv::TypedTable<std::string, std::string> input(
+        store->createTable("wc_in", std::move(options)));
+    input.put("d", "one two two");
+    auto spec = mr::wordCountSpec("wc_in", "wc_out");
+    mr::runMapReduce(engine, spec);
+    kv::TypedTable<std::string, std::uint64_t> out(
+        store->lookupTable("wc_out"));
+    EXPECT_EQ(out.get("two"), 2u);
+  }
+
+  // 2. A SUMMA multiply on the same store/engine.
+  {
+    Rng rng(4);
+    matrix::BlockMatrix a(2, 8);
+    matrix::BlockMatrix b(2, 8);
+    a.fillRandom(rng);
+    b.fillRandom(rng);
+    matrix::SummaOptions options;
+    options.parts = 4;
+    const matrix::SummaResult r = matrix::runSumma(engine, a, b, options);
+    EXPECT_TRUE(r.c.approxEqual(matrix::BlockMatrix::multiplyReference(a, b),
+                                1e-9));
+  }
+
+  // 3. PageRank on the same store/engine.
+  {
+    graph::PowerLawOptions gen;
+    gen.vertices = 200;
+    gen.edges = 1000;
+    gen.seed = 8;
+    const graph::Graph g = graph::generatePowerLaw(gen);
+    apps::loadPageRankGraph(*store, "pr_graph", g, 4);
+    apps::PageRankOptions options;
+    options.iterations = 5;
+    const apps::PageRankResult r = apps::runPageRank(engine, options);
+    EXPECT_NEAR(r.rankSum, 1.0, 1e-9);
+  }
+}
+
+/// PageRank as a Pregel vertex program (the Graph EBSP layer), checked
+/// against the apps-layer implementation.
+class PregelPageRank : public graph::VertexProgram<double, double> {
+ public:
+  PregelPageRank(std::size_t n, double damping, int iterations)
+      : n_(static_cast<double>(n)), d_(damping), iterations_(iterations) {}
+
+  void compute(Context& ctx, const std::vector<double>& messages) override {
+    if (ctx.superstep() == 1) {
+      ctx.setValue(1.0 / n_);
+    } else {
+      double sum = 0;
+      for (const double m : messages) {
+        sum += m;
+      }
+      const double sink =
+          ctx.aggregateResult<double>("sink").value_or(0.0);
+      ctx.setValue((1.0 - d_) / n_ + d_ * (sum + sink));
+    }
+    if (ctx.superstep() <= iterations_) {
+      if (!ctx.outEdges().empty()) {
+        ctx.sendToAllNeighbors(ctx.value() /
+                               static_cast<double>(ctx.outEdges().size()));
+      } else {
+        ctx.aggregate<double>("sink", ctx.value() / n_);
+      }
+      // Not halting keeps every vertex enabled for the next superstep
+      // (PageRank touches all vertices every iteration).
+    } else {
+      ctx.voteToHalt();
+    }
+  }
+
+  bool hasCombiner() const override { return true; }
+  double combine(graph::VertexId, const double& a, const double& b) override {
+    return a + b;
+  }
+
+  std::vector<ebsp::AggregatorDecl> aggregators() const override {
+    return {{"sink", ebsp::sumAggregator<double>()}};
+  }
+
+ private:
+  double n_;
+  double d_;
+  int iterations_;
+};
+
+TEST(Integration, PregelPageRankAgreesWithAppsPageRank) {
+  graph::PowerLawOptions gen;
+  gen.vertices = 300;
+  gen.edges = 1800;
+  gen.seed = 77;
+  const graph::Graph g = graph::generatePowerLaw(gen);
+  const int iterations = 8;
+
+  // Apps-layer (direct EBSP) ranks.
+  const auto expected = apps::referencePageRank(g, 0.85, iterations);
+
+  // Graph-EBSP-layer ranks.
+  auto store = kv::PartitionedStore::create(4);
+  graph::loadVertexTable<double>(*store, "verts", g, 4, 0.0);
+  ebsp::Engine engine(store);
+  PregelPageRank program(g.vertexCount(), 0.85, iterations);
+  graph::PregelOptions options;
+  options.vertexTable = "verts";
+  runPregel(engine, program, options);
+
+  kv::TypedTable<graph::VertexId, graph::VertexState<double>> table(
+      store->lookupTable("verts"));
+  for (graph::VertexId u = 0; u < g.vertexCount(); ++u) {
+    EXPECT_NEAR(table.get(u)->value, expected[u], 1e-9) << "vertex " << u;
+  }
+}
+
+TEST(Integration, SameWorkloadOnBothStores) {
+  // The store-portability claim: an identical job runs on LocalStore and
+  // PartitionedStore with identical results.
+  graph::PowerLawOptions gen;
+  gen.vertices = 150;
+  gen.edges = 700;
+  gen.seed = 55;
+  const graph::Graph g = graph::generatePowerLaw(gen);
+
+  auto runOn = [&](kv::KVStorePtr store) {
+    apps::loadPageRankGraph(*store, "pr_graph", g, 3);
+    ebsp::Engine engine(store);
+    apps::PageRankOptions options;
+    options.iterations = 6;
+    apps::runPageRank(engine, options);
+    return apps::readRanks(*store, "pr_graph", g.vertexCount());
+  };
+  const auto onLocal = runOn(kv::LocalStore::create());
+  const auto onPartitioned = runOn(kv::PartitionedStore::create(3));
+  for (std::size_t v = 0; v < g.vertexCount(); ++v) {
+    EXPECT_NEAR(onLocal[v], onPartitioned[v], 1e-12);
+  }
+}
+
+TEST(Integration, SsspThenPageRankOnSameGraphData) {
+  // Two different analyses over the same logical graph, stored in
+  // separate tables of one store ("running a new analysis need not
+  // involve changing existing data").
+  graph::PowerLawOptions gen;
+  gen.vertices = 120;
+  gen.edges = 500;
+  gen.undirected = true;
+  gen.seed = 66;
+  const graph::Graph g = graph::generatePowerLaw(gen);
+
+  auto store = kv::PartitionedStore::create(4);
+  ebsp::Engine engine(store);
+
+  apps::SsspOptions ssspOptions;
+  ssspOptions.selective = true;
+  ssspOptions.parts = 4;
+  apps::SsspDriver driver(engine, ssspOptions);
+  driver.loadGraph(g);
+  driver.initialize();
+  const auto dist = driver.distances(g.vertexCount());
+  const auto bfs = graph::bfsDistances(g, 0);
+  for (std::size_t v = 0; v < bfs.size(); ++v) {
+    EXPECT_EQ(dist[v], bfs[v] < 0 ? apps::kSsspInf : bfs[v]);
+  }
+
+  apps::loadPageRankGraph(*store, "pr_graph", g, 4);
+  apps::PageRankOptions prOptions;
+  prOptions.iterations = 4;
+  const apps::PageRankResult pr = apps::runPageRank(engine, prOptions);
+  EXPECT_NEAR(pr.rankSum, 1.0, 1e-9);
+
+  // The SSSP state table is untouched by the PageRank run.
+  EXPECT_EQ(driver.distances(g.vertexCount()), dist);
+}
+
+TEST(Integration, ConsecutiveJobsDoNotLeakTables) {
+  auto store = kv::PartitionedStore::create(2);
+  ebsp::Engine engine(store);
+  for (int round = 0; round < 5; ++round) {
+    Rng rng(static_cast<std::uint64_t>(round));
+    matrix::BlockMatrix a(2, 4);
+    matrix::BlockMatrix b(2, 4);
+    a.fillRandom(rng);
+    b.fillRandom(rng);
+    matrix::SummaOptions options;
+    options.parts = 2;
+    options.synchronized = round % 2 == 0;
+    matrix::runSumma(engine, a, b, options);  // Drops its state table.
+  }
+  EXPECT_EQ(store->lookupTable("summa_state"), nullptr);
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,206 @@
+// PartitionedStore-specific behaviour: concurrency, the local/remote
+// boundary, thread adoption, and metrics.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "kvstore/partitioned_store.h"
+#include "kvstore/store_util.h"
+
+namespace ripple::kv {
+namespace {
+
+TEST(PartitionedStore, RejectsZeroContainers) {
+  EXPECT_THROW(PartitionedStore::create(0), std::invalid_argument);
+}
+
+TEST(PartitionedStore, ConcurrentWritersFromManyThreads) {
+  auto store = PartitionedStore::create(4);
+  TableOptions options;
+  options.parts = 4;
+  TablePtr t = store->createTable("t", std::move(options));
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&t, w] {
+      for (int i = 0; i < kPerThread; ++i) {
+        t->put("w" + std::to_string(w) + "_" + std::to_string(i), "v");
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(t->size(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(PartitionedStore, OpsFromOutsideAreRemote) {
+  auto store = PartitionedStore::create(2);
+  TableOptions options;
+  options.parts = 2;
+  TablePtr t = store->createTable("t", std::move(options));
+  store->metrics().reset();
+  t->put("key", "v");
+  (void)t->get("key");
+  EXPECT_EQ(store->metrics().remoteOps.load(), 2u);
+  EXPECT_EQ(store->metrics().localOps.load(), 0u);
+  EXPECT_GT(store->metrics().bytesMarshalled.load(), 0u);
+}
+
+TEST(PartitionedStore, OpsFromOwnerThreadAreLocal) {
+  auto store = PartitionedStore::create(2);
+  TableOptions options;
+  options.parts = 2;
+  TablePtr t = store->createTable("t", std::move(options));
+
+  // Find a key owned by part 0 and operate on it from part 0's executor.
+  std::string key = "a";
+  while (t->partOf(key) != 0) {
+    key.push_back('a');
+  }
+  store->metrics().reset();
+  store->runInPart(*t, 0, [&] {
+    t->put(key, "v");
+    EXPECT_EQ(t->get(key), "v");
+  });
+  EXPECT_EQ(store->metrics().localOps.load(), 2u);
+  EXPECT_EQ(store->metrics().remoteOps.load(), 0u);
+}
+
+TEST(PartitionedStore, AdoptedThreadGetsLocalAccess) {
+  auto store = PartitionedStore::create(2);
+  TableOptions options;
+  options.parts = 2;
+  TablePtr t = store->createTable("t", std::move(options));
+  std::string key = "a";
+  while (t->partOf(key) != 1) {
+    key.push_back('a');
+  }
+  store->metrics().reset();
+  std::thread worker([&] {
+    auto token = store->adoptPartThread(*t, 1);
+    t->put(key, "v");
+    EXPECT_EQ(store->metrics().localOps.load(), 1u);
+  });
+  worker.join();
+  // After the token is gone the same thread pattern would be remote; a
+  // fresh unadopted thread certainly is.
+  std::thread outsider([&] { (void)t->get(key); });
+  outsider.join();
+  EXPECT_EQ(store->metrics().remoteOps.load(), 1u);
+}
+
+TEST(PartitionedStore, AdoptReleasesOnTokenDestruction) {
+  auto store = PartitionedStore::create(1);
+  TableOptions options;
+  options.parts = 1;
+  TablePtr t = store->createTable("t", std::move(options));
+  store->metrics().reset();
+  {
+    auto token = store->adoptPartThread(*t, 0);
+    t->put("k", "v");
+  }
+  (void)t->get("k");
+  EXPECT_EQ(store->metrics().localOps.load(), 1u);
+  EXPECT_EQ(store->metrics().remoteOps.load(), 1u);
+}
+
+TEST(PartitionedStore, RunInPartsExecutesConcurrently) {
+  auto store = PartitionedStore::create(4);
+  TableOptions options;
+  options.parts = 4;
+  TablePtr t = store->createTable("t", std::move(options));
+
+  // All four parts must be inside fn at once for the latch to release.
+  std::atomic<int> arrived{0};
+  std::atomic<bool> released{false};
+  store->runInParts(*t, [&](std::uint32_t) {
+    arrived.fetch_add(1);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (arrived.load() < 4 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+    if (arrived.load() >= 4) {
+      released.store(true);
+    }
+  });
+  EXPECT_TRUE(released.load());
+}
+
+TEST(PartitionedStore, EnumerationCallbackMayWriteOtherTables) {
+  // Snapshot-based enumeration: consumers can issue routed ops without
+  // deadlocking.
+  auto store = PartitionedStore::create(2);
+  TableOptions options;
+  options.parts = 2;
+  TablePtr src = store->createTable("src", options);
+  TableOptions options2;
+  options2.parts = 2;
+  TablePtr dst = store->createTable("dst", options2);
+  for (int i = 0; i < 50; ++i) {
+    src->put("k" + std::to_string(i), std::to_string(i));
+  }
+  class CopyingConsumer : public PairConsumer {
+   public:
+    explicit CopyingConsumer(Table& dst) : dst_(dst) {}
+    bool consume(std::uint32_t, KeyView k, ValueView v) override {
+      dst_.put(k, v);  // Cross-part routed write from a scan thread.
+      return true;
+    }
+
+   private:
+    Table& dst_;
+  };
+  CopyingConsumer consumer(*dst);
+  src->enumerate(consumer);
+  EXPECT_EQ(dst->size(), 50u);
+}
+
+TEST(PartitionedStore, MorePartsThanContainers) {
+  auto store = PartitionedStore::create(2);
+  TableOptions options;
+  options.parts = 8;
+  TablePtr t = store->createTable("t", std::move(options));
+  for (int i = 0; i < 100; ++i) {
+    t->put("k" + std::to_string(i), "v");
+  }
+  EXPECT_EQ(t->size(), 100u);
+  std::atomic<std::uint32_t> visited{0};
+  store->runInParts(*t, [&](std::uint32_t) { visited.fetch_add(1); });
+  EXPECT_EQ(visited.load(), 8u);
+}
+
+TEST(PartitionedStore, UbiquitousReadableFromEveryThread) {
+  auto store = PartitionedStore::create(3);
+  TableOptions options;
+  options.ubiquitous = true;
+  TablePtr u = store->createTable("u", std::move(options));
+  u->put("broadcast", "datum");
+  TableOptions placedOptions;
+  placedOptions.parts = 3;
+  TablePtr placed = store->createTable("placed", std::move(placedOptions));
+  std::atomic<int> reads{0};
+  store->runInParts(*placed, [&](std::uint32_t) {
+    if (u->get("broadcast") == "datum") {
+      reads.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(reads.load(), 3);
+}
+
+TEST(PartitionedStore, ShutdownIsIdempotent) {
+  auto store = PartitionedStore::create(2);
+  store->shutdown();
+  store->shutdown();
+}
+
+}  // namespace
+}  // namespace ripple::kv

@@ -1,0 +1,347 @@
+// SPI conformance suite, run against every KVStore implementation — the
+// portability claim of paper §III demands that both stores satisfy the
+// same observable contract.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/codec.h"
+#include "kvstore/local_store.h"
+#include "kvstore/partitioned_store.h"
+#include "kvstore/store_util.h"
+
+namespace ripple::kv {
+namespace {
+
+struct StoreFactory {
+  const char* name;
+  KVStorePtr (*make)();
+};
+
+KVStorePtr makeLocal() { return LocalStore::create(); }
+KVStorePtr makePartitioned() {
+  return PartitionedStore::create(4);
+}
+
+class StoreConformanceTest : public ::testing::TestWithParam<StoreFactory> {
+ protected:
+  void SetUp() override { store_ = GetParam().make(); }
+
+  TablePtr makeTable(const std::string& name, std::uint32_t parts,
+                     bool ordered = false) {
+    TableOptions options;
+    options.parts = parts;
+    options.ordered = ordered;
+    return store_->createTable(name, std::move(options));
+  }
+
+  KVStorePtr store_;
+};
+
+TEST_P(StoreConformanceTest, CreateLookupDrop) {
+  TablePtr t = makeTable("t", 3);
+  EXPECT_EQ(t->name(), "t");
+  EXPECT_EQ(store_->lookupTable("t"), t);
+  EXPECT_EQ(store_->lookupTable("missing"), nullptr);
+  store_->dropTable("t");
+  EXPECT_EQ(store_->lookupTable("t"), nullptr);
+}
+
+TEST_P(StoreConformanceTest, DuplicateCreateThrows) {
+  makeTable("t", 2);
+  EXPECT_THROW(makeTable("t", 2), std::invalid_argument);
+}
+
+TEST_P(StoreConformanceTest, GetPutEraseBasics) {
+  TablePtr t = makeTable("t", 4);
+  EXPECT_EQ(t->get("k"), std::nullopt);
+  t->put("k", "v1");
+  EXPECT_EQ(t->get("k"), "v1");
+  t->put("k", "v2");  // Overwrite.
+  EXPECT_EQ(t->get("k"), "v2");
+  EXPECT_TRUE(t->erase("k"));
+  EXPECT_FALSE(t->erase("k"));
+  EXPECT_EQ(t->get("k"), std::nullopt);
+}
+
+TEST_P(StoreConformanceTest, EmptyKeyAndBinaryValues) {
+  TablePtr t = makeTable("t", 2);
+  const Bytes binary("\0\x01\xff", 3);
+  t->put("", binary);
+  EXPECT_EQ(t->get(""), binary);
+}
+
+TEST_P(StoreConformanceTest, SizeAndPartSize) {
+  TablePtr t = makeTable("t", 4);
+  for (int i = 0; i < 100; ++i) {
+    t->put("key" + std::to_string(i), "v");
+  }
+  EXPECT_EQ(t->size(), 100u);
+  std::uint64_t sum = 0;
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    sum += t->partSize(p);
+  }
+  EXPECT_EQ(sum, 100u);
+}
+
+TEST_P(StoreConformanceTest, PartOfMatchesPartitioner) {
+  TablePtr t = makeTable("t", 4);
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    EXPECT_EQ(t->partOf(key), t->options().partitioner->partOf(key));
+    EXPECT_LT(t->partOf(key), 4u);
+  }
+}
+
+TEST_P(StoreConformanceTest, PutBatchRoutesAllParts) {
+  TablePtr t = makeTable("t", 4);
+  std::vector<std::pair<Key, Value>> batch;
+  for (int i = 0; i < 200; ++i) {
+    batch.emplace_back("key" + std::to_string(i), std::to_string(i));
+  }
+  t->putBatch(batch);
+  EXPECT_EQ(t->size(), 200u);
+  EXPECT_EQ(t->get("key123"), "123");
+}
+
+TEST_P(StoreConformanceTest, EnumerateVisitsEverything) {
+  TablePtr t = makeTable("t", 3);
+  for (int i = 0; i < 60; ++i) {
+    t->put("k" + std::to_string(i), std::to_string(i * 2));
+  }
+  auto all = readAll(*t);
+  EXPECT_EQ(all.size(), 60u);
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(countPairs(*t), 60u);
+}
+
+TEST_P(StoreConformanceTest, OrderedTableEnumeratesPartsInKeyOrder) {
+  TablePtr t = makeTable("t", 2, /*ordered=*/true);
+  for (int i = 99; i >= 0; --i) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "k%03d", i);
+    t->put(buf, "v");
+  }
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    std::vector<Bytes> keys;
+    class Collect : public PairConsumer {
+     public:
+      explicit Collect(std::vector<Bytes>& keys) : keys_(keys) {}
+      bool consume(std::uint32_t, KeyView k, ValueView) override {
+        keys_.emplace_back(k);
+        return true;
+      }
+
+     private:
+      std::vector<Bytes>& keys_;
+    };
+    Collect collector(keys);
+    t->enumeratePart(p, collector);
+    EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+    EXPECT_FALSE(keys.empty());
+  }
+}
+
+TEST_P(StoreConformanceTest, PairConsumerEarlyStopIsPerPart) {
+  TablePtr t = makeTable("t", 2);
+  for (int i = 0; i < 40; ++i) {
+    t->put("k" + std::to_string(i), "v");
+  }
+  class StopAfterOne : public PairConsumer {
+   public:
+    bool consume(std::uint32_t, KeyView, ValueView) override {
+      count.fetch_add(1);
+      return false;  // Stop this part after the first pair.
+    }
+    std::atomic<int> count{0};
+  };
+  StopAfterOne consumer;
+  t->enumerate(consumer);
+  EXPECT_EQ(consumer.count.load(), 2);  // One per part.
+}
+
+TEST_P(StoreConformanceTest, PairConsumerSetupFinalizeCombine) {
+  TablePtr t = makeTable("t", 3);
+  for (int i = 0; i < 30; ++i) {
+    t->put("k" + std::to_string(i), "v");
+  }
+  // Count pairs per part via finalize, combine by summation.
+  class Counter : public PairConsumer {
+   public:
+    void setupPart(std::uint32_t part) override {
+      std::lock_guard<std::mutex> lock(mu_);
+      counts_[part] = 0;
+    }
+    bool consume(std::uint32_t part, KeyView, ValueView) override {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counts_[part];
+      return true;
+    }
+    Bytes finalizePart(std::uint32_t part) override {
+      std::lock_guard<std::mutex> lock(mu_);
+      return encodeToBytes<std::uint64_t>(counts_[part]);
+    }
+    Bytes combine(Bytes a, Bytes b) override {
+      if (a.empty()) return b;
+      if (b.empty()) return a;
+      return encodeToBytes<std::uint64_t>(
+          decodeFromBytes<std::uint64_t>(a) +
+          decodeFromBytes<std::uint64_t>(b));
+    }
+
+   private:
+    std::mutex mu_;
+    std::map<std::uint32_t, std::uint64_t> counts_;
+  };
+  Counter counter;
+  const Bytes result = t->enumerate(counter);
+  EXPECT_EQ(decodeFromBytes<std::uint64_t>(result), 30u);
+}
+
+TEST_P(StoreConformanceTest, PartConsumerProcessesEveryPart) {
+  TablePtr t = makeTable("t", 4);
+  for (int i = 0; i < 100; ++i) {
+    t->put("k" + std::to_string(i), "v");
+  }
+  class Sizer : public PartConsumer {
+   public:
+    Bytes processPart(std::uint32_t part, Table& table) override {
+      return encodeToBytes<std::uint64_t>(table.partSize(part));
+    }
+    Bytes combine(Bytes a, Bytes b) override {
+      if (a.empty()) return b;
+      if (b.empty()) return a;
+      return encodeToBytes<std::uint64_t>(
+          decodeFromBytes<std::uint64_t>(a) +
+          decodeFromBytes<std::uint64_t>(b));
+    }
+  };
+  Sizer sizer;
+  EXPECT_EQ(decodeFromBytes<std::uint64_t>(t->processParts(sizer)), 100u);
+}
+
+TEST_P(StoreConformanceTest, DrainPartRemovesAndReturns) {
+  TablePtr t = makeTable("t", 2);
+  for (int i = 0; i < 20; ++i) {
+    t->put("k" + std::to_string(i), "v");
+  }
+  std::size_t drained = 0;
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    drained += t->drainPart(p).size();
+  }
+  EXPECT_EQ(drained, 20u);
+  EXPECT_EQ(t->size(), 0u);
+}
+
+TEST_P(StoreConformanceTest, ClearPartOnlyClearsThatPart) {
+  TablePtr t = makeTable("t", 2);
+  for (int i = 0; i < 40; ++i) {
+    t->put("k" + std::to_string(i), "v");
+  }
+  const std::uint64_t before0 = t->partSize(0);
+  const std::uint64_t cleared = t->clearPart(0);
+  EXPECT_EQ(cleared, before0);
+  EXPECT_EQ(t->partSize(0), 0u);
+  EXPECT_EQ(t->size(), 40u - before0);
+}
+
+TEST_P(StoreConformanceTest, ConsistentTableSharesPartitioning) {
+  TablePtr a = makeTable("a", 4);
+  TablePtr b = store_->createConsistentTable("b", *a);
+  EXPECT_EQ(b->numParts(), a->numParts());
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    EXPECT_EQ(a->partOf(key), b->partOf(key));
+  }
+  // Same partitioner INSTANCE, which is the guarantee.
+  EXPECT_EQ(a->options().partitioner.get(), b->options().partitioner.get());
+}
+
+TEST_P(StoreConformanceTest, UbiquitousTableHasSinglePart) {
+  TableOptions options;
+  options.parts = 8;  // Ignored for ubiquitous tables.
+  options.ubiquitous = true;
+  TablePtr t = store_->createTable("u", std::move(options));
+  EXPECT_EQ(t->numParts(), 1u);
+  t->put("config", "42");
+  EXPECT_EQ(t->get("config"), "42");
+  EXPECT_EQ(t->partOf("anything"), 0u);
+  EXPECT_EQ(countPairs(*t), 1u);
+}
+
+TEST_P(StoreConformanceTest, RunInPartsVisitsEachPartOnce) {
+  TablePtr t = makeTable("t", 4);
+  std::atomic<std::uint32_t> mask{0};
+  store_->runInParts(*t, [&](std::uint32_t part) {
+    mask.fetch_or(1u << part);
+  });
+  EXPECT_EQ(mask.load(), 0b1111u);
+}
+
+TEST_P(StoreConformanceTest, RunInPartRejectsBadPart) {
+  TablePtr t = makeTable("t", 2);
+  EXPECT_THROW(store_->runInPart(*t, 5, [] {}), std::out_of_range);
+}
+
+TEST_P(StoreConformanceTest, RunInPartsPropagatesExceptions) {
+  TablePtr t = makeTable("t", 3);
+  EXPECT_THROW(store_->runInParts(
+                   *t,
+                   [](std::uint32_t part) {
+                     if (part == 1) {
+                       throw std::runtime_error("part failure");
+                     }
+                   }),
+               std::runtime_error);
+}
+
+TEST_P(StoreConformanceTest, CopyTablePreservesContent) {
+  TablePtr src = makeTable("src", 3);
+  for (int i = 0; i < 25; ++i) {
+    src->put("k" + std::to_string(i), std::to_string(i));
+  }
+  TablePtr dst = makeTable("dst", 2);
+  copyTable(*src, *dst);
+  EXPECT_EQ(dst->size(), 25u);
+  EXPECT_EQ(dst->get("k7"), "7");
+}
+
+TEST_P(StoreConformanceTest, TypedTableRoundtrip) {
+  TablePtr raw = makeTable("typed", 2);
+  TypedTable<int, std::pair<std::string, double>> t(raw);
+  t.put(1, {"one", 1.0});
+  t.put(2, {"two", 2.0});
+  EXPECT_EQ(t.get(1)->first, "one");
+  EXPECT_EQ(t.get(3), std::nullopt);
+  EXPECT_TRUE(t.erase(2));
+  EXPECT_EQ(t.size(), 1u);
+  int visited = 0;
+  t.forEach([&](const int& k, const auto& v) {
+    EXPECT_EQ(k, 1);
+    EXPECT_EQ(v.second, 1.0);
+    ++visited;
+    return true;
+  });
+  EXPECT_EQ(visited, 1);
+}
+
+TEST_P(StoreConformanceTest, MismatchedPartitionerThrows) {
+  TableOptions options;
+  options.parts = 4;
+  options.partitioner = makeDefaultPartitioner(2);  // Wrong part count.
+  EXPECT_THROW(store_->createTable("bad", std::move(options)),
+               std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Stores, StoreConformanceTest,
+    ::testing::Values(StoreFactory{"LocalStore", &makeLocal},
+                      StoreFactory{"PartitionedStore", &makePartitioned}),
+    [](const ::testing::TestParamInfo<StoreFactory>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace ripple::kv

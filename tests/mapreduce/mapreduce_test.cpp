@@ -1,0 +1,177 @@
+// The MapReduce layer (Fig. 2) compiled onto K/V EBSP.
+
+#include "mapreduce/mapreduce.h"
+
+#include <gtest/gtest.h>
+
+#include "kvstore/partitioned_store.h"
+#include "mapreduce/iterated.h"
+
+namespace ripple::mr {
+namespace {
+
+std::shared_ptr<kv::PartitionedStore> newStore() {
+  return kv::PartitionedStore::create(4);
+}
+
+TEST(MapReduce, WordCountEndToEnd) {
+  auto store = newStore();
+  kv::TableOptions options;
+  options.parts = 4;
+  kv::TypedTable<std::string, std::string> input(
+      store->createTable("in", std::move(options)));
+  input.put("d1", "a b a c");
+  input.put("d2", "b a");
+  input.put("d3", "A, a; B!");
+
+  ebsp::Engine engine(store);
+  auto spec = wordCountSpec("in", "out");
+  const MapReduceResult r = runMapReduce(engine, spec);
+
+  kv::TypedTable<std::string, std::uint64_t> output(
+      store->lookupTable("out"));
+  EXPECT_EQ(output.get("a"), 5u);
+  EXPECT_EQ(output.get("b"), 3u);
+  EXPECT_EQ(output.get("c"), 1u);
+  EXPECT_EQ(r.outputPairs, 3u);
+  // Two steps: map-like and reduce-like.
+  EXPECT_EQ(r.job.steps, 2);
+}
+
+TEST(MapReduce, MissingInputTableThrows) {
+  auto store = newStore();
+  ebsp::Engine engine(store);
+  auto spec = wordCountSpec("nope", "out");
+  EXPECT_THROW(runMapReduce(engine, spec), std::invalid_argument);
+}
+
+TEST(MapReduce, CombinerReducesShuffleVolume) {
+  auto store = newStore();
+  kv::TableOptions options;
+  options.parts = 4;
+  kv::TypedTable<std::string, std::string> input(
+      store->createTable("in", std::move(options)));
+  std::string manyAs;
+  for (int i = 0; i < 50; ++i) {
+    manyAs += "a ";
+  }
+  input.put("d", manyAs);
+
+  ebsp::Engine engine(store);
+  auto withCombiner = wordCountSpec("in", "out1");
+  const MapReduceResult r1 = runMapReduce(engine, withCombiner);
+  auto withoutCombiner = wordCountSpec("in", "out2");
+  withoutCombiner.combiner = nullptr;
+  const MapReduceResult r2 = runMapReduce(engine, withoutCombiner);
+
+  // Same answer, fewer combined messages in flight.
+  kv::TypedTable<std::string, std::uint64_t> out1(store->lookupTable("out1"));
+  kv::TypedTable<std::string, std::uint64_t> out2(store->lookupTable("out2"));
+  EXPECT_EQ(out1.get("a"), 50u);
+  EXPECT_EQ(out2.get("a"), 50u);
+  EXPECT_GT(r1.job.metrics.combinerCalls, 0u);
+  EXPECT_EQ(r2.job.metrics.combinerCalls, 0u);
+}
+
+TEST(MapReduce, ExporterReceivesOutput) {
+  auto store = newStore();
+  kv::TableOptions options;
+  options.parts = 2;
+  kv::TypedTable<std::string, std::string> input(
+      store->createTable("in", std::move(options)));
+  input.put("d", "x y");
+
+  auto collector = std::make_shared<ebsp::CollectingExporter>();
+  ebsp::Engine engine(store);
+  auto spec = wordCountSpec("in", /*outputTable=*/"");
+  spec.exporter = collector;
+  runMapReduce(engine, spec);
+  EXPECT_EQ(collector->count(), 2u);
+  // No output table was created.
+  EXPECT_EQ(store->lookupTable(""), nullptr);
+}
+
+TEST(MapReduce, NumericAggregationJob) {
+  // Group integers by parity, sum each group.
+  auto store = newStore();
+  kv::TableOptions options;
+  options.parts = 4;
+  kv::TypedTable<int, int> input(store->createTable("nums", std::move(options)));
+  for (int i = 1; i <= 100; ++i) {
+    input.put(i, i);
+  }
+
+  MapReduceSpec<int, int, int, std::int64_t, int, std::int64_t> spec;
+  spec.inputTable = "nums";
+  spec.outputTable = "sums";
+  spec.mapper = [](const int&, const int& v, const auto& emit) {
+    emit(v % 2, v);
+  };
+  spec.combiner = [](const int&, std::int64_t a, std::int64_t b) {
+    return a + b;
+  };
+  spec.reducer = [](const int& parity, const std::vector<std::int64_t>& vs,
+                    const auto& emit) {
+    std::int64_t total = 0;
+    for (const auto v : vs) {
+      total += v;
+    }
+    emit(parity, total);
+  };
+  ebsp::Engine engine(store);
+  runMapReduce(engine, spec);
+  kv::TypedTable<int, std::int64_t> sums(store->lookupTable("sums"));
+  EXPECT_EQ(sums.get(0), 2550);  // 2+4+...+100
+  EXPECT_EQ(sums.get(1), 2500);  // 1+3+...+99
+}
+
+TEST(IteratedMapReduce, ConvergesAndCleansUpIntermediates) {
+  // Iteratively halve values until everything is below 2.
+  auto store = newStore();
+  kv::TableOptions options;
+  options.parts = 4;
+  kv::TypedTable<int, std::int64_t> input(
+      store->createTable("vals", std::move(options)));
+  for (int i = 0; i < 16; ++i) {
+    input.put(i, 64);
+  }
+
+  using Spec = MapReduceSpec<int, std::int64_t, int, std::int64_t, int,
+                             std::int64_t>;
+  ebsp::Engine engine(store);
+  std::atomic<std::int64_t> maxSeen{0};
+  const IterationStats stats = runIterated<int, std::int64_t, int,
+                                           std::int64_t, int, std::int64_t>(
+      engine,
+      [&](int, const std::string&, const std::string&) {
+        Spec spec;
+        spec.mapper = [](const int& k, const std::int64_t& v,
+                         const auto& emit) { emit(k, v / 2); };
+        spec.reducer = [&](const int& k, const std::vector<std::int64_t>& vs,
+                           const auto& emit) {
+          emit(k, vs.at(0));
+          std::int64_t prev = maxSeen.load();
+          while (vs[0] > prev &&
+                 !maxSeen.compare_exchange_weak(prev, vs[0])) {
+          }
+        };
+        return spec;
+      },
+      "vals", /*maxIterations=*/20,
+      [&](int, const MapReduceResult&) {
+        const std::int64_t m = maxSeen.exchange(0);
+        return m < 2;
+      });
+  // 64 -> 32 -> 16 -> 8 -> 4 -> 2 -> 1: six iterations.
+  EXPECT_EQ(stats.iterations, 6);
+  EXPECT_EQ(stats.totalSteps, 12u);  // Two per iteration.
+  kv::TypedTable<int, std::int64_t> out(store->lookupTable("vals__iter6"));
+  EXPECT_EQ(out.get(3), 1);
+  // Intermediate tables were dropped.
+  EXPECT_EQ(store->lookupTable("vals__iter3"), nullptr);
+  // Original input untouched.
+  EXPECT_EQ(input.get(3), 64);
+}
+
+}  // namespace
+}  // namespace ripple::mr

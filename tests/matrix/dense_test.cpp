@@ -1,0 +1,115 @@
+#include "matrix/dense.h"
+
+#include <gtest/gtest.h>
+
+namespace ripple::matrix {
+namespace {
+
+TEST(DenseBlock, MultiplyAccumulateMatchesManual) {
+  DenseBlock a(2, 3);
+  DenseBlock b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12].
+  double av[] = {1, 2, 3, 4, 5, 6};
+  double bv[] = {7, 8, 9, 10, 11, 12};
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      a.at(i, j) = av[i * 3 + j];
+    }
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      b.at(i, j) = bv[i * 2 + j];
+    }
+  }
+  DenseBlock c(2, 2);
+  c.at(0, 0) = 1;  // Accumulation, not assignment.
+  c.multiplyAccumulate(a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 59.0);  // 58 + 1.
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 154.0);
+}
+
+TEST(DenseBlock, MultiplyDimensionMismatchThrows) {
+  DenseBlock a(2, 3);
+  DenseBlock b(2, 2);
+  DenseBlock c(2, 2);
+  EXPECT_THROW(c.multiplyAccumulate(a, b), std::invalid_argument);
+}
+
+TEST(DenseBlock, AddElementwise) {
+  DenseBlock a(2, 2);
+  DenseBlock b(2, 2);
+  a.at(0, 0) = 1;
+  b.at(0, 0) = 2;
+  a.add(b);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 3.0);
+  DenseBlock wrong(3, 3);
+  EXPECT_THROW(a.add(wrong), std::invalid_argument);
+}
+
+TEST(DenseBlock, CodecRoundtrip) {
+  Rng rng(1);
+  DenseBlock b(5, 7);
+  b.fillRandom(rng);
+  const DenseBlock decoded = decodeFromBytes<DenseBlock>(encodeToBytes(b));
+  EXPECT_EQ(decoded.rows(), 5u);
+  EXPECT_EQ(decoded.cols(), 7u);
+  EXPECT_TRUE(decoded.approxEqual(b, 0.0));
+}
+
+TEST(DenseBlock, ApproxEqualTolerance) {
+  DenseBlock a(1, 1);
+  DenseBlock b(1, 1);
+  a.at(0, 0) = 1.0;
+  b.at(0, 0) = 1.0 + 1e-12;
+  EXPECT_TRUE(a.approxEqual(b, 1e-9));
+  EXPECT_FALSE(a.approxEqual(b, 1e-15));
+  DenseBlock c(2, 1);
+  EXPECT_FALSE(a.approxEqual(c));
+}
+
+TEST(DenseBlock, FrobeniusNorm) {
+  DenseBlock b(1, 2);
+  b.at(0, 0) = 3;
+  b.at(0, 1) = 4;
+  EXPECT_DOUBLE_EQ(b.frobeniusNorm(), 5.0);
+}
+
+TEST(BlockMatrix, ReferenceMultiplyIsAssociativeWithScalar) {
+  Rng rng(2);
+  BlockMatrix a(2, 4);
+  BlockMatrix b(2, 4);
+  a.fillRandom(rng);
+  b.fillRandom(rng);
+  const BlockMatrix c = BlockMatrix::multiplyReference(a, b);
+  // Spot check one element against a flat computation.
+  const std::size_t n = 2 * 4;
+  auto flat = [&](const BlockMatrix& m, std::size_t r, std::size_t col) {
+    return m.block(r / 4, col / 4).at(r % 4, col % 4);
+  };
+  double expect = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    expect += flat(a, 3, k) * flat(b, k, 6);
+  }
+  EXPECT_NEAR(flat(c, 3, 6), expect, 1e-9);
+}
+
+TEST(BlockMatrix, MultiplyShapeMismatchThrows) {
+  BlockMatrix a(2, 4);
+  BlockMatrix b(3, 4);
+  EXPECT_THROW(BlockMatrix::multiplyReference(a, b), std::invalid_argument);
+}
+
+TEST(BlockMatrix, ApproxEqual) {
+  Rng rng(3);
+  BlockMatrix a(2, 3);
+  a.fillRandom(rng);
+  BlockMatrix b = a;
+  EXPECT_TRUE(a.approxEqual(b));
+  b.block(1, 1).at(0, 0) += 1.0;
+  EXPECT_FALSE(a.approxEqual(b));
+}
+
+}  // namespace
+}  // namespace ripple::matrix

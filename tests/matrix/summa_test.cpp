@@ -1,0 +1,178 @@
+// SUMMA on EBSP: correctness of both execution variants, the Table II
+// schedule (simulator vs. paper vs. instrumented engine), and the no-sync
+// makespan bound.
+
+#include "matrix/summa.h"
+
+#include <gtest/gtest.h>
+
+#include "kvstore/partitioned_store.h"
+#include "matrix/summa_schedule.h"
+
+namespace ripple::matrix {
+namespace {
+
+struct SummaCase {
+  std::uint32_t grid;
+  std::size_t blockSize;
+  bool synchronized;
+};
+
+class SummaCorrectnessTest : public ::testing::TestWithParam<SummaCase> {};
+
+TEST_P(SummaCorrectnessTest, MatchesReferenceProduct) {
+  const SummaCase& c = GetParam();
+  Rng rng(100 + c.grid);
+  BlockMatrix a(c.grid, c.blockSize);
+  BlockMatrix b(c.grid, c.blockSize);
+  a.fillRandom(rng);
+  b.fillRandom(rng);
+  const BlockMatrix expected = BlockMatrix::multiplyReference(a, b);
+
+  auto store = kv::PartitionedStore::create(c.grid * c.grid);
+  ebsp::Engine engine(store);
+  SummaOptions options;
+  options.synchronized = c.synchronized;
+  options.parts = c.grid * c.grid;
+  const SummaResult r = runSumma(engine, a, b, options);
+  EXPECT_TRUE(r.c.approxEqual(expected, 1e-9));
+  if (c.synchronized) {
+    EXPECT_GT(r.job.steps, 0);
+  } else {
+    EXPECT_EQ(r.job.steps, 0);  // No steps without barriers.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, SummaCorrectnessTest,
+    ::testing::Values(SummaCase{1, 8, true}, SummaCase{2, 8, true},
+                      SummaCase{3, 8, true}, SummaCase{4, 8, true},
+                      SummaCase{2, 8, false}, SummaCase{3, 8, false},
+                      SummaCase{4, 8, false}, SummaCase{3, 32, true},
+                      SummaCase{3, 32, false}),
+    [](const ::testing::TestParamInfo<SummaCase>& info) {
+      return "G" + std::to_string(info.param.grid) + "B" +
+             std::to_string(info.param.blockSize) +
+             (info.param.synchronized ? "Sync" : "NoSync");
+    });
+
+TEST(SummaSchedule, PaperTableIIRow) {
+  const SummaSchedule s = simulateSummaSchedule(3);
+  const std::vector<std::uint64_t> paper{1, 3, 6, 3, 6, 3, 5};
+  EXPECT_EQ(s.multsPerStep, paper);
+  EXPECT_EQ(s.steps(), 7u);
+  EXPECT_EQ(s.totalMultiplies(), 27u);
+  EXPECT_NEAR(s.slowdownFactor(3), 7.0 / 3.0, 1e-12);
+}
+
+class ScheduleInvariantsTest
+    : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ScheduleInvariantsTest, TotalsAndBounds) {
+  const std::uint32_t g = GetParam();
+  const SummaSchedule s = simulateSummaSchedule(g);
+  EXPECT_EQ(s.totalMultiplies(),
+            static_cast<std::uint64_t>(g) * g * g);
+  // No step can do more multiplies than there are components.
+  for (const std::uint64_t m : s.multsPerStep) {
+    EXPECT_LE(m, static_cast<std::uint64_t>(g) * g);
+  }
+  // BSP needs at least g steps (each component multiplies g times, one
+  // per step at most).
+  EXPECT_GE(s.steps(), g);
+  // The no-sync execution needs exactly g multiply-units: perfect
+  // pipelining (the paper's idealized comparison point).
+  EXPECT_DOUBLE_EQ(simulateNoSyncMakespan(g), static_cast<double>(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, ScheduleInvariantsTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 8u));
+
+TEST(SummaInstrumented, EngineMatchesSimulator) {
+  // The real synchronized engine run must reproduce the simulated
+  // schedule step for step.
+  const std::uint32_t grid = 3;
+  auto instr = std::make_shared<SummaInstrumentation>();
+  Rng rng(7);
+  BlockMatrix a(grid, 4);
+  BlockMatrix b(grid, 4);
+  a.fillRandom(rng);
+  b.fillRandom(rng);
+  auto store = kv::PartitionedStore::create(grid * grid);
+  ebsp::Engine engine(store);
+  SummaOptions options;
+  options.synchronized = true;
+  options.parts = grid * grid;
+  options.instrumentation = instr;
+  runSumma(engine, a, b, options);
+
+  const SummaSchedule expected = simulateSummaSchedule(grid);
+  const auto measured = instr->multsPerStep();
+  ASSERT_EQ(measured.size(), expected.steps());
+  for (std::size_t step = 1; step <= expected.steps(); ++step) {
+    EXPECT_EQ(measured.at(static_cast<int>(step)),
+              expected.multsPerStep[step - 1])
+        << "step " << step;
+  }
+}
+
+TEST(SummaVirtualTime, NoSyncBeatsSync) {
+  // The §V-B result in shape: the no-sync virtual makespan must be
+  // meaningfully smaller, bounded below by the 1x and above by the
+  // schedule factor.
+  // Blocks must be large enough that the O(b^3) multiply dominates the
+  // O(b^2) state/message serialization, as in the paper's setup.
+  const std::uint32_t grid = 3;
+  Rng rng(9);
+  BlockMatrix a(grid, 160);
+  BlockMatrix b(grid, 160);
+  a.fillRandom(rng);
+  b.fillRandom(rng);
+
+  auto runVariant = [&](bool synchronized) {
+    auto store = kv::PartitionedStore::create(grid * grid);
+    ebsp::Engine engine(store);
+    SummaOptions options;
+    options.synchronized = synchronized;
+    options.parts = grid * grid;
+    return runSumma(engine, a, b, options).job.virtualMakespan;
+  };
+  const double sync = runVariant(true);
+  const double async = runVariant(false);
+  EXPECT_GT(sync, async);
+  // With real (noisy) measurements the ratio lands between 1 and ~7/3.
+  EXPECT_LT(sync / async, 3.5);
+  EXPECT_GT(sync / async, 1.1);
+}
+
+TEST(Summa, ShapeMismatchThrows) {
+  BlockMatrix a(2, 8);
+  BlockMatrix b(3, 8);
+  auto store = kv::PartitionedStore::create(4);
+  ebsp::Engine engine(store);
+  SummaOptions options;
+  EXPECT_THROW(runSumma(engine, a, b, options), std::invalid_argument);
+}
+
+TEST(Summa, FewerPartsThanComponentsStillCorrect) {
+  // 3x3 grid on a 2-part table: multiple components share parts.
+  const std::uint32_t grid = 3;
+  Rng rng(11);
+  BlockMatrix a(grid, 8);
+  BlockMatrix b(grid, 8);
+  a.fillRandom(rng);
+  b.fillRandom(rng);
+  const BlockMatrix expected = BlockMatrix::multiplyReference(a, b);
+  for (const bool synchronized : {true, false}) {
+    auto store = kv::PartitionedStore::create(2);
+    ebsp::Engine engine(store);
+    SummaOptions options;
+    options.synchronized = synchronized;
+    options.parts = 2;
+    const SummaResult r = runSumma(engine, a, b, options);
+    EXPECT_TRUE(r.c.approxEqual(expected, 1e-9));
+  }
+}
+
+}  // namespace
+}  // namespace ripple::matrix

@@ -1,0 +1,219 @@
+// Queue-set conformance for both Queuing implementations (in-memory and
+// the table-backed one from paper §IV-B).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/codec.h"
+#include "kvstore/partitioned_store.h"
+#include "mq/queue.h"
+
+namespace ripple::mq {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct QueuingFactory {
+  const char* name;
+  QueuingPtr (*make)(kv::KVStorePtr);
+};
+
+class QueueSetTest : public ::testing::TestWithParam<QueuingFactory> {
+ protected:
+  void SetUp() override {
+    store_ = kv::PartitionedStore::create(3);
+    kv::TableOptions options;
+    options.parts = 3;
+    placement_ = store_->createTable("placement", std::move(options));
+    queuing_ = GetParam().make(store_);
+  }
+
+  kv::KVStorePtr store_;
+  kv::TablePtr placement_;
+  QueuingPtr queuing_;
+};
+
+TEST_P(QueueSetTest, PlacementDeterminesQueueCount) {
+  QueueSetPtr set = queuing_->createQueueSet("q", placement_);
+  EXPECT_EQ(set->numQueues(), 3u);
+  EXPECT_EQ(set->name(), "q");
+}
+
+TEST_P(QueueSetTest, DuplicateNameThrows) {
+  queuing_->createQueueSet("q", placement_);
+  EXPECT_THROW(queuing_->createQueueSet("q", placement_),
+               std::invalid_argument);
+}
+
+TEST_P(QueueSetTest, WorkersReceiveTheirQueuesMessages) {
+  QueueSetPtr set = queuing_->createQueueSet("q", placement_);
+  for (std::uint32_t q = 0; q < 3; ++q) {
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(set->put(q, encodeToBytes(q * 100 + i)));
+    }
+  }
+  std::mutex mu;
+  std::map<std::uint32_t, std::vector<std::uint32_t>> received;
+  set->runWorkers([&](WorkerContext& ctx) {
+    for (int i = 0; i < 5; ++i) {
+      auto msg = ctx.read(2000ms);
+      ASSERT_TRUE(msg.has_value());
+      std::lock_guard<std::mutex> lock(mu);
+      received[ctx.queueIndex()].push_back(
+          decodeFromBytes<std::uint32_t>(*msg));
+    }
+  });
+  for (std::uint32_t q = 0; q < 3; ++q) {
+    ASSERT_EQ(received[q].size(), 5u);
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(received[q][i], q * 100 + i);  // Per-sender FIFO.
+    }
+  }
+}
+
+TEST_P(QueueSetTest, PerSenderFifoUnderConcurrentSenders) {
+  QueueSetPtr set = queuing_->createQueueSet("q", placement_);
+  constexpr int kPerSender = 500;
+  std::thread s1([&] {
+    for (int i = 0; i < kPerSender; ++i) {
+      set->put(0, encodeToBytes(std::pair<int, int>(1, i)));
+    }
+  });
+  std::thread s2([&] {
+    for (int i = 0; i < kPerSender; ++i) {
+      set->put(0, encodeToBytes(std::pair<int, int>(2, i)));
+    }
+  });
+  s1.join();
+  s2.join();
+
+  std::map<int, int> lastSeen{{1, -1}, {2, -1}};
+  set->runWorkers([&](WorkerContext& ctx) {
+    if (ctx.queueIndex() != 0) {
+      return;
+    }
+    for (int i = 0; i < 2 * kPerSender; ++i) {
+      auto msg = ctx.read(2000ms);
+      ASSERT_TRUE(msg.has_value());
+      const auto [sender, seq] = decodeFromBytes<std::pair<int, int>>(*msg);
+      EXPECT_EQ(seq, lastSeen[sender] + 1);
+      lastSeen[sender] = seq;
+    }
+  });
+  EXPECT_EQ(lastSeen[1], kPerSender - 1);
+  EXPECT_EQ(lastSeen[2], kPerSender - 1);
+}
+
+TEST_P(QueueSetTest, ReadTimesOutOnEmptyQueue) {
+  QueueSetPtr set = queuing_->createQueueSet("q", placement_);
+  set->runWorkers([&](WorkerContext& ctx) {
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_EQ(ctx.read(30ms), std::nullopt);
+    EXPECT_GE(std::chrono::steady_clock::now() - start, 20ms);
+  });
+}
+
+TEST_P(QueueSetTest, CloseStopsPutsButDrainsReads) {
+  QueueSetPtr set = queuing_->createQueueSet("q", placement_);
+  ASSERT_TRUE(set->put(0, "before"));
+  set->close();
+  EXPECT_FALSE(set->put(0, "after"));
+  std::atomic<int> drained{0};
+  set->runWorkers([&](WorkerContext& ctx) {
+    while (auto msg = ctx.read(50ms)) {
+      EXPECT_EQ(*msg, "before");
+      drained.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(drained.load(), 1);
+}
+
+TEST_P(QueueSetTest, BacklogCountsBufferedMessages) {
+  QueueSetPtr set = queuing_->createQueueSet("q", placement_);
+  EXPECT_EQ(set->backlog(), 0u);
+  set->put(0, "a");
+  set->put(1, "b");
+  EXPECT_EQ(set->backlog(), 2u);
+}
+
+TEST_P(QueueSetTest, PutWhileWorkersRunning) {
+  QueueSetPtr set = queuing_->createQueueSet("q", placement_);
+  std::atomic<int> received{0};
+  std::thread producer([&] {
+    std::this_thread::sleep_for(20ms);
+    for (std::uint32_t q = 0; q < 3; ++q) {
+      set->put(q, "live");
+    }
+    std::this_thread::sleep_for(20ms);
+    set->close();
+  });
+  set->runWorkers([&](WorkerContext& ctx) {
+    while (auto msg = ctx.read(200ms)) {
+      received.fetch_add(1);
+    }
+  });
+  producer.join();
+  EXPECT_EQ(received.load(), 3);
+}
+
+TEST_P(QueueSetTest, DeleteQueueSetClosesIt) {
+  QueueSetPtr set = queuing_->createQueueSet("q", placement_);
+  queuing_->deleteQueueSet("q");
+  EXPECT_FALSE(set->put(0, "x"));
+  // Recreating under the same name works.
+  QueueSetPtr again = queuing_->createQueueSet("q", placement_);
+  EXPECT_TRUE(again->put(0, "y"));
+}
+
+TEST_P(QueueSetTest, BadQueueIndexThrowsOrRejects) {
+  QueueSetPtr set = queuing_->createQueueSet("q", placement_);
+  EXPECT_ANY_THROW(set->put(99, "x"));
+}
+
+QueuingPtr makeMem(kv::KVStorePtr store) {
+  return makeMemQueuing(std::move(store));
+}
+QueuingPtr makeTable(kv::KVStorePtr store) {
+  return makeTableQueuing(std::move(store));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queuings, QueueSetTest,
+    ::testing::Values(QueuingFactory{"Mem", &makeMem},
+                      QueuingFactory{"TableBacked", &makeTable}),
+    [](const ::testing::TestParamInfo<QueuingFactory>& info) {
+      return info.param.name;
+    });
+
+TEST(MemQueueSteal, StealTakesFromOtherQueue) {
+  auto store = kv::PartitionedStore::create(2);
+  kv::TableOptions options;
+  options.parts = 2;
+  kv::TablePtr placement = store->createTable("p", std::move(options));
+  QueuingPtr queuing = makeMemQueuing(store);
+  QueueSetPtr set = queuing->createQueueSet("q", placement);
+  set->put(0, "victim");
+
+  std::atomic<bool> stolen{false};
+  set->runWorkers([&](WorkerContext& ctx) {
+    if (ctx.queueIndex() != 1) {
+      return;  // Leave queue 0 unread so the message can only be stolen.
+    }
+    for (int i = 0; i < 200 && !stolen.load(); ++i) {
+      if (auto msg = ctx.trySteal(0)) {
+        EXPECT_EQ(*msg, "victim");
+        stolen.store(true);
+      } else {
+        std::this_thread::sleep_for(1ms);
+      }
+    }
+  });
+  EXPECT_TRUE(stolen.load());
+}
+
+}  // namespace
+}  // namespace ripple::mq

@@ -1,0 +1,143 @@
+#include "sim/virtual_time.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/cost_model.h"
+
+namespace ripple::sim {
+namespace {
+
+CostModel zeroCosts() {
+  CostModel m;
+  m.barrierOverhead = 0;
+  m.messageLatency = 0;
+  m.invocationOverhead = 0;
+  m.perMessageCost = 0;
+  return m;
+}
+
+TEST(VirtualCluster, RejectsZeroParts) {
+  EXPECT_THROW(VirtualCluster(0, zeroCosts()), std::invalid_argument);
+}
+
+TEST(VirtualCluster, ChargeAdvancesOnePartOnly) {
+  VirtualCluster vc(3, zeroCosts());
+  vc.charge(1, 2.5);
+  EXPECT_EQ(vc.now(0), 0.0);
+  EXPECT_EQ(vc.now(1), 2.5);
+  EXPECT_EQ(vc.makespan(), 2.5);
+}
+
+TEST(VirtualCluster, BarrierAdvancesAllToMaxPlusOverhead) {
+  CostModel m = zeroCosts();
+  m.barrierOverhead = 0.1;
+  VirtualCluster vc(3, m);
+  vc.charge(0, 1.0);
+  vc.charge(2, 3.0);
+  const double t = vc.barrier();
+  EXPECT_DOUBLE_EQ(t, 3.1);
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    EXPECT_DOUBLE_EQ(vc.now(p), 3.1);
+  }
+}
+
+TEST(VirtualCluster, DeliverWaitsForArrival) {
+  CostModel m = zeroCosts();
+  m.messageLatency = 0.5;
+  VirtualCluster vc(2, m);
+  // Receiver idle at 0; message sent at t=2 arrives at 2.5.
+  EXPECT_DOUBLE_EQ(vc.deliver(1, 2.0), 2.5);
+  // Receiver already past the arrival time: clock unchanged.
+  vc.charge(0, 10.0);
+  EXPECT_DOUBLE_EQ(vc.deliver(0, 2.0), 10.0);
+}
+
+TEST(VirtualCluster, SyncVsPipelineShape) {
+  // Two parts alternate work; with barriers the makespan is the sum of
+  // per-step maxima, roughly double the pipelined time.
+  CostModel m = zeroCosts();
+  VirtualCluster sync(2, m);
+  for (int step = 0; step < 4; ++step) {
+    sync.charge(step % 2, 1.0);  // Only one part busy per step.
+    sync.barrier();
+  }
+  EXPECT_DOUBLE_EQ(sync.makespan(), 4.0);
+
+  VirtualCluster pipe(2, m);
+  double sendTime = 0;
+  for (int hop = 0; hop < 4; ++hop) {
+    const std::uint32_t part = hop % 2;
+    pipe.deliver(part, sendTime);
+    sendTime = pipe.charge(part, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(pipe.makespan(), 4.0);  // A chain cannot pipeline...
+  // ...but independent chains can: two chains on two parts.
+  VirtualCluster par(2, m);
+  par.charge(0, 4.0);
+  par.charge(1, 4.0);
+  EXPECT_DOUBLE_EQ(par.makespan(), 4.0);  // vs 8.0 serialized.
+}
+
+TEST(VirtualCluster, Reset) {
+  VirtualCluster vc(2, zeroCosts());
+  vc.charge(0, 5.0);
+  vc.reset();
+  EXPECT_EQ(vc.makespan(), 0.0);
+}
+
+TEST(ChargeScope, ChargesMeasuredCpuTime) {
+  CostModel m = zeroCosts();
+  VirtualCluster vc(1, m);
+  {
+    ChargeScope scope(&vc, 0);
+    // Burn some CPU.
+    volatile double x = 1.0;
+    for (int i = 0; i < 2'000'000; ++i) {
+      x = x * 1.0000001 + 1.0;
+    }
+  }
+  EXPECT_GT(vc.now(0), 0.0);
+}
+
+TEST(ChargeScope, NullClusterIsNoop) {
+  ChargeScope scope(nullptr, 0);  // Must not crash.
+}
+
+TEST(ChargeScope, AddsInvocationOverhead) {
+  CostModel m = zeroCosts();
+  m.invocationOverhead = 1.0;
+  VirtualCluster vc(1, m);
+  { ChargeScope scope(&vc, 0); }
+  EXPECT_GE(vc.now(0), 1.0);
+}
+
+TEST(CostModelEnv, OverridesFromEnvironment) {
+  ::setenv("RIPPLE_SIM_BARRIER", "0.25", 1);
+  ::setenv("RIPPLE_SIM_LATENCY", "0.125", 1);
+  const CostModel m = costModelFromEnv();
+  EXPECT_DOUBLE_EQ(m.barrierOverhead, 0.25);
+  EXPECT_DOUBLE_EQ(m.messageLatency, 0.125);
+  ::unsetenv("RIPPLE_SIM_BARRIER");
+  ::unsetenv("RIPPLE_SIM_LATENCY");
+}
+
+TEST(CostModelEnv, MalformedValueFallsBack) {
+  ::setenv("RIPPLE_SIM_BARRIER", "not-a-number", 1);
+  const CostModel m = costModelFromEnv();
+  EXPECT_DOUBLE_EQ(m.barrierOverhead, CostModel::defaults().barrierOverhead);
+  ::unsetenv("RIPPLE_SIM_BARRIER");
+}
+
+TEST(ThreadCpuSeconds, MonotonicUnderWork) {
+  const double before = threadCpuSeconds();
+  volatile double x = 1.0;
+  for (int i = 0; i < 1'000'000; ++i) {
+    x = x * 1.0000001 + 1.0;
+  }
+  EXPECT_GE(threadCpuSeconds(), before);
+}
+
+}  // namespace
+}  // namespace ripple::sim
