@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sssp_incremental.dir/bench_sssp_incremental.cpp.o"
+  "CMakeFiles/bench_sssp_incremental.dir/bench_sssp_incremental.cpp.o.d"
+  "bench_sssp_incremental"
+  "bench_sssp_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sssp_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

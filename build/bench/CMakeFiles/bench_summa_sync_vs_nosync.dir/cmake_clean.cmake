@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_summa_sync_vs_nosync.dir/bench_summa_sync_vs_nosync.cpp.o"
+  "CMakeFiles/bench_summa_sync_vs_nosync.dir/bench_summa_sync_vs_nosync.cpp.o.d"
+  "bench_summa_sync_vs_nosync"
+  "bench_summa_sync_vs_nosync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_summa_sync_vs_nosync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_summa_sync_vs_nosync.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_pagerank.dir/bench_table1_pagerank.cpp.o"
+  "CMakeFiles/bench_table1_pagerank.dir/bench_table1_pagerank.cpp.o.d"
+  "bench_table1_pagerank"
+  "bench_table1_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/kmeans.cpp" "examples/CMakeFiles/kmeans.dir/kmeans.cpp.o" "gcc" "examples/CMakeFiles/kmeans.dir/kmeans.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ripple_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ripple_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ripple_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ripple_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ripple_ebsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ripple_mq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ripple_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ripple_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ripple_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

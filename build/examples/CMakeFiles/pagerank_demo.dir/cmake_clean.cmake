@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_demo.dir/pagerank_demo.cpp.o"
+  "CMakeFiles/pagerank_demo.dir/pagerank_demo.cpp.o.d"
+  "pagerank_demo"
+  "pagerank_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sssp_dynamic.dir/sssp_dynamic.cpp.o"
+  "CMakeFiles/sssp_dynamic.dir/sssp_dynamic.cpp.o.d"
+  "sssp_dynamic"
+  "sssp_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sssp_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripple_apps.dir/apps/pagerank.cpp.o"
+  "CMakeFiles/ripple_apps.dir/apps/pagerank.cpp.o.d"
+  "CMakeFiles/ripple_apps.dir/apps/sssp.cpp.o"
+  "CMakeFiles/ripple_apps.dir/apps/sssp.cpp.o.d"
+  "libripple_apps.a"
+  "libripple_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripple_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

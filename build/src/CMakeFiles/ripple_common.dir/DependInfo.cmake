@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bytes.cpp" "src/CMakeFiles/ripple_common.dir/common/bytes.cpp.o" "gcc" "src/CMakeFiles/ripple_common.dir/common/bytes.cpp.o.d"
+  "/root/repo/src/common/dyadic.cpp" "src/CMakeFiles/ripple_common.dir/common/dyadic.cpp.o" "gcc" "src/CMakeFiles/ripple_common.dir/common/dyadic.cpp.o.d"
+  "/root/repo/src/common/executor.cpp" "src/CMakeFiles/ripple_common.dir/common/executor.cpp.o" "gcc" "src/CMakeFiles/ripple_common.dir/common/executor.cpp.o.d"
+  "/root/repo/src/common/hash.cpp" "src/CMakeFiles/ripple_common.dir/common/hash.cpp.o" "gcc" "src/CMakeFiles/ripple_common.dir/common/hash.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/ripple_common.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/ripple_common.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/random.cpp" "src/CMakeFiles/ripple_common.dir/common/random.cpp.o" "gcc" "src/CMakeFiles/ripple_common.dir/common/random.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/ripple_common.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/ripple_common.dir/common/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

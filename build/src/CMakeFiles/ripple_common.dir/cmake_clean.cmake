@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripple_common.dir/common/bytes.cpp.o"
+  "CMakeFiles/ripple_common.dir/common/bytes.cpp.o.d"
+  "CMakeFiles/ripple_common.dir/common/dyadic.cpp.o"
+  "CMakeFiles/ripple_common.dir/common/dyadic.cpp.o.d"
+  "CMakeFiles/ripple_common.dir/common/executor.cpp.o"
+  "CMakeFiles/ripple_common.dir/common/executor.cpp.o.d"
+  "CMakeFiles/ripple_common.dir/common/hash.cpp.o"
+  "CMakeFiles/ripple_common.dir/common/hash.cpp.o.d"
+  "CMakeFiles/ripple_common.dir/common/logging.cpp.o"
+  "CMakeFiles/ripple_common.dir/common/logging.cpp.o.d"
+  "CMakeFiles/ripple_common.dir/common/random.cpp.o"
+  "CMakeFiles/ripple_common.dir/common/random.cpp.o.d"
+  "CMakeFiles/ripple_common.dir/common/stats.cpp.o"
+  "CMakeFiles/ripple_common.dir/common/stats.cpp.o.d"
+  "libripple_common.a"
+  "libripple_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripple_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ebsp/aggregator.cpp" "src/CMakeFiles/ripple_ebsp.dir/ebsp/aggregator.cpp.o" "gcc" "src/CMakeFiles/ripple_ebsp.dir/ebsp/aggregator.cpp.o.d"
+  "/root/repo/src/ebsp/async_engine.cpp" "src/CMakeFiles/ripple_ebsp.dir/ebsp/async_engine.cpp.o" "gcc" "src/CMakeFiles/ripple_ebsp.dir/ebsp/async_engine.cpp.o.d"
+  "/root/repo/src/ebsp/checkpoint.cpp" "src/CMakeFiles/ripple_ebsp.dir/ebsp/checkpoint.cpp.o" "gcc" "src/CMakeFiles/ripple_ebsp.dir/ebsp/checkpoint.cpp.o.d"
+  "/root/repo/src/ebsp/engine.cpp" "src/CMakeFiles/ripple_ebsp.dir/ebsp/engine.cpp.o" "gcc" "src/CMakeFiles/ripple_ebsp.dir/ebsp/engine.cpp.o.d"
+  "/root/repo/src/ebsp/properties.cpp" "src/CMakeFiles/ripple_ebsp.dir/ebsp/properties.cpp.o" "gcc" "src/CMakeFiles/ripple_ebsp.dir/ebsp/properties.cpp.o.d"
+  "/root/repo/src/ebsp/raw_job.cpp" "src/CMakeFiles/ripple_ebsp.dir/ebsp/raw_job.cpp.o" "gcc" "src/CMakeFiles/ripple_ebsp.dir/ebsp/raw_job.cpp.o.d"
+  "/root/repo/src/ebsp/sync_engine.cpp" "src/CMakeFiles/ripple_ebsp.dir/ebsp/sync_engine.cpp.o" "gcc" "src/CMakeFiles/ripple_ebsp.dir/ebsp/sync_engine.cpp.o.d"
+  "/root/repo/src/ebsp/transport.cpp" "src/CMakeFiles/ripple_ebsp.dir/ebsp/transport.cpp.o" "gcc" "src/CMakeFiles/ripple_ebsp.dir/ebsp/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ripple_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ripple_mq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ripple_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ripple_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripple_ebsp.dir/ebsp/aggregator.cpp.o"
+  "CMakeFiles/ripple_ebsp.dir/ebsp/aggregator.cpp.o.d"
+  "CMakeFiles/ripple_ebsp.dir/ebsp/async_engine.cpp.o"
+  "CMakeFiles/ripple_ebsp.dir/ebsp/async_engine.cpp.o.d"
+  "CMakeFiles/ripple_ebsp.dir/ebsp/checkpoint.cpp.o"
+  "CMakeFiles/ripple_ebsp.dir/ebsp/checkpoint.cpp.o.d"
+  "CMakeFiles/ripple_ebsp.dir/ebsp/engine.cpp.o"
+  "CMakeFiles/ripple_ebsp.dir/ebsp/engine.cpp.o.d"
+  "CMakeFiles/ripple_ebsp.dir/ebsp/properties.cpp.o"
+  "CMakeFiles/ripple_ebsp.dir/ebsp/properties.cpp.o.d"
+  "CMakeFiles/ripple_ebsp.dir/ebsp/raw_job.cpp.o"
+  "CMakeFiles/ripple_ebsp.dir/ebsp/raw_job.cpp.o.d"
+  "CMakeFiles/ripple_ebsp.dir/ebsp/sync_engine.cpp.o"
+  "CMakeFiles/ripple_ebsp.dir/ebsp/sync_engine.cpp.o.d"
+  "CMakeFiles/ripple_ebsp.dir/ebsp/transport.cpp.o"
+  "CMakeFiles/ripple_ebsp.dir/ebsp/transport.cpp.o.d"
+  "libripple_ebsp.a"
+  "libripple_ebsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripple_ebsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

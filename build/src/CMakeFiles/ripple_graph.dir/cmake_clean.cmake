@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripple_graph.dir/graph/graph_gen.cpp.o"
+  "CMakeFiles/ripple_graph.dir/graph/graph_gen.cpp.o.d"
+  "CMakeFiles/ripple_graph.dir/graph/pregel.cpp.o"
+  "CMakeFiles/ripple_graph.dir/graph/pregel.cpp.o.d"
+  "libripple_graph.a"
+  "libripple_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripple_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripple_kv.dir/kvstore/local_store.cpp.o"
+  "CMakeFiles/ripple_kv.dir/kvstore/local_store.cpp.o.d"
+  "CMakeFiles/ripple_kv.dir/kvstore/partitioned_store.cpp.o"
+  "CMakeFiles/ripple_kv.dir/kvstore/partitioned_store.cpp.o.d"
+  "CMakeFiles/ripple_kv.dir/kvstore/store_util.cpp.o"
+  "CMakeFiles/ripple_kv.dir/kvstore/store_util.cpp.o.d"
+  "CMakeFiles/ripple_kv.dir/kvstore/table_config.cpp.o"
+  "CMakeFiles/ripple_kv.dir/kvstore/table_config.cpp.o.d"
+  "libripple_kv.a"
+  "libripple_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripple_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

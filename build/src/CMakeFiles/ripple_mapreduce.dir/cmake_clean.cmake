@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripple_mapreduce.dir/mapreduce/mapreduce.cpp.o"
+  "CMakeFiles/ripple_mapreduce.dir/mapreduce/mapreduce.cpp.o.d"
+  "libripple_mapreduce.a"
+  "libripple_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripple_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matrix/dense.cpp" "src/CMakeFiles/ripple_matrix.dir/matrix/dense.cpp.o" "gcc" "src/CMakeFiles/ripple_matrix.dir/matrix/dense.cpp.o.d"
+  "/root/repo/src/matrix/summa.cpp" "src/CMakeFiles/ripple_matrix.dir/matrix/summa.cpp.o" "gcc" "src/CMakeFiles/ripple_matrix.dir/matrix/summa.cpp.o.d"
+  "/root/repo/src/matrix/summa_schedule.cpp" "src/CMakeFiles/ripple_matrix.dir/matrix/summa_schedule.cpp.o" "gcc" "src/CMakeFiles/ripple_matrix.dir/matrix/summa_schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ripple_ebsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ripple_mq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ripple_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ripple_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ripple_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

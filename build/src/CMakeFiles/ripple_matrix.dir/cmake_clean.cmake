@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripple_matrix.dir/matrix/dense.cpp.o"
+  "CMakeFiles/ripple_matrix.dir/matrix/dense.cpp.o.d"
+  "CMakeFiles/ripple_matrix.dir/matrix/summa.cpp.o"
+  "CMakeFiles/ripple_matrix.dir/matrix/summa.cpp.o.d"
+  "CMakeFiles/ripple_matrix.dir/matrix/summa_schedule.cpp.o"
+  "CMakeFiles/ripple_matrix.dir/matrix/summa_schedule.cpp.o.d"
+  "libripple_matrix.a"
+  "libripple_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripple_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripple_mq.dir/mq/mem_queue.cpp.o"
+  "CMakeFiles/ripple_mq.dir/mq/mem_queue.cpp.o.d"
+  "CMakeFiles/ripple_mq.dir/mq/table_queue.cpp.o"
+  "CMakeFiles/ripple_mq.dir/mq/table_queue.cpp.o.d"
+  "libripple_mq.a"
+  "libripple_mq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripple_mq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripple_sim.dir/sim/cost_model.cpp.o"
+  "CMakeFiles/ripple_sim.dir/sim/cost_model.cpp.o.d"
+  "CMakeFiles/ripple_sim.dir/sim/virtual_time.cpp.o"
+  "CMakeFiles/ripple_sim.dir/sim/virtual_time.cpp.o.d"
+  "libripple_sim.a"
+  "libripple_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripple_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

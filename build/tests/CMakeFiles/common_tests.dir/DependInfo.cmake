@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/bytes_test.cpp" "tests/CMakeFiles/common_tests.dir/common/bytes_test.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/bytes_test.cpp.o.d"
+  "/root/repo/tests/common/codec_test.cpp" "tests/CMakeFiles/common_tests.dir/common/codec_test.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/codec_test.cpp.o.d"
+  "/root/repo/tests/common/dyadic_test.cpp" "tests/CMakeFiles/common_tests.dir/common/dyadic_test.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/dyadic_test.cpp.o.d"
+  "/root/repo/tests/common/executor_test.cpp" "tests/CMakeFiles/common_tests.dir/common/executor_test.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/executor_test.cpp.o.d"
+  "/root/repo/tests/common/hash_test.cpp" "tests/CMakeFiles/common_tests.dir/common/hash_test.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/hash_test.cpp.o.d"
+  "/root/repo/tests/common/queue_test.cpp" "tests/CMakeFiles/common_tests.dir/common/queue_test.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/queue_test.cpp.o.d"
+  "/root/repo/tests/common/random_test.cpp" "tests/CMakeFiles/common_tests.dir/common/random_test.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/random_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/CMakeFiles/common_tests.dir/common/stats_test.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ripple_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ripple_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ripple_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ripple_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ripple_ebsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ripple_mq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ripple_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ripple_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ripple_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebsp_tests.dir/ebsp/aggregator_test.cpp.o"
+  "CMakeFiles/ebsp_tests.dir/ebsp/aggregator_test.cpp.o.d"
+  "CMakeFiles/ebsp_tests.dir/ebsp/async_engine_test.cpp.o"
+  "CMakeFiles/ebsp_tests.dir/ebsp/async_engine_test.cpp.o.d"
+  "CMakeFiles/ebsp_tests.dir/ebsp/checkpoint_test.cpp.o"
+  "CMakeFiles/ebsp_tests.dir/ebsp/checkpoint_test.cpp.o.d"
+  "CMakeFiles/ebsp_tests.dir/ebsp/engine_front_test.cpp.o"
+  "CMakeFiles/ebsp_tests.dir/ebsp/engine_front_test.cpp.o.d"
+  "CMakeFiles/ebsp_tests.dir/ebsp/properties_test.cpp.o"
+  "CMakeFiles/ebsp_tests.dir/ebsp/properties_test.cpp.o.d"
+  "CMakeFiles/ebsp_tests.dir/ebsp/sync_engine_test.cpp.o"
+  "CMakeFiles/ebsp_tests.dir/ebsp/sync_engine_test.cpp.o.d"
+  "CMakeFiles/ebsp_tests.dir/ebsp/transport_test.cpp.o"
+  "CMakeFiles/ebsp_tests.dir/ebsp/transport_test.cpp.o.d"
+  "CMakeFiles/ebsp_tests.dir/ebsp/typed_job_test.cpp.o"
+  "CMakeFiles/ebsp_tests.dir/ebsp/typed_job_test.cpp.o.d"
+  "ebsp_tests"
+  "ebsp_tests.pdb"
+  "ebsp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebsp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

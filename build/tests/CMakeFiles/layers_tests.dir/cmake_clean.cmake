@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layers_tests.dir/graph/graph_gen_test.cpp.o"
+  "CMakeFiles/layers_tests.dir/graph/graph_gen_test.cpp.o.d"
+  "CMakeFiles/layers_tests.dir/graph/pregel_test.cpp.o"
+  "CMakeFiles/layers_tests.dir/graph/pregel_test.cpp.o.d"
+  "CMakeFiles/layers_tests.dir/mapreduce/mapreduce_test.cpp.o"
+  "CMakeFiles/layers_tests.dir/mapreduce/mapreduce_test.cpp.o.d"
+  "layers_tests"
+  "layers_tests.pdb"
+  "layers_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layers_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

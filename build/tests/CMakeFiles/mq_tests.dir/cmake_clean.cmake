@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mq_tests.dir/mq/queue_set_test.cpp.o"
+  "CMakeFiles/mq_tests.dir/mq/queue_set_test.cpp.o.d"
+  "mq_tests"
+  "mq_tests.pdb"
+  "mq_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mq_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
