@@ -81,15 +81,19 @@ class SmoothJob : public Job<std::uint32_t, double, double> {
   bool deterministic_;
 };
 
-JobResult runSmooth(std::uint32_t n, int rounds, bool deterministic,
-                    bool checkpointing, int interval, int failAtStep) {
+JobResult runSmooth(bench::BenchReport& benchReport, std::uint32_t n,
+                    int rounds, bool deterministic, bool checkpointing,
+                    int interval, int failAtStep) {
   auto store = kv::PartitionedStore::create(6);
+  benchReport.bindStore(*store);
   kv::TableOptions tableOptions;
   tableOptions.parts = 6;
   store->createTable("smooth_state", tableOptions);
   EngineOptions options;
   options.checkpoint.enabled = checkpointing;
   options.checkpoint.interval = interval;
+  options.tracer = benchReport.tracer();
+  options.metrics = benchReport.metrics();
   if (failAtStep > 0) {
     bool failed = false;
     options.onBarrier = [failAtStep, failed](int step) mutable {
@@ -114,22 +118,25 @@ void report(const char* label, const JobResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport benchReport(argc, argv, "ablation_checkpoint");
   const auto n = static_cast<std::uint32_t>(
       bench::envLong("RIPPLE_ABL_COMPONENTS", 30'000));
   const int rounds = 12;
+  benchReport.setInfo("components", std::to_string(n));
 
   bench::printHeader(
       "Ablation: checkpointing cost and deterministic fast recovery");
   std::cout << n << " components, " << rounds << " rounds\n\n";
 
   report("no checkpointing",
-         runSmooth(n, rounds, true, false, 1, 0));
+         runSmooth(benchReport, n, rounds, true, false, 1, 0));
   report("non-deterministic (ckpt every barrier)",
-         runSmooth(n, rounds, false, true, 4, 0));
+         runSmooth(benchReport, n, rounds, false, true, 4, 0));
   report("deterministic, interval 4",
-         runSmooth(n, rounds, true, true, 4, 0));
+         runSmooth(benchReport, n, rounds, true, true, 4, 0));
   report("deterministic, interval 4, fail@step 7",
-         runSmooth(n, rounds, true, true, 4, 7));
+         runSmooth(benchReport, n, rounds, true, true, 4, 7));
+  benchReport.write();
   return 0;
 }

@@ -104,13 +104,17 @@ class FanInJob : public Job<std::uint32_t, std::uint64_t, std::uint64_t> {
   bool needsOrder_;
 };
 
-JobResult runFanIn(std::uint32_t components, int rounds, int fanout,
-                   bool useCombiner, bool needsOrder) {
+JobResult runFanIn(bench::BenchReport& benchReport, std::uint32_t components,
+                   int rounds, int fanout, bool useCombiner, bool needsOrder) {
   auto store = kv::PartitionedStore::create(kParts);
+  benchReport.bindStore(*store);
   kv::TableOptions options;
   options.parts = kParts;
   store->createTable("fanin_state", options);
-  Engine engine(store);
+  EngineOptions engineOptions;
+  engineOptions.tracer = benchReport.tracer();
+  engineOptions.metrics = benchReport.metrics();
+  Engine engine(store, engineOptions);
   FanInJob job(components, rounds, fanout, useCombiner, needsOrder);
   return runJob(engine, job);
 }
@@ -174,8 +178,9 @@ class SkewJob : public Job<std::uint64_t, std::uint64_t, std::uint64_t> {
   bool rareState_;
 };
 
-JobResult runSkew(bool stealing) {
+JobResult runSkew(bench::BenchReport& benchReport, bool stealing) {
   auto store = kv::PartitionedStore::create(kParts);
+  benchReport.bindStore(*store);
   kv::TableOptions options;
   options.parts = kParts;
   // All keys to part 0 unless stolen: constant partitioner hash.
@@ -184,6 +189,8 @@ JobResult runSkew(bool stealing) {
   store->createTable("skew_state", options);
   EngineOptions engineOptions;
   engineOptions.workStealing = stealing;
+  engineOptions.tracer = benchReport.tracer();
+  engineOptions.metrics = benchReport.metrics();
   Engine engine(store, engineOptions);
   SkewJob job(/*chains=*/64, /*hops=*/40, /*rareState=*/true);
   return runJob(engine, job);
@@ -201,33 +208,41 @@ void report(const char* label, const JobResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport benchReport(argc, argv, "ablation_properties");
   const auto components = static_cast<std::uint32_t>(
       bench::envLong("RIPPLE_ABL_COMPONENTS", 20'000));
   const int fanout =
       static_cast<int>(bench::envLong("RIPPLE_ABL_MSGS", 12));
   const int rounds = 6;
+  benchReport.setInfo("components", std::to_string(components));
+  benchReport.setInfo("fanout", std::to_string(fanout));
 
   bench::printHeader("Ablation: property-driven optimizations (§II-A)");
   std::cout << "fan-in workload: " << components << " components x "
             << fanout << " messages x " << rounds << " rounds\n\n";
 
   std::cout << "no-sort (needs-order off => hash collection):\n";
-  report("needs-order declared", runFanIn(components, rounds, fanout,
-                                          /*combiner=*/true, /*order=*/true));
-  report("no-sort (default)", runFanIn(components, rounds, fanout,
-                                       /*combiner=*/true, /*order=*/false));
+  report("needs-order declared",
+         runFanIn(benchReport, components, rounds, fanout,
+                  /*combiner=*/true, /*order=*/true));
+  report("no-sort (default)",
+         runFanIn(benchReport, components, rounds, fanout,
+                  /*combiner=*/true, /*order=*/false));
 
   std::cout << "\nmessage combiner (sender-side + barrier combining):\n";
-  report("without combiner", runFanIn(components, rounds, fanout,
-                                      /*combiner=*/false, /*order=*/false));
-  report("with combiner", runFanIn(components, rounds, fanout,
-                                   /*combiner=*/true, /*order=*/false));
+  report("without combiner",
+         runFanIn(benchReport, components, rounds, fanout,
+                  /*combiner=*/false, /*order=*/false));
+  report("with combiner",
+         runFanIn(benchReport, components, rounds, fanout,
+                  /*combiner=*/true, /*order=*/false));
 
   std::cout << "\nrun-anywhere (work stealing on a part-skewed no-sync "
                "workload):\n";
-  report("stealing disabled", runSkew(false));
-  report("stealing enabled", runSkew(true));
+  report("stealing disabled", runSkew(benchReport, false));
+  report("stealing enabled", runSkew(benchReport, true));
 
+  benchReport.write();
   return 0;
 }

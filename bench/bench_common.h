@@ -4,7 +4,13 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <string>
+#include <string_view>
+
+#include "kvstore/table.h"
+#include "obs/report.h"
 
 namespace ripple::bench {
 
@@ -41,5 +47,80 @@ inline int trialCount(int fallback) {
 inline void printHeader(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n";
 }
+
+/// Per-binary run-report harness: parses `--report <path>` (also
+/// `--report=<path>`) from the command line and, when present, owns the
+/// Tracer and MetricsRegistry the harness threads through its engines and
+/// stores.  write() snapshots both into one RunReport JSON document (see
+/// obs/report.h).  Without --report every accessor returns null and the
+/// bench runs untraced, exactly as before.
+class BenchReport {
+ public:
+  BenchReport(int argc, char** argv, std::string label)
+      : label_(std::move(label)) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg == "--report") {
+        if (i + 1 < argc) {
+          path_ = argv[++i];
+        } else {
+          std::cerr << "warning: --report requires a path; no report will "
+                       "be written\n";
+        }
+      } else if (arg.rfind("--report=", 0) == 0) {
+        path_ = std::string(arg.substr(9));
+        if (path_.empty()) {
+          std::cerr << "warning: --report= given an empty path; no report "
+                       "will be written\n";
+        }
+      }
+    }
+    if (enabled()) {
+      tracer_ = std::make_unique<obs::Tracer>();
+      registry_ = std::make_unique<obs::MetricsRegistry>();
+    }
+  }
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  /// Null when --report was not given; engines treat null as disabled.
+  [[nodiscard]] obs::Tracer* tracer() { return tracer_.get(); }
+  [[nodiscard]] obs::MetricsRegistry* metrics() { return registry_.get(); }
+
+  /// Mirror the store's kv.* counters into the report's registry.
+  void bindStore(kv::KVStore& store) {
+    if (registry_) {
+      store.metrics().bindRegistry(*registry_);
+    }
+  }
+
+  void setInfo(const std::string& key, std::string value) {
+    info_[key] = std::move(value);
+  }
+
+  /// Write the report file; no-op without --report.  A bad path must not
+  /// take down the bench after the measurements already printed.
+  void write() {
+    if (!enabled()) {
+      return;
+    }
+    obs::RunReport report =
+        obs::RunReport::capture(label_, registry_.get(), tracer_.get());
+    report.info = info_;
+    try {
+      report.writeFile(path_);
+      std::cout << "\nRun report written to " << path_ << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "warning: " << e.what() << "\n";
+    }
+  }
+
+ private:
+  std::string label_;
+  std::string path_;
+  std::map<std::string, std::string> info_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+};
 
 }  // namespace ripple::bench

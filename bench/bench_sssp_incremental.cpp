@@ -22,7 +22,8 @@
 
 using namespace ripple;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport report(argc, argv, "sssp_incremental");
   const double scale = bench::workloadScale(0.1);
   const int trials = bench::trialCount(3);
   const auto vertices = static_cast<std::size_t>(100'000 * scale);
@@ -31,6 +32,9 @@ int main() {
       static_cast<int>(bench::envLong("RIPPLE_SSSP_BATCHES", 10));
   const auto perBatch = static_cast<std::size_t>(
       bench::envLong("RIPPLE_SSSP_CHANGES", 1000));
+  report.setInfo("scale", std::to_string(scale));
+  report.setInfo("trials", std::to_string(trials));
+  report.setInfo("batches", std::to_string(batches));
 
   bench::printHeader("Incremental SSSP: selective enablement vs full scan");
   std::cout << "vertices=" << vertices << " edges~" << edges
@@ -58,7 +62,11 @@ int main() {
     }
     for (const bool sel : {true, false}) {
       auto store = kv::PartitionedStore::create(6);
-      ebsp::Engine engine(store);
+      report.bindStore(*store);
+      ebsp::EngineOptions eopts;
+      eopts.tracer = report.tracer();
+      eopts.metrics = report.metrics();
+      ebsp::Engine engine(store, eopts);
       apps::SsspOptions options;
       options.selective = sel;
       options.source = 0;
@@ -93,5 +101,6 @@ int main() {
             << "\nfull/selective ratio: "
             << fullScan.mean() / selective.mean()
             << "x   (paper: 78 ± 5 s vs 0.21 ± 0.03 s = ~370x)\n";
+  report.write();
   return 0;
 }

@@ -26,12 +26,16 @@
 
 using namespace ripple;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport report(argc, argv, "summa_sync_vs_nosync");
   const auto grid = static_cast<std::uint32_t>(
       bench::envLong("RIPPLE_SUMMA_GRID", 3));
   const auto blockSize = static_cast<std::size_t>(
       bench::envLong("RIPPLE_SUMMA_BLOCK", 192));
   const int trials = bench::trialCount(3);
+  report.setInfo("grid", std::to_string(grid));
+  report.setInfo("block", std::to_string(blockSize));
+  report.setInfo("trials", std::to_string(trials));
 
   bench::printHeader("SUMMA " + std::to_string(grid) + "x" +
                      std::to_string(grid) +
@@ -55,7 +59,11 @@ int main() {
   for (int trial = 0; trial < trials; ++trial) {
     for (const bool synchronized : {true, false}) {
       auto store = kv::PartitionedStore::create(grid * grid);
-      ebsp::Engine engine(store);
+      report.bindStore(*store);
+      ebsp::EngineOptions eopts;
+      eopts.tracer = report.tracer();
+      eopts.metrics = report.metrics();
+      ebsp::Engine engine(store, eopts);
       matrix::SummaOptions options;
       options.synchronized = synchronized;
       options.parts = grid * grid;
@@ -85,5 +93,6 @@ int main() {
                "containers)\n"
             << "results verified against serial product: "
             << (allVerified ? "yes" : "NO — MISMATCH") << "\n";
+  report.write();
   return allVerified ? 0 : 1;
 }

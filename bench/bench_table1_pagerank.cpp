@@ -31,11 +31,15 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport report(argc, argv, "table1_pagerank");
   const double scale = bench::workloadScale(0.25);
   const int trials = bench::trialCount(3);
   const int iterations =
       static_cast<int>(bench::envLong("RIPPLE_PR_ITERS", 10));
+  report.setInfo("scale", std::to_string(scale));
+  report.setInfo("trials", std::to_string(trials));
+  report.setInfo("iterations", std::to_string(iterations));
 
   const Row rows[] = {
       {static_cast<std::size_t>(132000 * scale),
@@ -66,8 +70,12 @@ int main() {
     for (int trial = 0; trial < trials; ++trial) {
       for (const bool mr : {false, true}) {
         auto store = kv::PartitionedStore::create(6);
+        report.bindStore(*store);
         apps::loadPageRankGraph(*store, "pr_graph", g, 6);
-        ebsp::Engine engine(store);
+        ebsp::EngineOptions eopts;
+        eopts.tracer = report.tracer();
+        eopts.metrics = report.metrics();
+        ebsp::Engine engine(store, eopts);
         apps::PageRankOptions options;
         options.iterations = iterations;
         options.mapReduceVariant = mr;
@@ -80,7 +88,11 @@ int main() {
               << mapreduce.summary(2) << std::setw(11) << std::fixed
               << std::setprecision(2) << mapreduce.mean() / direct.mean()
               << "x\n";
+    std::cout << "             direct tails: " << direct.summaryWithTails(2)
+              << "\n             mapred tails: "
+              << mapreduce.summaryWithTails(2) << "\n";
   }
+  report.write();
 
   std::cout << "\nPaper (16-HT-CPU x3550 M2, Java, 11 trials):\n"
             << "    132000   4341659        28.5 ± 0.4        32.9 ± 0.7\n"

@@ -35,9 +35,11 @@ void printRow(const char* label, const std::vector<std::uint64_t>& mults) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport report(argc, argv, "table2_summa_steps");
   const auto grid = static_cast<std::uint32_t>(
       bench::envLong("RIPPLE_SUMMA_GRID", 3));
+  report.setInfo("grid", std::to_string(grid));
 
   bench::printHeader("Table II: Block multiplications in each step (M=N=" +
                      std::to_string(grid) + ")");
@@ -54,7 +56,11 @@ int main() {
     a.fillRandom(rng);
     b.fillRandom(rng);
     auto store = kv::PartitionedStore::create(grid * grid);
-    ebsp::Engine engine(store);
+    report.bindStore(*store);
+    ebsp::EngineOptions eopts;
+    eopts.tracer = report.tracer();
+    eopts.metrics = report.metrics();
+    ebsp::Engine engine(store, eopts);
     matrix::SummaOptions options;
     options.synchronized = true;
     options.parts = grid * grid;
@@ -88,5 +94,6 @@ int main() {
   const bool match = measured == schedule.multsPerStep;
   std::cout << "Engine vs simulator: " << (match ? "MATCH" : "MISMATCH")
             << "\n";
+  report.write();
   return match ? 0 : 1;
 }

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full ctest suite.
+#
+# Usage:
+#   scripts/verify.sh                 # default RelWithDebInfo build
+#   RIPPLE_SANITIZE=address scripts/verify.sh
+#   RIPPLE_SANITIZE=thread  scripts/verify.sh
+#
+# Sanitized builds use a separate build directory so they never pollute
+# the default tree.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZE="${RIPPLE_SANITIZE:-}"
+BUILD_DIR="build"
+CMAKE_ARGS=()
+if [[ -n "${SANITIZE}" ]]; then
+  BUILD_DIR="build-${SANITIZE}"
+  CMAKE_ARGS+=("-DRIPPLE_SANITIZE=${SANITIZE}")
+fi
+
+cmake -B "${BUILD_DIR}" -S . "${CMAKE_ARGS[@]}"
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"

@@ -1,5 +1,6 @@
 #include "common/stats.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -16,6 +17,24 @@ void RunningStats::add(double x) {
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(n_);
   m2_ += delta * (x - mean_);
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+double RunningStats::percentile(double q) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
 }
 
 double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
@@ -32,6 +51,15 @@ std::string RunningStats::summary(int precision) const {
   out.setf(std::ios::fixed);
   out.precision(precision);
   out << mean() << " ± " << stddev();
+  return out.str();
+}
+
+std::string RunningStats::summaryWithTails(int precision) const {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << mean() << " ± " << stddev() << " (p50 " << p50() << ", p95 "
+      << p95() << ", p99 " << p99() << ")";
   return out.str();
 }
 

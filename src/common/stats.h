@@ -28,7 +28,8 @@ class Stopwatch {
 };
 
 /// Welford online mean/variance; the benches report mean ± stddev the way
-/// the paper's tables do.
+/// the paper's tables do.  Samples are also retained (trial counts are
+/// small) so tail percentiles can be reported alongside.
 class RunningStats {
  public:
   void add(double x);
@@ -41,8 +42,18 @@ class RunningStats {
   [[nodiscard]] double min() const { return min_; }
   [[nodiscard]] double max() const { return max_; }
 
+  /// Percentile by linear interpolation between closest ranks;
+  /// `q` in [0, 1].  Returns 0 with no samples.
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double p50() const { return percentile(0.50); }
+  [[nodiscard]] double p95() const { return percentile(0.95); }
+  [[nodiscard]] double p99() const { return percentile(0.99); }
+
   /// "12.34 ± 0.56" with the given precision.
   [[nodiscard]] std::string summary(int precision = 2) const;
+
+  /// "12.34 ± 0.56 (p50 12.30, p95 13.10, p99 13.40)".
+  [[nodiscard]] std::string summaryWithTails(int precision = 2) const;
 
  private:
   std::size_t n_ = 0;
@@ -50,6 +61,8 @@ class RunningStats {
   double m2_ = 0;
   double min_ = 0;
   double max_ = 0;
+  mutable std::vector<double> samples_;  // Sorted lazily by percentile().
+  mutable bool sorted_ = true;
 };
 
 /// Collect per-trial values then summarize.

@@ -96,30 +96,60 @@ class AsyncEngine::Run {
 
   JobResult execute() {
     Stopwatch wall;
-    const std::uint64_t initial = loadInitial();
-    if (initial > 0) {
-      queues_->runWorkers([this](mq::WorkerContext& ctx) { worker(ctx); });
-    }
-    if (failure_) {
-      std::rethrow_exception(failure_);
+    obs::Tracer* const tracer = options_.tracer;
+    std::uint64_t initial = 0;
+    {
+      obs::Tracer::Scoped load(tracer, obs::Phase::kLoad);
+      load->note = "no-sync";
+      initial = loadInitial();
+      load->messages = initial;
     }
     {
-      std::lock_guard<std::mutex> lock(controlMu_);
-      if (initial > 0 && !ledger_.complete()) {
-        throw std::logic_error(
-            "AsyncEngine: workers exited with incomplete weight (ledger at " +
-            std::to_string(ledger_.approx()) + ")");
+      obs::Tracer::Scoped compute(tracer, obs::Phase::kCompute, /*step=*/0);
+      if (initial > 0) {
+        queues_->runWorkers([this](mq::WorkerContext& ctx) { worker(ctx); });
       }
+      if (failure_) {
+        compute->note = "failed";
+        std::rethrow_exception(failure_);
+      }
+      {
+        std::lock_guard<std::mutex> lock(controlMu_);
+        if (initial > 0 && !ledger_.complete()) {
+          throw std::logic_error(
+              "AsyncEngine: workers exited with incomplete weight (ledger "
+              "at " + std::to_string(ledger_.approx()) + ")");
+        }
+      }
+      accumulateMetrics();
+      compute->invocations = metrics_.computeInvocations;
+      compute->messages = metrics_.messagesSent;
+      compute->stateReads = metrics_.stateReads;
+      compute->stateWrites = metrics_.stateWrites;
+      compute->virtualSeconds = vt_ ? vt_->makespan() : 0.0;
+      compute->note = "no-sync drain";
     }
-    exportResults();
-    directFinish();
+    if (options_.onStep) {
+      options_.onStep(0, metrics_.computeInvocations);
+    }
+    {
+      obs::Tracer::Scoped exp(tracer, obs::Phase::kExport);
+      exportResults();
+      directFinish();
+    }
 
     JobResult result;
     result.steps = 0;  // No steps without barriers.
     result.virtualMakespan = vt_ ? vt_->makespan() : 0.0;
     result.elapsedSeconds = wall.elapsedSeconds();
-    accumulateMetrics();
     result.metrics = metrics_;
+    if (options_.metrics != nullptr) {
+      foldEngineMetrics(*options_.metrics, result.metrics);
+      if (vt_) {
+        options_.metrics->gauge("ebsp.virtual_makespan")
+            .set(result.virtualMakespan);
+      }
+    }
     return result;
   }
 

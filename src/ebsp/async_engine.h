@@ -13,11 +13,14 @@
 #pragma once
 
 #include <chrono>
+#include <functional>
 #include <memory>
 
 #include "ebsp/raw_job.h"
 #include "kvstore/table.h"
 #include "mq/queue.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/virtual_time.h"
 
 namespace ripple::ebsp {
@@ -35,6 +38,24 @@ struct AsyncEngineOptions {
   /// Queue-set factory; the engine front-end defaults this to the
   /// in-memory implementation.
   mq::QueuingPtr queuing;
+
+  /// Unified step hook (same signature as SyncEngineOptions::onStep).
+  /// No-sync execution has no supersteps: the hook fires exactly once,
+  /// after the queues drain, as (0, totalInvocations).
+  std::function<void(int step, std::uint64_t invocations)> onStep;
+
+  /// Accepted for interface symmetry with SyncEngineOptions but NEVER
+  /// invoked: no-sync execution has no barriers.
+  std::function<void(int step)> onBarrier;
+
+  /// Optional span collector.  The no-sync engine emits a single
+  /// step-0 compute span for the whole drain plus load/export spans;
+  /// there are no spill/barrier/collect spans.  Not owned.
+  obs::Tracer* tracer = nullptr;
+
+  /// Optional metrics registry; counters folded in under `ebsp.*`.
+  /// Not owned; must outlive run().
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class AsyncEngine {

@@ -1,5 +1,6 @@
 #include "ebsp/checkpoint.h"
 
+#include <atomic>
 #include <stdexcept>
 
 #include "common/codec.h"
@@ -7,6 +8,22 @@
 namespace ripple::ebsp {
 
 namespace {
+
+/// Copies one part of a table into another, tallying payload bytes.
+class Copier : public kv::PairConsumer {
+ public:
+  Copier(kv::Table& dst, std::atomic<std::uint64_t>& bytes)
+      : dst_(dst), bytes_(bytes) {}
+  bool consume(std::uint32_t, kv::KeyView k, kv::ValueView v) override {
+    bytes_.fetch_add(k.size() + v.size(), std::memory_order_relaxed);
+    dst_.put(k, v);
+    return true;
+  }
+
+ private:
+  kv::Table& dst_;
+  std::atomic<std::uint64_t>& bytes_;
+};
 
 constexpr std::string_view kStepKeyPrefix = "step/";
 constexpr std::string_view kAggKey = "aggs";
@@ -64,6 +81,8 @@ std::string Checkpointer::shadowName(std::size_t i) const {
 
 void Checkpointer::checkpoint(int completedStep,
                               const std::map<std::string, Bytes>& aggFinals) {
+  obs::Tracer::Scoped span(tracer_, obs::Phase::kCheckpoint, completedStep);
+  std::atomic<std::uint64_t> bytesCopied{0};
   // Copy each part of each table into its shadow, collocated with the
   // part's container.  All shadow writes complete before the shard-step
   // records are written (the paper's "commit transactions in the right
@@ -71,18 +90,7 @@ void Checkpointer::checkpoint(int completedStep,
   store_->runInParts(*placement_, [&](std::uint32_t part) {
     for (std::size_t i = 0; i < tables_.size(); ++i) {
       shadows_[i]->clearPart(part);
-      class Copier : public kv::PairConsumer {
-       public:
-        explicit Copier(kv::Table& dst) : dst_(dst) {}
-        bool consume(std::uint32_t, kv::KeyView k, kv::ValueView v) override {
-          dst_.put(k, v);
-          return true;
-        }
-
-       private:
-        kv::Table& dst_;
-      };
-      Copier copier(*shadows_[i]);
+      Copier copier(*shadows_[i], bytesCopied);
       tables_[i]->enumeratePart(part, copier);
     }
   });
@@ -91,6 +99,7 @@ void Checkpointer::checkpoint(int completedStep,
                encodeToBytes<std::int64_t>(completedStep));
   }
   meta_->put(Bytes(kAggKey), encodeAggFinals(aggFinals));
+  span->bytes = bytesCopied.load();
 }
 
 bool Checkpointer::hasCheckpoint() const {
@@ -114,29 +123,23 @@ int Checkpointer::restore(std::map<std::string, Bytes>& aggFinals) {
   if (!hasCheckpoint()) {
     throw std::runtime_error("Checkpointer: no complete checkpoint");
   }
+  obs::Tracer::Scoped span(tracer_, obs::Phase::kRestore);
+  std::atomic<std::uint64_t> bytesCopied{0};
   store_->runInParts(*placement_, [&](std::uint32_t part) {
     for (std::size_t i = 0; i < tables_.size(); ++i) {
       // Delete the failed shard's writes, then reinstate the snapshot.
       tables_[i]->clearPart(part);
-      class Copier : public kv::PairConsumer {
-       public:
-        explicit Copier(kv::Table& dst) : dst_(dst) {}
-        bool consume(std::uint32_t, kv::KeyView k, kv::ValueView v) override {
-          dst_.put(k, v);
-          return true;
-        }
-
-       private:
-        kv::Table& dst_;
-      };
-      Copier copier(*tables_[i]);
+      Copier copier(*tables_[i], bytesCopied);
       shadows_[i]->enumeratePart(part, copier);
     }
   });
   const auto aggs = meta_->get(Bytes(kAggKey));
   aggFinals = aggs ? decodeAggFinals(*aggs) : std::map<std::string, Bytes>{};
   const auto step = meta_->get(Bytes(kStepKeyPrefix) + "0");
-  return static_cast<int>(decodeFromBytes<std::int64_t>(*step));
+  const int restored = static_cast<int>(decodeFromBytes<std::int64_t>(*step));
+  span->step = restored;
+  span->bytes = bytesCopied.load();
+  return restored;
 }
 
 void Checkpointer::cleanup() {

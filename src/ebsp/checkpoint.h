@@ -25,6 +25,7 @@
 
 #include "common/bytes.h"
 #include "kvstore/table.h"
+#include "obs/trace.h"
 
 namespace ripple::ebsp {
 
@@ -55,6 +56,11 @@ class Checkpointer {
   Checkpointer(const Checkpointer&) = delete;
   Checkpointer& operator=(const Checkpointer&) = delete;
 
+  /// Optional span collector: checkpoint() and restore() record
+  /// checkpoint/restore spans carrying the step and the bytes copied.
+  /// Null (the default) disables tracing; not owned.
+  void setTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   /// Snapshot all tables and record `completedStep` plus the aggregator
   /// finals.  Called at a barrier, after the collection for step
   /// completedStep+1 has been built.
@@ -80,6 +86,7 @@ class Checkpointer {
   std::vector<kv::TablePtr> shadows_;
   kv::TablePtr placement_;
   kv::TablePtr meta_;  // shard -> completed step; plus aggregator finals.
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace ripple::ebsp

@@ -33,6 +33,10 @@ JobResult Engine::run(RawJob& job) {
     async.pollTimeout = options_.pollTimeout;
     async.workStealing = options_.workStealing;
     async.queuing = options_.queuing;
+    async.onStep = options_.onStep;
+    async.onBarrier = options_.onBarrier;
+    async.tracer = options_.tracer;
+    async.metrics = options_.metrics;
     AsyncEngine engine(store_, async);
     return engine.run(job);
   }
@@ -46,6 +50,8 @@ JobResult Engine::run(RawJob& job) {
   sync.checkpoint = options_.checkpoint;
   sync.onBarrier = options_.onBarrier;
   sync.onStep = options_.onStep;
+  sync.tracer = options_.tracer;
+  sync.metrics = options_.metrics;
   SyncEngine engine(store_, sync);
   return engine.run(job);
 }

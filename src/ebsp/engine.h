@@ -31,7 +31,16 @@ struct EngineOptions {
   int maxSteps = 1'000'000;
   std::size_t spillBatch = 4096;
   CheckpointConfig checkpoint;
+
+  /// Invoked after each barrier with the completed step number; may throw
+  /// SimulatedFailure to exercise recovery.  Under the no-sync strategy
+  /// there are no barriers and the hook never fires.
   std::function<void(int step)> onBarrier;
+
+  /// Step hook, unified across strategies: the synchronized engine fires
+  /// it per superstep as (stepNum, invocations) after the step's compute
+  /// span closes; the no-sync engine fires it exactly once after the
+  /// queues drain, as (0, totalInvocations).
   std::function<void(int step, std::uint64_t invocations)> onStep;
 
   // No-sync strategy knobs.
@@ -41,6 +50,14 @@ struct EngineOptions {
   /// Queue-set factory for no-sync execution; defaults to the in-memory
   /// implementation over the engine's store.
   mq::QueuingPtr queuing;
+
+  /// Optional span collector, forwarded to whichever strategy runs (see
+  /// obs/trace.h).  Not owned; must outlive run().
+  obs::Tracer* tracer = nullptr;
+
+  /// Optional metrics registry: engine counters fold in under `ebsp.*`
+  /// when the run finishes.  Not owned; must outlive run().
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class Engine {

@@ -34,4 +34,23 @@ EffectiveProperties deriveProperties(const RawJob& job) {
   return p;
 }
 
+void foldEngineMetrics(obs::MetricsRegistry& registry,
+                       const EngineMetrics& metrics) {
+  registry.counter("ebsp.steps").add(metrics.steps);
+  registry.counter("ebsp.invocations").add(metrics.computeInvocations);
+  registry.counter("ebsp.messages_sent").add(metrics.messagesSent);
+  registry.counter("ebsp.messages_delivered").add(metrics.messagesDelivered);
+  registry.counter("ebsp.combiner_calls").add(metrics.combinerCalls);
+  registry.counter("ebsp.spills").add(metrics.spillsWritten);
+  registry.counter("ebsp.spill_bytes").add(metrics.spillBytes);
+  registry.counter("ebsp.state_reads").add(metrics.stateReads);
+  registry.counter("ebsp.state_writes").add(metrics.stateWrites);
+  registry.counter("ebsp.barriers").add(metrics.barriers);
+  registry.counter("ebsp.direct_outputs").add(metrics.directOutputs);
+  registry.counter("ebsp.creations").add(metrics.creations);
+  registry.counter("ebsp.stolen_messages").add(metrics.stolenMessages);
+  registry.counter("ebsp.checkpoints").add(metrics.checkpoints);
+  registry.counter("ebsp.recoveries").add(metrics.recoveries);
+}
+
 }  // namespace ripple::ebsp

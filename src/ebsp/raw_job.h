@@ -18,6 +18,7 @@
 #include "common/bytes.h"
 #include "ebsp/aggregator.h"
 #include "ebsp/properties.h"
+#include "obs/metrics.h"
 
 namespace ripple::ebsp {
 
@@ -236,5 +237,12 @@ void validateRawJob(const RawJob& job);
 /// Combine the declared properties with the detected pair (no-agg,
 /// no-client-sync).
 [[nodiscard]] EffectiveProperties deriveProperties(const RawJob& job);
+
+/// Fold a finished run's EngineMetrics into `registry` counters under the
+/// `ebsp.*` naming scheme (ebsp.steps, ebsp.invocations, ...).  Both
+/// engines call this once per run; counters accumulate across runs that
+/// share a registry.
+void foldEngineMetrics(obs::MetricsRegistry& registry,
+                       const EngineMetrics& metrics);
 
 }  // namespace ripple::ebsp

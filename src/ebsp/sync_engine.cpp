@@ -79,6 +79,7 @@ class SyncEngine::Run {
       restartable.push_back(collection_);
       checkpointer_ = std::make_unique<Checkpointer>(
           store_, "job" + runId_, std::move(restartable), ref_);
+      checkpointer_->setTracer(options_.tracer);
       // Non-deterministic steps must never re-execute: checkpoint every
       // barrier (the fast-recovery optimization of the deterministic
       // property is a wider interval).
@@ -96,7 +97,13 @@ class SyncEngine::Run {
 
   JobResult execute() {
     Stopwatch wall;
-    loadInitial();
+    obs::Tracer* const tracer = options_.tracer;
+    {
+      obs::Tracer::Scoped load(tracer, obs::Phase::kLoad);
+      load->note = "synchronized";
+      loadInitial();
+      load->messages = collection_->size();
+    }
 
     std::uint64_t pending = collection_->size();
     int step = 0;
@@ -112,6 +119,7 @@ class SyncEngine::Run {
         replayBoundary_ = 0;
       }
       const int runStep = step;
+      Stopwatch stepWatch;
 
       // --- Superstep: every part runs its enabled components. ---
       partOutcomes_.assign(parts_, PartOutcome{});
@@ -119,11 +127,43 @@ class SyncEngine::Run {
         o.aggs = AggregatorSet(&job_.aggregators);
       }
       std::uint64_t invocationsThisStep = 0;
-      store_->runInParts(*ref_, [&](std::uint32_t part) {
-        processPart(part, runStep);
-      });
-      for (const auto& o : partOutcomes_) {
-        invocationsThisStep += o.invocations;
+      const double flushBefore = phaseFlush_.load();
+      {
+        obs::Tracer::Scoped compute(tracer, obs::Phase::kCompute, runStep);
+        const double vtBefore = vt_ ? vt_->makespan() : 0.0;
+        store_->runInParts(*ref_, [&](std::uint32_t part) {
+          processPart(part, runStep);
+        });
+        PartOutcome totals{};
+        for (const auto& o : partOutcomes_) {
+          totals.invocations += o.invocations;
+          totals.messages += o.messages;
+          totals.spillBytes += o.spillBytes;
+          totals.stateReads += o.stateReads;
+          totals.stateWrites += o.stateWrites;
+        }
+        invocationsThisStep = totals.invocations;
+        compute->invocations = totals.invocations;
+        compute->messages = totals.messages;
+        compute->bytes = totals.spillBytes;
+        compute->stateReads = totals.stateReads;
+        compute->stateWrites = totals.stateWrites;
+        compute->virtualSeconds = vt_ ? vt_->makespan() - vtBefore : 0.0;
+      }
+      if (tracer != nullptr) {
+        // The spill phase runs inside the per-part compute work; report
+        // it as its own span with summed sender-side CPU seconds.
+        obs::Span spill;
+        spill.phase = obs::Phase::kSpill;
+        spill.step = runStep;
+        spill.start = tracer->elapsedSeconds();
+        spill.virtualSeconds = phaseFlush_.load() - flushBefore;
+        for (const auto& o : partOutcomes_) {
+          spill.messages += o.spills;
+          spill.bytes += o.spillBytes;
+        }
+        spill.note = "vt is summed sender cpu seconds";
+        tracer->record(std::move(spill));
       }
       if (options_.onStep) {
         options_.onStep(runStep, invocationsThisStep);
@@ -131,27 +171,38 @@ class SyncEngine::Run {
       accumulateMetrics();
 
       // --- Barrier. ---
-      if (vt_) {
-        if (log::enabled(log::Level::kDebug)) {
-          std::ostringstream clocks;
-          for (std::uint32_t p = 0; p < parts_; ++p) {
-            clocks << ' ' << vt_->now(p);
+      {
+        obs::Tracer::Scoped barrier(tracer, obs::Phase::kBarrier, runStep);
+        if (vt_) {
+          if (log::enabled(log::Level::kDebug)) {
+            std::ostringstream clocks;
+            for (std::uint32_t p = 0; p < parts_; ++p) {
+              clocks << ' ' << vt_->now(p);
+            }
+            RIPPLE_DEBUG << "step " << step << " vt clocks:" << clocks.str()
+                         << " inv=" << invocationsThisStep;
           }
-          RIPPLE_DEBUG << "step " << step << " vt clocks:" << clocks.str()
-                       << " inv=" << invocationsThisStep;
+          vt_->barrier();
         }
-        vt_->barrier();
+        ++metrics_.barriers;
       }
-      ++metrics_.barriers;
 
       // --- Collect: move spills into the next step's collection. ---
-      std::vector<std::uint64_t> collected(parts_, 0);
-      store_->runInParts(*ref_, [&](std::uint32_t part) {
-        collected[part] = collectPart(part);
-      });
-      pending = 0;
-      for (const std::uint64_t c : collected) {
-        pending += c;
+      {
+        obs::Tracer::Scoped collect(tracer, obs::Phase::kCollect, runStep);
+        std::vector<std::uint64_t> collected(parts_, 0);
+        store_->runInParts(*ref_, [&](std::uint32_t part) {
+          collected[part] = collectPart(part);
+        });
+        pending = 0;
+        for (const std::uint64_t c : collected) {
+          pending += c;
+        }
+        collect->messages = pending;
+      }
+      if (options_.metrics != nullptr) {
+        options_.metrics->histogram("ebsp.step_seconds")
+            .record(stepWatch.elapsedSeconds());
       }
 
       // --- Aggregation finals for the next step. ---
@@ -188,8 +239,11 @@ class SyncEngine::Run {
       throw std::runtime_error("SyncEngine: maxSteps exceeded");
     }
 
-    exportResults();
-    directSink_.finish();
+    {
+      obs::Tracer::Scoped exp(tracer, obs::Phase::kExport);
+      exportResults();
+      directSink_.finish();
+    }
     RIPPLE_DEBUG << "phase cpu: drain=" << phaseDrain_.load()
                  << " flush=" << phaseFlush_.load()
                  << " collect=" << phaseCollect_.load();
@@ -202,6 +256,7 @@ class SyncEngine::Run {
     result.elapsedSeconds = wall.elapsedSeconds();
     result.metrics = metrics_;
     result.metrics.steps = static_cast<std::uint64_t>(step);
+    foldRegistry(result);
     return result;
   }
 
@@ -637,6 +692,17 @@ class SyncEngine::Run {
       Export consumer(sink);
       stateTables_[static_cast<std::size_t>(tabIdx)]->enumerate(consumer);
       sink.finish();
+    }
+  }
+
+  void foldRegistry(const JobResult& result) {
+    if (options_.metrics == nullptr) {
+      return;
+    }
+    foldEngineMetrics(*options_.metrics, result.metrics);
+    if (vt_) {
+      options_.metrics->gauge("ebsp.virtual_makespan")
+          .set(result.virtualMakespan);
     }
   }
 

@@ -11,6 +11,8 @@
 #include "ebsp/checkpoint.h"
 #include "ebsp/raw_job.h"
 #include "kvstore/table.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/virtual_time.h"
 
 namespace ripple::ebsp {
@@ -35,8 +37,20 @@ struct SyncEngineOptions {
   std::function<void(int step)> onBarrier;
 
   /// Hook invoked as each step starts: (stepNum, enabledComponentCount).
-  /// Used by the Table II instrumentation.
+  /// Used by the Table II instrumentation.  Fires after the step's compute
+  /// span closes, so a tracer passed below has already recorded the step
+  /// the hook describes.
   std::function<void(int step, std::uint64_t invocations)> onStep;
+
+  /// Optional span collector.  The engine emits load/compute/spill/
+  /// barrier/collect/checkpoint/restore/export spans (see obs/trace.h);
+  /// null disables tracing.  Not owned; must outlive run().
+  obs::Tracer* tracer = nullptr;
+
+  /// Optional metrics registry.  The engine folds its counters in under
+  /// `ebsp.*` names and the store can be bound under `kv.*` (see
+  /// StoreMetrics::bindRegistry).  Not owned; must outlive run().
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Runs a RawJob to completion with barriers.  One engine instance runs

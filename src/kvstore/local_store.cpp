@@ -43,7 +43,7 @@ class LocalTable : public Table {
 
   std::optional<Value> get(KeyView key) override {
     std::lock_guard<std::recursive_mutex> lock(*mu_);
-    metrics_->localOps.fetch_add(1, std::memory_order_relaxed);
+    metrics_->incLocal();
     const Bytes* v = parts_[partOf(key)].find(key);
     if (v == nullptr) {
       return std::nullopt;
@@ -53,13 +53,13 @@ class LocalTable : public Table {
 
   void put(KeyView key, ValueView value) override {
     std::lock_guard<std::recursive_mutex> lock(*mu_);
-    metrics_->localOps.fetch_add(1, std::memory_order_relaxed);
+    metrics_->incLocal();
     parts_[partOf(key)].put(key, value);
   }
 
   bool erase(KeyView key) override {
     std::lock_guard<std::recursive_mutex> lock(*mu_);
-    metrics_->localOps.fetch_add(1, std::memory_order_relaxed);
+    metrics_->incLocal();
     return parts_[partOf(key)].erase(key);
   }
 
@@ -90,7 +90,7 @@ class LocalTable : public Table {
   }
 
   Bytes enumeratePart(std::uint32_t part, PairConsumer& consumer) override {
-    metrics_->scans.fetch_add(1, std::memory_order_relaxed);
+    metrics_->incScans();
     // Snapshot under the lock; callbacks run outside it so they can
     // freely mutate this or other tables.
     std::vector<std::pair<Bytes, Bytes>> snapshot;
@@ -130,7 +130,7 @@ class LocalTable : public Table {
 
   std::vector<std::pair<Key, Value>> drainPart(std::uint32_t part) override {
     std::lock_guard<std::recursive_mutex> lock(*mu_);
-    metrics_->scans.fetch_add(1, std::memory_order_relaxed);
+    metrics_->incScans();
     return parts_.at(part).drain();
   }
 

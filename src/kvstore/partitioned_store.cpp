@@ -142,10 +142,10 @@ class PartitionedTable : public Table {
       };
       detail::Container& c = containerFor(part);
       if (c.onLocalThread()) {
-        metrics_->localOps.fetch_add(1, std::memory_order_relaxed);
+        metrics_->incLocal();
         apply();
       } else {
-        metrics_->remoteOps.fetch_add(1, std::memory_order_relaxed);
+        metrics_->incRemote();
         pending.push_back(c.ops().submit(std::move(apply)));
       }
     }
@@ -225,7 +225,7 @@ class PartitionedTable : public Table {
   }
 
   std::vector<std::pair<Key, Value>> drainPart(std::uint32_t part) override {
-    metrics_->scans.fetch_add(1, std::memory_order_relaxed);
+    metrics_->incScans();
     LockedPart& p = *parts_.at(part);
     std::lock_guard<std::mutex> lock(p.mu);
     return p.data.drain();
@@ -250,16 +250,16 @@ class PartitionedTable : public Table {
                                    Fn&& fn) {
     detail::Container& c = containerFor(part);
     if (c.onLocalThread()) {
-      metrics_->localOps.fetch_add(1, std::memory_order_relaxed);
+      metrics_->incLocal();
       return fn();
     }
-    metrics_->remoteOps.fetch_add(1, std::memory_order_relaxed);
-    metrics_->bytesMarshalled.fetch_add(bytes, std::memory_order_relaxed);
+    metrics_->incRemote();
+    metrics_->addMarshalled(bytes);
     return c.ops().submit(std::forward<Fn>(fn)).get();
   }
 
   Bytes enumerateLocal(std::uint32_t part, PairConsumer& consumer) {
-    metrics_->scans.fetch_add(1, std::memory_order_relaxed);
+    metrics_->incScans();
     // Snapshot under the part lock; run call-backs outside it so they can
     // freely issue (possibly routed) store operations.
     std::vector<std::pair<Bytes, Bytes>> snapshot;
@@ -309,7 +309,7 @@ class UbiquitousTable : public Table {
   [[nodiscard]] std::uint32_t partOf(KeyView) const override { return 0; }
 
   std::optional<Value> get(KeyView key) override {
-    metrics_->localOps.fetch_add(1, std::memory_order_relaxed);
+    metrics_->incLocal();
     std::shared_lock lock(mu_);
     const Bytes* v = data_.find(key);
     if (v == nullptr) {
@@ -319,7 +319,7 @@ class UbiquitousTable : public Table {
   }
 
   void put(KeyView key, ValueView value) override {
-    metrics_->localOps.fetch_add(1, std::memory_order_relaxed);
+    metrics_->incLocal();
     std::unique_lock lock(mu_);
     data_.put(key, value);
   }

@@ -21,6 +21,7 @@
 
 #include "common/bytes.h"
 #include "common/hash.h"
+#include "obs/metrics.h"
 
 namespace ripple::kv {
 
@@ -53,18 +54,82 @@ struct TableOptions {
 
 /// Counters exposed by store implementations; used by tests and by the
 /// I/O-round accounting in EXPERIMENTS.md.
+///
+/// The struct's own atomics remain the source of truth (and what existing
+/// tests read); bindRegistry() additionally mirrors every increment into
+/// `ripple::obs` registry counters so store traffic shows up in run
+/// reports next to the engine metrics.  Store code must go through the
+/// inc*/add* methods rather than touching the atomics directly.
 struct StoreMetrics {
   std::atomic<std::uint64_t> localOps{0};    // Ops served on the owner thread.
   std::atomic<std::uint64_t> remoteOps{0};   // Ops routed across parts.
   std::atomic<std::uint64_t> bytesMarshalled{0};
   std::atomic<std::uint64_t> scans{0};       // Part enumerations.
 
+  void incLocal(std::uint64_t n = 1) {
+    localOps.fetch_add(n, std::memory_order_relaxed);
+    forward(fwdLocal_, n);
+  }
+
+  void incRemote(std::uint64_t n = 1) {
+    remoteOps.fetch_add(n, std::memory_order_relaxed);
+    forward(fwdRemote_, n);
+  }
+
+  void addMarshalled(std::uint64_t bytes) {
+    bytesMarshalled.fetch_add(bytes, std::memory_order_relaxed);
+    forward(fwdMarshalled_, bytes);
+  }
+
+  void incScans(std::uint64_t n = 1) {
+    scans.fetch_add(n, std::memory_order_relaxed);
+    forward(fwdScans_, n);
+  }
+
+  /// Mirror future increments into `<prefix>.local_ops`,
+  /// `<prefix>.remote_ops`, `<prefix>.bytes_marshalled`, and
+  /// `<prefix>.scans` of `registry`.  The registry must outlive the store
+  /// (or unbind() must be called first).
+  void bindRegistry(obs::MetricsRegistry& registry,
+                    const std::string& prefix = "kv") {
+    fwdLocal_.store(&registry.counter(prefix + ".local_ops"),
+                    std::memory_order_release);
+    fwdRemote_.store(&registry.counter(prefix + ".remote_ops"),
+                     std::memory_order_release);
+    fwdMarshalled_.store(&registry.counter(prefix + ".bytes_marshalled"),
+                         std::memory_order_release);
+    fwdScans_.store(&registry.counter(prefix + ".scans"),
+                    std::memory_order_release);
+  }
+
+  void unbind() {
+    fwdLocal_.store(nullptr, std::memory_order_release);
+    fwdRemote_.store(nullptr, std::memory_order_release);
+    fwdMarshalled_.store(nullptr, std::memory_order_release);
+    fwdScans_.store(nullptr, std::memory_order_release);
+  }
+
+  /// Resets the façade's own counters only; bound registry counters are
+  /// cumulative across resets.
   void reset() {
     localOps = 0;
     remoteOps = 0;
     bytesMarshalled = 0;
     scans = 0;
   }
+
+ private:
+  static void forward(const std::atomic<obs::Counter*>& target,
+                      std::uint64_t n) {
+    if (obs::Counter* c = target.load(std::memory_order_acquire)) {
+      c->add(n);
+    }
+  }
+
+  std::atomic<obs::Counter*> fwdLocal_{nullptr};
+  std::atomic<obs::Counter*> fwdRemote_{nullptr};
+  std::atomic<obs::Counter*> fwdMarshalled_{nullptr};
+  std::atomic<obs::Counter*> fwdScans_{nullptr};
 };
 
 /// Call-back for pair enumeration (paper §III-A).  One consumer instance

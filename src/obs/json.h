@@ -1,0 +1,108 @@
+// Minimal JSON document model for the observability layer (ripple::obs).
+//
+// Run reports and trace spans are serialized as JSON so external tooling
+// can consume them, and the test suite re-parses the documents to verify
+// the paper's round-accounting claims from the report alone.  The model is
+// deliberately small: numbers are doubles (exact for counters below 2^53),
+// strings are UTF-8 passed through verbatim, and \uXXXX escapes cover the
+// control range only.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace ripple::obs {
+
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  /// std::map keeps object keys sorted, making serialized output stable.
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : v_(nullptr) {}
+  JsonValue(std::nullptr_t) : v_(nullptr) {}  // NOLINT(google-explicit-constructor)
+  JsonValue(bool b) : v_(b) {}                // NOLINT(google-explicit-constructor)
+  JsonValue(double d) : v_(d) {}              // NOLINT(google-explicit-constructor)
+  JsonValue(int i) : v_(static_cast<double>(i)) {}  // NOLINT(google-explicit-constructor)
+  JsonValue(std::int64_t i) : v_(static_cast<double>(i)) {}   // NOLINT(google-explicit-constructor)
+  JsonValue(std::uint64_t u) : v_(static_cast<double>(u)) {}  // NOLINT(google-explicit-constructor)
+  JsonValue(std::string s) : v_(std::move(s)) {}    // NOLINT(google-explicit-constructor)
+  JsonValue(const char* s) : v_(std::string(s)) {}  // NOLINT(google-explicit-constructor)
+  JsonValue(Array a) : v_(std::move(a)) {}          // NOLINT(google-explicit-constructor)
+  JsonValue(Object o) : v_(std::move(o)) {}         // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool isNull() const { return holds<std::nullptr_t>(); }
+  [[nodiscard]] bool isBool() const { return holds<bool>(); }
+  [[nodiscard]] bool isNumber() const { return holds<double>(); }
+  [[nodiscard]] bool isString() const { return holds<std::string>(); }
+  [[nodiscard]] bool isArray() const { return holds<Array>(); }
+  [[nodiscard]] bool isObject() const { return holds<Object>(); }
+
+  /// Typed accessors; throw JsonError on a kind mismatch.
+  [[nodiscard]] bool asBool() const { return get<bool>("bool"); }
+  [[nodiscard]] double asNumber() const { return get<double>("number"); }
+  [[nodiscard]] std::uint64_t asU64() const {
+    return static_cast<std::uint64_t>(get<double>("number"));
+  }
+  [[nodiscard]] const std::string& asString() const {
+    return get<std::string>("string");
+  }
+  [[nodiscard]] const Array& asArray() const { return get<Array>("array"); }
+  [[nodiscard]] const Object& asObject() const { return get<Object>("object"); }
+  [[nodiscard]] Array& asArray() { return getMut<Array>("array"); }
+  [[nodiscard]] Object& asObject() { return getMut<Object>("object"); }
+
+  /// Object member lookup; nullptr if this is not an object or the key is
+  /// absent.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  /// Member value coerced to number, or `fallback` when absent/non-number.
+  [[nodiscard]] double numberOr(const std::string& key, double fallback) const;
+  [[nodiscard]] std::string stringOr(const std::string& key,
+                                     const std::string& fallback) const;
+
+  /// Serialize.  `indent` > 0 pretty-prints with that many spaces per
+  /// nesting level; 0 emits the compact single-line form.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Parse a complete document; throws JsonError on malformed input or
+  /// trailing non-whitespace.
+  [[nodiscard]] static JsonValue parse(std::string_view text);
+
+ private:
+  template <typename T>
+  [[nodiscard]] bool holds() const {
+    return std::holds_alternative<T>(v_);
+  }
+
+  template <typename T>
+  [[nodiscard]] const T& get(const char* kind) const {
+    if (!holds<T>()) {
+      throw JsonError(std::string("JsonValue: not a ") + kind);
+    }
+    return std::get<T>(v_);
+  }
+
+  template <typename T>
+  [[nodiscard]] T& getMut(const char* kind) {
+    if (!holds<T>()) {
+      throw JsonError(std::string("JsonValue: not a ") + kind);
+    }
+    return std::get<T>(v_);
+  }
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+}  // namespace ripple::obs

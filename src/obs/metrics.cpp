@@ -1,0 +1,363 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace ripple::obs {
+
+namespace {
+
+void atomicAddDouble(std::atomic<double>& acc, double delta) {
+  double cur = acc.load(std::memory_order_relaxed);
+  while (!acc.compare_exchange_weak(cur, cur + delta,
+                                    std::memory_order_relaxed)) {
+  }
+}
+
+void atomicMinDouble(std::atomic<double>& acc, double x) {
+  double cur = acc.load(std::memory_order_relaxed);
+  while (x < cur &&
+         !acc.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+void atomicMaxDouble(std::atomic<double>& acc, double x) {
+  double cur = acc.load(std::memory_order_relaxed);
+  while (x > cur &&
+         !acc.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    bounds_ = defaultBounds();
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bucket bounds must be ascending");
+  }
+  for (Shard& shard : shards_) {
+    shard.buckets =
+        std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    shard.min.store(std::numeric_limits<double>::infinity(),
+                    std::memory_order_relaxed);
+    shard.max.store(-std::numeric_limits<double>::infinity(),
+                    std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> Histogram::defaultBounds() {
+  std::vector<double> bounds;
+  bounds.reserve(3 * 19);
+  double decade = 1e-9;
+  for (int d = -9; d <= 9; ++d) {
+    bounds.push_back(decade);
+    bounds.push_back(2 * decade);
+    bounds.push_back(5 * decade);
+    decade *= 10;
+  }
+  return bounds;
+}
+
+Histogram::Shard& Histogram::shardForThisThread() {
+  const std::size_t h =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return shards_[h % kShards];
+}
+
+void Histogram::record(double x) {
+  Shard& shard = shardForThisThread();
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), x);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  shard.buckets[idx].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  atomicAddDouble(shard.sum, x);
+  atomicMinDouble(shard.min, x);
+  atomicMaxDouble(shard.max, x);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::sum() const {
+  double total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> Histogram::bucketCounts() const {
+  std::vector<std::uint64_t> merged(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+      merged[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+double Histogram::percentile(double q) const {
+  const std::vector<std::uint64_t> buckets = bucketCounts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : buckets) {
+    total += c;
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const Shard& shard : shards_) {
+    if (shard.count.load(std::memory_order_relaxed) > 0) {
+      lo = std::min(lo, shard.min.load(std::memory_order_relaxed));
+      hi = std::max(hi, shard.max.load(std::memory_order_relaxed));
+    }
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based, nearest-rank with ceil).
+  const auto target = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(total))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) {
+      continue;
+    }
+    if (cumulative + buckets[i] >= target) {
+      // Interpolate linearly within the bucket, clamped to observed range.
+      double bucketLo = i == 0 ? lo : bounds_[i - 1];
+      double bucketHi = i == bounds_.size() ? hi : bounds_[i];
+      bucketLo = std::max(bucketLo, lo);
+      bucketHi = std::min(std::max(bucketHi, bucketLo), hi);
+      const double frac = static_cast<double>(target - cumulative) /
+                          static_cast<double>(buckets[i]);
+      return bucketLo + frac * (bucketHi - bucketLo);
+    }
+    cumulative += buckets[i];
+  }
+  return hi;
+}
+
+HistogramStats Histogram::stats() const {
+  HistogramStats s;
+  s.count = count();
+  if (s.count == 0) {
+    return s;
+  }
+  s.sum = sum();
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const Shard& shard : shards_) {
+    if (shard.count.load(std::memory_order_relaxed) > 0) {
+      lo = std::min(lo, shard.min.load(std::memory_order_relaxed));
+      hi = std::max(hi, shard.max.load(std::memory_order_relaxed));
+    }
+  }
+  s.min = lo;
+  s.max = hi;
+  s.p50 = percentile(0.50);
+  s.p95 = percentile(0.95);
+  s.p99 = percentile(0.99);
+  return s;
+}
+
+void Histogram::reset() {
+  for (Shard& shard : shards_) {
+    for (std::size_t i = 0; i < bounds_.size() + 1; ++i) {
+      shard.buckets[i].store(0, std::memory_order_relaxed);
+    }
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0, std::memory_order_relaxed);
+    shard.min.store(std::numeric_limits<double>::infinity(),
+                    std::memory_order_relaxed);
+    shard.max.store(-std::numeric_limits<double>::infinity(),
+                    std::memory_order_relaxed);
+  }
+}
+
+JsonValue MetricsSnapshot::toJson() const {
+  JsonValue::Object counterObj;
+  for (const auto& [name, value] : counters) {
+    counterObj[name] = value;
+  }
+  JsonValue::Object gaugeObj;
+  for (const auto& [name, value] : gauges) {
+    gaugeObj[name] = value;
+  }
+  JsonValue::Object histObj;
+  for (const auto& [name, h] : histograms) {
+    JsonValue::Object entry;
+    entry["count"] = h.count;
+    entry["sum"] = h.sum;
+    entry["min"] = h.min;
+    entry["max"] = h.max;
+    entry["p50"] = h.p50;
+    entry["p95"] = h.p95;
+    entry["p99"] = h.p99;
+    histObj[name] = std::move(entry);
+  }
+  JsonValue::Object root;
+  root["counters"] = std::move(counterObj);
+  root["gauges"] = std::move(gaugeObj);
+  root["histograms"] = std::move(histObj);
+  return JsonValue(std::move(root));
+}
+
+MetricsSnapshot MetricsSnapshot::fromJson(const JsonValue& v) {
+  MetricsSnapshot snap;
+  if (const JsonValue* counters = v.find("counters")) {
+    for (const auto& [name, value] : counters->asObject()) {
+      snap.counters[name] = value.asU64();
+    }
+  }
+  if (const JsonValue* gauges = v.find("gauges")) {
+    for (const auto& [name, value] : gauges->asObject()) {
+      snap.gauges[name] = value.asNumber();
+    }
+  }
+  if (const JsonValue* histograms = v.find("histograms")) {
+    for (const auto& [name, value] : histograms->asObject()) {
+      HistogramStats h;
+      h.count = static_cast<std::uint64_t>(value.numberOr("count", 0));
+      h.sum = value.numberOr("sum", 0);
+      h.min = value.numberOr("min", 0);
+      h.max = value.numberOr("max", 0);
+      h.p50 = value.numberOr("p50", 0);
+      h.p95 = value.numberOr("p95", 0);
+      h.p99 = value.numberOr("p99", 0);
+      snap.histograms[name] = h;
+    }
+  }
+  return snap;
+}
+
+void MetricsRegistry::checkNameFree(const std::string& name,
+                                    const void* exempt) const {
+  const auto c = counters_.find(name);
+  if (c != counters_.end() && c->second.get() != exempt) {
+    throw std::invalid_argument("MetricsRegistry: '" + name +
+                                "' already names a counter");
+  }
+  const auto g = gauges_.find(name);
+  if (g != gauges_.end() && g->second.get() != exempt) {
+    throw std::invalid_argument("MetricsRegistry: '" + name +
+                                "' already names a gauge");
+  }
+  const auto h = histograms_.find(name);
+  if (h != histograms_.end() && h->second.get() != exempt) {
+    throw std::invalid_argument("MetricsRegistry: '" + name +
+                                "' already names a histogram");
+  }
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  {
+    std::shared_lock lock(mu_);
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) {
+      return *it->second;
+    }
+  }
+  std::unique_lock lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) {
+    checkNameFree(name, slot.get());
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  {
+    std::shared_lock lock(mu_);
+    const auto it = gauges_.find(name);
+    if (it != gauges_.end()) {
+      return *it->second;
+    }
+  }
+  std::unique_lock lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) {
+    checkNameFree(name, slot.get());
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  {
+    std::shared_lock lock(mu_);
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) {
+      return *it->second;
+    }
+  }
+  std::unique_lock lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    checkNameFree(name, slot.get());
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *slot;
+}
+
+const Counter* MetricsRegistry::findCounter(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::findGauge(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::findHistogram(
+    const std::string& name) const {
+  std::shared_lock lock(mu_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::shared_lock lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters[name] = c->value();
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges[name] = g->value();
+  }
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->stats();
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::shared_lock lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    c->reset();
+  }
+  for (const auto& [name, g] : gauges_) {
+    g->reset();
+  }
+  for (const auto& [name, h] : histograms_) {
+    h->reset();
+  }
+}
+
+}  // namespace ripple::obs

@@ -1,0 +1,178 @@
+// ripple::obs — the unified metrics layer.
+//
+// The paper's whole evaluation method is counting architectural effects
+// (sync rounds, I/O rounds, bytes marshalled per superstep, §V); this
+// registry gives every layer one place to account them.  A MetricsRegistry
+// owns named Counter / Gauge / Histogram instruments.  Instruments are
+// created on first use, have stable addresses for the registry's lifetime,
+// and are cheap enough for hot paths: callers resolve an instrument once
+// (one lock) and then pay a relaxed atomic add per event; histograms shard
+// their buckets to keep concurrent recorders off each other's cache lines.
+//
+// Instrument naming scheme (see DESIGN.md "Observability"): dotted
+// lower_snake path, `<subsystem>.<quantity>[_<unit>]`, e.g.
+// `ebsp.messages_sent`, `kv.bytes_marshalled`, `ebsp.step_seconds`.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace ripple::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+  void add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void reset() { set(0); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Point-in-time summary of one histogram.
+struct HistogramStats {
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+/// Fixed-bucket histogram with sharded atomic buckets and percentile
+/// estimation by linear interpolation within the hit bucket (clamped to
+/// the observed min/max, so estimates never leave the data's range).
+class Histogram {
+ public:
+  /// `bounds` are ascending bucket upper bounds; values above the last
+  /// bound land in an implicit overflow bucket.  The default covers
+  /// 1e-9 .. 1e9 in 1-2-5 decade steps — wide enough for seconds, bytes,
+  /// and message counts alike.
+  explicit Histogram(std::vector<double> bounds = defaultBounds());
+
+  void record(double x);
+
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const;
+
+  /// q in [0, 1].  Returns 0 when empty.
+  [[nodiscard]] double percentile(double q) const;
+
+  [[nodiscard]] HistogramStats stats() const;
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Bucket counts merged across shards (bounds().size() + 1 entries, the
+  /// last being the overflow bucket).
+  [[nodiscard]] std::vector<std::uint64_t> bucketCounts() const;
+
+  void reset();
+
+  [[nodiscard]] static std::vector<double> defaultBounds();
+
+ private:
+  struct Shard {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0};
+    std::atomic<double> min{0};
+    std::atomic<double> max{0};
+  };
+
+  static constexpr std::size_t kShards = 8;
+
+  [[nodiscard]] Shard& shardForThisThread();
+
+  std::vector<double> bounds_;
+  std::array<Shard, kShards> shards_;
+};
+
+/// Snapshot of every instrument in a registry, detached from the live
+/// atomics; what RunReport serializes.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramStats> histograms;
+
+  [[nodiscard]] JsonValue toJson() const;
+  [[nodiscard]] static MetricsSnapshot fromJson(const JsonValue& v);
+};
+
+/// Thread-safe name -> instrument registry.  Each name designates one
+/// instrument of one kind; the same name may not be reused across kinds.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create.  References stay valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` applies only on first creation; an empty vector means the
+  /// default bounds.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = {});
+
+  /// Lookup without creation; nullptr when absent.
+  [[nodiscard]] const Counter* findCounter(const std::string& name) const;
+  [[nodiscard]] const Gauge* findGauge(const std::string& name) const;
+  [[nodiscard]] const Histogram* findHistogram(const std::string& name) const;
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zero every instrument (instrument identities survive).
+  void reset();
+
+ private:
+  void checkNameFree(const std::string& name, const void* exempt) const;
+
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace ripple::obs

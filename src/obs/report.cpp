@@ -1,0 +1,93 @@
+#include "obs/report.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace ripple::obs {
+
+RunReport RunReport::capture(std::string label,
+                             const MetricsRegistry* registry,
+                             const Tracer* tracer) {
+  RunReport report;
+  report.label = std::move(label);
+  if (registry != nullptr) {
+    report.metrics = registry->snapshot();
+  }
+  if (tracer != nullptr) {
+    report.spans = tracer->spans();
+  }
+  return report;
+}
+
+JsonValue RunReport::toJson() const {
+  JsonValue::Object root;
+  root["label"] = label;
+  JsonValue::Object infoObj;
+  for (const auto& [key, value] : info) {
+    infoObj[key] = value;
+  }
+  root["info"] = std::move(infoObj);
+  root["metrics"] = metrics.toJson();
+  JsonValue::Array spanArr;
+  spanArr.reserve(spans.size());
+  for (const Span& s : spans) {
+    spanArr.push_back(s.toJson());
+  }
+  root["spans"] = std::move(spanArr);
+  return JsonValue(std::move(root));
+}
+
+RunReport RunReport::fromJson(const JsonValue& v) {
+  RunReport report;
+  report.label = v.stringOr("label", "");
+  if (const JsonValue* info = v.find("info")) {
+    for (const auto& [key, value] : info->asObject()) {
+      report.info[key] = value.asString();
+    }
+  }
+  if (const JsonValue* metrics = v.find("metrics")) {
+    report.metrics = MetricsSnapshot::fromJson(*metrics);
+  }
+  if (const JsonValue* spans = v.find("spans")) {
+    report.spans.reserve(spans->asArray().size());
+    for (const JsonValue& s : spans->asArray()) {
+      report.spans.push_back(Span::fromJson(s));
+    }
+  }
+  return report;
+}
+
+void RunReport::writeFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("RunReport: cannot open '" + path +
+                             "' for writing");
+  }
+  out << toJson().dump(2) << '\n';
+  if (!out) {
+    throw std::runtime_error("RunReport: write to '" + path + "' failed");
+  }
+}
+
+std::uint64_t RunReport::spanCount(Phase phase) const {
+  std::uint64_t n = 0;
+  for (const Span& s : spans) {
+    if (s.phase == phase) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::uint64_t RunReport::ioRounds() const {
+  std::uint64_t n = 0;
+  for (const Span& s : spans) {
+    if (s.phase == Phase::kCompute && s.step > 0 &&
+        (s.messages > 0 || s.stateReads > 0 || s.stateWrites > 0)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace ripple::obs

@@ -1,0 +1,59 @@
+// ripple::obs — machine-readable run reports.
+//
+// A RunReport is the single JSON document a run leaves behind: a snapshot
+// of every registry instrument plus the full span trace, with freeform
+// info fields (workload, scale, trial counts) supplied by the harness.
+// The bench harnesses write one per `--report <path>` invocation; the
+// integration suite verifies the paper's Table 1 round accounting from a
+// report alone (syncRounds / ioRounds below).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ripple::obs {
+
+struct RunReport {
+  /// Harness- or test-supplied report name.
+  std::string label;
+
+  /// Freeform metadata (workload parameters, environment, ...).
+  std::map<std::string, std::string> info;
+
+  MetricsSnapshot metrics;
+  std::vector<Span> spans;
+
+  /// Snapshot `registry` and `tracer` (either may be null) into a report.
+  [[nodiscard]] static RunReport capture(std::string label,
+                                         const MetricsRegistry* registry,
+                                         const Tracer* tracer);
+
+  [[nodiscard]] JsonValue toJson() const;
+  [[nodiscard]] static RunReport fromJson(const JsonValue& v);
+
+  /// Pretty-printed JSON written atomically enough for tooling (single
+  /// write).  Throws std::runtime_error when the file cannot be opened.
+  void writeFile(const std::string& path) const;
+
+  // --- Round accounting (the paper's §V method, now mechanical). ---
+
+  [[nodiscard]] std::uint64_t spanCount(Phase phase) const;
+
+  /// Synchronization rounds: one per barrier span.
+  [[nodiscard]] std::uint64_t syncRounds() const {
+    return spanCount(Phase::kBarrier);
+  }
+
+  /// I/O rounds: compute spans that performed store or transport I/O
+  /// (state reads/writes, or messages shuffled through the transport
+  /// table).  A superstep that only computes costs no I/O round.
+  [[nodiscard]] std::uint64_t ioRounds() const;
+};
+
+}  // namespace ripple::obs

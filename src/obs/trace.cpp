@@ -1,0 +1,186 @@
+#include "obs/trace.h"
+
+#include <ostream>
+
+namespace ripple::obs {
+
+namespace {
+
+struct PhaseEntry {
+  Phase phase;
+  const char* name;
+};
+
+constexpr PhaseEntry kPhases[] = {
+    {Phase::kRun, "run"},
+    {Phase::kLoad, "load"},
+    {Phase::kCompute, "compute"},
+    {Phase::kSpill, "spill"},
+    {Phase::kBarrier, "barrier"},
+    {Phase::kCollect, "collect"},
+    {Phase::kCheckpoint, "checkpoint"},
+    {Phase::kRestore, "restore"},
+    {Phase::kExport, "export"},
+};
+
+/// Per-thread stack of open Scoped spans, for parent assignment.  Entries
+/// are (tracer, span id); spans only parent within the same tracer.
+thread_local std::vector<std::pair<const Tracer*, std::uint64_t>>
+    tOpenSpans;  // NOLINT(cppcoreguidelines-avoid-non-const-global-variables)
+
+}  // namespace
+
+const char* phaseName(Phase phase) {
+  for (const PhaseEntry& e : kPhases) {
+    if (e.phase == phase) {
+      return e.name;
+    }
+  }
+  return "unknown";
+}
+
+std::optional<Phase> phaseFromName(std::string_view name) {
+  for (const PhaseEntry& e : kPhases) {
+    if (name == e.name) {
+      return e.phase;
+    }
+  }
+  return std::nullopt;
+}
+
+JsonValue Span::toJson() const {
+  JsonValue::Object obj;
+  obj["id"] = id;
+  if (parent != 0) {
+    obj["parent"] = parent;
+  }
+  obj["step"] = step;
+  obj["phase"] = phaseName(phase);
+  obj["start"] = start;
+  obj["dur"] = duration;
+  if (virtualSeconds != 0) {
+    obj["vt"] = virtualSeconds;
+  }
+  if (invocations != 0) {
+    obj["invocations"] = invocations;
+  }
+  if (messages != 0) {
+    obj["messages"] = messages;
+  }
+  if (bytes != 0) {
+    obj["bytes"] = bytes;
+  }
+  if (stateReads != 0) {
+    obj["state_reads"] = stateReads;
+  }
+  if (stateWrites != 0) {
+    obj["state_writes"] = stateWrites;
+  }
+  if (!note.empty()) {
+    obj["note"] = note;
+  }
+  return JsonValue(std::move(obj));
+}
+
+Span Span::fromJson(const JsonValue& v) {
+  Span s;
+  s.id = static_cast<std::uint64_t>(v.numberOr("id", 0));
+  s.parent = static_cast<std::uint64_t>(v.numberOr("parent", 0));
+  s.step = static_cast<int>(v.numberOr("step", 0));
+  const std::string phase = v.stringOr("phase", "run");
+  const auto parsed = phaseFromName(phase);
+  if (!parsed) {
+    throw JsonError("Span: unknown phase '" + phase + "'");
+  }
+  s.phase = *parsed;
+  s.start = v.numberOr("start", 0);
+  s.duration = v.numberOr("dur", 0);
+  s.virtualSeconds = v.numberOr("vt", 0);
+  s.invocations = static_cast<std::uint64_t>(v.numberOr("invocations", 0));
+  s.messages = static_cast<std::uint64_t>(v.numberOr("messages", 0));
+  s.bytes = static_cast<std::uint64_t>(v.numberOr("bytes", 0));
+  s.stateReads = static_cast<std::uint64_t>(v.numberOr("state_reads", 0));
+  s.stateWrites = static_cast<std::uint64_t>(v.numberOr("state_writes", 0));
+  s.note = v.stringOr("note", "");
+  return s;
+}
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+void Tracer::record(Span span) {
+  if (span.id == 0) {
+    span.id = allocId();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(span));
+}
+
+std::vector<Span> Tracer::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::size_t Tracer::spanCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+double Tracer::elapsedSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+void Tracer::exportJsonl(std::ostream& out) const {
+  const std::vector<Span> all = spans();
+  for (const Span& s : all) {
+    out << s.toJson().dump() << '\n';
+  }
+}
+
+Span Tracer::parseJsonLine(std::string_view line) {
+  return Span::fromJson(JsonValue::parse(line));
+}
+
+Tracer::Scoped::Scoped(Tracer* tracer, Phase phase, int step)
+    : tracer_(tracer), begun_(std::chrono::steady_clock::now()) {
+  span_.phase = phase;
+  span_.step = step;
+  if (tracer_ != nullptr) {
+    span_.id = tracer_->allocId();
+    span_.start = tracer_->elapsedSeconds();
+    for (auto it = tOpenSpans.rbegin(); it != tOpenSpans.rend(); ++it) {
+      if (it->first == tracer_) {
+        span_.parent = it->second;
+        break;
+      }
+    }
+    tOpenSpans.emplace_back(tracer_, span_.id);
+  }
+}
+
+Tracer::Scoped::~Scoped() {
+  if (tracer_ == nullptr) {
+    // Either tracing is disabled or cancel() was called; if this span was
+    // pushed on the open stack it must still be popped.
+    if (!tOpenSpans.empty() && span_.id != 0 &&
+        tOpenSpans.back().second == span_.id) {
+      tOpenSpans.pop_back();
+    }
+    return;
+  }
+  if (!tOpenSpans.empty() && tOpenSpans.back().second == span_.id) {
+    tOpenSpans.pop_back();
+  }
+  span_.duration = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - begun_)
+                       .count();
+  tracer_->record(std::move(span_));
+}
+
+}  // namespace ripple::obs

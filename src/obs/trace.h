@@ -1,0 +1,141 @@
+// ripple::obs — structured superstep tracing.
+//
+// The engines emit one Span per execution phase per superstep (compute,
+// spill, barrier, collect, checkpoint, ...), each carrying wall time,
+// virtual-cluster time, and the phase's invocation/message/byte counts.
+// A trace is the mechanical record of the paper's round accounting: sync
+// rounds are the barrier spans, I/O rounds are the compute spans that
+// touched the store or shuffled messages (see RunReport).
+//
+// Spans serialize to JSON Lines (one object per line) for streaming
+// export, and to a JSON array inside a RunReport.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace ripple::obs {
+
+/// Execution phases a span can describe.  kRun is the whole-job umbrella
+/// used by harnesses; the engines emit the finer-grained phases.
+enum class Phase : std::uint8_t {
+  kRun = 0,
+  kLoad,
+  kCompute,
+  kSpill,
+  kBarrier,
+  kCollect,
+  kCheckpoint,
+  kRestore,
+  kExport,
+};
+
+[[nodiscard]] const char* phaseName(Phase phase);
+[[nodiscard]] std::optional<Phase> phaseFromName(std::string_view name);
+
+struct Span {
+  /// Tracer-assigned id (1-based); 0 until recorded.
+  std::uint64_t id = 0;
+  /// Id of the enclosing open span on the same thread, 0 for roots.
+  std::uint64_t parent = 0;
+
+  /// Superstep number (1-based; 0 for run-level phases and for the
+  /// no-sync strategy, which has no steps).
+  int step = 0;
+  Phase phase = Phase::kRun;
+
+  /// Wall-clock seconds since the tracer's epoch.
+  double start = 0;
+  double duration = 0;
+
+  /// Virtual-cluster time attributed to the phase (0 when virtual time is
+  /// disabled; for spill spans, summed sender-side CPU seconds).
+  double virtualSeconds = 0;
+
+  std::uint64_t invocations = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t stateReads = 0;
+  std::uint64_t stateWrites = 0;
+
+  /// Freeform annotation (strategy name, table, recovery note, ...).
+  std::string note;
+
+  [[nodiscard]] JsonValue toJson() const;
+  [[nodiscard]] static Span fromJson(const JsonValue& v);
+};
+
+/// Thread-safe span collector.  Engines take a `Tracer*` and treat null as
+/// "tracing disabled"; the Scoped helper makes that pattern one line per
+/// phase.
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Append a span.  Assigns `span.id` if it is 0.
+  void record(Span span);
+
+  [[nodiscard]] std::vector<Span> spans() const;
+  [[nodiscard]] std::size_t spanCount() const;
+
+  /// Wall-clock seconds since this tracer was constructed.
+  [[nodiscard]] double elapsedSeconds() const;
+
+  /// Drop all recorded spans (the epoch is unchanged).
+  void clear();
+
+  /// One JSON object per line, in record order.
+  void exportJsonl(std::ostream& out) const;
+
+  /// Parse one exportJsonl line back into a Span.
+  [[nodiscard]] static Span parseJsonLine(std::string_view line);
+
+  /// RAII phase span: stamps `start` on construction, `duration` on
+  /// destruction, then records.  A null tracer makes the whole object a
+  /// near-no-op (fields may still be written; nothing is recorded).
+  /// Scoped spans opened while another Scoped span is live on the same
+  /// thread record it as their parent.
+  class Scoped {
+   public:
+    Scoped(Tracer* tracer, Phase phase, int step = 0);
+    ~Scoped();
+
+    Scoped(const Scoped&) = delete;
+    Scoped& operator=(const Scoped&) = delete;
+
+    Span* operator->() { return &span_; }
+    [[nodiscard]] Span& span() { return span_; }
+
+    /// Forget this span instead of recording it.
+    void cancel() { tracer_ = nullptr; }
+
+   private:
+    Tracer* tracer_;
+    Span span_;
+    std::chrono::steady_clock::time_point begun_;
+  };
+
+ private:
+  [[nodiscard]] std::uint64_t allocId() {
+    return nextId_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> nextId_{1};
+};
+
+}  // namespace ripple::obs

@@ -52,6 +52,42 @@ TEST(RunningStats, NegativeValues) {
   EXPECT_EQ(s.min(), -3.0);
 }
 
+TEST(RunningStats, PercentilesInterpolateBetweenRanks) {
+  RunningStats s;
+  // Insert out of order; percentile() sorts lazily.
+  for (const double v : {9.0, 1.0, 5.0, 3.0, 7.0}) {
+    s.add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.p50(), 5.0);
+  // p95 over 5 samples: rank 3.8 -> 7 + 0.8 * (9 - 7).
+  EXPECT_NEAR(s.p95(), 8.6, 1e-12);
+  EXPECT_NEAR(s.p99(), 8.92, 1e-12);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 9.0);
+}
+
+TEST(RunningStats, PercentileAfterMoreAddsResorts) {
+  RunningStats s;
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.p50(), 10.0);
+  s.add(0.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.p50(), 2.0);
+}
+
+TEST(RunningStats, PercentilesEmpty) {
+  const RunningStats s;
+  EXPECT_EQ(s.p50(), 0.0);
+  EXPECT_EQ(s.p99(), 0.0);
+}
+
+TEST(RunningStats, SummaryWithTailsFormat) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_EQ(s.summaryWithTails(1), "2.0 ± 1.4 (p50 2.0, p95 2.9, p99 3.0)");
+}
+
 TEST(Summarize, MatchesIncremental) {
   const std::vector<double> values{1.5, 2.5, 10.0, -4.0};
   RunningStats direct;

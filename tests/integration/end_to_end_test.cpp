@@ -14,6 +14,7 @@
 #include "kvstore/partitioned_store.h"
 #include "mapreduce/mapreduce.h"
 #include "matrix/summa.h"
+#include "obs/report.h"
 
 namespace ripple {
 namespace {
@@ -198,6 +199,80 @@ TEST(Integration, SsspThenPageRankOnSameGraphData) {
 
   // The SSSP state table is untouched by the PageRank run.
   EXPECT_EQ(driver.distances(g.vertexCount()), dist);
+}
+
+TEST(Integration, PageRankRoundAccountingFromRunReportAlone) {
+  // The paper's Table 1 claim, verified mechanically: the fused (direct)
+  // PageRank variant costs 1 synchronization + 1 I/O round per iteration
+  // of the ranking equations, while the MapReduce emulation costs 2 + 2.
+  // Everything below is asserted against a serialized-and-reparsed
+  // RunReport — the run itself is not consulted.
+  graph::PowerLawOptions gen;
+  gen.vertices = 200;
+  gen.edges = 900;
+  gen.seed = 31;
+  const graph::Graph g = graph::generatePowerLaw(gen);
+  const int iterations = 6;
+
+  auto captureReport = [&](bool mapReduceVariant) {
+    obs::Tracer tracer;
+    obs::MetricsRegistry registry;
+    auto store = kv::PartitionedStore::create(4);
+    store->metrics().bindRegistry(registry);
+    apps::loadPageRankGraph(*store, "pr_graph", g, 4);
+    ebsp::EngineOptions eopts;
+    eopts.tracer = &tracer;
+    eopts.metrics = &registry;
+    ebsp::Engine engine(store, eopts);
+    apps::PageRankOptions options;
+    options.iterations = iterations;
+    options.mapReduceVariant = mapReduceVariant;
+    apps::runPageRank(engine, options);
+    const obs::RunReport live = obs::RunReport::capture(
+        mapReduceVariant ? "mapreduce" : "fused", &registry, &tracer);
+    // Round-trip through JSON: the assertions read the document a bench's
+    // --report flag would have written, not the in-memory run.
+    return obs::RunReport::fromJson(obs::JsonValue::parse(
+        live.toJson().dump(2)));
+  };
+
+  const obs::RunReport fused = captureReport(false);
+  const obs::RunReport mapreduce = captureReport(true);
+  const auto iters = static_cast<std::uint64_t>(iterations);
+
+  // Fused: one superstep per iteration plus a single epilogue step that
+  // persists the final ranks; every step is both a sync round and an I/O
+  // round (the first reads state, the middle ones shuffle messages, the
+  // last writes state).
+  EXPECT_EQ(fused.syncRounds(), iters + 1);
+  EXPECT_EQ(fused.ioRounds(), iters + 1);
+  EXPECT_EQ(fused.metrics.counters.at("ebsp.steps"), iters + 1);
+
+  // MapReduce emulation: a map step (state read + shuffle) and a reduce
+  // step (state write) per iteration — twice the rounds.
+  EXPECT_EQ(mapreduce.syncRounds(), 2 * iters);
+  EXPECT_EQ(mapreduce.ioRounds(), 2 * iters);
+  EXPECT_EQ(mapreduce.metrics.counters.at("ebsp.steps"), 2 * iters);
+
+  // Per iteration of the ranking equations the emulation pays ~2x of
+  // both round kinds (the fused variant's +1 epilogue is its only
+  // overhead) — "purely inferior; doing strictly more work".
+  EXPECT_EQ(mapreduce.syncRounds(), 2 * (fused.syncRounds() - 1));
+  EXPECT_EQ(mapreduce.ioRounds(), 2 * (fused.ioRounds() - 1));
+
+  // The report also carries the engine and store counters.
+  EXPECT_GT(fused.metrics.counters.at("ebsp.invocations"), 0u);
+  EXPECT_GT(fused.metrics.counters.at("ebsp.messages_sent"), 0u);
+  EXPECT_GT(fused.metrics.counters.at("kv.local_ops"), 0u);
+  EXPECT_EQ(fused.metrics.histograms.at("ebsp.step_seconds").count,
+            iters + 1);
+
+  // Structural span checks: one compute and one barrier span per step,
+  // numbered 1..steps, plus exactly one load and one export span.
+  EXPECT_EQ(fused.spanCount(obs::Phase::kCompute), iters + 1);
+  EXPECT_EQ(fused.spanCount(obs::Phase::kLoad), 1u);
+  EXPECT_EQ(fused.spanCount(obs::Phase::kExport), 1u);
+  EXPECT_EQ(mapreduce.spanCount(obs::Phase::kCompute), 2 * iters);
 }
 
 TEST(Integration, ConsecutiveJobsDoNotLeakTables) {

@@ -1,0 +1,235 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace ripple::obs {
+namespace {
+
+TEST(Counter, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(CounterConcurrency, NoLostIncrements) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Histogram, CountSumMinMax) {
+  Histogram h;
+  for (const double v : {0.5, 1.0, 2.0, 8.0}) {
+    h.record(v);
+  }
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 11.5);
+  const HistogramStats s = h.stats();
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 8.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 11.5 / 4.0);
+}
+
+TEST(Histogram, PercentilesClampToObservedRange) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) {
+    h.record(5.0);  // All in one bucket.
+  }
+  // Interpolation inside the bucket must never leave [min, max].
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 5.0);
+  EXPECT_DOUBLE_EQ(h.stats().p50, 5.0);
+}
+
+TEST(Histogram, PercentileOrdering) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) {
+    h.record(static_cast<double>(i));
+  }
+  const HistogramStats s = h.stats();
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_GE(s.p50, 1.0);
+  EXPECT_LE(s.p99, 100.0);
+  // p50 of 1..100 lands in the (50, 100] bucket region; a loose sanity
+  // window is all a bucketed estimator guarantees.
+  EXPECT_GT(s.p50, 20.0);
+  EXPECT_LT(s.p50, 80.0);
+}
+
+TEST(Histogram, OverflowBucket) {
+  Histogram h(std::vector<double>{1.0, 10.0});
+  h.record(0.5);
+  h.record(5.0);
+  h.record(1e6);  // Above the last bound: overflow bucket.
+  const auto buckets = h.bucketCounts();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_DOUBLE_EQ(h.stats().max, 1e6);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  const HistogramStats s = h.stats();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record(1.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  h.record(3.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.stats().min, 3.0);
+}
+
+TEST(HistogramConcurrency, ShardedRecordersLoseNothing) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // Sum of t+1 over threads, kPerThread each: (1+...+8) * 20000.
+  EXPECT_DOUBLE_EQ(h.sum(), 36.0 * kPerThread);
+  EXPECT_DOUBLE_EQ(h.stats().min, 1.0);
+  EXPECT_DOUBLE_EQ(h.stats().max, 8.0);
+}
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableInstrument) {
+  MetricsRegistry r;
+  Counter& a = r.counter("ebsp.messages_sent");
+  a.add(7);
+  Counter& b = r.counter("ebsp.messages_sent");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 7u);
+}
+
+TEST(MetricsRegistry, FindWithoutCreation) {
+  MetricsRegistry r;
+  EXPECT_EQ(r.findCounter("absent"), nullptr);
+  EXPECT_EQ(r.findGauge("absent"), nullptr);
+  EXPECT_EQ(r.findHistogram("absent"), nullptr);
+  r.counter("present").add(3);
+  ASSERT_NE(r.findCounter("present"), nullptr);
+  EXPECT_EQ(r.findCounter("present")->value(), 3u);
+}
+
+TEST(MetricsRegistry, NameMayNotSpanKinds) {
+  MetricsRegistry r;
+  r.counter("x");
+  EXPECT_THROW(r.gauge("x"), std::invalid_argument);
+  EXPECT_THROW(r.histogram("x"), std::invalid_argument);
+  r.gauge("y");
+  EXPECT_THROW(r.counter("y"), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, ConcurrentFindOrCreate) {
+  MetricsRegistry r;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&r] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // All threads race on the same instrument names.
+        r.counter("shared.count").add();
+        r.histogram("shared.seconds").record(0.001);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  const auto total = static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(r.counter("shared.count").value(), total);
+  EXPECT_EQ(r.histogram("shared.seconds").count(), total);
+}
+
+TEST(MetricsRegistry, SnapshotAndReset) {
+  MetricsRegistry r;
+  r.counter("c").add(5);
+  r.gauge("g").set(1.25);
+  r.histogram("h").record(2.0);
+  const MetricsSnapshot snap = r.snapshot();
+  EXPECT_EQ(snap.counters.at("c"), 5u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g"), 1.25);
+  EXPECT_EQ(snap.histograms.at("h").count, 1u);
+
+  r.reset();
+  EXPECT_EQ(r.counter("c").value(), 0u);
+  EXPECT_DOUBLE_EQ(r.gauge("g").value(), 0.0);
+  EXPECT_EQ(r.histogram("h").count(), 0u);
+  // The snapshot is detached from the live instruments.
+  EXPECT_EQ(snap.counters.at("c"), 5u);
+}
+
+TEST(MetricsSnapshot, JsonRoundTrip) {
+  MetricsRegistry r;
+  r.counter("ebsp.steps").add(11);
+  r.gauge("ebsp.virtual_makespan").set(3.5);
+  r.histogram("ebsp.step_seconds").record(0.25);
+  r.histogram("ebsp.step_seconds").record(0.75);
+  const MetricsSnapshot snap = r.snapshot();
+
+  const JsonValue json = snap.toJson();
+  const MetricsSnapshot back =
+      MetricsSnapshot::fromJson(JsonValue::parse(json.dump()));
+  EXPECT_EQ(back.counters.at("ebsp.steps"), 11u);
+  EXPECT_DOUBLE_EQ(back.gauges.at("ebsp.virtual_makespan"), 3.5);
+  EXPECT_EQ(back.histograms.at("ebsp.step_seconds").count, 2u);
+  EXPECT_DOUBLE_EQ(back.histograms.at("ebsp.step_seconds").sum, 1.0);
+}
+
+}  // namespace
+}  // namespace ripple::obs

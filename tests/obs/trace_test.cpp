@@ -1,0 +1,241 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/report.h"
+
+namespace ripple::obs {
+namespace {
+
+TEST(Phase, NamesRoundTrip) {
+  for (const Phase p :
+       {Phase::kRun, Phase::kLoad, Phase::kCompute, Phase::kSpill,
+        Phase::kBarrier, Phase::kCollect, Phase::kCheckpoint, Phase::kRestore,
+        Phase::kExport}) {
+    const auto parsed = phaseFromName(phaseName(p));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(phaseFromName("bogus").has_value());
+}
+
+TEST(Tracer, RecordAssignsIds) {
+  Tracer tracer;
+  Span s;
+  s.phase = Phase::kCompute;
+  s.step = 3;
+  tracer.record(s);
+  tracer.record(s);
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_NE(spans[0].id, 0u);
+  EXPECT_NE(spans[1].id, spans[0].id);
+  EXPECT_EQ(spans[0].step, 3);
+}
+
+TEST(TracerScoped, RecordsDurationAndPhase) {
+  Tracer tracer;
+  {
+    Tracer::Scoped scoped(&tracer, Phase::kBarrier, 7);
+    scoped->messages = 42;
+  }
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].phase, Phase::kBarrier);
+  EXPECT_EQ(spans[0].step, 7);
+  EXPECT_EQ(spans[0].messages, 42u);
+  EXPECT_GE(spans[0].duration, 0.0);
+  EXPECT_EQ(spans[0].parent, 0u);
+}
+
+TEST(TracerScoped, NestingSetsParent) {
+  Tracer tracer;
+  {
+    Tracer::Scoped outer(&tracer, Phase::kRun);
+    {
+      Tracer::Scoped inner(&tracer, Phase::kCompute, 1);
+      {
+        Tracer::Scoped innermost(&tracer, Phase::kSpill, 1);
+      }
+    }
+  }
+  const auto spans = tracer.spans();  // Recorded innermost-first.
+  ASSERT_EQ(spans.size(), 3u);
+  const Span& innermost = spans[0];
+  const Span& inner = spans[1];
+  const Span& outer = spans[2];
+  EXPECT_EQ(outer.parent, 0u);
+  EXPECT_EQ(inner.parent, outer.id);
+  EXPECT_EQ(innermost.parent, inner.id);
+}
+
+TEST(TracerScoped, SiblingsShareParent) {
+  Tracer tracer;
+  {
+    Tracer::Scoped outer(&tracer, Phase::kRun);
+    { Tracer::Scoped a(&tracer, Phase::kCompute, 1); }
+    { Tracer::Scoped b(&tracer, Phase::kCollect, 1); }
+  }
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].parent, spans[2].id);
+  EXPECT_EQ(spans[1].parent, spans[2].id);
+}
+
+TEST(TracerScoped, NullTracerIsNoop) {
+  Tracer::Scoped scoped(nullptr, Phase::kCompute, 1);
+  scoped->invocations = 5;  // Fields writable; nothing recorded anywhere.
+}
+
+TEST(TracerScoped, CancelDropsSpanButKeepsNestingBalanced) {
+  Tracer tracer;
+  {
+    Tracer::Scoped outer(&tracer, Phase::kRun);
+    {
+      Tracer::Scoped cancelled(&tracer, Phase::kCompute, 1);
+      cancelled.cancel();
+    }
+    // A span opened after the cancel still parents to `outer`, not to the
+    // cancelled span.
+    { Tracer::Scoped after(&tracer, Phase::kCollect, 1); }
+  }
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].phase, Phase::kCollect);
+  EXPECT_EQ(spans[0].parent, spans[1].id);
+}
+
+TEST(TracerScoped, ParentTrackingIsPerThread) {
+  Tracer tracer;
+  {
+    Tracer::Scoped outer(&tracer, Phase::kRun);
+    std::thread worker([&tracer] {
+      // No open span on this thread: the worker's span is a root.
+      Tracer::Scoped span(&tracer, Phase::kCompute, 1);
+    });
+    worker.join();
+  }
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].phase, Phase::kCompute);
+  EXPECT_EQ(spans[0].parent, 0u);
+}
+
+TEST(Span, JsonRoundTrip) {
+  Span s;
+  s.id = 9;
+  s.parent = 4;
+  s.step = 2;
+  s.phase = Phase::kCheckpoint;
+  s.start = 1.5;
+  s.duration = 0.25;
+  s.virtualSeconds = 0.125;
+  s.invocations = 10;
+  s.messages = 20;
+  s.bytes = 30;
+  s.stateReads = 40;
+  s.stateWrites = 50;
+  s.note = "snapshot";
+
+  const Span back = Span::fromJson(JsonValue::parse(s.toJson().dump()));
+  EXPECT_EQ(back.id, 9u);
+  EXPECT_EQ(back.parent, 4u);
+  EXPECT_EQ(back.step, 2);
+  EXPECT_EQ(back.phase, Phase::kCheckpoint);
+  EXPECT_DOUBLE_EQ(back.start, 1.5);
+  EXPECT_DOUBLE_EQ(back.duration, 0.25);
+  EXPECT_DOUBLE_EQ(back.virtualSeconds, 0.125);
+  EXPECT_EQ(back.invocations, 10u);
+  EXPECT_EQ(back.messages, 20u);
+  EXPECT_EQ(back.bytes, 30u);
+  EXPECT_EQ(back.stateReads, 40u);
+  EXPECT_EQ(back.stateWrites, 50u);
+  EXPECT_EQ(back.note, "snapshot");
+}
+
+TEST(Tracer, JsonlExportParsesBack) {
+  Tracer tracer;
+  {
+    Tracer::Scoped a(&tracer, Phase::kCompute, 1);
+    a->invocations = 3;
+  }
+  { Tracer::Scoped b(&tracer, Phase::kBarrier, 1); }
+
+  std::ostringstream out;
+  tracer.exportJsonl(out);
+  std::istringstream in(out.str());
+  std::vector<Span> parsed;
+  for (std::string line; std::getline(in, line);) {
+    parsed.push_back(Tracer::parseJsonLine(line));
+  }
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].phase, Phase::kCompute);
+  EXPECT_EQ(parsed[0].invocations, 3u);
+  EXPECT_EQ(parsed[1].phase, Phase::kBarrier);
+}
+
+TEST(Tracer, ConcurrentRecording) {
+  Tracer tracer;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Tracer::Scoped span(&tracer, Phase::kCompute, i);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(tracer.spanCount(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST(RunReport, RoundAccountingFromSpans) {
+  Tracer tracer;
+  // Two supersteps: both barrier; step 1 does I/O, step 2 only computes.
+  {
+    Tracer::Scoped compute(&tracer, Phase::kCompute, 1);
+    compute->messages = 10;
+  }
+  { Tracer::Scoped barrier(&tracer, Phase::kBarrier, 1); }
+  { Tracer::Scoped compute(&tracer, Phase::kCompute, 2); }
+  { Tracer::Scoped barrier(&tracer, Phase::kBarrier, 2); }
+
+  const RunReport report = RunReport::capture("t", nullptr, &tracer);
+  EXPECT_EQ(report.syncRounds(), 2u);
+  EXPECT_EQ(report.ioRounds(), 1u);
+  EXPECT_EQ(report.spanCount(Phase::kCompute), 2u);
+}
+
+TEST(RunReport, JsonRoundTripPreservesRounds) {
+  MetricsRegistry registry;
+  registry.counter("ebsp.barriers").add(4);
+  Tracer tracer;
+  {
+    Tracer::Scoped compute(&tracer, Phase::kCompute, 1);
+    compute->stateWrites = 2;
+  }
+  { Tracer::Scoped barrier(&tracer, Phase::kBarrier, 1); }
+
+  RunReport report = RunReport::capture("roundtrip", &registry, &tracer);
+  report.info["workload"] = "unit";
+  const RunReport back =
+      RunReport::fromJson(JsonValue::parse(report.toJson().dump()));
+  EXPECT_EQ(back.label, "roundtrip");
+  EXPECT_EQ(back.info.at("workload"), "unit");
+  EXPECT_EQ(back.metrics.counters.at("ebsp.barriers"), 4u);
+  EXPECT_EQ(back.syncRounds(), 1u);
+  EXPECT_EQ(back.ioRounds(), 1u);
+}
+
+}  // namespace
+}  // namespace ripple::obs
