@@ -3,14 +3,22 @@
 // barrier vs. the wider interval the deterministic property permits, and
 // the cost of one recovery + replay.
 //
+// `--faults <seed>` adds a fault-injection section: the same workload
+// under seeded store chaos (transient failures absorbed by retries) and
+// under a forced retry-budget escalation (engine-level checkpoint
+// recovery), with the overhead of each relative to the fault-free run.
+//
 // Environment: RIPPLE_ABL_COMPONENTS, RIPPLE_TRIALS.
 
+#include <cstring>
 #include <iomanip>
 #include <iostream>
 
 #include "bench_common.h"
 #include "common/stats.h"
 #include "ebsp/job.h"
+#include "fault/fault.h"
+#include "fault/faulty_store.h"
 #include "kvstore/partitioned_store.h"
 
 using namespace ripple;
@@ -83,8 +91,16 @@ class SmoothJob : public Job<std::uint32_t, double, double> {
 
 JobResult runSmooth(bench::BenchReport& benchReport, std::uint32_t n,
                     int rounds, bool deterministic, bool checkpointing,
-                    int interval, int failAtStep) {
-  auto store = kv::PartitionedStore::create(6);
+                    int interval, int failAtStep,
+                    fault::FaultInjectorPtr injector = nullptr,
+                    int retryAttempts = 0) {
+  kv::KVStorePtr store = kv::PartitionedStore::create(6);
+  if (injector != nullptr) {
+    if (benchReport.metrics() != nullptr) {
+      injector->bindRegistry(*benchReport.metrics());
+    }
+    store = fault::FaultyStore::wrap(std::move(store), injector);
+  }
   benchReport.bindStore(*store);
   kv::TableOptions tableOptions;
   tableOptions.parts = 6;
@@ -94,6 +110,9 @@ JobResult runSmooth(bench::BenchReport& benchReport, std::uint32_t n,
   options.checkpoint.interval = interval;
   options.tracer = benchReport.tracer();
   options.metrics = benchReport.metrics();
+  if (retryAttempts > 0) {
+    options.retry.maxAttempts = retryAttempts;
+  }
   if (failAtStep > 0) {
     bool failed = false;
     options.onBarrier = [failAtStep, failed](int step) mutable {
@@ -118,6 +137,73 @@ void report(const char* label, const JobResult& r) {
 
 }  // namespace
 
+/// Parse `--faults <seed>` / `--faults=<seed>`; false when absent.
+bool parseFaultSeed(int argc, char** argv, std::uint64_t* seed) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--faults" && i + 1 < argc) {
+      *seed = std::strtoull(argv[i + 1], nullptr, 10);
+      return true;
+    }
+    if (arg.rfind("--faults=", 0) == 0) {
+      *seed = std::strtoull(argv[i] + std::strlen("--faults="), nullptr, 10);
+      return true;
+    }
+  }
+  return false;
+}
+
+void runFaultSection(bench::BenchReport& benchReport, std::uint32_t n,
+                     int rounds, std::uint64_t seed) {
+  std::cout << "\nFault injection, seed " << seed << ":\n";
+  benchReport.setInfo("fault_seed", std::to_string(seed));
+
+  const JobResult clean = runSmooth(benchReport, n, rounds, true, true, 4, 0);
+  report("fault-free baseline (interval 4)", clean);
+
+  // Transient chaos the retry layer absorbs.  Scoped to the engine's
+  // internal "__ebsp" tables: every access to those sits inside a retry
+  // scope, so escalations (and therefore recoveries) stay at zero and
+  // the delta over the baseline is pure retry + backoff overhead.
+  auto chaos = std::make_shared<fault::FaultInjector>(
+      fault::FaultPlan::storeChaos(seed, 0.001, "__ebsp"));
+  const JobResult chaosed =
+      runSmooth(benchReport, n, rounds, true, true, 4, 0, chaos);
+  report("store chaos p=0.001 (retries absorb)", chaosed);
+  std::cout << "    injected " << chaos->injected() << ", retry overhead "
+            << std::fixed << std::setprecision(3)
+            << chaosed.elapsedSeconds - clean.elapsedSeconds << " s\n";
+  benchReport.setInfo("fault_chaos_injected", std::to_string(chaos->injected()));
+  benchReport.setInfo("fault_chaos_overhead_s",
+                      std::to_string(chaosed.elapsedSeconds -
+                                     clean.elapsedSeconds));
+
+  // A transport drain that out-fails the retry budget (one attempt, so
+  // the first injection escalates) forces engine-level recovery: roll
+  // back to the last checkpoint and replay.  maxInjections caps the rule
+  // so the replay itself runs clean.
+  fault::FaultPlan escalation;
+  escalation.seed = seed;
+  fault::FaultRule rule;
+  rule.ops = fault::maskOf(fault::Op::kDrain);
+  rule.tableSubstring = "__ebsp_tr_";
+  rule.nth = 5;  // Per-part ordinal: fires within ~rounds drains per part.
+  rule.maxInjections = 1;
+  escalation.rules.push_back(rule);
+  auto escalate = std::make_shared<fault::FaultInjector>(escalation);
+  const JobResult recovered = runSmooth(benchReport, n, rounds, true, true, 4,
+                                        0, escalate, /*retryAttempts=*/1);
+  report("forced escalation (ckpt recovery)", recovered);
+  std::cout << "    injected " << escalate->injected()
+            << ", recovery overhead " << std::fixed << std::setprecision(3)
+            << recovered.elapsedSeconds - clean.elapsedSeconds << " s\n";
+  benchReport.setInfo("fault_recoveries",
+                      std::to_string(recovered.metrics.recoveries));
+  benchReport.setInfo("fault_recovery_overhead_s",
+                      std::to_string(recovered.elapsedSeconds -
+                                     clean.elapsedSeconds));
+}
+
 int main(int argc, char** argv) {
   bench::BenchReport benchReport(argc, argv, "ablation_checkpoint");
   const auto n = static_cast<std::uint32_t>(
@@ -137,6 +223,11 @@ int main(int argc, char** argv) {
          runSmooth(benchReport, n, rounds, true, true, 4, 0));
   report("deterministic, interval 4, fail@step 7",
          runSmooth(benchReport, n, rounds, true, true, 4, 7));
+
+  std::uint64_t faultSeed = 0;
+  if (parseFaultSeed(argc, argv, &faultSeed)) {
+    runFaultSection(benchReport, n, rounds, faultSeed);
+  }
   benchReport.write();
   return 0;
 }

@@ -7,6 +7,7 @@
 #include "common/dyadic.h"
 #include "common/logging.h"
 #include "common/stats.h"
+#include "fault/faulty_store.h"
 #include "sim/cost_model.h"
 
 namespace ripple::ebsp {
@@ -83,6 +84,16 @@ class AsyncEngine::Run {
       throw std::invalid_argument("AsyncEngine: a Queuing factory is "
                                   "required");
     }
+    if (options_.onBarrier) {
+      // There are no barriers to hook: silently dropping the callback
+      // would hide the caller's bug (e.g. a failure-injection hook that
+      // never fires).  The unified front-end routes onBarrier jobs to the
+      // synchronized strategy instead of here.
+      throw std::invalid_argument(
+          "AsyncEngine: onBarrier is set but no-sync execution has no "
+          "barriers; use the synchronized strategy (or EngineOptions, "
+          "which selects it automatically when onBarrier is set)");
+    }
     resolveTables();
     if (options_.virtualTime) {
       vt_ = std::make_unique<sim::VirtualCluster>(parts_, options_.costModel);
@@ -90,6 +101,18 @@ class AsyncEngine::Run {
     queues_ = options_.queuing->createQueueSet("__ebsp_q_" + runId_, ref_);
     stealing_ = options_.workStealing && props_.runAnywhere();
     partMetrics_.assign(parts_, PartMetrics{});
+    partRetry_.reserve(parts_);
+    for (std::uint32_t p = 0; p < parts_; ++p) {
+      fault::Retrier retrier(options_.retry, p);
+      retrier.bindRegistry(options_.metrics);
+      retrier.bindVirtualTime(vt_.get(), p);
+      partRetry_.push_back(std::move(retrier));
+    }
+    clientRetry_ = fault::Retrier(options_.retry, ~std::uint64_t{0});
+    clientRetry_.bindRegistry(options_.metrics);
+    dead_.assign(parts_, false);
+    adoptedOf_.assign(parts_, {});
+    aliveWorkers_ = parts_;
   }
 
   ~Run() { options_.queuing->deleteQueueSet("__ebsp_q_" + runId_); }
@@ -192,17 +215,19 @@ class AsyncEngine::Run {
 
     std::optional<Bytes> readState(int tabIdx) override {
       ++metrics_.stateReads;
-      return run_.stateTable(tabIdx).get(key_);
+      return run_.partRetry_[part_](
+          [&] { return run_.stateTable(tabIdx).get(key_); });
     }
 
     void writeState(int tabIdx, BytesView state) override {
       ++metrics_.stateWrites;
-      run_.stateTable(tabIdx).put(key_, state);
+      run_.partRetry_[part_](
+          [&] { run_.stateTable(tabIdx).put(key_, state); });
     }
 
     void deleteState(int tabIdx) override {
       ++metrics_.stateWrites;
-      run_.stateTable(tabIdx).erase(key_);
+      run_.partRetry_[part_]([&] { run_.stateTable(tabIdx).erase(key_); });
     }
 
     void createState(int tabIdx, BytesView key, BytesView state) override {
@@ -353,8 +378,21 @@ class AsyncEngine::Run {
       stateTable(tabIdx);  // Range check.
       byTable[static_cast<std::size_t>(tabIdx)].push_back(std::move(kv));
     }
+    // Under injection the retry must be per entry, not per batch: one
+    // attempt of an N-entry batch needs all N injection draws to pass,
+    // so for large batches every attempt fails and the budget always
+    // exhausts.  Re-putting one key is idempotent either way.
+    const bool injected =
+        dynamic_cast<fault::FaultyStore*>(store_.get()) != nullptr;
     for (std::size_t i = 0; i < byTable.size(); ++i) {
-      if (!byTable[i].empty()) {
+      if (byTable[i].empty()) {
+        continue;
+      }
+      if (injected) {
+        for (const auto& [key, value] : byTable[i]) {
+          clientRetry_([&] { stateTables_[i]->put(key, value); });
+        }
+      } else {
         stateTables_[i]->putBatch(byTable[i]);
       }
     }
@@ -369,7 +407,9 @@ class AsyncEngine::Run {
     for (Envelope& e : ctx.envelopes) {
       e.weight = split.child;
       e.senderPart = ref_->partOf(e.destKey);  // Loader acts as local sender.
-      queues_->put(ref_->partOf(e.destKey), encodeEnvelope(e));
+      const Bytes encoded = encodeEnvelope(e);
+      clientRetry_(
+          [&] { queues_->put(ref_->partOf(e.destKey), encoded); });
     }
     credit(split.remainder);
     return ctx.envelopes.size();
@@ -379,29 +419,63 @@ class AsyncEngine::Run {
     const std::uint32_t part = wctx.queueIndex();
     PartMetrics& metrics = partMetrics_[part];
     Context ctx(*this, part, metrics);
+    fault::Retrier& retry = partRetry_[part];
     std::uint32_t stealCursor = part;
+    // Queues adopted from dead workers (see abandonWorker); refreshed
+    // from adoptedOf_ whenever the takeover epoch moves.
+    std::vector<std::uint32_t> adopted;
+    std::uint64_t seenEpoch = 0;
 
     for (;;) {
       if (failed_.load(std::memory_order_acquire)) {
         return;
       }
-      std::optional<Bytes> raw = wctx.tryRead();
+      refreshAdopted(part, adopted, seenEpoch);
+      std::optional<Bytes> raw;
       bool stolen = false;
-      if (!raw && stealing_) {
-        for (std::uint32_t i = 1; i < parts_ && !raw; ++i) {
-          stealCursor = (stealCursor + 1) % parts_;
-          raw = wctx.trySteal(stealCursor);
-        }
-        stolen = raw.has_value();
-      }
-      if (!raw) {
-        raw = wctx.read(options_.pollTimeout);
-        if (!raw) {
-          if (closed_.load(std::memory_order_acquire)) {
-            return;
+      try {
+        // Every dequeue path sits inside the kill/transient handler:
+        // fail-before injection means a failed or killed pop consumed
+        // nothing, so no message (and no termination-detection weight)
+        // is lost when the worker is abandoned.
+        raw = retry([&] { return wctx.tryRead(); });
+        for (std::uint32_t q : adopted) {
+          if (raw) {
+            break;
           }
-          continue;
+          // Front-pop keeps the dead worker's per-(sender, queue) FIFO
+          // order intact, unlike trySteal's back-pop.
+          raw = retry([&] { return wctx.tryReadFrom(q); });
         }
+        if (!raw && stealing_) {
+          for (std::uint32_t i = 1; i < parts_ && !raw; ++i) {
+            stealCursor = (stealCursor + 1) % parts_;
+            const std::uint32_t victim = stealCursor;
+            raw = retry([&] { return wctx.trySteal(victim); });
+          }
+          stolen = raw.has_value();
+        }
+        if (!raw) {
+          raw = retry([&] { return wctx.read(options_.pollTimeout); });
+          if (!raw) {
+            if (closed_.load(std::memory_order_acquire)) {
+              return;
+            }
+            continue;
+          }
+        }
+      } catch (const fault::WorkerKilled& e) {
+        if (abandonWorker(part, e.what())) {
+          return;
+        }
+        continue;  // Sole survivor: the kill is ignored.
+      } catch (const fault::TransientError& e) {
+        // Dequeue retry budget exhausted: treat the reader as gone for
+        // good, same as a kill.
+        if (abandonWorker(part, e.what())) {
+          return;
+        }
+        continue;
       }
       if (stolen) {
         ++metrics.stolen;
@@ -409,6 +483,9 @@ class AsyncEngine::Run {
       try {
         process(decodeEnvelope(*raw), part, ctx, metrics);
       } catch (...) {
+        // Includes TransientError escalations mid-invocation: the
+        // envelope was already consumed, so redelivery would double-apply
+        // its effects; fail the job instead.
         {
           std::lock_guard<std::mutex> lock(controlMu_);
           if (!failure_) {
@@ -422,6 +499,58 @@ class AsyncEngine::Run {
     }
   }
 
+  /// Hand the dead worker's queue (and everything it had already
+  /// adopted) to the next surviving worker, which front-pops it so
+  /// per-(sender, queue) FIFO order is preserved.  Kill-before-pop means
+  /// the dead worker lost no message and no weight, so termination
+  /// detection completes once the heir drains the adopted queues.
+  /// Returns true when the worker should exit; false for the sole
+  /// survivor (someone must finish the drain, so its kill is ignored).
+  bool abandonWorker(std::uint32_t part, const std::string& why) {
+    std::lock_guard<std::mutex> lock(takeoverMu_);
+    if (aliveWorkers_ <= 1) {
+      RIPPLE_INFO << "AsyncEngine: ignoring kill of sole surviving worker "
+                  << part << " (" << why << ")";
+      return false;
+    }
+    --aliveWorkers_;
+    dead_[part] = true;
+    std::uint32_t heir = (part + 1) % parts_;
+    while (dead_[heir]) {
+      heir = (heir + 1) % parts_;
+    }
+    auto& mine = adoptedOf_[part];
+    auto& theirs = adoptedOf_[heir];
+    theirs.push_back(part);
+    theirs.insert(theirs.end(), mine.begin(), mine.end());
+    mine.clear();
+    ++recoveries_;
+    adoptedEpoch_.fetch_add(1, std::memory_order_release);
+    RIPPLE_INFO << "AsyncEngine: worker " << part << " abandoned (" << why
+                << "); queue re-dispatched to worker " << heir;
+    if (options_.tracer != nullptr) {
+      obs::Span span;
+      span.phase = obs::Phase::kRestore;
+      span.start = options_.tracer->elapsedSeconds();
+      span.note = "no-sync takeover: worker " + std::to_string(part) +
+                  " -> " + std::to_string(heir);
+      options_.tracer->record(std::move(span));
+    }
+    return true;
+  }
+
+  void refreshAdopted(std::uint32_t part, std::vector<std::uint32_t>& adopted,
+                      std::uint64_t& seenEpoch) {
+    const std::uint64_t epoch =
+        adoptedEpoch_.load(std::memory_order_acquire);
+    if (epoch == seenEpoch) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(takeoverMu_);
+    adopted = adoptedOf_[part];
+    seenEpoch = epoch;
+  }
+
   void process(Envelope env, std::uint32_t part, Context& ctx,
                PartMetrics& metrics) {
     double vtBase = 0;
@@ -430,7 +559,7 @@ class AsyncEngine::Run {
     }
 
     if (env.kind == EnvelopeKind::kCreate) {
-      applyCreation(env);
+      applyCreation(env, partRetry_[part]);
       credit(env.weight);
       return;
     }
@@ -505,27 +634,34 @@ class AsyncEngine::Run {
 
   void enqueue(Envelope&& env) {
     const std::uint32_t destPart = ref_->partOf(env.destKey);
-    if (!queues_->put(destPart, encodeEnvelope(env))) {
+    const Bytes encoded = encodeEnvelope(env);
+    // Retried through the sender's retrier: a failed put enqueued
+    // nothing (fail-before), so the re-put delivers exactly once.
+    const bool ok = partRetry_[env.senderPart](
+        [&] { return queues_->put(destPart, encoded); });
+    if (!ok) {
       throw std::logic_error("AsyncEngine: enqueue after close");
     }
   }
 
   /// Component creation applied at the owner, serialized by the owner's
-  /// worker; merges with an existing state through combine2states.
-  void applyCreation(const Envelope& env) {
+  /// worker; merges with an existing state through combine2states.  Each
+  /// get/put retries individually (a whole-function retry would re-merge
+  /// after a partial write).
+  void applyCreation(const Envelope& env, fault::Retrier& retry) {
     kv::Table& table = stateTable(env.tabIdx);
-    const auto existing = table.get(env.destKey);
+    const auto existing = retry([&] { return table.get(env.destKey); });
     if (existing) {
       if (!job_.compute.combineStates) {
         throw std::logic_error(
             "AsyncEngine: createState for an existing component but the job "
             "supplies no combine2states");
       }
-      table.put(env.destKey,
-                job_.compute.combineStates(env.destKey, *existing,
-                                           env.payload));
+      const Bytes combined =
+          job_.compute.combineStates(env.destKey, *existing, env.payload);
+      retry([&] { table.put(env.destKey, combined); });
     } else {
-      table.put(env.destKey, env.payload);
+      retry([&] { table.put(env.destKey, env.payload); });
     }
   }
 
@@ -592,6 +728,7 @@ class AsyncEngine::Run {
   }
 
   void accumulateMetrics() {
+    metrics_.recoveries += recoveries_;
     for (const PartMetrics& m : partMetrics_) {
       metrics_.computeInvocations += m.invocations;
       metrics_.messagesSent += m.sent;
@@ -624,6 +761,16 @@ class AsyncEngine::Run {
   std::atomic<bool> closed_{false};
   std::atomic<bool> failed_{false};
   std::exception_ptr failure_;
+
+  // Transient-error absorption and worker-failure takeover state.
+  std::vector<fault::Retrier> partRetry_;
+  fault::Retrier clientRetry_;
+  std::mutex takeoverMu_;
+  std::vector<bool> dead_;                          // Guarded by takeoverMu_.
+  std::vector<std::vector<std::uint32_t>> adoptedOf_;  // Guarded by takeoverMu_.
+  std::uint32_t aliveWorkers_ = 0;                  // Guarded by takeoverMu_.
+  std::uint64_t recoveries_ = 0;                    // Guarded by takeoverMu_.
+  std::atomic<std::uint64_t> adoptedEpoch_{0};
 
   std::mutex directMu_;
   std::vector<PartMetrics> partMetrics_;

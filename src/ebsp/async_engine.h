@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "ebsp/raw_job.h"
+#include "fault/retry.h"
 #include "kvstore/table.h"
 #include "mq/queue.h"
 #include "obs/metrics.h"
@@ -44,8 +45,19 @@ struct AsyncEngineOptions {
   /// after the queues drain, as (0, totalInvocations).
   std::function<void(int step, std::uint64_t invocations)> onStep;
 
-  /// Accepted for interface symmetry with SyncEngineOptions but NEVER
-  /// invoked: no-sync execution has no barriers.
+  /// Transient-error absorption (see src/fault/retry.h): dequeues, state
+  /// accesses, and enqueues run under a bounded retry.  A worker whose
+  /// DEQUEUE budget is exhausted (or that receives an injected kill) is
+  /// abandoned and its queue re-dispatched to a surviving worker; an
+  /// exhausted budget mid-invocation is fatal (the envelope was already
+  /// consumed, so redelivery would double-apply it).
+  fault::RetryPolicy retry;
+
+  /// REJECTED, never silently ignored: no-sync execution has no barriers,
+  /// so a barrier hook could never fire.  The engine throws
+  /// std::invalid_argument when this is set; the unified front-end
+  /// (EngineOptions) instead routes onBarrier jobs to the synchronized
+  /// strategy.
   std::function<void(int step)> onBarrier;
 
   /// Optional span collector.  The no-sync engine emits a single

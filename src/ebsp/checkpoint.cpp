@@ -27,6 +27,15 @@ class Copier : public kv::PairConsumer {
 
 constexpr std::string_view kStepKeyPrefix = "step/";
 constexpr std::string_view kAggKey = "aggs";
+// Torn-checkpoint detection (the §IV-A "commit transactions in the right
+// order" rule, made checkable): "epoch/begin" is bumped and written
+// BEFORE any shadow data, "epoch/commit" is written last.  A checkpoint
+// is complete only when both exist and agree — an overwrite interrupted
+// anywhere between them leaves begin > commit and the whole checkpoint
+// is treated as absent (the half-overwritten shadows must not be
+// restored).
+constexpr std::string_view kEpochBeginKey = "epoch/begin";
+constexpr std::string_view kEpochCommitKey = "epoch/commit";
 
 Bytes encodeAggFinals(const std::map<std::string, Bytes>& finals) {
   ByteWriter w;
@@ -83,6 +92,9 @@ void Checkpointer::checkpoint(int completedStep,
                               const std::map<std::string, Bytes>& aggFinals) {
   obs::Tracer::Scoped span(tracer_, obs::Phase::kCheckpoint, completedStep);
   std::atomic<std::uint64_t> bytesCopied{0};
+  // Invalidate any previous checkpoint before touching its shadows.
+  const std::uint64_t epoch = ++epoch_;
+  meta_->put(Bytes(kEpochBeginKey), encodeToBytes<std::uint64_t>(epoch));
   // Copy each part of each table into its shadow, collocated with the
   // part's container.  All shadow writes complete before the shard-step
   // records are written (the paper's "commit transactions in the right
@@ -99,11 +111,20 @@ void Checkpointer::checkpoint(int completedStep,
                encodeToBytes<std::int64_t>(completedStep));
   }
   meta_->put(Bytes(kAggKey), encodeAggFinals(aggFinals));
+  meta_->put(Bytes(kEpochCommitKey), encodeToBytes<std::uint64_t>(epoch));
   span->bytes = bytesCopied.load();
 }
 
 bool Checkpointer::hasCheckpoint() const {
-  // Complete iff every shard records the same completed step.
+  // Complete iff the epoch markers bracket the shadow data (no torn
+  // overwrite) and every shard records the same completed step.
+  const auto begin = meta_->get(Bytes(kEpochBeginKey));
+  const auto commit = meta_->get(Bytes(kEpochCommitKey));
+  if (!begin || !commit ||
+      decodeFromBytes<std::uint64_t>(*begin) !=
+          decodeFromBytes<std::uint64_t>(*commit)) {
+    return false;
+  }
   std::optional<std::int64_t> step;
   for (std::uint32_t part = 0; part < placement_->numParts(); ++part) {
     auto v = meta_->get(Bytes(kStepKeyPrefix) + std::to_string(part));

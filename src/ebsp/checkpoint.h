@@ -86,6 +86,7 @@ class Checkpointer {
   std::vector<kv::TablePtr> shadows_;
   kv::TablePtr placement_;
   kv::TablePtr meta_;  // shard -> completed step; plus aggregator finals.
+  std::uint64_t epoch_ = 0;  // Bumped per checkpoint; see epoch markers.
   obs::Tracer* tracer_ = nullptr;
 };
 

@@ -18,6 +18,12 @@ bool Engine::wouldRunNoSync(const RawJob& job) const {
     case ExecutionMode::kNoSync:
       return true;
     case ExecutionMode::kAuto:
+      // An onBarrier hook must be able to fire, and only the synchronized
+      // strategy has barriers.  (kNoSync + onBarrier is rejected by the
+      // AsyncEngine itself.)
+      if (options_.onBarrier) {
+        return false;
+      }
       return deriveProperties(job).noSync();
   }
   return false;
@@ -33,6 +39,7 @@ JobResult Engine::run(RawJob& job) {
     async.pollTimeout = options_.pollTimeout;
     async.workStealing = options_.workStealing;
     async.queuing = options_.queuing;
+    async.retry = options_.retry;
     async.onStep = options_.onStep;
     async.onBarrier = options_.onBarrier;
     async.tracer = options_.tracer;
@@ -48,6 +55,7 @@ JobResult Engine::run(RawJob& job) {
   sync.maxSteps = options_.maxSteps;
   sync.spillBatch = options_.spillBatch;
   sync.checkpoint = options_.checkpoint;
+  sync.retry = options_.retry;
   sync.onBarrier = options_.onBarrier;
   sync.onStep = options_.onStep;
   sync.tracer = options_.tracer;

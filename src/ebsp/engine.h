@@ -32,9 +32,15 @@ struct EngineOptions {
   std::size_t spillBatch = 4096;
   CheckpointConfig checkpoint;
 
+  /// Transient-error retry budget, forwarded to whichever strategy runs
+  /// (see src/fault/retry.h).
+  fault::RetryPolicy retry;
+
   /// Invoked after each barrier with the completed step number; may throw
-  /// SimulatedFailure to exercise recovery.  Under the no-sync strategy
-  /// there are no barriers and the hook never fires.
+  /// SimulatedFailure to exercise recovery.  Setting it forces the
+  /// synchronized strategy under kAuto (the no-sync strategy has no
+  /// barriers, so the hook could never fire there; the AsyncEngine
+  /// rejects it outright) and is an error combined with kNoSync.
   std::function<void(int step)> onBarrier;
 
   /// Step hook, unified across strategies: the synchronized engine fires

@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/stats.h"
 #include "ebsp/transport.h"
+#include "fault/faulty_store.h"
 #include "sim/cost_model.h"
 
 namespace ripple::ebsp {
@@ -69,6 +70,21 @@ class SyncEngine::Run {
     if (options_.virtualTime) {
       vt_ = std::make_unique<sim::VirtualCluster>(parts_, options_.costModel);
     }
+    // One retrier per part (each part's work is single-threaded) plus one
+    // for client-thread phases (load, checkpoint, restore).
+    partRetry_.reserve(parts_);
+    for (std::uint32_t p = 0; p < parts_; ++p) {
+      fault::Retrier retrier(options_.retry, p);
+      retrier.bindRegistry(options_.metrics);
+      retrier.bindVirtualTime(vt_.get(), p);
+      partRetry_.push_back(std::move(retrier));
+    }
+    clientRetry_ = fault::Retrier(options_.retry, ~std::uint64_t{0});
+    clientRetry_.bindRegistry(options_.metrics);
+    // Step scoping for FaultPlan rules with a step filter.
+    if (auto* faulty = dynamic_cast<fault::FaultyStore*>(store_.get())) {
+      injector_ = faulty->injector().get();
+    }
     if (options_.checkpoint.enabled) {
       if (directSink_.present() && !props_.declared.deterministic) {
         throw std::invalid_argument(
@@ -120,7 +136,11 @@ class SyncEngine::Run {
       }
       const int runStep = step;
       Stopwatch stepWatch;
+      if (injector_ != nullptr) {
+        injector_->setStep(runStep);
+      }
 
+      try {
       // --- Superstep: every part runs its enabled components. ---
       partOutcomes_.assign(parts_, PartOutcome{});
       for (auto& o : partOutcomes_) {
@@ -221,19 +241,38 @@ class SyncEngine::Run {
 
       // --- Checkpoint / failure hooks. ---
       if (checkpointer_ && step % checkpointInterval_ == 0) {
-        checkpointer_->checkpoint(step, aggFinals_);
+        try {
+          clientRetry_([&] { checkpointer_->checkpoint(step, aggFinals_); });
+        } catch (const fault::TransientError& e) {
+          // The torn attempt invalidated the previous checkpoint (epoch
+          // rule), so there is nothing left to recover from.
+          throw std::runtime_error(
+              std::string("SyncEngine: checkpoint failed after retries: ") +
+              e.what());
+        }
         ++metrics_.checkpoints;
       }
       if (options_.onBarrier) {
         try {
           options_.onBarrier(step);
-        } catch (const SimulatedFailure&) {
+        } catch (const SimulatedFailure& e) {
           const int failStep = step;
-          step = recover();
+          step = recover(e.what());
           replayBoundary_ = failStep;
           pending = collection_->size();
         }
       }
+      } catch (const fault::TransientError& e) {
+        // A part exhausted its retry budget mid-step.  §IV-A recovery:
+        // delete the failed step's writes and replay from the checkpoint.
+        const int failStep = runStep;
+        step = recover(e.what());
+        replayBoundary_ = failStep;
+        pending = collection_->size();
+      }
+    }
+    if (injector_ != nullptr) {
+      injector_->setStep(fault::kAnyStep);
     }
     if (pending > 0 && !aborted) {
       throw std::runtime_error("SyncEngine: maxSteps exceeded");
@@ -294,17 +333,19 @@ class SyncEngine::Run {
 
     std::optional<Bytes> readState(int tabIdx) override {
       ++outcome_.stateReads;
-      return run_.stateTable(tabIdx).get(key_);
+      return run_.partRetry_[part_](
+          [&] { return run_.stateTable(tabIdx).get(key_); });
     }
 
     void writeState(int tabIdx, BytesView state) override {
       ++outcome_.stateWrites;
-      run_.stateTable(tabIdx).put(key_, state);
+      run_.partRetry_[part_](
+          [&] { run_.stateTable(tabIdx).put(key_, state); });
     }
 
     void deleteState(int tabIdx) override {
       ++outcome_.stateWrites;
-      run_.stateTable(tabIdx).erase(key_);
+      run_.partRetry_[part_]([&] { run_.stateTable(tabIdx).erase(key_); });
     }
 
     void createState(int tabIdx, BytesView key, BytesView state) override {
@@ -453,8 +494,19 @@ class SyncEngine::Run {
       stateTable(tabIdx);  // Range check.
       byTable[static_cast<std::size_t>(tabIdx)].push_back(std::move(kv));
     }
+    // Under injection the retry must be per entry, not per batch: one
+    // attempt of an N-entry batch needs all N injection draws to pass,
+    // so for large batches every attempt fails and the budget always
+    // exhausts.  Re-putting one key is idempotent either way.
     for (std::size_t i = 0; i < byTable.size(); ++i) {
-      if (!byTable[i].empty()) {
+      if (byTable[i].empty()) {
+        continue;
+      }
+      if (injector_ != nullptr) {
+        for (const auto& [key, value] : byTable[i]) {
+          clientRetry_([&] { stateTables_[i]->put(key, value); });
+        }
+      } else {
         stateTables_[i]->putBatch(byTable[i]);
       }
     }
@@ -465,7 +517,13 @@ class SyncEngine::Run {
     for (auto& [key, cv] : ctx.pending) {
       entries.emplace_back(key, encodeCollected(cv));
     }
-    collection_->putBatch(entries);
+    if (injector_ != nullptr) {
+      for (const auto& [key, value] : entries) {
+        clientRetry_([&] { collection_->put(key, value); });
+      }
+    } else {
+      collection_->putBatch(entries);
+    }
 
     // Initial aggregator values are readable during step 1.
     aggFinals_ = ctx.aggs.finalize();
@@ -476,12 +534,16 @@ class SyncEngine::Run {
     SpillWriter writer(*transport_, part, ref_->options().partitioner,
                        CombinerOps::fromCompute(job_.compute),
                        options_.spillBatch);
+    writer.setRetrier(&partRetry_[part]);
     Context ctx(*this, part, step, writer, outcome);
 
     // The drain preserves key order for ordered collection tables, which
-    // is how needs-order jobs get their sorted invocation sequence.
+    // is how needs-order jobs get their sorted invocation sequence.  The
+    // retried drain is safe: a failed drain consumed nothing
+    // (fail-before injection).
     const double drainStart = sim::threadCpuSeconds();
-    auto entries = collection_->drainPart(part);
+    auto entries =
+        partRetry_[part]([&] { return collection_->drainPart(part); });
     addAtomic(phaseDrain_, sim::threadCpuSeconds() - drainStart);
     for (auto& [key, encoded] : entries) {
       const CollectedValue cv = decodeCollected(encoded);
@@ -526,7 +588,8 @@ class SyncEngine::Run {
       ~PhaseGuard() { addAtomic(*acc, sim::threadCpuSeconds() - start); }
     } guard{&phaseCollect_, collectStart};
     sim::ChargeScope charge(vt_.get(), part);
-    auto spills = transport_->drainPart(part);
+    fault::Retrier& retry = partRetry_[part];
+    auto spills = retry([&] { return transport_->drainPart(part); });
     if (spills.empty()) {
       return 0;
     }
@@ -537,7 +600,7 @@ class SyncEngine::Run {
       std::uint64_t count = 0;
       for (const auto& [spillKey, spillValue] : spills) {
         decodeSpill(spillValue, [&](TransportRecord&& rec) {
-          applyNoCollectRecord(std::move(rec), count);
+          applyNoCollectRecord(std::move(rec), count, retry);
         });
       }
       return count;
@@ -575,7 +638,7 @@ class SyncEngine::Run {
       });
     }
 
-    applyCreations(creations);
+    applyCreations(creations, retry);
 
     for (auto& [key, entry] : group) {
       CollectedValue cv;
@@ -585,17 +648,20 @@ class SyncEngine::Run {
       } else {
         cv.messages = std::move(entry.messages);
       }
-      collection_->put(key, encodeCollected(cv));
+      // Retried put is safe: each collection key is written once per
+      // collect and an overwrite with the same value is idempotent.
+      retry([&] { collection_->put(key, encodeCollected(cv)); });
     }
     return group.size();
   }
 
-  void applyNoCollectRecord(TransportRecord&& rec, std::uint64_t& count) {
+  void applyNoCollectRecord(TransportRecord&& rec, std::uint64_t& count,
+                            fault::Retrier& retry) {
     switch (rec.kind) {
       case RecordKind::kMessage: {
         CollectedValue cv;
         cv.messages.push_back(std::move(rec.payload));
-        collection_->put(rec.key, encodeCollected(cv));
+        retry([&] { collection_->put(rec.key, encodeCollected(cv)); });
         ++count;
         break;
       }
@@ -609,7 +675,7 @@ class SyncEngine::Run {
         std::vector<std::pair<Bytes, std::pair<int, Bytes>>> one;
         one.emplace_back(std::move(rec.key),
                          std::make_pair(rec.tabIdx, std::move(rec.payload)));
-        applyCreations(one);
+        applyCreations(one, retry);
         break;
       }
     }
@@ -619,7 +685,8 @@ class SyncEngine::Run {
   /// combine2states.  A pre-existing state entry participates in the
   /// merge as the first operand.
   void applyCreations(
-      std::vector<std::pair<Bytes, std::pair<int, Bytes>>>& creations) {
+      std::vector<std::pair<Bytes, std::pair<int, Bytes>>>& creations,
+      fault::Retrier& retry) {
     if (creations.empty()) {
       return;
     }
@@ -642,29 +709,46 @@ class SyncEngine::Run {
     for (auto& [key, perTable] : merged) {
       for (auto& [tabIdx, state] : perTable) {
         kv::Table& table = stateTable(tabIdx);
-        const auto existing = table.get(key);
+        // Each get/put is retried individually: re-running the whole
+        // merge after a partial write would fold `state` in twice.
+        const auto existing = retry([&] { return table.get(key); });
         if (existing) {
           if (!job_.compute.combineStates) {
             throw std::logic_error(
                 "SyncEngine: createState for an existing component but the "
                 "job supplies no combine2states");
           }
-          table.put(key, job_.compute.combineStates(key, *existing, state));
+          const Bytes combined =
+              job_.compute.combineStates(key, *existing, state);
+          retry([&] { table.put(key, combined); });
         } else {
-          table.put(key, state);
+          retry([&] { table.put(key, state); });
         }
       }
     }
   }
 
-  int recover() {
-    if (!checkpointer_ || !checkpointer_->hasCheckpoint()) {
+  int recover(const std::string& why) {
+    const bool usable =
+        checkpointer_ &&
+        clientRetry_([&] { return checkpointer_->hasCheckpoint(); });
+    if (!usable) {
       throw std::runtime_error(
-          "SyncEngine: failure without a usable checkpoint");
+          "SyncEngine: failure without a usable checkpoint (" + why + ")");
     }
     ++metrics_.recoveries;
-    const int resumeStep = checkpointer_->restore(aggFinals_);
-    RIPPLE_INFO << "SyncEngine: recovered to completed step " << resumeStep;
+    // Delete the failed step's writes (§IV-A): partial spills from the
+    // aborted step would otherwise replay as duplicate messages.
+    clientRetry_([&] {
+      for (std::uint32_t p = 0; p < parts_; ++p) {
+        transport_->clearPart(p);
+      }
+    });
+    // Whole-restore retry is safe: restore is clear-then-copy, idempotent.
+    const int resumeStep =
+        clientRetry_([&] { return checkpointer_->restore(aggFinals_); });
+    RIPPLE_INFO << "SyncEngine: recovered to completed step " << resumeStep
+                << " (" << why << ")";
     // Deterministic jobs replay steps; suppress re-emission of direct
     // output until we pass the previously completed work.  (Engine-level
     // suppression is coarse: it clears at the end of the replayed
@@ -738,6 +822,14 @@ class SyncEngine::Run {
   std::unique_ptr<Checkpointer> checkpointer_;
   int checkpointInterval_ = 1;
   int replayBoundary_ = 0;
+
+  // Transient-error absorption: one retrier per part (parts are
+  // single-threaded) plus one for client-thread phases.  The injector is
+  // non-null only when the store is a FaultyStore; used to scope
+  // step-filtered fault rules.
+  std::vector<fault::Retrier> partRetry_;
+  fault::Retrier clientRetry_;
+  fault::FaultInjector* injector_ = nullptr;
 
   std::vector<PartOutcome> partOutcomes_;
   std::map<std::string, Bytes> aggFinals_;

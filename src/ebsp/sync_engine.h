@@ -10,6 +10,7 @@
 
 #include "ebsp/checkpoint.h"
 #include "ebsp/raw_job.h"
+#include "fault/retry.h"
 #include "kvstore/table.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -31,6 +32,13 @@ struct SyncEngineOptions {
   std::size_t spillBatch = 4096;
 
   CheckpointConfig checkpoint;
+
+  /// Transient-error absorption (see src/fault/retry.h): every store
+  /// access on the spill/collect/state/load paths runs under a bounded
+  /// retry with deterministic backoff.  When a part's budget is
+  /// exhausted the step fails and the engine recovers from the latest
+  /// checkpoint (or the whole run fails when checkpointing is off).
+  fault::RetryPolicy retry;
 
   /// Test/diagnostics hook invoked after each barrier with the completed
   /// step number.  May throw SimulatedFailure to exercise recovery.

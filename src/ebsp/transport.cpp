@@ -158,7 +158,12 @@ void SpillWriter::flushPart(std::uint32_t destPart) {
     return;
   }
   const Bytes spill = encodeSpill(buf);
-  transport_.put(makeSpillKey(destPart, senderPart_, seq_++), spill);
+  const kv::Key key = makeSpillKey(destPart, senderPart_, seq_++);
+  if (retrier_ != nullptr) {
+    (*retrier_)([&] { transport_.put(key, spill); });
+  } else {
+    transport_.put(key, spill);
+  }
   bytes_ += spill.size();
   ++spills_;
   buf.clear();

@@ -20,6 +20,7 @@
 
 #include "common/codec.h"
 #include "ebsp/raw_job.h"
+#include "fault/retry.h"
 #include "kvstore/table.h"
 
 namespace ripple::ebsp {
@@ -120,6 +121,12 @@ class SpillWriter {
   void addEnable(BytesView destKey);
   void addCreate(int tabIdx, BytesView destKey, BytesView state);
 
+  /// Retry each transport put through `retrier` (not owned; null
+  /// disables).  A retried put is safe: a failed put wrote nothing
+  /// (fail-before injection) and spill keys are unique, so the re-put is
+  /// exact.
+  void setRetrier(fault::Retrier* retrier) { retrier_ = retrier; }
+
   /// Write out all buffered records.  Must be called before the barrier.
   void flushAll();
 
@@ -137,6 +144,7 @@ class SpillWriter {
   }
 
   kv::Table& transport_;
+  fault::Retrier* retrier_ = nullptr;
   std::uint32_t senderPart_;
   PartitionerPtr refPartitioner_;
   CombinerOps combiner_;

@@ -1,0 +1,179 @@
+#include "fault/fault.h"
+
+#include <chrono>
+#include <thread>
+
+namespace ripple::fault {
+
+namespace {
+
+/// splitmix64 finalizer: the stateless mixer behind the deterministic
+/// probabilistic trigger.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from (seed, rule, part, ordinal) — a pure
+/// function, so the same operation sequence reproduces the same draws.
+double hashUnit(std::uint64_t seed, std::uint64_t rule, std::uint32_t part,
+                std::uint64_t ordinal) {
+  std::uint64_t u = mix64(seed ^ mix64(rule * 0x9e3779b97f4a7c15ULL ^
+                                       (std::uint64_t{part} << 32) ^ ordinal));
+  return static_cast<double>(u >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* opName(Op op) {
+  switch (op) {
+    case Op::kGet: return "get";
+    case Op::kPut: return "put";
+    case Op::kErase: return "erase";
+    case Op::kScan: return "scan";
+    case Op::kDrain: return "drain";
+    case Op::kEnqueue: return "enqueue";
+    case Op::kDequeue: return "dequeue";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::storeChaos(std::uint64_t seed, double probability,
+                                std::string tableSubstring) {
+  FaultPlan plan;
+  plan.seed = seed;
+  FaultRule rule;
+  rule.ops = maskOf(Op::kGet) | maskOf(Op::kPut) | maskOf(Op::kErase) |
+             maskOf(Op::kDrain);
+  rule.tableSubstring = std::move(tableSubstring);
+  rule.probability = probability;
+  rule.action = Action::kFail;
+  plan.rules.push_back(std::move(rule));
+  return plan;
+}
+
+FaultPlan FaultPlan::queueChaos(std::uint64_t seed, double probability,
+                                std::string nameSubstring) {
+  FaultPlan plan;
+  plan.seed = seed;
+  FaultRule rule;
+  rule.ops = kQueueOps;
+  rule.tableSubstring = std::move(nameSubstring);
+  rule.probability = probability;
+  rule.action = Action::kFail;
+  plan.rules.push_back(std::move(rule));
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  states_.reserve(plan_.rules.size());
+  for (std::size_t r = 0; r < plan_.rules.size(); ++r) {
+    auto state = std::make_unique<RuleState>();
+    state->matches =
+        std::make_unique<std::atomic<std::uint64_t>[]>(kPartSlots);
+    for (std::size_t i = 0; i < kPartSlots; ++i) {
+      state->matches[i].store(0, std::memory_order_relaxed);
+    }
+    states_.push_back(std::move(state));
+  }
+}
+
+void FaultInjector::bindRegistry(obs::MetricsRegistry& registry) {
+  ctrInjected_.store(&registry.counter("fault.injected"),
+                     std::memory_order_release);
+  ctrFailures_.store(&registry.counter("fault.injected_failures"),
+                     std::memory_order_release);
+  ctrDelays_.store(&registry.counter("fault.injected_delays"),
+                   std::memory_order_release);
+  ctrKills_.store(&registry.counter("fault.injected_kills"),
+                  std::memory_order_release);
+}
+
+void FaultInjector::count(Action action) {
+  if (obs::Counter* c = ctrInjected_.load(std::memory_order_acquire)) {
+    c->add(1);
+  }
+  std::atomic<obs::Counter*>* fwd = nullptr;
+  switch (action) {
+    case Action::kFail:
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      fwd = &ctrFailures_;
+      break;
+    case Action::kDelay:
+      delays_.fetch_add(1, std::memory_order_relaxed);
+      fwd = &ctrDelays_;
+      break;
+    case Action::kKillWorker:
+      kills_.fetch_add(1, std::memory_order_relaxed);
+      fwd = &ctrKills_;
+      break;
+  }
+  if (obs::Counter* c = fwd->load(std::memory_order_acquire)) {
+    c->add(1);
+  }
+}
+
+void FaultInjector::onOp(Op op, std::string_view name, std::uint32_t part) {
+  if (plan_.rules.empty() || !armed_.load(std::memory_order_acquire)) {
+    return;
+  }
+  const int step = step_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+    const FaultRule& rule = plan_.rules[i];
+    if ((rule.ops & maskOf(op)) == 0) {
+      continue;
+    }
+    if (!rule.tableSubstring.empty() &&
+        name.find(rule.tableSubstring) == std::string_view::npos) {
+      continue;
+    }
+    if (rule.part != kAnyPart && rule.part != part) {
+      continue;
+    }
+    if (rule.step != kAnyStep && rule.step != step) {
+      continue;
+    }
+    RuleState& state = *states_[i];
+    // Match ordinal, counted per part so concurrent parts cannot perturb
+    // each other's trigger sequence.
+    const std::uint64_t ordinal =
+        state.matches[part % kPartSlots].fetch_add(1,
+                                                   std::memory_order_relaxed);
+    bool fire = false;
+    if (rule.nth > 0) {
+      fire = (ordinal + 1) % rule.nth == 0;
+    } else if (rule.probability > 0) {
+      fire = hashUnit(plan_.seed, i, part, ordinal) < rule.probability;
+    }
+    if (!fire) {
+      continue;
+    }
+    if (state.injections.fetch_add(1, std::memory_order_relaxed) >=
+        rule.maxInjections) {
+      continue;
+    }
+    count(rule.action);
+    const std::string site = std::string("injected fault: rule ") +
+                             std::to_string(i) + " " + opName(op) + " '" +
+                             std::string(name) + "' part " +
+                             std::to_string(part) + " ordinal " +
+                             std::to_string(ordinal);
+    switch (rule.action) {
+      case Action::kDelay:
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(rule.delaySeconds));
+        return;  // Delayed operations proceed.
+      case Action::kKillWorker:
+        throw WorkerKilled(site);
+      case Action::kFail:
+        if ((maskOf(op) & kQueueOps) != 0) {
+          throw TransientQueueError(site);
+        }
+        throw TransientStoreError(site);
+    }
+  }
+}
+
+}  // namespace ripple::fault

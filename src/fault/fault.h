@@ -1,0 +1,217 @@
+// ripple::fault — deterministic fault injection (paper §IV-A robustness).
+//
+// The paper's recovery story ("recover from primary shard failure by
+// deleting writes done by the failed shard(s) and retry") needs faults to
+// recover *from*.  A FaultPlan is a seeded, declarative schedule of
+// injected failures; a FaultInjector evaluates the plan against the
+// stream of store/queue operations the decorators (FaultyStore,
+// FaultyQueuing) observe.  Determinism contract: given the same plan and
+// the same per-part operation sequence, the injector makes the same
+// decisions — trigger counters are kept per (rule, part) and the
+// probabilistic trigger is a pure hash of (seed, rule, part, ordinal),
+// never a shared global RNG.
+//
+// Fail-before semantics: decorators consult the injector BEFORE invoking
+// the wrapped operation, so an injected fault never leaves partial
+// effects.  That single invariant is what makes every retry site in the
+// engines safe (a failed drain consumed nothing; a failed put wrote
+// nothing).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ripple::fault {
+
+/// Base class for injected errors the engines treat as retryable.
+class TransientError : public std::runtime_error {
+ public:
+  explicit TransientError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Injected failure of a store operation (put/get/scan/drain).
+class TransientStoreError : public TransientError {
+ public:
+  explicit TransientStoreError(const std::string& what)
+      : TransientError(what) {}
+};
+
+/// Injected failure of a queue operation (enqueue/dequeue).
+class TransientQueueError : public TransientError {
+ public:
+  explicit TransientQueueError(const std::string& what)
+      : TransientError(what) {}
+};
+
+/// Injected death of a no-sync worker.  NOT transient: the reader thread
+/// is considered gone and the engine must re-dispatch its queue.
+class WorkerKilled : public std::runtime_error {
+ public:
+  explicit WorkerKilled(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Operations the injector can observe.
+enum class Op : std::uint8_t {
+  kGet = 0,
+  kPut,
+  kErase,
+  kScan,   // Part/pair enumeration.
+  kDrain,  // clearPart / drainPart.
+  kEnqueue,
+  kDequeue,
+};
+
+[[nodiscard]] const char* opName(Op op);
+
+using OpMask = std::uint32_t;
+
+[[nodiscard]] constexpr OpMask maskOf(Op op) {
+  return OpMask{1} << static_cast<unsigned>(op);
+}
+
+inline constexpr OpMask kStoreOps = maskOf(Op::kGet) | maskOf(Op::kPut) |
+                                    maskOf(Op::kErase) | maskOf(Op::kScan) |
+                                    maskOf(Op::kDrain);
+inline constexpr OpMask kQueueOps = maskOf(Op::kEnqueue) | maskOf(Op::kDequeue);
+inline constexpr OpMask kAllOps = kStoreOps | kQueueOps;
+
+/// What a firing rule does to the operation.
+enum class Action : std::uint8_t {
+  kFail = 0,    // Throw TransientStoreError / TransientQueueError.
+  kDelay,       // Sleep delaySeconds, then let the operation proceed.
+  kKillWorker,  // Throw WorkerKilled (meaningful at dequeue sites).
+};
+
+inline constexpr std::uint32_t kAnyPart = 0xffffffffu;
+inline constexpr int kAnyStep = -1;
+
+/// One declarative injection rule.  An operation matches when its op bit
+/// is in `ops`, the table/queue-set name contains `tableSubstring`, the
+/// part matches (kAnyPart matches all), and the injector's current step
+/// matches (kAnyStep matches all).  Exactly one trigger should be set:
+/// `nth` > 0 fires on every nth matching operation (counted per part), or
+/// `probability` > 0 fires Bernoulli per matching operation.
+struct FaultRule {
+  OpMask ops = kAllOps;
+  std::string tableSubstring;  // Empty matches every name.
+  std::uint32_t part = kAnyPart;
+  int step = kAnyStep;
+
+  std::uint64_t nth = 0;
+  double probability = 0;
+
+  Action action = Action::kFail;
+  double delaySeconds = 0;  // For kDelay.
+
+  /// Stop firing after this many injections (summed across parts).
+  std::uint64_t maxInjections = UINT64_MAX;
+};
+
+/// A seeded schedule of faults.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultRule> rules;
+
+  [[nodiscard]] bool empty() const { return rules.empty(); }
+
+  /// Probabilistic store failures on every table whose name contains
+  /// `tableSubstring` (get/put/erase/drain; scans are excluded because
+  /// export-time enumeration feeds exporters that are not replay-safe).
+  [[nodiscard]] static FaultPlan storeChaos(std::uint64_t seed,
+                                            double probability,
+                                            std::string tableSubstring = "");
+
+  /// Probabilistic enqueue/dequeue failures on queue sets whose name
+  /// contains `nameSubstring`.
+  [[nodiscard]] static FaultPlan queueChaos(std::uint64_t seed,
+                                            double probability,
+                                            std::string nameSubstring = "");
+};
+
+/// Thread-safe evaluator of a FaultPlan.  One injector typically backs
+/// both a FaultyStore and a FaultyQueuing so the plan sees every
+/// operation of a run.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Mirror injection counts into `fault.injected` (total) plus
+  /// `fault.injected_failures` / `fault.injected_delays` /
+  /// `fault.injected_kills`.  The registry must outlive the injector.
+  void bindRegistry(obs::MetricsRegistry& registry);
+
+  /// Arm/disarm the whole plan (disarmed injectors match nothing).  Lets
+  /// harnesses run setup (graph generation, loading) fault-free and arm
+  /// before the job proper.  Injectors start armed.
+  void setArmed(bool armed) {
+    armed_.store(armed, std::memory_order_release);
+  }
+
+  /// Scope subsequent operations to a superstep for rules with a `step`
+  /// filter; kAnyStep clears.  Set by the sync engine per step.
+  void setStep(int step) { step_.store(step, std::memory_order_release); }
+
+  /// Consult the plan for one operation about to execute.  Per the first
+  /// firing rule: throws TransientStoreError (store ops) or
+  /// TransientQueueError (queue ops) for kFail, throws WorkerKilled for
+  /// kKillWorker, or sleeps for kDelay.  Returns normally when no rule
+  /// fires; the caller then performs the real operation.
+  void onOp(Op op, std::string_view name, std::uint32_t part);
+
+  [[nodiscard]] std::uint64_t injected() const {
+    return injectedFailures() + injectedDelays() + injectedKills();
+  }
+  [[nodiscard]] std::uint64_t injectedFailures() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t injectedDelays() const {
+    return delays_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t injectedKills() const {
+    return kills_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  /// Per-(rule, part) match ordinals.  Parts index modulo kPartSlots;
+  /// runs with more parts than slots alias counters (still deterministic
+  /// for single-threaded stores, and all in-tree tests use fewer parts).
+  static constexpr std::size_t kPartSlots = 256;
+
+  struct RuleState {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> matches;
+    std::atomic<std::uint64_t> injections{0};
+  };
+
+  void count(Action action);
+
+  FaultPlan plan_;
+  std::vector<std::unique_ptr<RuleState>> states_;
+  std::atomic<bool> armed_{true};
+  std::atomic<int> step_{kAnyStep};
+
+  std::atomic<std::uint64_t> failures_{0};
+  std::atomic<std::uint64_t> delays_{0};
+  std::atomic<std::uint64_t> kills_{0};
+  std::atomic<obs::Counter*> ctrInjected_{nullptr};
+  std::atomic<obs::Counter*> ctrFailures_{nullptr};
+  std::atomic<obs::Counter*> ctrDelays_{nullptr};
+  std::atomic<obs::Counter*> ctrKills_{nullptr};
+};
+
+using FaultInjectorPtr = std::shared_ptr<FaultInjector>;
+
+}  // namespace ripple::fault

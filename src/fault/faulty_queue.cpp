@@ -1,0 +1,102 @@
+#include "fault/faulty_queue.h"
+
+#include <utility>
+
+namespace ripple::fault {
+
+namespace {
+
+class FaultyQueueSet : public mq::QueueSet {
+ public:
+  FaultyQueueSet(mq::QueueSetPtr inner, FaultInjectorPtr injector)
+      : inner_(std::move(inner)), injector_(std::move(injector)) {}
+
+  [[nodiscard]] const std::string& name() const override {
+    return inner_->name();
+  }
+  [[nodiscard]] std::uint32_t numQueues() const override {
+    return inner_->numQueues();
+  }
+
+  bool put(std::uint32_t queue, Bytes message) override {
+    injector_->onOp(Op::kEnqueue, name(), queue);
+    return inner_->put(queue, std::move(message));
+  }
+
+  void runWorkers(const std::function<void(mq::WorkerContext&)>& body)
+      override {
+    inner_->runWorkers([this, &body](mq::WorkerContext& inner) {
+      Context ctx(*this, inner);
+      body(ctx);
+    });
+  }
+
+  void close() override { inner_->close(); }
+
+  [[nodiscard]] std::uint64_t backlog() const override {
+    return inner_->backlog();
+  }
+
+ private:
+  /// Worker-context decorator: every dequeue path is an injection site,
+  /// consulted before the inner read so a fault never consumes a message.
+  class Context : public mq::WorkerContext {
+   public:
+    Context(FaultyQueueSet& set, mq::WorkerContext& inner)
+        : set_(set), inner_(inner) {}
+
+    [[nodiscard]] std::uint32_t queueIndex() const override {
+      return inner_.queueIndex();
+    }
+
+    std::optional<Bytes> read(std::chrono::milliseconds timeout) override {
+      set_.injector_->onOp(Op::kDequeue, set_.name(), queueIndex());
+      return inner_.read(timeout);
+    }
+
+    std::optional<Bytes> tryRead() override {
+      set_.injector_->onOp(Op::kDequeue, set_.name(), queueIndex());
+      return inner_.tryRead();
+    }
+
+    std::optional<Bytes> trySteal(std::uint32_t fromQueue) override {
+      set_.injector_->onOp(Op::kDequeue, set_.name(), fromQueue);
+      return inner_.trySteal(fromQueue);
+    }
+
+    std::optional<Bytes> tryReadFrom(std::uint32_t fromQueue) override {
+      set_.injector_->onOp(Op::kDequeue, set_.name(), fromQueue);
+      return inner_.tryReadFrom(fromQueue);
+    }
+
+   private:
+    FaultyQueueSet& set_;
+    mq::WorkerContext& inner_;
+  };
+
+  mq::QueueSetPtr inner_;
+  FaultInjectorPtr injector_;
+};
+
+}  // namespace
+
+FaultyQueuing::FaultyQueuing(mq::QueuingPtr inner, FaultInjectorPtr injector)
+    : inner_(std::move(inner)), injector_(std::move(injector)) {}
+
+mq::QueuingPtr FaultyQueuing::wrap(mq::QueuingPtr inner,
+                                   FaultInjectorPtr injector) {
+  return std::make_shared<FaultyQueuing>(std::move(inner),
+                                         std::move(injector));
+}
+
+mq::QueueSetPtr FaultyQueuing::createQueueSet(const std::string& name,
+                                              const kv::TablePtr& placement) {
+  return std::make_shared<FaultyQueueSet>(
+      inner_->createQueueSet(name, placement), injector_);
+}
+
+void FaultyQueuing::deleteQueueSet(const std::string& name) {
+  inner_->deleteQueueSet(name);
+}
+
+}  // namespace ripple::fault

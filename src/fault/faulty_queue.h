@@ -1,0 +1,41 @@
+// ripple::fault — Queuing decorator that injects faults on deliveries.
+//
+// FaultyQueuing wraps any mq::Queuing; queue sets it creates consult the
+// FaultInjector before every enqueue (put) and before every dequeue
+// (read / tryRead / trySteal / tryReadFrom).  Fail-before semantics: a
+// dequeue fault fires before the message is popped, so an injected
+// failure or worker kill never loses a message (no weight escapes the
+// no-sync termination ledger).  Delay rules model slow deliveries.
+
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "fault/fault.h"
+#include "mq/queue.h"
+
+namespace ripple::fault {
+
+class FaultyQueuing : public mq::Queuing {
+ public:
+  FaultyQueuing(mq::QueuingPtr inner, FaultInjectorPtr injector);
+
+  /// Convenience factory.
+  [[nodiscard]] static mq::QueuingPtr wrap(mq::QueuingPtr inner,
+                                           FaultInjectorPtr injector);
+
+  mq::QueueSetPtr createQueueSet(const std::string& name,
+                                 const kv::TablePtr& placement) override;
+  void deleteQueueSet(const std::string& name) override;
+
+  [[nodiscard]] const mq::QueuingPtr& inner() const { return inner_; }
+  [[nodiscard]] const FaultInjectorPtr& injector() const { return injector_; }
+
+ private:
+  mq::QueuingPtr inner_;
+  FaultInjectorPtr injector_;
+};
+
+}  // namespace ripple::fault

@@ -1,0 +1,199 @@
+#include "fault/faulty_store.h"
+
+#include <utility>
+
+namespace ripple::fault {
+
+namespace {
+
+/// Table decorator: consults the injector, then delegates.  putBatch is
+/// NOT overridden on purpose — the base implementation routes through
+/// put() entry by entry, giving per-entry injection and keeping a failed
+/// batch free of untracked partial effects beyond the entries already
+/// put (which a whole-batch retry overwrites idempotently).
+class FaultyTable : public kv::Table {
+ public:
+  FaultyTable(kv::TablePtr inner, FaultInjectorPtr injector)
+      : inner_(std::move(inner)), injector_(std::move(injector)) {}
+
+  [[nodiscard]] const std::string& name() const override {
+    return inner_->name();
+  }
+  [[nodiscard]] const kv::TableOptions& options() const override {
+    return inner_->options();
+  }
+  [[nodiscard]] std::uint32_t numParts() const override {
+    return inner_->numParts();
+  }
+  [[nodiscard]] std::uint32_t partOf(kv::KeyView key) const override {
+    return inner_->partOf(key);
+  }
+
+  std::optional<kv::Value> get(kv::KeyView key) override {
+    injector_->onOp(Op::kGet, name(), partOf(key));
+    return inner_->get(key);
+  }
+
+  void put(kv::KeyView key, kv::ValueView value) override {
+    injector_->onOp(Op::kPut, name(), partOf(key));
+    inner_->put(key, value);
+  }
+
+  bool erase(kv::KeyView key) override {
+    injector_->onOp(Op::kErase, name(), partOf(key));
+    return inner_->erase(key);
+  }
+
+  [[nodiscard]] std::uint64_t size() const override { return inner_->size(); }
+  [[nodiscard]] std::uint64_t partSize(std::uint32_t part) const override {
+    return inner_->partSize(part);
+  }
+
+  Bytes enumerate(kv::PairConsumer& consumer) override {
+    // Inject per part as the enumeration reaches it (setupPart runs
+    // collocated, once, before the part's pairs).
+    class Shim : public kv::PairConsumer {
+     public:
+      Shim(FaultyTable& table, kv::PairConsumer& user)
+          : table_(table), user_(user) {}
+      void setupPart(std::uint32_t part) override {
+        table_.injector_->onOp(Op::kScan, table_.name(), part);
+        user_.setupPart(part);
+      }
+      bool consume(std::uint32_t part, kv::KeyView k,
+                   kv::ValueView v) override {
+        return user_.consume(part, k, v);
+      }
+      Bytes finalizePart(std::uint32_t part) override {
+        return user_.finalizePart(part);
+      }
+      Bytes combine(Bytes a, Bytes b) override {
+        return user_.combine(std::move(a), std::move(b));
+      }
+
+     private:
+      FaultyTable& table_;
+      kv::PairConsumer& user_;
+    };
+    Shim shim(*this, consumer);
+    return inner_->enumerate(shim);
+  }
+
+  Bytes enumeratePart(std::uint32_t part, kv::PairConsumer& consumer) override {
+    injector_->onOp(Op::kScan, name(), part);
+    return inner_->enumeratePart(part, consumer);
+  }
+
+  Bytes processParts(kv::PartConsumer& consumer) override {
+    // Mobile code gets the WRAPPER table, so its table operations stay
+    // under injection; processParts itself is not an injection site.
+    class Shim : public kv::PartConsumer {
+     public:
+      Shim(FaultyTable& table, kv::PartConsumer& user)
+          : table_(table), user_(user) {}
+      Bytes processPart(std::uint32_t part, kv::Table&) override {
+        return user_.processPart(part, table_);
+      }
+      Bytes combine(Bytes a, Bytes b) override {
+        return user_.combine(std::move(a), std::move(b));
+      }
+
+     private:
+      FaultyTable& table_;
+      kv::PartConsumer& user_;
+    };
+    Shim shim(*this, consumer);
+    return inner_->processParts(shim);
+  }
+
+  std::uint64_t clearPart(std::uint32_t part) override {
+    injector_->onOp(Op::kDrain, name(), part);
+    return inner_->clearPart(part);
+  }
+
+  std::vector<std::pair<kv::Key, kv::Value>> drainPart(
+      std::uint32_t part) override {
+    injector_->onOp(Op::kDrain, name(), part);
+    return inner_->drainPart(part);
+  }
+
+  [[nodiscard]] const kv::TablePtr& inner() const { return inner_; }
+
+ private:
+  kv::TablePtr inner_;
+  FaultInjectorPtr injector_;
+};
+
+}  // namespace
+
+FaultyStore::FaultyStore(kv::KVStorePtr inner, FaultInjectorPtr injector)
+    : inner_(std::move(inner)), injector_(std::move(injector)) {}
+
+kv::KVStorePtr FaultyStore::wrap(kv::KVStorePtr inner,
+                                 FaultInjectorPtr injector) {
+  return std::make_shared<FaultyStore>(std::move(inner), std::move(injector));
+}
+
+kv::TablePtr FaultyStore::wrapTable(kv::TablePtr table) {
+  if (!table) {
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = wrappers_.find(table->name());
+  if (it != wrappers_.end()) {
+    return it->second;
+  }
+  auto wrapper = std::make_shared<FaultyTable>(std::move(table), injector_);
+  wrappers_.emplace(wrapper->name(), wrapper);
+  return wrapper;
+}
+
+const kv::Table& FaultyStore::unwrap(const kv::Table& table) {
+  if (const auto* wrapper = dynamic_cast<const FaultyTable*>(&table)) {
+    return *wrapper->inner();
+  }
+  return table;
+}
+
+kv::TablePtr FaultyStore::createTable(const std::string& name,
+                                      kv::TableOptions options) {
+  return wrapTable(inner_->createTable(name, std::move(options)));
+}
+
+kv::TablePtr FaultyStore::lookupTable(const std::string& name) {
+  return wrapTable(inner_->lookupTable(name));
+}
+
+void FaultyStore::dropTable(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    wrappers_.erase(name);
+  }
+  inner_->dropTable(name);
+}
+
+void FaultyStore::runInParts(const kv::Table& placement,
+                             const std::function<void(std::uint32_t)>& fn) {
+  inner_->runInParts(unwrap(placement), fn);
+}
+
+void FaultyStore::runInPart(const kv::Table& placement, std::uint32_t part,
+                            const std::function<void()>& fn) {
+  inner_->runInPart(unwrap(placement), part, fn);
+}
+
+void FaultyStore::postToPart(const kv::Table& placement, std::uint32_t part,
+                             std::function<void()> fn) {
+  inner_->postToPart(unwrap(placement), part, std::move(fn));
+}
+
+std::shared_ptr<void> FaultyStore::adoptPartThread(const kv::Table& placement,
+                                                   std::uint32_t part) {
+  return inner_->adoptPartThread(unwrap(placement), part);
+}
+
+std::uint32_t FaultyStore::partsOf(const kv::Table& placement) const {
+  return inner_->partsOf(unwrap(placement));
+}
+
+}  // namespace ripple::fault

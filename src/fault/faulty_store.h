@@ -1,0 +1,67 @@
+// ripple::fault — KVStore decorator that injects faults per a FaultPlan.
+//
+// FaultyStore wraps any kv::KVStore; every table it hands out is wrapped
+// so that point operations, scans, and drains consult the FaultInjector
+// BEFORE delegating (fail-before: an injected fault never leaves partial
+// effects).  Wrapped tables forward name(), options(), and the
+// partitioner instance untouched, so consistent partitioning (shared
+// partitioner => co-placement) survives the decoration, and lookupTable
+// returns the identical wrapper instance each time — the decorator is
+// fully transparent when the plan is empty (verified by running the
+// store conformance suite against it).
+
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "fault/fault.h"
+#include "kvstore/table.h"
+
+namespace ripple::fault {
+
+class FaultyStore : public kv::KVStore {
+ public:
+  FaultyStore(kv::KVStorePtr inner, FaultInjectorPtr injector);
+
+  /// Convenience factory.
+  [[nodiscard]] static kv::KVStorePtr wrap(kv::KVStorePtr inner,
+                                           FaultInjectorPtr injector);
+
+  kv::TablePtr createTable(const std::string& name,
+                           kv::TableOptions options) override;
+  kv::TablePtr lookupTable(const std::string& name) override;
+  void dropTable(const std::string& name) override;
+  void runInParts(const kv::Table& placement,
+                  const std::function<void(std::uint32_t)>& fn) override;
+  void runInPart(const kv::Table& placement, std::uint32_t part,
+                 const std::function<void()>& fn) override;
+  void postToPart(const kv::Table& placement, std::uint32_t part,
+                  std::function<void()> fn) override;
+  std::shared_ptr<void> adoptPartThread(const kv::Table& placement,
+                                        std::uint32_t part) override;
+  [[nodiscard]] kv::StoreMetrics& metrics() override {
+    return inner_->metrics();
+  }
+  [[nodiscard]] std::uint32_t partsOf(const kv::Table& placement)
+      const override;
+
+  [[nodiscard]] const kv::KVStorePtr& inner() const { return inner_; }
+  [[nodiscard]] const FaultInjectorPtr& injector() const { return injector_; }
+
+ private:
+  /// Wrap-or-return-cached, keyed by table name (so repeated lookups see
+  /// one wrapper instance, preserving pointer identity).
+  kv::TablePtr wrapTable(kv::TablePtr table);
+
+  /// Peel our own wrapper off a placement argument before forwarding.
+  [[nodiscard]] static const kv::Table& unwrap(const kv::Table& table);
+
+  kv::KVStorePtr inner_;
+  FaultInjectorPtr injector_;
+  std::mutex mu_;
+  std::unordered_map<std::string, kv::TablePtr> wrappers_;
+};
+
+}  // namespace ripple::fault

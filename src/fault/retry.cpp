@@ -1,0 +1,73 @@
+#include "fault/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace ripple::fault {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Retrier::Retrier(RetryPolicy policy, std::uint64_t streamId)
+    : policy_(policy), rng_(mix64(policy.seed ^ mix64(streamId))) {}
+
+void Retrier::bindRegistry(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    ctrRetries_ = ctrBackoffMs_ = ctrEscalations_ = nullptr;
+    return;
+  }
+  ctrRetries_ = &registry->counter("fault.retries");
+  ctrBackoffMs_ = &registry->counter("fault.backoff_ms");
+  ctrEscalations_ = &registry->counter("fault.escalations");
+}
+
+void Retrier::bindVirtualTime(sim::VirtualCluster* vt, std::uint32_t part) {
+  vt_ = vt;
+  part_ = part;
+}
+
+void Retrier::backoff(int attempt) {
+  double ms = policy_.initialBackoffMs;
+  for (int i = 1; i < attempt; ++i) {
+    ms *= policy_.backoffMultiplier;
+  }
+  ms = std::min(ms, policy_.maxBackoffMs);
+  if (policy_.jitter > 0) {
+    ms *= 1.0 + policy_.jitter * (2.0 * rng_.nextDouble() - 1.0);
+  }
+  ms = std::max(ms, 0.0);
+
+  ++retries_;
+  backoffMsTotal_ += ms;
+  if (ctrRetries_ != nullptr) {
+    ctrRetries_->add(1);
+  }
+  if (ctrBackoffMs_ != nullptr) {
+    ctrBackoffMs_->add(static_cast<std::uint64_t>(std::ceil(ms)));
+  }
+  if (vt_ != nullptr) {
+    vt_->charge(part_, ms / 1000.0);
+  }
+  if (policy_.sleepWallClock && ms > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  }
+}
+
+void Retrier::noteEscalation() {
+  ++escalations_;
+  if (ctrEscalations_ != nullptr) {
+    ctrEscalations_->add(1);
+  }
+}
+
+}  // namespace ripple::fault

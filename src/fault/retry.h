@@ -1,0 +1,102 @@
+// ripple::fault — bounded retry with deterministic backoff.
+//
+// The engines absorb TransientError with a Retrier: bounded attempts,
+// exponential backoff, and jitter drawn from a seeded per-stream RNG (so
+// a run's backoff schedule is reproducible).  Backoff is virtual-time
+// aware: when bound to a sim::VirtualCluster the waited time is charged
+// to the part's virtual clock, so recovery overhead shows up in the
+// virtual makespan exactly like compute would.
+//
+// When the attempt budget is exhausted the Retrier counts an escalation
+// and rethrows; the caller decides what engine-level recovery means
+// (checkpoint restore for the sync engine, queue re-dispatch for the
+// no-sync engine, or plain failure).
+//
+// A Retrier is NOT thread-safe: the engines keep one per part (each
+// part's work is single-threaded) plus one for the client thread.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
+#include "sim/virtual_time.h"
+
+namespace ripple::fault {
+
+struct RetryPolicy {
+  /// Total attempts, including the first (1 = no retries).
+  int maxAttempts = 4;
+
+  double initialBackoffMs = 0.2;
+  double backoffMultiplier = 2.0;
+  double maxBackoffMs = 5.0;
+
+  /// Backoff is scaled by a uniform factor in [1 - jitter, 1 + jitter].
+  double jitter = 0.5;
+
+  /// Base seed for the jitter stream (combined with the stream id).
+  std::uint64_t seed = 0;
+
+  /// Sleep the backoff in wall-clock time as well as charging virtual
+  /// time.  Tests that only care about counters can turn this off.
+  bool sleepWallClock = true;
+};
+
+class Retrier {
+ public:
+  explicit Retrier(RetryPolicy policy = {}, std::uint64_t streamId = 0);
+
+  /// Mirror retry counts into `fault.retries`, `fault.backoff_ms`
+  /// (rounded up per backoff), and `fault.escalations`.  Null disables;
+  /// the registry must outlive the retrier.
+  void bindRegistry(obs::MetricsRegistry* registry);
+
+  /// Charge future backoff waits to `part`'s virtual clock.  Null clears.
+  void bindVirtualTime(sim::VirtualCluster* vt, std::uint32_t part);
+
+  /// Run `fn`, retrying on TransientError within the attempt budget.
+  /// Rethrows the last error once the budget is exhausted.
+  template <typename F>
+  auto operator()(F&& fn) -> decltype(fn()) {
+    for (int attempt = 1;; ++attempt) {
+      try {
+        return fn();
+      } catch (const TransientError&) {
+        if (attempt >= policy_.maxAttempts) {
+          noteEscalation();
+          throw;
+        }
+        backoff(attempt);
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+  [[nodiscard]] std::uint64_t escalations() const { return escalations_; }
+  [[nodiscard]] double backoffMsTotal() const { return backoffMsTotal_; }
+  [[nodiscard]] const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  /// Count one retry and wait before attempt `attempt + 1`.
+  void backoff(int attempt);
+  void noteEscalation();
+
+  RetryPolicy policy_;
+  Rng rng_;
+
+  sim::VirtualCluster* vt_ = nullptr;
+  std::uint32_t part_ = 0;
+
+  std::uint64_t retries_ = 0;
+  std::uint64_t escalations_ = 0;
+  double backoffMsTotal_ = 0;
+
+  obs::Counter* ctrRetries_ = nullptr;
+  obs::Counter* ctrBackoffMs_ = nullptr;
+  obs::Counter* ctrEscalations_ = nullptr;
+};
+
+}  // namespace ripple::fault

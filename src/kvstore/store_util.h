@@ -60,7 +60,11 @@ class TypedTable {
       const std::function<bool(const K&, const V&)>& fn_;
     };
     Consumer consumer(fn);
-    table_->enumerate(consumer);
+    // Part by part, not enumerate(): fn is a single client-side callback
+    // with no thread-safety contract, so it must never run concurrently.
+    for (std::uint32_t part = 0; part < table_->numParts(); ++part) {
+      table_->enumeratePart(part, consumer);
+    }
   }
 
   [[nodiscard]] std::uint64_t size() const { return table_->size(); }

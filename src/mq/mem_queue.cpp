@@ -101,6 +101,13 @@ class MemQueueSet : public QueueSet,
       return set_->queues_[fromQueue]->trySteal();
     }
 
+    std::optional<Bytes> tryReadFrom(std::uint32_t fromQueue) override {
+      if (fromQueue == queue_ || fromQueue >= set_->numQueues()) {
+        return std::nullopt;
+      }
+      return set_->queues_[fromQueue]->tryPop();
+    }
+
    private:
     MemQueueSet* set_;
     std::uint32_t queue_;

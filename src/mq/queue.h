@@ -45,6 +45,16 @@ class WorkerContext {
     (void)fromQueue;
     return std::nullopt;
   }
+
+  /// Non-blocking read from the FRONT of another queue of the set.
+  /// Unlike trySteal this preserves per-sender FIFO, but it is only
+  /// legal when that queue's original reader is gone for good — it is
+  /// the takeover primitive the no-sync engine uses to re-dispatch a
+  /// dead worker's queue to a survivor.  Default: takeover unsupported.
+  virtual std::optional<Bytes> tryReadFrom(std::uint32_t fromQueue) {
+    (void)fromQueue;
+    return std::nullopt;
+  }
 };
 
 class QueueSet {

@@ -148,24 +148,40 @@ class TableQueueSet : public QueueSet {
       }
     }
 
-    std::optional<Bytes> tryRead() override {
-      if (!buffer_.empty()) {
-        Bytes msg = std::move(buffer_.front());
-        buffer_.pop_front();
-        return msg;
-      }
-      refill();
-      if (buffer_.empty()) {
+    std::optional<Bytes> tryRead() override { return popOrRefill(queue_, buffer_); }
+
+    std::optional<Bytes> tryReadFrom(std::uint32_t fromQueue) override {
+      // Takeover read: the adopted queue's pairs drain into a buffer
+      // owned by THIS context.  Any messages the dead reader had already
+      // buffered are beyond reach — the no-sync engine only kills workers
+      // before a read completes, so nothing is buffered at death for the
+      // in-memory queuing; table-backed takeover additionally relies on
+      // the same fail-before discipline.
+      if (fromQueue == queue_ || fromQueue >= set_->numQueues()) {
         return std::nullopt;
       }
-      Bytes msg = std::move(buffer_.front());
-      buffer_.pop_front();
-      return msg;
+      return popOrRefill(fromQueue, adopted_[fromQueue]);
     }
 
    private:
-    void refill() {
-      auto drained = set_->table_->drainPart(queue_);
+    std::optional<Bytes> popOrRefill(std::uint32_t queue,
+                                     std::deque<Bytes>& buffer) {
+      if (!buffer.empty()) {
+        Bytes msg = std::move(buffer.front());
+        buffer.pop_front();
+        return msg;
+      }
+      refill(queue, buffer);
+      if (buffer.empty()) {
+        return std::nullopt;
+      }
+      Bytes msg = std::move(buffer.front());
+      buffer.pop_front();
+      return msg;
+    }
+
+    void refill(std::uint32_t queue, std::deque<Bytes>& buffer) {
+      auto drained = set_->table_->drainPart(queue);
       if (drained.empty()) {
         return;
       }
@@ -175,13 +191,14 @@ class TableQueueSet : public QueueSet {
                          parseQueueKey(b.first).second;
                 });
       for (auto& [k, v] : drained) {
-        buffer_.push_back(std::move(v));
+        buffer.push_back(std::move(v));
       }
     }
 
     TableQueueSet* set_;
     std::uint32_t queue_;
     std::deque<Bytes> buffer_;
+    std::unordered_map<std::uint32_t, std::deque<Bytes>> adopted_;
   };
 
   std::string name_;

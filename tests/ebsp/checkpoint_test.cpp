@@ -12,6 +12,8 @@
 #include "common/codec.h"
 #include "ebsp/library.h"
 #include "ebsp/sync_engine.h"
+#include "fault/fault.h"
+#include "fault/faulty_store.h"
 #include "kvstore/partitioned_store.h"
 #include "kvstore/store_util.h"
 
@@ -88,6 +90,48 @@ TEST(Checkpointer, CleanupDropsShadowTables) {
   }
   EXPECT_EQ(store->lookupTable("__ck_t4_0"), nullptr);
   EXPECT_EQ(store->lookupTable("__ck_t4_meta"), nullptr);
+}
+
+TEST(Checkpointer, TornCheckpointIsTreatedAsAbsent) {
+  // §IV-A ordering rule, made checkable: a checkpoint interrupted after
+  // its shadow writes but before its meta records commit must be treated
+  // as absent — and must not resurrect the previous checkpoint either,
+  // since its shadows were already overwritten.  With 2 parts each
+  // checkpoint performs 5 meta puts (begin, step/0, step/1, aggs,
+  // commit), so puts 6..10 belong to the second checkpoint.
+  for (const std::uint64_t tearAt : {7, 10}) {  // step/0 put; commit put.
+    SCOPED_TRACE("tearAt=" + std::to_string(tearAt));
+    fault::FaultRule rule;
+    rule.ops = maskOf(fault::Op::kPut);
+    rule.tableSubstring = "_meta";
+    rule.nth = tearAt;
+    rule.maxInjections = 1;
+    fault::FaultPlan plan;
+    plan.rules.push_back(rule);
+    auto injector = std::make_shared<fault::FaultInjector>(plan);
+    auto store = fault::FaultyStore::wrap(kv::PartitionedStore::create(2),
+                                          injector);
+
+    kv::TableOptions options;
+    options.parts = 2;
+    kv::TablePtr table = store->createTable("data", std::move(options));
+    table->put("k", "v1");
+    Checkpointer ck(store, "torn", {table}, table);
+    ck.checkpoint(1, {});
+    ASSERT_TRUE(ck.hasCheckpoint());
+
+    table->put("k", "v2");
+    EXPECT_THROW(ck.checkpoint(2, {}), fault::TransientStoreError);
+    EXPECT_FALSE(ck.hasCheckpoint());
+    std::map<std::string, Bytes> aggs;
+    EXPECT_THROW(ck.restore(aggs), std::runtime_error);
+
+    // A clean re-checkpoint (the engine retries them) heals everything.
+    ck.checkpoint(2, {});
+    EXPECT_TRUE(ck.hasCheckpoint());
+    EXPECT_EQ(ck.restore(aggs), 2);
+    EXPECT_EQ(table->get("k"), "v2");
+  }
 }
 
 // ---------------------------------------------------------------------

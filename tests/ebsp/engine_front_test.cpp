@@ -75,6 +75,46 @@ TEST(EngineFront, ForcedNoSyncRejectsUnsuitableJob) {
   EXPECT_THROW(engine.run(plain), std::invalid_argument);
 }
 
+TEST(EngineFront, OnBarrierForcesSynchronizedUnderAuto) {
+  // An onBarrier hook can only ever fire on the synchronized strategy, so
+  // setting it must pull even no-sync-eligible jobs back to synchronized
+  // instead of being silently ignored.
+  auto store = kv::PartitionedStore::create(2);
+  kv::TableOptions tableOptions;
+  tableOptions.parts = 2;
+  store->createTable("ref", std::move(tableOptions));
+
+  RawJob job = minimalJob();
+  job.properties.incremental = true;
+  auto loader = std::make_shared<VectorLoader>();
+  loader->message("a", "m");
+  job.loaders = {loader};
+
+  EngineOptions options;
+  std::atomic<int> barriers{0};
+  options.onBarrier = [&](int) { barriers.fetch_add(1); };
+  Engine engine(store, options);
+  EXPECT_FALSE(engine.wouldRunNoSync(job));
+  engine.run(job);
+  EXPECT_GE(barriers.load(), 1);  // The hook actually fired.
+}
+
+TEST(EngineFront, OnBarrierWithForcedNoSyncThrows) {
+  auto store = kv::PartitionedStore::create(2);
+  kv::TableOptions tableOptions;
+  tableOptions.parts = 2;
+  store->createTable("ref", std::move(tableOptions));
+
+  RawJob job = minimalJob();
+  job.properties.incremental = true;
+
+  EngineOptions options;
+  options.mode = ExecutionMode::kNoSync;
+  options.onBarrier = [](int) {};
+  Engine engine(store, options);
+  EXPECT_THROW(engine.run(job), std::invalid_argument);
+}
+
 TEST(EngineFront, ForcedSyncRunsIncrementalJob) {
   auto store = kv::PartitionedStore::create(2);
   kv::TableOptions tableOptions;

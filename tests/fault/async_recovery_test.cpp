@@ -1,0 +1,213 @@
+// No-sync worker-failure recovery: a worker killed mid-drain is
+// abandoned, its queue is re-dispatched to a survivor (front-popped, so
+// per-(sender, queue) FIFO holds), termination detection still completes,
+// and the results are exactly what a fault-free run produces.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/codec.h"
+#include "ebsp/async_engine.h"
+#include "ebsp/library.h"
+#include "fault/fault.h"
+#include "fault/faulty_queue.h"
+#include "fault/faulty_store.h"
+#include "kvstore/partitioned_store.h"
+#include "kvstore/store_util.h"
+#include "mq/queue.h"
+#include "obs/metrics.h"
+
+namespace ripple::ebsp {
+namespace {
+
+constexpr std::uint32_t kParts = 4;
+
+JobProperties noSyncProps() {
+  JobProperties p;
+  p.oneMsg = true;
+  p.noContinue = true;
+  p.noSsOrder = true;
+  return p;
+}
+
+/// Fan-out tree: each message below `depth` spawns two children; every
+/// invocation adds its payload into per-key state.  The state sum over
+/// all keys is a deterministic function of the tree, so lost or
+/// double-delivered messages are both visible.
+RawJob fanOutJob(std::int64_t depth) {
+  RawJob job;
+  job.referenceTable = "ref";
+  job.stateTableNames = {"ref"};
+  job.properties = noSyncProps();
+  job.compute.compute = [depth](RawComputeContext& ctx) {
+    const auto d = decodeFromBytes<std::int64_t>(ctx.inputMessages()[0]);
+    const auto prev = ctx.readState(0);
+    const std::int64_t count =
+        prev ? decodeFromBytes<std::int64_t>(*prev) + 1 : 1;
+    ctx.writeState(0, encodeToBytes(count));
+    if (d < depth) {
+      ctx.outputMessage(Bytes(ctx.key()) + "L", encodeToBytes(d + 1));
+      ctx.outputMessage(Bytes(ctx.key()) + "R", encodeToBytes(d + 1));
+    }
+    return false;
+  };
+  auto loader = std::make_shared<VectorLoader>();
+  loader->message("root", encodeToBytes<std::int64_t>(0));
+  job.loaders = {loader};
+  return job;
+}
+
+struct RunOutcome {
+  JobResult result;
+  std::uint64_t stateEntries = 0;
+  std::uint64_t invocationSum = 0;
+};
+
+RunOutcome runFanOut(std::int64_t depth, const fault::FaultPlan& plan,
+                     fault::RetryPolicy retry,
+                     fault::FaultInjectorPtr* injectorOut = nullptr,
+                     obs::MetricsRegistry* registry = nullptr) {
+  auto injector = std::make_shared<fault::FaultInjector>(plan);
+  if (registry != nullptr) {
+    injector->bindRegistry(*registry);
+  }
+  auto store = fault::FaultyStore::wrap(kv::PartitionedStore::create(kParts),
+                                        injector);
+  kv::TableOptions options;
+  options.parts = kParts;
+  store->createTable("ref", std::move(options));
+
+  RawJob job = fanOutJob(depth);
+  AsyncEngineOptions engineOptions;
+  engineOptions.queuing =
+      fault::FaultyQueuing::wrap(mq::makeMemQueuing(store), injector);
+  engineOptions.retry = retry;
+  engineOptions.metrics = registry;
+  AsyncEngine engine(store, engineOptions);
+
+  RunOutcome out;
+  out.result = engine.run(job);
+  auto all = kv::readAll(*store->lookupTable("ref"));
+  out.stateEntries = all.size();
+  for (auto& [k, v] : all) {
+    out.invocationSum += static_cast<std::uint64_t>(
+        decodeFromBytes<std::int64_t>(v));
+  }
+  if (injectorOut != nullptr) {
+    *injectorOut = injector;
+  }
+  return out;
+}
+
+fault::RetryPolicy testPolicy(int maxAttempts = 6) {
+  fault::RetryPolicy policy;
+  policy.maxAttempts = maxAttempts;
+  policy.sleepWallClock = false;
+  return policy;
+}
+
+// A full binary tree of depth 12: 2^13 - 1 invocations, one per node.
+constexpr std::int64_t kDepth = 12;
+constexpr std::uint64_t kExpectedInvocations = (1u << (kDepth + 1)) - 1;
+
+TEST(AsyncRecovery, SurvivesMidDrainWorkerKills) {
+  // Kill rule: the 40th dequeue on each queue kills the reader, at most
+  // kParts - 2 times total, so the sole-survivor rule is never reached.
+  fault::FaultRule kill;
+  kill.ops = maskOf(fault::Op::kDequeue);
+  kill.nth = 40;
+  kill.action = fault::Action::kKillWorker;
+  kill.maxInjections = kParts - 2;
+  fault::FaultPlan plan;
+  plan.rules.push_back(kill);
+
+  fault::FaultInjectorPtr injector;
+  obs::MetricsRegistry registry;
+  const RunOutcome out =
+      runFanOut(kDepth, plan, testPolicy(), &injector, &registry);
+
+  // No message lost, none double-applied, despite the takeovers.
+  EXPECT_EQ(out.result.metrics.computeInvocations, kExpectedInvocations);
+  EXPECT_EQ(out.invocationSum, kExpectedInvocations);
+  EXPECT_EQ(out.stateEntries, kExpectedInvocations);
+
+  // Every injected kill abandoned exactly one worker.
+  EXPECT_EQ(injector->injectedKills(),
+            static_cast<std::uint64_t>(kParts - 2));
+  EXPECT_EQ(out.result.metrics.recoveries, injector->injectedKills());
+  EXPECT_EQ(registry.snapshot().counters.at("ebsp.recoveries"),
+            injector->injectedKills());
+}
+
+TEST(AsyncRecovery, SoleSurvivorIgnoresKills) {
+  // Unbounded kills: workers die until one remains, which shrugs off
+  // further kills and finishes the drain alone.
+  fault::FaultRule kill;
+  kill.ops = maskOf(fault::Op::kDequeue);
+  kill.nth = 25;
+  kill.action = fault::Action::kKillWorker;
+  fault::FaultPlan plan;
+  plan.rules.push_back(kill);
+
+  fault::FaultInjectorPtr injector;
+  const RunOutcome out = runFanOut(kDepth, plan, testPolicy(), &injector);
+  EXPECT_EQ(out.result.metrics.computeInvocations, kExpectedInvocations);
+  EXPECT_EQ(out.invocationSum, kExpectedInvocations);
+  // At most kParts - 1 workers can actually be abandoned.
+  EXPECT_LE(out.result.metrics.recoveries,
+            static_cast<std::uint64_t>(kParts - 1));
+  EXPECT_GE(out.result.metrics.recoveries, 1u);
+}
+
+TEST(AsyncRecovery, TransientDequeueFailuresAreAbsorbed) {
+  fault::FaultPlan plan = fault::FaultPlan::queueChaos(/*seed=*/7, 0.01);
+  fault::FaultInjectorPtr injector;
+  obs::MetricsRegistry registry;
+  const RunOutcome out =
+      runFanOut(kDepth, plan, testPolicy(8), &injector, &registry);
+  EXPECT_EQ(out.result.metrics.computeInvocations, kExpectedInvocations);
+  EXPECT_EQ(out.invocationSum, kExpectedInvocations);
+  EXPECT_GT(injector->injectedFailures(), 0u);
+  // Every injected failure was caught by exactly one retrier.
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("fault.injected_failures"),
+            snap.counters.at("fault.retries") +
+                snap.counters.at("fault.escalations"));
+}
+
+TEST(AsyncRecovery, ExhaustedDequeueBudgetAbandonsTheWorker) {
+  // Fail every dequeue on queue 2: its worker burns the whole retry
+  // budget, is treated as dead, and a survivor adopts the queue.  The
+  // adopter's tryReadFrom polls are injected at part 2 as well, so cap
+  // total injections to keep the adopted queue drainable.
+  fault::FaultRule rule;
+  rule.ops = maskOf(fault::Op::kDequeue);
+  rule.part = 2;
+  rule.nth = 1;
+  rule.maxInjections = 3;  // Exactly one budget (maxAttempts = 3).
+  fault::FaultPlan plan;
+  plan.rules.push_back(rule);
+
+  fault::FaultInjectorPtr injector;
+  const RunOutcome out = runFanOut(kDepth, plan, testPolicy(3), &injector);
+  EXPECT_EQ(out.result.metrics.computeInvocations, kExpectedInvocations);
+  EXPECT_EQ(out.invocationSum, kExpectedInvocations);
+  EXPECT_EQ(out.result.metrics.recoveries, 1u);
+}
+
+TEST(AsyncRecovery, OnBarrierHookIsRejectedNotIgnored) {
+  auto store = kv::PartitionedStore::create(kParts);
+  kv::TableOptions options;
+  options.parts = kParts;
+  store->createTable("ref", std::move(options));
+  RawJob job = fanOutJob(2);
+  AsyncEngineOptions engineOptions;
+  engineOptions.queuing = mq::makeMemQueuing(store);
+  engineOptions.onBarrier = [](int) {};
+  AsyncEngine engine(store, engineOptions);
+  EXPECT_THROW(engine.run(job), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ripple::ebsp

@@ -1,0 +1,220 @@
+// FaultInjector semantics: trigger kinds, determinism, scoping, and the
+// injection counters the chaos harness asserts against.
+
+#include "fault/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ripple::fault {
+namespace {
+
+FaultRule failEveryNth(std::uint64_t nth, OpMask ops = kAllOps) {
+  FaultRule rule;
+  rule.ops = ops;
+  rule.nth = nth;
+  return rule;
+}
+
+TEST(FaultInjector, EmptyPlanInjectsNothing) {
+  FaultInjector injector(FaultPlan{});
+  for (int i = 0; i < 1000; ++i) {
+    injector.onOp(Op::kPut, "t", 0);
+    injector.onOp(Op::kDequeue, "q", 1);
+  }
+  EXPECT_EQ(injector.injected(), 0u);
+}
+
+TEST(FaultInjector, NthTriggerFiresOnEveryNthMatch) {
+  FaultPlan plan;
+  plan.rules.push_back(failEveryNth(3));
+  FaultInjector injector(plan);
+  std::vector<int> failedAt;
+  for (int i = 1; i <= 9; ++i) {
+    try {
+      injector.onOp(Op::kPut, "t", 0);
+    } catch (const TransientStoreError&) {
+      failedAt.push_back(i);
+    }
+  }
+  EXPECT_EQ(failedAt, (std::vector<int>{3, 6, 9}));
+  EXPECT_EQ(injector.injectedFailures(), 3u);
+}
+
+TEST(FaultInjector, MatchCountersAreKeptPerPart) {
+  FaultPlan plan;
+  plan.rules.push_back(failEveryNth(2));
+  FaultInjector injector(plan);
+  // Interleave parts 0 and 1: each part fires on ITS OWN second op, so
+  // concurrent parts cannot perturb each other's schedules.
+  EXPECT_NO_THROW(injector.onOp(Op::kPut, "t", 0));
+  EXPECT_NO_THROW(injector.onOp(Op::kPut, "t", 1));
+  EXPECT_THROW(injector.onOp(Op::kPut, "t", 0), TransientStoreError);
+  EXPECT_THROW(injector.onOp(Op::kPut, "t", 1), TransientStoreError);
+}
+
+TEST(FaultInjector, OpMaskAndTableSubstringScopeTheRule) {
+  FaultRule rule = failEveryNth(1, maskOf(Op::kPut));
+  rule.tableSubstring = "state";
+  FaultPlan plan;
+  plan.rules.push_back(rule);
+  FaultInjector injector(plan);
+  EXPECT_NO_THROW(injector.onOp(Op::kGet, "pr_state", 0));  // Wrong op.
+  EXPECT_NO_THROW(injector.onOp(Op::kPut, "transport", 0));  // Wrong table.
+  EXPECT_THROW(injector.onOp(Op::kPut, "pr_state_7", 0), TransientStoreError);
+}
+
+TEST(FaultInjector, PartFilterScopesTheRule) {
+  FaultRule rule = failEveryNth(1);
+  rule.part = 2;
+  FaultPlan plan;
+  plan.rules.push_back(rule);
+  FaultInjector injector(plan);
+  EXPECT_NO_THROW(injector.onOp(Op::kPut, "t", 0));
+  EXPECT_NO_THROW(injector.onOp(Op::kPut, "t", 3));
+  EXPECT_THROW(injector.onOp(Op::kPut, "t", 2), TransientStoreError);
+}
+
+TEST(FaultInjector, StepFilterFollowsSetStep) {
+  FaultRule rule = failEveryNth(1);
+  rule.step = 2;
+  FaultPlan plan;
+  plan.rules.push_back(rule);
+  FaultInjector injector(plan);
+  EXPECT_NO_THROW(injector.onOp(Op::kPut, "t", 0));  // kAnyStep scope.
+  injector.setStep(1);
+  EXPECT_NO_THROW(injector.onOp(Op::kPut, "t", 0));
+  injector.setStep(2);
+  EXPECT_THROW(injector.onOp(Op::kPut, "t", 0), TransientStoreError);
+  injector.setStep(kAnyStep);
+  EXPECT_NO_THROW(injector.onOp(Op::kPut, "t", 0));
+}
+
+TEST(FaultInjector, QueueOpsThrowTheQueueError) {
+  FaultPlan plan;
+  plan.rules.push_back(failEveryNth(1, kQueueOps));
+  FaultInjector injector(plan);
+  EXPECT_THROW(injector.onOp(Op::kDequeue, "q", 0), TransientQueueError);
+  EXPECT_THROW(injector.onOp(Op::kEnqueue, "q", 0), TransientQueueError);
+  EXPECT_NO_THROW(injector.onOp(Op::kPut, "t", 0));
+}
+
+TEST(FaultInjector, KillActionThrowsWorkerKilled) {
+  FaultRule rule = failEveryNth(1, maskOf(Op::kDequeue));
+  rule.action = Action::kKillWorker;
+  FaultPlan plan;
+  plan.rules.push_back(rule);
+  FaultInjector injector(plan);
+  EXPECT_THROW(injector.onOp(Op::kDequeue, "q", 0), WorkerKilled);
+  EXPECT_EQ(injector.injectedKills(), 1u);
+  EXPECT_EQ(injector.injectedFailures(), 0u);
+}
+
+TEST(FaultInjector, DelayActionProceedsAndCounts) {
+  FaultRule rule = failEveryNth(1);
+  rule.action = Action::kDelay;
+  rule.delaySeconds = 0;  // Counted, not slept.
+  FaultPlan plan;
+  plan.rules.push_back(rule);
+  FaultInjector injector(plan);
+  EXPECT_NO_THROW(injector.onOp(Op::kPut, "t", 0));
+  EXPECT_EQ(injector.injectedDelays(), 1u);
+  EXPECT_EQ(injector.injected(), 1u);
+}
+
+TEST(FaultInjector, MaxInjectionsCapsTheRule) {
+  FaultRule rule = failEveryNth(1);
+  rule.maxInjections = 2;
+  FaultPlan plan;
+  plan.rules.push_back(rule);
+  FaultInjector injector(plan);
+  EXPECT_THROW(injector.onOp(Op::kPut, "t", 0), TransientStoreError);
+  EXPECT_THROW(injector.onOp(Op::kPut, "t", 0), TransientStoreError);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_NO_THROW(injector.onOp(Op::kPut, "t", 0));
+  }
+  EXPECT_EQ(injector.injectedFailures(), 2u);
+}
+
+TEST(FaultInjector, DisarmedInjectorMatchesNothing) {
+  FaultPlan plan;
+  plan.rules.push_back(failEveryNth(1));
+  FaultInjector injector(plan);
+  injector.setArmed(false);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NO_THROW(injector.onOp(Op::kPut, "t", 0));
+  }
+  injector.setArmed(true);
+  EXPECT_THROW(injector.onOp(Op::kPut, "t", 0), TransientStoreError);
+}
+
+/// Replays a fixed op sequence and records which ordinals inject.
+std::vector<int> injectionSites(FaultInjector& injector, int ops) {
+  std::vector<int> sites;
+  for (int i = 0; i < ops; ++i) {
+    const std::uint32_t part = static_cast<std::uint32_t>(i % 4);
+    try {
+      injector.onOp(Op::kPut, "table", part);
+    } catch (const TransientError&) {
+      sites.push_back(i);
+    }
+  }
+  return sites;
+}
+
+TEST(FaultInjector, ProbabilisticTriggerIsSeedDeterministic) {
+  const FaultPlan plan = FaultPlan::storeChaos(/*seed=*/42, 0.1);
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  const auto sitesA = injectionSites(a, 2000);
+  const auto sitesB = injectionSites(b, 2000);
+  EXPECT_FALSE(sitesA.empty());
+  EXPECT_EQ(sitesA, sitesB);
+  EXPECT_EQ(a.injectedFailures(), b.injectedFailures());
+  // Roughly Bernoulli(0.1) over 2000 ops.
+  EXPECT_GT(sitesA.size(), 100u);
+  EXPECT_LT(sitesA.size(), 400u);
+}
+
+TEST(FaultInjector, DifferentSeedsGiveDifferentSchedules) {
+  FaultInjector a(FaultPlan::storeChaos(1, 0.1));
+  FaultInjector b(FaultPlan::storeChaos(2, 0.1));
+  EXPECT_NE(injectionSites(a, 2000), injectionSites(b, 2000));
+}
+
+TEST(FaultInjector, BindRegistryMirrorsCounts) {
+  obs::MetricsRegistry registry;
+  FaultPlan plan;
+  plan.rules.push_back(failEveryNth(2));
+  FaultInjector injector(plan);
+  injector.bindRegistry(registry);
+  for (int i = 0; i < 10; ++i) {
+    try {
+      injector.onOp(Op::kPut, "t", 0);
+    } catch (const TransientError&) {
+    }
+  }
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("fault.injected"), 5u);
+  EXPECT_EQ(snap.counters.at("fault.injected_failures"), 5u);
+  EXPECT_EQ(snap.counters.at("fault.injected_kills"), 0u);
+}
+
+TEST(FaultInjector, FirstMatchingRuleWins) {
+  FaultRule kill = failEveryNth(1, maskOf(Op::kDequeue));
+  kill.action = Action::kKillWorker;
+  FaultPlan plan;
+  plan.rules.push_back(kill);
+  plan.rules.push_back(failEveryNth(1));  // Would also match.
+  FaultInjector injector(plan);
+  EXPECT_THROW(injector.onOp(Op::kDequeue, "q", 0), WorkerKilled);
+  EXPECT_EQ(injector.injectedKills(), 1u);
+  // The broader second rule still catches non-dequeue ops.
+  EXPECT_THROW(injector.onOp(Op::kGet, "t", 0), TransientStoreError);
+}
+
+}  // namespace
+}  // namespace ripple::fault

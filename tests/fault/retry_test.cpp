@@ -1,0 +1,148 @@
+// Retrier semantics: bounded absorption, escalation, deterministic
+// backoff, counter mirroring, and virtual-time charging.
+
+#include "fault/retry.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "sim/virtual_time.h"
+
+namespace ripple::fault {
+namespace {
+
+RetryPolicy quickPolicy(int maxAttempts = 4) {
+  RetryPolicy policy;
+  policy.maxAttempts = maxAttempts;
+  policy.sleepWallClock = false;  // Counters only; no real sleeping.
+  return policy;
+}
+
+/// Callable failing the first `failures` invocations.
+struct Flaky {
+  int failures;
+  int calls = 0;
+  int operator()() {
+    if (++calls <= failures) {
+      throw TransientStoreError("flaky");
+    }
+    return calls;
+  }
+};
+
+TEST(Retrier, PassesThroughOnSuccess) {
+  Retrier retry(quickPolicy());
+  EXPECT_EQ(retry([] { return 7; }), 7);
+  EXPECT_EQ(retry.retries(), 0u);
+}
+
+TEST(Retrier, AbsorbsFailuresWithinBudget) {
+  Retrier retry(quickPolicy(4));
+  Flaky flaky{2};
+  EXPECT_EQ(retry([&] { return flaky(); }), 3);
+  EXPECT_EQ(retry.retries(), 2u);
+  EXPECT_EQ(retry.escalations(), 0u);
+  EXPECT_GT(retry.backoffMsTotal(), 0.0);
+}
+
+TEST(Retrier, EscalatesWhenBudgetExhausted) {
+  Retrier retry(quickPolicy(3));
+  int calls = 0;
+  EXPECT_THROW(retry([&]() -> int {
+    ++calls;
+    throw TransientQueueError("always");
+  }),
+               TransientQueueError);
+  EXPECT_EQ(calls, 3);  // maxAttempts includes the first try.
+  EXPECT_EQ(retry.retries(), 2u);
+  EXPECT_EQ(retry.escalations(), 1u);
+}
+
+TEST(Retrier, DoesNotCatchNonTransientErrors) {
+  Retrier retry(quickPolicy());
+  int calls = 0;
+  EXPECT_THROW(retry([&] {
+    ++calls;
+    throw std::logic_error("bug");
+  }),
+               std::logic_error);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(retry.retries(), 0u);
+}
+
+TEST(Retrier, WorkerKilledPropagatesImmediately) {
+  // A kill is NOT transient: the reader is gone, not slow.
+  Retrier retry(quickPolicy());
+  int calls = 0;
+  EXPECT_THROW(retry([&] {
+    ++calls;
+    throw WorkerKilled("killed");
+  }),
+               WorkerKilled);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Retrier, BackoffIsDeterministicPerStream) {
+  auto drive = [](Retrier& retry) {
+    for (int round = 0; round < 5; ++round) {
+      Flaky flaky{3};
+      retry([&] { return flaky(); });
+    }
+    return retry.backoffMsTotal();
+  };
+  RetryPolicy policy = quickPolicy(8);
+  policy.seed = 17;
+  Retrier a(policy, /*streamId=*/3);
+  Retrier b(policy, /*streamId=*/3);
+  Retrier c(policy, /*streamId=*/4);
+  const double msA = drive(a);
+  EXPECT_EQ(msA, drive(b));         // Same seed + stream => same schedule.
+  EXPECT_NE(msA, drive(c));         // Another stream jitters differently.
+  EXPECT_GT(msA, 0.0);
+}
+
+TEST(Retrier, BackoffGrowsAndIsCapped) {
+  RetryPolicy policy = quickPolicy(10);
+  policy.initialBackoffMs = 1.0;
+  policy.backoffMultiplier = 2.0;
+  policy.maxBackoffMs = 3.0;
+  policy.jitter = 0;  // Exact schedule: 1, 2, 3, 3, ...
+  Retrier retry(policy);
+  Flaky flaky{5};
+  retry([&] { return flaky(); });
+  EXPECT_DOUBLE_EQ(retry.backoffMsTotal(), 1.0 + 2.0 + 3.0 + 3.0 + 3.0);
+}
+
+TEST(Retrier, MirrorsCountersIntoRegistry) {
+  obs::MetricsRegistry registry;
+  RetryPolicy policy = quickPolicy(2);
+  policy.initialBackoffMs = 1.0;
+  Retrier retry(policy);
+  retry.bindRegistry(&registry);
+  Flaky flaky{1};
+  retry([&] { return flaky(); });
+  EXPECT_THROW(retry([]() -> int { throw TransientStoreError("x"); }),
+               TransientStoreError);
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("fault.retries"), 2u);
+  EXPECT_EQ(snap.counters.at("fault.escalations"), 1u);
+  EXPECT_GE(snap.counters.at("fault.backoff_ms"), 2u);  // ceil per backoff.
+}
+
+TEST(Retrier, ChargesBackoffToVirtualTime) {
+  sim::VirtualCluster vt(2, sim::CostModel::defaults());
+  RetryPolicy policy = quickPolicy(4);
+  policy.initialBackoffMs = 10.0;
+  policy.maxBackoffMs = 100.0;  // Don't cap the 10ms/20ms schedule.
+  policy.jitter = 0;
+  Retrier retry(policy);
+  retry.bindVirtualTime(&vt, /*part=*/1);
+  Flaky flaky{2};
+  retry([&] { return flaky(); });
+  // 10ms + 20ms of backoff charged to part 1's clock, none to part 0.
+  EXPECT_NEAR(vt.now(1), 0.030, 1e-9);
+  EXPECT_DOUBLE_EQ(vt.now(0), 0.0);
+}
+
+}  // namespace
+}  // namespace ripple::fault

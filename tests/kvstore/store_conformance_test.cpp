@@ -8,6 +8,7 @@
 #include <atomic>
 
 #include "common/codec.h"
+#include "fault/faulty_store.h"
 #include "kvstore/local_store.h"
 #include "kvstore/partitioned_store.h"
 #include "kvstore/store_util.h"
@@ -23,6 +24,19 @@ struct StoreFactory {
 KVStorePtr makeLocal() { return LocalStore::create(); }
 KVStorePtr makePartitioned() {
   return PartitionedStore::create(4);
+}
+
+// The fault-injection decorator with an empty plan must be contractually
+// invisible: the whole suite runs against it too.
+KVStorePtr makeFaultyLocal() {
+  return fault::FaultyStore::wrap(
+      LocalStore::create(),
+      std::make_shared<fault::FaultInjector>(fault::FaultPlan{}));
+}
+KVStorePtr makeFaultyPartitioned() {
+  return fault::FaultyStore::wrap(
+      PartitionedStore::create(4),
+      std::make_shared<fault::FaultInjector>(fault::FaultPlan{}));
 }
 
 class StoreConformanceTest : public ::testing::TestWithParam<StoreFactory> {
@@ -337,8 +351,11 @@ TEST_P(StoreConformanceTest, MismatchedPartitionerThrows) {
 
 INSTANTIATE_TEST_SUITE_P(
     Stores, StoreConformanceTest,
-    ::testing::Values(StoreFactory{"LocalStore", &makeLocal},
-                      StoreFactory{"PartitionedStore", &makePartitioned}),
+    ::testing::Values(
+        StoreFactory{"LocalStore", &makeLocal},
+        StoreFactory{"PartitionedStore", &makePartitioned},
+        StoreFactory{"FaultyLocalStore", &makeFaultyLocal},
+        StoreFactory{"FaultyPartitionedStore", &makeFaultyPartitioned}),
     [](const ::testing::TestParamInfo<StoreFactory>& info) {
       return info.param.name;
     });
