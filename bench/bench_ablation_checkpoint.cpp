@@ -106,6 +106,7 @@ JobResult runSmooth(bench::BenchReport& benchReport, std::uint32_t n,
   tableOptions.parts = 6;
   store->createTable("smooth_state", tableOptions);
   EngineOptions options;
+  options.threads = benchReport.threads();
   options.checkpoint.enabled = checkpointing;
   options.checkpoint.interval = interval;
   options.tracer = benchReport.tracer();

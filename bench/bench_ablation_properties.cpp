@@ -112,6 +112,7 @@ JobResult runFanIn(bench::BenchReport& benchReport, std::uint32_t components,
   options.parts = kParts;
   store->createTable("fanin_state", options);
   EngineOptions engineOptions;
+  engineOptions.threads = benchReport.threads();
   engineOptions.tracer = benchReport.tracer();
   engineOptions.metrics = benchReport.metrics();
   Engine engine(store, engineOptions);
@@ -188,6 +189,7 @@ JobResult runSkew(bench::BenchReport& benchReport, bool stealing) {
       kParts, [](BytesView) -> std::uint64_t { return 0; });
   store->createTable("skew_state", options);
   EngineOptions engineOptions;
+  engineOptions.threads = benchReport.threads();
   engineOptions.workStealing = stealing;
   engineOptions.tracer = benchReport.tracer();
   engineOptions.metrics = benchReport.metrics();

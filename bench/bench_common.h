@@ -8,6 +8,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 
 #include "kvstore/table.h"
 #include "obs/report.h"
@@ -73,8 +74,23 @@ class BenchReport {
           std::cerr << "warning: --report= given an empty path; no report "
                        "will be written\n";
         }
+      } else if (arg == "--threads") {
+        if (i + 1 < argc) {
+          parseThreads(argv[++i]);
+        } else {
+          std::cerr << "warning: --threads requires a count; ignored\n";
+        }
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        parseThreads(std::string(arg.substr(10)));
       }
     }
+    if (threads_ > 0) {
+      setInfo("threads", std::to_string(threads_));
+    }
+    // A --threads scaling run is only interpretable next to the host's
+    // core count: on a single-core box the wide-pool legs measure
+    // scheduling overhead, not parallel speedup.
+    setInfo("hw_cores", std::to_string(std::thread::hardware_concurrency()));
     if (enabled()) {
       tracer_ = std::make_unique<obs::Tracer>();
       registry_ = std::make_unique<obs::MetricsRegistry>();
@@ -82,6 +98,11 @@ class BenchReport {
   }
 
   [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  /// Engine worker-thread count from `--threads N` / `--threads=N`;
+  /// 0 when absent (engine default: RIPPLE_THREADS or legacy dispatch).
+  /// Harnesses forward this into EngineOptions::threads.
+  [[nodiscard]] int threads() const { return threads_; }
 
   /// Null when --report was not given; engines treat null as disabled.
   [[nodiscard]] obs::Tracer* tracer() { return tracer_.get(); }
@@ -116,8 +137,20 @@ class BenchReport {
   }
 
  private:
+  void parseThreads(const std::string& value) {
+    char* end = nullptr;
+    const long parsed = std::strtol(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || parsed < 0) {
+      std::cerr << "warning: --threads expects a non-negative integer, got '"
+                << value << "'; ignored\n";
+      return;
+    }
+    threads_ = static_cast<int>(parsed);
+  }
+
   std::string label_;
   std::string path_;
+  int threads_ = 0;
   std::map<std::string, std::string> info_;
   std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<obs::MetricsRegistry> registry_;

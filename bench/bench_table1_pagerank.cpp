@@ -73,6 +73,7 @@ int main(int argc, char** argv) {
         report.bindStore(*store);
         apps::loadPageRankGraph(*store, "pr_graph", g, 6);
         ebsp::EngineOptions eopts;
+        eopts.threads = report.threads();
         eopts.tracer = report.tracer();
         eopts.metrics = report.metrics();
         ebsp::Engine engine(store, eopts);

@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
     auto store = kv::PartitionedStore::create(grid * grid);
     report.bindStore(*store);
     ebsp::EngineOptions eopts;
+    eopts.threads = report.threads();
     eopts.tracer = report.tracer();
     eopts.metrics = report.metrics();
     ebsp::Engine engine(store, eopts);

@@ -1,14 +1,39 @@
 #include "common/executor.h"
 
+#include <chrono>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace ripple {
+
+int resolveThreads(int requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  const char* env = std::getenv("RIPPLE_THREADS");
+  if (env == nullptr) {
+    return 0;
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(env, &end, 10);
+  if (end == env || parsed <= 0) {
+    return 0;
+  }
+  return static_cast<int>(parsed);
+}
 
 SerialExecutor::SerialExecutor(std::string name) : name_(std::move(name)) {
   worker_ = std::thread([this] { loop(); });
 }
 
-SerialExecutor::~SerialExecutor() { shutdown(); }
+SerialExecutor::~SerialExecutor() {
+  try {
+    shutdown();
+  } catch (...) {
+    // A leaked task exception is reported from explicit shutdown(); the
+    // destructor only guarantees the join.
+  }
+}
 
 void SerialExecutor::execute(Task task) {
   if (!tasks_.push(std::move(task))) {
@@ -26,6 +51,14 @@ void SerialExecutor::shutdown() {
   if (worker_.joinable()) {
     worker_.join();
   }
+  std::exception_ptr failure;
+  {
+    std::lock_guard<std::mutex> lock(failMu_);
+    std::swap(failure, failure_);
+  }
+  if (failure) {
+    std::rethrow_exception(failure);
+  }
 }
 
 void SerialExecutor::loop() {
@@ -34,7 +67,176 @@ void SerialExecutor::loop() {
     if (!task) {
       return;  // Closed and drained.
     }
-    (*task)();
+    try {
+      (*task)();
+    } catch (...) {
+      // Keep draining: a throwing task must not kill the worker, or the
+      // destructor could never join outstanding tasks.
+      std::lock_guard<std::mutex> lock(failMu_);
+      if (!failure_) {
+        failure_ = std::current_exception();
+      }
+    }
+  }
+}
+
+WorkStealingPool::WorkStealingPool(std::size_t threads, std::string name)
+    : name_(std::move(name)) {
+  if (threads == 0) {
+    threads = 1;
+  }
+  slots_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { loop(i); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  try {
+    shutdown();
+  } catch (...) {
+    // As with SerialExecutor: the destructor guarantees the join, the
+    // exception is reported from explicit shutdown().
+  }
+}
+
+void WorkStealingPool::execute(Task task) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    throw std::runtime_error("WorkStealingPool '" + name_ +
+                             "': execute after shutdown");
+  }
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot =
+      *slots_[rr_.fetch_add(1, std::memory_order_relaxed) % slots_.size()];
+  {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    slot.tasks.push_back(std::move(task));
+  }
+  idleCv_.notify_one();
+}
+
+void WorkStealingPool::parallelFor(std::size_t n,
+                                   const std::function<void(std::size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  CountdownLatch latch(n);
+  std::mutex mu;
+  std::exception_ptr failure;
+  for (std::size_t i = 0; i < n; ++i) {
+    execute([&, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!failure) {
+          failure = std::current_exception();
+        }
+      }
+      latch.countDown();
+    });
+  }
+  latch.wait();
+  if (failure) {
+    std::rethrow_exception(failure);
+  }
+}
+
+void WorkStealingPool::shutdown() {
+  stopping_.store(true, std::memory_order_release);
+  idleCv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+  workers_.clear();
+  // Belt and braces against an execute() racing shutdown(): anything that
+  // slipped past the workers runs here, preserving the "never abandons
+  // work" contract.
+  for (auto& slot : slots_) {
+    for (;;) {
+      Task task;
+      {
+        std::lock_guard<std::mutex> lock(slot->mu);
+        if (slot->tasks.empty()) {
+          break;
+        }
+        task = std::move(slot->tasks.front());
+        slot->tasks.pop_front();
+      }
+      try {
+        task();
+      } catch (...) {
+        noteFailure();
+      }
+      inflight_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  std::exception_ptr failure;
+  {
+    std::lock_guard<std::mutex> lock(failMu_);
+    std::swap(failure, failure_);
+  }
+  if (failure) {
+    std::rethrow_exception(failure);
+  }
+}
+
+std::optional<WorkStealingPool::Task> WorkStealingPool::take(std::size_t self) {
+  {
+    Slot& own = *slots_[self];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      Task task = std::move(own.tasks.front());
+      own.tasks.pop_front();
+      return task;
+    }
+  }
+  for (std::size_t i = 1; i < slots_.size(); ++i) {
+    Slot& victim = *slots_[(self + i) % slots_.size()];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      Task task = std::move(victim.tasks.back());
+      victim.tasks.pop_back();
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  return std::nullopt;
+}
+
+void WorkStealingPool::noteFailure() {
+  std::lock_guard<std::mutex> lock(failMu_);
+  if (!failure_) {
+    failure_ = std::current_exception();
+  }
+}
+
+void WorkStealingPool::loop(std::size_t self) {
+  for (;;) {
+    if (std::optional<Task> task = take(self)) {
+      try {
+        (*task)();
+      } catch (...) {
+        noteFailure();
+      }
+      // Decrement after the task ran: inflight_ counts queued + running,
+      // so a task that execute()s more work keeps the pool alive until
+      // that work also drains.
+      inflight_.fetch_sub(1, std::memory_order_release);
+      continue;
+    }
+    if (stopping_.load(std::memory_order_acquire) &&
+        inflight_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+    std::unique_lock<std::mutex> lock(idleMu_);
+    idleCv_.wait_for(lock, std::chrono::milliseconds(1));
   }
 }
 

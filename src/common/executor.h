@@ -1,22 +1,41 @@
-// Serial executors: one worker thread consuming a task queue.
+// Executors: serial task queues and a work-stealing pool.
 //
-// A PartitionedStore gives each part two of these (a short-op executor and
-// a long-op executor), which is how "mobile code" runs adjacent to the data
-// it touches.  submit() returns a future-like completion; execute() is
-// fire-and-forget.
+// A PartitionedStore gives each part two SerialExecutors (a short-op
+// executor and a long-op executor), which is how "mobile code" runs
+// adjacent to the data it touches.  submit() returns a future-like
+// completion; execute() is fire-and-forget.
+//
+// WorkStealingPool is the engine-side counterpart: a fixed set of workers
+// with per-worker deques.  The synchronized engine uses it to run per-part
+// compute/collect invocations concurrently, and the queue sets use it to
+// multiplex no-sync workers over more queues than threads.  Shutdown (and
+// the destructor) drains every outstanding task before joining — work is
+// never abandoned at teardown.
 
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "common/queue.h"
 
 namespace ripple {
+
+/// Resolve an engine thread-count request: an explicit positive request
+/// wins; zero consults the RIPPLE_THREADS environment variable.  A result
+/// of 0 means "no engine pool" (legacy store-collocated dispatch).
+[[nodiscard]] int resolveThreads(int requested);
 
 class SerialExecutor {
  public:
@@ -55,7 +74,10 @@ class SerialExecutor {
   /// True if called from the executor's own worker thread.
   [[nodiscard]] bool onThisThread() const;
 
-  /// Drain outstanding tasks and join the worker.  Idempotent.
+  /// Drain outstanding tasks and join the worker, then rethrow the first
+  /// exception a fire-and-forget task leaked (a throwing task no longer
+  /// kills the worker: the queue keeps draining so teardown always joins).
+  /// Idempotent.
   void shutdown();
 
   [[nodiscard]] const std::string& name() const { return name_; }
@@ -66,6 +88,71 @@ class SerialExecutor {
   std::string name_;
   BlockingQueue<Task> tasks_;
   std::thread worker_;
+  std::mutex failMu_;
+  std::exception_ptr failure_;
+};
+
+/// Fixed-size work-stealing pool.  execute() places tasks round-robin on
+/// per-worker deques; an idle worker first drains its own deque in FIFO
+/// order, then steals from the back of a sibling's.  Tasks may themselves
+/// call execute() — shutdown waits until the queued *and running* task
+/// count reaches zero, so nothing submitted before (or during) the drain
+/// is abandoned.
+class WorkStealingPool {
+ public:
+  using Task = std::function<void()>;
+
+  explicit WorkStealingPool(std::size_t threads, std::string name = "pool");
+
+  /// Drains every outstanding task, then joins.
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  /// Enqueue fire-and-forget work.  Throws if the pool is shut down.
+  void execute(Task task);
+
+  /// Run fn(0..n-1) across the pool and block until every iteration
+  /// finished; rethrows the first exception afterwards (mirrors
+  /// KVStore::runInParts semantics).  Must be called from outside the
+  /// pool: a pool task calling parallelFor would wait on itself.
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Drain every queued task, join the workers, then rethrow the first
+  /// exception a fire-and-forget task leaked.  Idempotent.
+  void shutdown();
+
+  [[nodiscard]] std::size_t threadCount() const { return slots_.size(); }
+
+  /// Tasks run by a worker other than the one they were placed on.
+  [[nodiscard]] std::uint64_t stealCount() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  struct Slot {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  void loop(std::size_t self);
+  std::optional<Task> take(std::size_t self);
+  void noteFailure();
+
+  std::string name_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> rr_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> inflight_{0};  // Queued + currently running.
+  std::atomic<bool> stopping_{false};
+  std::mutex idleMu_;
+  std::condition_variable idleCv_;
+  std::mutex failMu_;
+  std::exception_ptr failure_;
 };
 
 /// Simple countdown latch (std::latch lacks a timed wait and re-use story

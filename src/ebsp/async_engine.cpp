@@ -1,12 +1,15 @@
 #include "ebsp/async_engine.h"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "common/dyadic.h"
 #include "common/logging.h"
 #include "common/stats.h"
+#include "ebsp/transport.h"
 #include "fault/faulty_store.h"
 #include "sim/cost_model.h"
 
@@ -23,6 +26,7 @@ enum class EnvelopeKind : std::uint8_t {
   kMessage = 0,
   kEnable = 1,  // Continue signal / loader enablement: empty-input invoke.
   kCreate = 2,
+  kBatch = 3,   // Wrapper: several sub-envelopes in one queue put.
 };
 
 struct Envelope {
@@ -65,6 +69,19 @@ Envelope decodeEnvelope(BytesView data) {
   return e;
 }
 
+/// One queue put carrying several envelopes bound for the same part.
+/// Each sub-envelope keeps its own split weight and send stamp; the
+/// wrapper itself carries no weight and is never credited.
+Bytes encodeBatch(const std::vector<Envelope>& subs) {
+  ByteWriter w;
+  w.putU8(static_cast<std::uint8_t>(EnvelopeKind::kBatch));
+  w.putVarint(subs.size());
+  for (const Envelope& e : subs) {
+    w.putBytes(encodeEnvelope(e));
+  }
+  return w.take();
+}
+
 }  // namespace
 
 class AsyncEngine::Run {
@@ -100,9 +117,18 @@ class AsyncEngine::Run {
     }
     queues_ = options_.queuing->createQueueSet("__ebsp_q_" + runId_, ref_);
     stealing_ = options_.workStealing && props_.runAnywhere();
-    partMetrics_.assign(parts_, PartMetrics{});
-    partRetry_.reserve(parts_);
-    for (std::uint32_t p = 0; p < parts_; ++p) {
+    combiner_ = CombinerOps::fromCompute(job_.compute);
+    // Worker topology: one worker per queue by default; an explicit
+    // positive thread count below the part count multiplexes the striped
+    // queues {w, w + workers, ...} onto worker w.
+    workerCount_ = parts_;
+    if (options_.threads > 0 &&
+        static_cast<std::uint32_t>(options_.threads) < parts_) {
+      workerCount_ = static_cast<std::uint32_t>(options_.threads);
+    }
+    partMetrics_.assign(workerCount_, PartMetrics{});
+    partRetry_.reserve(workerCount_);
+    for (std::uint32_t p = 0; p < workerCount_; ++p) {
       fault::Retrier retrier(options_.retry, p);
       retrier.bindRegistry(options_.metrics);
       retrier.bindVirtualTime(vt_.get(), p);
@@ -110,9 +136,9 @@ class AsyncEngine::Run {
     }
     clientRetry_ = fault::Retrier(options_.retry, ~std::uint64_t{0});
     clientRetry_.bindRegistry(options_.metrics);
-    dead_.assign(parts_, false);
-    adoptedOf_.assign(parts_, {});
-    aliveWorkers_ = parts_;
+    dead_.assign(workerCount_, false);
+    adoptedOf_.assign(workerCount_, {});
+    aliveWorkers_ = workerCount_;
   }
 
   ~Run() { options_.queuing->deleteQueueSet("__ebsp_q_" + runId_); }
@@ -130,7 +156,8 @@ class AsyncEngine::Run {
     {
       obs::Tracer::Scoped compute(tracer, obs::Phase::kCompute, /*step=*/0);
       if (initial > 0) {
-        queues_->runWorkers([this](mq::WorkerContext& ctx) { worker(ctx); });
+        queues_->runWorkers([this](mq::WorkerContext& ctx) { worker(ctx); },
+                            workerCount_);
       }
       if (failure_) {
         compute->note = "failed";
@@ -168,6 +195,10 @@ class AsyncEngine::Run {
     result.metrics = metrics_;
     if (options_.metrics != nullptr) {
       foldEngineMetrics(*options_.metrics, result.metrics);
+      options_.metrics->gauge("exec.threads")
+          .set(static_cast<double>(workerCount_));
+      options_.metrics->counter("exec.steal_count")
+          .add(result.metrics.stolenMessages);
       if (vt_) {
         options_.metrics->gauge("ebsp.virtual_makespan")
             .set(result.virtualMakespan);
@@ -186,6 +217,8 @@ class AsyncEngine::Run {
     std::uint64_t creations = 0;
     std::uint64_t directs = 0;
     std::uint64_t stolen = 0;
+    std::uint64_t combineIn = 0;
+    std::uint64_t combineOut = 0;
   };
 
   /// Per-invocation context: buffers outputs so the engine can split the
@@ -416,6 +449,8 @@ class AsyncEngine::Run {
   }
 
   void worker(mq::WorkerContext& wctx) {
+    // Worker id == primary queue index; under multiplexing the context
+    // serves every queue congruent to it modulo workerCount_.
     const std::uint32_t part = wctx.queueIndex();
     PartMetrics& metrics = partMetrics_[part];
     Context ctx(*this, part, metrics);
@@ -481,7 +516,20 @@ class AsyncEngine::Run {
         ++metrics.stolen;
       }
       try {
-        process(decodeEnvelope(*raw), part, ctx, metrics);
+        ByteReader r(*raw);
+        if (static_cast<EnvelopeKind>(r.getU8()) == EnvelopeKind::kBatch) {
+          // Sub-envelopes process in batch order, preserving the
+          // sender's per-(worker, queue) FIFO.
+          const auto n = static_cast<std::size_t>(r.getVarint());
+          for (std::size_t i = 0; i < n; ++i) {
+            process(decodeEnvelope(r.getBytes()), part, ctx, metrics);
+          }
+          if (!r.atEnd()) {
+            throw CodecError("batch envelope: trailing bytes");
+          }
+        } else {
+          process(decodeEnvelope(*raw), part, ctx, metrics);
+        }
       } catch (...) {
         // Includes TransientError escalations mid-invocation: the
         // envelope was already consumed, so redelivery would double-apply
@@ -515,13 +563,17 @@ class AsyncEngine::Run {
     }
     --aliveWorkers_;
     dead_[part] = true;
-    std::uint32_t heir = (part + 1) % parts_;
+    std::uint32_t heir = (part + 1) % workerCount_;
     while (dead_[heir]) {
-      heir = (heir + 1) % parts_;
+      heir = (heir + 1) % workerCount_;
     }
     auto& mine = adoptedOf_[part];
     auto& theirs = adoptedOf_[heir];
-    theirs.push_back(part);
+    // The heir adopts the dead worker's whole owned stripe plus whatever
+    // that worker had itself adopted earlier.
+    for (std::uint32_t q = part; q < parts_; q += workerCount_) {
+      theirs.push_back(q);
+    }
     theirs.insert(theirs.end(), mine.begin(), mine.end());
     mine.clear();
     ++recoveries_;
@@ -531,6 +583,7 @@ class AsyncEngine::Run {
     if (options_.tracer != nullptr) {
       obs::Span span;
       span.phase = obs::Phase::kRestore;
+      span.thread = obs::currentThreadOrdinal();
       span.start = options_.tracer->elapsedSeconds();
       span.note = "no-sync takeover: worker " + std::to_string(part) +
                   " -> " + std::to_string(heir);
@@ -587,6 +640,13 @@ class AsyncEngine::Run {
           "positive continue signal");
     }
 
+    // Sender-side combining runs BEFORE the weight split: dyadic weights
+    // cannot be summed back together, so children are counted over the
+    // post-combine output set.
+    if (combiner_ && ctx.outgoing_.size() > 1) {
+      combineOutgoing(ctx, metrics);
+    }
+
     const std::uint64_t children = ctx.outgoing_.size() +
                                    ctx.creations_.size() +
                                    (cont ? 1 : 0);
@@ -598,6 +658,11 @@ class AsyncEngine::Run {
     const WeightSplit split = splitWeight(env.weight, children);
     const double sendVt = vt_ ? vt_->now(part) : 0.0;
 
+    // Group messages by destination part (first-touch order preserves the
+    // per-(worker, queue) send sequence) so one queue put carries a whole
+    // batch instead of one record.
+    std::vector<std::pair<std::uint32_t, std::vector<Envelope>>> byPart;
+    std::unordered_map<std::uint32_t, std::size_t> partAt;
     for (auto& outgoing : ctx.outgoing_) {
       Envelope out;
       out.kind = EnvelopeKind::kMessage;
@@ -606,8 +671,19 @@ class AsyncEngine::Run {
       out.senderPart = part;
       out.weight = split.child;
       out.sendVt = vt_ ? outgoing.sendVt : 0.0;
-      enqueue(std::move(out));
+      const std::uint32_t destPart = ref_->partOf(out.destKey);
+      const auto [at, inserted] = partAt.try_emplace(destPart, byPart.size());
+      if (inserted) {
+        byPart.emplace_back(destPart, std::vector<Envelope>{});
+      }
+      byPart[at->second].second.push_back(std::move(out));
       ++metrics.sent;
+    }
+    for (auto& [destPart, group] : byPart) {
+      enqueueTo(destPart,
+                group.size() == 1 ? encodeEnvelope(group.front())
+                                  : encodeBatch(group),
+                part);
     }
     for (auto& creation : ctx.creations_) {
       Envelope out;
@@ -633,15 +709,52 @@ class AsyncEngine::Run {
   }
 
   void enqueue(Envelope&& env) {
-    const std::uint32_t destPart = ref_->partOf(env.destKey);
-    const Bytes encoded = encodeEnvelope(env);
+    enqueueTo(ref_->partOf(env.destKey), encodeEnvelope(env),
+              env.senderPart);
+  }
+
+  void enqueueTo(std::uint32_t destPart, const Bytes& encoded,
+                 std::uint32_t senderWorker) {
     // Retried through the sender's retrier: a failed put enqueued
     // nothing (fail-before), so the re-put delivers exactly once.
-    const bool ok = partRetry_[env.senderPart](
+    const bool ok = partRetry_[senderWorker](
         [&] { return queues_->put(destPart, encoded); });
     if (!ok) {
       throw std::logic_error("AsyncEngine: enqueue after close");
     }
+  }
+
+  /// Fold duplicate destination keys in the invocation's outgoing buffer
+  /// through the job's combiner, keeping first-occurrence order (and the
+  /// first occurrence's send stamp).
+  void combineOutgoing(Context& ctx, PartMetrics& metrics) {
+    std::vector<Context::Outgoing> folded;
+    std::vector<CombineSlot> slots;
+    std::unordered_map<Bytes, std::size_t> byKey;
+    folded.reserve(ctx.outgoing_.size());
+    for (auto& out : ctx.outgoing_) {
+      const auto [at, inserted] = byKey.try_emplace(out.destKey,
+                                                    folded.size());
+      if (inserted) {
+        folded.push_back(std::move(out));
+        slots.emplace_back();
+        continue;
+      }
+      CombineSlot& slot = slots[at->second];
+      Context::Outgoing& first = folded[at->second];
+      if (slot.empty()) {
+        slot.addMessage(combiner_, first.destKey, first.payload);
+      }
+      slot.addMessage(combiner_, first.destKey, out.payload);
+    }
+    metrics.combineIn += ctx.outgoing_.size();
+    metrics.combineOut += folded.size();
+    for (std::size_t i = 0; i < folded.size(); ++i) {
+      if (!slots[i].empty()) {
+        folded[i].payload = slots[i].take(combiner_, folded[i].destKey);
+      }
+    }
+    ctx.outgoing_ = std::move(folded);
   }
 
   /// Component creation applied at the owner, serialized by the owner's
@@ -738,6 +851,8 @@ class AsyncEngine::Run {
       metrics_.creations += m.creations;
       metrics_.directOutputs += m.directs;
       metrics_.stolenMessages += m.stolen;
+      metrics_.combineIn += m.combineIn;
+      metrics_.combineOut += m.combineOut;
     }
   }
 
@@ -751,8 +866,13 @@ class AsyncEngine::Run {
   std::vector<kv::TablePtr> stateTables_;
   kv::TablePtr broadcast_;
   std::uint32_t parts_ = 0;
+  // Worker threads actually spawned; below parts_ when options_.threads
+  // caps it, in which case worker w multiplexes the striped queues
+  // {w, w + workerCount_, ...} and every per-worker array is sized by it.
+  std::uint32_t workerCount_ = 0;
   mq::QueueSetPtr queues_;
   bool stealing_ = false;
+  CombinerOps combiner_;
 
   std::unique_ptr<sim::VirtualCluster> vt_;
 

@@ -36,6 +36,15 @@ struct AsyncEngineOptions {
   /// Enable work stealing when the job's properties allow run-anywhere.
   bool workStealing = true;
 
+  /// Worker threads.  0 (default) or >= the part count runs the classic
+  /// one-worker-per-queue topology; a smaller positive count runs that
+  /// many workers, each multiplexing the striped queues {w, w + threads,
+  /// ...}.  Deliberately NOT env-driven (unlike SyncEngineOptions):
+  /// the worker count is a placement and recovery-topology decision —
+  /// adopted-queue accounting and steal targets are sized by it — so only
+  /// an explicit setting changes it.
+  int threads = 0;
+
   /// Queue-set factory; the engine front-end defaults this to the
   /// in-memory implementation.
   mq::QueuingPtr queuing;

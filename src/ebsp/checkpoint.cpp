@@ -93,7 +93,7 @@ void Checkpointer::checkpoint(int completedStep,
   obs::Tracer::Scoped span(tracer_, obs::Phase::kCheckpoint, completedStep);
   std::atomic<std::uint64_t> bytesCopied{0};
   // Invalidate any previous checkpoint before touching its shadows.
-  const std::uint64_t epoch = ++epoch_;
+  const std::uint64_t epoch = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
   meta_->put(Bytes(kEpochBeginKey), encodeToBytes<std::uint64_t>(epoch));
   // Copy each part of each table into its shadow, collocated with the
   // part's container.  All shadow writes complete before the shard-step

@@ -18,6 +18,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <optional>
 #include <string>
@@ -86,7 +87,9 @@ class Checkpointer {
   std::vector<kv::TablePtr> shadows_;
   kv::TablePtr placement_;
   kv::TablePtr meta_;  // shard -> completed step; plus aggregator finals.
-  std::uint64_t epoch_ = 0;  // Bumped per checkpoint; see epoch markers.
+  // Bumped per checkpoint; see epoch markers.  Atomic so checkpoint and
+  // escalation paths racing under an engine pool read a coherent epoch.
+  std::atomic<std::uint64_t> epoch_{0};
   obs::Tracer* tracer_ = nullptr;
 };
 

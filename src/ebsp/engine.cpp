@@ -36,6 +36,7 @@ JobResult Engine::run(RawJob& job) {
     AsyncEngineOptions async;
     async.costModel = options_.costModel;
     async.virtualTime = options_.virtualTime;
+    async.threads = options_.threads;
     async.pollTimeout = options_.pollTimeout;
     async.workStealing = options_.workStealing;
     async.queuing = options_.queuing;
@@ -52,6 +53,7 @@ JobResult Engine::run(RawJob& job) {
   SyncEngineOptions sync;
   sync.costModel = options_.costModel;
   sync.virtualTime = options_.virtualTime;
+  sync.threads = options_.threads;
   sync.maxSteps = options_.maxSteps;
   sync.spillBatch = options_.spillBatch;
   sync.checkpoint = options_.checkpoint;

@@ -27,6 +27,12 @@ struct EngineOptions {
   sim::CostModel costModel = sim::CostModel::defaults();
   bool virtualTime = true;
 
+  /// Worker threads, forwarded to whichever strategy runs.  For the
+  /// synchronized strategy 0 additionally consults RIPPLE_THREADS (see
+  /// SyncEngineOptions::threads); the no-sync strategy only honors an
+  /// explicit positive value (see AsyncEngineOptions::threads).
+  int threads = 0;
+
   // Synchronized strategy knobs.
   int maxSteps = 1'000'000;
   std::size_t spillBatch = 4096;

@@ -51,6 +51,8 @@ void foldEngineMetrics(obs::MetricsRegistry& registry,
   registry.counter("ebsp.stolen_messages").add(metrics.stolenMessages);
   registry.counter("ebsp.checkpoints").add(metrics.checkpoints);
   registry.counter("ebsp.recoveries").add(metrics.recoveries);
+  registry.counter("combine.in").add(metrics.combineIn);
+  registry.counter("combine.out").add(metrics.combineOut);
 }
 
 }  // namespace ripple::ebsp

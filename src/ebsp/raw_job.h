@@ -206,6 +206,10 @@ struct EngineMetrics {
   std::uint64_t stolenMessages = 0;
   std::uint64_t checkpoints = 0;
   std::uint64_t recoveries = 0;
+  /// Messages into / combined records out of the sender-side combining
+  /// stage (both 0 when the job declares no combiner).
+  std::uint64_t combineIn = 0;
+  std::uint64_t combineOut = 0;
 };
 
 /// Execution results (paper §II: final aggregator results and the number

@@ -1,11 +1,13 @@
 #include "ebsp/sync_engine.h"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
 
+#include "common/executor.h"
 #include "common/logging.h"
 #include "common/stats.h"
 #include "ebsp/transport.h"
@@ -67,11 +69,17 @@ class SyncEngine::Run {
         directSink_(job.directOutputter.get()) {
     validateRawJob(job_);
     resolveTables();
+    const int threads = resolveThreads(options_.threads);
+    if (threads > 0) {
+      pool_ = std::make_unique<WorkStealingPool>(
+          static_cast<std::size_t>(threads), "sync-engine");
+    }
     if (options_.virtualTime) {
       vt_ = std::make_unique<sim::VirtualCluster>(parts_, options_.costModel);
     }
-    // One retrier per part (each part's work is single-threaded) plus one
-    // for client-thread phases (load, checkpoint, restore).
+    // One retrier per part (a part's work runs on one thread at a time,
+    // pool or not) plus one for client-thread phases (load, checkpoint,
+    // restore).
     partRetry_.reserve(parts_);
     for (std::uint32_t p = 0; p < parts_; ++p) {
       fault::Retrier retrier(options_.retry, p);
@@ -151,9 +159,7 @@ class SyncEngine::Run {
       {
         obs::Tracer::Scoped compute(tracer, obs::Phase::kCompute, runStep);
         const double vtBefore = vt_ ? vt_->makespan() : 0.0;
-        store_->runInParts(*ref_, [&](std::uint32_t part) {
-          processPart(part, runStep);
-        });
+        runParts([&](std::uint32_t part) { processPart(part, runStep); });
         PartOutcome totals{};
         for (const auto& o : partOutcomes_) {
           totals.invocations += o.invocations;
@@ -211,9 +217,7 @@ class SyncEngine::Run {
       {
         obs::Tracer::Scoped collect(tracer, obs::Phase::kCollect, runStep);
         std::vector<std::uint64_t> collected(parts_, 0);
-        store_->runInParts(*ref_, [&](std::uint32_t part) {
-          collected[part] = collectPart(part);
-        });
+        runParts([&](std::uint32_t part) { collected[part] = collectPart(part); });
         pending = 0;
         for (const std::uint64_t c : collected) {
           pending += c;
@@ -312,6 +316,8 @@ class SyncEngine::Run {
     std::uint64_t stateWrites = 0;
     std::uint64_t creations = 0;
     std::uint64_t directs = 0;
+    std::uint64_t combineIn = 0;
+    std::uint64_t combineOut = 0;
   };
 
   /// RawComputeContext implementation for the synchronized engine.  One
@@ -395,6 +401,22 @@ class SyncEngine::Run {
     BytesView key_;
     const std::vector<Bytes>* messages_ = nullptr;
   };
+
+  /// Fan per-part work out to the engine pool when one is configured (the
+  /// pool thread adopts the part's location first, so store ops stay
+  /// collocated), or fall back to the store's own dispatch.  Both paths
+  /// run every part to completion and rethrow the first failure.
+  void runParts(const std::function<void(std::uint32_t)>& fn) {
+    if (!pool_) {
+      store_->runInParts(*ref_, fn);
+      return;
+    }
+    pool_->parallelFor(parts_, [&](std::size_t part) {
+      const auto p = static_cast<std::uint32_t>(part);
+      auto token = store_->adoptPartThread(*ref_, p);
+      fn(p);
+    });
+  }
 
   void resolveTables() {
     ref_ = store_->lookupTable(job_.referenceTable);
@@ -511,12 +533,18 @@ class SyncEngine::Run {
       }
     }
 
-    // Step-1 collection entries.
+    // Step-1 collection entries, in canonical (key-sorted) order: the
+    // loaders' emission order reflects however they enumerated their
+    // sources, and the collection put order becomes the step-1 invocation
+    // order, which in turn pins sender-side combiner fold order.  Sorting
+    // here makes the whole run a pure function of the job's inputs.
     std::vector<std::pair<kv::Key, kv::Value>> entries;
     entries.reserve(ctx.pending.size());
     for (auto& [key, cv] : ctx.pending) {
       entries.emplace_back(key, encodeCollected(cv));
     }
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
     if (injector_ != nullptr) {
       for (const auto& [key, value] : entries) {
         clientRetry_([&] { collection_->put(key, value); });
@@ -576,6 +604,8 @@ class SyncEngine::Run {
     outcome.combinerCalls = writer.combinerCalls();
     outcome.spills = writer.spillsWritten();
     outcome.spillBytes = writer.bytesWritten();
+    outcome.combineIn = writer.combineIn();
+    outcome.combineOut = writer.combineOut();
   }
 
   /// Drain this part's spills and build its slice of the next collection.
@@ -593,6 +623,15 @@ class SyncEngine::Run {
     if (spills.empty()) {
       return 0;
     }
+    // Canonical merge order (sorted collect): parallel senders interleave
+    // their transport puts arbitrarily, so the drain order depends on the
+    // schedule.  Sorting by (sender part, sender sequence) pins the fold
+    // order — grouping, combiner folds, and FP sums are bit-identical at
+    // any thread count.
+    std::sort(spills.begin(), spills.end(),
+              [](const auto& a, const auto& b) {
+                return spillKeyLess(a.first, b.first);
+              });
 
     if (props_.noCollect() && !props_.declared.needsOrder) {
       // one-msg + no-continue: no value lists, no grouping map; each
@@ -784,6 +823,11 @@ class SyncEngine::Run {
       return;
     }
     foldEngineMetrics(*options_.metrics, result.metrics);
+    options_.metrics->gauge("exec.threads")
+        .set(pool_ ? static_cast<double>(pool_->threadCount()) : 0.0);
+    if (pool_) {
+      options_.metrics->counter("exec.steal_count").add(pool_->stealCount());
+    }
     if (vt_) {
       options_.metrics->gauge("ebsp.virtual_makespan")
           .set(result.virtualMakespan);
@@ -802,6 +846,8 @@ class SyncEngine::Run {
       metrics_.stateWrites += o.stateWrites;
       metrics_.creations += o.creations;
       metrics_.directOutputs += o.directs;
+      metrics_.combineIn += o.combineIn;
+      metrics_.combineOut += o.combineOut;
     }
   }
 
@@ -817,6 +863,10 @@ class SyncEngine::Run {
   kv::TablePtr transport_;
   kv::TablePtr collection_;
   std::uint32_t parts_ = 0;
+
+  /// Engine-owned compute pool; null when threads resolve to 0 (legacy
+  /// store-collocated dispatch via runInParts).
+  std::unique_ptr<WorkStealingPool> pool_;
 
   std::unique_ptr<sim::VirtualCluster> vt_;
   std::unique_ptr<Checkpointer> checkpointer_;

@@ -31,6 +31,14 @@ struct SyncEngineOptions {
   /// Records per spill before the sender flushes to the transport table.
   std::size_t spillBatch = 4096;
 
+  /// Width of the engine's work-stealing compute pool: per-part compute
+  /// and collect invocations run concurrently on it, with each pool
+  /// thread adopting the part's location first.  0 consults the
+  /// RIPPLE_THREADS environment variable; if that also resolves to 0 the
+  /// engine keeps the legacy store-collocated dispatch.  Results are
+  /// bit-identical at any width (sorted-collect canonical merge order).
+  int threads = 0;
+
   CheckpointConfig checkpoint;
 
   /// Transient-error absorption (see src/fault/retry.h): every store

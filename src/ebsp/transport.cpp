@@ -21,6 +21,19 @@ kv::Key makeSpillKey(std::uint32_t destPart, std::uint32_t senderPart,
   return w.take();
 }
 
+bool spillKeyLess(BytesView a, BytesView b) {
+  ByteReader ra(a);
+  ByteReader rb(b);
+  ra.getFixed32();  // Skip destPart: callers compare within one part.
+  rb.getFixed32();
+  const std::uint32_t senderA = ra.getFixed32();
+  const std::uint32_t senderB = rb.getFixed32();
+  if (senderA != senderB) {
+    return senderA < senderB;
+  }
+  return ra.getFixed64() < rb.getFixed64();
+}
+
 Bytes encodeSpill(const std::vector<TransportRecord>& records) {
   ByteWriter w;
   w.putVarint(records.size());
@@ -111,6 +124,7 @@ void SpillWriter::addMessage(BytesView destKey, BytesView payload) {
   ++messages_;
   const std::uint32_t destPart = destPartOf_(destKey);
   if (combiner_) {
+    ++combineIn_;
     auto& m = combined_[destPart];
     auto it = m.find(Bytes(destKey));
     if (it == m.end()) {
@@ -177,6 +191,7 @@ void SpillWriter::flushAll() {
       rec.kind = RecordKind::kMessage;
       rec.key = key;
       rec.payload = slot.take(combiner_, key);
+      ++combineOut_;
       buffers_[part].push_back(std::move(rec));
       if (buffers_[part].size() >= maxBatch_) {
         flushPart(part);

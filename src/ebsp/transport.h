@@ -99,6 +99,13 @@ struct TransportRecord {
                                    std::uint32_t senderPart,
                                    std::uint64_t seq);
 
+/// Canonical spill order within one destination part: (sender part,
+/// sender sequence).  Parallel senders interleave their transport puts
+/// arbitrarily, so the collect phase sorts drained spills with this
+/// comparator before folding — the merge order (and therefore every
+/// combiner fold and FP sum downstream) is identical at any thread count.
+[[nodiscard]] bool spillKeyLess(BytesView a, BytesView b);
+
 /// Encode/decode a batch of records (one spill value).
 [[nodiscard]] Bytes encodeSpill(const std::vector<TransportRecord>& records);
 void decodeSpill(BytesView spill,
@@ -135,6 +142,12 @@ class SpillWriter {
   [[nodiscard]] std::uint64_t spillsWritten() const { return spills_; }
   [[nodiscard]] std::uint64_t bytesWritten() const { return bytes_; }
 
+  /// Messages that entered the sender-side combining stage, and combined
+  /// records that left it (their difference is the traffic saved).  Both
+  /// stay 0 when the job declares no combiner.
+  [[nodiscard]] std::uint64_t combineIn() const { return combineIn_; }
+  [[nodiscard]] std::uint64_t combineOut() const { return combineOut_; }
+
  private:
   void add(std::uint32_t destPart, TransportRecord record);
   void flushPart(std::uint32_t destPart);
@@ -160,6 +173,8 @@ class SpillWriter {
   std::uint64_t combinerCalls_ = 0;
   std::uint64_t spills_ = 0;
   std::uint64_t bytes_ = 0;
+  std::uint64_t combineIn_ = 0;
+  std::uint64_t combineOut_ = 0;
 };
 
 /// Value stored in the collection table for one component: the enablement

@@ -31,6 +31,16 @@ class FaultyQueueSet : public mq::QueueSet {
     });
   }
 
+  void runWorkers(const std::function<void(mq::WorkerContext&)>& body,
+                  std::uint32_t threads) override {
+    inner_->runWorkers(
+        [this, &body](mq::WorkerContext& inner) {
+          Context ctx(*this, inner);
+          body(ctx);
+        },
+        threads);
+  }
+
   void close() override { inner_->close(); }
 
   [[nodiscard]] std::uint64_t backlog() const override {

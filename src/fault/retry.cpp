@@ -21,6 +21,37 @@ std::uint64_t mix64(std::uint64_t x) {
 Retrier::Retrier(RetryPolicy policy, std::uint64_t streamId)
     : policy_(policy), rng_(mix64(policy.seed ^ mix64(streamId))) {}
 
+Retrier::Retrier(Retrier&& other) noexcept
+    : policy_(other.policy_),
+      rng_(other.rng_),
+      vt_(other.vt_),
+      part_(other.part_),
+      retries_(other.retries_.load(std::memory_order_relaxed)),
+      escalations_(other.escalations_.load(std::memory_order_relaxed)),
+      backoffMsTotal_(other.backoffMsTotal_.load(std::memory_order_relaxed)),
+      ctrRetries_(other.ctrRetries_),
+      ctrBackoffMs_(other.ctrBackoffMs_),
+      ctrEscalations_(other.ctrEscalations_) {}
+
+Retrier& Retrier::operator=(Retrier&& other) noexcept {
+  if (this != &other) {
+    policy_ = other.policy_;
+    rng_ = other.rng_;
+    vt_ = other.vt_;
+    part_ = other.part_;
+    retries_.store(other.retries_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    escalations_.store(other.escalations_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    backoffMsTotal_.store(other.backoffMsTotal_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    ctrRetries_ = other.ctrRetries_;
+    ctrBackoffMs_ = other.ctrBackoffMs_;
+    ctrEscalations_ = other.ctrEscalations_;
+  }
+  return *this;
+}
+
 void Retrier::bindRegistry(obs::MetricsRegistry* registry) {
   if (registry == nullptr) {
     ctrRetries_ = ctrBackoffMs_ = ctrEscalations_ = nullptr;
@@ -47,8 +78,11 @@ void Retrier::backoff(int attempt) {
   }
   ms = std::max(ms, 0.0);
 
-  ++retries_;
-  backoffMsTotal_ += ms;
+  retries_.fetch_add(1, std::memory_order_relaxed);
+  double total = backoffMsTotal_.load(std::memory_order_relaxed);
+  while (!backoffMsTotal_.compare_exchange_weak(total, total + ms,
+                                                std::memory_order_relaxed)) {
+  }
   if (ctrRetries_ != nullptr) {
     ctrRetries_->add(1);
   }
@@ -64,7 +98,7 @@ void Retrier::backoff(int attempt) {
 }
 
 void Retrier::noteEscalation() {
-  ++escalations_;
+  escalations_.fetch_add(1, std::memory_order_relaxed);
   if (ctrEscalations_ != nullptr) {
     ctrEscalations_->add(1);
   }

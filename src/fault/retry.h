@@ -12,11 +12,16 @@
 // (checkpoint restore for the sync engine, queue re-dispatch for the
 // no-sync engine, or plain failure).
 //
-// A Retrier is NOT thread-safe: the engines keep one per part (each
-// part's work is single-threaded) plus one for the client thread.
+// Charging is thread-safe: the retry/escalation/backoff counters are
+// atomic, so the ledger reads coherently while pool workers are still
+// charging.  The jitter stream itself stays single-consumer: operator()
+// must not run concurrently on one instance, which the engines honor by
+// keeping one Retrier per part (or per no-sync worker) plus one for the
+// client thread.
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "common/random.h"
@@ -49,6 +54,14 @@ class Retrier {
  public:
   explicit Retrier(RetryPolicy policy = {}, std::uint64_t streamId = 0);
 
+  // Movable so the engines can keep per-part vectors; the atomics force
+  // the member-wise transfer to be spelled out.  Moving is only safe when
+  // no other thread is using `other` (engine setup/teardown).
+  Retrier(Retrier&& other) noexcept;
+  Retrier& operator=(Retrier&& other) noexcept;
+  Retrier(const Retrier&) = delete;
+  Retrier& operator=(const Retrier&) = delete;
+
   /// Mirror retry counts into `fault.retries`, `fault.backoff_ms`
   /// (rounded up per backoff), and `fault.escalations`.  Null disables;
   /// the registry must outlive the retrier.
@@ -74,9 +87,15 @@ class Retrier {
     }
   }
 
-  [[nodiscard]] std::uint64_t retries() const { return retries_; }
-  [[nodiscard]] std::uint64_t escalations() const { return escalations_; }
-  [[nodiscard]] double backoffMsTotal() const { return backoffMsTotal_; }
+  [[nodiscard]] std::uint64_t retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t escalations() const {
+    return escalations_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double backoffMsTotal() const {
+    return backoffMsTotal_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] const RetryPolicy& policy() const { return policy_; }
 
  private:
@@ -90,9 +109,9 @@ class Retrier {
   sim::VirtualCluster* vt_ = nullptr;
   std::uint32_t part_ = 0;
 
-  std::uint64_t retries_ = 0;
-  std::uint64_t escalations_ = 0;
-  double backoffMsTotal_ = 0;
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> escalations_{0};
+  std::atomic<double> backoffMsTotal_{0};
 
   obs::Counter* ctrRetries_ = nullptr;
   obs::Counter* ctrBackoffMs_ = nullptr;

@@ -1,6 +1,6 @@
 #include "kvstore/store_util.h"
 
-#include <mutex>
+#include <cstddef>
 
 namespace ripple::kv {
 
@@ -8,19 +8,36 @@ namespace {
 
 class CollectAll : public PairConsumer {
  public:
-  bool consume(std::uint32_t, KeyView k, ValueView v) override {
-    std::lock_guard<std::mutex> lock(mu_);
-    out_.emplace_back(Key(k), Value(v));
+  explicit CollectAll(std::uint32_t parts) : byPart_(parts) {}
+
+  bool consume(std::uint32_t part, KeyView k, ValueView v) override {
+    // One scan thread per part: each slot is touched by a single thread,
+    // so no lock is needed.  Collecting per part (instead of appending to
+    // one shared vector in arrival order) keeps the result order a pure
+    // function of the table contents — callers feed it into loaders and
+    // batch puts, where a schedule-dependent order would leak into
+    // invocation order and FP fold order downstream.
+    byPart_.at(part).emplace_back(Key(k), Value(v));
     return true;
   }
 
   [[nodiscard]] std::vector<std::pair<Key, Value>> take() {
-    return std::move(out_);
+    std::vector<std::pair<Key, Value>> out;
+    std::size_t total = 0;
+    for (const auto& p : byPart_) {
+      total += p.size();
+    }
+    out.reserve(total);
+    for (auto& p : byPart_) {
+      for (auto& e : p) {
+        out.push_back(std::move(e));
+      }
+    }
+    return out;
   }
 
  private:
-  std::mutex mu_;  // Parts may be enumerated concurrently.
-  std::vector<std::pair<Key, Value>> out_;
+  std::vector<std::vector<std::pair<Key, Value>>> byPart_;
 };
 
 class CountingConsumer : public PairConsumer {
@@ -41,7 +58,7 @@ class CountingConsumer : public PairConsumer {
 }  // namespace
 
 std::vector<std::pair<Key, Value>> readAll(Table& table) {
-  CollectAll collector;
+  CollectAll collector(table.numParts());
   table.enumerate(collector);
   return collector.take();
 }

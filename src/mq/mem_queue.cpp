@@ -35,18 +35,28 @@ class MemQueueSet : public QueueSet,
   }
 
   void runWorkers(const std::function<void(WorkerContext&)>& body) override {
+    runWorkers(body, numQueues());
+  }
+
+  void runWorkers(const std::function<void(WorkerContext&)>& body,
+                  std::uint32_t workerBudget) override {
     // Workers are long-lived mobile code; each gets a dedicated thread
-    // adopted into its part's location so state access stays local.
-    // (Store executors cannot host them: a looping worker would starve
-    // every other task on its executor.)
+    // adopted into its primary part's location so state access stays
+    // local.  (Store executors cannot host them: a looping worker would
+    // starve every other task on its executor.)  With a budget below the
+    // queue count, worker w owns the striped queues {w, w + budget, ...}
+    // and its context multiplexes them.
+    const std::uint32_t workers =
+        (workerBudget == 0 || workerBudget > numQueues()) ? numQueues()
+                                                          : workerBudget;
     std::vector<std::thread> threads;
-    threads.reserve(queues_.size());
+    threads.reserve(workers);
     std::mutex failMu;
     std::exception_ptr failure;
-    for (std::uint32_t part = 0; part < numQueues(); ++part) {
-      threads.emplace_back([&, part] {
-        auto token = store_->adoptPartThread(*placement_, part);
-        Context ctx(this, part);
+    for (std::uint32_t w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w] {
+        auto token = store_->adoptPartThread(*placement_, w);
+        Context ctx(this, w, workers);
         try {
           body(ctx);
         } catch (...) {
@@ -82,35 +92,84 @@ class MemQueueSet : public QueueSet,
  private:
   class Context : public WorkerContext {
    public:
-    Context(MemQueueSet* set, std::uint32_t queue) : set_(set), queue_(queue) {}
+    /// `stride` is the worker count; this worker owns every queue
+    /// congruent to `queue` modulo it (stride == numQueues means the
+    /// legacy single-queue worker).
+    Context(MemQueueSet* set, std::uint32_t queue, std::uint32_t stride)
+        : set_(set), queue_(queue), stride_(stride) {
+      for (std::uint32_t q = queue; q < set->numQueues(); q += stride) {
+        owned_.push_back(q);
+      }
+    }
 
     [[nodiscard]] std::uint32_t queueIndex() const override { return queue_; }
 
     std::optional<Bytes> read(std::chrono::milliseconds timeout) override {
-      return set_->queues_[queue_]->popFor(timeout);
+      if (owned_.size() == 1) {
+        return set_->queues_[queue_]->popFor(timeout);
+      }
+      // Multiplexed: poll the owned queues until one yields, every owned
+      // queue is closed and drained, or the timeout lapses.
+      const auto deadline = std::chrono::steady_clock::now() + timeout;
+      for (;;) {
+        if (auto msg = tryRead()) {
+          return msg;
+        }
+        if (allOwnedClosedAndDrained() ||
+            std::chrono::steady_clock::now() >= deadline) {
+          return tryRead();  // Final drain against a racing put.
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
     }
 
     std::optional<Bytes> tryRead() override {
-      return set_->queues_[queue_]->tryPop();
+      for (std::size_t i = 0; i < owned_.size(); ++i) {
+        const std::size_t at = (cursor_ + i) % owned_.size();
+        if (auto msg = set_->queues_[owned_[at]]->tryPop()) {
+          // Resume after the queue that yielded, so a busy queue cannot
+          // starve its siblings.
+          cursor_ = (at + 1) % owned_.size();
+          return msg;
+        }
+      }
+      return std::nullopt;
     }
 
     std::optional<Bytes> trySteal(std::uint32_t fromQueue) override {
-      if (fromQueue == queue_ || fromQueue >= set_->numQueues()) {
+      if (fromQueue >= set_->numQueues() || owned(fromQueue)) {
         return std::nullopt;
       }
       return set_->queues_[fromQueue]->trySteal();
     }
 
     std::optional<Bytes> tryReadFrom(std::uint32_t fromQueue) override {
-      if (fromQueue == queue_ || fromQueue >= set_->numQueues()) {
+      if (fromQueue >= set_->numQueues() || owned(fromQueue)) {
         return std::nullopt;
       }
       return set_->queues_[fromQueue]->tryPop();
     }
 
    private:
+    [[nodiscard]] bool owned(std::uint32_t q) const {
+      return q % stride_ == queue_ % stride_;
+    }
+
+    [[nodiscard]] bool allOwnedClosedAndDrained() const {
+      for (const std::uint32_t q : owned_) {
+        const auto& bq = *set_->queues_[q];
+        if (!bq.closed() || !bq.empty()) {
+          return false;
+        }
+      }
+      return true;
+    }
+
     MemQueueSet* set_;
     std::uint32_t queue_;
+    std::uint32_t stride_;
+    std::vector<std::uint32_t> owned_;
+    std::size_t cursor_ = 0;
   };
 
   std::string name_;

@@ -27,7 +27,11 @@ class WorkerContext {
  public:
   virtual ~WorkerContext() = default;
 
-  /// Which queue (== part index) this worker serves.
+  /// Which queue (== part index) this worker primarily serves.  Under the
+  /// multiplexed runWorkers overload a worker owns every queue congruent
+  /// to this index modulo the worker count; read/tryRead then serve all
+  /// of them (round-robin), and trySteal/tryReadFrom treat any owned
+  /// queue as local.
   [[nodiscard]] virtual std::uint32_t queueIndex() const = 0;
 
   /// Blocking read with timeout; nullopt on timeout or when the set is
@@ -73,6 +77,18 @@ class QueueSet {
   /// ctx.read() until a termination condition of the client's choosing.
   virtual void runWorkers(
       const std::function<void(WorkerContext&)>& body) = 0;
+
+  /// Run `body` on `threads` striped workers instead of one per queue:
+  /// worker w (0-based) owns queues {w, w + threads, ...} and its context
+  /// multiplexes them.  threads == 0 or >= numQueues() degenerates to the
+  /// one-worker-per-queue overload above.  Implementations that cannot
+  /// multiplex may ignore the budget (the default does), so callers must
+  /// size per-worker state by the worker ids actually observed.
+  virtual void runWorkers(const std::function<void(WorkerContext&)>& body,
+                          std::uint32_t threads) {
+    (void)threads;
+    runWorkers(body);
+  }
 
   /// Close the set: subsequent puts fail, reads drain then return nullopt
   /// immediately.  Idempotent.

@@ -84,14 +84,24 @@ class TableQueueSet : public QueueSet {
   }
 
   void runWorkers(const std::function<void(WorkerContext&)>& body) override {
+    runWorkers(body, numQueues());
+  }
+
+  void runWorkers(const std::function<void(WorkerContext&)>& body,
+                  std::uint32_t workerBudget) override {
+    // With a budget below the queue count, worker w owns the striped
+    // queues {w, w + budget, ...} and its context multiplexes them.
+    const std::uint32_t workers =
+        (workerBudget == 0 || workerBudget > numQueues()) ? numQueues()
+                                                          : workerBudget;
     std::vector<std::thread> threads;
-    threads.reserve(numQueues());
+    threads.reserve(workers);
     std::mutex failMu;
     std::exception_ptr failure;
-    for (std::uint32_t part = 0; part < numQueues(); ++part) {
-      threads.emplace_back([&, part] {
-        auto token = store_->adoptPartThread(*placement_, part);
-        Context ctx(this, part);
+    for (std::uint32_t w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w] {
+        auto token = store_->adoptPartThread(*placement_, w);
+        Context ctx(this, w, workers);
         try {
           body(ctx);
         } catch (...) {
@@ -128,8 +138,15 @@ class TableQueueSet : public QueueSet {
  private:
   class Context : public WorkerContext {
    public:
-    Context(TableQueueSet* set, std::uint32_t queue)
-        : set_(set), queue_(queue) {}
+    /// `stride` is the worker count; this worker owns every queue
+    /// congruent to `queue` modulo it (stride == numQueues means the
+    /// legacy single-queue worker).
+    Context(TableQueueSet* set, std::uint32_t queue, std::uint32_t stride)
+        : set_(set), queue_(queue), stride_(stride) {
+      for (std::uint32_t q = queue; q < set->numQueues(); q += stride) {
+        owned_.push_back(q);
+      }
+    }
 
     [[nodiscard]] std::uint32_t queueIndex() const override { return queue_; }
 
@@ -148,7 +165,18 @@ class TableQueueSet : public QueueSet {
       }
     }
 
-    std::optional<Bytes> tryRead() override { return popOrRefill(queue_, buffer_); }
+    std::optional<Bytes> tryRead() override {
+      for (std::size_t i = 0; i < owned_.size(); ++i) {
+        const std::size_t at = (cursor_ + i) % owned_.size();
+        if (auto msg = popOrRefill(owned_[at], buffers_[owned_[at]])) {
+          // Resume after the queue that yielded, so a busy queue cannot
+          // starve its siblings.
+          cursor_ = (at + 1) % owned_.size();
+          return msg;
+        }
+      }
+      return std::nullopt;
+    }
 
     std::optional<Bytes> tryReadFrom(std::uint32_t fromQueue) override {
       // Takeover read: the adopted queue's pairs drain into a buffer
@@ -157,13 +185,17 @@ class TableQueueSet : public QueueSet {
       // before a read completes, so nothing is buffered at death for the
       // in-memory queuing; table-backed takeover additionally relies on
       // the same fail-before discipline.
-      if (fromQueue == queue_ || fromQueue >= set_->numQueues()) {
+      if (fromQueue >= set_->numQueues() || owned(fromQueue)) {
         return std::nullopt;
       }
-      return popOrRefill(fromQueue, adopted_[fromQueue]);
+      return popOrRefill(fromQueue, buffers_[fromQueue]);
     }
 
    private:
+    [[nodiscard]] bool owned(std::uint32_t q) const {
+      return q % stride_ == queue_ % stride_;
+    }
+
     std::optional<Bytes> popOrRefill(std::uint32_t queue,
                                      std::deque<Bytes>& buffer) {
       if (!buffer.empty()) {
@@ -197,8 +229,11 @@ class TableQueueSet : public QueueSet {
 
     TableQueueSet* set_;
     std::uint32_t queue_;
-    std::deque<Bytes> buffer_;
-    std::unordered_map<std::uint32_t, std::deque<Bytes>> adopted_;
+    std::uint32_t stride_;
+    std::vector<std::uint32_t> owned_;
+    std::size_t cursor_ = 0;
+    // Per-queue sequence-ordered read buffers (owned and adopted alike).
+    std::unordered_map<std::uint32_t, std::deque<Bytes>> buffers_;
   };
 
   std::string name_;

@@ -48,6 +48,13 @@ std::optional<Phase> phaseFromName(std::string_view name) {
   return std::nullopt;
 }
 
+std::uint64_t currentThreadOrdinal() {
+  static std::atomic<std::uint64_t> next{1};
+  thread_local const std::uint64_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
 JsonValue Span::toJson() const {
   JsonValue::Object obj;
   obj["id"] = id;
@@ -76,6 +83,9 @@ JsonValue Span::toJson() const {
   if (stateWrites != 0) {
     obj["state_writes"] = stateWrites;
   }
+  if (thread != 0) {
+    obj["thread"] = thread;
+  }
   if (!note.empty()) {
     obj["note"] = note;
   }
@@ -101,6 +111,7 @@ Span Span::fromJson(const JsonValue& v) {
   s.bytes = static_cast<std::uint64_t>(v.numberOr("bytes", 0));
   s.stateReads = static_cast<std::uint64_t>(v.numberOr("state_reads", 0));
   s.stateWrites = static_cast<std::uint64_t>(v.numberOr("state_writes", 0));
+  s.thread = static_cast<std::uint64_t>(v.numberOr("thread", 0));
   s.note = v.stringOr("note", "");
   return s;
 }
@@ -154,6 +165,7 @@ Tracer::Scoped::Scoped(Tracer* tracer, Phase phase, int step)
   if (tracer_ != nullptr) {
     span_.id = tracer_->allocId();
     span_.start = tracer_->elapsedSeconds();
+    span_.thread = currentThreadOrdinal();
     for (auto it = tOpenSpans.rbegin(); it != tOpenSpans.rend(); ++it) {
       if (it->first == tracer_) {
         span_.parent = it->second;

@@ -43,6 +43,12 @@ enum class Phase : std::uint8_t {
 [[nodiscard]] const char* phaseName(Phase phase);
 [[nodiscard]] std::optional<Phase> phaseFromName(std::string_view name);
 
+/// Small stable ordinal for the calling thread (1-based, assigned in
+/// first-use order process-wide).  Spans recorded from engine pool or
+/// queue-set worker threads carry it, so a trace can be grouped by the
+/// thread that did the work.
+[[nodiscard]] std::uint64_t currentThreadOrdinal();
+
 struct Span {
   /// Tracer-assigned id (1-based); 0 until recorded.
   std::uint64_t id = 0;
@@ -67,6 +73,11 @@ struct Span {
   std::uint64_t bytes = 0;
   std::uint64_t stateReads = 0;
   std::uint64_t stateWrites = 0;
+
+  /// Ordinal of the thread that recorded the span (see
+  /// currentThreadOrdinal); 0 = unattributed (e.g. synthesized summary
+  /// spans that aggregate several producers).
+  std::uint64_t thread = 0;
 
   /// Freeform annotation (strategy name, table, recovery note, ...).
   std::string note;

@@ -3,6 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace ripple {
@@ -59,6 +64,165 @@ TEST(SerialExecutor, ShutdownDrainsPendingTasks) {
   }
   exec.shutdown();
   EXPECT_EQ(count.load(), 50);
+}
+
+TEST(SerialExecutor, ShutdownRethrowsExecuteTaskFailure) {
+  SerialExecutor exec;
+  std::atomic<int> count{0};
+  exec.execute([] { throw std::runtime_error("boom"); });
+  exec.execute([&count] { count.fetch_add(1); });  // Worker keeps draining.
+  EXPECT_THROW(exec.shutdown(), std::runtime_error);
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(SerialExecutor, DestructorSwallowsTaskFailure) {
+  // The destructor guarantees the join; the leaked exception is only
+  // reported from an explicit shutdown().  Must not terminate.
+  SerialExecutor exec;
+  exec.execute([] { throw std::runtime_error("boom"); });
+}
+
+TEST(WorkStealingPool, RunsAllTasks) {
+  WorkStealingPool pool(4);
+  EXPECT_EQ(pool.threadCount(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.execute([&count] { count.fetch_add(1); });
+  }
+  pool.shutdown();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(WorkStealingPool, SingleThreadRunsInSubmissionOrder) {
+  // One worker, one slot, owner pops the front: submission order is the
+  // execution order — the determinism anchor the engines rely on.
+  WorkStealingPool pool(1);
+  std::vector<int> order;  // Touched only by the single worker.
+  for (int i = 0; i < 200; ++i) {
+    pool.execute([&order, i] { order.push_back(i); });
+  }
+  pool.shutdown();
+  ASSERT_EQ(order.size(), 200u);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(WorkStealingPool, ParallelForCoversEveryIndexExactlyOnce) {
+  WorkStealingPool pool(8);
+  std::vector<std::atomic<int>> hits(500);
+  pool.parallelFor(hits.size(),
+                   [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  pool.shutdown();
+}
+
+TEST(WorkStealingPool, ParallelForRethrowsFirstFailure) {
+  WorkStealingPool pool(4);
+  EXPECT_THROW(pool.parallelFor(64,
+                                [](std::size_t i) {
+                                  if (i == 7) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+  // The pool survives a failed parallelFor and keeps accepting work.
+  std::atomic<int> count{0};
+  pool.parallelFor(8, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(WorkStealingPool, DestructorJoinsOutstandingTasks) {
+  std::atomic<int> count{0};
+  {
+    WorkStealingPool pool(4);
+    for (int i = 0; i < 64; ++i) {
+      pool.execute([&count] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        count.fetch_add(1);
+      });
+    }
+  }  // Destructor must join every outstanding task, not abandon them.
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(WorkStealingPool, ShutdownWhileBusyDrainsQueuedAndNestedWork) {
+  WorkStealingPool pool(2);
+  std::atomic<int> count{0};
+  CountdownLatch submitted(8);
+  for (int i = 0; i < 8; ++i) {
+    pool.execute([&] {
+      // Nested submission: inflight_ counts queued + running, so the
+      // pool must stay alive until this second generation drains too.
+      pool.execute([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        count.fetch_add(1);
+      });
+      submitted.countDown();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      count.fetch_add(1);
+    });
+  }
+  submitted.wait();  // All nested tasks queued; workers still busy.
+  pool.shutdown();
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(WorkStealingPool, ExecuteAfterShutdownThrows) {
+  WorkStealingPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW(pool.execute([] {}), std::runtime_error);
+}
+
+TEST(WorkStealingPool, ShutdownRethrowsTaskFailure) {
+  WorkStealingPool pool(2);
+  pool.execute([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.shutdown(), std::runtime_error);
+}
+
+/// RAII guard restoring RIPPLE_THREADS around the resolveThreads tests
+/// (the CI matrix runs the suite with it set).
+class EnvGuard {
+ public:
+  EnvGuard() {
+    if (const char* v = std::getenv("RIPPLE_THREADS")) {
+      saved_ = v;
+    }
+  }
+  ~EnvGuard() {
+    if (saved_) {
+      ::setenv("RIPPLE_THREADS", saved_->c_str(), 1);
+    } else {
+      ::unsetenv("RIPPLE_THREADS");
+    }
+  }
+
+ private:
+  std::optional<std::string> saved_;
+};
+
+TEST(ResolveThreads, ExplicitRequestWinsOverEnv) {
+  EnvGuard guard;
+  ::setenv("RIPPLE_THREADS", "5", 1);
+  EXPECT_EQ(resolveThreads(3), 3);
+}
+
+TEST(ResolveThreads, ZeroConsultsEnv) {
+  EnvGuard guard;
+  ::setenv("RIPPLE_THREADS", "5", 1);
+  EXPECT_EQ(resolveThreads(0), 5);
+  ::unsetenv("RIPPLE_THREADS");
+  EXPECT_EQ(resolveThreads(0), 0);
+}
+
+TEST(ResolveThreads, BadEnvValuesMeanLegacyDispatch) {
+  EnvGuard guard;
+  for (const char* bad : {"", "abc", "-2", "0"}) {
+    ::setenv("RIPPLE_THREADS", bad, 1);
+    EXPECT_EQ(resolveThreads(0), 0) << "RIPPLE_THREADS='" << bad << "'";
+  }
 }
 
 TEST(CountdownLatch, WaitsForAllCounts) {

@@ -1,0 +1,308 @@
+// Combiner correctness property (the tentpole's sender-side combining):
+// for seeded random jobs, running with a declared combiner must produce
+// exactly the state a combiner-free run folds by hand — the combiner is
+// an optimization the platform "may apply at arbitrary times and
+// places", never a semantic change.  Covered: pairwise and accumulator
+// combiner APIs, sum and min folds, empty-message and single-part and
+// singleton-destination edge cases, the legacy and pooled sync dispatch,
+// and the no-sync engine's per-invocation sender-side combining.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/random.h"
+#include "ebsp/engine.h"
+#include "ebsp/library.h"
+#include "ebsp/sync_engine.h"
+#include "kvstore/partitioned_store.h"
+#include "kvstore/store_util.h"
+
+namespace ripple::ebsp {
+namespace {
+
+enum class Fold { kSum, kMin };
+enum class CombinerMode { kNone, kPairwise, kAccumulator };
+
+std::int64_t foldOp(Fold fold, std::int64_t a, std::int64_t b) {
+  return fold == Fold::kSum ? a + b : std::min(a, b);
+}
+
+/// Sender component keys live above this; destinations below it.
+constexpr int kSenderBase = 1000;
+
+struct Config {
+  std::uint64_t seed = 1;
+  int senders = 40;
+  int dests = 5;
+  int msgsPerSender = 4;
+  std::uint32_t parts = 4;
+  Fold fold = Fold::kSum;
+  CombinerMode mode = CombinerMode::kNone;
+  int threads = 0;
+  bool uniqueDests = false;  // Each sender targets its own destination.
+};
+
+void attachCombiner(RawJob& job, const Config& cfg) {
+  switch (cfg.mode) {
+    case CombinerMode::kNone:
+      break;
+    case CombinerMode::kPairwise:
+      job.compute.combineMessages = [fold = cfg.fold](BytesView, BytesView a,
+                                                      BytesView b) {
+        return encodeToBytes(foldOp(fold, decodeFromBytes<std::int64_t>(a),
+                                    decodeFromBytes<std::int64_t>(b)));
+      };
+      break;
+    case CombinerMode::kAccumulator:
+      job.compute.combineBegin = [](BytesView,
+                                    BytesView first) -> RawCompute::CombineAcc {
+        return std::make_shared<std::int64_t>(
+            decodeFromBytes<std::int64_t>(first));
+      };
+      job.compute.combineAdd = [fold = cfg.fold](
+                                   const RawCompute::CombineAcc& acc,
+                                   BytesView, BytesView next) {
+        auto* v = static_cast<std::int64_t*>(acc.get());
+        *v = foldOp(fold, *v, decodeFromBytes<std::int64_t>(next));
+      };
+      job.compute.combineFinish = [](const RawCompute::CombineAcc& acc,
+                                     BytesView) {
+        return encodeToBytes(*static_cast<std::int64_t*>(acc.get()));
+      };
+      break;
+  }
+}
+
+/// Deterministic message list for one sender under (seed, id).
+std::vector<std::pair<int, std::int64_t>> senderMessages(const Config& cfg,
+                                                         int id) {
+  std::vector<std::pair<int, std::int64_t>> out;
+  Rng rng(cfg.seed * 7919 + static_cast<std::uint64_t>(id));
+  for (int m = 0; m < cfg.msgsPerSender; ++m) {
+    const int dest =
+        cfg.uniqueDests
+            ? id - kSenderBase
+            : static_cast<int>(rng.nextBelow(
+                  static_cast<std::uint64_t>(cfg.dests)));
+    out.emplace_back(dest,
+                     static_cast<std::int64_t>(rng.nextBelow(1'000'000)));
+  }
+  return out;
+}
+
+/// Two-step job: enabled senders emit their seeded message lists at step
+/// 1; destinations fold whatever arrives (combined or not) with the SAME
+/// op at step 2 and write the result to state.
+RawJob makeRandomJob(const Config& cfg) {
+  RawJob job;
+  job.referenceTable = "ref";
+  job.stateTableNames = {"ref"};
+  job.compute.compute = [cfg](RawComputeContext& ctx) {
+    if (ctx.stepNum() == 1) {
+      const int id = decodeFromBytes<int>(ctx.key());
+      for (const auto& [dest, value] : senderMessages(cfg, id)) {
+        ctx.outputMessage(encodeToBytes(dest), encodeToBytes(value));
+      }
+      return false;
+    }
+    std::optional<std::int64_t> acc;
+    for (const Bytes& m : ctx.inputMessages()) {
+      const auto v = decodeFromBytes<std::int64_t>(m);
+      acc = acc ? foldOp(cfg.fold, *acc, v) : v;
+    }
+    if (acc) {
+      ctx.writeState(0, encodeToBytes(*acc));
+    }
+    return false;
+  };
+  attachCombiner(job, cfg);
+  auto loader = std::make_shared<VectorLoader>();
+  for (int i = 0; i < cfg.senders; ++i) {
+    loader->enable(encodeToBytes(kSenderBase + i));
+  }
+  job.loaders = {loader};
+  return job;
+}
+
+struct Outcome {
+  std::vector<std::pair<kv::Key, kv::Value>> state;  // Sorted snapshot.
+  EngineMetrics metrics;
+};
+
+Outcome runSyncJob(const Config& cfg) {
+  auto store = kv::PartitionedStore::create(cfg.parts);
+  kv::TableOptions options;
+  options.parts = cfg.parts;
+  store->createTable("ref", std::move(options));
+  RawJob job = makeRandomJob(cfg);
+  SyncEngineOptions eopts;
+  eopts.threads = cfg.threads;
+  SyncEngine engine(store, eopts);
+  Outcome out;
+  out.metrics = engine.run(job).metrics;
+  out.state = kv::readAll(*store->lookupTable("ref"));
+  std::sort(out.state.begin(), out.state.end());
+  return out;
+}
+
+TEST(CombinerProperty, CombinedEqualsUncombinedFold) {
+  for (const std::uint64_t seed : {1, 2, 3}) {
+    for (const Fold fold : {Fold::kSum, Fold::kMin}) {
+      for (const int threads : {0, 4}) {
+        SCOPED_TRACE("seed=" + std::to_string(seed) +
+                     " fold=" + (fold == Fold::kSum ? "sum" : "min") +
+                     " threads=" + std::to_string(threads));
+        Config cfg;
+        cfg.seed = seed;
+        cfg.fold = fold;
+        cfg.threads = threads;
+        const Outcome baseline = runSyncJob(cfg);
+        ASSERT_FALSE(baseline.state.empty());
+        EXPECT_EQ(baseline.metrics.combineIn, 0u);
+        EXPECT_EQ(baseline.metrics.combineOut, 0u);
+
+        for (const CombinerMode mode :
+             {CombinerMode::kPairwise, CombinerMode::kAccumulator}) {
+          cfg.mode = mode;
+          const Outcome combined = runSyncJob(cfg);
+          EXPECT_EQ(combined.state, baseline.state);
+          // 160 messages funnel into 5 destinations: combining must
+          // actually collapse traffic, not just pass it through.
+          EXPECT_GT(combined.metrics.combineIn,
+                    combined.metrics.combineOut);
+          EXPECT_GT(combined.metrics.combineOut, 0u);
+          EXPECT_LT(combined.metrics.messagesDelivered,
+                    baseline.metrics.messagesDelivered);
+        }
+      }
+    }
+  }
+}
+
+TEST(CombinerProperty, EmptyMessageJobIsANoOp) {
+  Config cfg;
+  cfg.msgsPerSender = 0;
+  const Outcome baseline = runSyncJob(cfg);
+  cfg.mode = CombinerMode::kPairwise;
+  const Outcome combined = runSyncJob(cfg);
+  EXPECT_EQ(combined.state, baseline.state);
+  EXPECT_TRUE(combined.state.empty());
+  EXPECT_EQ(combined.metrics.combineIn, 0u);
+  EXPECT_EQ(combined.metrics.combineOut, 0u);
+}
+
+TEST(CombinerProperty, SinglePartStillCombines) {
+  Config cfg;
+  cfg.parts = 1;
+  cfg.threads = 4;  // Pool wider than the part count must be harmless.
+  const Outcome baseline = runSyncJob(cfg);
+  cfg.mode = CombinerMode::kAccumulator;
+  const Outcome combined = runSyncJob(cfg);
+  EXPECT_EQ(combined.state, baseline.state);
+  EXPECT_GT(combined.metrics.combineIn, combined.metrics.combineOut);
+  EXPECT_GT(combined.metrics.combineOut, 0u);
+}
+
+TEST(CombinerProperty, SingletonDestinationsPassThrough) {
+  // One message per destination: the combiner must never fire pairwise,
+  // and every record passes through the combining stage unchanged.
+  Config cfg;
+  cfg.uniqueDests = true;
+  cfg.msgsPerSender = 1;
+  const Outcome baseline = runSyncJob(cfg);
+  cfg.mode = CombinerMode::kPairwise;
+  const Outcome combined = runSyncJob(cfg);
+  EXPECT_EQ(combined.state, baseline.state);
+  EXPECT_EQ(combined.metrics.combineIn, combined.metrics.combineOut);
+  EXPECT_EQ(combined.metrics.combineIn,
+            static_cast<std::uint64_t>(cfg.senders));
+  EXPECT_EQ(combined.metrics.combinerCalls, 0u);
+}
+
+// ---------------------------------------------------------------------
+// No-sync engine: combining happens per invocation on the sender side
+// (duplicate destination keys in one invocation's output fold before the
+// weight split).  The receiver accumulates into state read-modify-write,
+// so the commutative integer sum makes combined and uncombined runs end
+// in exactly the same state.
+// ---------------------------------------------------------------------
+
+Outcome runAsyncJob(const Config& cfg) {
+  auto store = kv::PartitionedStore::create(cfg.parts);
+  kv::TableOptions options;
+  options.parts = cfg.parts;
+  store->createTable("ref", std::move(options));
+
+  RawJob job;
+  job.referenceTable = "ref";
+  job.stateTableNames = {"ref"};
+  job.properties.incremental = true;
+  job.properties.noContinue = true;
+  job.compute.compute = [cfg](RawComputeContext& ctx) {
+    const int id = decodeFromBytes<int>(ctx.key());
+    if (id >= kSenderBase) {
+      for (const auto& [dest, value] : senderMessages(cfg, id)) {
+        ctx.outputMessage(encodeToBytes(dest), encodeToBytes(value));
+      }
+      return false;
+    }
+    std::int64_t acc = 0;
+    if (const auto prev = ctx.readState(0)) {
+      acc = decodeFromBytes<std::int64_t>(*prev);
+    }
+    for (const Bytes& m : ctx.inputMessages()) {
+      acc += decodeFromBytes<std::int64_t>(m);
+    }
+    ctx.writeState(0, encodeToBytes(acc));
+    return false;
+  };
+  attachCombiner(job, cfg);
+  auto loader = std::make_shared<VectorLoader>();
+  for (int i = 0; i < cfg.senders; ++i) {
+    loader->enable(encodeToBytes(kSenderBase + i));
+  }
+  job.loaders = {loader};
+
+  EngineOptions eopts;
+  eopts.mode = ExecutionMode::kNoSync;
+  eopts.threads = cfg.threads;
+  Engine engine(store, eopts);
+  Outcome out;
+  out.metrics = engine.run(job).metrics;
+  out.state = kv::readAll(*store->lookupTable("ref"));
+  std::sort(out.state.begin(), out.state.end());
+  return out;
+}
+
+TEST(CombinerProperty, NoSyncSenderSideCombining) {
+  for (const std::uint64_t seed : {1, 2}) {
+    for (const int threads : {0, 4}) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " threads=" + std::to_string(threads));
+      Config cfg;
+      cfg.seed = seed;
+      cfg.threads = threads;
+      const Outcome baseline = runAsyncJob(cfg);
+      ASSERT_FALSE(baseline.state.empty());
+      for (const CombinerMode mode :
+           {CombinerMode::kPairwise, CombinerMode::kAccumulator}) {
+        cfg.mode = mode;
+        const Outcome combined = runAsyncJob(cfg);
+        EXPECT_EQ(combined.state, baseline.state);
+        // 4 messages over 5 destinations per invocation: some senders
+        // must draw duplicates at these seeds.
+        EXPECT_GT(combined.metrics.combineIn, combined.metrics.combineOut);
+        EXPECT_GT(combined.metrics.combineOut, 0u);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ripple::ebsp

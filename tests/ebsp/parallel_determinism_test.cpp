@@ -1,0 +1,167 @@
+// Cross-thread-count determinism (the tentpole's sorted-collect
+// contract): PageRank, SSSP, and SUMMA produce byte-identical state and
+// identical round accounting whether the engine runs on 1, 2, or 8
+// worker threads, on both execution strategies where eligible.  The sync
+// engine merges per-(sender part, dest part) spill buffers in canonical
+// (sender, sequence) order at the barrier, so every combiner fold and FP
+// sum happens in the same order at any pool width; the no-sync SUMMA
+// job multiplies batches in ascending k order regardless of arrival.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "apps/pagerank.h"
+#include "apps/sssp.h"
+#include "ebsp/engine.h"
+#include "kvstore/partitioned_store.h"
+#include "kvstore/store_util.h"
+#include "matrix/summa.h"
+#include "obs/report.h"
+
+namespace ripple::ebsp {
+namespace {
+
+struct RunOutcome {
+  std::vector<std::pair<kv::Key, kv::Value>> state;  // Sorted snapshot.
+  std::uint64_t syncRounds = 0;
+  std::uint64_t ioRounds = 0;
+};
+
+graph::Graph testGraph(std::uint32_t vertices, std::uint32_t edges,
+                       std::uint64_t seed) {
+  graph::PowerLawOptions options;
+  options.vertices = vertices;
+  options.edges = edges;
+  options.seed = seed;
+  return graph::generatePowerLaw(options);
+}
+
+// ---------------------------------------------------------------------
+// PageRank — synchronized strategy; FP rank sums must not depend on the
+// pool width.
+// ---------------------------------------------------------------------
+
+RunOutcome runPageRankAt(int threads, const graph::Graph& g) {
+  auto store = kv::PartitionedStore::create(6);
+  apps::loadPageRankGraph(*store, "pr_graph", g, 6);
+  obs::Tracer tracer;
+  EngineOptions eopts;
+  eopts.threads = threads;
+  eopts.tracer = &tracer;
+  Engine engine(store, eopts);
+  apps::PageRankOptions options;
+  options.iterations = 5;
+  apps::runPageRank(engine, options);
+
+  RunOutcome out;
+  out.state = kv::readAll(*store->lookupTable("pr_graph"));
+  std::sort(out.state.begin(), out.state.end());
+  const obs::RunReport report =
+      obs::RunReport::capture("pr", nullptr, &tracer);
+  out.syncRounds = report.syncRounds();
+  out.ioRounds = report.ioRounds();
+  return out;
+}
+
+TEST(ParallelDeterminism, PageRankByteIdenticalAcrossThreadCounts) {
+  const graph::Graph g = testGraph(300, 1800, 21);
+  const RunOutcome baseline = runPageRankAt(1, g);
+  ASSERT_FALSE(baseline.state.empty());
+  EXPECT_GT(baseline.syncRounds, 0u);
+  for (const int threads : {2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const RunOutcome run = runPageRankAt(threads, g);
+    EXPECT_EQ(run.state, baseline.state);  // Byte-identical ranks.
+    EXPECT_EQ(run.syncRounds, baseline.syncRounds);
+    EXPECT_EQ(run.ioRounds, baseline.ioRounds);
+  }
+}
+
+// ---------------------------------------------------------------------
+// SSSP — synchronized strategy (the driver's jobs use aggregators);
+// integer distances plus the round accounting must be exact.
+// ---------------------------------------------------------------------
+
+TEST(ParallelDeterminism, SsspIdenticalAcrossThreadCounts) {
+  const graph::Graph g = testGraph(250, 1200, 4);
+
+  auto run = [&](int threads) {
+    auto store = kv::PartitionedStore::create(6);
+    obs::Tracer tracer;
+    EngineOptions eopts;
+    eopts.threads = threads;
+    eopts.tracer = &tracer;
+    Engine engine(store, eopts);
+    apps::SsspOptions options;
+    options.parts = 6;
+    apps::SsspDriver driver(engine, options);
+    driver.loadGraph(g);
+    driver.initialize();
+    const obs::RunReport report =
+        obs::RunReport::capture("sssp", nullptr, &tracer);
+    return std::make_tuple(driver.distances(g.vertexCount()),
+                           report.syncRounds(), report.ioRounds());
+  };
+
+  const auto [baseDist, baseSync, baseIo] = run(1);
+  for (const int threads : {2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const auto [dist, sync, io] = run(threads);
+    EXPECT_EQ(dist, baseDist);
+    EXPECT_EQ(sync, baseSync);
+    EXPECT_EQ(io, baseIo);
+  }
+}
+
+// ---------------------------------------------------------------------
+// SUMMA — the workload eligible for BOTH strategies.  The C blocks must
+// be bit-identical (tolerance 0.0) at every pool width: the compute
+// multiplies batches in ascending k order whatever the arrival order.
+// ---------------------------------------------------------------------
+
+TEST(ParallelDeterminism, SummaBitIdenticalBothStrategies) {
+  constexpr std::uint32_t kGrid = 3;
+  constexpr std::size_t kBlock = 8;
+  Rng rng(123);
+  matrix::BlockMatrix a(kGrid, kBlock);
+  matrix::BlockMatrix b(kGrid, kBlock);
+  a.fillRandom(rng);
+  b.fillRandom(rng);
+  const matrix::BlockMatrix expected =
+      matrix::BlockMatrix::multiplyReference(a, b);
+
+  auto run = [&](bool synchronized, int threads) {
+    auto store = kv::PartitionedStore::create(kGrid * kGrid);
+    obs::Tracer tracer;
+    EngineOptions eopts;
+    eopts.threads = threads;
+    eopts.tracer = &tracer;
+    Engine engine(store, eopts);
+    matrix::SummaOptions options;
+    options.synchronized = synchronized;
+    options.parts = kGrid * kGrid;
+    const matrix::SummaResult r = runSumma(engine, a, b, options);
+    const obs::RunReport report =
+        obs::RunReport::capture("summa", nullptr, &tracer);
+    return std::make_tuple(r.c, report.syncRounds(), report.ioRounds());
+  };
+
+  for (const bool synchronized : {true, false}) {
+    SCOPED_TRACE(synchronized ? "sync" : "no-sync");
+    const auto [baseC, baseSync, baseIo] = run(synchronized, 1);
+    EXPECT_TRUE(baseC.approxEqual(expected, 1e-9));
+    for (const int threads : {2, 8}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      const auto [c, sync, io] = run(synchronized, threads);
+      EXPECT_TRUE(c.approxEqual(baseC, 0.0));  // Bit-identical.
+      EXPECT_EQ(sync, baseSync);
+      EXPECT_EQ(io, baseIo);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ripple::ebsp

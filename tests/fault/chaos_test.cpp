@@ -276,6 +276,100 @@ TEST(Chaos, SummaBothStrategiesUnderStoreAndQueueFaults) {
 }
 
 // ---------------------------------------------------------------------
+// Multi-threaded chaos: the same seeded schedules with the engines on a
+// 4-thread pool.  Injection sites now depend on thread interleaving, but
+// the invariants must not: results equal the fault-free baseline and the
+// counter ledger still closes (every injected failure caught by exactly
+// one retrier, concurrently charging workers included).
+// ---------------------------------------------------------------------
+
+TEST(Chaos, PageRankSyncAbsorbsStoreFaultsOnThreadPool) {
+  const graph::Graph g = prGraph();
+  const std::vector<double> baseline =
+      runPageRankChaos(g, FaultPlan{}, chaosRetry(), /*checkpoint=*/false,
+                       nullptr, nullptr);
+  for (const std::uint64_t seed : kSeeds) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    auto injector = std::make_shared<FaultInjector>(
+        FaultPlan::storeChaos(seed, 0.005));
+    obs::MetricsRegistry registry;
+    injector->bindRegistry(registry);
+    injector->setArmed(false);
+    auto store =
+        FaultyStore::wrap(kv::PartitionedStore::create(6), injector);
+    apps::loadPageRankGraph(*store, "pr_graph", g, 6);
+    ebsp::EngineOptions engineOptions;
+    engineOptions.threads = 4;
+    engineOptions.retry = chaosRetry();
+    engineOptions.metrics = &registry;
+    ebsp::Engine engine(store, engineOptions);
+    apps::PageRankOptions options;
+    options.iterations = 6;
+    injector->setArmed(true);
+    apps::runPageRank(engine, options);
+    injector->setArmed(false);
+    expectSameRanks(apps::readRanks(*store, "pr_graph", g.vertexCount()),
+                    baseline);
+    expectLedger(registry, *injector);
+  }
+}
+
+TEST(Chaos, SummaBothStrategiesUnderFaultsOnThreadPool) {
+  constexpr std::uint32_t kGrid = 3;
+  constexpr std::size_t kBlock = 8;
+  Rng rng(77);
+  matrix::BlockMatrix a(kGrid, kBlock);
+  matrix::BlockMatrix b(kGrid, kBlock);
+  a.fillRandom(rng);
+  b.fillRandom(rng);
+  const matrix::BlockMatrix expected =
+      matrix::BlockMatrix::multiplyReference(a, b);
+
+  for (const bool synchronized : {true, false}) {
+    for (const std::uint64_t seed : kSeeds) {
+      SCOPED_TRACE(std::string(synchronized ? "sync" : "no-sync") +
+                   " seed=" + std::to_string(seed));
+      FaultPlan plan = FaultPlan::storeChaos(seed, 0.02, "__ebsp");
+      if (!synchronized) {
+        // Same guarantee as the single-threaded leg: a deterministic
+        // every-4th-enqueue failure ensures injections fire even for
+        // seeds whose probabilistic draws all pass.
+        FaultRule enq;
+        enq.ops = maskOf(Op::kEnqueue);
+        enq.nth = 4;
+        plan.rules.push_back(enq);
+        const FaultPlan queues = FaultPlan::queueChaos(seed, 0.01);
+        plan.rules.insert(plan.rules.end(), queues.rules.begin(),
+                          queues.rules.end());
+      }
+      auto injector = std::make_shared<FaultInjector>(plan);
+      obs::MetricsRegistry registry;
+      injector->bindRegistry(registry);
+
+      auto store =
+          FaultyStore::wrap(kv::PartitionedStore::create(kGrid * kGrid),
+                            injector);
+      ebsp::EngineOptions engineOptions;
+      engineOptions.threads = 4;  // 9 parts multiplexed onto 4 workers.
+      engineOptions.retry = chaosRetry();
+      engineOptions.metrics = &registry;
+      if (!synchronized) {
+        engineOptions.queuing =
+            FaultyQueuing::wrap(mq::makeMemQueuing(store), injector);
+      }
+      ebsp::Engine engine(store, engineOptions);
+      matrix::SummaOptions options;
+      options.synchronized = synchronized;
+      options.parts = kGrid * kGrid;
+      const matrix::SummaResult r = runSumma(engine, a, b, options);
+
+      EXPECT_TRUE(r.c.approxEqual(expected, 1e-9));
+      expectLedger(registry, *injector);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
 // Determinism: the same FaultPlan seed reproduces the same injection
 // sites and counters.  LocalStore runs parts sequentially, so the whole
 // operation stream (and therefore every injection site) is reproducible.
@@ -316,6 +410,10 @@ TEST(Chaos, SameSeedReproducesSitesAndCounters) {
     store->createTable("ref", std::move(options));
     ebsp::RawJob job = chainJob(12);
     ebsp::SyncEngineOptions engineOptions;
+    // Pinned to one worker regardless of RIPPLE_THREADS: with a pool,
+    // parts race to the shared injection rules, so the SITES drawn from
+    // the jitter stream (not the results) vary run to run.
+    engineOptions.threads = 1;
     engineOptions.retry = chaosRetry();
     engineOptions.metrics = &registry;
     ebsp::SyncEngine engine(store, engineOptions);
