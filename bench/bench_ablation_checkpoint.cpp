@@ -94,7 +94,7 @@ JobResult runSmooth(bench::BenchReport& benchReport, std::uint32_t n,
                     int interval, int failAtStep,
                     fault::FaultInjectorPtr injector = nullptr,
                     int retryAttempts = 0) {
-  kv::KVStorePtr store = kv::PartitionedStore::create(6);
+  kv::KVStorePtr store = benchReport.makeStore(6);
   if (injector != nullptr) {
     if (benchReport.metrics() != nullptr) {
       injector->bindRegistry(*benchReport.metrics());

@@ -106,7 +106,7 @@ class FanInJob : public Job<std::uint32_t, std::uint64_t, std::uint64_t> {
 
 JobResult runFanIn(bench::BenchReport& benchReport, std::uint32_t components,
                    int rounds, int fanout, bool useCombiner, bool needsOrder) {
-  auto store = kv::PartitionedStore::create(kParts);
+  auto store = benchReport.makeStore(kParts);
   benchReport.bindStore(*store);
   kv::TableOptions options;
   options.parts = kParts;
@@ -180,7 +180,7 @@ class SkewJob : public Job<std::uint64_t, std::uint64_t, std::uint64_t> {
 };
 
 JobResult runSkew(bench::BenchReport& benchReport, bool stealing) {
-  auto store = kv::PartitionedStore::create(kParts);
+  auto store = benchReport.makeStore(kParts);
   benchReport.bindStore(*store);
   kv::TableOptions options;
   options.parts = kParts;

@@ -10,6 +10,7 @@
 #include <string_view>
 #include <thread>
 
+#include "kvstore/store_factory.h"
 #include "kvstore/table.h"
 #include "obs/report.h"
 
@@ -55,6 +56,10 @@ inline void printHeader(const std::string& title) {
 /// stores.  write() snapshots both into one RunReport JSON document (see
 /// obs/report.h).  Without --report every accessor returns null and the
 /// bench runs untraced, exactly as before.
+///
+/// `--store <partitioned|shard|local>` (also `--store=`) selects the K/V
+/// backend; absent it defers to RIPPLE_STORE via the factory.  Harnesses
+/// create their store through makeStore() so the flag takes effect.
 class BenchReport {
  public:
   BenchReport(int argc, char** argv, std::string label)
@@ -82,6 +87,14 @@ class BenchReport {
         }
       } else if (arg.rfind("--threads=", 0) == 0) {
         parseThreads(std::string(arg.substr(10)));
+      } else if (arg == "--store") {
+        if (i + 1 < argc) {
+          parseStore(argv[++i]);
+        } else {
+          std::cerr << "warning: --store requires a backend name; ignored\n";
+        }
+      } else if (arg.rfind("--store=", 0) == 0) {
+        parseStore(std::string(arg.substr(8)));
       }
     }
     if (threads_ > 0) {
@@ -108,10 +121,25 @@ class BenchReport {
   [[nodiscard]] obs::Tracer* tracer() { return tracer_.get(); }
   [[nodiscard]] obs::MetricsRegistry* metrics() { return registry_.get(); }
 
-  /// Mirror the store's kv.* counters into the report's registry.
+  /// Backend from `--store`; kDefault (RIPPLE_STORE or partitioned)
+  /// when the flag was absent.  Forward into kv::makeStore / the engine.
+  [[nodiscard]] kv::StoreBackend storeBackend() const { return store_; }
+
+  /// Create the harness's store on the selected backend and record the
+  /// backend name in the report info.
+  [[nodiscard]] kv::KVStorePtr makeStore(std::uint32_t containers) {
+    kv::KVStorePtr store = kv::makeStore(store_, containers);
+    setInfo("store", store->backendName());
+    return store;
+  }
+
+  /// Mirror the store's counters into the report's registry under a
+  /// per-backend `store.<backend>.*` prefix, so reports from different
+  /// backends stay distinguishable side by side.
   void bindStore(kv::KVStore& store) {
     if (registry_) {
-      store.metrics().bindRegistry(*registry_);
+      store.metrics().bindRegistry(
+          *registry_, std::string("store.") + store.backendName());
     }
   }
 
@@ -148,9 +176,20 @@ class BenchReport {
     threads_ = static_cast<int>(parsed);
   }
 
+  void parseStore(const std::string& value) {
+    if (std::optional<kv::StoreBackend> parsed =
+            kv::parseStoreBackend(value)) {
+      store_ = *parsed;
+      return;
+    }
+    std::cerr << "warning: --store expects partitioned|shard|local, got '"
+              << value << "'; ignored\n";
+  }
+
   std::string label_;
   std::string path_;
   int threads_ = 0;
+  kv::StoreBackend store_ = kv::StoreBackend::kDefault;
   std::map<std::string, std::string> info_;
   std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<obs::MetricsRegistry> registry_;

@@ -10,6 +10,7 @@
 #include "ebsp/transport.h"
 #include "kvstore/local_store.h"
 #include "kvstore/partitioned_store.h"
+#include "kvstore/shard_store.h"
 #include "kvstore/store_util.h"
 
 using namespace ripple;
@@ -74,6 +75,51 @@ void BM_PartitionedGetRouted(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PartitionedGetRouted);
+
+void BM_ShardPutDirect(benchmark::State& state) {
+  // The shard backend serves point ops on the caller's thread under
+  // stripe locks (no executor hop): contrast with BM_PartitionedPutRouted.
+  auto store = kv::ShardStore::create(4);
+  auto table = makeTable(*store, "t", 4);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    table->put(encodeToBytes(i++ % 100000), "value");
+  }
+  state.counters["remoteOps"] =
+      static_cast<double>(store->metrics().remoteOps.load());
+}
+BENCHMARK(BM_ShardPutDirect);
+
+void BM_ShardGet(benchmark::State& state) {
+  auto store = kv::ShardStore::create(4);
+  auto table = makeTable(*store, "t", 4);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    table->put(encodeToBytes(i), "value");
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->get(encodeToBytes(i++ % 10000)));
+  }
+}
+BENCHMARK(BM_ShardGet);
+
+void BM_ShardUbiquitousCachedGet(benchmark::State& state) {
+  // Hot ubiquitous reads served from the LRU block cache.
+  auto store = kv::ShardStore::create(4);
+  kv::TableOptions options;
+  options.ubiquitous = true;
+  auto table = store->createTable("u", options);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    table->put(encodeToBytes(i), "value");
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->get(encodeToBytes(i++ % 64)));
+  }
+  state.counters["cacheHits"] =
+      static_cast<double>(store->metrics().cacheHits.load());
+}
+BENCHMARK(BM_ShardUbiquitousCachedGet);
 
 void BM_Enumerate(benchmark::State& state) {
   auto store = kv::PartitionedStore::create(4);

@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
           graph::randomChangeBatch(vertices, perBatch, 1.8, rng));
     }
     for (const bool sel : {true, false}) {
-      auto store = kv::PartitionedStore::create(6);
+      auto store = report.makeStore(6);
       report.bindStore(*store);
       ebsp::EngineOptions eopts;
       eopts.threads = report.threads();

@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
 
   for (int trial = 0; trial < trials; ++trial) {
     for (const bool synchronized : {true, false}) {
-      auto store = kv::PartitionedStore::create(grid * grid);
+      auto store = report.makeStore(grid * grid);
       report.bindStore(*store);
       ebsp::EngineOptions eopts;
       eopts.threads = report.threads();

@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
     RunningStats mapreduce;
     for (int trial = 0; trial < trials; ++trial) {
       for (const bool mr : {false, true}) {
-        auto store = kv::PartitionedStore::create(6);
+        auto store = report.makeStore(6);
         report.bindStore(*store);
         apps::loadPageRankGraph(*store, "pr_graph", g, 6);
         ebsp::EngineOptions eopts;

@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
     matrix::BlockMatrix b(grid, 8);
     a.fillRandom(rng);
     b.fillRandom(rng);
-    auto store = kv::PartitionedStore::create(grid * grid);
+    auto store = report.makeStore(grid * grid);
     report.bindStore(*store);
     ebsp::EngineOptions eopts;
     eopts.threads = report.threads();

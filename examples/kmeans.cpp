@@ -16,7 +16,7 @@
 
 #include "common/random.h"
 #include "ebsp/job.h"
-#include "kvstore/partitioned_store.h"
+#include "kvstore/store_factory.h"
 #include "kvstore/store_util.h"
 
 using namespace ripple;
@@ -146,7 +146,7 @@ int main(int argc, char** argv) {
   const int clusters = argc > 2 ? std::atoi(argv[2]) : 5;
   const int iterations = argc > 3 ? std::atoi(argv[3]) : 12;
 
-  auto store = kv::PartitionedStore::create(6);
+  auto store = kv::makeStore(kv::StoreBackend::kDefault, 6);
 
   // Points: a mixture of `clusters` Gaussians-ish blobs.
   Rng rng(99);

@@ -10,7 +10,7 @@
 #include <iostream>
 
 #include "apps/pagerank.h"
-#include "kvstore/partitioned_store.h"
+#include "kvstore/store_factory.h"
 
 using namespace ripple;
 
@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   const graph::Graph g = graph::generatePowerLaw(gen);
 
   auto runVariant = [&](bool mapReduce) {
-    auto store = kv::PartitionedStore::create(6);
+    auto store = kv::makeStore(kv::StoreBackend::kDefault, 6);
     apps::loadPageRankGraph(*store, "pr_graph", g, 6);
     ebsp::Engine engine(store);
     apps::PageRankOptions options;
@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
             << "% slower (paper: direct 15-19% faster)\n";
 
   // Show the five highest-ranked vertices.
-  auto store = kv::PartitionedStore::create(6);
+  auto store = kv::makeStore(kv::StoreBackend::kDefault, 6);
   apps::loadPageRankGraph(*store, "pr_graph", g, 6);
   ebsp::Engine engine(store);
   apps::PageRankOptions options;

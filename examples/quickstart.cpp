@@ -12,7 +12,7 @@
 #include <iostream>
 
 #include "ebsp/job.h"
-#include "kvstore/partitioned_store.h"
+#include "kvstore/store_factory.h"
 #include "kvstore/store_util.h"
 #include "mapreduce/mapreduce.h"
 
@@ -117,7 +117,7 @@ void runWordCount(ebsp::Engine& engine, kv::KVStore& store) {
 int main() {
   // A parallel in-process store with 4 containers; swap in
   // kv::LocalStore::create() for single-threaded debugging.
-  auto store = kv::PartitionedStore::create(4);
+  auto store = kv::makeStore(kv::StoreBackend::kDefault, 4);
   ebsp::Engine engine(store);
 
   runRumor(engine, *store);

@@ -10,7 +10,7 @@
 #include <iostream>
 
 #include "apps/sssp.h"
-#include "kvstore/partitioned_store.h"
+#include "kvstore/store_factory.h"
 
 using namespace ripple;
 
@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
   }
 
   auto runVariant = [&](bool selective) {
-    auto store = kv::PartitionedStore::create(6);
+    auto store = kv::makeStore(kv::StoreBackend::kDefault, 6);
     ebsp::Engine engine(store);
     apps::SsspOptions options;
     options.selective = selective;

@@ -9,7 +9,7 @@
 #include <iomanip>
 #include <iostream>
 
-#include "kvstore/partitioned_store.h"
+#include "kvstore/store_factory.h"
 #include "matrix/summa.h"
 #include "matrix/summa_schedule.h"
 
@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   const matrix::BlockMatrix expected = matrix::BlockMatrix::multiplyReference(a, b);
 
   auto runVariant = [&](bool synchronized) {
-    auto store = kv::PartitionedStore::create(grid * grid);
+    auto store = kv::makeStore(kv::StoreBackend::kDefault, grid * grid);
     ebsp::Engine engine(store);
     matrix::SummaOptions options;
     options.synchronized = synchronized;

@@ -4,20 +4,53 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "common/logging.h"
+
 namespace ripple {
+
+namespace {
+
+/// Sanity cap on pool width: far above any real machine, low enough that
+/// an overflowed or absurd request cannot exhaust process resources.
+constexpr long kMaxThreads = 4096;
+
+}  // namespace
 
 int resolveThreads(int requested) {
   if (requested > 0) {
+    if (requested > kMaxThreads) {
+      RIPPLE_WARN << "resolveThreads: requested " << requested
+                  << " threads; clamping to " << kMaxThreads;
+      return static_cast<int>(kMaxThreads);
+    }
     return requested;
   }
+  if (requested < 0) {
+    RIPPLE_WARN << "resolveThreads: negative thread request (" << requested
+                << ") ignored; falling back to RIPPLE_THREADS";
+  }
   const char* env = std::getenv("RIPPLE_THREADS");
-  if (env == nullptr) {
+  if (env == nullptr || *env == '\0') {
     return 0;
   }
   char* end = nullptr;
   const long parsed = std::strtol(env, &end, 10);
-  if (end == env || parsed <= 0) {
+  if (end == env || *end != '\0') {
+    // "abc" or "4abc": reject the whole value rather than honoring a
+    // numeric prefix the user probably didn't mean.
+    RIPPLE_WARN << "resolveThreads: RIPPLE_THREADS='" << env
+                << "' is not an integer; using legacy dispatch";
     return 0;
+  }
+  if (parsed < 0) {
+    RIPPLE_WARN << "resolveThreads: RIPPLE_THREADS='" << env
+                << "' is negative; using legacy dispatch";
+    return 0;
+  }
+  if (parsed > kMaxThreads) {
+    RIPPLE_WARN << "resolveThreads: RIPPLE_THREADS='" << env
+                << "' exceeds the cap; clamping to " << kMaxThreads;
+    return static_cast<int>(kMaxThreads);
   }
   return static_cast<int>(parsed);
 }

@@ -35,6 +35,10 @@ namespace ripple {
 /// Resolve an engine thread-count request: an explicit positive request
 /// wins; zero consults the RIPPLE_THREADS environment variable.  A result
 /// of 0 means "no engine pool" (legacy store-collocated dispatch).
+/// Invalid inputs never throw — a negative request logs a warning and
+/// falls back to the environment tier, a non-integer or negative
+/// RIPPLE_THREADS logs a warning and resolves to legacy dispatch, and
+/// anything above an internal sanity cap (4096) clamps with a warning.
 [[nodiscard]] int resolveThreads(int requested);
 
 class SerialExecutor {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 namespace ripple {
 
@@ -22,6 +23,11 @@ void RunningStats::add(double x) {
 }
 
 double RunningStats::percentile(double q) const {
+  if (std::isnan(q)) {
+    // std::clamp passes NaN through, and casting a NaN rank to size_t is
+    // undefined behavior — reject instead of indexing with garbage.
+    throw std::invalid_argument("RunningStats::percentile: q is NaN");
+  }
   if (samples_.empty()) {
     return 0.0;
   }
@@ -29,7 +35,15 @@ double RunningStats::percentile(double q) const {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
   }
-  q = std::clamp(q, 0.0, 1.0);
+  // The boundary quantiles (and every q of a single-element set) are
+  // exact order statistics; skipping the interpolation arithmetic keeps
+  // them immune to rank rounding at the edges.
+  if (q <= 0.0) {
+    return samples_.front();
+  }
+  if (q >= 1.0) {
+    return samples_.back();
+  }
   const double rank = q * static_cast<double>(samples_.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, samples_.size() - 1);

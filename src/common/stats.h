@@ -42,8 +42,9 @@ class RunningStats {
   [[nodiscard]] double min() const { return min_; }
   [[nodiscard]] double max() const { return max_; }
 
-  /// Percentile by linear interpolation between closest ranks;
-  /// `q` in [0, 1].  Returns 0 with no samples.
+  /// Percentile by linear interpolation between closest ranks; `q`
+  /// outside [0, 1] clamps to the min/max order statistic.  Returns 0
+  /// with no samples; throws std::invalid_argument for NaN q.
   [[nodiscard]] double percentile(double q) const;
   [[nodiscard]] double p50() const { return percentile(0.50); }
   [[nodiscard]] double p95() const { return percentile(0.95); }

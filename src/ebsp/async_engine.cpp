@@ -139,9 +139,15 @@ class AsyncEngine::Run {
     dead_.assign(workerCount_, false);
     adoptedOf_.assign(workerCount_, {});
     aliveWorkers_ = workerCount_;
+    // Broadcast data is read concurrently by every worker: seal it for
+    // the run so a mid-run write throws instead of racing.
+    broadcastSeal_ = kv::ScopedTableSeal(broadcast_);
   }
 
-  ~Run() { options_.queuing->deleteQueueSet("__ebsp_q_" + runId_); }
+  ~Run() {
+    broadcastSeal_.release();
+    options_.queuing->deleteQueueSet("__ebsp_q_" + runId_);
+  }
 
   JobResult execute() {
     Stopwatch wall;
@@ -865,6 +871,7 @@ class AsyncEngine::Run {
   kv::TablePtr ref_;
   std::vector<kv::TablePtr> stateTables_;
   kv::TablePtr broadcast_;
+  kv::ScopedTableSeal broadcastSeal_;
   std::uint32_t parts_ = 0;
   // Worker threads actually spawned; below parts_ when options_.threads
   // caps it, in which case worker w multiplexes the striped queues

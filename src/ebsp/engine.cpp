@@ -4,6 +4,11 @@
 
 namespace ripple::ebsp {
 
+kv::KVStorePtr makeEngineStore(const EngineOptions& options,
+                               std::uint32_t containers) {
+  return kv::makeStore(options.storeBackend, containers);
+}
+
 Engine::Engine(kv::KVStorePtr store, EngineOptions options)
     : store_(std::move(store)), options_(std::move(options)) {
   if (!options_.queuing) {

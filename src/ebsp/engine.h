@@ -6,6 +6,7 @@
 #include "ebsp/async_engine.h"
 #include "ebsp/raw_job.h"
 #include "ebsp/sync_engine.h"
+#include "kvstore/store_factory.h"
 #include "kvstore/table.h"
 #include "mq/queue.h"
 
@@ -23,6 +24,11 @@ enum class ExecutionMode {
 
 struct EngineOptions {
   ExecutionMode mode = ExecutionMode::kAuto;
+
+  /// Store backend for makeEngineStore (the engine itself is handed a
+  /// constructed store and never re-creates it).  kDefault resolves
+  /// through RIPPLE_STORE; see kvstore/store_factory.h.
+  kv::StoreBackend storeBackend = kv::StoreBackend::kDefault;
 
   sim::CostModel costModel = sim::CostModel::defaults();
   bool virtualTime = true;
@@ -71,6 +77,13 @@ struct EngineOptions {
   /// when the run finishes.  Not owned; must outlive run().
   obs::MetricsRegistry* metrics = nullptr;
 };
+
+/// Build the store an Engine should run against: the backend is taken
+/// from options.storeBackend (RIPPLE_STORE when kDefault), with
+/// `containers` executor domains.  Convenience for harnesses/examples so
+/// backend selection stays one flag away from the engine construction.
+[[nodiscard]] kv::KVStorePtr makeEngineStore(const EngineOptions& options,
+                                             std::uint32_t containers);
 
 class Engine {
  public:

@@ -111,9 +111,14 @@ class SyncEngine::Run {
           props_.fastRecovery() ? std::max(1, options_.checkpoint.interval)
                                 : 1;
     }
+    // The broadcast table is read-only for the whole run: compute may
+    // read it from any part concurrently, so a mid-superstep write would
+    // be racy and schedule-dependent.  Seal it so such writes throw.
+    broadcastSeal_ = kv::ScopedTableSeal(broadcast_);
   }
 
   ~Run() {
+    broadcastSeal_.release();
     // Private engine tables are dropped even on exceptions.
     store_->dropTable(transport_->name());
     store_->dropTable(collection_->name());
@@ -860,6 +865,7 @@ class SyncEngine::Run {
   kv::TablePtr ref_;
   std::vector<kv::TablePtr> stateTables_;
   kv::TablePtr broadcast_;
+  kv::ScopedTableSeal broadcastSeal_;
   kv::TablePtr transport_;
   kv::TablePtr collection_;
   std::uint32_t parts_ = 0;

@@ -117,6 +117,11 @@ class FaultyTable : public kv::Table {
     return inner_->drainPart(part);
   }
 
+  // Sealing must reach the backing table: engines seal via the wrapper,
+  // but callers holding the inner table directly must see the same state.
+  void setReadOnly(bool readOnly) override { inner_->setReadOnly(readOnly); }
+  [[nodiscard]] bool readOnly() const override { return inner_->readOnly(); }
+
   [[nodiscard]] const kv::TablePtr& inner() const { return inner_; }
 
  private:

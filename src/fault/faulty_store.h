@@ -44,6 +44,9 @@ class FaultyStore : public kv::KVStore {
   [[nodiscard]] kv::StoreMetrics& metrics() override {
     return inner_->metrics();
   }
+  [[nodiscard]] const char* backendName() const override {
+    return inner_->backendName();
+  }
   [[nodiscard]] std::uint32_t partsOf(const kv::Table& placement)
       const override;
 

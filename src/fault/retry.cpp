@@ -69,20 +69,24 @@ void Retrier::bindVirtualTime(sim::VirtualCluster* vt, std::uint32_t part) {
 
 void Retrier::backoff(int attempt) {
   double ms = policy_.initialBackoffMs;
-  for (int i = 1; i < attempt; ++i) {
+  for (int i = 1; i < attempt && ms < policy_.maxBackoffMs; ++i) {
+    // Stop multiplying once past the cap: a large attempt budget must not
+    // overflow the double to inf before the clamp.
     ms *= policy_.backoffMultiplier;
   }
   ms = std::min(ms, policy_.maxBackoffMs);
   if (policy_.jitter > 0) {
     ms *= 1.0 + policy_.jitter * (2.0 * rng_.nextDouble() - 1.0);
   }
-  ms = std::max(ms, 0.0);
+  // Clamp AFTER jitter too: maxBackoffMs is a hard bound on the wait (and
+  // the virtual-time charge), not on the pre-jitter base.
+  ms = std::clamp(ms, 0.0, policy_.maxBackoffMs);
 
   retries_.fetch_add(1, std::memory_order_relaxed);
-  double total = backoffMsTotal_.load(std::memory_order_relaxed);
-  while (!backoffMsTotal_.compare_exchange_weak(total, total + ms,
-                                                std::memory_order_relaxed)) {
-  }
+  // C++20 atomic<double>::fetch_add: a single RMW cannot drop concurrent
+  // additions the way a load/CAS retry written against a stale snapshot
+  // could.
+  backoffMsTotal_.fetch_add(ms, std::memory_order_relaxed);
   if (ctrRetries_ != nullptr) {
     ctrRetries_->add(1);
   }

@@ -37,9 +37,14 @@ struct RetryPolicy {
 
   double initialBackoffMs = 0.2;
   double backoffMultiplier = 2.0;
+
+  /// Hard upper bound on any single backoff wait, applied after jitter:
+  /// the escalation latency of an exhausted budget (and its virtual-time
+  /// charge) is at most (maxAttempts - 1) * maxBackoffMs.
   double maxBackoffMs = 5.0;
 
-  /// Backoff is scaled by a uniform factor in [1 - jitter, 1 + jitter].
+  /// Backoff is scaled by a uniform factor in [1 - jitter, 1 + jitter],
+  /// then clamped to maxBackoffMs.
   double jitter = 0.5;
 
   /// Base seed for the jitter stream (combined with the stream id).

@@ -52,12 +52,14 @@ class LocalTable : public Table {
   }
 
   void put(KeyView key, ValueView value) override {
+    checkWritable("put");
     std::lock_guard<std::recursive_mutex> lock(*mu_);
     metrics_->incLocal();
     parts_[partOf(key)].put(key, value);
   }
 
   bool erase(KeyView key) override {
+    checkWritable("erase");
     std::lock_guard<std::recursive_mutex> lock(*mu_);
     metrics_->incLocal();
     return parts_[partOf(key)].erase(key);
@@ -124,11 +126,13 @@ class LocalTable : public Table {
   }
 
   std::uint64_t clearPart(std::uint32_t part) override {
+    checkWritable("clearPart");
     std::lock_guard<std::recursive_mutex> lock(*mu_);
     return parts_.at(part).clear();
   }
 
   std::vector<std::pair<Key, Value>> drainPart(std::uint32_t part) override {
+    checkWritable("drainPart");
     std::lock_guard<std::recursive_mutex> lock(*mu_);
     metrics_->incScans();
     return parts_.at(part).drain();

@@ -30,6 +30,7 @@ class LocalStore : public KVStore,
                  const std::function<void()>& fn) override;
 
   StoreMetrics& metrics() override { return metrics_; }
+  [[nodiscard]] const char* backendName() const override { return "local"; }
 
  private:
   LocalStore() = default;

@@ -4,6 +4,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <unordered_map>
 #include <utility>
@@ -72,6 +73,10 @@ class PartData {
         data_);
   }
 
+  /// Drained pairs are ascending-key-sorted for BOTH organizations: the
+  /// store SPI promises a canonical drain order so compute invocation
+  /// order (and therefore aggregator FP fold order) is identical across
+  /// backends.
   [[nodiscard]] std::vector<std::pair<Bytes, Bytes>> drain() {
     std::vector<std::pair<Bytes, Bytes>> out;
     std::visit(
@@ -83,6 +88,10 @@ class PartData {
           m.clear();
         },
         data_);
+    if (std::holds_alternative<Hashed>(data_)) {
+      std::sort(out.begin(), out.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+    }
     return out;
   }
 

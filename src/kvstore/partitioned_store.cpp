@@ -105,6 +105,7 @@ class PartitionedTable : public Table {
   }
 
   void put(KeyView key, ValueView value) override {
+    checkWritable("put");
     const std::uint32_t part = partOf(key);
     onOwner(part, key.size() + value.size(), [&] {
       LockedPart& p = *parts_[part];
@@ -114,6 +115,7 @@ class PartitionedTable : public Table {
   }
 
   bool erase(KeyView key) override {
+    checkWritable("erase");
     const std::uint32_t part = partOf(key);
     return onOwner(part, key.size(), [&] {
       LockedPart& p = *parts_[part];
@@ -123,6 +125,7 @@ class PartitionedTable : public Table {
   }
 
   void putBatch(const std::vector<std::pair<Key, Value>>& entries) override {
+    checkWritable("putBatch");
     // Group by part so each owner executor is visited once.
     std::vector<std::vector<const std::pair<Key, Value>*>> byPart(numParts());
     for (const auto& e : entries) {
@@ -219,12 +222,14 @@ class PartitionedTable : public Table {
   }
 
   std::uint64_t clearPart(std::uint32_t part) override {
+    checkWritable("clearPart");
     LockedPart& p = *parts_.at(part);
     std::lock_guard<std::mutex> lock(p.mu);
     return p.data.clear();
   }
 
   std::vector<std::pair<Key, Value>> drainPart(std::uint32_t part) override {
+    checkWritable("drainPart");
     metrics_->incScans();
     LockedPart& p = *parts_.at(part);
     std::lock_guard<std::mutex> lock(p.mu);
@@ -319,12 +324,14 @@ class UbiquitousTable : public Table {
   }
 
   void put(KeyView key, ValueView value) override {
+    checkWritable("put");
     metrics_->incLocal();
     std::unique_lock lock(mu_);
     data_.put(key, value);
   }
 
   bool erase(KeyView key) override {
+    checkWritable("erase");
     std::unique_lock lock(mu_);
     return data_.erase(key);
   }
@@ -369,11 +376,13 @@ class UbiquitousTable : public Table {
   }
 
   std::uint64_t clearPart(std::uint32_t) override {
+    checkWritable("clearPart");
     std::unique_lock lock(mu_);
     return data_.clear();
   }
 
   std::vector<std::pair<Key, Value>> drainPart(std::uint32_t) override {
+    checkWritable("drainPart");
     std::unique_lock lock(mu_);
     return data_.drain();
   }

@@ -58,6 +58,9 @@ class PartitionedStore : public KVStore,
                                         std::uint32_t part) override;
 
   StoreMetrics& metrics() override { return metrics_; }
+  [[nodiscard]] const char* backendName() const override {
+    return "partitioned";
+  }
 
   [[nodiscard]] std::uint32_t containerCount() const;
 

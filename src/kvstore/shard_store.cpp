@@ -1,0 +1,873 @@
+#include "kvstore/shard_store.h"
+
+#include <algorithm>
+#include <future>
+#include <list>
+#include <stdexcept>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace ripple::kv {
+
+namespace shard_detail {
+
+/// One location: a single serial executor for collocated mobile code plus
+/// a thread-local adoption registration.  Point operations never pass
+/// through the executor — they run on the caller's thread under stripe
+/// locks — so the executor only carries scans, part enumeration, and
+/// posted work.
+class Location {
+ public:
+  explicit Location(std::uint32_t index)
+      : index_(index), exec_("shard-loc-" + std::to_string(index)) {}
+
+  [[nodiscard]] std::uint32_t index() const { return index_; }
+  [[nodiscard]] SerialExecutor& exec() { return exec_; }
+
+  [[nodiscard]] bool onLocalThread() const {
+    return adopted() == this || exec_.onThisThread();
+  }
+
+  void adoptCurrentThread() { adopted() = this; }
+  void releaseCurrentThread() {
+    if (adopted() == this) {
+      adopted() = nullptr;
+    }
+  }
+
+  void shutdown() { exec_.shutdown(); }
+
+ private:
+  static Location*& adopted() {
+    thread_local Location* current = nullptr;
+    return current;
+  }
+
+  std::uint32_t index_;
+  SerialExecutor exec_;
+};
+
+}  // namespace shard_detail
+
+namespace {
+
+using shard_detail::Location;
+
+/// One lock stripe of a part shard: an open-addressing hash table with
+/// linear probing and tombstone deletion; grows at 0.7 load (counting
+/// tombstones, which probing must skip over).
+class Stripe {
+ public:
+  Stripe() { slots_.resize(kInitialCapacity); }
+
+  mutable std::mutex mu;
+
+  [[nodiscard]] const Bytes* find(BytesView key) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t idx = probeStart(key);
+    for (std::size_t step = 0; step < slots_.size(); ++step) {
+      const Slot& s = slots_[(idx + step) & mask];
+      if (s.state == SlotState::kEmpty) {
+        return nullptr;
+      }
+      if (s.state == SlotState::kFull && BytesView(s.key) == key) {
+        return &s.value;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Insert-or-assign; returns true when the key was new.
+  bool put(BytesView key, BytesView value) {
+    growIfNeeded();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t idx = probeStart(key);
+    std::size_t firstTomb = slots_.size();  // Sentinel: none seen.
+    for (std::size_t step = 0; step < slots_.size(); ++step) {
+      const std::size_t at = (idx + step) & mask;
+      Slot& s = slots_[at];
+      if (s.state == SlotState::kFull && BytesView(s.key) == key) {
+        s.value = Bytes(value);
+        return false;
+      }
+      if (s.state == SlotState::kTomb && firstTomb == slots_.size()) {
+        firstTomb = at;
+      }
+      if (s.state == SlotState::kEmpty) {
+        Slot& target = firstTomb != slots_.size() ? slots_[firstTomb] : s;
+        if (&target == &s) {
+          ++used_;
+        }
+        target.state = SlotState::kFull;
+        target.key = Bytes(key);
+        target.value = Bytes(value);
+        ++live_;
+        return true;
+      }
+    }
+    throw std::logic_error("Stripe::put: probe exhausted a full table");
+  }
+
+  /// Returns true when the key existed.
+  bool erase(BytesView key) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t idx = probeStart(key);
+    for (std::size_t step = 0; step < slots_.size(); ++step) {
+      Slot& s = slots_[(idx + step) & mask];
+      if (s.state == SlotState::kEmpty) {
+        return false;
+      }
+      if (s.state == SlotState::kFull && BytesView(s.key) == key) {
+        s.state = SlotState::kTomb;
+        s.key.clear();
+        s.value.clear();
+        --live_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  std::size_t clear() {
+    const std::size_t n = live_;
+    slots_.assign(kInitialCapacity, Slot{});
+    live_ = 0;
+    used_ = 0;
+    return n;
+  }
+
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.state == SlotState::kFull) {
+        fn(BytesView(s.key), BytesView(s.value));
+      }
+    }
+  }
+
+ private:
+  enum class SlotState : std::uint8_t { kEmpty, kFull, kTomb };
+  struct Slot {
+    SlotState state = SlotState::kEmpty;
+    Bytes key;
+    Bytes value;
+  };
+
+  static constexpr std::size_t kInitialCapacity = 8;  // Power of two.
+
+  [[nodiscard]] std::size_t probeStart(BytesView key) const {
+    return static_cast<std::size_t>(mix64(fnv1a64(key))) &
+           (slots_.size() - 1);
+  }
+
+  void growIfNeeded() {
+    if ((used_ + 1) * 10 < slots_.size() * 7) {
+      return;
+    }
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    live_ = 0;
+    used_ = 0;
+    for (Slot& s : old) {
+      if (s.state == SlotState::kFull) {
+        put(s.key, s.value);
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t live_ = 0;   // kFull slots.
+  std::size_t used_ = 0;   // kFull + kTomb slots (probe-chain length bound).
+};
+
+/// One part of a shard table: lock stripes fronted by an append-only
+/// write buffer.  Lock order is ALWAYS buffer mutex -> stripe mutex.
+class PartShard {
+ public:
+  PartShard(std::uint32_t stripes, std::size_t bufferLimit)
+      : bufferLimit_(bufferLimit), stripes_(stripes) {}
+
+  [[nodiscard]] std::optional<Bytes> get(BytesView key) const {
+    {
+      std::lock_guard<std::mutex> lock(bufMu_);
+      // Newest-wins: scan the append log backwards.
+      for (auto it = buffer_.rbegin(); it != buffer_.rend(); ++it) {
+        if (BytesView(it->key) == key) {
+          if (it->tombstone) {
+            return std::nullopt;
+          }
+          return it->value;
+        }
+      }
+    }
+    const Stripe& s = stripeFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    const Bytes* v = s.find(key);
+    if (v == nullptr) {
+      return std::nullopt;
+    }
+    return *v;
+  }
+
+  void put(BytesView key, BytesView value) {
+    std::lock_guard<std::mutex> lock(bufMu_);
+    buffer_.push_back({Bytes(key), Bytes(value), false});
+    if (buffer_.size() >= bufferLimit_) {
+      flushLocked();
+    }
+  }
+
+  bool erase(BytesView key) {
+    std::lock_guard<std::mutex> lock(bufMu_);
+    bool existed = false;
+    bool inBuffer = false;
+    for (auto it = buffer_.rbegin(); it != buffer_.rend(); ++it) {
+      if (BytesView(it->key) == key) {
+        existed = !it->tombstone;
+        inBuffer = true;
+        break;
+      }
+    }
+    if (!inBuffer) {
+      const Stripe& s = stripeFor(key);
+      std::lock_guard<std::mutex> stripeLock(s.mu);
+      existed = s.find(key) != nullptr;
+    }
+    buffer_.push_back({Bytes(key), Bytes{}, true});
+    if (buffer_.size() >= bufferLimit_) {
+      flushLocked();
+    }
+    return existed;
+  }
+
+  void putMany(const std::vector<const std::pair<Bytes, Bytes>*>& entries) {
+    std::lock_guard<std::mutex> lock(bufMu_);
+    for (const auto* e : entries) {
+      buffer_.push_back({e->first, e->second, false});
+    }
+    if (buffer_.size() >= bufferLimit_) {
+      flushLocked();
+    }
+  }
+
+  /// Fold the write buffer into the stripes (the "on barrier" flush: any
+  /// operation needing a consistent whole-part view calls this first).
+  void flush() {
+    std::lock_guard<std::mutex> lock(bufMu_);
+    flushLocked();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const_cast<PartShard*>(this)->flush();
+    std::size_t total = 0;
+    for (const Stripe& s : stripes_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      total += s.size();
+    }
+    return total;
+  }
+
+  /// Consistent, ascending-key snapshot of the whole part.
+  [[nodiscard]] std::vector<std::pair<Bytes, Bytes>> snapshot() const {
+    const_cast<PartShard*>(this)->flush();
+    std::vector<std::pair<Bytes, Bytes>> out;
+    for (const Stripe& s : stripes_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.forEach([&](BytesView k, BytesView v) {
+        out.emplace_back(Bytes(k), Bytes(v));
+      });
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return out;
+  }
+
+  std::vector<std::pair<Bytes, Bytes>> drain() {
+    std::lock_guard<std::mutex> lock(bufMu_);
+    flushLocked();
+    std::vector<std::pair<Bytes, Bytes>> out;
+    for (Stripe& s : stripes_) {
+      std::lock_guard<std::mutex> stripeLock(s.mu);
+      s.forEach([&](BytesView k, BytesView v) {
+        out.emplace_back(Bytes(k), Bytes(v));
+      });
+      s.clear();
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return out;
+  }
+
+  std::size_t clear() {
+    std::lock_guard<std::mutex> lock(bufMu_);
+    flushLocked();
+    std::size_t removed = 0;
+    for (Stripe& s : stripes_) {
+      std::lock_guard<std::mutex> stripeLock(s.mu);
+      removed += s.clear();
+    }
+    return removed;
+  }
+
+  /// Write-buffer occupancy (for the flush tests).
+  [[nodiscard]] std::size_t buffered() const {
+    std::lock_guard<std::mutex> lock(bufMu_);
+    return buffer_.size();
+  }
+
+ private:
+  struct BufferedWrite {
+    Bytes key;
+    Bytes value;
+    bool tombstone;
+  };
+
+  [[nodiscard]] const Stripe& stripeFor(BytesView key) const {
+    // Stripe choice uses the upper hash bits so it stays independent of
+    // the probe position (low bits) inside the stripe.
+    const std::uint64_t h = mix64(fnv1a64(key));
+    return stripes_[(h >> 32) % stripes_.size()];
+  }
+  [[nodiscard]] Stripe& stripeFor(BytesView key) {
+    const std::uint64_t h = mix64(fnv1a64(key));
+    return stripes_[(h >> 32) % stripes_.size()];
+  }
+
+  // Caller holds bufMu_.
+  void flushLocked() {
+    for (const BufferedWrite& w : buffer_) {
+      Stripe& s = stripeFor(w.key);
+      std::lock_guard<std::mutex> lock(s.mu);
+      if (w.tombstone) {
+        s.erase(w.key);
+      } else {
+        s.put(w.key, w.value);
+      }
+    }
+    buffer_.clear();
+  }
+
+  mutable std::mutex bufMu_;
+  std::vector<BufferedWrite> buffer_;
+  std::size_t bufferLimit_;
+  mutable std::vector<Stripe> stripes_;
+};
+
+/// Bounded LRU cache for ubiquitous-table reads.  Caches present keys
+/// only; writes invalidate.
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  [[nodiscard]] bool enabled() const { return capacity_ > 0; }
+
+  [[nodiscard]] std::optional<Bytes> get(BytesView key) {
+    if (capacity_ == 0) {
+      return std::nullopt;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(Bytes(key));
+    if (it == index_.end()) {
+      return std::nullopt;
+    }
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  void insert(BytesView key, ValueView value) {
+    if (capacity_ == 0) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    Bytes k(key);
+    auto it = index_.find(k);
+    if (it != index_.end()) {
+      it->second->second = Bytes(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(k, Bytes(value));
+    index_.emplace(std::move(k), order_.begin());
+    if (order_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+    }
+  }
+
+  void invalidate(BytesView key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(Bytes(key));
+    if (it != index_.end()) {
+      order_.erase(it->second);
+      index_.erase(it);
+    }
+  }
+
+  void invalidateAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    order_.clear();
+    index_.clear();
+  }
+
+  [[nodiscard]] std::size_t entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return order_.size();
+  }
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<std::pair<Bytes, Bytes>> order_;
+  std::unordered_map<Bytes, std::list<std::pair<Bytes, Bytes>>::iterator>
+      index_;
+};
+
+/// A partitioned shard table.
+class ShardTable : public Table {
+ public:
+  ShardTable(std::string name, TableOptions options, ShardStore* store,
+             StoreMetrics* metrics)
+      : name_(std::move(name)), options_(std::move(options)), store_(store),
+        metrics_(metrics) {
+    if (!options_.partitioner) {
+      options_.partitioner = makeDefaultPartitioner(options_.parts);
+    }
+    if (options_.partitioner->parts() != options_.parts) {
+      throw std::invalid_argument("ShardTable '" + name_ +
+                                  "': partitioner/parts mismatch");
+    }
+    const ShardStore::Options& so = store_->storeOptions();
+    parts_.reserve(options_.parts);
+    for (std::uint32_t i = 0; i < options_.parts; ++i) {
+      parts_.push_back(
+          std::make_unique<PartShard>(so.stripes, so.writeBufferLimit));
+    }
+  }
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] const TableOptions& options() const override {
+    return options_;
+  }
+  [[nodiscard]] std::uint32_t numParts() const override {
+    return options_.parts;
+  }
+  [[nodiscard]] std::uint32_t partOf(KeyView key) const override {
+    return options_.partitioner->partOf(key);
+  }
+
+  std::optional<Value> get(KeyView key) override {
+    const std::uint32_t part = partOf(key);
+    account(part, key.size());
+    return parts_[part]->get(key);
+  }
+
+  void put(KeyView key, ValueView value) override {
+    checkWritable("put");
+    const std::uint32_t part = partOf(key);
+    account(part, key.size() + value.size());
+    parts_[part]->put(key, value);
+  }
+
+  bool erase(KeyView key) override {
+    checkWritable("erase");
+    const std::uint32_t part = partOf(key);
+    account(part, key.size());
+    return parts_[part]->erase(key);
+  }
+
+  void putBatch(const std::vector<std::pair<Key, Value>>& entries) override {
+    checkWritable("putBatch");
+    std::vector<std::vector<const std::pair<Key, Value>*>> byPart(numParts());
+    for (const auto& e : entries) {
+      byPart[partOf(e.first)].push_back(&e);
+    }
+    for (std::uint32_t part = 0; part < numParts(); ++part) {
+      if (byPart[part].empty()) {
+        continue;
+      }
+      std::size_t bytes = 0;
+      for (const auto* e : byPart[part]) {
+        bytes += e->first.size() + e->second.size();
+      }
+      account(part, bytes);
+      parts_[part]->putMany(byPart[part]);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t size() const override {
+    std::uint64_t total = 0;
+    for (const auto& p : parts_) {
+      total += p->size();
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::uint64_t partSize(std::uint32_t part) const override {
+    return parts_.at(part)->size();
+  }
+
+  Bytes enumerate(PairConsumer& consumer) override {
+    // Per-part scans run collocated on each part's location executor;
+    // results combine in part order (canonical across backends).
+    std::vector<std::future<Bytes>> futures;
+    futures.reserve(numParts());
+    for (std::uint32_t part = 0; part < numParts(); ++part) {
+      futures.push_back(store_->locationFor(part).exec().submit(
+          [this, part, &consumer] { return enumerateLocal(part, consumer); }));
+    }
+    Bytes result;
+    bool first = true;
+    for (auto& f : futures) {
+      Bytes r = f.get();
+      result = first ? std::move(r)
+                     : consumer.combine(std::move(result), std::move(r));
+      first = false;
+    }
+    return result;
+  }
+
+  Bytes enumeratePart(std::uint32_t part, PairConsumer& consumer) override {
+    Location& loc = store_->locationFor(partIndexChecked(part));
+    if (loc.onLocalThread()) {
+      return enumerateLocal(part, consumer);
+    }
+    return loc.exec()
+        .submit([this, part, &consumer] {
+          return enumerateLocal(part, consumer);
+        })
+        .get();
+  }
+
+  Bytes processParts(PartConsumer& consumer) override {
+    std::vector<std::future<Bytes>> futures;
+    futures.reserve(numParts());
+    for (std::uint32_t part = 0; part < numParts(); ++part) {
+      futures.push_back(store_->locationFor(part).exec().submit(
+          [this, part, &consumer] {
+            return consumer.processPart(part, *this);
+          }));
+    }
+    Bytes result;
+    bool first = true;
+    for (auto& f : futures) {
+      Bytes r = f.get();
+      result = first ? std::move(r)
+                     : consumer.combine(std::move(result), std::move(r));
+      first = false;
+    }
+    return result;
+  }
+
+  std::uint64_t clearPart(std::uint32_t part) override {
+    checkWritable("clearPart");
+    return parts_.at(part)->clear();
+  }
+
+  std::vector<std::pair<Key, Value>> drainPart(std::uint32_t part) override {
+    checkWritable("drainPart");
+    metrics_->incScans();
+    return parts_.at(part)->drain();
+  }
+
+  /// Write-buffer occupancy of one part (flush tests).
+  [[nodiscard]] std::size_t bufferedWrites(std::uint32_t part) const {
+    return parts_.at(part)->buffered();
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t partIndexChecked(std::uint32_t part) const {
+    if (part >= numParts()) {
+      throw std::out_of_range("ShardTable '" + name_ + "': bad part");
+    }
+    return part;
+  }
+
+  /// Locality accounting: the op executes on the calling thread either
+  /// way (there is no routing hop in this backend), but the engine-facing
+  /// cost model still distinguishes owner-thread ops from cross-location
+  /// ops so I/O-round accounting matches PartitionedStore.
+  void account(std::uint32_t part, std::size_t bytes) {
+    if (store_->locationFor(part).onLocalThread()) {
+      metrics_->incLocal();
+    } else {
+      metrics_->incRemote();
+      metrics_->addMarshalled(bytes);
+    }
+  }
+
+  Bytes enumerateLocal(std::uint32_t part, PairConsumer& consumer) {
+    metrics_->incScans();
+    // snapshot() flushes the write buffer and copies under stripe locks;
+    // call-backs run lock-free so they can issue store operations.
+    std::vector<std::pair<Bytes, Bytes>> snapshot =
+        parts_.at(part)->snapshot();
+    consumer.setupPart(part);
+    for (const auto& [k, v] : snapshot) {
+      if (!consumer.consume(part, k, v)) {
+        break;
+      }
+    }
+    return consumer.finalizePart(part);
+  }
+
+  std::string name_;
+  TableOptions options_;
+  ShardStore* store_;
+  StoreMetrics* metrics_;
+  std::vector<std::unique_ptr<PartShard>> parts_;
+};
+
+/// Ubiquitous shard table: one fully-replicated part whose reads go
+/// through the bounded LRU block cache (paper §III-A: "quick to read and
+/// of limited size" — the cache is what makes the quick-to-read promise
+/// concrete in this backend).
+class ShardUbiquitousTable : public Table {
+ public:
+  ShardUbiquitousTable(std::string name, TableOptions options,
+                       const ShardStore::Options& so, StoreMetrics* metrics)
+      : name_(std::move(name)), options_(std::move(options)),
+        metrics_(metrics), data_(so.stripes, so.writeBufferLimit),
+        cache_(so.blockCacheCapacity) {
+    options_.parts = 1;
+    options_.partitioner = makeDefaultPartitioner(1);
+  }
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] const TableOptions& options() const override {
+    return options_;
+  }
+  [[nodiscard]] std::uint32_t numParts() const override { return 1; }
+  [[nodiscard]] std::uint32_t partOf(KeyView) const override { return 0; }
+
+  std::optional<Value> get(KeyView key) override {
+    metrics_->incLocal();
+    if (!cache_.enabled()) {
+      // Cache disabled (capacity 0): the hit/miss counters must not move,
+      // or cache-efficiency ratios read from reports would be fiction.
+      return data_.get(key);
+    }
+    if (std::optional<Bytes> cached = cache_.get(key)) {
+      metrics_->incCacheHit();
+      return cached;
+    }
+    metrics_->incCacheMiss();
+    std::optional<Bytes> v = data_.get(key);
+    if (v) {
+      cache_.insert(key, *v);
+    }
+    return v;
+  }
+
+  void put(KeyView key, ValueView value) override {
+    checkWritable("put");
+    metrics_->incLocal();
+    // Invalidate-then-write: a concurrent reader may re-cache the OLD
+    // value between our invalidate and write, so invalidate again after
+    // the write lands.  (The engines seal ubiquitous tables during runs,
+    // so writes only race with reads outside supersteps.)
+    cache_.invalidate(key);
+    data_.put(key, value);
+    cache_.invalidate(key);
+  }
+
+  bool erase(KeyView key) override {
+    checkWritable("erase");
+    cache_.invalidate(key);
+    const bool existed = data_.erase(key);
+    cache_.invalidate(key);
+    return existed;
+  }
+
+  [[nodiscard]] std::uint64_t size() const override { return data_.size(); }
+  [[nodiscard]] std::uint64_t partSize(std::uint32_t) const override {
+    return data_.size();
+  }
+
+  Bytes enumerate(PairConsumer& consumer) override {
+    return enumeratePart(0, consumer);
+  }
+
+  Bytes enumeratePart(std::uint32_t part, PairConsumer& consumer) override {
+    if (part != 0) {
+      throw std::out_of_range("ShardUbiquitousTable: bad part");
+    }
+    metrics_->incScans();
+    std::vector<std::pair<Bytes, Bytes>> snapshot = data_.snapshot();
+    consumer.setupPart(0);
+    for (const auto& [k, v] : snapshot) {
+      if (!consumer.consume(0, k, v)) {
+        break;
+      }
+    }
+    return consumer.finalizePart(0);
+  }
+
+  Bytes processParts(PartConsumer& consumer) override {
+    return consumer.processPart(0, *this);
+  }
+
+  std::uint64_t clearPart(std::uint32_t) override {
+    checkWritable("clearPart");
+    cache_.invalidateAll();
+    return data_.clear();
+  }
+
+  std::vector<std::pair<Key, Value>> drainPart(std::uint32_t) override {
+    checkWritable("drainPart");
+    cache_.invalidateAll();
+    return data_.drain();
+  }
+
+  [[nodiscard]] std::size_t cacheEntries() const { return cache_.entries(); }
+
+ private:
+  std::string name_;
+  TableOptions options_;
+  StoreMetrics* metrics_;
+  PartShard data_;
+  LruCache cache_;
+};
+
+}  // namespace
+
+ShardStore::ShardStore(Options options) : options_(options) {
+  if (options_.locations == 0) {
+    throw std::invalid_argument("ShardStore: locations must be positive");
+  }
+  if (options_.stripes == 0) {
+    throw std::invalid_argument("ShardStore: stripes must be positive");
+  }
+  if (options_.writeBufferLimit == 0) {
+    throw std::invalid_argument(
+        "ShardStore: writeBufferLimit must be positive");
+  }
+  locations_.reserve(options_.locations);
+  for (std::uint32_t i = 0; i < options_.locations; ++i) {
+    locations_.push_back(std::make_unique<Location>(i));
+  }
+}
+
+ShardStore::~ShardStore() { shutdown(); }
+
+std::shared_ptr<ShardStore> ShardStore::create(std::uint32_t locations) {
+  Options options;
+  options.locations = locations;
+  return create(options);
+}
+
+std::shared_ptr<ShardStore> ShardStore::create(Options options) {
+  return std::shared_ptr<ShardStore>(new ShardStore(options));
+}
+
+std::uint32_t ShardStore::locationCount() const {
+  return static_cast<std::uint32_t>(locations_.size());
+}
+
+std::uint32_t ShardStore::locationOf(std::uint32_t part) const {
+  // Scrambled placement: same part index => same location (consistent
+  // partitioning still co-places), but the part->location topology is a
+  // different permutation pattern than PartitionedStore's `part % N`.
+  return static_cast<std::uint32_t>(
+      mix64(0x9e3779b97f4a7c15ULL ^ part) % locations_.size());
+}
+
+shard_detail::Location& ShardStore::locationFor(std::uint32_t part) {
+  return *locations_[locationOf(part)];
+}
+
+TablePtr ShardStore::createTable(const std::string& name,
+                                 TableOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.contains(name)) {
+    throw std::invalid_argument("ShardStore: table '" + name +
+                                "' already exists");
+  }
+  TablePtr table;
+  if (options.ubiquitous) {
+    table = std::make_shared<ShardUbiquitousTable>(name, std::move(options),
+                                                   options_, &metrics_);
+  } else {
+    table = std::make_shared<ShardTable>(name, std::move(options), this,
+                                         &metrics_);
+  }
+  tables_.emplace(name, table);
+  return table;
+}
+
+TablePtr ShardStore::lookupTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second;
+}
+
+void ShardStore::dropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_.erase(name);
+}
+
+void ShardStore::runInParts(const Table& placement,
+                            const std::function<void(std::uint32_t)>& fn) {
+  std::vector<std::future<void>> futures;
+  futures.reserve(placement.numParts());
+  for (std::uint32_t part = 0; part < placement.numParts(); ++part) {
+    futures.push_back(
+        locationFor(part).exec().submit([part, &fn] { fn(part); }));
+  }
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) {
+        first = std::current_exception();
+      }
+    }
+  }
+  if (first) {
+    std::rethrow_exception(first);
+  }
+}
+
+void ShardStore::runInPart(const Table& placement, std::uint32_t part,
+                           const std::function<void()>& fn) {
+  if (part >= placement.numParts()) {
+    throw std::out_of_range("ShardStore::runInPart: bad part");
+  }
+  Location& loc = locationFor(part);
+  if (loc.exec().onThisThread()) {
+    fn();
+    return;
+  }
+  loc.exec().submit(fn).get();
+}
+
+void ShardStore::postToPart(const Table& placement, std::uint32_t part,
+                            std::function<void()> fn) {
+  if (part >= placement.numParts()) {
+    throw std::out_of_range("ShardStore::postToPart: bad part");
+  }
+  locationFor(part).exec().execute(std::move(fn));
+}
+
+std::shared_ptr<void> ShardStore::adoptPartThread(const Table& placement,
+                                                  std::uint32_t part) {
+  if (part >= placement.numParts()) {
+    throw std::out_of_range("ShardStore::adoptPartThread: bad part");
+  }
+  Location& loc = locationFor(part);
+  loc.adoptCurrentThread();
+  return std::shared_ptr<void>(nullptr, [&loc](void*) {
+    loc.releaseCurrentThread();
+  });
+}
+
+void ShardStore::shutdown() {
+  for (auto& loc : locations_) {
+    loc->shutdown();
+  }
+}
+
+}  // namespace ripple::kv

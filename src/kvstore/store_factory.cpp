@@ -1,0 +1,68 @@
+#include "kvstore/store_factory.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "kvstore/local_store.h"
+#include "kvstore/partitioned_store.h"
+#include "kvstore/shard_store.h"
+
+namespace ripple::kv {
+
+std::optional<StoreBackend> parseStoreBackend(const std::string& name) {
+  if (name == "partitioned") {
+    return StoreBackend::kPartitioned;
+  }
+  if (name == "shard") {
+    return StoreBackend::kShard;
+  }
+  if (name == "local") {
+    return StoreBackend::kLocal;
+  }
+  return std::nullopt;
+}
+
+const char* storeBackendName(StoreBackend backend) {
+  switch (resolveStoreBackend(backend)) {
+    case StoreBackend::kShard:
+      return "shard";
+    case StoreBackend::kLocal:
+      return "local";
+    case StoreBackend::kPartitioned:
+    case StoreBackend::kDefault:
+      break;
+  }
+  return "partitioned";
+}
+
+StoreBackend resolveStoreBackend(StoreBackend requested) {
+  if (requested != StoreBackend::kDefault) {
+    return requested;
+  }
+  const char* env = std::getenv("RIPPLE_STORE");
+  if (env == nullptr || *env == '\0') {
+    return StoreBackend::kPartitioned;
+  }
+  if (std::optional<StoreBackend> parsed = parseStoreBackend(env)) {
+    return *parsed;
+  }
+  RIPPLE_WARN << "RIPPLE_STORE='" << env
+              << "' is not a backend name (partitioned|shard|local); "
+                 "using partitioned";
+  return StoreBackend::kPartitioned;
+}
+
+KVStorePtr makeStore(StoreBackend backend, std::uint32_t containers) {
+  switch (resolveStoreBackend(backend)) {
+    case StoreBackend::kShard:
+      return ShardStore::create(containers);
+    case StoreBackend::kLocal:
+      return LocalStore::create();
+    case StoreBackend::kPartitioned:
+    case StoreBackend::kDefault:
+      break;
+  }
+  return PartitionedStore::create(containers);
+}
+
+}  // namespace ripple::kv

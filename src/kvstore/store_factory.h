@@ -1,0 +1,46 @@
+// Backend selection for the K/V store SPI.
+//
+// Three backends ship (DESIGN.md §10); callers pick one per run via
+// EngineOptions::storeBackend, the RIPPLE_STORE environment variable
+// ("partitioned" | "shard" | "local"), or a bench harness's --store flag.
+// The SPI conformance suite asserts the choice is behaviorally invisible:
+// PageRank/SSSP/SUMMA snapshots are byte-identical across backends.
+
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "kvstore/table.h"
+
+namespace ripple::kv {
+
+enum class StoreBackend {
+  /// Resolve from RIPPLE_STORE, falling back to kPartitioned.
+  kDefault,
+  kPartitioned,
+  kShard,
+  kLocal,
+};
+
+/// "partitioned" | "shard" | "local" (case-sensitive); nullopt otherwise.
+[[nodiscard]] std::optional<StoreBackend> parseStoreBackend(
+    const std::string& name);
+
+/// Canonical name of a concrete backend ("partitioned"/"shard"/"local");
+/// kDefault resolves first.
+[[nodiscard]] const char* storeBackendName(StoreBackend backend);
+
+/// Resolve kDefault through RIPPLE_STORE; unset picks kPartitioned, and a
+/// garbage value logs a warning and picks kPartitioned (never throws: env
+/// misconfiguration must not take down a run).  Concrete values pass
+/// through untouched.
+[[nodiscard]] StoreBackend resolveStoreBackend(StoreBackend requested);
+
+/// Create a store of the resolved backend with `containers` locations
+/// (executor domains).  PartitionedStore calls them containers,
+/// ShardStore locations; LocalStore runs inline and ignores the count.
+[[nodiscard]] KVStorePtr makeStore(StoreBackend backend,
+                                   std::uint32_t containers);
+
+}  // namespace ripple::kv

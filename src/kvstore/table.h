@@ -5,9 +5,15 @@
 // part and pair enumeration with client call-backs, consistent
 // partitioning across tables, ubiquitous (replicated-everywhere) tables,
 // and — crucially — the ability to run mobile client code collocated with
-// a part's data.  Two implementations ship: LocalStore (single-threaded
-// debugging store) and PartitionedStore (parallel store with per-part
-// executors and a marshalling boundary between parts).
+// a part's data.  Three implementations ship: LocalStore (single-threaded
+// debugging store), PartitionedStore (parallel store with per-part
+// executors and a marshalling boundary between parts), and ShardStore
+// (striped-lock open-addressing shards with append-only write buffers).
+//
+// The exact guarantees every implementation must provide are written down
+// in DESIGN.md §10 ("Store SPI contract") and enforced by
+// tests/kvstore/spi_conformance_test.cpp, which runs the whole suite —
+// plus a differential PageRank/SSSP/SUMMA leg — against every backend.
 
 #pragma once
 
@@ -16,6 +22,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -65,6 +72,10 @@ struct StoreMetrics {
   std::atomic<std::uint64_t> remoteOps{0};   // Ops routed across parts.
   std::atomic<std::uint64_t> bytesMarshalled{0};
   std::atomic<std::uint64_t> scans{0};       // Part enumerations.
+  // Ubiquitous-read cache traffic; only backends with a read cache (the
+  // shard store's block cache) increment these.
+  std::atomic<std::uint64_t> cacheHits{0};
+  std::atomic<std::uint64_t> cacheMisses{0};
 
   void incLocal(std::uint64_t n = 1) {
     localOps.fetch_add(n, std::memory_order_relaxed);
@@ -86,10 +97,21 @@ struct StoreMetrics {
     forward(fwdScans_, n);
   }
 
+  void incCacheHit(std::uint64_t n = 1) {
+    cacheHits.fetch_add(n, std::memory_order_relaxed);
+    forward(fwdCacheHits_, n);
+  }
+
+  void incCacheMiss(std::uint64_t n = 1) {
+    cacheMisses.fetch_add(n, std::memory_order_relaxed);
+    forward(fwdCacheMisses_, n);
+  }
+
   /// Mirror future increments into `<prefix>.local_ops`,
-  /// `<prefix>.remote_ops`, `<prefix>.bytes_marshalled`, and
-  /// `<prefix>.scans` of `registry`.  The registry must outlive the store
-  /// (or unbind() must be called first).
+  /// `<prefix>.remote_ops`, `<prefix>.bytes_marshalled`,
+  /// `<prefix>.scans`, `<prefix>.cache_hits`, and
+  /// `<prefix>.cache_misses` of `registry`.  The registry must outlive
+  /// the store (or unbind() must be called first).
   void bindRegistry(obs::MetricsRegistry& registry,
                     const std::string& prefix = "kv") {
     fwdLocal_.store(&registry.counter(prefix + ".local_ops"),
@@ -100,6 +122,10 @@ struct StoreMetrics {
                          std::memory_order_release);
     fwdScans_.store(&registry.counter(prefix + ".scans"),
                     std::memory_order_release);
+    fwdCacheHits_.store(&registry.counter(prefix + ".cache_hits"),
+                        std::memory_order_release);
+    fwdCacheMisses_.store(&registry.counter(prefix + ".cache_misses"),
+                          std::memory_order_release);
   }
 
   void unbind() {
@@ -107,6 +133,8 @@ struct StoreMetrics {
     fwdRemote_.store(nullptr, std::memory_order_release);
     fwdMarshalled_.store(nullptr, std::memory_order_release);
     fwdScans_.store(nullptr, std::memory_order_release);
+    fwdCacheHits_.store(nullptr, std::memory_order_release);
+    fwdCacheMisses_.store(nullptr, std::memory_order_release);
   }
 
   /// Resets the façade's own counters only; bound registry counters are
@@ -116,6 +144,8 @@ struct StoreMetrics {
     remoteOps = 0;
     bytesMarshalled = 0;
     scans = 0;
+    cacheHits = 0;
+    cacheMisses = 0;
   }
 
  private:
@@ -130,6 +160,8 @@ struct StoreMetrics {
   std::atomic<obs::Counter*> fwdRemote_{nullptr};
   std::atomic<obs::Counter*> fwdMarshalled_{nullptr};
   std::atomic<obs::Counter*> fwdScans_{nullptr};
+  std::atomic<obs::Counter*> fwdCacheHits_{nullptr};
+  std::atomic<obs::Counter*> fwdCacheMisses_{nullptr};
 };
 
 /// Call-back for pair enumeration (paper §III-A).  One consumer instance
@@ -189,6 +221,19 @@ class Table {
   [[nodiscard]] virtual const TableOptions& options() const = 0;
   [[nodiscard]] virtual std::uint32_t numParts() const = 0;
 
+  /// Read-only sealing.  The engines seal a job's broadcast (ubiquitous)
+  /// table for the duration of a run: the paper's contract makes
+  /// broadcast data immutable while supersteps read it, so a mid-step
+  /// write is an SPI violation surfaced as std::logic_error rather than
+  /// a silent data race.  Virtual so decorators (FaultyStore) forward the
+  /// seal to the wrapped table.
+  virtual void setReadOnly(bool readOnly) {
+    readOnly_.store(readOnly, std::memory_order_release);
+  }
+  [[nodiscard]] virtual bool readOnly() const {
+    return readOnly_.load(std::memory_order_acquire);
+  }
+
   /// Part that owns `key` under this table's partitioner.
   [[nodiscard]] virtual std::uint32_t partOf(KeyView key) const = 0;
 
@@ -224,7 +269,26 @@ class Table {
   virtual std::uint64_t clearPart(std::uint32_t part) = 0;
 
   /// Read-and-remove every pair of one part (the transport-table drain).
+  /// Contract: pairs are returned in ascending byte-lexicographic key
+  /// order on EVERY backend (not just ordered tables).  The synchronized
+  /// engine drives compute invocations in drain order, and aggregators
+  /// fold contributions in invocation order, so a backend-specific drain
+  /// order would leak into FP results and break cross-backend
+  /// byte-identity (see DESIGN.md §10).
   virtual std::vector<std::pair<Key, Value>> drainPart(std::uint32_t part) = 0;
+
+ protected:
+  /// Implementations call this at the top of every mutating operation
+  /// (put/erase/putBatch/clearPart/drainPart).
+  void checkWritable(const char* op) const {
+    if (readOnly()) {
+      throw std::logic_error("Table '" + name() + "': " + op +
+                             " on a read-only (sealed ubiquitous) table");
+    }
+  }
+
+ private:
+  std::atomic<bool> readOnly_{false};
 };
 
 using TablePtr = std::shared_ptr<Table>;
@@ -277,8 +341,52 @@ class KVStore {
 
   /// Number of parts a table created "like" `placement` would have.
   [[nodiscard]] virtual std::uint32_t partsOf(const Table& placement) const;
+
+  /// Short backend identifier ("local", "partitioned", "shard");
+  /// decorators forward the wrapped store's name.  Used for per-backend
+  /// `store.<name>.*` metric prefixes and run-report labels.
+  [[nodiscard]] virtual const char* backendName() const { return "kv"; }
 };
 
 using KVStorePtr = std::shared_ptr<KVStore>;
+
+/// RAII seal: marks a table read-only for the scope's lifetime.  The
+/// engines hold one over the job's broadcast table while a run is in
+/// flight.
+class ScopedTableSeal {
+ public:
+  ScopedTableSeal() = default;
+  explicit ScopedTableSeal(TablePtr table) : table_(std::move(table)) {
+    if (table_) {
+      table_->setReadOnly(true);
+    }
+  }
+  ~ScopedTableSeal() { release(); }
+  ScopedTableSeal(const ScopedTableSeal&) = delete;
+  ScopedTableSeal& operator=(const ScopedTableSeal&) = delete;
+  ScopedTableSeal(ScopedTableSeal&& other) noexcept
+      : table_(std::move(other.table_)) {
+    other.table_.reset();
+  }
+  ScopedTableSeal& operator=(ScopedTableSeal&& other) noexcept {
+    if (this != &other) {
+      release();
+      table_ = std::move(other.table_);
+      other.table_.reset();
+    }
+    return *this;
+  }
+
+  /// Unseal now (idempotent; the destructor then does nothing).
+  void release() {
+    if (table_) {
+      table_->setReadOnly(false);
+      table_.reset();
+    }
+  }
+
+ private:
+  TablePtr table_;
+};
 
 }  // namespace ripple::kv

@@ -1,5 +1,7 @@
 #include "kvstore/table.h"
 
+#include <stdexcept>
+
 namespace ripple::kv {
 
 void Table::putBatch(const std::vector<std::pair<Key, Value>>& entries) {
@@ -27,7 +29,13 @@ std::uint32_t KVStore::partsOf(const Table& placement) const {
   return placement.numParts();
 }
 
-std::shared_ptr<void> KVStore::adoptPartThread(const Table&, std::uint32_t) {
+std::shared_ptr<void> KVStore::adoptPartThread(const Table& placement,
+                                               std::uint32_t part) {
+  // Even the no-op default validates: the SPI contract is that a bad part
+  // index is rejected identically on every backend.
+  if (part >= placement.numParts()) {
+    throw std::out_of_range("KVStore::adoptPartThread: bad part");
+  }
   return nullptr;
 }
 

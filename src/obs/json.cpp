@@ -9,7 +9,49 @@ namespace ripple::obs {
 
 namespace {
 
-void appendEscaped(std::string& out, const std::string& s) {
+/// Length (1-4) of the well-formed UTF-8 sequence starting at s[i], or 0
+/// when the bytes there are not valid UTF-8 (per RFC 3629: no overlongs,
+/// no surrogates, nothing above U+10FFFF).
+std::size_t utf8SequenceLength(std::string_view s, std::size_t i) {
+  const auto b = [&](std::size_t k) {
+    return static_cast<unsigned char>(s[i + k]);
+  };
+  const auto cont = [&](std::size_t k) {
+    return i + k < s.size() && (b(k) & 0xC0U) == 0x80U;
+  };
+  const unsigned char lead = b(0);
+  if (lead < 0x80U) {
+    return 1;
+  }
+  if (lead >= 0xC2U && lead <= 0xDFU) {
+    return cont(1) ? 2 : 0;
+  }
+  if (lead == 0xE0U) {
+    return cont(1) && b(1) >= 0xA0U && cont(2) ? 3 : 0;
+  }
+  if (lead >= 0xE1U && lead <= 0xECU) {
+    return cont(1) && cont(2) ? 3 : 0;
+  }
+  if (lead == 0xEDU) {  // Exclude surrogates U+D800..U+DFFF.
+    return cont(1) && b(1) <= 0x9FU && cont(2) ? 3 : 0;
+  }
+  if (lead >= 0xEEU && lead <= 0xEFU) {
+    return cont(1) && cont(2) ? 3 : 0;
+  }
+  if (lead == 0xF0U) {
+    return cont(1) && b(1) >= 0x90U && cont(2) && cont(3) ? 4 : 0;
+  }
+  if (lead >= 0xF1U && lead <= 0xF3U) {
+    return cont(1) && cont(2) && cont(3) ? 4 : 0;
+  }
+  if (lead == 0xF4U) {  // Cap at U+10FFFF.
+    return cont(1) && b(1) <= 0x8FU && cont(2) && cont(3) ? 4 : 0;
+  }
+  return 0;
+}
+
+void appendEscaped(std::string& out, const std::string& raw) {
+  const std::string s = sanitizeUtf8(raw);
   out.push_back('"');
   for (const char c : s) {
     switch (c) {
@@ -207,6 +249,9 @@ class Parser {
       if (c == '"') {
         return out;
       }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string (must be \\u-escaped)");
+      }
       if (c != '\\') {
         out.push_back(c);
         continue;
@@ -356,6 +401,24 @@ void dumpTo(std::string& out, const JsonValue& v, int indent, int depth) {
 }
 
 }  // namespace
+
+std::string sanitizeUtf8(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  static constexpr std::string_view kReplacement = "\xEF\xBF\xBD";  // U+FFFD
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const std::size_t len = utf8SequenceLength(s, i);
+    if (len == 0) {
+      out += kReplacement;
+      ++i;  // Resync one byte at a time.
+      continue;
+    }
+    out.append(s, i, len);
+    i += len;
+  }
+  return out;
+}
 
 const JsonValue* JsonValue::find(const std::string& key) const {
   if (!isObject()) {

@@ -4,8 +4,9 @@
 // can consume them, and the test suite re-parses the documents to verify
 // the paper's round-accounting claims from the report alone.  The model is
 // deliberately small: numbers are doubles (exact for counters below 2^53),
-// strings are UTF-8 passed through verbatim, and \uXXXX escapes cover the
-// control range only.
+// strings are UTF-8 (the writer replaces invalid sequences with U+FFFD so
+// the emitted document always parses — labels can carry arbitrary bytes,
+// e.g. part keys), and \uXXXX escapes cover the control range only.
 
 #pragma once
 
@@ -76,8 +77,9 @@ class JsonValue {
   /// nesting level; 0 emits the compact single-line form.
   [[nodiscard]] std::string dump(int indent = 0) const;
 
-  /// Parse a complete document; throws JsonError on malformed input or
-  /// trailing non-whitespace.
+  /// Parse a complete document; throws JsonError on malformed input,
+  /// trailing non-whitespace, or raw (unescaped) control characters
+  /// inside strings.
   [[nodiscard]] static JsonValue parse(std::string_view text);
 
  private:
@@ -104,5 +106,12 @@ class JsonValue {
 
   std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
 };
+
+/// Copy of `s` with every byte sequence that is not well-formed UTF-8
+/// (overlongs, surrogates, out-of-range code points, stray continuation
+/// or truncated lead bytes) replaced by U+FFFD.  The JSON writer applies
+/// this to every string so that a RunReport label carrying arbitrary
+/// bytes still serializes to a document the bundled parser accepts.
+[[nodiscard]] std::string sanitizeUtf8(std::string_view s);
 
 }  // namespace ripple::obs

@@ -219,10 +219,34 @@ TEST(ResolveThreads, ZeroConsultsEnv) {
 
 TEST(ResolveThreads, BadEnvValuesMeanLegacyDispatch) {
   EnvGuard guard;
-  for (const char* bad : {"", "abc", "-2", "0"}) {
+  // "4abc" regressed once: strtol's numeric prefix was honored instead of
+  // rejecting the whole value.
+  for (const char* bad : {"", "abc", "-2", "0", "4abc", "  ", "2.5"}) {
     ::setenv("RIPPLE_THREADS", bad, 1);
     EXPECT_EQ(resolveThreads(0), 0) << "RIPPLE_THREADS='" << bad << "'";
   }
+}
+
+TEST(ResolveThreads, NegativeRequestFallsBackToEnvTier) {
+  // A negative explicit request is invalid; it must warn and consult the
+  // environment rather than produce a negative pool width.
+  EnvGuard guard;
+  ::setenv("RIPPLE_THREADS", "5", 1);
+  EXPECT_EQ(resolveThreads(-3), 5);
+  ::unsetenv("RIPPLE_THREADS");
+  EXPECT_EQ(resolveThreads(-3), 0);
+}
+
+TEST(ResolveThreads, AbsurdValuesClampToSanityCap) {
+  EnvGuard guard;
+  ::unsetenv("RIPPLE_THREADS");
+  EXPECT_EQ(resolveThreads(1'000'000), 4096);
+  ::setenv("RIPPLE_THREADS", "999999999", 1);
+  EXPECT_EQ(resolveThreads(0), 4096);
+  // Values at or under the cap pass through untouched.
+  EXPECT_EQ(resolveThreads(4096), 4096);
+  ::setenv("RIPPLE_THREADS", "4096", 1);
+  EXPECT_EQ(resolveThreads(0), 4096);
 }
 
 TEST(CountdownLatch, WaitsForAllCounts) {

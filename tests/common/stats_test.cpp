@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 #include <thread>
 
 namespace ripple {
@@ -79,6 +80,40 @@ TEST(RunningStats, PercentilesEmpty) {
   const RunningStats s;
   EXPECT_EQ(s.p50(), 0.0);
   EXPECT_EQ(s.p99(), 0.0);
+  EXPECT_EQ(s.percentile(0.0), 0.0);
+  EXPECT_EQ(s.percentile(1.0), 0.0);
+}
+
+TEST(RunningStats, PercentileSingleElementIsThatElement) {
+  RunningStats s;
+  s.add(7.5);
+  for (const double q : {0.0, 0.25, 0.5, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(s.percentile(q), 7.5) << "q=" << q;
+  }
+}
+
+TEST(RunningStats, PercentileBoundariesAreExactOrderStatistics) {
+  RunningStats s;
+  for (const double v : {4.0, 2.0, 8.0}) {
+    s.add(v);
+  }
+  // Out-of-range q clamps to the min/max order statistic — no
+  // interpolation arithmetic at the edges.
+  EXPECT_DOUBLE_EQ(s.percentile(-0.5), 2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 8.0);
+  EXPECT_DOUBLE_EQ(s.percentile(2.0), 8.0);
+}
+
+TEST(RunningStats, PercentileNanThrows) {
+  // std::clamp passes NaN through, and casting a NaN rank to size_t is
+  // UB — the pre-fix code indexed samples_ with garbage.
+  RunningStats s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_THROW((void)s.percentile(std::nan("")), std::invalid_argument);
+  const RunningStats empty;
+  EXPECT_THROW((void)empty.percentile(std::nan("")), std::invalid_argument);
 }
 
 TEST(RunningStats, SummaryWithTailsFormat) {

@@ -1,0 +1,251 @@
+// Cross-BACKEND differential leg of the store-SPI conformance story
+// (DESIGN.md §10): the choice of store backend must be behaviorally
+// invisible to applications.  PageRank, SSSP, and SUMMA produce
+// byte-identical state snapshots whether the engine runs over the
+// partitioned store or the shard store, on both execution strategies
+// where eligible, at pool widths 1 and 8.  This holds because every
+// backend honors the canonical drain-order contract: per-part drains are
+// ascending byte-lexicographic, so compute order — and therefore every
+// combiner fold and FP sum — does not depend on backend internals.
+//
+// Also here: backend selection plumbing (RIPPLE_STORE / parseStoreBackend
+// / EngineOptions::storeBackend through makeEngineStore) and the
+// engine-level seal that rejects writes to the job's ubiquitous broadcast
+// table during a run, on both backends.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "apps/pagerank.h"
+#include "apps/sssp.h"
+#include "common/codec.h"
+#include "ebsp/engine.h"
+#include "ebsp/library.h"
+#include "kvstore/store_factory.h"
+#include "kvstore/store_util.h"
+#include "matrix/summa.h"
+
+namespace ripple::ebsp {
+namespace {
+
+const std::vector<kv::StoreBackend> kBackends = {
+    kv::StoreBackend::kPartitioned, kv::StoreBackend::kShard};
+
+graph::Graph testGraph(std::uint32_t vertices, std::uint32_t edges,
+                       std::uint64_t seed) {
+  graph::PowerLawOptions options;
+  options.vertices = vertices;
+  options.edges = edges;
+  options.seed = seed;
+  return graph::generatePowerLaw(options);
+}
+
+// ---------------------------------------------------------------------
+// Byte-identity: PageRank (sync strategy, FP rank sums).
+// ---------------------------------------------------------------------
+
+TEST(BackendDifferential, PageRankByteIdenticalAcrossBackends) {
+  const graph::Graph g = testGraph(300, 1800, 21);
+
+  auto run = [&](kv::StoreBackend backend, int threads) {
+    auto store = kv::makeStore(backend, 6);
+    apps::loadPageRankGraph(*store, "pr_graph", g, 6);
+    EngineOptions eopts;
+    eopts.threads = threads;
+    Engine engine(store, eopts);
+    apps::PageRankOptions options;
+    options.iterations = 5;
+    apps::runPageRank(engine, options);
+    auto state = kv::readAll(*store->lookupTable("pr_graph"));
+    std::sort(state.begin(), state.end());
+    return state;
+  };
+
+  const auto baseline = run(kv::StoreBackend::kPartitioned, 1);
+  ASSERT_FALSE(baseline.empty());
+  for (const kv::StoreBackend backend : kBackends) {
+    for (const int threads : {1, 8}) {
+      SCOPED_TRACE(std::string(kv::storeBackendName(backend)) +
+                   " threads=" + std::to_string(threads));
+      EXPECT_EQ(run(backend, threads), baseline);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Byte-identity: SSSP (sync strategy with aggregators).
+// ---------------------------------------------------------------------
+
+TEST(BackendDifferential, SsspIdenticalAcrossBackends) {
+  const graph::Graph g = testGraph(250, 1200, 4);
+
+  auto run = [&](kv::StoreBackend backend, int threads) {
+    EngineOptions eopts;
+    eopts.threads = threads;
+    eopts.storeBackend = backend;
+    auto store = makeEngineStore(eopts, 6);
+    Engine engine(store, eopts);
+    apps::SsspOptions options;
+    options.parts = 6;
+    apps::SsspDriver driver(engine, options);
+    driver.loadGraph(g);
+    driver.initialize();
+    return driver.distances(g.vertexCount());
+  };
+
+  const auto baseline = run(kv::StoreBackend::kPartitioned, 1);
+  ASSERT_FALSE(baseline.empty());
+  for (const kv::StoreBackend backend : kBackends) {
+    for (const int threads : {1, 8}) {
+      SCOPED_TRACE(std::string(kv::storeBackendName(backend)) +
+                   " threads=" + std::to_string(threads));
+      EXPECT_EQ(run(backend, threads), baseline);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Byte-identity: SUMMA on BOTH strategies (the no-sync-eligible
+// workload), bit-identical C blocks (tolerance 0.0).
+// ---------------------------------------------------------------------
+
+TEST(BackendDifferential, SummaBitIdenticalAcrossBackendsBothStrategies) {
+  constexpr std::uint32_t kGrid = 3;
+  constexpr std::size_t kBlock = 8;
+  Rng rng(123);
+  matrix::BlockMatrix a(kGrid, kBlock);
+  matrix::BlockMatrix b(kGrid, kBlock);
+  a.fillRandom(rng);
+  b.fillRandom(rng);
+
+  auto run = [&](kv::StoreBackend backend, bool synchronized, int threads) {
+    auto store = kv::makeStore(backend, kGrid * kGrid);
+    EngineOptions eopts;
+    eopts.threads = threads;
+    Engine engine(store, eopts);
+    matrix::SummaOptions options;
+    options.synchronized = synchronized;
+    options.parts = kGrid * kGrid;
+    return runSumma(engine, a, b, options).c;
+  };
+
+  for (const bool synchronized : {true, false}) {
+    SCOPED_TRACE(synchronized ? "sync" : "no-sync");
+    const matrix::BlockMatrix baseline =
+        run(kv::StoreBackend::kPartitioned, synchronized, 1);
+    for (const kv::StoreBackend backend : kBackends) {
+      for (const int threads : {1, 8}) {
+        SCOPED_TRACE(std::string(kv::storeBackendName(backend)) +
+                     " threads=" + std::to_string(threads));
+        const matrix::BlockMatrix c = run(backend, synchronized, threads);
+        EXPECT_TRUE(c.approxEqual(baseline, 0.0));  // Bit-identical.
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Broadcast-table seal: a write to the job's ubiquitous table during a
+// run is rejected on every backend and under both strategies.
+// ---------------------------------------------------------------------
+
+TEST(BackendDifferential, BroadcastWriteDuringRunRejected) {
+  for (const kv::StoreBackend backend : kBackends) {
+    for (const bool synchronized : {true, false}) {
+      SCOPED_TRACE(std::string(kv::storeBackendName(backend)) +
+                   (synchronized ? " sync" : " no-sync"));
+      auto store = kv::makeStore(backend, 4);
+      kv::TableOptions refOptions;
+      refOptions.parts = 4;
+      store->createTable("ref", std::move(refOptions));
+      kv::TableOptions ubiOptions;
+      ubiOptions.ubiquitous = true;
+      auto config = store->createTable("config", std::move(ubiOptions));
+      config->put("factor", "1");
+
+      RawJob job;
+      job.referenceTable = "ref";
+      job.stateTableNames = {"ref"};
+      job.broadcastTable = "config";
+      if (!synchronized) {
+        job.properties.oneMsg = true;
+        job.properties.noContinue = true;
+        job.properties.noSsOrder = true;
+      }
+      job.compute.compute = [&](RawComputeContext&) {
+        config->put("factor", "2");  // Must be rejected: table is sealed.
+        return false;
+      };
+      auto loader = std::make_shared<VectorLoader>();
+      loader->message("a", "go");
+      job.loaders = {loader};
+
+      EngineOptions eopts;
+      eopts.mode = synchronized ? ExecutionMode::kSynchronized
+                                : ExecutionMode::kNoSync;
+      Engine engine(store, eopts);
+      EXPECT_THROW(engine.run(job), std::logic_error);
+      // The run is over: the seal is released and the write goes through.
+      config->put("factor", "3");
+      EXPECT_EQ(config->get("factor"), "3");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Backend selection plumbing.
+// ---------------------------------------------------------------------
+
+TEST(BackendDifferential, ParseStoreBackend) {
+  EXPECT_EQ(kv::parseStoreBackend("partitioned"),
+            kv::StoreBackend::kPartitioned);
+  EXPECT_EQ(kv::parseStoreBackend("shard"), kv::StoreBackend::kShard);
+  EXPECT_EQ(kv::parseStoreBackend("local"), kv::StoreBackend::kLocal);
+  EXPECT_EQ(kv::parseStoreBackend(""), std::nullopt);
+  EXPECT_EQ(kv::parseStoreBackend("Shard"), std::nullopt);
+  EXPECT_EQ(kv::parseStoreBackend("rocksdb"), std::nullopt);
+}
+
+TEST(BackendDifferential, ResolveStoreBackendHonorsEnv) {
+  // Concrete requests pass through regardless of the environment.
+  ::setenv("RIPPLE_STORE", "local", 1);
+  EXPECT_EQ(kv::resolveStoreBackend(kv::StoreBackend::kShard),
+            kv::StoreBackend::kShard);
+
+  // kDefault resolves through RIPPLE_STORE...
+  EXPECT_EQ(kv::resolveStoreBackend(kv::StoreBackend::kDefault),
+            kv::StoreBackend::kLocal);
+  ::setenv("RIPPLE_STORE", "shard", 1);
+  EXPECT_EQ(kv::resolveStoreBackend(kv::StoreBackend::kDefault),
+            kv::StoreBackend::kShard);
+
+  // ...with a warn-and-fallback (never a throw) on garbage, and the
+  // partitioned default when unset.
+  ::setenv("RIPPLE_STORE", "no-such-backend", 1);
+  EXPECT_EQ(kv::resolveStoreBackend(kv::StoreBackend::kDefault),
+            kv::StoreBackend::kPartitioned);
+  ::unsetenv("RIPPLE_STORE");
+  EXPECT_EQ(kv::resolveStoreBackend(kv::StoreBackend::kDefault),
+            kv::StoreBackend::kPartitioned);
+}
+
+TEST(BackendDifferential, MakeEngineStoreUsesRequestedBackend) {
+  ::unsetenv("RIPPLE_STORE");
+  EngineOptions eopts;
+  eopts.storeBackend = kv::StoreBackend::kShard;
+  EXPECT_STREQ(makeEngineStore(eopts, 4)->backendName(), "shard");
+  eopts.storeBackend = kv::StoreBackend::kDefault;
+  EXPECT_STREQ(makeEngineStore(eopts, 4)->backendName(), "partitioned");
+  ::setenv("RIPPLE_STORE", "shard", 1);
+  EXPECT_STREQ(makeEngineStore(eopts, 4)->backendName(), "shard");
+  ::unsetenv("RIPPLE_STORE");
+}
+
+}  // namespace
+}  // namespace ripple::ebsp

@@ -113,6 +113,23 @@ TEST(Retrier, BackoffGrowsAndIsCapped) {
   EXPECT_DOUBLE_EQ(retry.backoffMsTotal(), 1.0 + 2.0 + 3.0 + 3.0 + 3.0);
 }
 
+TEST(Retrier, JitteredBackoffNeverExceedsCap) {
+  // maxBackoffMs is a HARD bound applied after jitter.  The pre-fix code
+  // clamped before jittering, so jitter=1.0 could double the capped wait
+  // and the documented escalation-latency bound did not hold.
+  RetryPolicy policy = quickPolicy(64);
+  policy.initialBackoffMs = 5.0;  // Start at the cap...
+  policy.maxBackoffMs = 5.0;
+  policy.jitter = 1.0;  // ...so any upward jitter would exceed it.
+  Retrier retry(policy);
+  Flaky flaky{63};
+  retry([&] { return flaky(); });
+  ASSERT_EQ(retry.retries(), 63u);
+  EXPECT_LE(retry.backoffMsTotal(),
+            static_cast<double>(retry.retries()) * policy.maxBackoffMs);
+  EXPECT_GT(retry.backoffMsTotal(), 0.0);
+}
+
 TEST(Retrier, MirrorsCountersIntoRegistry) {
   obs::MetricsRegistry registry;
   RetryPolicy policy = quickPolicy(2);

@@ -1,0 +1,192 @@
+// ShardStore-specific behavior: everything the SPI conformance suite
+// cannot see because it is backend-internal — the write buffer, the
+// ubiquitous LRU block cache, scrambled placement, and option
+// validation.  The contract-level behavior is covered by
+// tests/kvstore/spi_conformance_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "kvstore/shard_store.h"
+
+namespace ripple::kv {
+namespace {
+
+ShardStore::Options smallOptions() {
+  ShardStore::Options options;
+  options.locations = 2;
+  options.stripes = 2;
+  options.writeBufferLimit = 4;
+  options.blockCacheCapacity = 8;
+  return options;
+}
+
+TEST(ShardStoreTest, OptionsValidation) {
+  ShardStore::Options bad = smallOptions();
+  bad.locations = 0;
+  EXPECT_THROW(ShardStore::create(bad), std::invalid_argument);
+  bad = smallOptions();
+  bad.stripes = 0;
+  EXPECT_THROW(ShardStore::create(bad), std::invalid_argument);
+  bad = smallOptions();
+  bad.writeBufferLimit = 0;
+  EXPECT_THROW(ShardStore::create(bad), std::invalid_argument);
+  // blockCacheCapacity = 0 is legal: it disables the cache.
+  ShardStore::Options ok = smallOptions();
+  ok.blockCacheCapacity = 0;
+  EXPECT_NE(ShardStore::create(ok), nullptr);
+}
+
+TEST(ShardStoreTest, ReadsSeeBufferedAndFlushedWrites) {
+  // One part forces every key through the same write buffer, so writing
+  // several multiples of writeBufferLimit exercises both the buffered
+  // (pre-fold) and flushed (stripe-resident) read paths.
+  auto store = ShardStore::create(smallOptions());
+  TableOptions options;
+  options.parts = 1;
+  TablePtr t = store->createTable("t", std::move(options));
+  for (int i = 0; i < 23; ++i) {
+    t->put("k" + std::to_string(i), "v" + std::to_string(i));
+  }
+  for (int i = 0; i < 23; ++i) {
+    EXPECT_EQ(t->get("k" + std::to_string(i)), "v" + std::to_string(i));
+  }
+  EXPECT_EQ(t->size(), 23u);
+}
+
+TEST(ShardStoreTest, NewestBufferedWriteWins) {
+  auto store = ShardStore::create(smallOptions());
+  TableOptions options;
+  options.parts = 1;
+  TablePtr t = store->createTable("t", std::move(options));
+  t->put("k", "old");
+  t->put("k", "new");  // Both still in the buffer; reverse scan must win.
+  EXPECT_EQ(t->get("k"), "new");
+  EXPECT_EQ(t->size(), 1u);  // size() folds the buffer: still one key.
+  EXPECT_EQ(t->get("k"), "new");
+}
+
+TEST(ShardStoreTest, EraseThroughBufferReportsExistence) {
+  auto store = ShardStore::create(smallOptions());
+  TableOptions options;
+  options.parts = 1;
+  TablePtr t = store->createTable("t", std::move(options));
+
+  // Buffered key: put and erase both sit in the write buffer.
+  t->put("buffered", "v");
+  EXPECT_TRUE(t->erase("buffered"));
+  EXPECT_FALSE(t->erase("buffered"));
+  EXPECT_EQ(t->get("buffered"), std::nullopt);
+
+  // Stripe-resident key: force a fold via size(), then erase.
+  t->put("flushed", "v");
+  EXPECT_EQ(t->size(), 1u);
+  EXPECT_TRUE(t->erase("flushed"));
+  EXPECT_FALSE(t->erase("flushed"));
+  EXPECT_EQ(t->size(), 0u);
+}
+
+TEST(ShardStoreTest, TombstoneInBufferHidesStripeValue) {
+  auto store = ShardStore::create(smallOptions());
+  TableOptions options;
+  options.parts = 1;
+  TablePtr t = store->createTable("t", std::move(options));
+  t->put("k", "v");
+  EXPECT_EQ(t->size(), 1u);  // Fold: "k" now lives in a stripe.
+  EXPECT_TRUE(t->erase("k"));  // Tombstone appended to the buffer.
+  EXPECT_EQ(t->get("k"), std::nullopt);  // Buffer consulted before stripe.
+  EXPECT_EQ(t->size(), 0u);
+}
+
+TEST(ShardStoreTest, UbiquitousCacheCountsHitsAndMisses) {
+  auto store = ShardStore::create(smallOptions());
+  TableOptions options;
+  options.ubiquitous = true;
+  TablePtr u = store->createTable("u", std::move(options));
+  u->put("config", "1");
+
+  const std::uint64_t misses0 = store->metrics().cacheMisses.load();
+  const std::uint64_t hits0 = store->metrics().cacheHits.load();
+
+  EXPECT_EQ(u->get("config"), "1");  // Cold: miss, fills the cache.
+  EXPECT_EQ(store->metrics().cacheMisses.load(), misses0 + 1);
+  EXPECT_EQ(store->metrics().cacheHits.load(), hits0);
+
+  EXPECT_EQ(u->get("config"), "1");  // Warm: hit.
+  EXPECT_EQ(u->get("config"), "1");
+  EXPECT_EQ(store->metrics().cacheHits.load(), hits0 + 2);
+  EXPECT_EQ(store->metrics().cacheMisses.load(), misses0 + 1);
+
+  // A write invalidates, so the next read misses and sees the new value.
+  u->put("config", "2");
+  EXPECT_EQ(u->get("config"), "2");
+  EXPECT_EQ(store->metrics().cacheMisses.load(), misses0 + 2);
+}
+
+TEST(ShardStoreTest, UbiquitousCacheEvictsAtCapacity) {
+  ShardStore::Options options = smallOptions();
+  options.blockCacheCapacity = 1;
+  auto store = ShardStore::create(options);
+  TableOptions tableOptions;
+  tableOptions.ubiquitous = true;
+  TablePtr u = store->createTable("u", std::move(tableOptions));
+  u->put("a", "1");
+  u->put("b", "2");
+
+  const std::uint64_t misses0 = store->metrics().cacheMisses.load();
+  EXPECT_EQ(u->get("a"), "1");  // Miss, caches a.
+  EXPECT_EQ(u->get("b"), "2");  // Miss, evicts a.
+  EXPECT_EQ(u->get("a"), "1");  // Miss again: a was evicted.
+  EXPECT_EQ(store->metrics().cacheMisses.load(), misses0 + 3);
+}
+
+TEST(ShardStoreTest, ZeroCapacityDisablesCache) {
+  ShardStore::Options options = smallOptions();
+  options.blockCacheCapacity = 0;
+  auto store = ShardStore::create(options);
+  TableOptions tableOptions;
+  tableOptions.ubiquitous = true;
+  TablePtr u = store->createTable("u", std::move(tableOptions));
+  u->put("k", "v");
+  EXPECT_EQ(u->get("k"), "v");
+  EXPECT_EQ(u->get("k"), "v");
+  EXPECT_EQ(store->metrics().cacheHits.load(), 0u);
+  EXPECT_EQ(store->metrics().cacheMisses.load(), 0u);
+}
+
+TEST(ShardStoreTest, PlacementIsStableInRangeAndSpread) {
+  auto store = ShardStore::create(4);
+  EXPECT_EQ(store->locationCount(), 4u);
+  std::set<std::uint32_t> used;
+  for (std::uint32_t part = 0; part < 64; ++part) {
+    const std::uint32_t loc = store->locationOf(part);
+    EXPECT_LT(loc, 4u);
+    EXPECT_EQ(store->locationOf(part), loc);  // Deterministic.
+    used.insert(loc);
+  }
+  // The scrambled placement must still use every location.
+  EXPECT_EQ(used.size(), 4u);
+  // And it is genuinely scrambled: not the identity `part % N` layout.
+  bool differsFromModulo = false;
+  for (std::uint32_t part = 0; part < 64 && !differsFromModulo; ++part) {
+    differsFromModulo = store->locationOf(part) != part % 4;
+  }
+  EXPECT_TRUE(differsFromModulo);
+}
+
+TEST(ShardStoreTest, ShutdownIsIdempotent) {
+  auto store = ShardStore::create(2);
+  TableOptions options;
+  options.parts = 2;
+  TablePtr t = store->createTable("t", std::move(options));
+  t->put("k", "v");
+  store->shutdown();
+  store->shutdown();
+  // Point ops do not go through the executors, so they still work.
+  EXPECT_EQ(t->get("k"), "v");
+}
+
+}  // namespace
+}  // namespace ripple::kv

@@ -1,16 +1,24 @@
-// SPI conformance suite, run against every KVStore implementation — the
-// portability claim of paper §III demands that both stores satisfy the
-// same observable contract.
+// Store-SPI conformance suite, run against every KVStore implementation
+// (and against each wrapped in the ripple::fault decorator with an empty
+// plan, which must be contractually invisible).  The portability claim of
+// paper §III demands that every backend satisfy the same observable
+// contract; DESIGN.md §10 writes the guarantees down, and this file is
+// their executable form.  The cross-backend application-level leg —
+// PageRank/SSSP/SUMMA byte-identity between backends — lives in
+// tests/ebsp/backend_differential_test.cpp.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "common/codec.h"
 #include "fault/faulty_store.h"
 #include "kvstore/local_store.h"
 #include "kvstore/partitioned_store.h"
+#include "kvstore/shard_store.h"
 #include "kvstore/store_util.h"
 
 namespace ripple::kv {
@@ -25,6 +33,16 @@ KVStorePtr makeLocal() { return LocalStore::create(); }
 KVStorePtr makePartitioned() {
   return PartitionedStore::create(4);
 }
+KVStorePtr makeShard() {
+  // Deliberately tiny write buffer and cache so the conformance runs hit
+  // the buffered-read, flush, and eviction paths — not just the fast one.
+  ShardStore::Options options;
+  options.locations = 4;
+  options.stripes = 4;
+  options.writeBufferLimit = 8;
+  options.blockCacheCapacity = 16;
+  return ShardStore::create(options);
+}
 
 // The fault-injection decorator with an empty plan must be contractually
 // invisible: the whole suite runs against it too.
@@ -36,6 +54,11 @@ KVStorePtr makeFaultyLocal() {
 KVStorePtr makeFaultyPartitioned() {
   return fault::FaultyStore::wrap(
       PartitionedStore::create(4),
+      std::make_shared<fault::FaultInjector>(fault::FaultPlan{}));
+}
+KVStorePtr makeFaultyShard() {
+  return fault::FaultyStore::wrap(
+      makeShard(),
       std::make_shared<fault::FaultInjector>(fault::FaultPlan{}));
 }
 
@@ -349,13 +372,159 @@ TEST_P(StoreConformanceTest, MismatchedPartitionerThrows) {
                std::invalid_argument);
 }
 
+TEST_P(StoreConformanceTest, DrainPartIsKeySorted) {
+  // The canonical drain-order contract (DESIGN.md §10): every backend
+  // drains in ascending byte-lexicographic key order even on unordered
+  // tables, because the sync engine drives compute — and therefore the
+  // aggregators' floating-point fold order — in drain order.
+  TablePtr t = makeTable("t", 3);
+  for (int i = 97; i >= 0; --i) {
+    t->put("k" + std::to_string(i * 37 % 100), std::to_string(i));
+  }
+  std::size_t total = 0;
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    const auto drained = t->drainPart(p);
+    EXPECT_TRUE(std::is_sorted(
+        drained.begin(), drained.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; }))
+        << "part " << p << " drained out of key order";
+    total += drained.size();
+  }
+  EXPECT_EQ(total, 98u);
+}
+
+TEST_P(StoreConformanceTest, ReadOnlySealRejectsMutations) {
+  TablePtr t = makeTable("t", 2);
+  t->put("k", "v");
+  t->setReadOnly(true);
+  EXPECT_TRUE(t->readOnly());
+  EXPECT_EQ(t->get("k"), "v");  // Reads still fine.
+  EXPECT_THROW(t->put("k", "w"), std::logic_error);
+  EXPECT_THROW(t->erase("k"), std::logic_error);
+  EXPECT_THROW(t->putBatch({{"a", "b"}}), std::logic_error);
+  EXPECT_THROW(t->clearPart(0), std::logic_error);
+  EXPECT_THROW(t->drainPart(0), std::logic_error);
+  EXPECT_EQ(t->get("k"), "v");  // Nothing leaked through.
+  EXPECT_EQ(t->size(), 1u);
+  t->setReadOnly(false);
+  t->put("k", "w");
+  EXPECT_EQ(t->get("k"), "w");
+}
+
+TEST_P(StoreConformanceTest, ScopedSealUnsealsOnDestruction) {
+  TablePtr t = makeTable("t", 1);
+  {
+    ScopedTableSeal seal(t);
+    EXPECT_TRUE(t->readOnly());
+    EXPECT_THROW(t->put("k", "v"), std::logic_error);
+  }
+  EXPECT_FALSE(t->readOnly());
+  t->put("k", "v");
+  EXPECT_EQ(t->get("k"), "v");
+}
+
+TEST_P(StoreConformanceTest, UbiquitousSealRejectsWrites) {
+  TableOptions options;
+  options.ubiquitous = true;
+  TablePtr u = store_->createTable("u", std::move(options));
+  u->put("config", "1");
+  ScopedTableSeal seal(u);
+  EXPECT_THROW(u->put("config", "2"), std::logic_error);
+  EXPECT_THROW(u->erase("config"), std::logic_error);
+  EXPECT_EQ(u->get("config"), "1");
+  seal.release();
+  u->put("config", "2");
+  EXPECT_EQ(u->get("config"), "2");
+}
+
+TEST_P(StoreConformanceTest, AdoptPartThreadMakesOpsLocal) {
+  TablePtr t = makeTable("t", 4);
+  // Find a key owned by part 0.
+  std::string key;
+  for (int i = 0;; ++i) {
+    key = "k" + std::to_string(i);
+    if (t->partOf(key) == 0) {
+      break;
+    }
+  }
+  std::thread worker([&] {
+    auto token = store_->adoptPartThread(*t, 0);
+    const std::uint64_t localBefore = store_->metrics().localOps.load();
+    t->put(key, "v");
+    EXPECT_GT(store_->metrics().localOps.load(), localBefore)
+        << "op from an adopted thread must be accounted local";
+  });
+  worker.join();
+  EXPECT_EQ(t->get(key), "v");
+}
+
+TEST_P(StoreConformanceTest, AdoptPartThreadRejectsBadPart) {
+  TablePtr t = makeTable("t", 2);
+  EXPECT_THROW(store_->adoptPartThread(*t, 9), std::out_of_range);
+}
+
+TEST_P(StoreConformanceTest, PostToPartEventuallyRuns) {
+  TablePtr t = makeTable("t", 2);
+  std::atomic<int> ran{0};
+  store_->postToPart(*t, 1, [&] { ran.fetch_add(1); });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (ran.load() == 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_THROW(store_->postToPart(*t, 7, [] {}), std::out_of_range);
+}
+
+TEST_P(StoreConformanceTest, BackendNameIsConcrete) {
+  // Decorators must forward the wrapped store's identity, so every
+  // factory in this suite resolves to a concrete backend name.
+  const std::string name = store_->backendName();
+  EXPECT_TRUE(name == "local" || name == "partitioned" || name == "shard")
+      << name;
+}
+
+TEST_P(StoreConformanceTest, ConcurrentWritersStayConsistent) {
+  // Mixed put/get/erase from several client threads; sized for the TSan
+  // CI leg as much as for the final assertions.
+  TablePtr t = makeTable("t", 4);
+  constexpr int kThreads = 4;
+  constexpr int kKeysPerThread = 250;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kKeysPerThread; ++i) {
+        const std::string key =
+            "w" + std::to_string(w) + "-" + std::to_string(i);
+        t->put(key, std::to_string(i));
+        if (i % 3 == 0) {
+          EXPECT_EQ(t->get(key), std::to_string(i));
+        }
+        if (i % 7 == 0) {
+          EXPECT_TRUE(t->erase(key));
+          t->put(key, std::to_string(i));
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(t->size(),
+            static_cast<std::uint64_t>(kThreads) * kKeysPerThread);
+  EXPECT_EQ(t->get("w2-123"), "123");
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Stores, StoreConformanceTest,
     ::testing::Values(
         StoreFactory{"LocalStore", &makeLocal},
         StoreFactory{"PartitionedStore", &makePartitioned},
+        StoreFactory{"ShardStore", &makeShard},
         StoreFactory{"FaultyLocalStore", &makeFaultyLocal},
-        StoreFactory{"FaultyPartitionedStore", &makeFaultyPartitioned}),
+        StoreFactory{"FaultyPartitionedStore", &makeFaultyPartitioned},
+        StoreFactory{"FaultyShardStore", &makeFaultyShard}),
     [](const ::testing::TestParamInfo<StoreFactory>& info) {
       return info.param.name;
     });

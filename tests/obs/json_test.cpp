@@ -1,0 +1,144 @@
+// obs::json writer/parser contract, with emphasis on the UTF-8 hygiene
+// fix: report labels can carry arbitrary bytes (part keys), and the
+// writer must still emit a document the parser accepts — invalid
+// sequences are replaced with U+FFFD instead of leaking through verbatim.
+
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+
+namespace ripple::obs {
+namespace {
+
+constexpr const char* kReplacement = "\xEF\xBF\xBD";  // U+FFFD.
+
+std::string dumpString(const std::string& raw) {
+  return JsonValue(raw).dump();
+}
+
+std::string roundtrip(const std::string& raw) {
+  return JsonValue::parse(dumpString(raw)).asString();
+}
+
+TEST(JsonUtf8, ValidStringsSurviveUnchanged) {
+  EXPECT_EQ(sanitizeUtf8(""), "");
+  EXPECT_EQ(sanitizeUtf8("plain ascii"), "plain ascii");
+  EXPECT_EQ(sanitizeUtf8("caf\xC3\xA9"), "caf\xC3\xA9");          // é
+  EXPECT_EQ(sanitizeUtf8("\xE2\x82\xAC"), "\xE2\x82\xAC");        // €
+  EXPECT_EQ(sanitizeUtf8("\xF0\x9F\x92\xA9"), "\xF0\x9F\x92\xA9");  // 💩
+  EXPECT_EQ(roundtrip("caf\xC3\xA9 \xE2\x82\xAC \xF0\x9F\x92\xA9"),
+            "caf\xC3\xA9 \xE2\x82\xAC \xF0\x9F\x92\xA9");
+}
+
+TEST(JsonUtf8, InvalidSequencesAreReplaced) {
+  // Stray continuation byte.
+  EXPECT_EQ(sanitizeUtf8("a\x80z"), std::string("a") + kReplacement + "z");
+  // Lone lead byte at end of string (truncated sequence).
+  EXPECT_EQ(sanitizeUtf8("a\xC3"), std::string("a") + kReplacement);
+  EXPECT_EQ(sanitizeUtf8("a\xE2\x82"),
+            std::string("a") + kReplacement + kReplacement);
+  // Invalid lead bytes 0xFE / 0xFF never appear in UTF-8.
+  EXPECT_EQ(sanitizeUtf8("\xFE\xFF"),
+            std::string(kReplacement) + kReplacement);
+  // Overlong encoding of '/' (0xC0 0xAF) is rejected, not decoded.
+  EXPECT_EQ(sanitizeUtf8("\xC0\xAF"),
+            std::string(kReplacement) + kReplacement);
+  // Overlong 3-byte NUL.
+  EXPECT_EQ(sanitizeUtf8("\xE0\x80\x80"),
+            std::string(kReplacement) + kReplacement + kReplacement);
+  // CESU-8 style surrogate half (U+D800).
+  EXPECT_EQ(sanitizeUtf8("\xED\xA0\x80"),
+            std::string(kReplacement) + kReplacement + kReplacement);
+  // Beyond U+10FFFF (would be U+110000).
+  EXPECT_EQ(sanitizeUtf8("\xF4\x90\x80\x80"),
+            std::string(kReplacement) + kReplacement + kReplacement +
+                kReplacement);
+}
+
+TEST(JsonUtf8, ResyncAfterInvalidByteKeepsFollowingText) {
+  // One bad byte must cost exactly one replacement; the valid tail is
+  // preserved (1-byte resync, not whole-string rejection).
+  EXPECT_EQ(sanitizeUtf8("ok\xFFtail \xC3\xA9"),
+            std::string("ok") + kReplacement + "tail \xC3\xA9");
+}
+
+TEST(JsonUtf8, WriterEmitsParseableDocumentForArbitraryBytes) {
+  // The pre-fix writer copied invalid bytes through verbatim, producing
+  // documents the bundled parser itself rejected.
+  const std::string raw("label-\xC0\xAF-\x80\xFE-end", 16);
+  const std::string doc = dumpString(raw);
+  JsonValue parsed;
+  ASSERT_NO_THROW(parsed = JsonValue::parse(doc)) << doc;
+  EXPECT_EQ(parsed.asString().find('\xFE'), std::string::npos);
+  EXPECT_NE(parsed.asString().find("end"), std::string::npos);
+}
+
+TEST(JsonUtf8, FuzzRandomByteStringsAlwaysRoundTrip) {
+  // Fuzz-ish: any byte string must serialize to a document that parses,
+  // and parsing must be a fixed point (sanitized text re-serializes to
+  // itself).
+  Rng rng(20260806);
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    const std::size_t len = rng.nextBelow(64);
+    std::string raw;
+    raw.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      raw.push_back(static_cast<char>(rng.nextBelow(256)));
+    }
+    std::string doc;
+    ASSERT_NO_THROW(doc = dumpString(raw)) << "iteration " << iteration;
+    JsonValue parsed;
+    ASSERT_NO_THROW(parsed = JsonValue::parse(doc))
+        << "iteration " << iteration << ": " << doc;
+    // Idempotence: once sanitized, the string is valid UTF-8 and passes
+    // through the writer untouched.
+    const std::string again = parsed.asString();
+    EXPECT_EQ(roundtrip(again), again) << "iteration " << iteration;
+    EXPECT_EQ(sanitizeUtf8(again), again) << "iteration " << iteration;
+  }
+}
+
+TEST(JsonParser, RejectsRawControlCharactersInStrings) {
+  EXPECT_THROW(JsonValue::parse("\"a\nb\""), JsonError);
+  EXPECT_THROW(JsonValue::parse(std::string("\"a\0b\"", 5)), JsonError);
+  EXPECT_THROW(JsonValue::parse("\"a\tb\""), JsonError);
+  // Escaped forms are fine, and the writer emits them escaped.
+  EXPECT_EQ(JsonValue::parse("\"a\\nb\"").asString(), "a\nb");
+  const std::string doc = dumpString("a\nb\tc");
+  EXPECT_EQ(JsonValue::parse(doc).asString(), "a\nb\tc");
+}
+
+TEST(JsonParser, DocumentLevelErrors) {
+  EXPECT_THROW(JsonValue::parse(""), JsonError);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1} trailing"), JsonError);
+  EXPECT_THROW(JsonValue::parse("[1,]"), JsonError);
+  EXPECT_THROW(JsonValue::parse("{\"a\"}"), JsonError);
+}
+
+TEST(JsonParser, NestedDocumentRoundTrip) {
+  JsonValue::Object obj;
+  obj["name"] = "run \xF0\x9F\x92\xA9";
+  obj["count"] = std::uint64_t{42};
+  obj["ok"] = true;
+  obj["nothing"] = nullptr;
+  JsonValue::Array arr;
+  arr.emplace_back(1.5);
+  arr.emplace_back("two");
+  obj["list"] = std::move(arr);
+  const JsonValue doc{std::move(obj)};
+  for (const int indent : {0, 2}) {
+    const JsonValue back = JsonValue::parse(doc.dump(indent));
+    EXPECT_EQ(back.stringOr("name", ""), "run \xF0\x9F\x92\xA9");
+    EXPECT_EQ(back.numberOr("count", 0), 42);
+    EXPECT_TRUE(back.find("ok")->asBool());
+    EXPECT_TRUE(back.find("nothing")->isNull());
+    EXPECT_EQ(back.find("list")->asArray().size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace ripple::obs
