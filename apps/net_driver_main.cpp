@@ -1,0 +1,161 @@
+// ripple_net_driver — the driver side of a multi-process Ripple run.
+//
+// Builds its store via the normal backend selection (RIPPLE_STORE /
+// RIPPLE_REMOTE_ENDPOINTS), runs PageRank, SSSP, and SUMMA end-to-end,
+// and prints an order-independent FNV-1a digest of each final state:
+//   PAGERANK_DIGEST <16 hex>
+//   SSSP_DIGEST <16 hex>
+//   SUMMA_DIGEST <16 hex>
+// scripts/bench_multiproc.sh runs it once against the in-process
+// partitioned backend and once against N ripple_net_server processes and
+// requires identical digests — the end-to-end form of the backend
+// differential suite.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "apps/pagerank.h"
+#include "apps/sssp.h"
+#include "common/bytes.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "ebsp/engine.h"
+#include "graph/graph_gen.h"
+#include "kvstore/store_factory.h"
+#include "kvstore/store_util.h"
+#include "matrix/summa.h"
+#include "net/frame.h"
+#include "net/remote_store.h"
+
+namespace {
+
+using namespace ripple;
+
+std::uint64_t runPageRankDigest(const kv::KVStorePtr& store, int threads,
+                                bool smoke) {
+  graph::PowerLawOptions gopts;
+  gopts.vertices = smoke ? 120 : 300;
+  gopts.edges = smoke ? 600 : 1800;
+  gopts.seed = 21;
+  const graph::Graph g = graph::generatePowerLaw(gopts);
+  apps::loadPageRankGraph(*store, "pr_graph", g, 6);
+  ebsp::EngineOptions eopts;
+  eopts.threads = threads;
+  ebsp::Engine engine(store, eopts);
+  apps::PageRankOptions options;
+  options.iterations = smoke ? 3 : 5;
+  apps::runPageRank(engine, options);
+  auto state = kv::readAll(*store->lookupTable("pr_graph"));
+  std::sort(state.begin(), state.end());
+  ByteWriter w;
+  for (const auto& [key, value] : state) {
+    w.putBytes(key);
+    w.putBytes(value);
+  }
+  return fnv1a64(w.view());
+}
+
+std::uint64_t runSsspDigest(const kv::KVStorePtr& store, int threads,
+                            bool smoke) {
+  graph::PowerLawOptions gopts;
+  gopts.vertices = smoke ? 100 : 250;
+  gopts.edges = smoke ? 500 : 1200;
+  gopts.seed = 4;
+  const graph::Graph g = graph::generatePowerLaw(gopts);
+  ebsp::EngineOptions eopts;
+  eopts.threads = threads;
+  ebsp::Engine engine(store, eopts);
+  apps::SsspOptions options;
+  options.parts = 6;
+  apps::SsspDriver driver(engine, options);
+  driver.loadGraph(g);
+  driver.initialize();
+  const auto distances = driver.distances(g.vertexCount());
+  ByteWriter w;
+  for (const std::int32_t d : distances) {
+    w.putVarintSigned(d);
+  }
+  return fnv1a64(w.view());
+}
+
+std::uint64_t runSummaDigest(const kv::KVStorePtr& store, int threads,
+                             bool smoke) {
+  const std::size_t grid = smoke ? 2 : 3;
+  const std::size_t block = 8;
+  Rng rng(123);
+  matrix::BlockMatrix a(grid, block);
+  matrix::BlockMatrix b(grid, block);
+  a.fillRandom(rng);
+  b.fillRandom(rng);
+  ebsp::EngineOptions eopts;
+  eopts.threads = threads;
+  ebsp::Engine engine(store, eopts);
+  matrix::SummaOptions options;
+  options.parts = static_cast<std::uint32_t>(grid * grid);
+  const matrix::BlockMatrix c = runSumma(engine, a, b, options).c;
+  ByteWriter w;
+  for (std::size_t i = 0; i < grid; ++i) {
+    for (std::size_t j = 0; j < grid; ++j) {
+      for (const double v : c.block(i, j).data()) {
+        w.putDouble(v);
+      }
+    }
+  }
+  return fnv1a64(w.view());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int threads = 4;
+  bool smoke = false;
+  bool shutdownServers = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (arg == "--shutdown-servers") {
+      shutdownServers = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--threads N] [--shutdown-servers]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  auto store = kv::makeStore(kv::StoreBackend::kDefault, 6);
+  std::printf("DRIVER_BACKEND %s\n", store->backendName());
+
+  std::printf("PAGERANK_DIGEST %016llx\n",
+              static_cast<unsigned long long>(
+                  runPageRankDigest(store, threads, smoke)));
+  std::printf("SSSP_DIGEST %016llx\n",
+              static_cast<unsigned long long>(
+                  runSsspDigest(store, threads, smoke)));
+  std::printf("SUMMA_DIGEST %016llx\n",
+              static_cast<unsigned long long>(
+                  runSummaDigest(store, threads, smoke)));
+  std::fflush(stdout);
+
+  if (shutdownServers) {
+    if (auto remote = std::dynamic_pointer_cast<net::RemoteStore>(store)) {
+      for (std::size_t e = 0; e < remote->placement().endpointCount(); ++e) {
+        try {
+          (void)remote->client().call(e, net::Opcode::kShutdown, "",
+                                      fault::Op::kGet, "", 0,
+                                      /*retryIo=*/false);
+        } catch (const std::exception&) {
+          // A server that is already gone needs no shutdown.
+        }
+      }
+    }
+  }
+  std::printf("DRIVER_OK\n");
+  return 0;
+}

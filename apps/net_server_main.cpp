@@ -1,0 +1,89 @@
+// ripple_net_server — a Ripple data-plane process: one net::Server
+// hosting a fresh in-process store, serving the wire protocol until a
+// client sends kShutdown or the process receives SIGINT/SIGTERM.
+//
+// Used by scripts/bench_multiproc.sh to assemble a real multi-process
+// deployment on localhost.  Prints
+//   RIPPLE_NET_SERVER LISTENING <port>
+// once accepting, so launchers can bind ephemeral ports (--port 0) and
+// scrape the result.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "kvstore/store_factory.h"
+#include "net/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t gSignaled = 0;
+
+void onSignal(int) { gSignaled = 1; }
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port N] [--backend partitioned|shard|local] "
+               "[--containers N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint16_t port = 0;
+  std::string backend = "partitioned";
+  std::uint32_t containers = 4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (arg == "--backend") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      backend = v;
+    } else if (arg == "--containers") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      containers = static_cast<std::uint32_t>(std::atoi(v));
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  const auto parsed = ripple::kv::parseStoreBackend(backend);
+  if (!parsed || *parsed == ripple::kv::StoreBackend::kRemote) {
+    std::fprintf(stderr, "not a hostable backend: %s\n", backend.c_str());
+    return 2;
+  }
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  ripple::net::Server::Options options;
+  options.hosted = ripple::kv::makeStore(*parsed, containers);
+  options.listenOn.port = port;
+  ripple::net::Server server(std::move(options));
+  server.start();
+  std::printf("RIPPLE_NET_SERVER LISTENING %u\n", server.port());
+  std::fflush(stdout);
+
+  // Poll instead of a pure blocking wait so a signal can end the process
+  // even when no client ever connects.
+  while (!server.stopRequested() && gSignaled == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.stop();
+  std::printf("RIPPLE_NET_SERVER STOPPED\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Multi-process differential bench: run the PageRank/SSSP/SUMMA driver
+# once against the in-process partitioned backend and once against N real
+# ripple_net_server processes on localhost, and require byte-identical
+# state digests (the end-to-end form of the backend differential suite).
+#
+# Usage:
+#   scripts/bench_multiproc.sh [--smoke] [--servers=N] [--build-dir=DIR]
+#
+#   --smoke        smaller workloads (CI-sized)
+#   --servers=N    number of server processes (default 2, min 1)
+#   --build-dir=D  where the binaries live (default build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SMOKE=""
+SERVERS=2
+BUILD_DIR="build"
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE="--smoke" ;;
+    --servers=*) SERVERS="${arg#--servers=}" ;;
+    --build-dir=*) BUILD_DIR="${arg#--build-dir=}" ;;
+    *) echo "usage: $0 [--smoke] [--servers=N] [--build-dir=DIR]" >&2; exit 2 ;;
+  esac
+done
+if [[ "$SERVERS" -lt 1 ]]; then
+  echo "error: --servers must be >= 1" >&2
+  exit 2
+fi
+
+SERVER_BIN="$BUILD_DIR/apps/ripple_net_server"
+DRIVER_BIN="$BUILD_DIR/apps/ripple_net_driver"
+for bin in "$SERVER_BIN" "$DRIVER_BIN"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built (cmake --build $BUILD_DIR)" >&2
+    exit 2
+  fi
+done
+
+WORK_DIR="$(mktemp -d)"
+SERVER_PIDS=()
+cleanup() {
+  for pid in "${SERVER_PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  for pid in "${SERVER_PIDS[@]:-}"; do
+    wait "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT
+
+# --- Baseline: single process, in-process partitioned store. ------------
+echo "== baseline: in-process partitioned store =="
+RIPPLE_STORE=partitioned "$DRIVER_BIN" $SMOKE | tee "$WORK_DIR/baseline.out"
+
+# --- Remote: N server processes on ephemeral ports. ---------------------
+echo "== remote: $SERVERS server process(es) =="
+ENDPOINTS=""
+for ((i = 0; i < SERVERS; ++i)); do
+  "$SERVER_BIN" --port 0 > "$WORK_DIR/server$i.log" &
+  SERVER_PIDS+=($!)
+done
+for ((i = 0; i < SERVERS; ++i)); do
+  port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n 's/^RIPPLE_NET_SERVER LISTENING \([0-9]*\)$/\1/p' \
+            "$WORK_DIR/server$i.log")"
+    [[ -n "$port" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$port" ]]; then
+    echo "error: server $i never reported a port" >&2
+    cat "$WORK_DIR/server$i.log" >&2
+    exit 1
+  fi
+  ENDPOINTS="${ENDPOINTS:+$ENDPOINTS,}127.0.0.1:$port"
+done
+echo "endpoints: $ENDPOINTS"
+
+RIPPLE_STORE=remote RIPPLE_REMOTE_ENDPOINTS="$ENDPOINTS" \
+  "$DRIVER_BIN" $SMOKE --shutdown-servers | tee "$WORK_DIR/remote.out"
+
+# kShutdown asks each server to stop; give them a moment, then cleanup()'s
+# kill is a no-op for processes that already exited.
+for pid in "${SERVER_PIDS[@]}"; do
+  for _ in $(seq 1 50); do
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+  done
+done
+
+# --- Compare digests. ----------------------------------------------------
+status=0
+for metric in PAGERANK_DIGEST SSSP_DIGEST SUMMA_DIGEST; do
+  base="$(awk -v m="$metric" '$1 == m {print $2}' "$WORK_DIR/baseline.out")"
+  remote="$(awk -v m="$metric" '$1 == m {print $2}' "$WORK_DIR/remote.out")"
+  if [[ -z "$base" || -z "$remote" || "$base" != "$remote" ]]; then
+    echo "MISMATCH $metric: baseline=$base remote=$remote"
+    status=1
+  else
+    echo "MATCH    $metric: $base"
+  fi
+done
+if ! grep -q '^DRIVER_OK$' "$WORK_DIR/remote.out"; then
+  echo "MISSING DRIVER_OK in remote run"
+  status=1
+fi
+if [[ "$status" -eq 0 ]]; then
+  echo "BENCH_MULTIPROC OK ($SERVERS server(s))"
+else
+  echo "BENCH_MULTIPROC FAILED"
+fi
+exit "$status"

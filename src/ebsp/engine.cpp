@@ -1,6 +1,8 @@
 #include "ebsp/engine.h"
 
 #include "common/logging.h"
+#include "net/remote_queue.h"
+#include "net/remote_store.h"
 
 namespace ripple::ebsp {
 
@@ -12,7 +14,13 @@ kv::KVStorePtr makeEngineStore(const EngineOptions& options,
 Engine::Engine(kv::KVStorePtr store, EngineOptions options)
     : store_(std::move(store)), options_(std::move(options)) {
   if (!options_.queuing) {
-    options_.queuing = mq::makeMemQueuing(store_);
+    // A remote store's queues must live on its servers (an in-memory set
+    // would keep messages driver-local and break multi-process runs).
+    if (std::dynamic_pointer_cast<net::RemoteStore>(store_)) {
+      options_.queuing = net::makeRemoteQueuing(store_);
+    } else {
+      options_.queuing = mq::makeMemQueuing(store_);
+    }
   }
 }
 

@@ -7,6 +7,13 @@
 #include "kvstore/partitioned_store.h"
 #include "kvstore/shard_store.h"
 
+namespace ripple::net {
+// Implemented in net/remote_store.cpp; declared here instead of including
+// the net headers so the kvstore layer stays include-acyclic (the two
+// static libraries are mutually linked).
+ripple::kv::KVStorePtr makeRemoteStoreFromEnv(std::uint32_t containers);
+}  // namespace ripple::net
+
 namespace ripple::kv {
 
 std::optional<StoreBackend> parseStoreBackend(const std::string& name) {
@@ -19,6 +26,9 @@ std::optional<StoreBackend> parseStoreBackend(const std::string& name) {
   if (name == "local") {
     return StoreBackend::kLocal;
   }
+  if (name == "remote") {
+    return StoreBackend::kRemote;
+  }
   return std::nullopt;
 }
 
@@ -28,6 +38,8 @@ const char* storeBackendName(StoreBackend backend) {
       return "shard";
     case StoreBackend::kLocal:
       return "local";
+    case StoreBackend::kRemote:
+      return "remote";
     case StoreBackend::kPartitioned:
     case StoreBackend::kDefault:
       break;
@@ -47,7 +59,7 @@ StoreBackend resolveStoreBackend(StoreBackend requested) {
     return *parsed;
   }
   RIPPLE_WARN << "RIPPLE_STORE='" << env
-              << "' is not a backend name (partitioned|shard|local); "
+              << "' is not a backend name (partitioned|shard|local|remote); "
                  "using partitioned";
   return StoreBackend::kPartitioned;
 }
@@ -58,6 +70,8 @@ KVStorePtr makeStore(StoreBackend backend, std::uint32_t containers) {
       return ShardStore::create(containers);
     case StoreBackend::kLocal:
       return LocalStore::create();
+    case StoreBackend::kRemote:
+      return ripple::net::makeRemoteStoreFromEnv(containers);
     case StoreBackend::kPartitioned:
     case StoreBackend::kDefault:
       break;

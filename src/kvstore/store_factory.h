@@ -1,10 +1,13 @@
 // Backend selection for the K/V store SPI.
 //
-// Three backends ship (DESIGN.md §10); callers pick one per run via
+// Four backends ship (DESIGN.md §10–11); callers pick one per run via
 // EngineOptions::storeBackend, the RIPPLE_STORE environment variable
-// ("partitioned" | "shard" | "local"), or a bench harness's --store flag.
-// The SPI conformance suite asserts the choice is behaviorally invisible:
-// PageRank/SSSP/SUMMA snapshots are byte-identical across backends.
+// ("partitioned" | "shard" | "local" | "remote"), or a bench harness's
+// --store flag.  The SPI conformance suite asserts the choice is
+// behaviorally invisible: PageRank/SSSP/SUMMA snapshots are byte-identical
+// across backends.  "remote" speaks the ripple::net wire protocol to one
+// or more net::Server processes (RIPPLE_REMOTE_ENDPOINTS), spinning an
+// implicit in-process loopback server when none are given.
 
 #pragma once
 
@@ -21,14 +24,16 @@ enum class StoreBackend {
   kPartitioned,
   kShard,
   kLocal,
+  kRemote,
 };
 
-/// "partitioned" | "shard" | "local" (case-sensitive); nullopt otherwise.
+/// "partitioned" | "shard" | "local" | "remote" (case-sensitive); nullopt
+/// otherwise.
 [[nodiscard]] std::optional<StoreBackend> parseStoreBackend(
     const std::string& name);
 
-/// Canonical name of a concrete backend ("partitioned"/"shard"/"local");
-/// kDefault resolves first.
+/// Canonical name of a concrete backend
+/// ("partitioned"/"shard"/"local"/"remote"); kDefault resolves first.
 [[nodiscard]] const char* storeBackendName(StoreBackend backend);
 
 /// Resolve kDefault through RIPPLE_STORE; unset picks kPartitioned, and a

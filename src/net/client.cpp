@@ -1,0 +1,167 @@
+#include "net/client.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace ripple::net {
+
+namespace {
+
+[[noreturn]] void throwTransient(fault::Op faultOp, const std::string& what) {
+  if (faultOp == fault::Op::kEnqueue || faultOp == fault::Op::kDequeue) {
+    throw fault::TransientQueueError(what);
+  }
+  throw fault::TransientStoreError(what);
+}
+
+}  // namespace
+
+Client::Client(Options options) : options_(std::move(options)) {
+  if (options_.endpoints.empty()) {
+    throw std::invalid_argument("net::Client: at least one endpoint required");
+  }
+  pool_.resize(options_.endpoints.size());
+}
+
+Client::~Client() { closeAll(); }
+
+void Client::bindRegistry(obs::MetricsRegistry& registry) {
+  metrics_.bindRegistry(registry, "net");
+  registry_.store(&registry, std::memory_order_release);
+}
+
+void Client::closeAll() {
+  std::lock_guard<std::mutex> lock(poolMu_);
+  for (auto& idle : pool_) {
+    idle.clear();
+  }
+}
+
+std::unique_ptr<Client::Channel> Client::acquire(std::size_t endpoint) {
+  {
+    std::lock_guard<std::mutex> lock(poolMu_);
+    auto& idle = pool_.at(endpoint);
+    if (!idle.empty()) {
+      std::unique_ptr<Channel> channel = std::move(idle.back());
+      idle.pop_back();
+      return channel;
+    }
+  }
+  auto channel = std::make_unique<Channel>();
+  channel->sock =
+      Socket::connect(options_.endpoints.at(endpoint), options_.connectTimeoutMs);
+  metrics_.incReconnects();
+  return channel;
+}
+
+void Client::release(std::size_t endpoint, std::unique_ptr<Channel> channel) {
+  std::lock_guard<std::mutex> lock(poolMu_);
+  pool_.at(endpoint).push_back(std::move(channel));
+}
+
+Bytes Client::exchange(std::size_t endpoint, Opcode op, BytesView payload) {
+  std::unique_ptr<Channel> channel = acquire(endpoint);
+  const std::uint64_t requestId =
+      nextRequestId_.fetch_add(1, std::memory_order_relaxed);
+  const auto start = std::chrono::steady_clock::now();
+
+  std::optional<Frame> frame;
+  try {
+    const Bytes request = encodeFrame(op, 0, requestId, payload);
+    channel->sock.sendAll(request, options_.requestTimeoutMs);
+    metrics_.addTx(request.size());
+
+    Bytes chunk;
+    while (!(frame = channel->decoder.next())) {
+      chunk.clear();
+      const std::size_t n =
+          channel->sock.recvSome(chunk, 64 * 1024, options_.requestTimeoutMs);
+      if (n == 0) {
+        throw ConnectionClosed("net::Client: connection closed mid-request");
+      }
+      metrics_.addRx(n);
+      channel->decoder.feed(chunk);
+    }
+    if (frame->requestId != requestId ||
+        frame->opcode != static_cast<std::uint8_t>(op)) {
+      // A pooled channel never holds stale bytes (failed exchanges drop
+      // the connection), so a mismatch is a protocol violation.
+      throw NetError("net::Client: response id/opcode mismatch");
+    }
+  } catch (const FrameError& e) {
+    metrics_.incDropped();
+    throw NetError(std::string("net::Client: poisoned stream: ") + e.what());
+  } catch (const NetError&) {
+    metrics_.incDropped();
+    throw;  // `channel` is destroyed here: the connection is not reused.
+  }
+
+  metrics_.incRequests();
+  metrics_.recordRtt(
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+
+  if (frame->isError()) {
+    // The connection is healthy — the request failed server-side.
+    const DecodedError error = decodeError(frame->payload);
+    release(endpoint, std::move(channel));
+    throwDecodedError(error);
+  }
+  release(endpoint, std::move(channel));
+  return std::move(frame->payload);
+}
+
+void Client::noteRetrier(const fault::Retrier& retrier) {
+  retries_.fetch_add(retrier.retries(), std::memory_order_relaxed);
+  escalations_.fetch_add(retrier.escalations(), std::memory_order_relaxed);
+}
+
+Bytes Client::call(std::size_t endpoint, Opcode op, BytesView payload,
+                   fault::Op faultOp, std::string_view name,
+                   std::uint32_t part, bool retryIo) {
+  // One Retrier per call: the jitter stream is single-consumer, and the
+  // request id seed keeps backoff schedules deterministic per request.
+  fault::Retrier retrier(options_.retry,
+                         nextRequestId_.load(std::memory_order_relaxed));
+  if (obs::MetricsRegistry* reg = registry_.load(std::memory_order_acquire)) {
+    retrier.bindRegistry(reg);
+  }
+  try {
+    Bytes response = retrier([&]() -> Bytes {
+      if (options_.injector) {
+        // Fail-before: a firing rule throws Transient* with nothing sent,
+        // so the retry loop may always re-attempt it.
+        options_.injector->onOp(faultOp, name, part);
+      }
+      try {
+        return exchange(endpoint, op, payload);
+      } catch (const NetError& e) {
+        if (retryIo) {
+          throwTransient(faultOp, e.what());
+        }
+        throw;
+      }
+    });
+    noteRetrier(retrier);
+    return response;
+  } catch (const ConnectionClosed&) {
+    // Non-idempotent request, peer gone: propagate the precise condition;
+    // the SPI layer maps it (queue read → closed, queue put → rejected,
+    // drain → transient for the engine recovery sites).
+    noteRetrier(retrier);
+    throw;
+  } catch (const NetError& e) {
+    // Non-idempotent request hit a real transport failure: surface it as
+    // transient for the engines' recovery sites, but do not retry here —
+    // the server may or may not have performed the operation.
+    noteRetrier(retrier);
+    throwTransient(faultOp, e.what());
+  } catch (...) {
+    noteRetrier(retrier);
+    throw;
+  }
+}
+
+}  // namespace ripple::net

@@ -1,0 +1,136 @@
+// ripple::net — the request/response client (DESIGN.md §11).
+//
+// A Client owns a small pool of connections per endpoint and performs
+// synchronous exchanges: encode request frame, send, read frames until the
+// response with the matching request id arrives.  Concurrency comes from
+// callers: any number of threads may call() at once; each exchange checks
+// a connection out of the pool (dialing when empty) and returns it only if
+// the exchange left it healthy.
+//
+// Fault integration is the load-bearing part.  Two failure planes exist:
+//   * Server-side application errors travel in error frames with an
+//     ErrorKind tag and are rethrown as the SAME std exception type the
+//     in-process backends throw (invalid_argument, out_of_range,
+//     logic_error, runtime_error).  These are never retried — a duplicate
+//     table is a duplicate table no matter how often you ask.
+//   * Transport failures (refused, reset, timeout, poisoned stream) and
+//     client-side injected faults (FaultInjector, fail-before) become
+//     fault::TransientStoreError / TransientQueueError and go through a
+//     bounded per-request fault::Retrier.  Injected faults fire BEFORE any
+//     bytes are sent, so retrying them is always safe; real socket errors
+//     are retried only when the caller marks the request idempotent
+//     (retryIo) — a destructive read whose response was lost must surface
+//     to the engine-level recovery sites instead.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "fault/fault.h"
+#include "fault/retry.h"
+#include "net/frame.h"
+#include "net/net_metrics.h"
+#include "net/socket.h"
+
+namespace ripple::net {
+
+class Client {
+ public:
+  struct Options {
+    /// Servers, indexed by the PlacementMap.  Required non-empty.
+    std::vector<Endpoint> endpoints;
+
+    int connectTimeoutMs = 5000;
+
+    /// Bound on each send/recv wait within one exchange.
+    int requestTimeoutMs = 30000;
+
+    /// Budget for transparent retries of transient failures.
+    fault::RetryPolicy retry{};
+
+    /// Optional deterministic fault injection, consulted fail-before on
+    /// every request (nothing is sent when a rule fires).
+    fault::FaultInjectorPtr injector;
+  };
+
+  explicit Client(Options options);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  [[nodiscard]] std::size_t endpointCount() const {
+    return options_.endpoints.size();
+  }
+  [[nodiscard]] const Endpoint& endpointAt(std::size_t index) const {
+    return options_.endpoints.at(index);
+  }
+
+  /// One request/response exchange against `endpoint` with bounded retry.
+  /// `faultOp`/`name`/`part` describe the operation to the fault injector
+  /// and select which Transient* type transport failures map to.
+  /// `retryIo` = the request is idempotent, so lost-response socket errors
+  /// may be retried transparently (injected faults are always retried).
+  /// Throws TransientStoreError/TransientQueueError once the budget is
+  /// exhausted, or the server's rethrown std exception.
+  Bytes call(std::size_t endpoint, Opcode op, BytesView payload,
+             fault::Op faultOp, std::string_view name, std::uint32_t part,
+             bool retryIo = true);
+
+  /// Mirror transport counters into `net.*` and retry counters into
+  /// `fault.*` instruments.  The registry must outlive the client.
+  void bindRegistry(obs::MetricsRegistry& registry);
+
+  [[nodiscard]] NetMetrics& metrics() { return metrics_; }
+
+  /// Aggregate retry ledger across all calls (the injected-fault ledger
+  /// closes as injector.injectedFailures() == retries() + escalations()
+  /// when no real socket faults occur).
+  [[nodiscard]] std::uint64_t retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t escalations() const {
+    return escalations_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  /// Drop every pooled connection (teardown; in-flight exchanges keep
+  /// their checked-out connections).
+  void closeAll();
+
+ private:
+  struct Channel {
+    Socket sock;
+    FrameDecoder decoder;
+  };
+
+  std::unique_ptr<Channel> acquire(std::size_t endpoint);
+  void release(std::size_t endpoint, std::unique_ptr<Channel> channel);
+
+  /// One un-retried exchange.  Throws NetError on transport failure (the
+  /// channel is dropped), or the server's std exception on error frames.
+  Bytes exchange(std::size_t endpoint, Opcode op, BytesView payload);
+
+  void noteRetrier(const fault::Retrier& retrier);
+
+  Options options_;
+  NetMetrics metrics_;
+  std::atomic<obs::MetricsRegistry*> registry_{nullptr};
+  std::atomic<std::uint64_t> nextRequestId_{1};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> escalations_{0};
+
+  std::mutex poolMu_;
+  std::vector<std::vector<std::unique_ptr<Channel>>> pool_;
+};
+
+using ClientPtr = std::shared_ptr<Client>;
+
+}  // namespace ripple::net

@@ -1,0 +1,161 @@
+#include "net/frame.h"
+
+#include <stdexcept>
+
+namespace ripple::net {
+
+namespace {
+
+/// Little-endian header writes, spelled out byte by byte: the frame
+/// boundary is the one place host-endian or size_t-width encoding would
+/// silently break cross-machine runs (ISSUE satellite: serde portability).
+void putU16le(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void putU32le(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void putU64le(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint16_t getU16le(const char* p) {
+  return static_cast<std::uint16_t>(
+      static_cast<std::uint8_t>(p[0]) |
+      (static_cast<std::uint16_t>(static_cast<std::uint8_t>(p[1])) << 8));
+}
+
+std::uint32_t getU32le(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t getU64le(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+bool validOpcode(std::uint8_t raw) {
+  return raw >= static_cast<std::uint8_t>(Opcode::kPing) &&
+         raw <= static_cast<std::uint8_t>(Opcode::kShutdown);
+}
+
+Bytes encodeFrame(Opcode opcode, std::uint16_t flags, std::uint64_t requestId,
+                  BytesView payload) {
+  if (payload.size() > kMaxPayloadBytes) {
+    throw FrameError("encodeFrame: payload exceeds kMaxPayloadBytes");
+  }
+  Bytes out;
+  out.reserve(kHeaderBytes + payload.size());
+  putU32le(out, kMagic);
+  out.push_back(static_cast<char>(kVersion));
+  out.push_back(static_cast<char>(opcode));
+  putU16le(out, flags);
+  putU64le(out, requestId);
+  putU32le(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+Bytes encodeError(ErrorKind kind, const std::string& message) {
+  ByteWriter w(message.size() + 4);
+  w.putU8(static_cast<std::uint8_t>(kind));
+  w.putBytes(message);
+  return w.take();
+}
+
+DecodedError decodeError(BytesView payload) {
+  DecodedError error;
+  try {
+    ByteReader r(payload);
+    const std::uint8_t kind = r.getU8();
+    if (kind > static_cast<std::uint8_t>(ErrorKind::kLogic)) {
+      error.kind = ErrorKind::kRuntime;
+    } else {
+      error.kind = static_cast<ErrorKind>(kind);
+    }
+    error.message = Bytes(r.getBytes());
+  } catch (const CodecError&) {
+    error.kind = ErrorKind::kRuntime;
+    error.message = "remote error (malformed error payload)";
+  }
+  return error;
+}
+
+void throwDecodedError(const DecodedError& error) {
+  switch (error.kind) {
+    case ErrorKind::kInvalidArgument:
+      throw std::invalid_argument(error.message);
+    case ErrorKind::kOutOfRange:
+      throw std::out_of_range(error.message);
+    case ErrorKind::kLogic:
+      throw std::logic_error(error.message);
+    case ErrorKind::kRuntime:
+      break;
+  }
+  throw std::runtime_error(error.message);
+}
+
+void FrameDecoder::feed(BytesView data) {
+  // Compact once the consumed prefix dominates, so a long-lived
+  // connection does not grow its buffer without bound.
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > 64 * 1024)) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data.data(), data.size());
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (buffered() < kHeaderBytes) {
+    return std::nullopt;
+  }
+  const char* h = buf_.data() + pos_;
+  const std::uint32_t magic = getU32le(h);
+  if (magic != kMagic) {
+    throw FrameError("FrameDecoder: bad magic");
+  }
+  const auto version = static_cast<std::uint8_t>(h[4]);
+  if (version != kVersion) {
+    throw FrameError("FrameDecoder: unsupported version " +
+                     std::to_string(version));
+  }
+  const auto opcode = static_cast<std::uint8_t>(h[5]);
+  if (!validOpcode(opcode)) {
+    throw FrameError("FrameDecoder: unknown opcode " + std::to_string(opcode));
+  }
+  const std::uint32_t length = getU32le(h + 16);
+  if (length > kMaxPayloadBytes) {
+    throw FrameError("FrameDecoder: payload length " + std::to_string(length) +
+                     " exceeds cap");
+  }
+  if (buffered() < kHeaderBytes + length) {
+    return std::nullopt;
+  }
+  Frame frame;
+  frame.opcode = opcode;
+  frame.flags = getU16le(h + 6);
+  frame.requestId = getU64le(h + 8);
+  frame.payload.assign(buf_.data() + pos_ + kHeaderBytes, length);
+  pos_ += kHeaderBytes + length;
+  return frame;
+}
+
+}  // namespace ripple::net

@@ -1,0 +1,140 @@
+// ripple::net — length-prefixed TCP frame codec (DESIGN.md §11).
+//
+// Everything that crosses a process boundary in Ripple travels in frames:
+// a fixed 20-byte header (magic, version, opcode, flags, request id,
+// payload length — every integer explicit little-endian) followed by a
+// payload encoded with the same ByteWriter/ByteReader serde the in-process
+// engines already use.  The header is deliberately boring: a codec this
+// low in the stack must be fuzz-round-trippable, reject garbage without
+// undefined behavior, and never change meaning across platforms.
+//
+// Decoding is incremental.  A FrameDecoder is fed raw bytes in whatever
+// chunks the socket produces (split headers, coalesced frames, one byte at
+// a time) and yields complete frames; malformed input (bad magic, unknown
+// version, oversized payload) throws FrameError, at which point the
+// connection is poisoned and must be dropped.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace ripple::net {
+
+/// Malformed frame input: wrong magic, unsupported version, or a length
+/// beyond kMaxPayloadBytes.  The stream cannot be resynchronized; callers
+/// drop the connection.
+class FrameError : public std::runtime_error {
+ public:
+  explicit FrameError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Wire opcodes.  Requests and responses share the opcode (a response
+/// echoes its request's); kFlagError marks an error response.
+enum class Opcode : std::uint8_t {
+  kPing = 1,
+
+  // Store plane.  Keys travel with an explicit part index: partitioning
+  // is decided client-side (the SPI's consistent-partitioning contract
+  // lives with the job), the server is a dumb data plane.
+  kCreateTable = 2,
+  kDropTable = 3,
+  kGet = 4,
+  kPut = 5,
+  kErase = 6,
+  kPutBatch = 7,
+  kPartSize = 8,
+  kTableSize = 9,
+  kScanPart = 10,
+  kDrainPart = 11,
+  kClearPart = 12,
+
+  // Queue plane.
+  kQueueCreate = 13,
+  kQueueDelete = 14,
+  kQueuePut = 15,
+  kQueueRead = 16,
+  kQueueClose = 17,
+  kQueueBacklog = 18,
+
+  // Control plane.
+  kShutdown = 19,
+};
+
+/// True for the opcodes this protocol version defines.
+[[nodiscard]] bool validOpcode(std::uint8_t raw);
+
+inline constexpr std::uint32_t kMagic = 0x31707052;  // "Rpp1" on the wire.
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 20;
+
+/// Refuse to buffer absurd frames; a corrupt length must not allocate
+/// gigabytes before the magic check of the NEXT frame would catch it.
+inline constexpr std::uint32_t kMaxPayloadBytes = 256u * 1024 * 1024;
+
+/// Header flag bits.
+inline constexpr std::uint16_t kFlagError = 0x1;
+
+/// One decoded frame.
+struct Frame {
+  std::uint8_t opcode = 0;
+  std::uint16_t flags = 0;
+  std::uint64_t requestId = 0;
+  Bytes payload;
+
+  [[nodiscard]] bool isError() const { return (flags & kFlagError) != 0; }
+};
+
+/// Encode a complete frame (header + payload) ready for the socket.
+[[nodiscard]] Bytes encodeFrame(Opcode opcode, std::uint16_t flags,
+                                std::uint64_t requestId, BytesView payload);
+
+/// Kinds of server-side errors carried in an error payload, so the client
+/// can rethrow the same std exception type the in-process backends throw
+/// (the SPI conformance suite asserts exception types, not just failure).
+enum class ErrorKind : std::uint8_t {
+  kRuntime = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kLogic = 3,
+};
+
+/// Payload of an error response: kind tag + human-readable message.
+[[nodiscard]] Bytes encodeError(ErrorKind kind, const std::string& message);
+
+struct DecodedError {
+  ErrorKind kind = ErrorKind::kRuntime;
+  std::string message;
+};
+
+/// Decode an error payload; malformed error payloads degrade to kRuntime
+/// with a placeholder message (an error path must not throw CodecError).
+[[nodiscard]] DecodedError decodeError(BytesView payload);
+
+/// Throw the std exception matching a decoded error payload.
+[[noreturn]] void throwDecodedError(const DecodedError& error);
+
+/// Incremental frame decoder.  feed() bytes as they arrive; next() yields
+/// complete frames until the buffer runs dry.  Throws FrameError on
+/// malformed input (the header is validated as soon as 20 bytes are
+/// buffered, before any payload is awaited).
+class FrameDecoder {
+ public:
+  void feed(BytesView data);
+
+  /// Next complete frame, or nullopt if more bytes are needed.
+  [[nodiscard]] std::optional<Frame> next();
+
+  /// Bytes currently buffered but not yet consumed (diagnostics).
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  Bytes buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ripple::net

@@ -1,0 +1,100 @@
+// ripple::net — transport accounting, following the StoreMetrics pattern
+// (kvstore/table.h): the struct's own atomics are the source of truth for
+// tests, and bindRegistry() mirrors future increments into `net.*`
+// instruments of an obs::MetricsRegistry so wire traffic shows up in run
+// reports next to the engine and store metrics.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ripple::net {
+
+struct NetMetrics {
+  std::atomic<std::uint64_t> bytesTx{0};      // Frame bytes written.
+  std::atomic<std::uint64_t> bytesRx{0};      // Frame bytes read.
+  std::atomic<std::uint64_t> requests{0};     // Completed exchanges.
+  std::atomic<std::uint64_t> reconnects{0};   // Fresh dials (incl. first).
+  std::atomic<std::uint64_t> dropped{0};      // Connections discarded on error.
+
+  void addTx(std::uint64_t bytes) {
+    bytesTx.fetch_add(bytes, std::memory_order_relaxed);
+    forward(fwdTx_, bytes);
+  }
+
+  void addRx(std::uint64_t bytes) {
+    bytesRx.fetch_add(bytes, std::memory_order_relaxed);
+    forward(fwdRx_, bytes);
+  }
+
+  void incRequests(std::uint64_t n = 1) {
+    requests.fetch_add(n, std::memory_order_relaxed);
+    forward(fwdRequests_, n);
+  }
+
+  void incReconnects(std::uint64_t n = 1) {
+    reconnects.fetch_add(n, std::memory_order_relaxed);
+    forward(fwdReconnects_, n);
+  }
+
+  void incDropped(std::uint64_t n = 1) {
+    dropped.fetch_add(n, std::memory_order_relaxed);
+    forward(fwdDropped_, n);
+  }
+
+  /// Round-trip latency of one exchange, milliseconds.
+  void recordRtt(double ms) {
+    if (obs::Histogram* h = fwdRtt_.load(std::memory_order_acquire)) {
+      h->record(ms);
+    }
+  }
+
+  /// Mirror future increments into `<prefix>.bytes_tx`, `<prefix>.bytes_rx`,
+  /// `<prefix>.requests`, `<prefix>.reconnects`, `<prefix>.dropped`, and the
+  /// `<prefix>.rtt_ms` histogram.  The registry must outlive the client.
+  void bindRegistry(obs::MetricsRegistry& registry,
+                    const std::string& prefix = "net") {
+    fwdTx_.store(&registry.counter(prefix + ".bytes_tx"),
+                 std::memory_order_release);
+    fwdRx_.store(&registry.counter(prefix + ".bytes_rx"),
+                 std::memory_order_release);
+    fwdRequests_.store(&registry.counter(prefix + ".requests"),
+                       std::memory_order_release);
+    fwdReconnects_.store(&registry.counter(prefix + ".reconnects"),
+                         std::memory_order_release);
+    fwdDropped_.store(&registry.counter(prefix + ".dropped"),
+                      std::memory_order_release);
+    fwdRtt_.store(&registry.histogram(prefix + ".rtt_ms"),
+                  std::memory_order_release);
+  }
+
+  void unbind() {
+    fwdTx_.store(nullptr, std::memory_order_release);
+    fwdRx_.store(nullptr, std::memory_order_release);
+    fwdRequests_.store(nullptr, std::memory_order_release);
+    fwdReconnects_.store(nullptr, std::memory_order_release);
+    fwdDropped_.store(nullptr, std::memory_order_release);
+    fwdRtt_.store(nullptr, std::memory_order_release);
+  }
+
+ private:
+  static void forward(const std::atomic<obs::Counter*>& target,
+                      std::uint64_t n) {
+    if (obs::Counter* c = target.load(std::memory_order_acquire)) {
+      c->add(n);
+    }
+  }
+
+  std::atomic<obs::Counter*> fwdTx_{nullptr};
+  std::atomic<obs::Counter*> fwdRx_{nullptr};
+  std::atomic<obs::Counter*> fwdRequests_{nullptr};
+  std::atomic<obs::Counter*> fwdReconnects_{nullptr};
+  std::atomic<obs::Counter*> fwdDropped_{nullptr};
+  std::atomic<obs::Histogram*> fwdRtt_{nullptr};
+};
+
+}  // namespace ripple::net

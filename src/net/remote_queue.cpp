@@ -1,0 +1,353 @@
+#include "net/remote_queue.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/server.h"
+
+namespace ripple::net {
+
+namespace {
+
+class RemoteQueueSet : public mq::QueueSet {
+ public:
+  RemoteQueueSet(std::string name, RemoteStorePtr store,
+                 kv::TablePtr placement)
+      : name_(std::move(name)), store_(std::move(store)),
+        placement_(std::move(placement)),
+        numQueues_(placement_->numParts()) {}
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+  [[nodiscard]] std::uint32_t numQueues() const override {
+    return numQueues_;
+  }
+
+  bool put(std::uint32_t queue, Bytes message) override {
+    if (queue >= numQueues_) {
+      throw std::out_of_range("RemoteQueueSet: queue " +
+                              std::to_string(queue) + " out of range");
+    }
+    ByteWriter w(name_.size() + message.size() + 16);
+    w.putBytes(name_);
+    w.putFixed32(queue);
+    w.putBytes(message);
+    try {
+      const Bytes response = store_->client().call(
+          store_->placement().endpointOf(queue), Opcode::kQueuePut, w.view(),
+          fault::Op::kEnqueue, name_, queue, /*retryIo=*/false);
+      return ByteReader(response).getBool();
+    } catch (const ConnectionClosed&) {
+      // Server gone mid-put: the message may or may not have landed, so a
+      // blind retry risks a duplicate.  Report it like a closed set.
+      return false;
+    } catch (const std::invalid_argument&) {
+      // Unknown set on the server: it was deleted.  A deleted set behaves
+      // like a closed one (matching MemQueuing, where a deleted set's
+      // still-held handle is simply closed).
+      return false;
+    } catch (const fault::TransientError&) {
+      // Transport down (or injected-fault budget exhausted): the put
+      // contract already has a refusal channel, so use it rather than
+      // making every caller wrap put in a try block.
+      return false;
+    }
+  }
+
+  void runWorkers(
+      const std::function<void(mq::WorkerContext&)>& body) override {
+    runWorkers(body, numQueues());
+  }
+
+  void runWorkers(const std::function<void(mq::WorkerContext&)>& body,
+                  std::uint32_t workerBudget) override {
+    // Same shape as MemQueueSet: dedicated driver-side threads (a looping
+    // worker would starve a shared executor), each adopted into its
+    // primary part's location; worker w owns the striped queues
+    // {w, w + workers, ...}.
+    const std::uint32_t workers =
+        (workerBudget == 0 || workerBudget > numQueues()) ? numQueues()
+                                                          : workerBudget;
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    std::mutex failMu;
+    std::exception_ptr failure;
+    for (std::uint32_t w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w] {
+        auto token = store_->adoptPartThread(*placement_, w);
+        Context ctx(this, w, workers);
+        try {
+          body(ctx);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(failMu);
+          if (!failure) {
+            failure = std::current_exception();
+          }
+        }
+      });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+    if (failure) {
+      std::rethrow_exception(failure);
+    }
+  }
+
+  void close() override {
+    ByteWriter w(name_.size() + 8);
+    w.putBytes(name_);
+    for (std::size_t e = 0; e < store_->placement().endpointCount(); ++e) {
+      try {
+        store_->client().call(e, Opcode::kQueueClose, w.view(),
+                              fault::Op::kEnqueue, name_, 0,
+                              /*retryIo=*/true);
+      } catch (const fault::TransientError&) {
+        // Unreachable server: its queues died with it.  close() stays
+        // idempotent and non-throwing either way.
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint64_t backlog() const override {
+    ByteWriter w(name_.size() + 8);
+    w.putBytes(name_);
+    std::uint64_t total = 0;
+    for (std::size_t e = 0; e < store_->placement().endpointCount(); ++e) {
+      const Bytes response = store_->client().call(
+          e, Opcode::kQueueBacklog, w.view(), fault::Op::kDequeue, name_, 0,
+          /*retryIo=*/true);
+      total += ByteReader(response).getFixed64();
+    }
+    return total;
+  }
+
+ private:
+  // kQueueRead response status byte.
+  static constexpr std::uint8_t kStatusMessage = 0;
+  static constexpr std::uint8_t kStatusEmpty = 1;
+  static constexpr std::uint8_t kStatusClosedDrained = 2;
+
+  struct ReadResult {
+    std::uint8_t status;
+    std::optional<Bytes> message;
+  };
+
+  /// One kQueueRead round trip.  mode: 0 = timed pop (bounded server-side
+  /// at kMaxServerQueueWaitMs), 1 = tryPop, 2 = trySteal.  A clean EOF
+  /// means the owning server shut down — its queues are gone for good, so
+  /// report closed-and-drained and let the worker terminate.
+  ReadResult readOnce(std::uint32_t queue, std::uint32_t waitMs,
+                      std::uint8_t mode) {
+    ByteWriter w(name_.size() + 20);
+    w.putBytes(name_);
+    w.putFixed32(queue);
+    w.putFixed32(waitMs);
+    w.putU8(mode);
+    Bytes response;
+    try {
+      response = store_->client().call(
+          store_->placement().endpointOf(queue), Opcode::kQueueRead,
+          w.view(), fault::Op::kDequeue, name_, queue, /*retryIo=*/false);
+    } catch (const ConnectionClosed&) {
+      return ReadResult{kStatusClosedDrained, std::nullopt};
+    } catch (const std::invalid_argument&) {
+      // Set deleted server-side while a worker was still polling.
+      return ReadResult{kStatusClosedDrained, std::nullopt};
+    }
+    ByteReader r(response);
+    const std::uint8_t status = r.getU8();
+    if (status == kStatusMessage) {
+      return ReadResult{status, Bytes{r.getBytes()}};
+    }
+    return ReadResult{status, std::nullopt};
+  }
+
+  class Context : public mq::WorkerContext {
+   public:
+    Context(RemoteQueueSet* set, std::uint32_t queue, std::uint32_t stride)
+        : set_(set), queue_(queue), stride_(stride) {
+      for (std::uint32_t q = queue; q < set->numQueues(); q += stride) {
+        owned_.push_back(q);
+      }
+      terminal_.assign(owned_.size(), false);
+    }
+
+    [[nodiscard]] std::uint32_t queueIndex() const override {
+      return queue_;
+    }
+
+    std::optional<Bytes> read(std::chrono::milliseconds timeout) override {
+      const auto deadline = std::chrono::steady_clock::now() + timeout;
+      for (;;) {
+        if (auto msg = tryRead()) {
+          return msg;
+        }
+        if (allTerminal()) {
+          return std::nullopt;
+        }
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) {
+          return tryRead();  // Final drain against a racing put.
+        }
+        const auto remainingMs =
+            std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                  now)
+                .count();
+        // One bounded blocking wait on the next live queue.  With a single
+        // owned queue the server's cap is the only slice; multiplexed
+        // workers keep waits short so one idle queue cannot mask traffic
+        // on its siblings.
+        const long long cap = owned_.size() == 1 ? kMaxServerQueueWaitMs : 50;
+        const auto waitMs = static_cast<std::uint32_t>(
+            std::max<long long>(1, std::min<long long>(remainingMs, cap)));
+        std::size_t at = cursor_ % owned_.size();
+        while (terminal_[at]) {
+          at = (at + 1) % owned_.size();
+        }
+        const ReadResult result = set_->readOnce(owned_[at], waitMs, 0);
+        cursor_ = (at + 1) % owned_.size();
+        if (result.status == kStatusMessage) {
+          return result.message;
+        }
+        if (result.status == kStatusClosedDrained) {
+          terminal_[at] = true;
+        }
+      }
+    }
+
+    std::optional<Bytes> tryRead() override {
+      for (std::size_t i = 0; i < owned_.size(); ++i) {
+        const std::size_t at = (cursor_ + i) % owned_.size();
+        if (terminal_[at]) {
+          continue;
+        }
+        const ReadResult result = set_->readOnce(owned_[at], 0, 1);
+        if (result.status == kStatusMessage) {
+          cursor_ = (at + 1) % owned_.size();
+          return result.message;
+        }
+        if (result.status == kStatusClosedDrained) {
+          terminal_[at] = true;
+        }
+      }
+      return std::nullopt;
+    }
+
+    std::optional<Bytes> trySteal(std::uint32_t fromQueue) override {
+      if (fromQueue >= set_->numQueues() || owned(fromQueue)) {
+        return std::nullopt;
+      }
+      return set_->readOnce(fromQueue, 0, 2).message;
+    }
+
+    std::optional<Bytes> tryReadFrom(std::uint32_t fromQueue) override {
+      if (fromQueue >= set_->numQueues() || owned(fromQueue)) {
+        return std::nullopt;
+      }
+      return set_->readOnce(fromQueue, 0, 1).message;
+    }
+
+   private:
+    [[nodiscard]] bool owned(std::uint32_t q) const {
+      return q % stride_ == queue_ % stride_;
+    }
+
+    [[nodiscard]] bool allTerminal() const {
+      return std::all_of(terminal_.begin(), terminal_.end(),
+                         [](bool t) { return t; });
+    }
+
+    RemoteQueueSet* set_;
+    std::uint32_t queue_;
+    std::uint32_t stride_;
+    std::vector<std::uint32_t> owned_;
+    // A queue observed closed-and-drained stays that way (puts fail after
+    // close), so readers stop polling it.
+    std::vector<bool> terminal_;
+    std::size_t cursor_ = 0;
+  };
+
+  std::string name_;
+  RemoteStorePtr store_;
+  kv::TablePtr placement_;
+  std::uint32_t numQueues_;
+};
+
+class RemoteQueuing : public mq::Queuing {
+ public:
+  explicit RemoteQueuing(RemoteStorePtr store) : store_(std::move(store)) {}
+
+  mq::QueueSetPtr createQueueSet(const std::string& name,
+                                 const kv::TablePtr& placement) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sets_.contains(name)) {
+      throw std::invalid_argument("RemoteQueuing: queue set '" + name +
+                                  "' already exists");
+    }
+    ByteWriter w(name.size() + 12);
+    w.putBytes(name);
+    w.putVarint(placement->numParts());
+    // Every server hosts the full queue array of the set; only the queues
+    // it owns under the placement map ever see traffic.
+    for (std::size_t e = 0; e < store_->placement().endpointCount(); ++e) {
+      store_->client().call(e, Opcode::kQueueCreate, w.view(),
+                            fault::Op::kEnqueue, name, 0, /*retryIo=*/false);
+    }
+    auto set = std::make_shared<RemoteQueueSet>(name, store_, placement);
+    sets_.emplace(name, set);
+    return set;
+  }
+
+  void deleteQueueSet(const std::string& name) override {
+    std::shared_ptr<RemoteQueueSet> set;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = sets_.find(name);
+      if (it == sets_.end()) {
+        return;
+      }
+      set = it->second;
+      sets_.erase(it);
+    }
+    // Close first so blocked readers drain and terminate before the
+    // server-side sets disappear.
+    set->close();
+    ByteWriter w(name.size() + 8);
+    w.putBytes(name);
+    for (std::size_t e = 0; e < store_->placement().endpointCount(); ++e) {
+      try {
+        store_->client().call(e, Opcode::kQueueDelete, w.view(),
+                              fault::Op::kEnqueue, name, 0,
+                              /*retryIo=*/true);
+      } catch (const fault::TransientError&) {
+        // Best-effort on an unreachable server, like close().
+      }
+    }
+  }
+
+ private:
+  RemoteStorePtr store_;
+  std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<RemoteQueueSet>> sets_;
+};
+
+}  // namespace
+
+mq::QueuingPtr makeRemoteQueuing(kv::KVStorePtr store) {
+  auto remote = std::dynamic_pointer_cast<RemoteStore>(std::move(store));
+  if (!remote) {
+    throw std::invalid_argument(
+        "makeRemoteQueuing: store is not a net::RemoteStore");
+  }
+  return std::make_shared<RemoteQueuing>(std::move(remote));
+}
+
+}  // namespace ripple::net

@@ -1,0 +1,31 @@
+// ripple::net — RemoteQueuing: the Message Queuing SPI over the wire
+// transport (DESIGN.md §11).
+//
+// Queue sets live on the same servers as the store: queue q of a set is
+// hosted by the server owning part q under the store's PlacementMap, so a
+// queue stays collocated with its part.  Workers are driver-side threads
+// (exactly like MemQueueSet's) whose reads become kQueueRead requests;
+// the server bounds each blocking wait at kMaxServerQueueWaitMs and the
+// client re-issues until the caller's deadline, so a close() from
+// anywhere — or a server shutdown, surfacing as a clean ConnectionClosed —
+// terminates blocked readers promptly instead of hanging them.
+//
+// Per-(sender, queue) FIFO survives the network because requests are
+// synchronous: a sender's second put is not encoded until its first has
+// been acknowledged by the owning server.
+
+#pragma once
+
+#include "kvstore/table.h"
+#include "mq/queue.h"
+#include "net/remote_store.h"
+
+namespace ripple::net {
+
+/// Queuing over `store`'s transport.  `store` must be a RemoteStore
+/// (throws std::invalid_argument otherwise); the kv::KVStorePtr signature
+/// matches the in-process factories so the conformance suites can treat
+/// all backends uniformly.
+[[nodiscard]] mq::QueuingPtr makeRemoteQueuing(kv::KVStorePtr store);
+
+}  // namespace ripple::net

@@ -1,0 +1,571 @@
+#include "net/remote_store.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <future>
+#include <utility>
+
+#include "common/executor.h"
+#include "common/logging.h"
+#include "net/frame.h"
+#include "net/server.h"
+
+namespace ripple::net {
+
+namespace {
+
+// Which location of which RemoteStore the calling thread currently acts
+// for — set by adoptPartThread tokens and by mobile-code wrappers, read
+// by the local/remote accounting.  Keyed by store so two RemoteStores in
+// one process cannot cross-talk.
+thread_local const RemoteStore* tlsStore = nullptr;
+thread_local std::uint32_t tlsLocation = 0;
+
+class ScopedLocation {
+ public:
+  ScopedLocation(const RemoteStore* store, std::uint32_t location)
+      : prevStore_(tlsStore), prevLocation_(tlsLocation) {
+    tlsStore = store;
+    tlsLocation = location;
+  }
+  ~ScopedLocation() {
+    tlsStore = prevStore_;
+    tlsLocation = prevLocation_;
+  }
+  ScopedLocation(const ScopedLocation&) = delete;
+  ScopedLocation& operator=(const ScopedLocation&) = delete;
+
+ private:
+  const RemoteStore* prevStore_;
+  std::uint32_t prevLocation_;
+};
+
+/// Await every per-part future in part order, combining results; the
+/// first (lowest-part) failure wins after all futures settle, mirroring
+/// PartitionedStore's aggregation.
+Bytes combineInPartOrder(std::vector<std::future<Bytes>>& futures,
+                         const std::function<Bytes(Bytes, Bytes)>& combine) {
+  Bytes combined;
+  std::exception_ptr first;
+  for (auto& future : futures) {
+    try {
+      combined = combine(std::move(combined), future.get());
+    } catch (...) {
+      if (!first) {
+        first = std::current_exception();
+      }
+    }
+  }
+  if (first) {
+    std::rethrow_exception(first);
+  }
+  return combined;
+}
+
+}  // namespace
+
+class RemoteTable : public kv::Table {
+ public:
+  RemoteTable(RemoteStore* store, std::string name, kv::TableOptions options)
+      : store_(store), name_(std::move(name)), options_(std::move(options)) {}
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] const kv::TableOptions& options() const override {
+    return options_;
+  }
+  [[nodiscard]] std::uint32_t numParts() const override {
+    return options_.parts;
+  }
+
+  [[nodiscard]] std::uint32_t partOf(kv::KeyView key) const override {
+    return options_.ubiquitous ? 0 : options_.partitioner->partOf(key);
+  }
+
+  std::optional<kv::Value> get(kv::KeyView key) override {
+    const std::uint32_t part = partOf(key);
+    ByteWriter w(name_.size() + key.size() + 16);
+    w.putBytes(name_);
+    w.putFixed32(part);
+    w.putBytes(key);
+    const Bytes response = callPart(Opcode::kGet, fault::Op::kGet, part,
+                                    w.view(), /*retryIo=*/true);
+    account(part, w.size() + response.size());
+    ByteReader r(response);
+    if (!r.getBool()) {
+      return std::nullopt;
+    }
+    return kv::Value{r.getBytes()};
+  }
+
+  void put(kv::KeyView key, kv::ValueView value) override {
+    checkWritable("put");
+    const std::uint32_t part = partOf(key);
+    ByteWriter w(name_.size() + key.size() + value.size() + 24);
+    w.putBytes(name_);
+    w.putFixed32(part);
+    w.putBytes(key);
+    w.putBytes(value);
+    callPart(Opcode::kPut, fault::Op::kPut, part, w.view(), /*retryIo=*/true);
+    account(part, w.size());
+  }
+
+  bool erase(kv::KeyView key) override {
+    checkWritable("erase");
+    const std::uint32_t part = partOf(key);
+    ByteWriter w(name_.size() + key.size() + 16);
+    w.putBytes(name_);
+    w.putFixed32(part);
+    w.putBytes(key);
+    const Bytes response = callPart(Opcode::kErase, fault::Op::kErase, part,
+                                    w.view(), /*retryIo=*/true);
+    account(part, w.size());
+    return ByteReader(response).getBool();
+  }
+
+  void putBatch(
+      const std::vector<std::pair<kv::Key, kv::Value>>& entries) override {
+    checkWritable("putBatch");
+    if (entries.empty()) {
+      return;
+    }
+    // One kPutBatch per endpoint, grouped client-side, so a batch costs
+    // O(servers) round trips instead of O(entries).
+    const std::size_t endpoints = store_->placement().endpointCount();
+    std::vector<std::vector<const std::pair<kv::Key, kv::Value>*>> groups(
+        endpoints);
+    std::vector<std::uint32_t> groupPart(endpoints, 0);
+    for (const auto& entry : entries) {
+      const std::uint32_t part = partOf(entry.first);
+      const std::size_t endpoint = store_->placement().endpointOf(part);
+      if (groups[endpoint].empty()) {
+        groupPart[endpoint] = part;
+      }
+      groups[endpoint].push_back(&entry);
+    }
+    for (std::size_t e = 0; e < endpoints; ++e) {
+      if (groups[e].empty()) {
+        continue;
+      }
+      ByteWriter w;
+      w.putBytes(name_);
+      w.putVarint(groups[e].size());
+      for (const auto* entry : groups[e]) {
+        const std::uint32_t part = partOf(entry->first);
+        w.putFixed32(part);
+        w.putBytes(entry->first);
+        w.putBytes(entry->second);
+      }
+      store_->client_->call(e, Opcode::kPutBatch, w.view(), fault::Op::kPut,
+                            name_, groupPart[e], /*retryIo=*/true);
+      account(groupPart[e], w.size());
+    }
+  }
+
+  [[nodiscard]] std::uint64_t size() const override {
+    ByteWriter w(name_.size() + 8);
+    w.putBytes(name_);
+    std::uint64_t total = 0;
+    for (std::size_t e = 0; e < store_->placement().endpointCount(); ++e) {
+      const Bytes response = store_->client_->call(
+          e, Opcode::kTableSize, w.view(), fault::Op::kScan, name_, 0,
+          /*retryIo=*/true);
+      total += ByteReader(response).getFixed64();
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::uint64_t partSize(std::uint32_t part) const override {
+    ByteWriter w(name_.size() + 12);
+    w.putBytes(name_);
+    w.putFixed32(part);
+    const Bytes response = store_->client_->call(
+        store_->placement().endpointOf(part), Opcode::kPartSize, w.view(),
+        fault::Op::kScan, name_, part, /*retryIo=*/true);
+    return ByteReader(response).getFixed64();
+  }
+
+  Bytes enumerate(kv::PairConsumer& consumer) override {
+    std::vector<std::future<Bytes>> futures;
+    futures.reserve(numParts());
+    for (std::uint32_t p = 0; p < numParts(); ++p) {
+      futures.push_back(
+          store_->executorAt(store_->locationOf(p)).submit([this, p,
+                                                            &consumer] {
+            return scanInto(p, consumer);
+          }));
+    }
+    return combineInPartOrder(futures, [&](Bytes a, Bytes b) {
+      return consumer.combine(std::move(a), std::move(b));
+    });
+  }
+
+  Bytes enumeratePart(std::uint32_t part,
+                      kv::PairConsumer& consumer) override {
+    return store_->executorAt(store_->locationOf(part)).run([this, part,
+                                                             &consumer] {
+      return scanInto(part, consumer);
+    });
+  }
+
+  Bytes processParts(kv::PartConsumer& consumer) override {
+    std::vector<std::future<Bytes>> futures;
+    futures.reserve(numParts());
+    for (std::uint32_t p = 0; p < numParts(); ++p) {
+      const std::uint32_t location = store_->locationOf(p);
+      futures.push_back(store_->executorAt(location).submit(
+          [this, p, location, &consumer] {
+            ScopedLocation scope(store_, location);
+            return consumer.processPart(p, *this);
+          }));
+    }
+    return combineInPartOrder(futures, [&](Bytes a, Bytes b) {
+      return consumer.combine(std::move(a), std::move(b));
+    });
+  }
+
+  std::uint64_t clearPart(std::uint32_t part) override {
+    checkWritable("clearPart");
+    ByteWriter w(name_.size() + 12);
+    w.putBytes(name_);
+    w.putFixed32(part);
+    const Bytes response = callPart(Opcode::kClearPart, fault::Op::kDrain,
+                                    part, w.view(), /*retryIo=*/true);
+    account(part, w.size());
+    return ByteReader(response).getFixed64();
+  }
+
+  std::vector<std::pair<kv::Key, kv::Value>> drainPart(
+      std::uint32_t part) override {
+    checkWritable("drainPart");
+    ByteWriter w(name_.size() + 12);
+    w.putBytes(name_);
+    w.putFixed32(part);
+    Bytes response;
+    try {
+      // Destructive read: a lost response must not be blind-retried (the
+      // server may have already consumed the part), so no retryIo; the
+      // engines' recovery sites own the decision.
+      response = callPart(Opcode::kDrainPart, fault::Op::kDrain, part,
+                          w.view(), /*retryIo=*/false);
+    } catch (const ConnectionClosed& e) {
+      throw fault::TransientStoreError(e.what());
+    }
+    account(part, w.size() + response.size());
+    ByteReader r(response);
+    const std::uint64_t count = r.getVarint();
+    std::vector<std::pair<kv::Key, kv::Value>> pairs;
+    pairs.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      kv::Key key{r.getBytes()};
+      pairs.emplace_back(std::move(key), kv::Value{r.getBytes()});
+    }
+    return pairs;
+  }
+
+ private:
+  Bytes callPart(Opcode op, fault::Op faultOp, std::uint32_t part,
+                 BytesView payload, bool retryIo) {
+    return store_->client_->call(store_->placement().endpointOf(part), op,
+                                 payload, faultOp, name_, part, retryIo);
+  }
+
+  /// Scan one part at its location and drive `consumer` through the SPI's
+  /// setup/consume/finalize protocol.  Runs with the location mark set so
+  /// the traffic is accounted collocated, mirroring the in-process
+  /// stores' owner-executor enumeration.
+  Bytes scanInto(std::uint32_t part, kv::PairConsumer& consumer) {
+    ScopedLocation scope(store_, store_->locationOf(part));
+    ByteWriter w(name_.size() + 12);
+    w.putBytes(name_);
+    w.putFixed32(part);
+    const Bytes response = callPart(Opcode::kScanPart, fault::Op::kScan, part,
+                                    w.view(), /*retryIo=*/true);
+    store_->metrics_.incScans();
+    account(part, w.size() + response.size());
+    ByteReader r(response);
+    const std::uint64_t count = r.getVarint();
+    consumer.setupPart(part);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const BytesView key = r.getBytes();
+      const BytesView value = r.getBytes();
+      if (!consumer.consume(part, key, value)) {
+        break;
+      }
+    }
+    return consumer.finalizePart(part);
+  }
+
+  void account(std::uint32_t part, std::size_t bytes) const {
+    kv::StoreMetrics& m = store_->metrics_;
+    if (store_->onLocation(store_->locationOf(part))) {
+      m.incLocal();
+    } else {
+      m.incRemote();
+    }
+    m.addMarshalled(bytes);
+  }
+
+  RemoteStore* store_;
+  std::string name_;
+  kv::TableOptions options_;
+};
+
+RemoteStore::RemoteStore(Options options)
+    : options_(std::move(options)),
+      client_(std::make_shared<Client>(options_.client)),
+      placement_(client_->endpointCount()) {
+  const std::uint32_t locations = std::max<std::uint32_t>(
+      1, options_.locations);
+  locations_.reserve(locations);
+  for (std::uint32_t i = 0; i < locations; ++i) {
+    locations_.push_back(
+        std::make_unique<SerialExecutor>("remote-loc-" + std::to_string(i)));
+  }
+}
+
+std::shared_ptr<RemoteStore> RemoteStore::create(Options options) {
+  return std::shared_ptr<RemoteStore>(new RemoteStore(std::move(options)));
+}
+
+RemoteStore::~RemoteStore() { shutdown(); }
+
+void RemoteStore::shutdown() {
+  std::lock_guard<std::mutex> lock(lifecycleMu_);
+  if (shutdown_) {
+    return;
+  }
+  shutdown_ = true;
+  for (auto& location : locations_) {
+    try {
+      location->shutdown();
+    } catch (...) {
+      // A leaked mobile-code exception must not abort teardown.
+    }
+  }
+  client_->closeAll();
+  keepalive_.reset();  // Implicit loopback servers stop here.
+}
+
+void RemoteStore::holdKeepalive(std::shared_ptr<void> keepalive) {
+  keepalive_ = std::move(keepalive);
+}
+
+std::uint32_t RemoteStore::locationCount() const {
+  return static_cast<std::uint32_t>(locations_.size());
+}
+
+std::uint32_t RemoteStore::locationOf(std::uint32_t part) const {
+  return part % static_cast<std::uint32_t>(locations_.size());
+}
+
+bool RemoteStore::onLocation(std::uint32_t location) const {
+  return tlsStore == this && tlsLocation == location;
+}
+
+SerialExecutor& RemoteStore::executorAt(std::uint32_t location) {
+  return *locations_.at(location);
+}
+
+std::function<void()> RemoteStore::atLocation(std::uint32_t location,
+                                              std::function<void()> fn) {
+  return [this, location, fn = std::move(fn)] {
+    ScopedLocation scope(this, location);
+    fn();
+  };
+}
+
+kv::TablePtr RemoteStore::createTable(const std::string& name,
+                                      kv::TableOptions options) {
+  kv::TableOptions normalized = std::move(options);
+  if (normalized.ubiquitous) {
+    normalized.parts = 1;
+  }
+  if (normalized.parts == 0) {
+    throw std::invalid_argument("RemoteStore: table '" + name +
+                                "' needs at least one part");
+  }
+  if (!normalized.ubiquitous && normalized.partitioner &&
+      normalized.partitioner->parts() != normalized.parts) {
+    throw std::invalid_argument(
+        "RemoteStore: partitioner covers " +
+        std::to_string(normalized.partitioner->parts()) + " parts, table '" +
+        name + "' has " + std::to_string(normalized.parts));
+  }
+  if (!normalized.partitioner) {
+    normalized.partitioner = makeDefaultPartitioner(normalized.parts);
+  }
+
+  std::lock_guard<std::mutex> lock(tablesMu_);
+  if (tables_.contains(name)) {
+    throw std::invalid_argument("RemoteStore: table '" + name +
+                                "' already exists");
+  }
+  ByteWriter w(name.size() + 16);
+  w.putBytes(name);
+  w.putVarint(normalized.parts);
+  w.putBool(normalized.ordered);
+  w.putBool(normalized.ubiquitous);
+  // A table's parts shard across every server, so it must exist on all.
+  for (std::size_t e = 0; e < placement_.endpointCount(); ++e) {
+    client_->call(e, Opcode::kCreateTable, w.view(), fault::Op::kPut, name, 0,
+                  /*retryIo=*/false);
+  }
+  auto table =
+      std::make_shared<RemoteTable>(this, name, std::move(normalized));
+  tables_.emplace(name, table);
+  return table;
+}
+
+kv::TablePtr RemoteStore::lookupTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(tablesMu_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second;
+}
+
+void RemoteStore::dropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(tablesMu_);
+  tables_.erase(name);
+  ByteWriter w(name.size() + 8);
+  w.putBytes(name);
+  for (std::size_t e = 0; e < placement_.endpointCount(); ++e) {
+    client_->call(e, Opcode::kDropTable, w.view(), fault::Op::kErase, name, 0,
+                  /*retryIo=*/true);
+  }
+}
+
+void RemoteStore::runInParts(const kv::Table& placement,
+                             const std::function<void(std::uint32_t)>& fn) {
+  const std::uint32_t parts = placement.numParts();
+  std::vector<std::future<void>> futures;
+  futures.reserve(parts);
+  for (std::uint32_t p = 0; p < parts; ++p) {
+    futures.push_back(executorAt(locationOf(p)).submit(
+        atLocation(locationOf(p), [&fn, p] { fn(p); })));
+  }
+  std::exception_ptr first;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first) {
+        first = std::current_exception();
+      }
+    }
+  }
+  if (first) {
+    std::rethrow_exception(first);
+  }
+}
+
+void RemoteStore::runInPart(const kv::Table& placement, std::uint32_t part,
+                            const std::function<void()>& fn) {
+  if (part >= placement.numParts()) {
+    throw std::out_of_range("RemoteStore: runInPart part " +
+                            std::to_string(part) + " out of range");
+  }
+  const std::uint32_t location = locationOf(part);
+  executorAt(location).run([this, location, &fn] {
+    ScopedLocation scope(this, location);
+    fn();
+  });
+}
+
+void RemoteStore::postToPart(const kv::Table& placement, std::uint32_t part,
+                             std::function<void()> fn) {
+  if (part >= placement.numParts()) {
+    throw std::out_of_range("RemoteStore: postToPart part " +
+                            std::to_string(part) + " out of range");
+  }
+  executorAt(locationOf(part)).execute(atLocation(locationOf(part),
+                                                  std::move(fn)));
+}
+
+std::shared_ptr<void> RemoteStore::adoptPartThread(const kv::Table& placement,
+                                                   std::uint32_t part) {
+  if (part >= placement.numParts()) {
+    throw std::out_of_range("RemoteStore: adoptPartThread part " +
+                            std::to_string(part) + " out of range");
+  }
+  return std::make_shared<ScopedLocation>(this, locationOf(part));
+}
+
+kv::KVStorePtr makeRemoteStoreFromEnv(std::uint32_t containers) {
+  const char* endpoints = std::getenv("RIPPLE_REMOTE_ENDPOINTS");
+  if (endpoints != nullptr && *endpoints != '\0') {
+    RemoteStore::Options options;
+    options.client.endpoints = parseEndpointList(endpoints);
+    options.locations = containers;
+    return RemoteStore::create(std::move(options));
+  }
+
+  // No servers given: spin an implicit in-process loopback fleet so
+  // `RIPPLE_STORE=remote` works everywhere the other backends do.
+  LoopbackOptions loopback;
+  loopback.hostedContainers = containers;
+  loopback.locations = containers;
+  if (const char* hosted = std::getenv("RIPPLE_REMOTE_HOSTED");
+      hosted != nullptr && *hosted != '\0') {
+    std::optional<kv::StoreBackend> parsed = kv::parseStoreBackend(hosted);
+    if (parsed && *parsed != kv::StoreBackend::kRemote) {
+      loopback.hostedBackend = *parsed;
+    } else {
+      RIPPLE_WARN << "RIPPLE_REMOTE_HOSTED='" << hosted
+                  << "' is not a hostable backend (partitioned|shard|local); "
+                     "using partitioned";
+    }
+  }
+  if (const char* servers = std::getenv("RIPPLE_REMOTE_SERVERS");
+      servers != nullptr && *servers != '\0') {
+    char* end = nullptr;
+    const long n = std::strtol(servers, &end, 10);
+    if (end != servers && *end == '\0' && n >= 1 && n <= 64) {
+      loopback.servers = static_cast<std::size_t>(n);
+    } else {
+      RIPPLE_WARN << "RIPPLE_REMOTE_SERVERS='" << servers
+                  << "' is not a count in [1, 64]; using 1";
+    }
+  }
+  return makeLoopbackStore(std::move(loopback));
+}
+
+RemoteStorePtr makeLoopbackStore(LoopbackOptions options) {
+  if (options.servers == 0) {
+    throw std::invalid_argument("makeLoopbackStore: need at least one server");
+  }
+  if (options.hostedBackend == kv::StoreBackend::kRemote) {
+    throw std::invalid_argument(
+        "makeLoopbackStore: a loopback server cannot host another remote "
+        "store");
+  }
+  struct Keepalive {
+    std::vector<kv::KVStorePtr> hosted;
+    std::vector<std::unique_ptr<Server>> servers;
+    ~Keepalive() {
+      for (auto& server : servers) {
+        server->stop();
+      }
+    }
+  };
+  auto keepalive = std::make_shared<Keepalive>();
+  RemoteStore::Options storeOptions;
+  for (std::size_t i = 0; i < options.servers; ++i) {
+    kv::KVStorePtr hosted =
+        kv::makeStore(options.hostedBackend, options.hostedContainers);
+    Server::Options serverOptions;
+    serverOptions.hosted = hosted;
+    auto server = std::make_unique<Server>(std::move(serverOptions));
+    server->start();
+    storeOptions.client.endpoints.push_back(
+        Endpoint{"127.0.0.1", server->port()});
+    keepalive->hosted.push_back(std::move(hosted));
+    keepalive->servers.push_back(std::move(server));
+  }
+  storeOptions.client.retry = options.retry;
+  storeOptions.client.injector = options.injector;
+  storeOptions.locations = options.locations;
+  RemoteStorePtr store = RemoteStore::create(std::move(storeOptions));
+  store->holdKeepalive(std::move(keepalive));
+  return store;
+}
+
+}  // namespace ripple::net

@@ -1,0 +1,184 @@
+// ripple::net — RemoteStore: the K/V store SPI over the wire transport
+// (DESIGN.md §11).
+//
+// A RemoteStore is a *driver-side* view of data held by N net::Server
+// processes.  The division of labor follows the paper's architecture: the
+// servers are portable substrate (dumb byte-faithful storage + queues),
+// while everything the SPI calls "mobile code" — PairConsumer /
+// PartConsumer bodies, runInParts closures, queue workers — executes in
+// the driver process on per-location SerialExecutors that mirror
+// PartitionedStore's containers.  Part placement is decided entirely
+// client-side: a PlacementMap shards parts across the endpoints
+// (part % servers), and every wire request carries its explicit part
+// index, so consistent partitioning (shared Partitioner instances) keeps
+// exactly the same meaning it has in-process.
+//
+// Conformance posture: RemoteStore passes the same 32-contract SPI suite
+// as the in-process backends, bare and fault-decorated.  Notable
+// contract carriers:
+//   * drainPart order — the server's per-part key prefix preserves the
+//     client's byte-lexicographic order, so drains are sorted end to end;
+//   * read-only sealing — enforced client-side via Table::checkWritable
+//     before any bytes are sent;
+//   * error types — server exceptions cross the wire with an ErrorKind
+//     tag and rethrow as the same std exception types;
+//   * local/remote accounting — a thread adopted into a part's location
+//     (adoptPartThread, or mobile code running on that location's
+//     executor) counts ops on co-placed parts as localOps.
+
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/fault.h"
+#include "fault/retry.h"
+#include "kvstore/store_factory.h"
+#include "kvstore/table.h"
+#include "net/client.h"
+#include "net/socket.h"
+
+namespace ripple {
+class SerialExecutor;
+}  // namespace ripple
+
+namespace ripple::net {
+
+class Server;
+
+/// part → endpoint index.  Round-robin (part % servers): co-placed parts
+/// of consistently-partitioned tables land on the same server, and every
+/// server hosts an even share of parts regardless of table part counts.
+class PlacementMap {
+ public:
+  explicit PlacementMap(std::size_t endpoints) : endpoints_(endpoints) {
+    if (endpoints == 0) {
+      throw std::invalid_argument("PlacementMap: need at least one endpoint");
+    }
+  }
+
+  [[nodiscard]] std::size_t endpointOf(std::uint32_t part) const {
+    return part % endpoints_;
+  }
+
+  [[nodiscard]] std::size_t endpointCount() const { return endpoints_; }
+
+ private:
+  std::size_t endpoints_;
+};
+
+class RemoteTable;
+
+class RemoteStore : public kv::KVStore,
+                    public std::enable_shared_from_this<RemoteStore> {
+ public:
+  struct Options {
+    Client::Options client;
+
+    /// Client-side executor domains hosting mobile code (the analogue of
+    /// PartitionedStore's containers).  Part p runs at location
+    /// p % locations.
+    std::uint32_t locations = 4;
+  };
+
+  static std::shared_ptr<RemoteStore> create(Options options);
+
+  ~RemoteStore() override;
+
+  RemoteStore(const RemoteStore&) = delete;
+  RemoteStore& operator=(const RemoteStore&) = delete;
+
+  kv::TablePtr createTable(const std::string& name,
+                           kv::TableOptions options) override;
+  kv::TablePtr lookupTable(const std::string& name) override;
+  void dropTable(const std::string& name) override;
+
+  void runInParts(const kv::Table& placement,
+                  const std::function<void(std::uint32_t)>& fn) override;
+  void runInPart(const kv::Table& placement, std::uint32_t part,
+                 const std::function<void()>& fn) override;
+  void postToPart(const kv::Table& placement, std::uint32_t part,
+                  std::function<void()> fn) override;
+  std::shared_ptr<void> adoptPartThread(const kv::Table& placement,
+                                        std::uint32_t part) override;
+
+  kv::StoreMetrics& metrics() override { return metrics_; }
+  [[nodiscard]] const char* backendName() const override { return "remote"; }
+
+  [[nodiscard]] Client& client() { return *client_; }
+  [[nodiscard]] const PlacementMap& placement() const { return placement_; }
+  [[nodiscard]] std::uint32_t locationCount() const;
+
+  /// Keep an implicit in-process server (and its hosted backend) alive
+  /// for this store's lifetime; released at shutdown after the client
+  /// pool closes.
+  void holdKeepalive(std::shared_ptr<void> keepalive);
+
+  /// Drain client-side executors and close pooled connections.
+  /// Idempotent; called by the destructor.
+  void shutdown();
+
+  /// True when the calling thread is adopted into (or running mobile code
+  /// at) `location` of THIS store — the localOps accounting predicate.
+  [[nodiscard]] bool onLocation(std::uint32_t location) const;
+
+  /// Location hosting `part`.
+  [[nodiscard]] std::uint32_t locationOf(std::uint32_t part) const;
+
+ private:
+  explicit RemoteStore(Options options);
+
+  SerialExecutor& executorAt(std::uint32_t location);
+
+  /// Wrap `fn` so it runs with the calling thread marked as located at
+  /// `location` (restores the previous mark afterwards).
+  std::function<void()> atLocation(std::uint32_t location,
+                                   std::function<void()> fn);
+
+  std::shared_ptr<void> keepalive_;  // Declared first: destroyed last.
+  Options options_;
+  std::shared_ptr<Client> client_;
+  PlacementMap placement_;
+  std::vector<std::unique_ptr<SerialExecutor>> locations_;
+  bool shutdown_ = false;
+  std::mutex lifecycleMu_;
+
+  std::mutex tablesMu_;
+  std::unordered_map<std::string, kv::TablePtr> tables_;
+  kv::StoreMetrics metrics_;
+
+  friend class RemoteTable;
+};
+
+using RemoteStorePtr = std::shared_ptr<RemoteStore>;
+
+/// Build a RemoteStore from the environment (the `--store remote` /
+/// `RIPPLE_STORE=remote` path used by kv::makeStore):
+///   * RIPPLE_REMOTE_ENDPOINTS="host:port,host:port" — connect to running
+///     servers (scripts/bench_multiproc.sh sets this);
+///   * unset — spin an implicit in-process loopback server (hosted
+///     backend from RIPPLE_REMOTE_HOSTED, default "partitioned";
+///     RIPPLE_REMOTE_SERVERS loopback server count, default 1) kept
+///     alive by the returned store.
+/// `containers` sizes both the client-side locations and any implicit
+/// hosted backend.
+[[nodiscard]] kv::KVStorePtr makeRemoteStoreFromEnv(std::uint32_t containers);
+
+/// Test/bench helper: spin `servers` in-process loopback servers (each
+/// hosting a fresh `hostedBackend` store) and return a RemoteStore wired
+/// to them.  The servers live exactly as long as the returned store.
+struct LoopbackOptions {
+  std::size_t servers = 1;
+  kv::StoreBackend hostedBackend = kv::StoreBackend::kPartitioned;
+  std::uint32_t hostedContainers = 4;
+  std::uint32_t locations = 4;
+  fault::RetryPolicy retry{};
+  fault::FaultInjectorPtr injector;
+};
+
+[[nodiscard]] RemoteStorePtr makeLoopbackStore(LoopbackOptions options = {});
+
+}  // namespace ripple::net

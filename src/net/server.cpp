@@ -1,0 +1,541 @@
+#include "net/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/queue.h"
+#include "net/frame.h"
+
+namespace ripple::net {
+
+namespace {
+
+/// Server-side keys carry a 4-byte big-endian part-index prefix so any
+/// hosted backend places the pair exactly where the client asked (see the
+/// header comment).  Big-endian keeps numeric part order lexicographic.
+Bytes prefixedKey(std::uint32_t part, BytesView key) {
+  Bytes out;
+  out.reserve(4 + key.size());
+  out.push_back(static_cast<char>((part >> 24) & 0xff));
+  out.push_back(static_cast<char>((part >> 16) & 0xff));
+  out.push_back(static_cast<char>((part >> 8) & 0xff));
+  out.push_back(static_cast<char>(part & 0xff));
+  out.append(key.data(), key.size());
+  return out;
+}
+
+BytesView stripPartPrefix(BytesView key) {
+  return key.size() >= 4 ? key.substr(4) : BytesView{};
+}
+
+std::uint64_t partPrefixHash(BytesView key) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 4 && i < key.size(); ++i) {
+    v = (v << 8) | static_cast<std::uint8_t>(key[i]);
+  }
+  return v;
+}
+
+void checkPart(std::uint32_t part, std::uint32_t parts,
+               const std::string& table) {
+  if (part >= parts) {
+    throw std::out_of_range("net::Server: part " + std::to_string(part) +
+                            " out of range for table '" + table + "' (" +
+                            std::to_string(parts) + " parts)");
+  }
+}
+
+/// Collects one part's pairs (prefix stripped) into a scan/drain response:
+/// varint count followed by length-prefixed key/value pairs.  Enumeration
+/// within one part preserves the hosted backend's order; for ordered
+/// tables and for drains that order is ascending in the client's keys
+/// because all keys of a part share the same prefix.
+class CollectingConsumer : public kv::PairConsumer {
+ public:
+  bool consume(std::uint32_t part, kv::KeyView key,
+               kv::ValueView value) override {
+    (void)part;
+    ++count_;
+    pairs_.putBytes(stripPartPrefix(key));
+    pairs_.putBytes(value);
+    return true;
+  }
+
+  [[nodiscard]] Bytes take() {
+    ByteWriter out(pairs_.size() + 10);
+    out.putVarint(count_);
+    out.putRaw(pairs_.view());
+    return out.take();
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  ByteWriter pairs_;
+};
+
+}  // namespace
+
+struct Server::HostedQueueSet {
+  explicit HostedQueueSet(std::uint32_t n) : queues(n) {
+    for (auto& q : queues) {
+      q = std::make_unique<BlockingQueue<Bytes>>();
+    }
+  }
+
+  BlockingQueue<Bytes>& queueAt(std::uint32_t index,
+                                const std::string& name) {
+    if (index >= queues.size()) {
+      throw std::out_of_range("net::Server: queue " + std::to_string(index) +
+                              " out of range for set '" + name + "'");
+    }
+    return *queues[index];
+  }
+
+  void close() {
+    for (auto& q : queues) {
+      q->close();  // BlockingQueue::close is idempotent.
+    }
+  }
+
+  std::vector<std::unique_ptr<BlockingQueue<Bytes>>> queues;
+};
+
+Server::Server(Options options) : options_(std::move(options)) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  std::lock_guard<std::mutex> lock(lifecycleMu_);
+  if (running_.load(std::memory_order_acquire)) {
+    return;
+  }
+  if (!options_.hosted) {
+    throw std::invalid_argument("net::Server: a hosted store is required");
+  }
+  stopping_.store(false, std::memory_order_release);
+  listener_.open(options_.listenOn);
+  running_.store(true, std::memory_order_release);
+  acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+void Server::stop() {
+  std::lock_guard<std::mutex> lock(lifecycleMu_);
+  stopping_.store(true, std::memory_order_release);
+  requestStop();
+  if (acceptThread_.joinable()) {
+    acceptThread_.join();
+  }
+  std::vector<std::unique_ptr<Conn>> conns;
+  {
+    std::lock_guard<std::mutex> connLock(connMu_);
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) {
+    // Wake a handler blocked in recv without racing its use of the fd.
+    conn->sock.shutdownBoth();
+  }
+  for (auto& conn : conns) {
+    if (conn->thread.joinable()) {
+      conn->thread.join();
+    }
+  }
+  listener_.close();
+  running_.store(false, std::memory_order_release);
+}
+
+void Server::requestStop() {
+  {
+    std::lock_guard<std::mutex> lock(stopMu_);
+    stopRequested_.store(true, std::memory_order_release);
+  }
+  stopCv_.notify_all();
+}
+
+void Server::waitUntilStopRequested() {
+  std::unique_lock<std::mutex> lock(stopMu_);
+  stopCv_.wait(lock,
+               [&] { return stopRequested_.load(std::memory_order_acquire); });
+}
+
+std::size_t Server::connectionCount() const {
+  std::lock_guard<std::mutex> lock(connMu_);
+  std::size_t live = 0;
+  for (const auto& conn : conns_) {
+    if (!conn->done.load(std::memory_order_acquire)) {
+      ++live;
+    }
+  }
+  return live;
+}
+
+void Server::acceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::optional<Socket> sock;
+    try {
+      sock = listener_.accept(/*timeoutMs=*/50);
+    } catch (const NetError&) {
+      break;  // Listener torn down underneath us.
+    }
+    if (!sock) {
+      reapFinishedConnections();
+      continue;
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->sock = std::move(*sock);
+    Conn* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(connMu_);
+      conns_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] { serve(*raw); });
+  }
+}
+
+void Server::reapFinishedConnections() {
+  std::lock_guard<std::mutex> lock(connMu_);
+  auto it = conns_.begin();
+  while (it != conns_.end()) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) {
+        (*it)->thread.join();
+      }
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::serve(Conn& conn) {
+  FrameDecoder decoder;
+  Bytes chunk;
+  try {
+    for (;;) {
+      chunk.clear();
+      // Infinite timeout: stop() wakes us with shutdown(2) → clean EOF.
+      const std::size_t n =
+          conn.sock.recvSome(chunk, 64 * 1024, /*timeoutMs=*/-1);
+      if (n == 0) {
+        break;  // Client closed (or stop()); clean EOF, no error.
+      }
+      decoder.feed(chunk);
+      while (std::optional<Frame> frame = decoder.next()) {
+        bool isError = false;
+        Bytes payload = dispatch(frame->opcode, frame->payload, isError);
+        const std::uint16_t flags = isError ? kFlagError : 0;
+        conn.sock.sendAll(encodeFrame(static_cast<Opcode>(frame->opcode),
+                                      flags, frame->requestId, payload),
+                          options_.sendTimeoutMs);
+      }
+    }
+  } catch (const FrameError&) {
+    // Poisoned stream: drop the connection; the client reconnects.
+  } catch (const NetError&) {
+    // Peer reset / send timeout: drop the connection.
+  }
+  // Signal the peer but do NOT release the fd here: stop() may still call
+  // shutdownBoth() on this socket concurrently, and a close here could let
+  // the kernel reuse the fd number for an unrelated socket in that window.
+  // The fd is released when the Conn is destroyed, after this thread is
+  // joined (reapFinishedConnections or stop).
+  conn.sock.shutdownBoth();
+  conn.done.store(true, std::memory_order_release);
+}
+
+Bytes Server::dispatch(std::uint8_t opcode, BytesView payload,
+                       bool& isError) {
+  isError = false;
+  try {
+    switch (static_cast<Opcode>(opcode)) {
+      case Opcode::kPing:
+        return {};
+      case Opcode::kShutdown:
+        requestStop();
+        return {};
+      case Opcode::kCreateTable:
+      case Opcode::kDropTable:
+      case Opcode::kGet:
+      case Opcode::kPut:
+      case Opcode::kErase:
+      case Opcode::kPutBatch:
+      case Opcode::kPartSize:
+      case Opcode::kTableSize:
+      case Opcode::kScanPart:
+      case Opcode::kDrainPart:
+      case Opcode::kClearPart:
+        return handleStore(opcode, payload);
+      case Opcode::kQueueCreate:
+      case Opcode::kQueueDelete:
+      case Opcode::kQueuePut:
+      case Opcode::kQueueRead:
+      case Opcode::kQueueClose:
+      case Opcode::kQueueBacklog:
+        return handleQueue(opcode, payload);
+    }
+    throw std::runtime_error("net::Server: unhandled opcode " +
+                             std::to_string(opcode));
+  } catch (const std::invalid_argument& e) {
+    isError = true;
+    return encodeError(ErrorKind::kInvalidArgument, e.what());
+  } catch (const std::out_of_range& e) {
+    isError = true;
+    return encodeError(ErrorKind::kOutOfRange, e.what());
+  } catch (const std::logic_error& e) {
+    isError = true;
+    return encodeError(ErrorKind::kLogic, e.what());
+  } catch (const std::exception& e) {
+    isError = true;
+    return encodeError(ErrorKind::kRuntime, e.what());
+  }
+}
+
+Server::HostedTable Server::lookupHosted(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(tablesMu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    throw std::invalid_argument("net::Server: unknown table '" + name + "'");
+  }
+  return it->second;
+}
+
+std::shared_ptr<Server::HostedQueueSet> Server::lookupQueueSet(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(queuesMu_);
+  auto it = queues_.find(name);
+  if (it == queues_.end()) {
+    throw std::invalid_argument("net::Server: unknown queue set '" + name +
+                                "'");
+  }
+  return it->second;
+}
+
+Bytes Server::handleStore(std::uint8_t opcode, BytesView payload) {
+  ByteReader r(payload);
+  const Bytes name{r.getBytes()};
+
+  if (static_cast<Opcode>(opcode) == Opcode::kCreateTable) {
+    const auto parts = static_cast<std::uint32_t>(r.getVarint());
+    const bool ordered = r.getBool();
+    r.getBool();  // ubiquitous: client-side concern (it forces parts == 1).
+    if (parts == 0) {
+      throw std::invalid_argument("net::Server: table '" + name +
+                                  "' needs at least one part");
+    }
+    std::lock_guard<std::mutex> lock(tablesMu_);
+    if (tables_.contains(name)) {
+      throw std::invalid_argument("net::Server: table '" + name +
+                                  "' already exists");
+    }
+    kv::TableOptions hostedOptions;
+    hostedOptions.parts = parts;
+    hostedOptions.ordered = ordered;
+    hostedOptions.partitioner =
+        std::make_shared<const Partitioner>(parts, partPrefixHash);
+    HostedTable hosted{options_.hosted->createTable(name, hostedOptions),
+                       parts};
+    tables_.emplace(name, hosted);
+    return {};
+  }
+
+  if (static_cast<Opcode>(opcode) == Opcode::kDropTable) {
+    std::lock_guard<std::mutex> lock(tablesMu_);
+    if (tables_.erase(name) > 0) {
+      options_.hosted->dropTable(name);
+    }
+    return {};
+  }
+
+  if (static_cast<Opcode>(opcode) == Opcode::kTableSize) {
+    const HostedTable hosted = lookupHosted(name);
+    ByteWriter w;
+    w.putFixed64(hosted.table->size());
+    return w.take();
+  }
+
+  if (static_cast<Opcode>(opcode) == Opcode::kPutBatch) {
+    const HostedTable hosted = lookupHosted(name);
+    const std::uint64_t count = r.getVarint();
+    std::vector<std::pair<kv::Key, kv::Value>> entries;
+    entries.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint32_t entryPart = r.getFixed32();
+      checkPart(entryPart, hosted.parts, name);
+      Bytes key = prefixedKey(entryPart, r.getBytes());
+      entries.emplace_back(std::move(key), Bytes{r.getBytes()});
+    }
+    hosted.table->putBatch(entries);
+    return {};
+  }
+
+  // Every remaining store op addresses one explicit part.
+  const HostedTable hosted = lookupHosted(name);
+  const std::uint32_t part = r.getFixed32();
+  checkPart(part, hosted.parts, name);
+
+  switch (static_cast<Opcode>(opcode)) {
+    case Opcode::kGet: {
+      const Bytes key = prefixedKey(part, r.getBytes());
+      std::optional<kv::Value> value = hosted.table->get(key);
+      ByteWriter w;
+      w.putBool(value.has_value());
+      if (value) {
+        w.putBytes(*value);
+      }
+      return w.take();
+    }
+    case Opcode::kPut: {
+      const Bytes key = prefixedKey(part, r.getBytes());
+      hosted.table->put(key, r.getBytes());
+      return {};
+    }
+    case Opcode::kErase: {
+      const Bytes key = prefixedKey(part, r.getBytes());
+      ByteWriter w;
+      w.putBool(hosted.table->erase(key));
+      return w.take();
+    }
+    case Opcode::kPartSize: {
+      ByteWriter w;
+      w.putFixed64(hosted.table->partSize(part));
+      return w.take();
+    }
+    case Opcode::kScanPart: {
+      CollectingConsumer consumer;
+      hosted.table->enumeratePart(part, consumer);
+      return consumer.take();
+    }
+    case Opcode::kDrainPart: {
+      const auto pairs = hosted.table->drainPart(part);
+      ByteWriter pairsW;
+      for (const auto& [key, value] : pairs) {
+        pairsW.putBytes(stripPartPrefix(key));
+        pairsW.putBytes(value);
+      }
+      ByteWriter w(pairsW.size() + 10);
+      w.putVarint(pairs.size());
+      w.putRaw(pairsW.view());
+      return w.take();
+    }
+    case Opcode::kClearPart: {
+      ByteWriter w;
+      w.putFixed64(hosted.table->clearPart(part));
+      return w.take();
+    }
+    default:
+      break;
+  }
+  throw std::runtime_error("net::Server: unhandled store opcode " +
+                           std::to_string(opcode));
+}
+
+Bytes Server::handleQueue(std::uint8_t opcode, BytesView payload) {
+  ByteReader r(payload);
+  const Bytes name{r.getBytes()};
+
+  switch (static_cast<Opcode>(opcode)) {
+    case Opcode::kQueueCreate: {
+      const auto numQueues = static_cast<std::uint32_t>(r.getVarint());
+      if (numQueues == 0) {
+        throw std::invalid_argument("net::Server: queue set '" + name +
+                                    "' needs at least one queue");
+      }
+      std::lock_guard<std::mutex> lock(queuesMu_);
+      if (queues_.contains(name)) {
+        throw std::invalid_argument("net::Server: queue set '" + name +
+                                    "' already exists");
+      }
+      queues_.emplace(name, std::make_shared<HostedQueueSet>(numQueues));
+      return {};
+    }
+    case Opcode::kQueueDelete: {
+      std::shared_ptr<HostedQueueSet> set;
+      {
+        std::lock_guard<std::mutex> lock(queuesMu_);
+        auto it = queues_.find(name);
+        if (it != queues_.end()) {
+          set = it->second;
+          queues_.erase(it);
+        }
+      }
+      if (set) {
+        set->close();  // Wake readers of the deleted set.
+      }
+      return {};
+    }
+    case Opcode::kQueuePut: {
+      auto set = lookupQueueSet(name);
+      const std::uint32_t queue = r.getFixed32();
+      ByteWriter w;
+      w.putBool(set->queueAt(queue, name).push(Bytes{r.getBytes()}));
+      return w.take();
+    }
+    case Opcode::kQueueRead: {
+      auto set = lookupQueueSet(name);
+      const std::uint32_t queue = r.getFixed32();
+      const std::uint32_t waitMs =
+          std::min(r.getFixed32(), kMaxServerQueueWaitMs);
+      const std::uint8_t mode = r.getU8();
+      BlockingQueue<Bytes>& q = set->queueAt(queue, name);
+      std::optional<Bytes> message;
+      switch (mode) {
+        case 0:
+          message = q.popFor(std::chrono::milliseconds(waitMs));
+          break;
+        case 1:
+          message = q.tryPop();
+          break;
+        case 2:
+          message = q.trySteal();
+          break;
+        default:
+          throw std::invalid_argument("net::Server: bad queue-read mode " +
+                                      std::to_string(mode));
+      }
+      ByteWriter w;
+      if (message) {
+        w.putU8(0);  // Message follows.
+        w.putBytes(*message);
+      } else if (q.closed() && q.empty()) {
+        w.putU8(2);  // Closed and drained: the client stops waiting.
+      } else {
+        w.putU8(1);  // Empty for now; the client may poll again.
+      }
+      return w.take();
+    }
+    case Opcode::kQueueClose: {
+      // Idempotent by construction: close on a closed set is a no-op, and
+      // an unknown name (already deleted) is not an error.
+      std::shared_ptr<HostedQueueSet> set;
+      {
+        std::lock_guard<std::mutex> lock(queuesMu_);
+        auto it = queues_.find(name);
+        if (it != queues_.end()) {
+          set = it->second;
+        }
+      }
+      if (set) {
+        set->close();
+      }
+      return {};
+    }
+    case Opcode::kQueueBacklog: {
+      auto set = lookupQueueSet(name);
+      std::uint64_t total = 0;
+      for (const auto& q : set->queues) {
+        total += q->size();
+      }
+      ByteWriter w;
+      w.putFixed64(total);
+      return w.take();
+    }
+    default:
+      break;
+  }
+  throw std::runtime_error("net::Server: unhandled queue opcode " +
+                           std::to_string(opcode));
+}
+
+}  // namespace ripple::net

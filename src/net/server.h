@@ -1,0 +1,149 @@
+// ripple::net — the data-plane server (DESIGN.md §11).
+//
+// A Server hosts an existing in-process KVStore backend plus a set of
+// blocking message queues and serves them to remote clients over the
+// frame protocol.  It is deliberately a *dumb* data plane: partitioning
+// decisions stay with the client (every store request carries an explicit
+// part index), mobile code never crosses the wire (processParts /
+// enumerate run client-side against scanned pairs), and the server's only
+// jobs are byte-faithful storage and FIFO queues.
+//
+// Part routing on the hosted store works by key prefixing: the server
+// stores pairs under a 4-byte big-endian part-index prefix and creates
+// hosted tables with a partitioner that reads that prefix back, so
+// `partOf = prefix % parts = prefix` — any in-process backend then places
+// a remote part exactly where the client asked, and because all keys of
+// one part share a prefix, byte-lexicographic order of prefixed keys
+// within a part equals the order of the client's keys (preserving the
+// sorted-drain SPI contract end to end).
+//
+// Shutdown contract (ISSUE satellite 3): stop() is idempotent and safe
+// while connections are mid-request — the accept loop is woken by a flag,
+// blocked connection reads are woken by shutdown(2), and in-flight queue
+// waits are bounded (the server caps per-request queue waits; clients
+// slice long waits into bounded polls).  A kShutdown frame only *requests*
+// stop (observable via waitUntilStopRequested) so the hosting process
+// controls teardown order.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "kvstore/table.h"
+#include "net/socket.h"
+
+namespace ripple::net {
+
+/// Upper bound the server applies to one kQueueRead wait; clients slice
+/// longer timeouts into repeated bounded requests, which keeps server
+/// connection threads joinable within this bound during stop().
+inline constexpr std::uint32_t kMaxServerQueueWaitMs = 250;
+
+class Server {
+ public:
+  struct Options {
+    /// Listen address; port 0 binds an ephemeral port (read via port()).
+    Endpoint listenOn{};
+
+    /// The in-process backend that holds the data.  Required.
+    kv::KVStorePtr hosted;
+
+    /// Send timeout for responses, ms.
+    int sendTimeoutMs = 30000;
+  };
+
+  explicit Server(Options options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, and start the accept loop.  Throws NetError.
+  void start();
+
+  /// Stop accepting, wake and join every connection, close the listener.
+  /// Idempotent; also called by the destructor.
+  void stop();
+
+  /// Bound port (valid after start()).
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+
+  /// True between start() and stop().
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// Ask the hosting process to stop (set by a kShutdown frame or
+  /// directly).  Does not tear anything down by itself.
+  void requestStop();
+
+  [[nodiscard]] bool stopRequested() const {
+    return stopRequested_.load(std::memory_order_acquire);
+  }
+
+  /// Block until requestStop() (used by the apps server binary).
+  void waitUntilStopRequested();
+
+  /// Live connection count (diagnostics / tests).
+  [[nodiscard]] std::size_t connectionCount() const;
+
+ private:
+  struct Conn {
+    Socket sock;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  struct HostedTable {
+    kv::TablePtr table;    // Hosted backend table (prefix-partitioned).
+    std::uint32_t parts;   // Client-visible part count.
+  };
+
+  struct HostedQueueSet;
+
+  void acceptLoop();
+  void serve(Conn& conn);
+  void reapFinishedConnections();
+
+  /// Execute one request; returns the response payload, or an encoded
+  /// error payload with `isError` set.
+  Bytes dispatch(std::uint8_t opcode, BytesView payload, bool& isError);
+
+  Bytes handleStore(std::uint8_t opcode, BytesView payload);
+  Bytes handleQueue(std::uint8_t opcode, BytesView payload);
+
+  [[nodiscard]] HostedTable lookupHosted(const std::string& name) const;
+  [[nodiscard]] std::shared_ptr<HostedQueueSet> lookupQueueSet(
+      const std::string& name) const;
+
+  Options options_;
+  std::mutex lifecycleMu_;  // Serializes start()/stop().
+  Listener listener_;
+  std::thread acceptThread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::atomic<bool> stopRequested_{false};
+  mutable std::mutex stopMu_;
+  std::condition_variable stopCv_;
+
+  mutable std::mutex connMu_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+
+  mutable std::mutex tablesMu_;
+  std::unordered_map<std::string, HostedTable> tables_;
+
+  mutable std::mutex queuesMu_;
+  std::unordered_map<std::string, std::shared_ptr<HostedQueueSet>> queues_;
+};
+
+}  // namespace ripple::net

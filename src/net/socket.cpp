@@ -1,0 +1,280 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <stdexcept>
+
+namespace ripple::net {
+
+namespace {
+
+[[noreturn]] void throwErrno(const std::string& what) {
+  throw NetError(what + ": " + std::strerror(errno));
+}
+
+/// Resolve a dotted-quad (or "localhost") into a sockaddr_in.  Ripple's
+/// multi-process story is localhost worker fleets; a DNS resolver is out
+/// of scope, so anything that is not an IPv4 literal is rejected.
+sockaddr_in resolve(const Endpoint& endpoint) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port);
+  const std::string host =
+      endpoint.host == "localhost" ? "127.0.0.1" : endpoint.host;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw NetError("cannot resolve host '" + endpoint.host +
+                   "' (IPv4 literals only)");
+  }
+  return addr;
+}
+
+void setNonBlocking(int fd, bool nonBlocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) {
+    throwErrno("fcntl(F_GETFL)");
+  }
+  const int next = nonBlocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, next) < 0) {
+    throwErrno("fcntl(F_SETFL)");
+  }
+}
+
+/// Wait for readiness; returns false on timeout, throws on poll error.
+bool waitReady(int fd, short events, int timeoutMs) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = events;
+  for (;;) {
+    const int rc = ::poll(&p, 1, timeoutMs);
+    if (rc > 0) {
+      return true;
+    }
+    if (rc == 0) {
+      return false;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    throwErrno("poll");
+  }
+}
+
+}  // namespace
+
+Endpoint parseEndpoint(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+    throw std::invalid_argument("bad endpoint '" + spec +
+                                "' (expected host:port)");
+  }
+  Endpoint endpoint;
+  endpoint.host = spec.substr(0, colon);
+  const std::string portStr = spec.substr(colon + 1);
+  char* end = nullptr;
+  const long port = std::strtol(portStr.c_str(), &end, 10);
+  if (end == portStr.c_str() || *end != '\0' || port <= 0 || port > 65535) {
+    throw std::invalid_argument("bad port in endpoint '" + spec + "'");
+  }
+  endpoint.port = static_cast<std::uint16_t>(port);
+  return endpoint;
+}
+
+std::vector<Endpoint> parseEndpointList(const std::string& spec) {
+  std::vector<Endpoint> endpoints;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) {
+      comma = spec.size();
+    }
+    const std::string item = spec.substr(start, comma - start);
+    if (!item.empty()) {
+      endpoints.push_back(parseEndpoint(item));
+    }
+    start = comma + 1;
+  }
+  if (endpoints.empty()) {
+    throw std::invalid_argument("empty endpoint list '" + spec + "'");
+  }
+  return endpoints;
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Socket Socket::connect(const Endpoint& endpoint, int timeoutMs) {
+  const sockaddr_in addr = resolve(endpoint);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throwErrno("socket");
+  }
+  Socket sock(fd);
+  setNonBlocking(fd, true);
+  const int rc =
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0) {
+    if (errno != EINPROGRESS) {
+      throwErrno("connect to " + endpoint.str());
+    }
+    if (!waitReady(fd, POLLOUT, timeoutMs)) {
+      throw NetError("connect to " + endpoint.str() + ": timed out");
+    }
+    int soError = 0;
+    socklen_t len = sizeof(soError);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soError, &len) != 0) {
+      throwErrno("getsockopt(SO_ERROR)");
+    }
+    if (soError != 0) {
+      throw NetError("connect to " + endpoint.str() + ": " +
+                     std::strerror(soError));
+    }
+  }
+  setNonBlocking(fd, false);
+  // Request/response frames are small; Nagle would add 40ms stalls.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+void Socket::sendAll(BytesView data, int timeoutMs) {
+  if (!valid()) {
+    throw NetError("sendAll on closed socket");
+  }
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!waitReady(fd_, POLLOUT, timeoutMs)) {
+        throw NetError("send: timed out");
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    throwErrno("send");
+  }
+}
+
+std::size_t Socket::recvSome(Bytes& out, std::size_t capacity, int timeoutMs) {
+  if (!valid()) {
+    throw NetError("recvSome on closed socket");
+  }
+  char buf[16 * 1024];
+  const std::size_t want = capacity < sizeof(buf) ? capacity : sizeof(buf);
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, want, MSG_DONTWAIT);
+    if (n > 0) {
+      out.append(buf, static_cast<std::size_t>(n));
+      return static_cast<std::size_t>(n);
+    }
+    if (n == 0) {
+      return 0;  // Clean EOF.
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!waitReady(fd_, POLLIN, timeoutMs)) {
+        throw NetError("recv: timed out");
+      }
+      continue;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    throwErrno("recv");
+  }
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdownBoth() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+void Listener::open(const Endpoint& endpoint, int backlog) {
+  close();
+  const sockaddr_in addr = resolve(endpoint);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throwErrno("socket");
+  }
+  fd_ = fd;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int savedErrno = errno;
+    close();
+    errno = savedErrno;
+    throwErrno("bind " + endpoint.str());
+  }
+  if (::listen(fd, backlog) != 0) {
+    const int savedErrno = errno;
+    close();
+    errno = savedErrno;
+    throwErrno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const int savedErrno = errno;
+    close();
+    errno = savedErrno;
+    throwErrno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+std::optional<Socket> Listener::accept(int timeoutMs) {
+  if (!valid()) {
+    throw NetError("accept on closed listener");
+  }
+  if (!waitReady(fd_, POLLIN, timeoutMs)) {
+    return std::nullopt;
+  }
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED) {
+      return std::nullopt;
+    }
+    throwErrno("accept");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(fd);
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace ripple::net

@@ -1,0 +1,125 @@
+// ripple::net — minimal POSIX TCP plumbing: endpoints, connected sockets
+// with deadline-bounded I/O, and a listener.
+//
+// Raw socket failures surface as NetError; the Client (client.h) is the
+// layer that maps them into ripple::fault transient errors so the engines'
+// existing retry machinery applies.  Nothing here knows about frames.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace ripple::net {
+
+/// A connect/send/recv-level failure (refused, reset, timeout, EOF where
+/// bytes were required).  Deliberately NOT a fault::TransientError: the
+/// client decides which socket errors are retryable.
+class NetError : public std::runtime_error {
+ public:
+  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The peer closed the connection (clean EOF) where a response was still
+/// owed.  Distinguished from NetError so non-idempotent callers can give
+/// it exact semantics: a queue read treats it as "set closed" (clean
+/// worker termination), a queue put as "not accepted" — instead of a
+/// blind transient failure.
+class ConnectionClosed : public NetError {
+ public:
+  explicit ConnectionClosed(const std::string& what) : NetError(what) {}
+};
+
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  [[nodiscard]] std::string str() const {
+    return host + ":" + std::to_string(port);
+  }
+
+  bool operator==(const Endpoint& other) const {
+    return host == other.host && port == other.port;
+  }
+};
+
+/// Parse "host:port"; throws std::invalid_argument on malformed input.
+[[nodiscard]] Endpoint parseEndpoint(const std::string& spec);
+
+/// Parse "host:port,host:port,..." (the RIPPLE_REMOTE_ENDPOINTS format).
+[[nodiscard]] std::vector<Endpoint> parseEndpointList(const std::string& spec);
+
+/// A connected TCP socket (RAII over the fd).  Movable, not copyable.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  /// Dial with a bounded connect (non-blocking connect + poll).  Throws
+  /// NetError on refusal/timeout/resolution failure.
+  [[nodiscard]] static Socket connect(const Endpoint& endpoint,
+                                      int timeoutMs);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Write the whole buffer or throw NetError; each poll wait is bounded
+  /// by timeoutMs.
+  void sendAll(BytesView data, int timeoutMs);
+
+  /// Read up to `capacity` bytes into `out` (appended).  Returns the
+  /// number of bytes read; 0 means clean EOF.  Throws NetError on error
+  /// or when the deadline lapses with nothing read.
+  std::size_t recvSome(Bytes& out, std::size_t capacity, int timeoutMs);
+
+  /// Half-close + close; idempotent, callable to unblock a peer.
+  void close();
+
+  /// shutdown(2) both directions without closing the fd — wakes a thread
+  /// blocked in recv on this socket from another thread without the
+  /// use-after-close race of close().
+  void shutdownBoth();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to host:port (port 0 picks an ephemeral
+/// port, readable via port()).
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { close(); }
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Bind + listen; throws NetError.
+  void open(const Endpoint& endpoint, int backlog = 64);
+
+  /// Accept with a bounded wait; nullopt on timeout.  Throws NetError on
+  /// listener failure (including close() from another thread).
+  [[nodiscard]] std::optional<Socket> accept(int timeoutMs);
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace ripple::net

@@ -1,0 +1,132 @@
+// Golden byte-vector regression for the core serde (common/bytes.h) —
+// the portability audit companion to the wire protocol (DESIGN.md §11).
+// Every encoding here crosses process boundaries via ripple::net, so the
+// exact bytes are a compatibility contract: explicit little-endian fixed
+// integers, LEB128 varints, zigzag signed varints, bit-copied IEEE-754
+// doubles, varint-length-prefixed byte strings.  If any of these vectors
+// changes, the wire protocol version must be bumped.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "common/bytes.h"
+
+namespace ripple {
+namespace {
+
+Bytes bytesOf(std::initializer_list<unsigned> raw) {
+  Bytes out;
+  for (const unsigned b : raw) {
+    out.push_back(static_cast<char>(static_cast<unsigned char>(b)));
+  }
+  return out;
+}
+
+TEST(SerdeGolden, FixedIntegersAreLittleEndian) {
+  ByteWriter w;
+  w.putU8(0xAB);
+  w.putFixed32(0x01020304u);
+  w.putFixed64(0x1122334455667788ull);
+  EXPECT_EQ(w.view(), bytesOf({0xAB,                      // u8
+                               0x04, 0x03, 0x02, 0x01,    // fixed32 LE
+                               0x88, 0x77, 0x66, 0x55,    // fixed64 LE
+                               0x44, 0x33, 0x22, 0x11}));
+}
+
+TEST(SerdeGolden, VarintIsLeb128) {
+  const struct {
+    std::uint64_t value;
+    Bytes encoding;
+  } kCases[] = {
+      {0, bytesOf({0x00})},
+      {1, bytesOf({0x01})},
+      {127, bytesOf({0x7F})},
+      {128, bytesOf({0x80, 0x01})},
+      {300, bytesOf({0xAC, 0x02})},
+      {16384, bytesOf({0x80, 0x80, 0x01})},
+      {std::numeric_limits<std::uint64_t>::max(),
+       bytesOf({0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                0x01})},
+  };
+  for (const auto& c : kCases) {
+    ByteWriter w;
+    w.putVarint(c.value);
+    EXPECT_EQ(w.view(), c.encoding) << c.value;
+    ByteReader r(c.encoding);
+    EXPECT_EQ(r.getVarint(), c.value);
+    EXPECT_TRUE(r.atEnd());
+  }
+}
+
+TEST(SerdeGolden, SignedVarintIsZigzag) {
+  const struct {
+    std::int64_t value;
+    Bytes encoding;
+  } kCases[] = {
+      {0, bytesOf({0x00})},
+      {-1, bytesOf({0x01})},
+      {1, bytesOf({0x02})},
+      {-2, bytesOf({0x03})},
+      {63, bytesOf({0x7E})},
+      {-64, bytesOf({0x7F})},
+      {64, bytesOf({0x80, 0x01})},
+  };
+  for (const auto& c : kCases) {
+    ByteWriter w;
+    w.putVarintSigned(c.value);
+    EXPECT_EQ(w.view(), c.encoding) << c.value;
+    ByteReader r(c.encoding);
+    EXPECT_EQ(r.getVarintSigned(), c.value);
+  }
+}
+
+TEST(SerdeGolden, DoubleIsIeee754BitsLittleEndian) {
+  ByteWriter w;
+  w.putDouble(1.0);   // 0x3FF0000000000000
+  w.putDouble(-2.5);  // 0xC004000000000000
+  EXPECT_EQ(w.view(),
+            bytesOf({0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF0, 0x3F,
+                     0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x04, 0xC0}));
+  ByteReader r(w.view());
+  EXPECT_EQ(r.getDouble(), 1.0);
+  EXPECT_EQ(r.getDouble(), -2.5);
+}
+
+TEST(SerdeGolden, BytesAreVarintLengthPrefixed) {
+  ByteWriter w;
+  w.putBytes("abc");
+  w.putBytes("");
+  w.putBool(true);
+  w.putBool(false);
+  EXPECT_EQ(w.view(), bytesOf({0x03, 'a', 'b', 'c',  // len + raw
+                               0x00,                 // empty string
+                               0x01, 0x00}));        // bools
+  ByteReader r(w.view());
+  EXPECT_EQ(r.getBytes(), "abc");
+  EXPECT_EQ(r.getBytes(), "");
+  EXPECT_TRUE(r.getBool());
+  EXPECT_FALSE(r.getBool());
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(SerdeGolden, CompositeRecordRoundTripsFromPinnedBytes) {
+  // A miniature wire record decoded from hard-coded bytes: proves a
+  // foreign encoder producing exactly these bytes interoperates.
+  const Bytes record = bytesOf({
+      0x02, 'h', 'i',          // name = "hi"
+      0x07, 0x00, 0x00, 0x00,  // part = 7 (fixed32)
+      0xAC, 0x02,              // count = 300 (varint)
+      0x01,                    // present = true
+  });
+  ByteReader r(record);
+  EXPECT_EQ(r.getBytes(), "hi");
+  EXPECT_EQ(r.getFixed32(), 7u);
+  EXPECT_EQ(r.getVarint(), 300u);
+  EXPECT_TRUE(r.getBool());
+  EXPECT_TRUE(r.atEnd());
+}
+
+}  // namespace
+}  // namespace ripple

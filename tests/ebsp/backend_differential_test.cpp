@@ -34,8 +34,12 @@
 namespace ripple::ebsp {
 namespace {
 
+// kRemote resolves (with RIPPLE_REMOTE_* unset) to an implicit loopback
+// net::Server, so the remote legs push every byte of application state
+// through the frame codec and TCP.
 const std::vector<kv::StoreBackend> kBackends = {
-    kv::StoreBackend::kPartitioned, kv::StoreBackend::kShard};
+    kv::StoreBackend::kPartitioned, kv::StoreBackend::kShard,
+    kv::StoreBackend::kRemote};
 
 graph::Graph testGraph(std::uint32_t vertices, std::uint32_t edges,
                        std::uint64_t seed) {
@@ -199,6 +203,39 @@ TEST(BackendDifferential, BroadcastWriteDuringRunRejected) {
 }
 
 // ---------------------------------------------------------------------
+// Multi-server remote: the same PageRank result when state shards across
+// TWO loopback servers (parts interleave endpoint 0/1 under the
+// placement map) as when it lives in-process.
+// ---------------------------------------------------------------------
+
+TEST(BackendDifferential, PageRankIdenticalAcrossTwoRemoteServers) {
+  const graph::Graph g = testGraph(200, 1000, 7);
+
+  auto run = [&](kv::StoreBackend backend, int threads) {
+    auto store = kv::makeStore(backend, 6);
+    apps::loadPageRankGraph(*store, "pr_graph", g, 6);
+    EngineOptions eopts;
+    eopts.threads = threads;
+    Engine engine(store, eopts);
+    apps::PageRankOptions options;
+    options.iterations = 4;
+    apps::runPageRank(engine, options);
+    auto state = kv::readAll(*store->lookupTable("pr_graph"));
+    std::sort(state.begin(), state.end());
+    return state;
+  };
+
+  const auto baseline = run(kv::StoreBackend::kPartitioned, 1);
+  ASSERT_FALSE(baseline.empty());
+  ::setenv("RIPPLE_REMOTE_SERVERS", "2", 1);
+  for (const int threads : {1, 8}) {
+    SCOPED_TRACE("remote x2 servers, threads=" + std::to_string(threads));
+    EXPECT_EQ(run(kv::StoreBackend::kRemote, threads), baseline);
+  }
+  ::unsetenv("RIPPLE_REMOTE_SERVERS");
+}
+
+// ---------------------------------------------------------------------
 // Backend selection plumbing.
 // ---------------------------------------------------------------------
 
@@ -207,8 +244,10 @@ TEST(BackendDifferential, ParseStoreBackend) {
             kv::StoreBackend::kPartitioned);
   EXPECT_EQ(kv::parseStoreBackend("shard"), kv::StoreBackend::kShard);
   EXPECT_EQ(kv::parseStoreBackend("local"), kv::StoreBackend::kLocal);
+  EXPECT_EQ(kv::parseStoreBackend("remote"), kv::StoreBackend::kRemote);
   EXPECT_EQ(kv::parseStoreBackend(""), std::nullopt);
   EXPECT_EQ(kv::parseStoreBackend("Shard"), std::nullopt);
+  EXPECT_EQ(kv::parseStoreBackend("Remote"), std::nullopt);
   EXPECT_EQ(kv::parseStoreBackend("rocksdb"), std::nullopt);
 }
 

@@ -20,6 +20,7 @@
 #include "kvstore/partitioned_store.h"
 #include "kvstore/shard_store.h"
 #include "kvstore/store_util.h"
+#include "net/remote_store.h"
 
 namespace ripple::kv {
 namespace {
@@ -43,6 +44,16 @@ KVStorePtr makeShard() {
   options.blockCacheCapacity = 16;
   return ShardStore::create(options);
 }
+KVStorePtr makeRemote() {
+  // The wire backend: an in-process loopback net::Server hosting a
+  // partitioned store, driven through the full frame codec / TCP /
+  // RemoteStore stack.  Identical observable contract to the in-process
+  // backends is exactly the point.
+  net::LoopbackOptions options;
+  options.hostedContainers = 4;
+  options.locations = 4;
+  return net::makeLoopbackStore(options);
+}
 
 // The fault-injection decorator with an empty plan must be contractually
 // invisible: the whole suite runs against it too.
@@ -59,6 +70,11 @@ KVStorePtr makeFaultyPartitioned() {
 KVStorePtr makeFaultyShard() {
   return fault::FaultyStore::wrap(
       makeShard(),
+      std::make_shared<fault::FaultInjector>(fault::FaultPlan{}));
+}
+KVStorePtr makeFaultyRemote() {
+  return fault::FaultyStore::wrap(
+      makeRemote(),
       std::make_shared<fault::FaultInjector>(fault::FaultPlan{}));
 }
 
@@ -480,7 +496,8 @@ TEST_P(StoreConformanceTest, BackendNameIsConcrete) {
   // Decorators must forward the wrapped store's identity, so every
   // factory in this suite resolves to a concrete backend name.
   const std::string name = store_->backendName();
-  EXPECT_TRUE(name == "local" || name == "partitioned" || name == "shard")
+  EXPECT_TRUE(name == "local" || name == "partitioned" || name == "shard" ||
+              name == "remote")
       << name;
 }
 
@@ -522,9 +539,11 @@ INSTANTIATE_TEST_SUITE_P(
         StoreFactory{"LocalStore", &makeLocal},
         StoreFactory{"PartitionedStore", &makePartitioned},
         StoreFactory{"ShardStore", &makeShard},
+        StoreFactory{"RemoteStore", &makeRemote},
         StoreFactory{"FaultyLocalStore", &makeFaultyLocal},
         StoreFactory{"FaultyPartitionedStore", &makeFaultyPartitioned},
-        StoreFactory{"FaultyShardStore", &makeFaultyShard}),
+        StoreFactory{"FaultyShardStore", &makeFaultyShard},
+        StoreFactory{"FaultyRemoteStore", &makeFaultyRemote}),
     [](const ::testing::TestParamInfo<StoreFactory>& info) {
       return info.param.name;
     });

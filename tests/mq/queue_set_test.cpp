@@ -11,6 +11,8 @@
 #include "common/codec.h"
 #include "kvstore/partitioned_store.h"
 #include "mq/queue.h"
+#include "net/remote_queue.h"
+#include "net/remote_store.h"
 
 namespace ripple::mq {
 namespace {
@@ -180,11 +182,20 @@ QueuingPtr makeMem(kv::KVStorePtr store) {
 QueuingPtr makeTable(kv::KVStorePtr store) {
   return makeTableQueuing(std::move(store));
 }
+QueuingPtr makeRemote(kv::KVStorePtr /*store*/) {
+  // The remote leg ignores the in-process store: its queues must live on
+  // net::Server processes, reached through the full wire stack.  Two
+  // loopback servers so queue placement actually shards.
+  net::LoopbackOptions options;
+  options.servers = 2;
+  return net::makeRemoteQueuing(net::makeLoopbackStore(options));
+}
 
 INSTANTIATE_TEST_SUITE_P(
     Queuings, QueueSetTest,
     ::testing::Values(QueuingFactory{"Mem", &makeMem},
-                      QueuingFactory{"TableBacked", &makeTable}),
+                      QueuingFactory{"TableBacked", &makeTable},
+                      QueuingFactory{"Remote", &makeRemote}),
     [](const ::testing::TestParamInfo<QueuingFactory>& info) {
       return info.param.name;
     });

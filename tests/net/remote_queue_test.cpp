@@ -1,0 +1,205 @@
+// RemoteQueuing behaviors beyond the shared queue-set conformance suite:
+// close() idempotence (including from another driver and with the server
+// already gone), clean worker termination when a server shuts down while
+// readers are blocked mid-read (no hang, no spurious throw), and stealing
+// / takeover reads across the wire.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "common/bytes.h"
+#include "kvstore/partitioned_store.h"
+#include "mq/queue.h"
+#include "net/remote_queue.h"
+#include "net/remote_store.h"
+#include "net/server.h"
+
+namespace ripple::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct Rig {
+  kv::KVStorePtr hosted;
+  std::unique_ptr<Server> server;
+  RemoteStorePtr store;
+  mq::QueuingPtr queuing;
+  kv::TablePtr placement;
+
+  explicit Rig(std::uint32_t parts) {
+    hosted = kv::PartitionedStore::create(parts);
+    Server::Options so;
+    so.hosted = hosted;
+    server = std::make_unique<Server>(std::move(so));
+    server->start();
+    RemoteStore::Options ro;
+    ro.client.endpoints = {Endpoint{"127.0.0.1", server->port()}};
+    store = RemoteStore::create(std::move(ro));
+    queuing = makeRemoteQueuing(store);
+    kv::TableOptions topts;
+    topts.parts = parts;
+    placement = store->createTable("placement", std::move(topts));
+  }
+
+  ~Rig() {
+    store->shutdown();
+    server->stop();
+  }
+};
+
+TEST(RemoteQueue, CloseIsIdempotentAndCrossDriver) {
+  Rig rig(2);
+  auto set = rig.queuing->createQueueSet("q", rig.placement);
+  ASSERT_TRUE(set->put(0, "m"));
+  set->close();
+  set->close();  // Idempotent.
+  EXPECT_FALSE(set->put(0, "late"));
+
+  // A second driver closing the same (already closed) server-side set is
+  // equally a no-op — close is a broadcastable, repeatable signal.
+  {
+    RemoteStore::Options ro;
+    ro.client.endpoints = {Endpoint{"127.0.0.1", rig.server->port()}};
+    auto store2 = RemoteStore::create(std::move(ro));
+    ByteWriter w;
+    w.putBytes(std::string("q"));
+    EXPECT_NO_THROW((void)store2->client().call(0, Opcode::kQueueClose,
+                                                w.view(), fault::Op::kEnqueue,
+                                                "q", 0));
+    store2->shutdown();
+  }
+
+  // The buffered message still drains after close.
+  int drained = 0;
+  set->runWorkers([&](mq::WorkerContext& ctx) {
+    while (auto msg = ctx.read(100ms)) {
+      EXPECT_EQ(*msg, "m");
+      ++drained;
+    }
+  });
+  EXPECT_EQ(drained, 1);
+}
+
+TEST(RemoteQueue, CloseAfterServerGoneDoesNotThrow) {
+  auto hosted = kv::PartitionedStore::create(2);
+  Server::Options so;
+  so.hosted = hosted;
+  auto server = std::make_unique<Server>(std::move(so));
+  server->start();
+  RemoteStore::Options ro;
+  ro.client.endpoints = {Endpoint{"127.0.0.1", server->port()}};
+  ro.client.retry.initialBackoffMs = 0.05;
+  ro.client.retry.maxBackoffMs = 0.2;
+  auto store = RemoteStore::create(std::move(ro));
+  auto queuing = makeRemoteQueuing(store);
+  kv::TableOptions topts;
+  topts.parts = 2;
+  auto placement = store->createTable("placement", std::move(topts));
+  auto set = queuing->createQueueSet("q", placement);
+
+  server->stop();
+  server.reset();
+  EXPECT_NO_THROW(set->close());     // Best-effort against a dead server.
+  EXPECT_FALSE(set->put(0, "m"));    // Rejected, not thrown.
+  store->shutdown();
+}
+
+// The shutdown-while-busy contract (DESIGN.md §11): workers blocked in
+// WorkerContext::read when their server stops observe a clean EOF and
+// terminate as if the set had been closed — runWorkers returns, nothing
+// hangs, nothing throws.
+TEST(RemoteQueue, ServerShutdownUnblocksBusyReaders) {
+  Rig rig(3);
+  auto set = rig.queuing->createQueueSet("q", rig.placement);
+  ASSERT_TRUE(set->put(0, "first"));
+
+  std::atomic<int> received{0};
+  std::atomic<bool> workersDone{false};
+  std::thread runner([&] {
+    set->runWorkers([&](mq::WorkerContext& ctx) {
+      // Far longer than the test: only the server's shutdown EOF can end
+      // these reads early.
+      while (auto msg = ctx.read(60s)) {
+        received.fetch_add(1);
+      }
+    });
+    workersDone.store(true);
+  });
+
+  // Let the workers drain the first message and settle into blocked reads
+  // (server-side bounded waits), then stop the server under them.
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (received.load() < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_EQ(received.load(), 1);
+  std::this_thread::sleep_for(20ms);  // Workers now mid-read.
+  rig.server->stop();
+
+  runner.join();
+  EXPECT_TRUE(workersDone.load());
+  EXPECT_EQ(received.load(), 1);
+}
+
+TEST(RemoteQueue, StealAndTakeoverCrossTheWire) {
+  Rig rig(2);
+  auto set = rig.queuing->createQueueSet("q", rig.placement);
+  ASSERT_TRUE(set->put(0, "a"));
+  ASSERT_TRUE(set->put(0, "b"));
+
+  std::atomic<bool> stolen{false};
+  std::atomic<bool> takenOver{false};
+  set->runWorkers([&](mq::WorkerContext& ctx) {
+    if (ctx.queueIndex() != 1) {
+      return;  // Queue 0's owner exits; its messages are only reachable
+               // via steal/takeover from worker 1.
+    }
+    // Steal takes from the back; takeover reads from the front.
+    if (auto msg = ctx.trySteal(0)) {
+      EXPECT_EQ(*msg, "b");
+      stolen.store(true);
+    }
+    if (auto msg = ctx.tryReadFrom(0)) {
+      EXPECT_EQ(*msg, "a");
+      takenOver.store(true);
+    }
+    EXPECT_EQ(ctx.trySteal(1), std::nullopt);     // Own queue: refused.
+    EXPECT_EQ(ctx.tryReadFrom(99), std::nullopt); // Out of range: refused.
+  });
+  EXPECT_TRUE(stolen.load());
+  EXPECT_TRUE(takenOver.load());
+}
+
+TEST(RemoteQueue, MultiplexedWorkerServesAllQueues) {
+  Rig rig(4);
+  auto set = rig.queuing->createQueueSet("q", rig.placement);
+  for (std::uint32_t q = 0; q < 4; ++q) {
+    ASSERT_TRUE(set->put(q, "m" + std::to_string(q)));
+  }
+  set->close();
+  std::atomic<int> received{0};
+  std::set<std::uint32_t> workerIds;
+  std::mutex mu;
+  set->runWorkers(
+      [&](mq::WorkerContext& ctx) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          workerIds.insert(ctx.queueIndex());
+        }
+        while (auto msg = ctx.read(500ms)) {
+          received.fetch_add(1);
+        }
+      },
+      2);  // Two workers own striped queues {0,2} and {1,3}.
+  EXPECT_EQ(received.load(), 4);
+  EXPECT_EQ(workerIds.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ripple::net

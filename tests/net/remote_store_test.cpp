@@ -1,0 +1,203 @@
+// RemoteStore behaviors beyond the shared SPI conformance suite (which
+// already runs bare + fault-decorated against the loopback stack):
+// placement actually shards state across multiple real servers, injected
+// transient network faults are retried with a closed fault ledger,
+// server-side exceptions rethrow as the right std types, endpoint parsing,
+// and shutdown idempotence.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "fault/fault.h"
+#include "kvstore/partitioned_store.h"
+#include "kvstore/store_util.h"
+#include "net/remote_store.h"
+#include "net/server.h"
+
+namespace ripple::net {
+namespace {
+
+TEST(PlacementMap, RoundRobinAndValidation) {
+  EXPECT_THROW(PlacementMap(0), std::invalid_argument);
+  const PlacementMap map(3);
+  EXPECT_EQ(map.endpointCount(), 3u);
+  EXPECT_EQ(map.endpointOf(0), 0u);
+  EXPECT_EQ(map.endpointOf(1), 1u);
+  EXPECT_EQ(map.endpointOf(2), 2u);
+  EXPECT_EQ(map.endpointOf(3), 0u);
+  EXPECT_EQ(map.endpointOf(7), 1u);
+}
+
+TEST(EndpointParse, AcceptsValidRejectsMalformed) {
+  const Endpoint e = parseEndpoint("10.1.2.3:8080");
+  EXPECT_EQ(e.host, "10.1.2.3");
+  EXPECT_EQ(e.port, 8080);
+  EXPECT_EQ(e.str(), "10.1.2.3:8080");
+
+  const auto list = parseEndpointList("127.0.0.1:1,127.0.0.1:2, 127.0.0.1:3");
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[2].port, 3);
+
+  EXPECT_THROW(parseEndpoint("no-port"), std::invalid_argument);
+  EXPECT_THROW(parseEndpoint("host:"), std::invalid_argument);
+  EXPECT_THROW(parseEndpoint("host:notaport"), std::invalid_argument);
+  EXPECT_THROW(parseEndpoint("host:0"), std::invalid_argument);
+  EXPECT_THROW(parseEndpoint("host:70000"), std::invalid_argument);
+  EXPECT_THROW(parseEndpointList(""), std::invalid_argument);
+}
+
+// Two real servers with inspectable hosted stores: writes through the
+// RemoteStore land on the server owning the part (part % 2), nowhere else.
+TEST(RemoteStoreSharding, PartsLandOnTheirPlacedServer) {
+  auto hosted0 = kv::PartitionedStore::create(2);
+  auto hosted1 = kv::PartitionedStore::create(2);
+  Server::Options so0;
+  so0.hosted = hosted0;
+  Server::Options so1;
+  so1.hosted = hosted1;
+  Server server0(std::move(so0));
+  Server server1(std::move(so1));
+  server0.start();
+  server1.start();
+
+  {
+    RemoteStore::Options options;
+    options.client.endpoints = {Endpoint{"127.0.0.1", server0.port()},
+                                Endpoint{"127.0.0.1", server1.port()}};
+    auto store = RemoteStore::create(std::move(options));
+
+    kv::TableOptions topts;
+    topts.parts = 4;
+    auto table = store->createTable("t", std::move(topts));
+    for (int i = 0; i < 40; ++i) {
+      table->put("key" + std::to_string(i), "v" + std::to_string(i));
+    }
+    EXPECT_EQ(table->size(), 40u);
+
+    // Each server holds exactly the pairs of its parts; together, all 40.
+    const auto t0 = hosted0->lookupTable("t");
+    const auto t1 = hosted1->lookupTable("t");
+    ASSERT_TRUE(t0 && t1);
+    EXPECT_EQ(t0->size() + t1->size(), 40u);
+    EXPECT_GT(t0->size(), 0u);  // 4 parts over 2 servers: both own state.
+    EXPECT_GT(t1->size(), 0u);
+    EXPECT_EQ(t0->size(),
+              table->partSize(0) + table->partSize(2));  // parts 0,2 → e0
+    EXPECT_EQ(t1->size(),
+              table->partSize(1) + table->partSize(3));  // parts 1,3 → e1
+
+    // Reads route back and reassemble the full table.
+    for (int i = 0; i < 40; ++i) {
+      EXPECT_EQ(table->get("key" + std::to_string(i)),
+                "v" + std::to_string(i));
+    }
+    store->shutdown();
+  }
+  server0.stop();
+  server1.stop();
+}
+
+// Injected transient network faults are retried by the client's
+// fault::Retrier, and the ledger closes: every injected failure is
+// accounted as either a retry or an escalation.
+TEST(RemoteStoreFaults, InjectedTransientsRetriedWithClosedLedger) {
+  LoopbackOptions options;
+  options.injector = std::make_shared<fault::FaultInjector>(
+      fault::FaultPlan::storeChaos(7, 0.2, "t"));
+  options.retry.initialBackoffMs = 0.05;
+  options.retry.maxBackoffMs = 0.2;
+  auto store = makeLoopbackStore(std::move(options));
+
+  kv::TableOptions topts;
+  topts.parts = 4;
+  auto table = store->createTable("t", std::move(topts));
+  std::uint64_t completed = 0;
+  std::uint64_t escalatedOps = 0;
+  for (int i = 0; i < 300; ++i) {
+    try {
+      table->put("k" + std::to_string(i), "v");
+      (void)table->get("k" + std::to_string(i));
+      completed += 2;
+    } catch (const fault::TransientError&) {
+      ++escalatedOps;  // Retry budget exhausted; surfaced to the caller.
+    }
+  }
+  EXPECT_GT(completed, 0u);
+
+  const auto& injector = *store->client().options().injector;
+  EXPECT_GT(injector.injectedFailures(), 0u);
+  // Closed ledger: injections == retries + escalations (an injected fault
+  // fires before any bytes go out, so each is either absorbed by a retry
+  // or escalates to the caller).
+  EXPECT_EQ(injector.injectedFailures(),
+            store->client().retries() + store->client().escalations());
+  if (escalatedOps > 0) {
+    EXPECT_GT(store->client().escalations(), 0u);
+  }
+}
+
+// Server-side failures rethrow client-side as the same std exception
+// types the in-process backends throw — and are NOT retried.
+TEST(RemoteStoreErrors, ServerExceptionsRethrowSameTypeWithoutRetry) {
+  auto store = makeLoopbackStore({});
+  kv::TableOptions topts;
+  topts.parts = 2;
+  auto table = store->createTable("t", std::move(topts));
+  table->put("a", "1");
+
+  // A second driver sharing the servers: its duplicate CREATE is refused
+  // by the server (the first driver's table owns the name there).
+  {
+    RemoteStore::Options options;
+    options.client.endpoints = {store->client().endpointAt(0)};
+    auto other = RemoteStore::create(std::move(options));
+    kv::TableOptions dup;
+    dup.parts = 2;
+    EXPECT_THROW(other->createTable("t", std::move(dup)),
+                 std::invalid_argument);
+    EXPECT_EQ(other->client().retries(), 0u);  // Typed errors never retry.
+    other->shutdown();
+  }
+  EXPECT_EQ(table->get("a"), "1");  // First driver unaffected.
+}
+
+TEST(RemoteStoreLifecycle, ShutdownIsIdempotent) {
+  auto store = makeLoopbackStore({});
+  kv::TableOptions topts;
+  topts.parts = 2;
+  auto table = store->createTable("t", std::move(topts));
+  table->put("k", "v");
+  store->shutdown();
+  store->shutdown();  // No-op.
+  // Requests after shutdown fail as transient (pool closed, servers gone),
+  // not as crashes or hangs.
+  EXPECT_THROW(table->put("k2", "v2"), fault::TransientStoreError);
+}
+
+TEST(ServerLifecycle, StopIsIdempotentAndShutdownOpcodeSignals) {
+  auto hosted = kv::PartitionedStore::create(2);
+  Server::Options so;
+  so.hosted = hosted;
+  Server server(std::move(so));
+  server.start();
+  EXPECT_TRUE(server.running());
+  EXPECT_FALSE(server.stopRequested());
+
+  Client::Options copts;
+  copts.endpoints = {Endpoint{"127.0.0.1", server.port()}};
+  Client client(std::move(copts));
+  (void)client.call(0, Opcode::kPing, "", fault::Op::kGet, "", 0);
+  (void)client.call(0, Opcode::kShutdown, "", fault::Op::kGet, "", 0);
+  server.waitUntilStopRequested();  // The opcode signals the host loop...
+  EXPECT_TRUE(server.stopRequested());
+  EXPECT_TRUE(server.running());  // ...which owns the actual stop.
+  server.stop();
+  EXPECT_FALSE(server.running());
+  server.stop();  // Idempotent.
+  client.closeAll();
+}
+
+}  // namespace
+}  // namespace ripple::net
