@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# ripple::check lint wall (DESIGN.md §12).
+#
+# Mechanical rules that the compiler cannot enforce by itself:
+#
+#   1. No raw standard-library mutexes or guards in src/: every lock must
+#      be a ranked_mutex.h type so the lock-rank validator sees it.
+#   2. No blocking wire calls while a lock guard is live in src/net: a
+#      socket send/recv under a server or registry lock stalls every
+#      thread behind that lock on a slow peer (and the rank validator
+#      cannot see it, because socket I/O takes no ripple lock at all).
+#   3. Wire serialization goes through the serde layer, never through
+#      host-endian punning: htons/ntohl-family calls and integer
+#      reinterpret_casts are confined to socket.cpp (sockaddr plumbing).
+#   4. Thread-safety attributes are spelled via thread_annotations.h
+#      macros, never raw __attribute__((...)) — the macros are the only
+#      place the Clang-only gating lives.
+#
+# Usage: scripts/lint.sh   (exits non-zero on any violation)
+
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+report() {
+  echo "lint: $1" >&2
+  echo "$2" | sed 's/^/    /' >&2
+  fail=1
+}
+
+# --- Rule 1: raw std mutexes/guards outside ranked_mutex.h ------------------
+raw_mutex=$(grep -rn --include='*.h' --include='*.cpp' \
+  -e 'std::mutex' -e 'std::shared_mutex' -e 'std::recursive_mutex' \
+  -e 'std::timed_mutex' -e 'std::lock_guard' -e 'std::unique_lock' \
+  -e 'std::shared_lock' -e 'std::scoped_lock' \
+  src/ | grep -v 'src/common/ranked_mutex\.h' || true)
+if [ -n "$raw_mutex" ]; then
+  report "raw std mutex/guard in src/ (use ranked_mutex.h types)" "$raw_mutex"
+fi
+
+# std::condition_variable (non-_any) cannot wait on a ranked UniqueLock.
+raw_cv=$(grep -rn --include='*.h' --include='*.cpp' \
+  'std::condition_variable\b' src/ | grep -v 'condition_variable_any' \
+  | grep -v 'src/common/ranked_mutex\.h' || true)
+if [ -n "$raw_cv" ]; then
+  report "std::condition_variable in src/ (use std::condition_variable_any)" \
+    "$raw_cv"
+fi
+
+# --- Rule 2: blocking wire calls under a live lock guard in src/net ---------
+blocking=$(python3 - <<'PYEOF'
+import re, sys, glob
+
+GUARD = re.compile(r'\b(?:LockGuard|UniqueLock|SharedLock)\s+\w+\s*[({]')
+BLOCKING = re.compile(
+    r'\b(?:sendAll|recvExact|recvSome|recvAll)\s*\(|'
+    r'\bSocket::connect\s*\(|'
+    r'(?:->|\.)\s*call\s*\(')
+
+out = []
+for path in sorted(glob.glob('src/net/**/*.cpp', recursive=True) +
+                   glob.glob('src/net/**/*.h', recursive=True)):
+    # Track, per brace depth, whether a guard was declared at that depth;
+    # a blocking call is flagged while any shallower-or-equal depth holds
+    # a live guard.  Lines may opt out with  // lint: unlocked-io
+    guard_depths = []
+    depth = 0
+    with open(path) as f:
+        for ln, line in enumerate(f, 1):
+            code = line.split('//')[0]
+            if GUARD.search(code):
+                guard_depths.append(depth)
+            if (BLOCKING.search(code) and guard_depths and
+                    'lint: unlocked-io' not in line):
+                out.append(f'{path}:{ln}: {line.rstrip()}')
+            for ch in code:
+                if ch == '{':
+                    depth += 1
+                elif ch == '}':
+                    depth -= 1
+                    while guard_depths and guard_depths[-1] >= depth:
+                        guard_depths.pop()
+print('\n'.join(out))
+PYEOF
+)
+if [ -n "$blocking" ]; then
+  report "blocking wire call while a lock guard is live in src/net" \
+    "$blocking"
+fi
+
+# --- Rule 3: host-endian punning outside socket.cpp -------------------------
+endian=$(grep -rn --include='*.h' --include='*.cpp' \
+  -e '\bhtons\b' -e '\bhtonl\b' -e '\bntohs\b' -e '\bntohl\b' \
+  -e '\bhtobe[0-9]*\b' -e '\bbe[0-9]*toh\b' \
+  src/ | grep -v 'src/net/socket\.cpp' || true)
+if [ -n "$endian" ]; then
+  report "host-endian conversion outside socket.cpp (use common/serde.h)" \
+    "$endian"
+fi
+
+punning=$(grep -rn --include='*.h' --include='*.cpp' \
+  'reinterpret_cast<\s*\(const\s*\)\?u\?int[0-9]*_t' src/net src/common \
+  | grep -v 'src/net/socket\.cpp' || true)
+if [ -n "$punning" ]; then
+  report "integer reinterpret_cast punning in serde/wire code" "$punning"
+fi
+
+# --- Rule 4: raw thread-safety attributes outside thread_annotations.h ------
+raw_attr=$(grep -rn --include='*.h' --include='*.cpp' \
+  -e '__attribute__((guarded_by' -e '__attribute__((capability' \
+  -e '__attribute__((requires_capability' \
+  -e '__attribute__((acquire_capability' \
+  -e '__attribute__((release_capability' \
+  -e '__attribute__((scoped_lockable' \
+  src/ | grep -v 'src/common/thread_annotations\.h' || true)
+if [ -n "$raw_attr" ]; then
+  report "raw thread-safety attribute (use thread_annotations.h macros)" \
+    "$raw_attr"
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint: FAILED" >&2
+  exit 1
+fi
+echo "lint: OK"

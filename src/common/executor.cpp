@@ -86,7 +86,7 @@ void SerialExecutor::shutdown() {
   }
   std::exception_ptr failure;
   {
-    std::lock_guard<std::mutex> lock(failMu_);
+    LockGuard lock(failMu_);
     std::swap(failure, failure_);
   }
   if (failure) {
@@ -105,7 +105,7 @@ void SerialExecutor::loop() {
     } catch (...) {
       // Keep draining: a throwing task must not kill the worker, or the
       // destructor could never join outstanding tasks.
-      std::lock_guard<std::mutex> lock(failMu_);
+      LockGuard lock(failMu_);
       if (!failure_) {
         failure_ = std::current_exception();
       }
@@ -146,7 +146,7 @@ void WorkStealingPool::execute(Task task) {
   Slot& slot =
       *slots_[rr_.fetch_add(1, std::memory_order_relaxed) % slots_.size()];
   {
-    std::lock_guard<std::mutex> lock(slot.mu);
+    LockGuard lock(slot.mu);
     slot.tasks.push_back(std::move(task));
   }
   idleCv_.notify_one();
@@ -158,14 +158,14 @@ void WorkStealingPool::parallelFor(std::size_t n,
     return;
   }
   CountdownLatch latch(n);
-  std::mutex mu;
+  RankedMutex<LockRank::kExecutor> mu;
   std::exception_ptr failure;
   for (std::size_t i = 0; i < n; ++i) {
     execute([&, i] {
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mu);
+        LockGuard lock(mu);
         if (!failure) {
           failure = std::current_exception();
         }
@@ -195,7 +195,7 @@ void WorkStealingPool::shutdown() {
     for (;;) {
       Task task;
       {
-        std::lock_guard<std::mutex> lock(slot->mu);
+        LockGuard lock(slot->mu);
         if (slot->tasks.empty()) {
           break;
         }
@@ -212,7 +212,7 @@ void WorkStealingPool::shutdown() {
   }
   std::exception_ptr failure;
   {
-    std::lock_guard<std::mutex> lock(failMu_);
+    LockGuard lock(failMu_);
     std::swap(failure, failure_);
   }
   if (failure) {
@@ -223,7 +223,7 @@ void WorkStealingPool::shutdown() {
 std::optional<WorkStealingPool::Task> WorkStealingPool::take(std::size_t self) {
   {
     Slot& own = *slots_[self];
-    std::lock_guard<std::mutex> lock(own.mu);
+    LockGuard lock(own.mu);
     if (!own.tasks.empty()) {
       Task task = std::move(own.tasks.front());
       own.tasks.pop_front();
@@ -232,7 +232,7 @@ std::optional<WorkStealingPool::Task> WorkStealingPool::take(std::size_t self) {
   }
   for (std::size_t i = 1; i < slots_.size(); ++i) {
     Slot& victim = *slots_[(self + i) % slots_.size()];
-    std::lock_guard<std::mutex> lock(victim.mu);
+    LockGuard lock(victim.mu);
     if (!victim.tasks.empty()) {
       Task task = std::move(victim.tasks.back());
       victim.tasks.pop_back();
@@ -244,7 +244,7 @@ std::optional<WorkStealingPool::Task> WorkStealingPool::take(std::size_t self) {
 }
 
 void WorkStealingPool::noteFailure() {
-  std::lock_guard<std::mutex> lock(failMu_);
+  LockGuard lock(failMu_);
   if (!failure_) {
     failure_ = std::current_exception();
   }
@@ -268,7 +268,7 @@ void WorkStealingPool::loop(std::size_t self) {
         inflight_.load(std::memory_order_acquire) == 0) {
       return;
     }
-    std::unique_lock<std::mutex> lock(idleMu_);
+    UniqueLock lock(idleMu_);
     idleCv_.wait_for(lock, std::chrono::milliseconds(1));
   }
 }
@@ -276,19 +276,21 @@ void WorkStealingPool::loop(std::size_t self) {
 CountdownLatch::CountdownLatch(std::size_t count) : count_(count) {}
 
 void CountdownLatch::countDown() {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   if (count_ > 0 && --count_ == 0) {
     cv_.notify_all();
   }
 }
 
 void CountdownLatch::wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return count_ == 0; });
+  UniqueLock lock(mu_);
+  while (count_ != 0) {
+    cv_.wait(lock);
+  }
 }
 
 std::size_t CountdownLatch::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return count_;
 }
 

@@ -21,7 +21,6 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -29,6 +28,8 @@
 #include <vector>
 
 #include "common/queue.h"
+#include "common/ranked_mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ripple {
 
@@ -92,8 +93,8 @@ class SerialExecutor {
   std::string name_;
   BlockingQueue<Task> tasks_;
   std::thread worker_;
-  std::mutex failMu_;
-  std::exception_ptr failure_;
+  RankedMutex<LockRank::kExecutor> failMu_;
+  std::exception_ptr failure_ RIPPLE_GUARDED_BY(failMu_);
 };
 
 /// Fixed-size work-stealing pool.  execute() places tasks round-robin on
@@ -138,8 +139,8 @@ class WorkStealingPool {
 
  private:
   struct Slot {
-    std::mutex mu;
-    std::deque<Task> tasks;
+    RankedMutex<LockRank::kExecutor> mu;
+    std::deque<Task> tasks RIPPLE_GUARDED_BY(mu);
   };
 
   void loop(std::size_t self);
@@ -153,10 +154,10 @@ class WorkStealingPool {
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> inflight_{0};  // Queued + currently running.
   std::atomic<bool> stopping_{false};
-  std::mutex idleMu_;
-  std::condition_variable idleCv_;
-  std::mutex failMu_;
-  std::exception_ptr failure_;
+  RankedMutex<LockRank::kExecutor> idleMu_;
+  std::condition_variable_any idleCv_;
+  RankedMutex<LockRank::kExecutor> failMu_;
+  std::exception_ptr failure_ RIPPLE_GUARDED_BY(failMu_);
 };
 
 /// Simple countdown latch (std::latch lacks a timed wait and re-use story
@@ -170,9 +171,9 @@ class CountdownLatch {
   [[nodiscard]] std::size_t pending() const;
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::size_t count_;
+  mutable RankedMutex<LockRank::kExecutor> mu_;
+  std::condition_variable_any cv_;
+  std::size_t count_ RIPPLE_GUARDED_BY(mu_);
 };
 
 }  // namespace ripple

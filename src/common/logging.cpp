@@ -1,5 +1,7 @@
 #include "common/logging.h"
 
+#include "common/ranked_mutex.h"
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -57,11 +59,11 @@ void emit(Level level, const std::string& message) {
   if (level < threshold()) {
     return;
   }
-  static std::mutex mu;
+  static RankedMutex<LockRank::kLogging> mu;
   const auto now = std::chrono::duration_cast<std::chrono::milliseconds>(
                        std::chrono::steady_clock::now().time_since_epoch())
                        .count();
-  std::lock_guard<std::mutex> lock(mu);
+  LockGuard lock(mu);
   std::fprintf(stderr, "[%8lld.%03lld %s] %s\n",
                static_cast<long long>(now / 1000),
                static_cast<long long>(now % 1000), levelName(level),

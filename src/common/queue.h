@@ -9,9 +9,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/ranked_mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ripple {
 
@@ -25,7 +27,7 @@ class BlockingQueue {
   /// Enqueue; returns false if the queue was already closed.
   bool push(T item) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      LockGuard lock(mu_);
       if (closed_) {
         return false;
       }
@@ -37,22 +39,29 @@ class BlockingQueue {
 
   /// Block until an item is available or the queue is closed and drained.
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    UniqueLock lock(mu_);
+    while (items_.empty() && !closed_) {
+      cv_.wait(lock);
+    }
     return popLocked();
   }
 
   /// Wait at most `timeout`; nullopt on timeout or closed-and-drained.
   template <typename Rep, typename Period>
   std::optional<T> popFor(std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait_for(lock, timeout, [&] { return !items_.empty() || closed_; });
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    UniqueLock lock(mu_);
+    while (items_.empty() && !closed_) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        break;
+      }
+    }
     return popLocked();
   }
 
   /// Non-blocking pop.
   std::optional<T> tryPop() {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     if (items_.empty()) {
       return std::nullopt;
     }
@@ -64,7 +73,7 @@ class BlockingQueue {
   /// Steal from the back (used by the run-anywhere work stealing path;
   /// stealing from the tail is only legal when ordering does not matter).
   std::optional<T> trySteal() {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     if (items_.empty()) {
       return std::nullopt;
     }
@@ -77,26 +86,26 @@ class BlockingQueue {
   /// nullopt.  Idempotent.
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      LockGuard lock(mu_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
   [[nodiscard]] bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     return closed_;
   }
 
   [[nodiscard]] std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     return items_.size();
   }
 
   [[nodiscard]] bool empty() const { return size() == 0; }
 
  private:
-  std::optional<T> popLocked() {
+  std::optional<T> popLocked() RIPPLE_REQUIRES(mu_) {
     if (items_.empty()) {
       return std::nullopt;
     }
@@ -105,10 +114,10 @@ class BlockingQueue {
     return item;
   }
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable RankedMutex<LockRank::kQueue> mu_;
+  std::condition_variable_any cv_;
+  std::deque<T> items_ RIPPLE_GUARDED_BY(mu_);
+  bool closed_ RIPPLE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ripple

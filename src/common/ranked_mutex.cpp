@@ -1,0 +1,146 @@
+#include "common/ranked_mutex.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace ripple {
+
+const char* lockRankName(LockRank rank) noexcept {
+  switch (rank) {
+    case LockRank::kLogging:
+      return "kLogging(4)";
+    case LockRank::kObs:
+      return "kObs(10)";
+    case LockRank::kStoreCache:
+      return "kStoreCache(16)";
+    case LockRank::kStoreStripe:
+      return "kStoreStripe(20)";
+    case LockRank::kStoreBuffer:
+      return "kStoreBuffer(24)";
+    case LockRank::kStoreTableMap:
+      return "kStoreTableMap(30)";
+    case LockRank::kQueue:
+      return "kQueue(40)";
+    case LockRank::kEngineState:
+      return "kEngineState(44)";
+    case LockRank::kEngineControl:
+      return "kEngineControl(46)";
+    case LockRank::kExecutor:
+      return "kExecutor(50)";
+    case LockRank::kNetClient:
+      return "kNetClient(56)";
+    case LockRank::kNetConn:
+      return "kNetConn(60)";
+    case LockRank::kNetRegistry:
+      return "kNetRegistry(64)";
+    case LockRank::kNetLifecycle:
+      return "kNetLifecycle(68)";
+  }
+  return "<unknown rank>";
+}
+
+namespace lockdep {
+
+namespace {
+
+struct Held {
+  const void* mu;
+  LockRank rank;
+  std::source_location site;
+};
+
+/// Per-thread chain of held ranked locks, in acquisition order.  A plain
+/// vector: release is not required to be LIFO (condition-variable waits
+/// unlock out of order), so release erases by pointer wherever it sits.
+std::vector<Held>& heldChain() noexcept {
+  thread_local std::vector<Held> chain;
+  return chain;
+}
+
+[[noreturn]] void reportViolation(const void* mu, LockRank rank,
+                                  const std::source_location& site,
+                                  const std::vector<Held>& chain) noexcept {
+  // fprintf, not the logging layer: the logging sink has a rank of its
+  // own, and the report must work no matter what the thread holds.
+  std::fprintf(stderr,
+               "ripple::lockdep: lock-rank violation (deadlockable "
+               "acquisition order)\n"
+               "  attempted: %s mutex %p\n"
+               "    at %s:%u (%s)\n"
+               "  held by this thread, outermost first:\n",
+               lockRankName(rank), mu, site.file_name(), site.line(),
+               site.function_name());
+  for (const Held& h : chain) {
+    std::fprintf(stderr, "    %s mutex %p\n      acquired at %s:%u (%s)\n",
+                 lockRankName(h.rank), h.mu, h.site.file_name(),
+                 h.site.line(), h.site.function_name());
+  }
+  std::fprintf(stderr,
+               "  rule: a thread may only acquire a lock ranked strictly "
+               "below every lock it holds\n"
+               "        (global order in DESIGN.md §12; blocking "
+               "acquisitions only — try_lock is exempt)\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void noteAcquire(const void* mu, LockRank rank, bool viaTryLock,
+                 bool recursive, const std::source_location& site) noexcept {
+  std::vector<Held>& chain = heldChain();
+  if (!chain.empty() && !viaTryLock) {
+    bool reentry = false;
+    if (recursive) {
+      for (const Held& h : chain) {
+        if (h.mu == mu) {
+          reentry = true;
+          break;
+        }
+      }
+    }
+    if (!reentry) {
+      // The chain is not monotone when try_locks are in it, so check
+      // against the true minimum held rank, not just the most recent
+      // acquisition.  Chains are a handful of entries; a scan is cheap.
+      LockRank minHeld = chain.front().rank;
+      for (const Held& h : chain) {
+        if (static_cast<int>(h.rank) < static_cast<int>(minHeld)) {
+          minHeld = h.rank;
+        }
+      }
+      if (static_cast<int>(rank) >= static_cast<int>(minHeld)) {
+        reportViolation(mu, rank, site, chain);
+      }
+    }
+  }
+  chain.push_back(Held{mu, rank, site});
+}
+
+void noteRelease(const void* mu) noexcept {
+  std::vector<Held>& chain = heldChain();
+  // Newest matching entry: recursive mutexes stack multiple entries for
+  // one object and release them inside-out.
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (it->mu == mu) {
+      chain.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+bool holds(const void* mu) noexcept {
+  for (const Held& h : heldChain()) {
+    if (h.mu == mu) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t heldCount() noexcept { return heldChain().size(); }
+
+}  // namespace lockdep
+
+}  // namespace ripple

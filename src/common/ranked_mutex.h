@@ -1,0 +1,399 @@
+// Lock-rank-validated mutexes (DESIGN.md §12).
+//
+// Every mutex in Ripple belongs to a named rank, and the global invariant
+// is: a thread may only acquire a lock whose rank is STRICTLY BELOW every
+// lock it already holds.  Acquisitions therefore run outermost-first down
+// the architecture — net-server above executor above queue above store
+// above obs — and a lock-order inversion anywhere in the codebase is
+// impossible by construction rather than by review.
+//
+// The invariant is enforced twice:
+//  * At compile time, on clang, by the thread-safety annotations
+//    (thread_annotations.h, RIPPLE_ANALYZE=ON) — which prove *which* lock
+//    guards each field but know nothing about order.
+//  * At run time, deterministically, by this wrapper: each thread keeps a
+//    stack of held ranks, and an out-of-order acquisition aborts on its
+//    FIRST occurrence with both the attempted lock and the full held
+//    chain, acquisition sites included.  Unlike TSan, this does not need
+//    the colliding schedule to actually happen — holding the locks in the
+//    wrong order once, on any schedule, is enough.  That matters on the
+//    1-core CI container where TSan's interleaving coverage is weakest.
+//
+// Exceptions to the strict-descent rule, both deliberate:
+//  * try_lock never blocks, so it cannot close a deadlock cycle; a
+//    successful try_lock at any rank is recorded but not order-checked.
+//  * RankedRecursiveMutex may re-acquire the SAME object this thread
+//    already holds (that is what recursive means); the rank rule applies
+//    to its first acquisition only.
+//
+// Validation compiles in by default; -DRIPPLE_RANK_CHECKS=0 (the CMake
+// RIPPLE_RANK_CHECKS=OFF option) reduces every lock to its raw std
+// counterpart for release builds that want the last nanoseconds back.
+
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+#include <source_location>
+
+#include "common/thread_annotations.h"
+
+#ifndef RIPPLE_RANK_CHECKS
+#define RIPPLE_RANK_CHECKS 1
+#endif
+
+namespace ripple {
+
+/// The global lock-rank order, outermost (acquired first) at the top.
+/// Numeric gaps are deliberate: new layers slot in without renumbering.
+/// The COARSE order is frozen and documented in DESIGN.md §12:
+///   obs < store stripe < store table-map < queue < executor < net-server
+enum class LockRank : int {
+  /// Innermost: the logging sink.  Any layer may log while holding
+  /// anything, so nothing may be acquired beyond it.
+  kLogging = 4,
+
+  /// Observability: metrics registry, tracer span buffer.  Instruments
+  /// are resolved (one registry lock) from under store locks.
+  kObs = 10,
+
+  /// Shard-store ubiquitous-read LRU block cache.
+  kStoreCache = 16,
+
+  /// Store data-plane leaves: shard stripes, partitioned per-part locks,
+  /// local-store table data, ubiquitous table data.
+  kStoreStripe = 20,
+
+  /// Shard-store append-only write buffer; folds INTO the stripes, so it
+  /// is always taken before them.
+  kStoreBuffer = 24,
+
+  /// Store control plane: table registries of every backend and of the
+  /// fault decorators.
+  kStoreTableMap = 30,
+
+  /// Message plane: BlockingQueue internals, queuing registries.  Table-
+  /// backed queue sets do store ops under their registry lock, hence
+  /// queue > table-map.
+  kQueue = 40,
+
+  /// Per-exporter / per-instrument collection state (CollectingExporter,
+  /// SUMMA instrumentation).  Taken from under kEngineControl when a sink
+  /// serializes a call into a user exporter.
+  kEngineState = 44,
+
+  /// Engine control plane: termination ledger, takeover bookkeeping,
+  /// export serialization sinks, SUMMA live-state registry.  Logs, traces
+  /// and calls kEngineState exporters while held.
+  kEngineControl = 46,
+
+  /// Executor internals: pool slots, idle/failure bookkeeping, latches.
+  kExecutor = 50,
+
+  /// net::Client connection pool.  Below every net registry: registries
+  /// must be releasable while a wire call is in flight.
+  kNetClient = 56,
+
+  /// net::Server connection list and stop signal.
+  kNetConn = 60,
+
+  /// net registries: server hosted tables/queue sets, RemoteStore and
+  /// RemoteQueuing driver-side registries.
+  kNetRegistry = 64,
+
+  /// Outermost: server/remote-store lifecycle (start/stop/shutdown
+  /// serialization).  Joins threads that take everything below.
+  kNetLifecycle = 68,
+};
+
+/// Human-readable rank name ("kQueue(40)" style) for violation reports.
+[[nodiscard]] const char* lockRankName(LockRank rank) noexcept;
+
+namespace lockdep {
+
+/// Record an exclusive or shared acquisition of `mu`; aborts with a
+/// rank-chain report when the strict-descent rule is violated.
+/// `viaTryLock` acquisitions and re-acquisitions of a held recursive
+/// mutex (`recursive`) are recorded but exempt from the order check.
+void noteAcquire(const void* mu, LockRank rank, bool viaTryLock,
+                 bool recursive, const std::source_location& site) noexcept;
+
+/// Record a release (any order; releases need not be LIFO).
+void noteRelease(const void* mu) noexcept;
+
+/// True when the calling thread currently holds `mu`.
+[[nodiscard]] bool holds(const void* mu) noexcept;
+
+/// Number of ranked locks the calling thread currently holds.
+[[nodiscard]] std::size_t heldCount() noexcept;
+
+}  // namespace lockdep
+
+/// std::mutex with a rank.  Satisfies Lockable; use with LockGuard /
+/// UniqueLock below (they carry the clang SCOPED_CAPABILITY annotations
+/// the std guards lack).
+template <LockRank Rank>
+class RIPPLE_CAPABILITY("mutex") RankedMutex {
+ public:
+  static constexpr LockRank kRank = Rank;
+
+  RankedMutex() = default;
+  RankedMutex(const RankedMutex&) = delete;
+  RankedMutex& operator=(const RankedMutex&) = delete;
+
+  void lock(const std::source_location& site =
+                std::source_location::current()) RIPPLE_ACQUIRE() {
+#if RIPPLE_RANK_CHECKS
+    lockdep::noteAcquire(this, Rank, /*viaTryLock=*/false,
+                         /*recursive=*/false, site);
+#else
+    (void)site;
+#endif
+    mu_.lock();
+  }
+
+  bool try_lock(const std::source_location& site =
+                    std::source_location::current())
+      RIPPLE_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) {
+      return false;
+    }
+#if RIPPLE_RANK_CHECKS
+    lockdep::noteAcquire(this, Rank, /*viaTryLock=*/true,
+                         /*recursive=*/false, site);
+#else
+    (void)site;
+#endif
+    return true;
+  }
+
+  void unlock() RIPPLE_RELEASE() {
+    mu_.unlock();
+#if RIPPLE_RANK_CHECKS
+    lockdep::noteRelease(this);
+#endif
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::recursive_mutex with a rank: re-acquiring a mutex this thread
+/// already holds is always legal; the rank rule binds the first
+/// acquisition only.
+template <LockRank Rank>
+class RIPPLE_CAPABILITY("mutex") RankedRecursiveMutex {
+ public:
+  static constexpr LockRank kRank = Rank;
+
+  RankedRecursiveMutex() = default;
+  RankedRecursiveMutex(const RankedRecursiveMutex&) = delete;
+  RankedRecursiveMutex& operator=(const RankedRecursiveMutex&) = delete;
+
+  void lock(const std::source_location& site =
+                std::source_location::current()) RIPPLE_ACQUIRE() {
+#if RIPPLE_RANK_CHECKS
+    lockdep::noteAcquire(this, Rank, /*viaTryLock=*/false,
+                         /*recursive=*/true, site);
+#else
+    (void)site;
+#endif
+    mu_.lock();
+  }
+
+  bool try_lock(const std::source_location& site =
+                    std::source_location::current())
+      RIPPLE_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) {
+      return false;
+    }
+#if RIPPLE_RANK_CHECKS
+    lockdep::noteAcquire(this, Rank, /*viaTryLock=*/true,
+                         /*recursive=*/true, site);
+#else
+    (void)site;
+#endif
+    return true;
+  }
+
+  void unlock() RIPPLE_RELEASE() {
+    mu_.unlock();
+#if RIPPLE_RANK_CHECKS
+    lockdep::noteRelease(this);
+#endif
+  }
+
+ private:
+  std::recursive_mutex mu_;
+};
+
+/// std::shared_mutex with a rank.  Shared acquisitions obey the same
+/// strict-descent rule: reader/writer cycles deadlock just as well as
+/// writer/writer ones.
+template <LockRank Rank>
+class RIPPLE_CAPABILITY("mutex") RankedSharedMutex {
+ public:
+  static constexpr LockRank kRank = Rank;
+
+  RankedSharedMutex() = default;
+  RankedSharedMutex(const RankedSharedMutex&) = delete;
+  RankedSharedMutex& operator=(const RankedSharedMutex&) = delete;
+
+  void lock(const std::source_location& site =
+                std::source_location::current()) RIPPLE_ACQUIRE() {
+#if RIPPLE_RANK_CHECKS
+    lockdep::noteAcquire(this, Rank, /*viaTryLock=*/false,
+                         /*recursive=*/false, site);
+#else
+    (void)site;
+#endif
+    mu_.lock();
+  }
+
+  bool try_lock(const std::source_location& site =
+                    std::source_location::current())
+      RIPPLE_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) {
+      return false;
+    }
+#if RIPPLE_RANK_CHECKS
+    lockdep::noteAcquire(this, Rank, /*viaTryLock=*/true,
+                         /*recursive=*/false, site);
+#else
+    (void)site;
+#endif
+    return true;
+  }
+
+  void unlock() RIPPLE_RELEASE() {
+    mu_.unlock();
+#if RIPPLE_RANK_CHECKS
+    lockdep::noteRelease(this);
+#endif
+  }
+
+  void lock_shared(const std::source_location& site =
+                       std::source_location::current())
+      RIPPLE_ACQUIRE_SHARED() {
+#if RIPPLE_RANK_CHECKS
+    lockdep::noteAcquire(this, Rank, /*viaTryLock=*/false,
+                         /*recursive=*/false, site);
+#else
+    (void)site;
+#endif
+    mu_.lock_shared();
+  }
+
+  bool try_lock_shared(const std::source_location& site =
+                           std::source_location::current())
+      RIPPLE_TRY_ACQUIRE_SHARED(true) {
+    if (!mu_.try_lock_shared()) {
+      return false;
+    }
+#if RIPPLE_RANK_CHECKS
+    lockdep::noteAcquire(this, Rank, /*viaTryLock=*/true,
+                         /*recursive=*/false, site);
+#else
+    (void)site;
+#endif
+    return true;
+  }
+
+  void unlock_shared() RIPPLE_RELEASE_SHARED() {
+    mu_.unlock_shared();
+#if RIPPLE_RANK_CHECKS
+    lockdep::noteRelease(this);
+#endif
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive lock, annotated so clang's analysis tracks it (the
+/// libstdc++ std::lock_guard is not).  Use instead of std::lock_guard for
+/// every ranked mutex.
+template <typename Mutex>
+class RIPPLE_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu,
+                     const std::source_location& site =
+                         std::source_location::current()) RIPPLE_ACQUIRE(mu)
+      : mu_(mu) {
+    mu_.lock(site);
+  }
+
+  ~LockGuard() RIPPLE_RELEASE() { mu_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Scoped exclusive lock with manual unlock/relock, for waiting on a
+/// std::condition_variable_any (ranked mutexes cannot feed a plain
+/// std::condition_variable, which is hard-wired to std::mutex).
+template <typename Mutex>
+class RIPPLE_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu,
+                      const std::source_location& site =
+                          std::source_location::current()) RIPPLE_ACQUIRE(mu)
+      : mu_(mu) {
+    mu_.lock(site);
+    owned_ = true;
+  }
+
+  ~UniqueLock() RIPPLE_RELEASE() {
+    if (owned_) {
+      mu_.unlock();
+    }
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  /// BasicLockable surface consumed by std::condition_variable_any: wait
+  /// unlocks around the block and relocks before returning.
+  void lock(const std::source_location& site =
+                std::source_location::current()) RIPPLE_ACQUIRE() {
+    mu_.lock(site);
+    owned_ = true;
+  }
+
+  void unlock() RIPPLE_RELEASE() {
+    owned_ = false;
+    mu_.unlock();
+  }
+
+  [[nodiscard]] bool owns_lock() const noexcept { return owned_; }
+
+ private:
+  Mutex& mu_;
+  bool owned_ = false;
+};
+
+/// Scoped shared (reader) lock over a RankedSharedMutex.
+template <typename Mutex>
+class RIPPLE_SCOPED_CAPABILITY SharedLock {
+ public:
+  explicit SharedLock(Mutex& mu,
+                      const std::source_location& site =
+                          std::source_location::current())
+      RIPPLE_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.lock_shared(site);
+  }
+
+  ~SharedLock() RIPPLE_RELEASE() { mu_.unlock_shared(); }
+
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace ripple

@@ -1,0 +1,90 @@
+// Clang thread-safety-analysis annotations (DESIGN.md §12).
+//
+// These macros expose Clang's capability analysis to the codebase: fields
+// record which mutex guards them (RIPPLE_GUARDED_BY), locking functions
+// declare what they acquire and release, and functions that must run under
+// a lock say so (RIPPLE_REQUIRES).  Under `clang -Wthread-safety` (the
+// RIPPLE_ANALYZE=ON build, see the top-level CMakeLists) an unguarded
+// access or a lock leak is a compile error; under GCC — which has no such
+// analysis — every macro expands to nothing and the annotations are pure
+// documentation.
+//
+// The vocabulary follows the Clang documentation and Abseil's mutex.h so
+// the names mean what a reader coming from either expects:
+//   https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+//
+// Annotate with the RIPPLE_ prefix only; never use __attribute__ directly
+// (scripts/lint.sh enforces this so the no-op-on-GCC gate cannot be
+// bypassed by accident).
+
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define RIPPLE_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define RIPPLE_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+/// Marks a class as a lockable capability ("mutex" in diagnostics).
+#define RIPPLE_CAPABILITY(x) \
+  RIPPLE_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor (LockGuard / UniqueLock / SharedLock).
+#define RIPPLE_SCOPED_CAPABILITY \
+  RIPPLE_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Field may only be read/written while holding `x`.
+#define RIPPLE_GUARDED_BY(x) RIPPLE_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer field: the pointed-to data (not the pointer) is guarded by `x`.
+#define RIPPLE_PT_GUARDED_BY(x) \
+  RIPPLE_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function acquires the listed capabilities exclusively and does not
+/// release them before returning.
+#define RIPPLE_ACQUIRE(...) \
+  RIPPLE_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Shared (reader) flavour of RIPPLE_ACQUIRE.
+#define RIPPLE_ACQUIRE_SHARED(...) \
+  RIPPLE_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (exclusive or shared).
+#define RIPPLE_RELEASE(...) \
+  RIPPLE_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define RIPPLE_RELEASE_SHARED(...) \
+  RIPPLE_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+/// Function tries to acquire; the first argument is the return value that
+/// signals success.
+#define RIPPLE_TRY_ACQUIRE(...) \
+  RIPPLE_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define RIPPLE_TRY_ACQUIRE_SHARED(...)                    \
+  RIPPLE_THREAD_ANNOTATION_ATTRIBUTE(                     \
+      try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must already hold the listed capabilities exclusively.
+#define RIPPLE_REQUIRES(...) \
+  RIPPLE_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Caller must hold the listed capabilities at least shared.
+#define RIPPLE_REQUIRES_SHARED(...) \
+  RIPPLE_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (deadlock prevention for
+/// functions that acquire them internally).
+#define RIPPLE_EXCLUDES(...) \
+  RIPPLE_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the capability guarding its result.
+#define RIPPLE_RETURN_CAPABILITY(x) \
+  RIPPLE_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: the function's locking is intentionally invisible to the
+/// analysis (e.g. lock juggling the analysis cannot model).  Every use
+/// needs a comment saying why.
+#define RIPPLE_NO_THREAD_SAFETY_ANALYSIS \
+  RIPPLE_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

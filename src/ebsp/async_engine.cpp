@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "common/dyadic.h"
 #include "common/logging.h"
+#include "common/ranked_mutex.h"
+#include "common/thread_annotations.h"
 #include "common/stats.h"
 #include "ebsp/transport.h"
 #include "fault/faulty_store.h"
@@ -170,7 +171,7 @@ class AsyncEngine::Run {
         std::rethrow_exception(failure_);
       }
       {
-        std::lock_guard<std::mutex> lock(controlMu_);
+        LockGuard lock(controlMu_);
         if (initial > 0 && !ledger_.complete()) {
           throw std::logic_error(
               "AsyncEngine: workers exited with incomplete weight (ledger "
@@ -541,7 +542,7 @@ class AsyncEngine::Run {
         // envelope was already consumed, so redelivery would double-apply
         // its effects; fail the job instead.
         {
-          std::lock_guard<std::mutex> lock(controlMu_);
+          LockGuard lock(controlMu_);
           if (!failure_) {
             failure_ = std::current_exception();
           }
@@ -561,7 +562,7 @@ class AsyncEngine::Run {
   /// Returns true when the worker should exit; false for the sole
   /// survivor (someone must finish the drain, so its kill is ignored).
   bool abandonWorker(std::uint32_t part, const std::string& why) {
-    std::lock_guard<std::mutex> lock(takeoverMu_);
+    LockGuard lock(takeoverMu_);
     if (aliveWorkers_ <= 1) {
       RIPPLE_INFO << "AsyncEngine: ignoring kill of sole surviving worker "
                   << part << " (" << why << ")";
@@ -605,7 +606,7 @@ class AsyncEngine::Run {
     if (epoch == seenEpoch) {
       return;
     }
-    std::lock_guard<std::mutex> lock(takeoverMu_);
+    LockGuard lock(takeoverMu_);
     adopted = adoptedOf_[part];
     seenEpoch = epoch;
   }
@@ -787,7 +788,7 @@ class AsyncEngine::Run {
   void credit(DyadicWeight w) {
     bool complete = false;
     {
-      std::lock_guard<std::mutex> lock(controlMu_);
+      LockGuard lock(controlMu_);
       ledger_.credit(w);
       complete = ledger_.complete();
     }
@@ -806,7 +807,7 @@ class AsyncEngine::Run {
       return;
     }
     if (job_.directOutputter->wantsSerial()) {
-      std::lock_guard<std::mutex> lock(directMu_);
+      LockGuard lock(directMu_);
       job_.directOutputter->consume(key, value);
     } else {
       job_.directOutputter->consume(key, value);
@@ -823,11 +824,11 @@ class AsyncEngine::Run {
     for (const auto& [tabIdx, writer] : job_.writers) {
       class Export : public kv::PairConsumer {
        public:
-        Export(RawExporter& exporter, std::mutex& mu)
+        Export(RawExporter& exporter, RankedMutex<LockRank::kEngineControl>& mu)
             : exporter_(exporter), mu_(mu) {}
         bool consume(std::uint32_t, kv::KeyView k, kv::ValueView v) override {
           if (exporter_.wantsSerial()) {
-            std::lock_guard<std::mutex> lock(mu_);
+            LockGuard lock(mu_);
             exporter_.consume(k, v);
           } else {
             exporter_.consume(k, v);
@@ -837,9 +838,9 @@ class AsyncEngine::Run {
 
        private:
         RawExporter& exporter_;
-        std::mutex& mu_;
+        RankedMutex<LockRank::kEngineControl>& mu_;
       };
-      std::mutex mu;
+      RankedMutex<LockRank::kEngineControl> mu;
       Export consumer(*writer, mu);
       stateTables_[static_cast<std::size_t>(tabIdx)]->enumerate(consumer);
       writer->finish();
@@ -883,7 +884,7 @@ class AsyncEngine::Run {
 
   std::unique_ptr<sim::VirtualCluster> vt_;
 
-  std::mutex controlMu_;
+  RankedMutex<LockRank::kEngineControl> controlMu_;
   WeightLedger ledger_;
   std::atomic<bool> closed_{false};
   std::atomic<bool> failed_{false};
@@ -892,14 +893,14 @@ class AsyncEngine::Run {
   // Transient-error absorption and worker-failure takeover state.
   std::vector<fault::Retrier> partRetry_;
   fault::Retrier clientRetry_;
-  std::mutex takeoverMu_;
+  RankedMutex<LockRank::kEngineControl> takeoverMu_;
   std::vector<bool> dead_;                          // Guarded by takeoverMu_.
   std::vector<std::vector<std::uint32_t>> adoptedOf_;  // Guarded by takeoverMu_.
   std::uint32_t aliveWorkers_ = 0;                  // Guarded by takeoverMu_.
   std::uint64_t recoveries_ = 0;                    // Guarded by takeoverMu_.
   std::atomic<std::uint64_t> adoptedEpoch_{0};
 
-  std::mutex directMu_;
+  RankedMutex<LockRank::kEngineControl> directMu_;
   std::vector<PartMetrics> partMetrics_;
   EngineMetrics metrics_;
 };

@@ -3,10 +3,11 @@
 
 #pragma once
 
-#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "common/ranked_mutex.h"
+#include "common/thread_annotations.h"
 #include "ebsp/raw_job.h"
 
 namespace ripple::ebsp {
@@ -78,24 +79,24 @@ class FunctionLoader : public RawLoader {
 class CollectingExporter : public RawExporter {
  public:
   void consume(BytesView key, BytesView value) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     pairs_.emplace_back(Bytes(key), Bytes(value));
   }
 
   [[nodiscard]] bool wantsSerial() const override { return false; }
 
   [[nodiscard]] std::vector<std::pair<Bytes, Bytes>> take() {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     return std::move(pairs_);
   }
 
   [[nodiscard]] std::size_t count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     return pairs_.size();
   }
 
  private:
-  mutable std::mutex mu_;
+  mutable RankedMutex<LockRank::kEngineState> mu_;
   std::vector<std::pair<Bytes, Bytes>> pairs_;
 };
 

@@ -2,13 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "common/executor.h"
 #include "common/logging.h"
+#include "common/ranked_mutex.h"
+#include "common/thread_annotations.h"
 #include "common/stats.h"
 #include "ebsp/transport.h"
 #include "fault/faulty_store.h"
@@ -39,7 +40,7 @@ class ExporterSink {
       return;
     }
     if (exporter_->wantsSerial()) {
-      std::lock_guard<std::mutex> lock(mu_);
+      LockGuard lock(mu_);
       exporter_->consume(key, value);
     } else {
       exporter_->consume(key, value);
@@ -56,7 +57,7 @@ class ExporterSink {
 
  private:
   RawExporter* exporter_;
-  std::mutex mu_;
+  RankedMutex<LockRank::kEngineControl> mu_;
 };
 
 }  // namespace

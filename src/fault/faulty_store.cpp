@@ -143,7 +143,7 @@ kv::TablePtr FaultyStore::wrapTable(kv::TablePtr table) {
   if (!table) {
     return nullptr;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto it = wrappers_.find(table->name());
   if (it != wrappers_.end()) {
     return it->second;
@@ -171,7 +171,7 @@ kv::TablePtr FaultyStore::lookupTable(const std::string& name) {
 
 void FaultyStore::dropTable(const std::string& name) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     wrappers_.erase(name);
   }
   inner_->dropTable(name);

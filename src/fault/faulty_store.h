@@ -12,7 +12,6 @@
 
 #pragma once
 
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -63,7 +62,7 @@ class FaultyStore : public kv::KVStore {
 
   kv::KVStorePtr inner_;
   FaultInjectorPtr injector_;
-  std::mutex mu_;
+  RankedMutex<LockRank::kStoreTableMap> mu_;
   std::unordered_map<std::string, kv::TablePtr> wrappers_;
 };
 

@@ -11,7 +11,7 @@ namespace {
 class LocalTable : public Table {
  public:
   LocalTable(std::string name, TableOptions options, StoreMetrics* metrics,
-             std::recursive_mutex* mu)
+             RankedRecursiveMutex<LockRank::kStoreStripe>* mu)
       : name_(std::move(name)), options_(std::move(options)),
         metrics_(metrics), mu_(mu) {
     if (options_.ubiquitous) {
@@ -42,7 +42,7 @@ class LocalTable : public Table {
   }
 
   std::optional<Value> get(KeyView key) override {
-    std::lock_guard<std::recursive_mutex> lock(*mu_);
+    LockGuard lock(*mu_);
     metrics_->incLocal();
     const Bytes* v = parts_[partOf(key)].find(key);
     if (v == nullptr) {
@@ -53,20 +53,20 @@ class LocalTable : public Table {
 
   void put(KeyView key, ValueView value) override {
     checkWritable("put");
-    std::lock_guard<std::recursive_mutex> lock(*mu_);
+    LockGuard lock(*mu_);
     metrics_->incLocal();
     parts_[partOf(key)].put(key, value);
   }
 
   bool erase(KeyView key) override {
     checkWritable("erase");
-    std::lock_guard<std::recursive_mutex> lock(*mu_);
+    LockGuard lock(*mu_);
     metrics_->incLocal();
     return parts_[partOf(key)].erase(key);
   }
 
   [[nodiscard]] std::uint64_t size() const override {
-    std::lock_guard<std::recursive_mutex> lock(*mu_);
+    LockGuard lock(*mu_);
     std::uint64_t total = 0;
     for (const auto& p : parts_) {
       total += p.size();
@@ -75,7 +75,7 @@ class LocalTable : public Table {
   }
 
   [[nodiscard]] std::uint64_t partSize(std::uint32_t part) const override {
-    std::lock_guard<std::recursive_mutex> lock(*mu_);
+    LockGuard lock(*mu_);
     return parts_.at(part).size();
   }
 
@@ -97,7 +97,7 @@ class LocalTable : public Table {
     // freely mutate this or other tables.
     std::vector<std::pair<Bytes, Bytes>> snapshot;
     {
-      std::lock_guard<std::recursive_mutex> lock(*mu_);
+      LockGuard lock(*mu_);
       snapshot.reserve(parts_.at(part).size());
       parts_.at(part).forEach([&](BytesView k, BytesView v) {
         snapshot.emplace_back(Bytes(k), Bytes(v));
@@ -127,13 +127,13 @@ class LocalTable : public Table {
 
   std::uint64_t clearPart(std::uint32_t part) override {
     checkWritable("clearPart");
-    std::lock_guard<std::recursive_mutex> lock(*mu_);
+    LockGuard lock(*mu_);
     return parts_.at(part).clear();
   }
 
   std::vector<std::pair<Key, Value>> drainPart(std::uint32_t part) override {
     checkWritable("drainPart");
-    std::lock_guard<std::recursive_mutex> lock(*mu_);
+    LockGuard lock(*mu_);
     metrics_->incScans();
     return parts_.at(part).drain();
   }
@@ -142,7 +142,7 @@ class LocalTable : public Table {
   std::string name_;
   TableOptions options_;
   StoreMetrics* metrics_;
-  std::recursive_mutex* mu_;
+  RankedRecursiveMutex<LockRank::kStoreStripe>* mu_;
   std::vector<detail::PartData> parts_;
 };
 
@@ -154,7 +154,7 @@ std::shared_ptr<LocalStore> LocalStore::create() {
 
 TablePtr LocalStore::createTable(const std::string& name,
                                  TableOptions options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   if (tables_.contains(name)) {
     throw std::invalid_argument("LocalStore: table '" + name +
                                 "' already exists");
@@ -166,13 +166,13 @@ TablePtr LocalStore::createTable(const std::string& name,
 }
 
 TablePtr LocalStore::lookupTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second;
 }
 
 void LocalStore::dropTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   tables_.erase(name);
 }
 

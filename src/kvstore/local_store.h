@@ -7,10 +7,11 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/ranked_mutex.h"
+#include "common/thread_annotations.h"
 #include "kvstore/table.h"
 
 namespace ripple::kv {
@@ -35,12 +36,12 @@ class LocalStore : public KVStore,
  private:
   LocalStore() = default;
 
-  std::mutex mu_;  // Guards the table registry.
+  RankedMutex<LockRank::kStoreTableMap> mu_;  // Guards the table registry.
   // One coarse lock serializes all table contents: this store optimizes
   // for debuggability, not concurrency.  Recursive because consumer
   // call-backs may re-enter table operations.
-  std::recursive_mutex tableMu_;
-  std::unordered_map<std::string, TablePtr> tables_;
+  RankedRecursiveMutex<LockRank::kStoreStripe> tableMu_;
+  std::unordered_map<std::string, TablePtr> tables_ RIPPLE_GUARDED_BY(mu_);
   StoreMetrics metrics_;
 };
 

@@ -1,7 +1,6 @@
 #include "kvstore/partitioned_store.h"
 
 #include <future>
-#include <shared_mutex>
 #include <stdexcept>
 
 #include "kvstore/part_data.h"
@@ -95,7 +94,7 @@ class PartitionedTable : public Table {
     const std::uint32_t part = partOf(key);
     return onOwner(part, key.size(), [&]() -> std::optional<Value> {
       LockedPart& p = *parts_[part];
-      std::lock_guard<std::mutex> lock(p.mu);
+      LockGuard lock(p.mu);
       const Bytes* v = p.data.find(key);
       if (v == nullptr) {
         return std::nullopt;
@@ -109,7 +108,7 @@ class PartitionedTable : public Table {
     const std::uint32_t part = partOf(key);
     onOwner(part, key.size() + value.size(), [&] {
       LockedPart& p = *parts_[part];
-      std::lock_guard<std::mutex> lock(p.mu);
+      LockGuard lock(p.mu);
       p.data.put(key, value);
     });
   }
@@ -119,7 +118,7 @@ class PartitionedTable : public Table {
     const std::uint32_t part = partOf(key);
     return onOwner(part, key.size(), [&] {
       LockedPart& p = *parts_[part];
-      std::lock_guard<std::mutex> lock(p.mu);
+      LockGuard lock(p.mu);
       return p.data.erase(key);
     });
   }
@@ -138,7 +137,7 @@ class PartitionedTable : public Table {
       }
       auto apply = [this, part, group = std::move(byPart[part])] {
         LockedPart& p = *parts_[part];
-        std::lock_guard<std::mutex> lock(p.mu);
+        LockGuard lock(p.mu);
         for (const auto* e : group) {
           p.data.put(e->first, e->second);
         }
@@ -160,7 +159,7 @@ class PartitionedTable : public Table {
   [[nodiscard]] std::uint64_t size() const override {
     std::uint64_t total = 0;
     for (const auto& p : parts_) {
-      std::lock_guard<std::mutex> lock(p->mu);
+      LockGuard lock(p->mu);
       total += p->data.size();
     }
     return total;
@@ -168,7 +167,7 @@ class PartitionedTable : public Table {
 
   [[nodiscard]] std::uint64_t partSize(std::uint32_t part) const override {
     LockedPart& p = *parts_.at(part);
-    std::lock_guard<std::mutex> lock(p.mu);
+    LockGuard lock(p.mu);
     return p.data.size();
   }
 
@@ -224,7 +223,7 @@ class PartitionedTable : public Table {
   std::uint64_t clearPart(std::uint32_t part) override {
     checkWritable("clearPart");
     LockedPart& p = *parts_.at(part);
-    std::lock_guard<std::mutex> lock(p.mu);
+    LockGuard lock(p.mu);
     return p.data.clear();
   }
 
@@ -232,14 +231,14 @@ class PartitionedTable : public Table {
     checkWritable("drainPart");
     metrics_->incScans();
     LockedPart& p = *parts_.at(part);
-    std::lock_guard<std::mutex> lock(p.mu);
+    LockGuard lock(p.mu);
     return p.data.drain();
   }
 
  private:
   struct LockedPart {
     explicit LockedPart(bool ordered) : data(ordered) {}
-    mutable std::mutex mu;
+    mutable RankedMutex<LockRank::kStoreStripe> mu;
     detail::PartData data;
   };
 
@@ -270,7 +269,7 @@ class PartitionedTable : public Table {
     std::vector<std::pair<Bytes, Bytes>> snapshot;
     {
       LockedPart& p = *parts_.at(part);
-      std::lock_guard<std::mutex> lock(p.mu);
+      LockGuard lock(p.mu);
       snapshot.reserve(p.data.size());
       p.data.forEach([&](BytesView k, BytesView v) {
         snapshot.emplace_back(Bytes(k), Bytes(v));
@@ -315,7 +314,7 @@ class UbiquitousTable : public Table {
 
   std::optional<Value> get(KeyView key) override {
     metrics_->incLocal();
-    std::shared_lock lock(mu_);
+    SharedLock lock(mu_);
     const Bytes* v = data_.find(key);
     if (v == nullptr) {
       return std::nullopt;
@@ -326,18 +325,18 @@ class UbiquitousTable : public Table {
   void put(KeyView key, ValueView value) override {
     checkWritable("put");
     metrics_->incLocal();
-    std::unique_lock lock(mu_);
+    LockGuard lock(mu_);
     data_.put(key, value);
   }
 
   bool erase(KeyView key) override {
     checkWritable("erase");
-    std::unique_lock lock(mu_);
+    LockGuard lock(mu_);
     return data_.erase(key);
   }
 
   [[nodiscard]] std::uint64_t size() const override {
-    std::shared_lock lock(mu_);
+    SharedLock lock(mu_);
     return data_.size();
   }
 
@@ -355,7 +354,7 @@ class UbiquitousTable : public Table {
     }
     std::vector<std::pair<Bytes, Bytes>> snapshot;
     {
-      std::shared_lock lock(mu_);
+      SharedLock lock(mu_);
       snapshot.reserve(data_.size());
       data_.forEach([&](BytesView k, BytesView v) {
         snapshot.emplace_back(Bytes(k), Bytes(v));
@@ -377,13 +376,13 @@ class UbiquitousTable : public Table {
 
   std::uint64_t clearPart(std::uint32_t) override {
     checkWritable("clearPart");
-    std::unique_lock lock(mu_);
+    LockGuard lock(mu_);
     return data_.clear();
   }
 
   std::vector<std::pair<Key, Value>> drainPart(std::uint32_t) override {
     checkWritable("drainPart");
-    std::unique_lock lock(mu_);
+    LockGuard lock(mu_);
     return data_.drain();
   }
 
@@ -391,7 +390,7 @@ class UbiquitousTable : public Table {
   std::string name_;
   TableOptions options_;
   StoreMetrics* metrics_;
-  mutable std::shared_mutex mu_;
+  mutable RankedSharedMutex<LockRank::kStoreStripe> mu_;
   detail::PartData data_;
 };
 
@@ -425,7 +424,7 @@ std::uint32_t PartitionedStore::containerCount() const {
 
 TablePtr PartitionedStore::createTable(const std::string& name,
                                        TableOptions options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   if (tables_.contains(name)) {
     throw std::invalid_argument("PartitionedStore: table '" + name +
                                 "' already exists");
@@ -443,13 +442,13 @@ TablePtr PartitionedStore::createTable(const std::string& name,
 }
 
 TablePtr PartitionedStore::lookupTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second;
 }
 
 void PartitionedStore::dropTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   tables_.erase(name);
 }
 

@@ -18,12 +18,13 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/executor.h"
+#include "common/ranked_mutex.h"
+#include "common/thread_annotations.h"
 #include "kvstore/table.h"
 
 namespace ripple::kv {
@@ -75,8 +76,8 @@ class PartitionedStore : public KVStore,
   explicit PartitionedStore(std::uint32_t containers);
 
   std::vector<std::unique_ptr<detail::Container>> containers_;
-  std::mutex mu_;  // Guards the table registry.
-  std::unordered_map<std::string, TablePtr> tables_;
+  RankedMutex<LockRank::kStoreTableMap> mu_;  // Guards the table registry.
+  std::unordered_map<std::string, TablePtr> tables_ RIPPLE_GUARDED_BY(mu_);
   StoreMetrics metrics_;
 
   friend class PartitionedTable;

@@ -61,9 +61,9 @@ class Stripe {
  public:
   Stripe() { slots_.resize(kInitialCapacity); }
 
-  mutable std::mutex mu;
+  mutable RankedMutex<LockRank::kStoreStripe> mu;
 
-  [[nodiscard]] const Bytes* find(BytesView key) const {
+  [[nodiscard]] const Bytes* find(BytesView key) const RIPPLE_REQUIRES(mu) {
     const std::size_t mask = slots_.size() - 1;
     std::size_t idx = probeStart(key);
     for (std::size_t step = 0; step < slots_.size(); ++step) {
@@ -79,7 +79,7 @@ class Stripe {
   }
 
   /// Insert-or-assign; returns true when the key was new.
-  bool put(BytesView key, BytesView value) {
+  bool put(BytesView key, BytesView value) RIPPLE_REQUIRES(mu) {
     growIfNeeded();
     const std::size_t mask = slots_.size() - 1;
     std::size_t idx = probeStart(key);
@@ -110,7 +110,7 @@ class Stripe {
   }
 
   /// Returns true when the key existed.
-  bool erase(BytesView key) {
+  bool erase(BytesView key) RIPPLE_REQUIRES(mu) {
     const std::size_t mask = slots_.size() - 1;
     std::size_t idx = probeStart(key);
     for (std::size_t step = 0; step < slots_.size(); ++step) {
@@ -129,9 +129,9 @@ class Stripe {
     return false;
   }
 
-  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] std::size_t size() const RIPPLE_REQUIRES(mu) { return live_; }
 
-  std::size_t clear() {
+  std::size_t clear() RIPPLE_REQUIRES(mu) {
     const std::size_t n = live_;
     slots_.assign(kInitialCapacity, Slot{});
     live_ = 0;
@@ -140,7 +140,7 @@ class Stripe {
   }
 
   template <typename Fn>
-  void forEach(Fn&& fn) const {
+  void forEach(Fn&& fn) const RIPPLE_REQUIRES(mu) {
     for (const Slot& s : slots_) {
       if (s.state == SlotState::kFull) {
         fn(BytesView(s.key), BytesView(s.value));
@@ -163,7 +163,7 @@ class Stripe {
            (slots_.size() - 1);
   }
 
-  void growIfNeeded() {
+  void growIfNeeded() RIPPLE_REQUIRES(mu) {
     if ((used_ + 1) * 10 < slots_.size() * 7) {
       return;
     }
@@ -178,9 +178,10 @@ class Stripe {
     }
   }
 
-  std::vector<Slot> slots_;
-  std::size_t live_ = 0;   // kFull slots.
-  std::size_t used_ = 0;   // kFull + kTomb slots (probe-chain length bound).
+  std::vector<Slot> slots_ RIPPLE_GUARDED_BY(mu);
+  std::size_t live_ RIPPLE_GUARDED_BY(mu) = 0;   // kFull slots.
+  std::size_t used_ RIPPLE_GUARDED_BY(mu) =
+      0;  // kFull + kTomb slots (probe-chain length bound).
 };
 
 /// One part of a shard table: lock stripes fronted by an append-only
@@ -192,7 +193,7 @@ class PartShard {
 
   [[nodiscard]] std::optional<Bytes> get(BytesView key) const {
     {
-      std::lock_guard<std::mutex> lock(bufMu_);
+      LockGuard lock(bufMu_);
       // Newest-wins: scan the append log backwards.
       for (auto it = buffer_.rbegin(); it != buffer_.rend(); ++it) {
         if (BytesView(it->key) == key) {
@@ -204,7 +205,7 @@ class PartShard {
       }
     }
     const Stripe& s = stripeFor(key);
-    std::lock_guard<std::mutex> lock(s.mu);
+    LockGuard lock(s.mu);
     const Bytes* v = s.find(key);
     if (v == nullptr) {
       return std::nullopt;
@@ -213,7 +214,7 @@ class PartShard {
   }
 
   void put(BytesView key, BytesView value) {
-    std::lock_guard<std::mutex> lock(bufMu_);
+    LockGuard lock(bufMu_);
     buffer_.push_back({Bytes(key), Bytes(value), false});
     if (buffer_.size() >= bufferLimit_) {
       flushLocked();
@@ -221,7 +222,7 @@ class PartShard {
   }
 
   bool erase(BytesView key) {
-    std::lock_guard<std::mutex> lock(bufMu_);
+    LockGuard lock(bufMu_);
     bool existed = false;
     bool inBuffer = false;
     for (auto it = buffer_.rbegin(); it != buffer_.rend(); ++it) {
@@ -233,7 +234,7 @@ class PartShard {
     }
     if (!inBuffer) {
       const Stripe& s = stripeFor(key);
-      std::lock_guard<std::mutex> stripeLock(s.mu);
+      LockGuard stripeLock(s.mu);
       existed = s.find(key) != nullptr;
     }
     buffer_.push_back({Bytes(key), Bytes{}, true});
@@ -244,7 +245,7 @@ class PartShard {
   }
 
   void putMany(const std::vector<const std::pair<Bytes, Bytes>*>& entries) {
-    std::lock_guard<std::mutex> lock(bufMu_);
+    LockGuard lock(bufMu_);
     for (const auto* e : entries) {
       buffer_.push_back({e->first, e->second, false});
     }
@@ -256,7 +257,7 @@ class PartShard {
   /// Fold the write buffer into the stripes (the "on barrier" flush: any
   /// operation needing a consistent whole-part view calls this first).
   void flush() {
-    std::lock_guard<std::mutex> lock(bufMu_);
+    LockGuard lock(bufMu_);
     flushLocked();
   }
 
@@ -264,7 +265,7 @@ class PartShard {
     const_cast<PartShard*>(this)->flush();
     std::size_t total = 0;
     for (const Stripe& s : stripes_) {
-      std::lock_guard<std::mutex> lock(s.mu);
+      LockGuard lock(s.mu);
       total += s.size();
     }
     return total;
@@ -275,7 +276,7 @@ class PartShard {
     const_cast<PartShard*>(this)->flush();
     std::vector<std::pair<Bytes, Bytes>> out;
     for (const Stripe& s : stripes_) {
-      std::lock_guard<std::mutex> lock(s.mu);
+      LockGuard lock(s.mu);
       s.forEach([&](BytesView k, BytesView v) {
         out.emplace_back(Bytes(k), Bytes(v));
       });
@@ -286,11 +287,11 @@ class PartShard {
   }
 
   std::vector<std::pair<Bytes, Bytes>> drain() {
-    std::lock_guard<std::mutex> lock(bufMu_);
+    LockGuard lock(bufMu_);
     flushLocked();
     std::vector<std::pair<Bytes, Bytes>> out;
     for (Stripe& s : stripes_) {
-      std::lock_guard<std::mutex> stripeLock(s.mu);
+      LockGuard stripeLock(s.mu);
       s.forEach([&](BytesView k, BytesView v) {
         out.emplace_back(Bytes(k), Bytes(v));
       });
@@ -302,11 +303,11 @@ class PartShard {
   }
 
   std::size_t clear() {
-    std::lock_guard<std::mutex> lock(bufMu_);
+    LockGuard lock(bufMu_);
     flushLocked();
     std::size_t removed = 0;
     for (Stripe& s : stripes_) {
-      std::lock_guard<std::mutex> stripeLock(s.mu);
+      LockGuard stripeLock(s.mu);
       removed += s.clear();
     }
     return removed;
@@ -314,7 +315,7 @@ class PartShard {
 
   /// Write-buffer occupancy (for the flush tests).
   [[nodiscard]] std::size_t buffered() const {
-    std::lock_guard<std::mutex> lock(bufMu_);
+    LockGuard lock(bufMu_);
     return buffer_.size();
   }
 
@@ -336,11 +337,10 @@ class PartShard {
     return stripes_[(h >> 32) % stripes_.size()];
   }
 
-  // Caller holds bufMu_.
-  void flushLocked() {
+  void flushLocked() RIPPLE_REQUIRES(bufMu_) {
     for (const BufferedWrite& w : buffer_) {
       Stripe& s = stripeFor(w.key);
-      std::lock_guard<std::mutex> lock(s.mu);
+      LockGuard lock(s.mu);
       if (w.tombstone) {
         s.erase(w.key);
       } else {
@@ -350,8 +350,8 @@ class PartShard {
     buffer_.clear();
   }
 
-  mutable std::mutex bufMu_;
-  std::vector<BufferedWrite> buffer_;
+  mutable RankedMutex<LockRank::kStoreBuffer> bufMu_;
+  std::vector<BufferedWrite> buffer_ RIPPLE_GUARDED_BY(bufMu_);
   std::size_t bufferLimit_;
   mutable std::vector<Stripe> stripes_;
 };
@@ -368,7 +368,7 @@ class LruCache {
     if (capacity_ == 0) {
       return std::nullopt;
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto it = index_.find(Bytes(key));
     if (it == index_.end()) {
       return std::nullopt;
@@ -381,7 +381,7 @@ class LruCache {
     if (capacity_ == 0) {
       return;
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     Bytes k(key);
     auto it = index_.find(k);
     if (it != index_.end()) {
@@ -398,7 +398,7 @@ class LruCache {
   }
 
   void invalidate(BytesView key) {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto it = index_.find(Bytes(key));
     if (it != index_.end()) {
       order_.erase(it->second);
@@ -407,22 +407,22 @@ class LruCache {
   }
 
   void invalidateAll() {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     order_.clear();
     index_.clear();
   }
 
   [[nodiscard]] std::size_t entries() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     return order_.size();
   }
 
  private:
   std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::list<std::pair<Bytes, Bytes>> order_;
+  mutable RankedMutex<LockRank::kStoreCache> mu_;
+  std::list<std::pair<Bytes, Bytes>> order_ RIPPLE_GUARDED_BY(mu_);
   std::unordered_map<Bytes, std::list<std::pair<Bytes, Bytes>>::iterator>
-      index_;
+      index_ RIPPLE_GUARDED_BY(mu_);
 };
 
 /// A partitioned shard table.
@@ -780,7 +780,7 @@ shard_detail::Location& ShardStore::locationFor(std::uint32_t part) {
 
 TablePtr ShardStore::createTable(const std::string& name,
                                  TableOptions options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   if (tables_.contains(name)) {
     throw std::invalid_argument("ShardStore: table '" + name +
                                 "' already exists");
@@ -798,13 +798,13 @@ TablePtr ShardStore::createTable(const std::string& name,
 }
 
 TablePtr ShardStore::lookupTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second;
 }
 
 void ShardStore::dropTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   tables_.erase(name);
 }
 

@@ -31,7 +31,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -104,7 +103,7 @@ class ShardStore : public KVStore,
 
   Options options_;
   std::vector<std::unique_ptr<shard_detail::Location>> locations_;
-  std::mutex mu_;  // Guards the table registry.
+  RankedMutex<LockRank::kStoreTableMap> mu_;  // Guards the table registry.
   std::unordered_map<std::string, TablePtr> tables_;
   StoreMetrics metrics_;
 };

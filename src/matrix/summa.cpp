@@ -1,6 +1,5 @@
 #include "matrix/summa.h"
 
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
@@ -218,7 +217,7 @@ class SummaCompute : public ebsp::Compute<std::uint32_t, SummaState, SummaMsg> {
   SummaState& liveState(Context& ctx) {
     const std::uint32_t key = ctx.key();
     {
-      std::lock_guard<std::mutex> lock(liveMu_);
+      LockGuard lock(liveMu_);
       auto it = live_.find(key);
       if (it != live_.end()) {
         return *it->second;
@@ -230,13 +229,13 @@ class SummaCompute : public ebsp::Compute<std::uint32_t, SummaState, SummaMsg> {
     }
     auto owned = std::make_unique<SummaState>(std::move(*stateOpt));
     SummaState* raw = owned.get();
-    std::lock_guard<std::mutex> lock(liveMu_);
+    LockGuard lock(liveMu_);
     live_.emplace(key, std::move(owned));
     return *raw;
   }
 
   void dropLiveState(std::uint32_t key) {
-    std::lock_guard<std::mutex> lock(liveMu_);
+    LockGuard lock(liveMu_);
     live_.erase(key);
   }
   /// Batch this component must send next on the given channel, if any:
@@ -332,7 +331,7 @@ class SummaCompute : public ebsp::Compute<std::uint32_t, SummaState, SummaMsg> {
 
   bool limited_;
   std::shared_ptr<SummaInstrumentation> instr_;
-  std::mutex liveMu_;
+  RankedMutex<LockRank::kEngineControl> liveMu_;
   std::unordered_map<std::uint32_t, std::unique_ptr<SummaState>> live_;
 };
 

@@ -23,8 +23,9 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 
+#include "common/ranked_mutex.h"
+#include "common/thread_annotations.h"
 #include "ebsp/engine.h"
 #include "matrix/dense.h"
 
@@ -35,17 +36,17 @@ namespace ripple::matrix {
 class SummaInstrumentation {
  public:
   void recordMultiply(int step) {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     ++multsPerStep_[step];
   }
 
   [[nodiscard]] std::map<int, std::uint64_t> multsPerStep() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     return multsPerStep_;
   }
 
  private:
-  mutable std::mutex mu_;
+  mutable RankedMutex<LockRank::kEngineState> mu_;
   std::map<int, std::uint64_t> multsPerStep_;
 };
 

@@ -1,11 +1,12 @@
 #include <atomic>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/queue.h"
+#include "common/ranked_mutex.h"
+#include "common/thread_annotations.h"
 #include "mq/queue.h"
 
 namespace ripple::mq {
@@ -51,7 +52,7 @@ class MemQueueSet : public QueueSet,
                                                           : workerBudget;
     std::vector<std::thread> threads;
     threads.reserve(workers);
-    std::mutex failMu;
+    RankedMutex<LockRank::kExecutor> failMu;
     std::exception_ptr failure;
     for (std::uint32_t w = 0; w < workers; ++w) {
       threads.emplace_back([&, w] {
@@ -60,7 +61,7 @@ class MemQueueSet : public QueueSet,
         try {
           body(ctx);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(failMu);
+          LockGuard lock(failMu);
           if (!failure) {
             failure = std::current_exception();
           }
@@ -184,28 +185,51 @@ class MemQueuing : public Queuing {
 
   QueueSetPtr createQueueSet(const std::string& name,
                              const kv::TablePtr& placement) override {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (sets_.contains(name)) {
-      throw std::invalid_argument("MemQueuing: queue set '" + name +
-                                  "' already exists");
+    // Reserve under the lock, construct UNLOCKED, publish: building a set
+    // touches the store (rank-legal for local backends, but a remote
+    // store does wire I/O), and the registry lock must never be held
+    // across either.
+    {
+      LockGuard lock(mu_);
+      if (!sets_.emplace(name, nullptr).second) {
+        throw std::invalid_argument("MemQueuing: queue set '" + name +
+                                    "' already exists");
+      }
     }
-    auto set = std::make_shared<MemQueueSet>(name, store_, placement);
-    sets_.emplace(name, set);
+    std::shared_ptr<MemQueueSet> set;
+    try {
+      set = std::make_shared<MemQueueSet>(name, store_, placement);
+    } catch (...) {
+      LockGuard lock(mu_);
+      sets_.erase(name);
+      throw;
+    }
+    LockGuard lock(mu_);
+    sets_[name] = set;
     return set;
   }
 
   void deleteQueueSet(const std::string& name) override {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = sets_.find(name);
-    if (it != sets_.end()) {
-      it->second->close();
+    // Unregister under the lock, close AFTER releasing it: close() takes
+    // every member queue's mutex (same kQueue rank as the registry), so
+    // closing under the registry lock is a lock-order violation — found
+    // by the rank validator, regression-tested in queue_set_test.cpp.
+    std::shared_ptr<MemQueueSet> set;
+    {
+      LockGuard lock(mu_);
+      auto it = sets_.find(name);
+      if (it == sets_.end() || it->second == nullptr) {
+        return;  // nullptr: still being constructed by createQueueSet.
+      }
+      set = std::move(it->second);
       sets_.erase(it);
     }
+    set->close();
   }
 
  private:
   kv::KVStorePtr store_;
-  std::mutex mu_;
+  RankedMutex<LockRank::kQueue> mu_;
   std::unordered_map<std::string, std::shared_ptr<MemQueueSet>> sets_;
 };
 

@@ -12,7 +12,6 @@
 #include <algorithm>
 #include <atomic>
 #include <deque>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
@@ -96,7 +95,7 @@ class TableQueueSet : public QueueSet {
                                                           : workerBudget;
     std::vector<std::thread> threads;
     threads.reserve(workers);
-    std::mutex failMu;
+    RankedMutex<LockRank::kExecutor> failMu;
     std::exception_ptr failure;
     for (std::uint32_t w = 0; w < workers; ++w) {
       threads.emplace_back([&, w] {
@@ -105,7 +104,7 @@ class TableQueueSet : public QueueSet {
         try {
           body(ctx);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(failMu);
+          LockGuard lock(failMu);
           if (!failure) {
             failure = std::current_exception();
           }
@@ -250,28 +249,51 @@ class TableQueuing : public Queuing {
 
   QueueSetPtr createQueueSet(const std::string& name,
                              const kv::TablePtr& placement) override {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (sets_.contains(name)) {
-      throw std::invalid_argument("TableQueuing: queue set '" + name +
-                                  "' already exists");
+    // Reserve under the lock, construct UNLOCKED, publish: the set ctor
+    // creates its backing table on the store — blocking wire I/O when the
+    // store is remote — and the registry lock must never be held across
+    // that (rank-validator finding; regression in remote_store_test.cpp).
+    {
+      LockGuard lock(mu_);
+      if (!sets_.emplace(name, nullptr).second) {
+        throw std::invalid_argument("TableQueuing: queue set '" + name +
+                                    "' already exists");
+      }
     }
-    auto set = std::make_shared<TableQueueSet>(name, store_, placement);
-    sets_.emplace(name, set);
+    std::shared_ptr<TableQueueSet> set;
+    try {
+      set = std::make_shared<TableQueueSet>(name, store_, placement);
+    } catch (...) {
+      LockGuard lock(mu_);
+      sets_.erase(name);
+      throw;
+    }
+    LockGuard lock(mu_);
+    sets_[name] = set;
     return set;
   }
 
   void deleteQueueSet(const std::string& name) override {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = sets_.find(name);
-    if (it != sets_.end()) {
-      it->second->dropBacking();
+    // Unregister under the lock, drop the backing table AFTER releasing
+    // it: dropBacking() goes through the store (wire I/O when remote) and
+    // takes queue-rank locks while closing.  A nullptr entry is a set
+    // still being constructed by createQueueSet; leave it alone.
+    std::shared_ptr<TableQueueSet> set;
+    {
+      LockGuard lock(mu_);
+      auto it = sets_.find(name);
+      if (it == sets_.end() || it->second == nullptr) {
+        return;
+      }
+      set = std::move(it->second);
       sets_.erase(it);
     }
+    set->dropBacking();
   }
 
  private:
   kv::KVStorePtr store_;
-  std::mutex mu_;
+  RankedMutex<LockRank::kQueue> mu_;
   std::unordered_map<std::string, std::shared_ptr<TableQueueSet>> sets_;
 };
 

@@ -32,7 +32,7 @@ void Client::bindRegistry(obs::MetricsRegistry& registry) {
 }
 
 void Client::closeAll() {
-  std::lock_guard<std::mutex> lock(poolMu_);
+  LockGuard lock(poolMu_);
   for (auto& idle : pool_) {
     idle.clear();
   }
@@ -40,7 +40,7 @@ void Client::closeAll() {
 
 std::unique_ptr<Client::Channel> Client::acquire(std::size_t endpoint) {
   {
-    std::lock_guard<std::mutex> lock(poolMu_);
+    LockGuard lock(poolMu_);
     auto& idle = pool_.at(endpoint);
     if (!idle.empty()) {
       std::unique_ptr<Channel> channel = std::move(idle.back());
@@ -56,7 +56,7 @@ std::unique_ptr<Client::Channel> Client::acquire(std::size_t endpoint) {
 }
 
 void Client::release(std::size_t endpoint, std::unique_ptr<Channel> channel) {
-  std::lock_guard<std::mutex> lock(poolMu_);
+  LockGuard lock(poolMu_);
   pool_.at(endpoint).push_back(std::move(channel));
 }
 

@@ -27,13 +27,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <vector>
 
 #include "common/bytes.h"
 #include "fault/fault.h"
 #include "fault/retry.h"
+#include "common/ranked_mutex.h"
+#include "common/thread_annotations.h"
 #include "net/frame.h"
 #include "net/net_metrics.h"
 #include "net/socket.h"
@@ -127,7 +128,7 @@ class Client {
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> escalations_{0};
 
-  std::mutex poolMu_;
+  RankedMutex<LockRank::kNetClient> poolMu_;
   std::vector<std::vector<std::unique_ptr<Channel>>> pool_;
 };
 

@@ -1,8 +1,10 @@
 #include "net/remote_queue.h"
 
+#include "common/ranked_mutex.h"
+#include "common/thread_annotations.h"
+
 #include <algorithm>
 #include <chrono>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
@@ -77,7 +79,7 @@ class RemoteQueueSet : public mq::QueueSet {
                                                           : workerBudget;
     std::vector<std::thread> threads;
     threads.reserve(workers);
-    std::mutex failMu;
+    RankedMutex<LockRank::kExecutor> failMu;
     std::exception_ptr failure;
     for (std::uint32_t w = 0; w < workers; ++w) {
       threads.emplace_back([&, w] {
@@ -86,7 +88,7 @@ class RemoteQueueSet : public mq::QueueSet {
         try {
           body(ctx);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(failMu);
+          LockGuard lock(failMu);
           if (!failure) {
             failure = std::current_exception();
           }
@@ -287,31 +289,47 @@ class RemoteQueuing : public mq::Queuing {
 
   mq::QueueSetPtr createQueueSet(const std::string& name,
                                  const kv::TablePtr& placement) override {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (sets_.contains(name)) {
-      throw std::invalid_argument("RemoteQueuing: queue set '" + name +
-                                  "' already exists");
+    // Reserve under the lock, create over the wire UNLOCKED, publish
+    // under the lock again: the registry mutex must never be held across
+    // blocking socket I/O (same discipline as RemoteStore::createTable).
+    {
+      LockGuard lock(mu_);
+      if (!sets_.emplace(name, nullptr).second) {
+        throw std::invalid_argument("RemoteQueuing: queue set '" + name +
+                                    "' already exists");
+      }
     }
     ByteWriter w(name.size() + 12);
     w.putBytes(name);
     w.putVarint(placement->numParts());
-    // Every server hosts the full queue array of the set; only the queues
-    // it owns under the placement map ever see traffic.
-    for (std::size_t e = 0; e < store_->placement().endpointCount(); ++e) {
-      store_->client().call(e, Opcode::kQueueCreate, w.view(),
-                            fault::Op::kEnqueue, name, 0, /*retryIo=*/false);
+    try {
+      // Every server hosts the full queue array of the set; only the
+      // queues it owns under the placement map ever see traffic.
+      for (std::size_t e = 0; e < store_->placement().endpointCount(); ++e) {
+        store_->client().call(e, Opcode::kQueueCreate, w.view(),
+                              fault::Op::kEnqueue, name, 0,
+                              /*retryIo=*/false);
+      }
+    } catch (...) {
+      LockGuard lock(mu_);
+      sets_.erase(name);
+      throw;
     }
     auto set = std::make_shared<RemoteQueueSet>(name, store_, placement);
-    sets_.emplace(name, set);
+    LockGuard lock(mu_);
+    sets_[name] = set;
     return set;
   }
 
   void deleteQueueSet(const std::string& name) override {
     std::shared_ptr<RemoteQueueSet> set;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      LockGuard lock(mu_);
       auto it = sets_.find(name);
-      if (it == sets_.end()) {
+      if (it == sets_.end() || it->second == nullptr) {
+        // Unknown, or a createQueueSet reservation still in flight — a
+        // delete racing an unfinished create is the caller's bug; don't
+        // tear down a half-created set under it.
         return;
       }
       set = it->second;
@@ -335,8 +353,11 @@ class RemoteQueuing : public mq::Queuing {
 
  private:
   RemoteStorePtr store_;
-  std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<RemoteQueueSet>> sets_;
+  // A queuing-registry rank, matching MemQueuing/TableQueuing: no wire
+  // call ever runs under this lock (see createQueueSet/deleteQueueSet).
+  RankedMutex<LockRank::kQueue> mu_;
+  std::unordered_map<std::string, std::shared_ptr<RemoteQueueSet>> sets_
+      RIPPLE_GUARDED_BY(mu_);
 };
 
 }  // namespace

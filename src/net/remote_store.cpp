@@ -330,20 +330,28 @@ std::shared_ptr<RemoteStore> RemoteStore::create(Options options) {
 RemoteStore::~RemoteStore() { shutdown(); }
 
 void RemoteStore::shutdown() {
-  std::lock_guard<std::mutex> lock(lifecycleMu_);
-  if (shutdown_) {
-    return;
-  }
-  shutdown_ = true;
-  for (auto& location : locations_) {
-    try {
-      location->shutdown();
-    } catch (...) {
-      // A leaked mobile-code exception must not abort teardown.
+  std::shared_ptr<void> keepalive;
+  {
+    LockGuard lock(lifecycleMu_);
+    if (shutdown_) {
+      return;
     }
+    shutdown_ = true;
+    for (auto& location : locations_) {
+      try {
+        location->shutdown();
+      } catch (...) {
+        // A leaked mobile-code exception must not abort teardown.
+      }
+    }
+    client_->closeAll();
+    keepalive = std::move(keepalive_);
   }
-  client_->closeAll();
-  keepalive_.reset();  // Implicit loopback servers stop here.
+  // Implicit loopback servers stop here, OUTSIDE the driver lifecycle
+  // lock: Server::stop() takes its own kNetLifecycle mutex, and nesting
+  // two same-rank lifecycle locks is a rank violation (found by the
+  // validator via makeLoopbackStore teardown).
+  keepalive.reset();
 }
 
 void RemoteStore::holdKeepalive(std::shared_ptr<void> keepalive) {
@@ -395,36 +403,55 @@ kv::TablePtr RemoteStore::createTable(const std::string& name,
     normalized.partitioner = makeDefaultPartitioner(normalized.parts);
   }
 
-  std::lock_guard<std::mutex> lock(tablesMu_);
-  if (tables_.contains(name)) {
-    throw std::invalid_argument("RemoteStore: table '" + name +
-                                "' already exists");
+  // Reserve the name, then do the wire round-trips UNLOCKED: tablesMu_
+  // must never be held across blocking socket I/O (a slow or dead server
+  // would wedge every other table operation behind it).  The nullptr
+  // placeholder keeps a concurrent createTable of the same name failing
+  // with "already exists" while lookupTable still reports "not found"
+  // until the table exists on every server.
+  {
+    LockGuard lock(tablesMu_);
+    if (!tables_.emplace(name, nullptr).second) {
+      throw std::invalid_argument("RemoteStore: table '" + name +
+                                  "' already exists");
+    }
   }
   ByteWriter w(name.size() + 16);
   w.putBytes(name);
   w.putVarint(normalized.parts);
   w.putBool(normalized.ordered);
   w.putBool(normalized.ubiquitous);
-  // A table's parts shard across every server, so it must exist on all.
-  for (std::size_t e = 0; e < placement_.endpointCount(); ++e) {
-    client_->call(e, Opcode::kCreateTable, w.view(), fault::Op::kPut, name, 0,
-                  /*retryIo=*/false);
+  try {
+    // A table's parts shard across every server, so it must exist on all.
+    for (std::size_t e = 0; e < placement_.endpointCount(); ++e) {
+      client_->call(e, Opcode::kCreateTable, w.view(), fault::Op::kPut, name,
+                    0, /*retryIo=*/false);
+    }
+  } catch (...) {
+    LockGuard lock(tablesMu_);
+    tables_.erase(name);
+    throw;
   }
   auto table =
       std::make_shared<RemoteTable>(this, name, std::move(normalized));
-  tables_.emplace(name, table);
+  LockGuard lock(tablesMu_);
+  tables_[name] = table;
   return table;
 }
 
 kv::TablePtr RemoteStore::lookupTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(tablesMu_);
+  LockGuard lock(tablesMu_);
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second;
 }
 
 void RemoteStore::dropTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(tablesMu_);
-  tables_.erase(name);
+  // Unregister first, wire-drop after: the registry lock is never held
+  // across blocking socket I/O (see createTable).
+  {
+    LockGuard lock(tablesMu_);
+    tables_.erase(name);
+  }
   ByteWriter w(name.size() + 8);
   w.putBytes(name);
   for (std::size_t e = 0; e < placement_.endpointCount(); ++e) {

@@ -29,7 +29,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -38,6 +37,8 @@
 #include "fault/retry.h"
 #include "kvstore/store_factory.h"
 #include "kvstore/table.h"
+#include "common/ranked_mutex.h"
+#include "common/thread_annotations.h"
 #include "net/client.h"
 #include "net/socket.h"
 
@@ -144,10 +145,15 @@ class RemoteStore : public kv::KVStore,
   PlacementMap placement_;
   std::vector<std::unique_ptr<SerialExecutor>> locations_;
   bool shutdown_ = false;
-  std::mutex lifecycleMu_;
+  RankedMutex<LockRank::kNetLifecycle> lifecycleMu_;
 
-  std::mutex tablesMu_;
-  std::unordered_map<std::string, kv::TablePtr> tables_;
+  // A STORE registry rank, not a net rank: driver-side RemoteStore is a
+  // kv backend, and callers (e.g. table-backed queue sets) nest it under
+  // queue-plane locks exactly like the local backends.  Sound because no
+  // wire call ever runs under this lock (see createTable/dropTable).
+  RankedMutex<LockRank::kStoreTableMap> tablesMu_;
+  std::unordered_map<std::string, kv::TablePtr> tables_
+      RIPPLE_GUARDED_BY(tablesMu_);
   kv::StoreMetrics metrics_;
 
   friend class RemoteTable;

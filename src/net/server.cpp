@@ -108,7 +108,7 @@ Server::Server(Options options) : options_(std::move(options)) {}
 Server::~Server() { stop(); }
 
 void Server::start() {
-  std::lock_guard<std::mutex> lock(lifecycleMu_);
+  LockGuard lock(lifecycleMu_);
   if (running_.load(std::memory_order_acquire)) {
     return;
   }
@@ -122,7 +122,7 @@ void Server::start() {
 }
 
 void Server::stop() {
-  std::lock_guard<std::mutex> lock(lifecycleMu_);
+  LockGuard lock(lifecycleMu_);
   stopping_.store(true, std::memory_order_release);
   requestStop();
   if (acceptThread_.joinable()) {
@@ -130,7 +130,7 @@ void Server::stop() {
   }
   std::vector<std::unique_ptr<Conn>> conns;
   {
-    std::lock_guard<std::mutex> connLock(connMu_);
+    LockGuard connLock(connMu_);
     conns.swap(conns_);
   }
   for (auto& conn : conns) {
@@ -148,20 +148,20 @@ void Server::stop() {
 
 void Server::requestStop() {
   {
-    std::lock_guard<std::mutex> lock(stopMu_);
+    LockGuard lock(stopMu_);
     stopRequested_.store(true, std::memory_order_release);
   }
   stopCv_.notify_all();
 }
 
 void Server::waitUntilStopRequested() {
-  std::unique_lock<std::mutex> lock(stopMu_);
+  UniqueLock lock(stopMu_);
   stopCv_.wait(lock,
                [&] { return stopRequested_.load(std::memory_order_acquire); });
 }
 
 std::size_t Server::connectionCount() const {
-  std::lock_guard<std::mutex> lock(connMu_);
+  LockGuard lock(connMu_);
   std::size_t live = 0;
   for (const auto& conn : conns_) {
     if (!conn->done.load(std::memory_order_acquire)) {
@@ -187,7 +187,7 @@ void Server::acceptLoop() {
     conn->sock = std::move(*sock);
     Conn* raw = conn.get();
     {
-      std::lock_guard<std::mutex> lock(connMu_);
+      LockGuard lock(connMu_);
       conns_.push_back(std::move(conn));
     }
     raw->thread = std::thread([this, raw] { serve(*raw); });
@@ -195,7 +195,7 @@ void Server::acceptLoop() {
 }
 
 void Server::reapFinishedConnections() {
-  std::lock_guard<std::mutex> lock(connMu_);
+  LockGuard lock(connMu_);
   auto it = conns_.begin();
   while (it != conns_.end()) {
     if ((*it)->done.load(std::memory_order_acquire)) {
@@ -293,7 +293,7 @@ Bytes Server::dispatch(std::uint8_t opcode, BytesView payload,
 }
 
 Server::HostedTable Server::lookupHosted(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(tablesMu_);
+  LockGuard lock(tablesMu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     throw std::invalid_argument("net::Server: unknown table '" + name + "'");
@@ -303,7 +303,7 @@ Server::HostedTable Server::lookupHosted(const std::string& name) const {
 
 std::shared_ptr<Server::HostedQueueSet> Server::lookupQueueSet(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(queuesMu_);
+  LockGuard lock(queuesMu_);
   auto it = queues_.find(name);
   if (it == queues_.end()) {
     throw std::invalid_argument("net::Server: unknown queue set '" + name +
@@ -324,7 +324,7 @@ Bytes Server::handleStore(std::uint8_t opcode, BytesView payload) {
       throw std::invalid_argument("net::Server: table '" + name +
                                   "' needs at least one part");
     }
-    std::lock_guard<std::mutex> lock(tablesMu_);
+    LockGuard lock(tablesMu_);
     if (tables_.contains(name)) {
       throw std::invalid_argument("net::Server: table '" + name +
                                   "' already exists");
@@ -341,7 +341,7 @@ Bytes Server::handleStore(std::uint8_t opcode, BytesView payload) {
   }
 
   if (static_cast<Opcode>(opcode) == Opcode::kDropTable) {
-    std::lock_guard<std::mutex> lock(tablesMu_);
+    LockGuard lock(tablesMu_);
     if (tables_.erase(name) > 0) {
       options_.hosted->dropTable(name);
     }
@@ -442,7 +442,7 @@ Bytes Server::handleQueue(std::uint8_t opcode, BytesView payload) {
         throw std::invalid_argument("net::Server: queue set '" + name +
                                     "' needs at least one queue");
       }
-      std::lock_guard<std::mutex> lock(queuesMu_);
+      LockGuard lock(queuesMu_);
       if (queues_.contains(name)) {
         throw std::invalid_argument("net::Server: queue set '" + name +
                                     "' already exists");
@@ -453,7 +453,7 @@ Bytes Server::handleQueue(std::uint8_t opcode, BytesView payload) {
     case Opcode::kQueueDelete: {
       std::shared_ptr<HostedQueueSet> set;
       {
-        std::lock_guard<std::mutex> lock(queuesMu_);
+        LockGuard lock(queuesMu_);
         auto it = queues_.find(name);
         if (it != queues_.end()) {
           set = it->second;
@@ -510,7 +510,7 @@ Bytes Server::handleQueue(std::uint8_t opcode, BytesView payload) {
       // an unknown name (already deleted) is not an error.
       std::shared_ptr<HostedQueueSet> set;
       {
-        std::lock_guard<std::mutex> lock(queuesMu_);
+        LockGuard lock(queuesMu_);
         auto it = queues_.find(name);
         if (it != queues_.end()) {
           set = it->second;

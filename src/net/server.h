@@ -31,7 +31,6 @@
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -126,24 +125,26 @@ class Server {
       const std::string& name) const;
 
   Options options_;
-  std::mutex lifecycleMu_;  // Serializes start()/stop().
+  RankedMutex<LockRank::kNetLifecycle> lifecycleMu_;  // Serializes start()/stop().
   Listener listener_;
   std::thread acceptThread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
 
   std::atomic<bool> stopRequested_{false};
-  mutable std::mutex stopMu_;
-  std::condition_variable stopCv_;
+  mutable RankedMutex<LockRank::kNetConn> stopMu_;
+  std::condition_variable_any stopCv_;
 
-  mutable std::mutex connMu_;
-  std::vector<std::unique_ptr<Conn>> conns_;
+  mutable RankedMutex<LockRank::kNetConn> connMu_;
+  std::vector<std::unique_ptr<Conn>> conns_ RIPPLE_GUARDED_BY(connMu_);
 
-  mutable std::mutex tablesMu_;
-  std::unordered_map<std::string, HostedTable> tables_;
+  mutable RankedMutex<LockRank::kNetRegistry> tablesMu_;
+  std::unordered_map<std::string, HostedTable> tables_
+      RIPPLE_GUARDED_BY(tablesMu_);
 
-  mutable std::mutex queuesMu_;
-  std::unordered_map<std::string, std::shared_ptr<HostedQueueSet>> queues_;
+  mutable RankedMutex<LockRank::kNetRegistry> queuesMu_;
+  std::unordered_map<std::string, std::shared_ptr<HostedQueueSet>> queues_
+      RIPPLE_GUARDED_BY(queuesMu_);
 };
 
 }  // namespace ripple::net

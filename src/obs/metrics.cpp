@@ -4,7 +4,6 @@
 #include <cmath>
 #include <functional>
 #include <limits>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -263,13 +262,13 @@ void MetricsRegistry::checkNameFree(const std::string& name,
 
 Counter& MetricsRegistry::counter(const std::string& name) {
   {
-    std::shared_lock lock(mu_);
+    SharedLock lock(mu_);
     const auto it = counters_.find(name);
     if (it != counters_.end()) {
       return *it->second;
     }
   }
-  std::unique_lock lock(mu_);
+  LockGuard lock(mu_);
   auto& slot = counters_[name];
   if (!slot) {
     checkNameFree(name, slot.get());
@@ -280,13 +279,13 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
   {
-    std::shared_lock lock(mu_);
+    SharedLock lock(mu_);
     const auto it = gauges_.find(name);
     if (it != gauges_.end()) {
       return *it->second;
     }
   }
-  std::unique_lock lock(mu_);
+  LockGuard lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) {
     checkNameFree(name, slot.get());
@@ -298,13 +297,13 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds) {
   {
-    std::shared_lock lock(mu_);
+    SharedLock lock(mu_);
     const auto it = histograms_.find(name);
     if (it != histograms_.end()) {
       return *it->second;
     }
   }
-  std::unique_lock lock(mu_);
+  LockGuard lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) {
     checkNameFree(name, slot.get());
@@ -314,26 +313,26 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 }
 
 const Counter* MetricsRegistry::findCounter(const std::string& name) const {
-  std::shared_lock lock(mu_);
+  SharedLock lock(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.get();
 }
 
 const Gauge* MetricsRegistry::findGauge(const std::string& name) const {
-  std::shared_lock lock(mu_);
+  SharedLock lock(mu_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : it->second.get();
 }
 
 const Histogram* MetricsRegistry::findHistogram(
     const std::string& name) const {
-  std::shared_lock lock(mu_);
+  SharedLock lock(mu_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::shared_lock lock(mu_);
+  SharedLock lock(mu_);
   MetricsSnapshot snap;
   for (const auto& [name, c] : counters_) {
     snap.counters[name] = c->value();
@@ -348,7 +347,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-  std::shared_lock lock(mu_);
+  SharedLock lock(mu_);
   for (const auto& [name, c] : counters_) {
     c->reset();
   }

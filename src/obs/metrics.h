@@ -20,10 +20,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/ranked_mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/json.h"
 
 namespace ripple::obs {
@@ -167,12 +168,16 @@ class MetricsRegistry {
   void reset();
 
  private:
-  void checkNameFree(const std::string& name, const void* exempt) const;
+  void checkNameFree(const std::string& name, const void* exempt) const
+      RIPPLE_REQUIRES(mu_);
 
-  mutable std::shared_mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable RankedSharedMutex<LockRank::kObs> mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      RIPPLE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      RIPPLE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      RIPPLE_GUARDED_BY(mu_);
 };
 
 }  // namespace ripple::obs

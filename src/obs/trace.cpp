@@ -122,17 +122,17 @@ void Tracer::record(Span span) {
   if (span.id == 0) {
     span.id = allocId();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   spans_.push_back(std::move(span));
 }
 
 std::vector<Span> Tracer::spans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return spans_;
 }
 
 std::size_t Tracer::spanCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return spans_.size();
 }
 
@@ -143,7 +143,7 @@ double Tracer::elapsedSeconds() const {
 }
 
 void Tracer::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   spans_.clear();
 }
 

@@ -16,7 +16,8 @@
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
+#include "common/ranked_mutex.h"
+#include "common/thread_annotations.h"
 #include <optional>
 #include <string>
 #include <string_view>
@@ -143,8 +144,8 @@ class Tracer {
     return nextId_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  mutable std::mutex mu_;
-  std::vector<Span> spans_;
+  mutable RankedMutex<LockRank::kObs> mu_;
+  std::vector<Span> spans_ RIPPLE_GUARDED_BY(mu_);
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<std::uint64_t> nextId_{1};
 };

@@ -1,0 +1,265 @@
+// Lock-rank validator tests (DESIGN.md §12).
+//
+// The abort path is exercised with gtest death tests: the child process
+// really acquires locks in the forbidden order and must die printing a
+// readable rank-chain report naming both the attempted lock and the held
+// chain.  Everything else (descending chains, try_lock exemption,
+// recursive re-entry, shared locks, cv hand-off) must NOT abort.
+
+#include "common/ranked_mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <thread>
+
+#include "common/executor.h"
+#include "common/queue.h"
+
+namespace ripple {
+namespace {
+
+TEST(RankedMutexTest, DescendingAcquisitionIsAllowed) {
+  RankedMutex<LockRank::kExecutor> outer;
+  RankedMutex<LockRank::kQueue> middle;
+  RankedMutex<LockRank::kObs> inner;
+  LockGuard a(outer);
+  LockGuard b(middle);
+  LockGuard c(inner);
+  EXPECT_EQ(lockdep::heldCount(), 3u);
+}
+
+TEST(RankedMutexTest, ChainDrainsOnRelease) {
+  RankedMutex<LockRank::kQueue> mu;
+  EXPECT_EQ(lockdep::heldCount(), 0u);
+  {
+    LockGuard lock(mu);
+    EXPECT_EQ(lockdep::heldCount(), 1u);
+    EXPECT_TRUE(lockdep::holds(&mu));
+  }
+  EXPECT_EQ(lockdep::heldCount(), 0u);
+  EXPECT_FALSE(lockdep::holds(&mu));
+}
+
+TEST(RankedMutexTest, HeldChainIsPerThread) {
+  RankedMutex<LockRank::kQueue> mu;
+  LockGuard lock(mu);
+  std::thread other([&] {
+    // The other thread holds nothing; it may acquire any rank, including
+    // one above what the parent thread holds.
+    RankedMutex<LockRank::kExecutor> higher;
+    LockGuard h(higher);
+    EXPECT_EQ(lockdep::heldCount(), 1u);
+    EXPECT_FALSE(lockdep::holds(&mu));
+  });
+  other.join();
+}
+
+TEST(RankedMutexDeathTest, AscendingAcquisitionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  RankedMutex<LockRank::kObs> inner;
+  RankedMutex<LockRank::kExecutor> outer;
+  EXPECT_DEATH(
+      {
+        LockGuard a(inner);
+        LockGuard b(outer);  // kExecutor(50) above held kObs(10): inversion.
+      },
+      "lock-rank violation");
+}
+
+TEST(RankedMutexDeathTest, EqualRankAcquisitionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Strict descent: two distinct locks of the SAME rank may not nest —
+  // two threads nesting them in opposite orders would deadlock.
+  RankedMutex<LockRank::kQueue> a;
+  RankedMutex<LockRank::kQueue> b;
+  EXPECT_DEATH(
+      {
+        LockGuard la(a);
+        LockGuard lb(b);
+      },
+      "lock-rank violation");
+}
+
+TEST(RankedMutexDeathTest, ReportNamesBothRanksAndTheRule) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  RankedMutex<LockRank::kStoreStripe> stripe;
+  RankedMutex<LockRank::kNetRegistry> registry;
+  // The report must be actionable: attempted rank, held rank, acquisition
+  // sites, and the rule being enforced.
+  EXPECT_DEATH(
+      {
+        LockGuard a(stripe);
+        LockGuard b(registry);
+      },
+      "attempted: kNetRegistry\\(64\\)(.|\n)*held by this thread"
+      "(.|\n)*kStoreStripe\\(20\\)(.|\n)*ranked_mutex_test"
+      "(.|\n)*strictly(.|\n)*below");
+}
+
+TEST(RankedMutexDeathTest, ViolationUnderTryLockedHigherRankStillAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // A try_lock is exempt from the order check when IT is acquired, but it
+  // still counts as held: a later blocking acquisition above the held
+  // minimum must abort even when the most recent entry ranks higher.
+  RankedMutex<LockRank::kObs> low;
+  RankedMutex<LockRank::kExecutor> highTry;
+  RankedMutex<LockRank::kQueue> mid;
+  EXPECT_DEATH(
+      {
+        LockGuard a(low);                    // held min: kObs(10)
+        ASSERT_TRUE(highTry.try_lock());     // exempt, chain now 10, 50
+        LockGuard b(mid);                    // kQueue(40) >= min 10: abort
+        highTry.unlock();
+      },
+      "lock-rank violation");
+}
+
+TEST(RankedMutexTest, TryLockAboveHeldRankIsExempt) {
+  RankedMutex<LockRank::kObs> inner;
+  RankedMutex<LockRank::kExecutor> outer;
+  LockGuard a(inner);
+  // Blocking this order would abort; try_lock cannot deadlock and must
+  // succeed silently.
+  ASSERT_TRUE(outer.try_lock());
+  EXPECT_EQ(lockdep::heldCount(), 2u);
+  outer.unlock();
+  EXPECT_EQ(lockdep::heldCount(), 1u);
+}
+
+TEST(RankedMutexTest, FailedTryLockLeavesNoTrace) {
+  // Hand-off via atomics, not BlockingQueue: the holder keeps a kQueue
+  // lock, and a queue push under it would itself be an (equal-rank)
+  // violation — the validator polices the test scaffolding too.
+  RankedMutex<LockRank::kQueue> mu;
+  std::atomic<bool> acquired{false};
+  std::atomic<bool> release{false};
+  std::thread holder([&] {
+    LockGuard lock(mu);
+    acquired.store(true);
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  while (!acquired.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(mu.try_lock());
+  EXPECT_EQ(lockdep::heldCount(), 0u);
+  release.store(true);
+  holder.join();
+}
+
+TEST(RankedMutexTest, RecursiveReentryIsAllowed) {
+  RankedRecursiveMutex<LockRank::kStoreStripe> mu;
+  LockGuard a(mu);
+  {
+    LockGuard b(mu);  // Same object: what "recursive" means.
+    EXPECT_EQ(lockdep::heldCount(), 2u);
+  }
+  EXPECT_EQ(lockdep::heldCount(), 1u);
+  EXPECT_TRUE(lockdep::holds(&mu));
+}
+
+TEST(RankedMutexDeathTest, RecursiveDoesNotExemptOtherObjects) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Recursion exempts re-entry on the SAME mutex only; a different
+  // recursive mutex of an equal-or-higher rank still violates.
+  RankedRecursiveMutex<LockRank::kStoreStripe> a;
+  RankedRecursiveMutex<LockRank::kStoreStripe> b;
+  EXPECT_DEATH(
+      {
+        LockGuard la(a);
+        LockGuard lb(b);
+      },
+      "lock-rank violation");
+}
+
+TEST(RankedMutexTest, SharedLocksObeyTheSameOrder) {
+  RankedSharedMutex<LockRank::kQueue> rw;
+  RankedMutex<LockRank::kObs> inner;
+  SharedLock read(rw);
+  LockGuard a(inner);  // Descending under a reader lock: fine.
+  EXPECT_EQ(lockdep::heldCount(), 2u);
+}
+
+TEST(RankedMutexDeathTest, AscendingUnderSharedLockAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  RankedSharedMutex<LockRank::kObs> rw;
+  RankedMutex<LockRank::kQueue> outer;
+  EXPECT_DEATH(
+      {
+        SharedLock read(rw);
+        LockGuard b(outer);  // Reader/writer cycles deadlock too.
+      },
+      "lock-rank violation");
+}
+
+TEST(RankedMutexTest, ConditionVariableWaitReleasesTheRank) {
+  // cv waits unlock mid-scope; while blocked in wait the thread holds
+  // nothing, and after wakeup the chain is restored.  A second ranked
+  // acquisition inside the predicate loop must therefore be judged
+  // against the re-acquired lock only.
+  RankedMutex<LockRank::kQueue> mu;
+  std::condition_variable_any cv;
+  bool ready = false;
+  std::thread signaller([&] {
+    LockGuard lock(mu);
+    ready = true;
+    cv.notify_one();
+  });
+  {
+    UniqueLock lock(mu);
+    while (!ready) {
+      cv.wait(lock);
+    }
+    EXPECT_TRUE(lockdep::holds(&mu));
+    EXPECT_EQ(lockdep::heldCount(), 1u);
+  }
+  signaller.join();
+  EXPECT_EQ(lockdep::heldCount(), 0u);
+}
+
+TEST(RankedMutexTest, BlockingQueueAndLatchComposeUnderTheOrder) {
+  // The rank bands in anger: an executor latch (kExecutor) above queue
+  // internals (kQueue) is the exact nesting the engine does on every
+  // superstep; it must hold no surprises.
+  BlockingQueue<int> q;
+  CountdownLatch latch(2);
+  std::thread a([&] {
+    q.push(1);
+    latch.countDown();
+  });
+  std::thread b([&] {
+    q.push(2);
+    latch.countDown();
+  });
+  latch.wait();
+  EXPECT_EQ(q.size(), 2u);
+  a.join();
+  b.join();
+}
+
+/// Regression shape for the wire-call-under-registry-lock findings fixed
+/// in net/remote_store.cpp and net/remote_queue.cpp: holding a kNetClient
+/// pool lock is legal under the kNetRegistry registry lock (descending),
+/// so the rank validator alone would NOT have caught those — the lint
+/// rule (scripts/lint.sh, no-blocking-io-under-server-lock) is the wall
+/// for that class.  What the validator DOES pin down is the reverse:
+/// taking a registry lock while inside a client call.
+TEST(RankedMutexDeathTest, RegistryLockInsideClientCallAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  RankedMutex<LockRank::kNetClient> pool;
+  RankedMutex<LockRank::kNetRegistry> registry;
+  EXPECT_DEATH(
+      {
+        LockGuard inCall(pool);
+        LockGuard oops(registry);
+      },
+      "lock-rank violation");
+}
+
+}  // namespace
+}  // namespace ripple

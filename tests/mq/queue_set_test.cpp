@@ -176,6 +176,28 @@ TEST_P(QueueSetTest, BadQueueIndexThrowsOrRejects) {
   EXPECT_ANY_THROW(set->put(99, "x"));
 }
 
+// Regression for a lock-rank validator finding: MemQueuing::deleteQueueSet
+// used to close the member queues while still holding the queuing registry
+// lock — an equal-rank (kQueue under kQueue) acquisition, i.e. exactly the
+// shape that deadlocks if any queue operation ever reaches back into the
+// registry.  Pre-fix this test dies in the validator; post-fix the delete
+// must both complete and wake every blocked reader.
+TEST_P(QueueSetTest, DeleteWhileReadersBlockedWakesAndTerminates) {
+  QueueSetPtr set = queuing_->createQueueSet("q", placement_);
+  std::atomic<int> drained{0};
+  std::thread workers([&] {
+    set->runWorkers([&](WorkerContext& ctx) {
+      if (!ctx.read(5s)) {
+        drained.fetch_add(1);
+      }
+    });
+  });
+  std::this_thread::sleep_for(50ms);
+  queuing_->deleteQueueSet("q");
+  workers.join();  // Hangs (until the 5s timeouts) if delete fails to wake.
+  EXPECT_GT(drained.load(), 0);
+}
+
 QueuingPtr makeMem(kv::KVStorePtr store) {
   return makeMemQueuing(std::move(store));
 }

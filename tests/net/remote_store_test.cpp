@@ -13,6 +13,7 @@
 #include "fault/fault.h"
 #include "kvstore/partitioned_store.h"
 #include "kvstore/store_util.h"
+#include "mq/queue.h"
 #include "net/remote_store.h"
 #include "net/server.h"
 
@@ -161,6 +162,30 @@ TEST(RemoteStoreErrors, ServerExceptionsRethrowSameTypeWithoutRetry) {
     other->shutdown();
   }
   EXPECT_EQ(table->get("a"), "1");  // First driver unaffected.
+}
+
+// Regression for two lock-discipline findings:
+//  1. RemoteStore::createTable/dropTable (and RemoteQueuing's create) used
+//     to hold their registry lock across the blocking wire round-trips —
+//     one dead server away from wedging every table operation.  The wire
+//     calls now run unlocked between a reserve and a publish step.
+//  2. That fix lets the driver-side registry take a STORE rank
+//     (kStoreTableMap) instead of a net rank, so layering a table-backed
+//     queuing on a RemoteStore — whose queuing registry legitimately
+//     calls createTable/dropTable from under its own kQueue lock — obeys
+//     the global rank order.  Pre-fix, this test aborts in the rank
+//     validator on the ascending kQueue -> net-registry acquisition.
+TEST(RemoteStoreRegistry, TableQueuingOverRemoteStoreNestsCleanly) {
+  auto store = makeLoopbackStore({});
+  auto queuing = mq::makeTableQueuing(store);
+  kv::TableOptions topts;
+  topts.parts = 2;
+  auto placement = store->createTable("placement", std::move(topts));
+  auto set = queuing->createQueueSet("q", placement);
+  EXPECT_TRUE(set->put(0, "m"));
+  queuing->deleteQueueSet("q");  // dropTable under the queuing registry.
+  EXPECT_FALSE(set->put(0, "n"));
+  store->shutdown();
 }
 
 TEST(RemoteStoreLifecycle, ShutdownIsIdempotent) {
