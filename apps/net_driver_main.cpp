@@ -10,12 +10,25 @@
 // partitioned backend and once against N ripple_net_server processes and
 // requires identical digests — the end-to-end form of the backend
 // differential suite.
+//
+// --chaos (failover, DESIGN.md §11): per-step checkpointing is enabled
+// and each job announces a kill window after its first barrier —
+//   CHAOS_WINDOW <job>
+// followed by a pause, during which scripts/bench_multiproc.sh --chaos
+// kills -9 one of the servers and restarts it on the same port.  The
+// engines must recover from the driver-mirror checkpoint and the digests
+// must STILL match the fault-free baseline.  Afterwards the driver prints
+// the failover ledger (FAILOVER_* lines), closing with
+//   FAILOVER_LEDGER CLOSED
+// when every observed restart was reseeded and recovered from.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "apps/pagerank.h"
 #include "apps/sssp.h"
@@ -29,13 +42,46 @@
 #include "matrix/summa.h"
 #include "net/frame.h"
 #include "net/remote_store.h"
+#include "obs/metrics.h"
 
 namespace {
 
 using namespace ripple;
 
+/// Cross-job chaos state: one registry accumulating every engine's
+/// ebsp.* counters, so the final ledger covers the whole run.
+struct ChaosMode {
+  bool enabled = false;
+  obs::MetricsRegistry registry;
+};
+
+/// Configure one engine run for chaos mode: per-step checkpoints, a
+/// generous transient budget (the kill window spans several failed
+/// probes), and the CHAOS_WINDOW marker after the job's first barrier.
+/// The pause gives the launcher time to kill -9 and restart a server
+/// while the job still has steps left to recover.
+void armChaos(ChaosMode* chaos, ebsp::EngineOptions& eopts,
+              const char* job) {
+  if (chaos == nullptr || !chaos->enabled) {
+    return;
+  }
+  eopts.checkpoint.enabled = true;
+  eopts.checkpoint.interval = 1;
+  eopts.retry.maxAttempts = 10;
+  eopts.metrics = &chaos->registry;
+  auto announced = std::make_shared<bool>(false);
+  eopts.onBarrier = [job, announced](int step) {
+    if (step == 1 && !*announced) {
+      *announced = true;
+      std::printf("CHAOS_WINDOW %s\n", job);
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2000));
+    }
+  };
+}
+
 std::uint64_t runPageRankDigest(const kv::KVStorePtr& store, int threads,
-                                bool smoke) {
+                                bool smoke, ChaosMode* chaos) {
   graph::PowerLawOptions gopts;
   gopts.vertices = smoke ? 120 : 300;
   gopts.edges = smoke ? 600 : 1800;
@@ -44,6 +90,7 @@ std::uint64_t runPageRankDigest(const kv::KVStorePtr& store, int threads,
   apps::loadPageRankGraph(*store, "pr_graph", g, 6);
   ebsp::EngineOptions eopts;
   eopts.threads = threads;
+  armChaos(chaos, eopts, "pagerank");
   ebsp::Engine engine(store, eopts);
   apps::PageRankOptions options;
   options.iterations = smoke ? 3 : 5;
@@ -59,7 +106,7 @@ std::uint64_t runPageRankDigest(const kv::KVStorePtr& store, int threads,
 }
 
 std::uint64_t runSsspDigest(const kv::KVStorePtr& store, int threads,
-                            bool smoke) {
+                            bool smoke, ChaosMode* chaos) {
   graph::PowerLawOptions gopts;
   gopts.vertices = smoke ? 100 : 250;
   gopts.edges = smoke ? 500 : 1200;
@@ -67,6 +114,7 @@ std::uint64_t runSsspDigest(const kv::KVStorePtr& store, int threads,
   const graph::Graph g = graph::generatePowerLaw(gopts);
   ebsp::EngineOptions eopts;
   eopts.threads = threads;
+  armChaos(chaos, eopts, "sssp");
   ebsp::Engine engine(store, eopts);
   apps::SsspOptions options;
   options.parts = 6;
@@ -82,7 +130,7 @@ std::uint64_t runSsspDigest(const kv::KVStorePtr& store, int threads,
 }
 
 std::uint64_t runSummaDigest(const kv::KVStorePtr& store, int threads,
-                             bool smoke) {
+                             bool smoke, ChaosMode* chaos) {
   const std::size_t grid = smoke ? 2 : 3;
   const std::size_t block = 8;
   Rng rng(123);
@@ -92,6 +140,7 @@ std::uint64_t runSummaDigest(const kv::KVStorePtr& store, int threads,
   b.fillRandom(rng);
   ebsp::EngineOptions eopts;
   eopts.threads = threads;
+  armChaos(chaos, eopts, "summa");
   ebsp::Engine engine(store, eopts);
   matrix::SummaOptions options;
   options.parts = static_cast<std::uint32_t>(grid * grid);
@@ -107,12 +156,38 @@ std::uint64_t runSummaDigest(const kv::KVStorePtr& store, int threads,
   return fnv1a64(w.view());
 }
 
+void printFailoverLedger(ChaosMode& chaos, net::RemoteStore& remote) {
+  const net::NetMetrics& m = remote.client().metrics();
+  const std::uint64_t epochChanges = m.epochChanges.load();
+  const std::uint64_t reseeds = m.reseeds.load();
+  const std::uint64_t recoveries =
+      chaos.registry.counter("ebsp.recoveries").value();
+  std::printf("FAILOVER_EPOCH_CHANGES %llu\n",
+              static_cast<unsigned long long>(epochChanges));
+  std::printf("FAILOVER_RESEEDS %llu\n",
+              static_cast<unsigned long long>(reseeds));
+  std::printf("FAILOVER_RECOVERIES %llu\n",
+              static_cast<unsigned long long>(recoveries));
+  std::printf("FAILOVER_DEDUP_REPLAYS %llu\n",
+              static_cast<unsigned long long>(m.dedupReplays.load()));
+  std::printf("FAILOVER_POOL_INVALIDATED %llu\n",
+              static_cast<unsigned long long>(m.poolInvalidated.load()));
+  std::printf("FAILOVER_RECONNECTS %llu\n",
+              static_cast<unsigned long long>(m.reconnects.load()));
+  // Closed: every observed restart completed its registry reseed and was
+  // recovered from by an engine (a restart nobody recovered from would
+  // have crashed the run or corrupted a digest anyway).
+  const bool closed = epochChanges == reseeds && recoveries >= epochChanges;
+  std::printf("FAILOVER_LEDGER %s\n", closed ? "CLOSED" : "OPEN");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int threads = 4;
   bool smoke = false;
   bool shutdownServers = false;
+  ChaosMode chaos;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
@@ -121,10 +196,13 @@ int main(int argc, char** argv) {
       threads = std::atoi(argv[++i]);
     } else if (arg == "--shutdown-servers") {
       shutdownServers = true;
+    } else if (arg == "--chaos") {
+      chaos.enabled = true;
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--smoke] [--threads N] [--shutdown-servers]\n",
-                   argv[0]);
+      std::fprintf(
+          stderr,
+          "usage: %s [--smoke] [--threads N] [--chaos] [--shutdown-servers]\n",
+          argv[0]);
       return 2;
     }
   }
@@ -134,14 +212,24 @@ int main(int argc, char** argv) {
 
   std::printf("PAGERANK_DIGEST %016llx\n",
               static_cast<unsigned long long>(
-                  runPageRankDigest(store, threads, smoke)));
+                  runPageRankDigest(store, threads, smoke, &chaos)));
   std::printf("SSSP_DIGEST %016llx\n",
               static_cast<unsigned long long>(
-                  runSsspDigest(store, threads, smoke)));
+                  runSsspDigest(store, threads, smoke, &chaos)));
   std::printf("SUMMA_DIGEST %016llx\n",
               static_cast<unsigned long long>(
-                  runSummaDigest(store, threads, smoke)));
+                  runSummaDigest(store, threads, smoke, &chaos)));
   std::fflush(stdout);
+
+  if (chaos.enabled) {
+    if (auto remote = std::dynamic_pointer_cast<net::RemoteStore>(store)) {
+      printFailoverLedger(chaos, *remote);
+    } else {
+      // No wire, no restarts: the ledger is vacuously closed.
+      std::printf("FAILOVER_LEDGER CLOSED\n");
+    }
+    std::fflush(stdout);
+  }
 
   if (shutdownServers) {
     if (auto remote = std::dynamic_pointer_cast<net::RemoteStore>(store)) {

@@ -16,6 +16,7 @@
 #include <thread>
 
 #include "kvstore/store_factory.h"
+#include "net/remote_store.h"
 #include "net/server.h"
 
 namespace {
@@ -73,6 +74,16 @@ int main(int argc, char** argv) {
   ripple::net::Server::Options options;
   options.hosted = ripple::kv::makeStore(*parsed, containers);
   options.listenOn.port = port;
+  // Same env knobs the client side honors (DESIGN.md §9): the launcher
+  // tunes one environment and both halves of the deployment agree.
+  if (const auto ms = ripple::net::parseEnvMs("RIPPLE_NET_TIMEOUT_MS", 1,
+                                              3'600'000)) {
+    options.sendTimeoutMs = *ms;
+  }
+  if (const auto ms = ripple::net::parseEnvMs("RIPPLE_NET_QUEUE_WAIT_MS", 1,
+                                              60'000)) {
+    options.maxQueueWaitMs = static_cast<std::uint32_t>(*ms);
+  }
   ripple::net::Server server(std::move(options));
   server.start();
   std::printf("RIPPLE_NET_SERVER LISTENING %u\n", server.port());

@@ -5,9 +5,13 @@
 # state digests (the end-to-end form of the backend differential suite).
 #
 # Usage:
-#   scripts/bench_multiproc.sh [--smoke] [--servers=N] [--build-dir=DIR]
+#   scripts/bench_multiproc.sh [--smoke] [--chaos] [--servers=N] [--build-dir=DIR]
 #
 #   --smoke        smaller workloads (CI-sized)
+#   --chaos        failover drill: kill -9 one server inside each job's
+#                  announced CHAOS_WINDOW and restart it on the same port;
+#                  digests must still match the fault-free baseline and the
+#                  driver's failover ledger must close (DESIGN.md §11)
 #   --servers=N    number of server processes (default 2, min 1)
 #   --build-dir=D  where the binaries live (default build)
 set -euo pipefail
@@ -15,14 +19,16 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SMOKE=""
+CHAOS=""
 SERVERS=2
 BUILD_DIR="build"
 for arg in "$@"; do
   case "$arg" in
     --smoke) SMOKE="--smoke" ;;
+    --chaos) CHAOS="1" ;;
     --servers=*) SERVERS="${arg#--servers=}" ;;
     --build-dir=*) BUILD_DIR="${arg#--build-dir=}" ;;
-    *) echo "usage: $0 [--smoke] [--servers=N] [--build-dir=DIR]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--smoke] [--chaos] [--servers=N] [--build-dir=DIR]" >&2; exit 2 ;;
   esac
 done
 if [[ "$SERVERS" -lt 1 ]]; then
@@ -59,6 +65,7 @@ RIPPLE_STORE=partitioned "$DRIVER_BIN" $SMOKE | tee "$WORK_DIR/baseline.out"
 # --- Remote: N server processes on ephemeral ports. ---------------------
 echo "== remote: $SERVERS server process(es) =="
 ENDPOINTS=""
+PORTS=()
 for ((i = 0; i < SERVERS; ++i)); do
   "$SERVER_BIN" --port 0 > "$WORK_DIR/server$i.log" &
   SERVER_PIDS+=($!)
@@ -76,12 +83,61 @@ for ((i = 0; i < SERVERS; ++i)); do
     cat "$WORK_DIR/server$i.log" >&2
     exit 1
   fi
+  PORTS+=("$port")
   ENDPOINTS="${ENDPOINTS:+$ENDPOINTS,}127.0.0.1:$port"
 done
 echo "endpoints: $ENDPOINTS"
 
-RIPPLE_STORE=remote RIPPLE_REMOTE_ENDPOINTS="$ENDPOINTS" \
-  "$DRIVER_BIN" $SMOKE --shutdown-servers | tee "$WORK_DIR/remote.out"
+KILLS=0
+if [[ -n "$CHAOS" ]]; then
+  # Failover drill.  The driver announces "CHAOS_WINDOW <job>" after each
+  # job's first barrier (checkpoint committed) and pauses; we kill -9 one
+  # server — rotating the victim — and restart it on the SAME port
+  # (SO_REUSEADDR).  RIPPLE_NET_REDIAL_MS widens the client's dial budget
+  # to bridge the restart gap (and exercises the env tuning path).
+  RIPPLE_STORE=remote RIPPLE_REMOTE_ENDPOINTS="$ENDPOINTS" \
+    RIPPLE_NET_REDIAL_MS=2000 \
+    "$DRIVER_BIN" $SMOKE --chaos --shutdown-servers \
+    > "$WORK_DIR/remote.out" 2>&1 &
+  DRIVER_PID=$!
+  while kill -0 "$DRIVER_PID" 2>/dev/null; do
+    markers="$(grep -c '^CHAOS_WINDOW ' "$WORK_DIR/remote.out" 2>/dev/null \
+               || true)"
+    if [[ "${markers:-0}" -gt "$KILLS" ]]; then
+      victim=$((KILLS % SERVERS))
+      KILLS=$((KILLS + 1))
+      port="${PORTS[$victim]}"
+      echo "chaos: kill -9 server $victim (port $port)"
+      kill -9 "${SERVER_PIDS[$victim]}" 2>/dev/null || true
+      wait "${SERVER_PIDS[$victim]}" 2>/dev/null || true
+      log="$WORK_DIR/server$victim.restart$KILLS.log"
+      "$SERVER_BIN" --port "$port" > "$log" &
+      SERVER_PIDS[$victim]=$!
+      for _ in $(seq 1 100); do
+        grep -q "^RIPPLE_NET_SERVER LISTENING $port\$" "$log" 2>/dev/null \
+          && break
+        sleep 0.05
+      done
+      if ! grep -q "^RIPPLE_NET_SERVER LISTENING $port\$" "$log"; then
+        echo "error: server $victim never came back on port $port" >&2
+        cat "$log" >&2
+        kill "$DRIVER_PID" 2>/dev/null || true
+        exit 1
+      fi
+      echo "chaos: restarted server $victim on port $port"
+    fi
+    sleep 0.1
+  done
+  if ! wait "$DRIVER_PID"; then
+    echo "error: chaos driver run failed" >&2
+    cat "$WORK_DIR/remote.out" >&2
+    exit 1
+  fi
+  cat "$WORK_DIR/remote.out"
+else
+  RIPPLE_STORE=remote RIPPLE_REMOTE_ENDPOINTS="$ENDPOINTS" \
+    "$DRIVER_BIN" $SMOKE --shutdown-servers | tee "$WORK_DIR/remote.out"
+fi
 
 # kShutdown asks each server to stop; give them a moment, then cleanup()'s
 # kill is a no-op for processes that already exited.
@@ -108,6 +164,32 @@ if ! grep -q '^DRIVER_OK$' "$WORK_DIR/remote.out"; then
   echo "MISSING DRIVER_OK in remote run"
   status=1
 fi
+
+if [[ -n "$CHAOS" ]]; then
+  # Every kill must have been OBSERVED (epoch change), every observed
+  # restart reseeded, and every lost state recovered from checkpoint —
+  # anything else means the digests matched by luck.
+  epochs="$(awk '$1 == "FAILOVER_EPOCH_CHANGES" {print $2}' \
+            "$WORK_DIR/remote.out")"
+  recoveries="$(awk '$1 == "FAILOVER_RECOVERIES" {print $2}' \
+                "$WORK_DIR/remote.out")"
+  if [[ "${epochs:-0}" -ne "$KILLS" ]]; then
+    echo "CHAOS: expected $KILLS epoch changes, saw ${epochs:-none}"
+    status=1
+  fi
+  if [[ "${recoveries:-0}" -lt "$KILLS" ]]; then
+    echo "CHAOS: expected >= $KILLS recoveries, saw ${recoveries:-none}"
+    status=1
+  fi
+  if ! grep -q '^FAILOVER_LEDGER CLOSED$' "$WORK_DIR/remote.out"; then
+    echo "CHAOS: failover ledger did not close"
+    status=1
+  fi
+  if [[ "$status" -eq 0 ]]; then
+    echo "CHAOS OK ($KILLS kill(s), $KILLS recovery(ies), ledger closed)"
+  fi
+fi
+
 if [[ "$status" -eq 0 ]]; then
   echo "BENCH_MULTIPROC OK ($SERVERS server(s))"
 else

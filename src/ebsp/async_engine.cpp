@@ -518,6 +518,20 @@ class AsyncEngine::Run {
           return;
         }
         continue;
+      } catch (const fault::StateLostError&) {
+        // A server restarted and the in-flight queue state died with it.
+        // No-sync execution has no barrier checkpoint to replay from, so
+        // fail the job with the typed error — the same escalation as a
+        // mid-invocation loss.
+        {
+          LockGuard lock(controlMu_);
+          if (!failure_) {
+            failure_ = std::current_exception();
+          }
+        }
+        failed_.store(true, std::memory_order_release);
+        closeQueues();
+        return;
       }
       if (stolen) {
         ++metrics.stolen;

@@ -25,6 +25,23 @@ class Copier : public kv::PairConsumer {
   std::atomic<std::uint64_t>& bytes_;
 };
 
+/// Collects one part of a table into a driver-memory pair vector.
+class Collector : public kv::PairConsumer {
+ public:
+  Collector(std::vector<std::pair<kv::Key, kv::Value>>& out,
+            std::atomic<std::uint64_t>& bytes)
+      : out_(out), bytes_(bytes) {}
+  bool consume(std::uint32_t, kv::KeyView k, kv::ValueView v) override {
+    bytes_.fetch_add(k.size() + v.size(), std::memory_order_relaxed);
+    out_.emplace_back(kv::Key{k}, kv::Value{v});
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<kv::Key, kv::Value>>& out_;
+  std::atomic<std::uint64_t>& bytes_;
+};
+
 constexpr std::string_view kStepKeyPrefix = "step/";
 constexpr std::string_view kAggKey = "aggs";
 // Torn-checkpoint detection (the §IV-A "commit transactions in the right
@@ -62,9 +79,13 @@ std::map<std::string, Bytes> decodeAggFinals(BytesView data) {
 
 Checkpointer::Checkpointer(kv::KVStorePtr store, std::string jobId,
                            std::vector<kv::TablePtr> tables,
-                           kv::TablePtr placement)
+                           kv::TablePtr placement, bool driverMirror)
     : store_(std::move(store)), jobId_(std::move(jobId)),
-      tables_(std::move(tables)), placement_(std::move(placement)) {
+      tables_(std::move(tables)), placement_(std::move(placement)),
+      driverMirror_(driverMirror) {
+  if (driverMirror_) {
+    return;  // No shadow/meta tables: the snapshot lives in driver memory.
+  }
   shadows_.reserve(tables_.size());
   for (std::size_t i = 0; i < tables_.size(); ++i) {
     shadows_.push_back(
@@ -92,6 +113,11 @@ void Checkpointer::checkpoint(int completedStep,
                               const std::map<std::string, Bytes>& aggFinals) {
   obs::Tracer::Scoped span(tracer_, obs::Phase::kCheckpoint, completedStep);
   std::atomic<std::uint64_t> bytesCopied{0};
+  if (driverMirror_) {
+    checkpointToMirror(completedStep, aggFinals, bytesCopied);
+    span->bytes = bytesCopied.load();
+    return;
+  }
   // Invalidate any previous checkpoint before touching its shadows.
   const std::uint64_t epoch = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
   meta_->put(Bytes(kEpochBeginKey), encodeToBytes<std::uint64_t>(epoch));
@@ -115,7 +141,54 @@ void Checkpointer::checkpoint(int completedStep,
   span->bytes = bytesCopied.load();
 }
 
+void Checkpointer::checkpointToMirror(
+    int completedStep, const std::map<std::string, Bytes>& aggFinals,
+    std::atomic<std::uint64_t>& bytesCopied) {
+  const std::uint32_t parts = placement_->numParts();
+  std::vector<std::vector<PartSnapshot>> staging(tables_.size());
+  for (auto& table : staging) {
+    table.resize(parts);
+  }
+  // Stage each part collocated with its container; distinct (table, part)
+  // slots, so the concurrent fills don't race.
+  store_->runInParts(*placement_, [&](std::uint32_t part) {
+    for (std::size_t i = 0; i < tables_.size(); ++i) {
+      Collector collector(staging[i][part], bytesCopied);
+      tables_[i]->enumeratePart(part, collector);
+    }
+  });
+  // Commit by swap only once every part copied cleanly; an enumerate that
+  // threw (crashed server) leaves the previous snapshot untouched.
+  mirror_ = std::move(staging);
+  mirrorAggs_ = aggFinals;
+  mirrorStep_ = completedStep;
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+int Checkpointer::restoreFromMirror(std::map<std::string, Bytes>& aggFinals,
+                                    std::atomic<std::uint64_t>& bytesCopied) {
+  store_->runInParts(*placement_, [&](std::uint32_t part) {
+    for (std::size_t i = 0; i < tables_.size(); ++i) {
+      // Delete the failed shard's writes, then reinstate the snapshot.
+      tables_[i]->clearPart(part);
+      const PartSnapshot& snapshot = mirror_[i][part];
+      if (!snapshot.empty()) {
+        tables_[i]->putBatch(snapshot);
+        for (const auto& [key, value] : snapshot) {
+          bytesCopied.fetch_add(key.size() + value.size(),
+                                std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+  aggFinals = mirrorAggs_;
+  return mirrorStep_;
+}
+
 bool Checkpointer::hasCheckpoint() const {
+  if (driverMirror_) {
+    return mirrorStep_ >= 0;
+  }
   // Complete iff the epoch markers bracket the shadow data (no torn
   // overwrite) and every shard records the same completed step.
   const auto begin = meta_->get(Bytes(kEpochBeginKey));
@@ -146,6 +219,12 @@ int Checkpointer::restore(std::map<std::string, Bytes>& aggFinals) {
   }
   obs::Tracer::Scoped span(tracer_, obs::Phase::kRestore);
   std::atomic<std::uint64_t> bytesCopied{0};
+  if (driverMirror_) {
+    const int restored = restoreFromMirror(aggFinals, bytesCopied);
+    span->step = restored;
+    span->bytes = bytesCopied.load();
+    return restored;
+  }
   store_->runInParts(*placement_, [&](std::uint32_t part) {
     for (std::size_t i = 0; i < tables_.size(); ++i) {
       // Delete the failed shard's writes, then reinstate the snapshot.
@@ -164,6 +243,9 @@ int Checkpointer::restore(std::map<std::string, Bytes>& aggFinals) {
 }
 
 void Checkpointer::cleanup() {
+  mirror_.clear();
+  mirrorAggs_.clear();
+  mirrorStep_ = -1;
   for (std::size_t i = 0; i < shadows_.size(); ++i) {
     store_->dropTable(shadowName(i));
   }

@@ -22,6 +22,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.h"
@@ -36,6 +37,14 @@ struct CheckpointConfig {
   /// Checkpoint every `interval` barriers.  Forced to 1 for jobs that are
   /// not declared deterministic.
   int interval = 1;
+
+  /// Keep the snapshot in DRIVER memory instead of shadow tables.  Shadow
+  /// tables shard onto the same place as their primaries, so on a remote
+  /// backend a server crash loses a part's primary and shadow together;
+  /// the driver-side mirror survives the crash and restore() re-seeds the
+  /// restarted server's fresh incarnation.  Forced on when the engine's
+  /// store backend is "remote".
+  bool driverMirror = false;
 };
 
 /// Thrown by failure-injection hooks; the engine catches it and recovers.
@@ -49,8 +58,10 @@ class Checkpointer {
  public:
   /// `tables` is every table whose content defines the job's restartable
   /// state: the job's state tables plus the engine's collection table.
+  /// `driverMirror` selects the in-memory snapshot (see CheckpointConfig).
   Checkpointer(kv::KVStorePtr store, std::string jobId,
-               std::vector<kv::TablePtr> tables, kv::TablePtr placement);
+               std::vector<kv::TablePtr> tables, kv::TablePtr placement,
+               bool driverMirror = false);
 
   ~Checkpointer();
 
@@ -79,7 +90,15 @@ class Checkpointer {
   void cleanup();
 
  private:
+  using PartSnapshot = std::vector<std::pair<kv::Key, kv::Value>>;
+
   [[nodiscard]] std::string shadowName(std::size_t i) const;
+
+  void checkpointToMirror(int completedStep,
+                          const std::map<std::string, Bytes>& aggFinals,
+                          std::atomic<std::uint64_t>& bytesCopied);
+  int restoreFromMirror(std::map<std::string, Bytes>& aggFinals,
+                        std::atomic<std::uint64_t>& bytesCopied);
 
   kv::KVStorePtr store_;
   std::string jobId_;
@@ -87,6 +106,16 @@ class Checkpointer {
   std::vector<kv::TablePtr> shadows_;
   kv::TablePtr placement_;
   kv::TablePtr meta_;  // shard -> completed step; plus aggregator finals.
+
+  // Driver-mirror mode: the snapshot lives here instead of shadow tables.
+  // mirror_[table][part] holds that part's pairs in enumeration order.
+  // Staged per-part under runInParts (distinct slots, no data race), then
+  // committed by swap — a checkpoint that dies mid-copy (e.g. a server
+  // crash during enumeratePart) leaves the previous snapshot intact.
+  const bool driverMirror_;
+  std::vector<std::vector<PartSnapshot>> mirror_;
+  std::map<std::string, Bytes> mirrorAggs_;
+  int mirrorStep_ = -1;
   // Bumped per checkpoint; see epoch markers.  Atomic so checkpoint and
   // escalation paths racing under an engine pool read a coherent epoch.
   std::atomic<std::uint64_t> epoch_{0};

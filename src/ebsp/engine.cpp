@@ -8,6 +8,17 @@ namespace ripple::ebsp {
 
 kv::KVStorePtr makeEngineStore(const EngineOptions& options,
                                std::uint32_t containers) {
+  if (kv::resolveStoreBackend(options.storeBackend) ==
+      kv::StoreBackend::kRemote) {
+    // Route through the net-aware factory so the engine's wire-timeout
+    // knobs reach the client/server options (makeStore has no channel
+    // for them).
+    net::NetTuning tuning;
+    tuning.timeoutMs = options.netTimeoutMs;
+    tuning.redialMs = options.netRedialMs;
+    tuning.queueWaitMs = options.netQueueWaitMs;
+    return net::makeRemoteStoreFromEnv(containers, tuning);
+  }
   return kv::makeStore(options.storeBackend, containers);
 }
 

@@ -44,6 +44,16 @@ struct EngineOptions {
   std::size_t spillBatch = 4096;
   CheckpointConfig checkpoint;
 
+  /// Wire-timeout tuning for the "remote" backend, consumed by
+  /// makeEngineStore (zero fields fall back to RIPPLE_NET_TIMEOUT_MS /
+  /// RIPPLE_NET_REDIAL_MS / RIPPLE_NET_QUEUE_WAIT_MS, then defaults).
+  /// netTimeoutMs bounds connects and per-exchange waits, netRedialMs is
+  /// the re-dial budget bridging a server restart, netQueueWaitMs caps
+  /// one blocking queue-wait slice on both sides of the wire.
+  int netTimeoutMs = 0;
+  int netRedialMs = 0;
+  int netQueueWaitMs = 0;
+
   /// Transient-error retry budget, forwarded to whichever strategy runs
   /// (see src/fault/retry.h).
   fault::RetryPolicy retry;

@@ -111,6 +111,11 @@ class TypedComputeContext {
     raw_.directOutput(encodeToBytes(key), encodeToBytes(value));
   }
 
+  /// True when this run takes barrier checkpoints; see
+  /// RawComputeContext::checkpointed for the live-state write-back
+  /// obligation this creates.
+  [[nodiscard]] bool checkpointed() const { return raw_.checkpointed(); }
+
   /// Escape hatch for advanced uses.
   [[nodiscard]] RawComputeContext& raw() { return raw_; }
 
@@ -167,6 +172,12 @@ class Compute {
   [[nodiscard]] virtual bool hasMessageCombiner() const { return false; }
 
   [[nodiscard]] virtual bool hasStateCombiner() const { return false; }
+
+  /// Called after the engine restores from a checkpoint.  Override to
+  /// drop any live state cached between invocations — cached objects are
+  /// ahead of the restored tables and would corrupt the replay (see
+  /// RawCompute::onRecovery).
+  virtual void onRecovery() {}
 };
 
 /// Typed Job (paper Listing 1).
@@ -243,6 +254,7 @@ RawJob toRawJob(Job<Key, State, Message, OutKey, OutValue>& job) {
     TypedComputeContext<Key, State, Message, OutKey, OutValue> ctx(rctx);
     return compute->compute(ctx);
   };
+  raw.compute.onRecovery = [compute] { compute->onRecovery(); };
   if (compute->hasMessageCombiner()) {
     raw.compute.combineMessages = [compute](BytesView key, BytesView m1,
                                             BytesView m2) {

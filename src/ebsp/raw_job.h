@@ -69,6 +69,13 @@ class RawComputeContext {
   /// key-value pairs output by compute invocations and handled in a
   /// client-specified way").
   virtual void directOutput(BytesView key, BytesView value) = 0;
+
+  /// True when this run takes barrier checkpoints.  The checkpoint
+  /// captures the state tables, so a compute that caches live state
+  /// outside them between invocations (the paper's "local operations do
+  /// not marshal" contract) must write it back before returning — a
+  /// checkpoint of a stale table would replay from the wrong state.
+  [[nodiscard]] virtual bool checkpointed() const { return false; }
 };
 
 /// The compute triple (paper Listing 2).  combineMessages is optional
@@ -104,6 +111,14 @@ struct RawCompute {
   /// Merge of conflicting new component states (key, s1, s2) -> merged.
   std::function<Bytes(BytesView key, BytesView s1, BytesView s2)>
       combineStates;
+
+  /// Called after the engine restores from a checkpoint, before any
+  /// replayed invocation.  A compute that caches live state between
+  /// invocations must drop the cache here: the cached objects are AHEAD
+  /// of the restored tables (they remember sends and multiplies whose
+  /// messages died with the failure), and replaying against them would
+  /// skip the re-sends the restored state calls for.  Optional.
+  std::function<void()> onRecovery;
 
   [[nodiscard]] bool hasCombiner() const {
     return static_cast<bool>(combineMessages) ||

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 #include <unordered_map>
 
 #include "common/executor.h"
@@ -102,8 +103,14 @@ class SyncEngine::Run {
       }
       std::vector<kv::TablePtr> restartable = stateTables_;
       restartable.push_back(collection_);
+      // A remote backend's shadow tables would shard onto the same
+      // servers as the primaries and die with them; keep the snapshot in
+      // driver memory instead (DESIGN.md §11 failover).
+      driverMirror_ = options_.checkpoint.driverMirror ||
+                      std::string_view(store_->backendName()) == "remote";
       checkpointer_ = std::make_unique<Checkpointer>(
-          store_, "job" + runId_, std::move(restartable), ref_);
+          store_, "job" + runId_, std::move(restartable), ref_,
+          driverMirror_);
       checkpointer_->setTracer(options_.tracer);
       // Non-deterministic steps must never re-execute: checkpoint every
       // barrier (the fast-recovery optimization of the deterministic
@@ -133,6 +140,22 @@ class SyncEngine::Run {
       load->note = "synchronized";
       loadInitial();
       load->messages = collection_->size();
+    }
+
+    // Driver-mirror checkpointing snapshots the loaded state up front so
+    // a server crash BEFORE the first interval boundary is recoverable
+    // (shadow-table mode skips this: the store outlives the servers
+    // there, and tests pin exact checkpoint counts).
+    if (checkpointer_ && driverMirror_) {
+      try {
+        clientRetry_([&] { checkpointer_->checkpoint(0, aggFinals_); });
+      } catch (const fault::TransientError& e) {
+        throw std::runtime_error(
+            std::string("SyncEngine: initial checkpoint failed after "
+                        "retries: ") +
+            e.what());
+      }
+      ++metrics_.checkpoints;
     }
 
     std::uint64_t pending = collection_->size();
@@ -279,6 +302,16 @@ class SyncEngine::Run {
         step = recover(e.what());
         replayBoundary_ = failStep;
         pending = collection_->size();
+      } catch (const fault::StateLostError& e) {
+        // A server restarted and its in-memory parts are gone.  The
+        // client already reseeded the fresh incarnation's registries
+        // (empty tables/queue sets), so restore from the driver-side
+        // checkpoint and replay — digest-identical for deterministic
+        // jobs.
+        const int failStep = runStep;
+        step = recoverFromStateLoss(e.what());
+        replayBoundary_ = failStep;
+        pending = collection_->size();
       }
     }
     if (injector_ != nullptr) {
@@ -396,6 +429,10 @@ class SyncEngine::Run {
         return;  // Deterministic replay after recovery: already emitted.
       }
       run_.directSink_.consume(key, value);
+    }
+
+    [[nodiscard]] bool checkpointed() const override {
+      return run_.checkpointer_ != nullptr;
     }
 
    private:
@@ -773,6 +810,26 @@ class SyncEngine::Run {
     }
   }
 
+  /// recover() itself runs over the wire for a remote backend, so a
+  /// SECOND restart mid-restore surfaces as another StateLostError (and
+  /// rolls the client's reseed back); retry the whole recovery a bounded
+  /// number of times before giving up.
+  int recoverFromStateLoss(const std::string& why) {
+    constexpr int kMaxStateLossRecoveries = 3;
+    for (int attempt = 1;; ++attempt) {
+      try {
+        return recover(why);
+      } catch (const fault::StateLostError& e) {
+        if (attempt >= kMaxStateLossRecoveries) {
+          throw;
+        }
+        RIPPLE_WARN << "SyncEngine: state lost again during recovery ("
+                    << e.what() << "); retrying (" << attempt << "/"
+                    << kMaxStateLossRecoveries << ")";
+      }
+    }
+  }
+
   int recover(const std::string& why) {
     const bool usable =
         checkpointer_ &&
@@ -792,6 +849,13 @@ class SyncEngine::Run {
     // Whole-restore retry is safe: restore is clear-then-copy, idempotent.
     const int resumeStep =
         clientRetry_([&] { return checkpointer_->restore(aggFinals_); });
+    // Computes that cache live state between invocations must drop the
+    // cache NOW: the cached objects are ahead of the restored tables and
+    // replaying against them would skip re-sends the restored state
+    // still owes (their originals died with the failed step).
+    if (job_.compute.onRecovery) {
+      job_.compute.onRecovery();
+    }
     RIPPLE_INFO << "SyncEngine: recovered to completed step " << resumeStep
                 << " (" << why << ")";
     // Deterministic jobs replay steps; suppress re-emission of direct
@@ -877,6 +941,7 @@ class SyncEngine::Run {
 
   std::unique_ptr<sim::VirtualCluster> vt_;
   std::unique_ptr<Checkpointer> checkpointer_;
+  bool driverMirror_ = false;
   int checkpointInterval_ = 1;
   int replayBoundary_ = 0;
 

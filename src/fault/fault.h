@@ -59,6 +59,18 @@ class WorkerKilled : public std::runtime_error {
   explicit WorkerKilled(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// In-memory state at an endpoint was lost: the wire transport detected a
+/// server restart (session-epoch change, DESIGN.md §11).  Deliberately NOT
+/// a TransientError — re-sending the request cannot bring the state back,
+/// so per-op retriers must never absorb it.  The sync engine escalates to
+/// checkpoint recovery; forced no-sync with lost queue state fails the job
+/// through the mid-invocation escalation path.
+class StateLostError : public std::runtime_error {
+ public:
+  explicit StateLostError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 /// Operations the injector can observe.
 enum class Op : std::uint8_t {
   kGet = 0,

@@ -18,6 +18,16 @@ std::uint64_t mix64(std::uint64_t x) {
 
 }  // namespace
 
+double scheduledBackoffMs(const RetryPolicy& policy, int attempt) {
+  double ms = policy.initialBackoffMs;
+  for (int i = 1; i < attempt && ms < policy.maxBackoffMs; ++i) {
+    // Stop multiplying once past the cap: a large attempt budget must not
+    // overflow the double to inf before the clamp.
+    ms *= policy.backoffMultiplier;
+  }
+  return std::min(ms, policy.maxBackoffMs);
+}
+
 Retrier::Retrier(RetryPolicy policy, std::uint64_t streamId)
     : policy_(policy), rng_(mix64(policy.seed ^ mix64(streamId))) {}
 
@@ -68,13 +78,7 @@ void Retrier::bindVirtualTime(sim::VirtualCluster* vt, std::uint32_t part) {
 }
 
 void Retrier::backoff(int attempt) {
-  double ms = policy_.initialBackoffMs;
-  for (int i = 1; i < attempt && ms < policy_.maxBackoffMs; ++i) {
-    // Stop multiplying once past the cap: a large attempt budget must not
-    // overflow the double to inf before the clamp.
-    ms *= policy_.backoffMultiplier;
-  }
-  ms = std::min(ms, policy_.maxBackoffMs);
+  double ms = scheduledBackoffMs(policy_, attempt);
   if (policy_.jitter > 0) {
     ms *= 1.0 + policy_.jitter * (2.0 * rng_.nextDouble() - 1.0);
   }

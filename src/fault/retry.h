@@ -55,6 +55,12 @@ struct RetryPolicy {
   bool sleepWallClock = true;
 };
 
+/// The policy's exponential curve for 1-based `attempt`, without jitter,
+/// clamped to maxBackoffMs.  Shared by Retrier::backoff and the net-layer
+/// circuit breaker so both honor one schedule and one hard bound.
+[[nodiscard]] double scheduledBackoffMs(const RetryPolicy& policy,
+                                        int attempt);
+
 class Retrier {
  public:
   explicit Retrier(RetryPolicy policy = {}, std::uint64_t streamId = 0);

@@ -200,6 +200,15 @@ class SummaCompute : public ebsp::Compute<std::uint32_t, SummaState, SummaMsg> {
       return false;
     }
 
+    // A checkpointed run captures the state TABLES at each barrier, so
+    // the live object must be mirrored there before returning; otherwise
+    // recovery would restore the loader's initial snapshot while the
+    // cache remembers sends whose messages died with the failed server,
+    // and the replay would starve downstream components (DESIGN.md §11).
+    if (ctx.checkpointed()) {
+      ctx.writeState(s);
+    }
+
     // Continue while actions remain possible without new input; blocks
     // still in flight re-enable the component on arrival.
     const bool backlog = hasImmediateWork(s);
@@ -207,6 +216,14 @@ class SummaCompute : public ebsp::Compute<std::uint32_t, SummaState, SummaMsg> {
       return backlog;
     }
     return false;
+  }
+
+  /// The engine restored the state tables from a checkpoint: every live
+  /// object is now ahead of the truth and must be re-read from the table
+  /// on next touch.
+  void onRecovery() override {
+    LockGuard lock(liveMu_);
+    live_.clear();
   }
 
  private:

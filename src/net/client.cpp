@@ -1,8 +1,13 @@
 #include "net/client.h"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <stdexcept>
+#include <thread>
 #include <utility>
+
+#include "common/codec.h"
 
 namespace ripple::net {
 
@@ -15,12 +20,43 @@ namespace {
   throw fault::TransientStoreError(what);
 }
 
+std::int64_t steadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Process-unique, never zero.  Not cryptographic — the dedup cache only
+/// needs distinct ids for concurrently-connected clients of one server
+/// fleet.
+std::uint64_t mintClientId() {
+  static std::atomic<std::uint64_t> counter{0};
+  const auto ticks = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  const auto pid = static_cast<std::uint64_t>(::getpid());
+  const std::uint64_t nonce =
+      (counter.fetch_add(1, std::memory_order_relaxed) + 1) *
+      0x9e3779b97f4a7c15ULL;
+  return (ticks ^ (pid << 32) ^ nonce) | 1;
+}
+
+/// Nonzero while the current thread is running reseed hooks.  Lets the
+/// reseeder's own exchanges bypass the reseed gate (they ARE the reseed)
+/// and stops a restart observed mid-reseed from recursing.
+thread_local int tlsReseedDepth = 0;
+
 }  // namespace
 
 Client::Client(Options options) : options_(std::move(options)) {
   if (options_.endpoints.empty()) {
     throw std::invalid_argument("net::Client: at least one endpoint required");
   }
+  clientId_ = options_.clientId != 0 ? options_.clientId : mintClientId();
+  endpointStates_.reserve(options_.endpoints.size());
+  for (std::size_t i = 0; i < options_.endpoints.size(); ++i) {
+    endpointStates_.push_back(std::make_unique<EndpointState>());
+  }
+  LockGuard lock(poolMu_);
   pool_.resize(options_.endpoints.size());
 }
 
@@ -31,6 +67,11 @@ void Client::bindRegistry(obs::MetricsRegistry& registry) {
   registry_.store(&registry, std::memory_order_release);
 }
 
+void Client::addRestartHook(std::function<void(std::size_t)> hook) {
+  LockGuard lock(hooksMu_);
+  hooks_.push_back(std::move(hook));
+}
+
 void Client::closeAll() {
   LockGuard lock(poolMu_);
   for (auto& idle : pool_) {
@@ -39,20 +80,202 @@ void Client::closeAll() {
 }
 
 std::unique_ptr<Client::Channel> Client::acquire(std::size_t endpoint) {
+  // Drain stale pooled connections before dialing: a connection to a
+  // server that restarted (or went away) is dead on first reuse, and a
+  // cheap poll probe catches that here instead of burning a retry on it.
+  for (;;) {
+    std::unique_ptr<Channel> channel;
+    {
+      LockGuard lock(poolMu_);
+      auto& idle = pool_.at(endpoint);
+      if (!idle.empty()) {
+        channel = std::move(idle.back());
+        idle.pop_back();
+      }
+    }
+    if (!channel) {
+      break;
+    }
+    if (!channel->sock.peerClosed()) {
+      return channel;
+    }
+    metrics_.incPoolInvalidated();
+  }
+  return dial(endpoint);
+}
+
+std::unique_ptr<Client::Channel> Client::dial(std::size_t endpoint) {
+  EndpointState& st = *endpointStates_.at(endpoint);
+  const bool redial = st.everConnected.load(std::memory_order_acquire);
+  // First dials fail fast (a server that never existed is a config error);
+  // re-dials get a budget so a restarting server is bridged, not fatal.
+  const std::int64_t deadline =
+      steadyNowMs() + (redial ? options_.redialTimeoutMs : 0);
+  for (;;) {
+    // Breaker gate: wait out the cooldown before probing an endpoint that
+    // keeps refusing, so a dead server is not hammered from every part.
+    const std::int64_t openUntil =
+        st.openUntilMs.load(std::memory_order_acquire);
+    const std::int64_t now = steadyNowMs();
+    if (openUntil > now) {
+      if (openUntil > deadline) {
+        throw NetError("net::Client: circuit breaker open for " +
+                       endpointAt(endpoint).str());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(openUntil - now));
+    }
+    const bool probing =
+        st.failures.load(std::memory_order_acquire) >=
+        static_cast<std::uint32_t>(options_.breakerThreshold);
+    try {
+      auto channel = std::make_unique<Channel>();
+      channel->sock = Socket::connect(options_.endpoints.at(endpoint),
+                                      options_.connectTimeoutMs);
+      metrics_.incDials();
+      if (redial) {
+        metrics_.incReconnects();
+      }
+      if (probing) {
+        metrics_.incHalfOpenProbes();
+      }
+      // The endpoint is reachable: close the breaker before the handshake
+      // so a StateLostError escalation leaves it healthy for recovery.
+      st.failures.store(0, std::memory_order_release);
+      st.openUntilMs.store(0, std::memory_order_release);
+      st.everConnected.store(true, std::memory_order_release);
+      handshake(*channel, endpoint);  // may throw fault::StateLostError
+      return channel;
+    } catch (const NetError&) {
+      const std::uint32_t failures =
+          st.failures.fetch_add(1, std::memory_order_acq_rel) + 1;
+      const auto threshold =
+          static_cast<std::uint32_t>(options_.breakerThreshold);
+      if (failures >= threshold) {
+        if (failures == threshold) {
+          metrics_.incBreakerOpens();
+        }
+        const double cooldown = fault::scheduledBackoffMs(
+            options_.breakerBackoff,
+            static_cast<int>(failures - threshold) + 1);
+        st.openUntilMs.store(
+            steadyNowMs() + static_cast<std::int64_t>(cooldown),
+            std::memory_order_release);
+      }
+      if (steadyNowMs() >= deadline) {
+        throw;
+      }
+    }
+  }
+}
+
+void Client::handshake(Channel& channel, std::size_t endpoint) {
+  const std::uint64_t requestId =
+      nextRequestId_.fetch_add(1, std::memory_order_relaxed);
+  ByteWriter w(8);
+  w.putFixed64(clientId_);
+  const Bytes request = encodeFrame(Opcode::kHello, 0, requestId, w.take());
+  std::optional<Frame> frame;
+  try {
+    channel.sock.sendAll(request, options_.connectTimeoutMs);
+    metrics_.addTx(request.size());
+    Bytes chunk;
+    while (!(frame = channel.decoder.next())) {
+      chunk.clear();
+      const std::size_t n = channel.sock.recvSome(chunk, 64 * 1024,
+                                                  options_.connectTimeoutMs);
+      if (n == 0) {
+        throw NetError("net::Client: connection closed during handshake");
+      }
+      metrics_.addRx(n);
+      channel.decoder.feed(chunk);
+    }
+  } catch (const FrameError& e) {
+    throw NetError(std::string("net::Client: poisoned handshake: ") +
+                   e.what());
+  }
+  if (frame->requestId != requestId ||
+      frame->opcode != static_cast<std::uint8_t>(Opcode::kHello) ||
+      frame->isError() || (frame->flags & kFlagEpoch) == 0 ||
+      frame->payload.size() < 8) {
+    throw NetError("net::Client: malformed handshake response");
+  }
+  const std::uint64_t epoch = stripEpoch(frame->payload);
+  noteEpoch(endpoint, epoch);  // may throw fault::StateLostError
+}
+
+void Client::noteEpoch(std::size_t endpoint, std::uint64_t observed) {
+  EndpointState& st = *endpointStates_.at(endpoint);
+  std::uint64_t known = st.epoch.load(std::memory_order_acquire);
+  while (known != observed) {
+    if (st.epoch.compare_exchange_weak(known, observed,
+                                       std::memory_order_acq_rel)) {
+      if (known == 0) {
+        // First contact with this endpoint: nothing to reseed.
+        st.seededEpoch.store(observed, std::memory_order_release);
+        return;
+      }
+      onEpochChange(endpoint, known, observed);
+    }
+    // CAS failure reloaded `known`: a concurrent observer recorded the
+    // epoch first, so the restart is theirs to escalate; this exchange's
+    // result is discarded by the recovery it triggers.
+  }
+}
+
+void Client::onEpochChange(std::size_t endpoint, std::uint64_t oldEpoch,
+                           std::uint64_t newEpoch) {
+  metrics_.incEpochChanges();
+  std::size_t stale = 0;
   {
     LockGuard lock(poolMu_);
     auto& idle = pool_.at(endpoint);
-    if (!idle.empty()) {
-      std::unique_ptr<Channel> channel = std::move(idle.back());
-      idle.pop_back();
-      return channel;
-    }
+    stale = idle.size();
+    idle.clear();
   }
-  auto channel = std::make_unique<Channel>();
-  channel->sock =
-      Socket::connect(options_.endpoints.at(endpoint), options_.connectTimeoutMs);
-  metrics_.incReconnects();
-  return channel;
+  if (stale > 0) {
+    metrics_.incPoolInvalidated(stale);
+  }
+  runRestartHooks(endpoint, oldEpoch);
+  throw fault::StateLostError(
+      "net::Client: endpoint " + endpointAt(endpoint).str() +
+      " restarted (session epoch " + std::to_string(oldEpoch) + " -> " +
+      std::to_string(newEpoch) + "); its in-memory parts are lost");
+}
+
+void Client::runRestartHooks(std::size_t endpoint, std::uint64_t oldEpoch) {
+  // A restart observed while this thread is already reseeding (the server
+  // bounced again mid-reseed) must not recurse.  Roll the recorded epoch
+  // back so a later exchange re-detects the change and retries the
+  // reseed, then let the caller's StateLostError escalate.
+  EndpointState& st = *endpointStates_.at(endpoint);
+  if (tlsReseedDepth > 0) {
+    st.epoch.store(oldEpoch, std::memory_order_release);
+    return;
+  }
+  std::vector<std::function<void(std::size_t)>> hooks;
+  {
+    LockGuard lock(hooksMu_);
+    hooks = hooks_;
+  }
+  ++tlsReseedDepth;
+  try {
+    for (const auto& hook : hooks) {
+      hook(endpoint);
+    }
+  } catch (...) {
+    // Reseed incomplete (the endpoint flapped again): roll back so the
+    // next observer retries, and let the escalation proceed.  seededEpoch
+    // already equals the rolled-back epoch, so the gate reopens.
+    --tlsReseedDepth;
+    st.epoch.store(oldEpoch, std::memory_order_release);
+    return;
+  }
+  --tlsReseedDepth;
+  // Publish "reseed complete": the gate in exchange() reopens and held-off
+  // traffic proceeds against the recreated registries.
+  st.seededEpoch.store(st.epoch.load(std::memory_order_acquire),
+                       std::memory_order_release);
+  metrics_.incReseeds();
 }
 
 void Client::release(std::size_t endpoint, std::unique_ptr<Channel> channel) {
@@ -60,17 +283,40 @@ void Client::release(std::size_t endpoint, std::unique_ptr<Channel> channel) {
   pool_.at(endpoint).push_back(std::move(channel));
 }
 
-Bytes Client::exchange(std::size_t endpoint, Opcode op, BytesView payload) {
+Bytes Client::exchange(std::size_t endpoint, Opcode op, BytesView payload,
+                       std::uint64_t requestId, bool dedup) {
   std::unique_ptr<Channel> channel = acquire(endpoint);
-  const std::uint64_t requestId =
-      nextRequestId_.fetch_add(1, std::memory_order_relaxed);
+  // Reseed gate.  Any channel to a fresh incarnation was handshaked, and
+  // its handshake recorded the new epoch — so if a concurrent thread won
+  // that race and is still replaying registry state (epoch != seededEpoch),
+  // hold ordinary traffic here: an op racing ahead would find its tables
+  // missing on the fresh server and die on a non-retriable application
+  // error.  The reseeder's own exchanges bypass (they ARE the reseed); a
+  // failed reseed rolls the epoch back, which also reopens the gate.
+  if (tlsReseedDepth == 0) {
+    const EndpointState& st = *endpointStates_.at(endpoint);
+    while (st.epoch.load(std::memory_order_acquire) !=
+           st.seededEpoch.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
   const auto start = std::chrono::steady_clock::now();
 
   std::optional<Frame> frame;
+  std::uint64_t observedEpoch = 0;
   try {
-    const Bytes request = encodeFrame(op, 0, requestId, payload);
+    if (chaosFires(op, ChaosPoint::kBeforeSend)) {
+      throw ConnectionClosed(
+          "net::Client: connection severed before send (chaos)");
+    }
+    const Bytes request = encodeFrame(
+        op, dedup ? kFlagDedup : std::uint16_t{0}, requestId, payload);
     channel->sock.sendAll(request, options_.requestTimeoutMs);
     metrics_.addTx(request.size());
+    if (chaosFires(op, ChaosPoint::kAfterSend)) {
+      throw ConnectionClosed(
+          "net::Client: connection severed after send (chaos)");
+    }
 
     Bytes chunk;
     while (!(frame = channel->decoder.next())) {
@@ -89,6 +335,9 @@ Bytes Client::exchange(std::size_t endpoint, Opcode op, BytesView payload) {
       // the connection), so a mismatch is a protocol violation.
       throw NetError("net::Client: response id/opcode mismatch");
     }
+    if ((frame->flags & kFlagEpoch) != 0) {
+      observedEpoch = stripEpoch(frame->payload);
+    }
   } catch (const FrameError& e) {
     metrics_.incDropped();
     throw NetError(std::string("net::Client: poisoned stream: ") + e.what());
@@ -102,14 +351,30 @@ Bytes Client::exchange(std::size_t endpoint, Opcode op, BytesView payload) {
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - start)
           .count());
+  if ((frame->flags & kFlagReplayed) != 0) {
+    metrics_.incDedupReplays();
+  }
 
+  // kAfterReceive chaos drops the healthy connection instead of pooling
+  // it — the next exchange sees a stale-pool scenario.
+  const bool keep = !chaosFires(op, ChaosPoint::kAfterReceive);
   if (frame->isError()) {
     // The connection is healthy — the request failed server-side.
     const DecodedError error = decodeError(frame->payload);
-    release(endpoint, std::move(channel));
+    if (keep) {
+      release(endpoint, std::move(channel));
+    }
+    if (observedEpoch != 0) {
+      noteEpoch(endpoint, observedEpoch);
+    }
     throwDecodedError(error);
   }
-  release(endpoint, std::move(channel));
+  if (keep) {
+    release(endpoint, std::move(channel));
+  }
+  if (observedEpoch != 0) {
+    noteEpoch(endpoint, observedEpoch);  // may throw fault::StateLostError
+  }
   return std::move(frame->payload);
 }
 
@@ -120,11 +385,13 @@ void Client::noteRetrier(const fault::Retrier& retrier) {
 
 Bytes Client::call(std::size_t endpoint, Opcode op, BytesView payload,
                    fault::Op faultOp, std::string_view name,
-                   std::uint32_t part, bool retryIo) {
-  // One Retrier per call: the jitter stream is single-consumer, and the
-  // request id seed keeps backoff schedules deterministic per request.
-  fault::Retrier retrier(options_.retry,
-                         nextRequestId_.load(std::memory_order_relaxed));
+                   std::uint32_t part, bool retryIo, bool dedup) {
+  // One request id per call, stable across attempts: the server's dedup
+  // cache keys on it, and it seeds the (single-consumer) jitter stream so
+  // backoff schedules stay deterministic per request.
+  const std::uint64_t requestId =
+      nextRequestId_.fetch_add(1, std::memory_order_relaxed);
+  fault::Retrier retrier(options_.retry, requestId);
   if (obs::MetricsRegistry* reg = registry_.load(std::memory_order_acquire)) {
     retrier.bindRegistry(reg);
   }
@@ -136,9 +403,17 @@ Bytes Client::call(std::size_t endpoint, Opcode op, BytesView payload,
         options_.injector->onOp(faultOp, name, part);
       }
       try {
-        return exchange(endpoint, op, payload);
+        return exchange(endpoint, op, payload, requestId, dedup);
+      } catch (const ConnectionClosed& e) {
+        if (dedup || retryIo) {
+          // Re-send-safe: idempotent requests may simply re-execute, and
+          // dedup requests either never executed or replay the recorded
+          // response under (clientId, requestId).
+          throwTransient(faultOp, e.what());
+        }
+        throw;
       } catch (const NetError& e) {
-        if (retryIo) {
+        if (retryIo || dedup) {
           throwTransient(faultOp, e.what());
         }
         throw;
@@ -159,6 +434,8 @@ Bytes Client::call(std::size_t endpoint, Opcode op, BytesView payload,
     noteRetrier(retrier);
     throwTransient(faultOp, e.what());
   } catch (...) {
+    // Includes fault::StateLostError: the endpoint restarted; engines
+    // escalate to checkpoint recovery, never per-op retry.
     noteRetrier(retrier);
     throw;
   }

@@ -7,7 +7,7 @@
 // a connection out of the pool (dialing when empty) and returns it only if
 // the exchange left it healthy.
 //
-// Fault integration is the load-bearing part.  Two failure planes exist:
+// Fault integration is the load-bearing part.  Three failure planes exist:
 //   * Server-side application errors travel in error frames with an
 //     ErrorKind tag and are rethrown as the SAME std exception type the
 //     in-process backends throw (invalid_argument, out_of_range,
@@ -18,14 +18,28 @@
 //     fault::TransientStoreError / TransientQueueError and go through a
 //     bounded per-request fault::Retrier.  Injected faults fire BEFORE any
 //     bytes are sent, so retrying them is always safe; real socket errors
-//     are retried only when the caller marks the request idempotent
-//     (retryIo) — a destructive read whose response was lost must surface
-//     to the engine-level recovery sites instead.
+//     are retried when the caller marks the request idempotent (retryIo)
+//     or dedup-protected (dedup: the request id is recorded server-side,
+//     so a re-send replays the recorded response instead of re-executing).
+//   * State loss.  Every fresh connection performs a kHello handshake and
+//     records the server's session epoch; a changed epoch means the
+//     process restarted and its in-memory parts are gone.  The client
+//     invalidates the endpoint's pool, runs registered reseed hooks (the
+//     SPI layers recreate their registries on the fresh incarnation), and
+//     throws fault::StateLostError — never a Transient — so the engines
+//     escalate to checkpoint recovery instead of blindly retrying.
+//
+// Endpoint health: each endpoint keeps a consecutive-dial-failure count;
+// at `breakerThreshold` the circuit breaker opens and further probes wait
+// out a bounded backoff (schedule reused from fault::RetryPolicy).  First
+// dials fail fast; re-dials of an endpoint that has connected before get
+// a `redialTimeoutMs` budget, which is what bridges a server restart.
 
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string_view>
 #include <vector>
@@ -41,6 +55,31 @@
 
 namespace ripple::net {
 
+/// Exchange boundaries where the test-only chaos hook may sever the
+/// connection (tests/net coverage of ConnectionClosed at every boundary).
+enum class ChaosPoint : std::uint8_t {
+  kBeforeSend,    // Nothing sent; the server never saw the request.
+  kAfterSend,     // Request delivered; the response is lost.
+  kAfterReceive,  // Exchange complete; the pooled connection dies after.
+};
+
+/// Returns true to sever the connection at `point`.  Never invoked for the
+/// kHello handshake.
+using ChaosHook = std::function<bool(Opcode, ChaosPoint)>;
+
+/// Breaker probe schedule: attempts/jitter are ignored (the redial
+/// deadline bounds attempts; probes are deterministic), only the
+/// exponential curve and its hard cap are used.
+[[nodiscard]] inline fault::RetryPolicy defaultBreakerBackoff() {
+  fault::RetryPolicy policy;
+  policy.maxAttempts = 1;
+  policy.initialBackoffMs = 5.0;
+  policy.backoffMultiplier = 2.0;
+  policy.maxBackoffMs = 100.0;
+  policy.jitter = 0.0;
+  return policy;
+}
+
 class Client {
  public:
   struct Options {
@@ -52,12 +91,31 @@ class Client {
     /// Bound on each send/recv wait within one exchange.
     int requestTimeoutMs = 30000;
 
+    /// Total budget for re-dialing an endpoint that has connected before
+    /// (this is what bridges a server restart; RIPPLE_NET_REDIAL_MS).
+    /// First dials always fail fast.
+    int redialTimeoutMs = 250;
+
+    /// Consecutive dial failures before the endpoint's circuit breaker
+    /// opens and probes start waiting out the breaker backoff.
+    int breakerThreshold = 3;
+
+    /// Cooldown schedule between half-open probes of an open breaker.
+    fault::RetryPolicy breakerBackoff = defaultBreakerBackoff();
+
     /// Budget for transparent retries of transient failures.
     fault::RetryPolicy retry{};
 
     /// Optional deterministic fault injection, consulted fail-before on
     /// every request (nothing is sent when a rule fires).
     fault::FaultInjectorPtr injector;
+
+    /// Dedup-cache identity sent in the kHello handshake; 0 mints a
+    /// process-unique id.
+    std::uint64_t clientId = 0;
+
+    /// Test-only connection chaos (see ChaosHook).
+    ChaosHook chaos;
   };
 
   explicit Client(Options options);
@@ -78,11 +136,22 @@ class Client {
   /// and select which Transient* type transport failures map to.
   /// `retryIo` = the request is idempotent, so lost-response socket errors
   /// may be retried transparently (injected faults are always retried).
+  /// `dedup` = the request is non-idempotent but re-send-safe: it carries
+  /// kFlagDedup and a stable request id across attempts, so the server
+  /// replays the recorded response if the first send did execute.
   /// Throws TransientStoreError/TransientQueueError once the budget is
-  /// exhausted, or the server's rethrown std exception.
+  /// exhausted, fault::StateLostError when the endpoint restarted, or the
+  /// server's rethrown std exception.
   Bytes call(std::size_t endpoint, Opcode op, BytesView payload,
              fault::Op faultOp, std::string_view name, std::uint32_t part,
-             bool retryIo = true);
+             bool retryIo = true, bool dedup = false);
+
+  /// Register a reseed hook, run (with no client locks held) after an
+  /// epoch change is detected on `endpoint` and before StateLostError is
+  /// thrown.  Hooks recreate endpoint-local registry state (tables, queue
+  /// sets) on the fresh incarnation so engine-level recovery can restore
+  /// data into it.  Hooks may call back into this client.
+  void addRestartHook(std::function<void(std::size_t)> hook);
 
   /// Mirror transport counters into `net.*` and retry counters into
   /// `fault.*` instruments.  The registry must outlive the client.
@@ -102,6 +171,15 @@ class Client {
 
   [[nodiscard]] const Options& options() const { return options_; }
 
+  /// Dedup identity sent in every handshake.
+  [[nodiscard]] std::uint64_t clientId() const { return clientId_; }
+
+  /// Last session epoch observed for `endpoint` (0 = never connected).
+  [[nodiscard]] std::uint64_t knownEpoch(std::size_t endpoint) const {
+    return endpointStates_.at(endpoint)->epoch.load(
+        std::memory_order_acquire);
+  }
+
   /// Drop every pooled connection (teardown; in-flight exchanges keep
   /// their checked-out connections).
   void closeAll();
@@ -112,24 +190,69 @@ class Client {
     FrameDecoder decoder;
   };
 
+  /// Per-endpoint health: the observed session epoch plus the circuit
+  /// breaker state.  All atomics — dials race benignly; the epoch CAS in
+  /// noteEpoch() elects exactly one restart-handling winner.
+  struct EndpointState {
+    std::atomic<std::uint64_t> epoch{0};
+    /// Epoch whose reseed hooks have completed.  While epoch !=
+    /// seededEpoch a reseed is in flight, and ordinary exchanges wait
+    /// (see the reseed gate in exchange()) — an op racing ahead would
+    /// find its tables missing on the fresh incarnation and die on a
+    /// non-retriable application error.
+    std::atomic<std::uint64_t> seededEpoch{0};
+    std::atomic<bool> everConnected{false};
+    std::atomic<std::uint32_t> failures{0};     // Consecutive dial failures.
+    std::atomic<std::int64_t> openUntilMs{0};   // Steady-clock ms gate.
+  };
+
   std::unique_ptr<Channel> acquire(std::size_t endpoint);
+  std::unique_ptr<Channel> dial(std::size_t endpoint);
   void release(std::size_t endpoint, std::unique_ptr<Channel> channel);
+
+  /// kHello on a fresh connection: sends the client id, records the
+  /// server epoch.  Throws NetError on transport failure and
+  /// fault::StateLostError when the epoch changed.
+  void handshake(Channel& channel, std::size_t endpoint);
+
+  /// Record an observed epoch; on change: invalidate the endpoint pool,
+  /// run reseed hooks, throw fault::StateLostError.
+  void noteEpoch(std::size_t endpoint, std::uint64_t observed);
+  [[noreturn]] void onEpochChange(std::size_t endpoint, std::uint64_t oldEpoch,
+                                  std::uint64_t newEpoch);
+  void runRestartHooks(std::size_t endpoint, std::uint64_t oldEpoch);
 
   /// One un-retried exchange.  Throws NetError on transport failure (the
   /// channel is dropped), or the server's std exception on error frames.
-  Bytes exchange(std::size_t endpoint, Opcode op, BytesView payload);
+  Bytes exchange(std::size_t endpoint, Opcode op, BytesView payload,
+                 std::uint64_t requestId, bool dedup);
+
+  [[nodiscard]] bool chaosFires(Opcode op, ChaosPoint point) const {
+    return options_.chaos && op != Opcode::kHello &&
+           options_.chaos(op, point);
+  }
 
   void noteRetrier(const fault::Retrier& retrier);
 
   Options options_;
+  std::uint64_t clientId_ = 0;
   NetMetrics metrics_;
   std::atomic<obs::MetricsRegistry*> registry_{nullptr};
   std::atomic<std::uint64_t> nextRequestId_{1};
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> escalations_{0};
 
+  std::vector<std::unique_ptr<EndpointState>> endpointStates_;
+
   RankedMutex<LockRank::kNetClient> poolMu_;
-  std::vector<std::vector<std::unique_ptr<Channel>>> pool_;
+  std::vector<std::vector<std::unique_ptr<Channel>>> pool_
+      RIPPLE_GUARDED_BY(poolMu_);
+
+  // Never held together with poolMu_ (hooks are copied out, then invoked
+  // with no locks so they may call back into this client).
+  RankedMutex<LockRank::kNetClient> hooksMu_;
+  std::vector<std::function<void(std::size_t)>> hooks_
+      RIPPLE_GUARDED_BY(hooksMu_);
 };
 
 using ClientPtr = std::shared_ptr<Client>;

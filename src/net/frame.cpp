@@ -54,7 +54,24 @@ std::uint64_t getU64le(const char* p) {
 
 bool validOpcode(std::uint8_t raw) {
   return raw >= static_cast<std::uint8_t>(Opcode::kPing) &&
-         raw <= static_cast<std::uint8_t>(Opcode::kShutdown);
+         raw <= static_cast<std::uint8_t>(Opcode::kHello);
+}
+
+Bytes prependEpoch(std::uint64_t epoch, BytesView payload) {
+  Bytes out;
+  out.reserve(8 + payload.size());
+  putU64le(out, epoch);
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+std::uint64_t stripEpoch(Bytes& payload) {
+  if (payload.size() < 8) {
+    throw FrameError("stripEpoch: payload too short for epoch prefix");
+  }
+  const std::uint64_t epoch = getU64le(payload.data());
+  payload.erase(0, 8);
+  return epoch;
 }
 
 Bytes encodeFrame(Opcode opcode, std::uint16_t flags, std::uint64_t requestId,

@@ -63,6 +63,12 @@ enum class Opcode : std::uint8_t {
 
   // Control plane.
   kShutdown = 19,
+
+  // Session handshake (DESIGN.md §11 failover).  Sent once per fresh
+  // connection; the request payload carries the client's fixed64 id (the
+  // dedup-cache key prefix), the response carries the server's session
+  // epoch like every other response (kFlagEpoch prefix).
+  kHello = 20,
 };
 
 /// True for the opcodes this protocol version defines.
@@ -78,6 +84,29 @@ inline constexpr std::uint32_t kMaxPayloadBytes = 256u * 1024 * 1024;
 
 /// Header flag bits.
 inline constexpr std::uint16_t kFlagError = 0x1;
+
+/// Response payload is prefixed with the server's fixed64 session epoch
+/// (minted once per server incarnation).  A client that observes a
+/// different epoch than it recorded for the endpoint knows the process
+/// restarted and its in-memory parts are gone.
+inline constexpr std::uint16_t kFlagEpoch = 0x2;
+
+/// Request flag: the sender wants this (non-idempotent) request recorded
+/// in the server's dedup cache under (client id, request id), so a re-send
+/// after ConnectionClosed replays the recorded response instead of
+/// re-executing the op.
+inline constexpr std::uint16_t kFlagDedup = 0x4;
+
+/// Response flag: this response was replayed from the dedup cache.
+inline constexpr std::uint16_t kFlagReplayed = 0x8;
+
+/// Prefix `payload` with the fixed64 session epoch (kFlagEpoch layout).
+[[nodiscard]] Bytes prependEpoch(std::uint64_t epoch, BytesView payload);
+
+/// Strip and return the fixed64 epoch prefix from a kFlagEpoch payload,
+/// leaving the inner payload behind.  Throws FrameError when the payload
+/// is too short to carry the prefix.
+[[nodiscard]] std::uint64_t stripEpoch(Bytes& payload);
 
 /// One decoded frame.
 struct Frame {

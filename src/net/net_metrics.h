@@ -3,6 +3,13 @@
 // tests, and bindRegistry() mirrors future increments into `net.*`
 // instruments of an obs::MetricsRegistry so wire traffic shows up in run
 // reports next to the engine and store metrics.
+//
+// The failover group (`net.failover.*`) is the transport's fault ledger
+// (DESIGN.md §11): every endpoint restart the client observes must be
+// accounted as exactly one epoch change with a matching reseed, and every
+// severed exchange as a dedup replay, a plain reconnect-and-retry, or an
+// engine escalation.  bench_multiproc.sh --chaos asserts the ledger
+// closes.
 
 #pragma once
 
@@ -15,11 +22,24 @@
 namespace ripple::net {
 
 struct NetMetrics {
-  std::atomic<std::uint64_t> bytesTx{0};      // Frame bytes written.
-  std::atomic<std::uint64_t> bytesRx{0};      // Frame bytes read.
-  std::atomic<std::uint64_t> requests{0};     // Completed exchanges.
-  std::atomic<std::uint64_t> reconnects{0};   // Fresh dials (incl. first).
-  std::atomic<std::uint64_t> dropped{0};      // Connections discarded on error.
+  std::atomic<std::uint64_t> bytesTx{0};    // Frame bytes written.
+  std::atomic<std::uint64_t> bytesRx{0};    // Frame bytes read.
+  std::atomic<std::uint64_t> requests{0};   // Completed exchanges.
+  std::atomic<std::uint64_t> dials{0};      // Fresh dials (incl. first).
+  std::atomic<std::uint64_t> reconnects{0};  // Re-dials after a prior
+                                             // successful connect.
+  std::atomic<std::uint64_t> dropped{0};    // Connections discarded on error.
+
+  // Failover ledger (net.failover.*).
+  std::atomic<std::uint64_t> epochChanges{0};    // Server restarts observed.
+  std::atomic<std::uint64_t> dedupReplays{0};    // Responses replayed from
+                                                 // the server dedup cache.
+  std::atomic<std::uint64_t> poolInvalidated{0};  // Pooled connections
+                                                  // dropped as stale.
+  std::atomic<std::uint64_t> breakerOpens{0};    // Circuit breaker openings.
+  std::atomic<std::uint64_t> halfOpenProbes{0};  // Dial attempts while the
+                                                 // breaker was open.
+  std::atomic<std::uint64_t> reseeds{0};         // Endpoint reseed hook runs.
 
   void addTx(std::uint64_t bytes) {
     bytesTx.fetch_add(bytes, std::memory_order_relaxed);
@@ -36,6 +56,11 @@ struct NetMetrics {
     forward(fwdRequests_, n);
   }
 
+  void incDials(std::uint64_t n = 1) {
+    dials.fetch_add(n, std::memory_order_relaxed);
+    forward(fwdDials_, n);
+  }
+
   void incReconnects(std::uint64_t n = 1) {
     reconnects.fetch_add(n, std::memory_order_relaxed);
     forward(fwdReconnects_, n);
@@ -46,6 +71,36 @@ struct NetMetrics {
     forward(fwdDropped_, n);
   }
 
+  void incEpochChanges(std::uint64_t n = 1) {
+    epochChanges.fetch_add(n, std::memory_order_relaxed);
+    forward(fwdEpochChanges_, n);
+  }
+
+  void incDedupReplays(std::uint64_t n = 1) {
+    dedupReplays.fetch_add(n, std::memory_order_relaxed);
+    forward(fwdDedupReplays_, n);
+  }
+
+  void incPoolInvalidated(std::uint64_t n = 1) {
+    poolInvalidated.fetch_add(n, std::memory_order_relaxed);
+    forward(fwdPoolInvalidated_, n);
+  }
+
+  void incBreakerOpens(std::uint64_t n = 1) {
+    breakerOpens.fetch_add(n, std::memory_order_relaxed);
+    forward(fwdBreakerOpens_, n);
+  }
+
+  void incHalfOpenProbes(std::uint64_t n = 1) {
+    halfOpenProbes.fetch_add(n, std::memory_order_relaxed);
+    forward(fwdHalfOpenProbes_, n);
+  }
+
+  void incReseeds(std::uint64_t n = 1) {
+    reseeds.fetch_add(n, std::memory_order_relaxed);
+    forward(fwdReseeds_, n);
+  }
+
   /// Round-trip latency of one exchange, milliseconds.
   void recordRtt(double ms) {
     if (obs::Histogram* h = fwdRtt_.load(std::memory_order_acquire)) {
@@ -54,7 +109,8 @@ struct NetMetrics {
   }
 
   /// Mirror future increments into `<prefix>.bytes_tx`, `<prefix>.bytes_rx`,
-  /// `<prefix>.requests`, `<prefix>.reconnects`, `<prefix>.dropped`, and the
+  /// `<prefix>.requests`, `<prefix>.dials`, `<prefix>.reconnects`,
+  /// `<prefix>.dropped`, the `<prefix>.failover.*` ledger counters, and the
   /// `<prefix>.rtt_ms` histogram.  The registry must outlive the client.
   void bindRegistry(obs::MetricsRegistry& registry,
                     const std::string& prefix = "net") {
@@ -64,9 +120,25 @@ struct NetMetrics {
                  std::memory_order_release);
     fwdRequests_.store(&registry.counter(prefix + ".requests"),
                        std::memory_order_release);
+    fwdDials_.store(&registry.counter(prefix + ".dials"),
+                    std::memory_order_release);
     fwdReconnects_.store(&registry.counter(prefix + ".reconnects"),
                          std::memory_order_release);
     fwdDropped_.store(&registry.counter(prefix + ".dropped"),
+                      std::memory_order_release);
+    fwdEpochChanges_.store(&registry.counter(prefix + ".failover.epoch_changes"),
+                           std::memory_order_release);
+    fwdDedupReplays_.store(&registry.counter(prefix + ".failover.dedup_replays"),
+                           std::memory_order_release);
+    fwdPoolInvalidated_.store(
+        &registry.counter(prefix + ".failover.pool_invalidated"),
+        std::memory_order_release);
+    fwdBreakerOpens_.store(&registry.counter(prefix + ".failover.breaker_opens"),
+                           std::memory_order_release);
+    fwdHalfOpenProbes_.store(
+        &registry.counter(prefix + ".failover.half_open_probes"),
+        std::memory_order_release);
+    fwdReseeds_.store(&registry.counter(prefix + ".failover.reseeds"),
                       std::memory_order_release);
     fwdRtt_.store(&registry.histogram(prefix + ".rtt_ms"),
                   std::memory_order_release);
@@ -76,8 +148,15 @@ struct NetMetrics {
     fwdTx_.store(nullptr, std::memory_order_release);
     fwdRx_.store(nullptr, std::memory_order_release);
     fwdRequests_.store(nullptr, std::memory_order_release);
+    fwdDials_.store(nullptr, std::memory_order_release);
     fwdReconnects_.store(nullptr, std::memory_order_release);
     fwdDropped_.store(nullptr, std::memory_order_release);
+    fwdEpochChanges_.store(nullptr, std::memory_order_release);
+    fwdDedupReplays_.store(nullptr, std::memory_order_release);
+    fwdPoolInvalidated_.store(nullptr, std::memory_order_release);
+    fwdBreakerOpens_.store(nullptr, std::memory_order_release);
+    fwdHalfOpenProbes_.store(nullptr, std::memory_order_release);
+    fwdReseeds_.store(nullptr, std::memory_order_release);
     fwdRtt_.store(nullptr, std::memory_order_release);
   }
 
@@ -92,8 +171,15 @@ struct NetMetrics {
   std::atomic<obs::Counter*> fwdTx_{nullptr};
   std::atomic<obs::Counter*> fwdRx_{nullptr};
   std::atomic<obs::Counter*> fwdRequests_{nullptr};
+  std::atomic<obs::Counter*> fwdDials_{nullptr};
   std::atomic<obs::Counter*> fwdReconnects_{nullptr};
   std::atomic<obs::Counter*> fwdDropped_{nullptr};
+  std::atomic<obs::Counter*> fwdEpochChanges_{nullptr};
+  std::atomic<obs::Counter*> fwdDedupReplays_{nullptr};
+  std::atomic<obs::Counter*> fwdPoolInvalidated_{nullptr};
+  std::atomic<obs::Counter*> fwdBreakerOpens_{nullptr};
+  std::atomic<obs::Counter*> fwdHalfOpenProbes_{nullptr};
+  std::atomic<obs::Counter*> fwdReseeds_{nullptr};
   std::atomic<obs::Histogram*> fwdRtt_{nullptr};
 };
 

@@ -42,14 +42,14 @@ class RemoteQueueSet : public mq::QueueSet {
     w.putFixed32(queue);
     w.putBytes(message);
     try {
+      // Non-idempotent (a duplicate put duplicates the message), so it
+      // rides the dedup cache: a re-sent request id replays the recorded
+      // answer instead of enqueuing twice.
       const Bytes response = store_->client().call(
           store_->placement().endpointOf(queue), Opcode::kQueuePut, w.view(),
-          fault::Op::kEnqueue, name_, queue, /*retryIo=*/false);
+          fault::Op::kEnqueue, name_, queue, /*retryIo=*/false,
+          /*dedup=*/true);
       return ByteReader(response).getBool();
-    } catch (const ConnectionClosed&) {
-      // Server gone mid-put: the message may or may not have landed, so a
-      // blind retry risks a duplicate.  Report it like a closed set.
-      return false;
     } catch (const std::invalid_argument&) {
       // Unknown set on the server: it was deleted.  A deleted set behaves
       // like a closed one (matching MemQueuing, where a deleted set's
@@ -143,9 +143,13 @@ class RemoteQueueSet : public mq::QueueSet {
   };
 
   /// One kQueueRead round trip.  mode: 0 = timed pop (bounded server-side
-  /// at kMaxServerQueueWaitMs), 1 = tryPop, 2 = trySteal.  A clean EOF
-  /// means the owning server shut down — its queues are gone for good, so
-  /// report closed-and-drained and let the worker terminate.
+  /// at the server's queue-wait cap), 1 = tryPop, 2 = trySteal.  Reads are
+  /// destructive, so they ride the dedup cache (a lost response replays
+  /// the recorded message instead of popping twice).  A server that stays
+  /// unreachable past the retry budget is gone for good — report
+  /// closed-and-drained and let the worker terminate — while a server that
+  /// RESTARTED raises fault::StateLostError through here so the engines
+  /// escalate to recovery instead of silently dropping queued state.
   ReadResult readOnce(std::uint32_t queue, std::uint32_t waitMs,
                       std::uint8_t mode) {
     ByteWriter w(name_.size() + 20);
@@ -157,8 +161,11 @@ class RemoteQueueSet : public mq::QueueSet {
     try {
       response = store_->client().call(
           store_->placement().endpointOf(queue), Opcode::kQueueRead,
-          w.view(), fault::Op::kDequeue, name_, queue, /*retryIo=*/false);
-    } catch (const ConnectionClosed&) {
+          w.view(), fault::Op::kDequeue, name_, queue, /*retryIo=*/false,
+          /*dedup=*/true);
+    } catch (const fault::TransientError&) {
+      // Transport down past the budget: the owning server shut down and
+      // its queues died with it.
       return ReadResult{kStatusClosedDrained, std::nullopt};
     } catch (const std::invalid_argument&) {
       // Set deleted server-side while a worker was still polling.
@@ -204,10 +211,12 @@ class RemoteQueueSet : public mq::QueueSet {
                                                                   now)
                 .count();
         // One bounded blocking wait on the next live queue.  With a single
-        // owned queue the server's cap is the only slice; multiplexed
-        // workers keep waits short so one idle queue cannot mask traffic
-        // on its siblings.
-        const long long cap = owned_.size() == 1 ? kMaxServerQueueWaitMs : 50;
+        // owned queue the store's configured slice is the only cap;
+        // multiplexed workers keep waits short so one idle queue cannot
+        // mask traffic on its siblings.
+        const long long slice = set_->store_->queueWaitSliceMs();
+        const long long cap =
+            owned_.size() == 1 ? slice : std::min<long long>(slice, 50);
         const auto waitMs = static_cast<std::uint32_t>(
             std::max<long long>(1, std::min<long long>(remainingMs, cap)));
         std::size_t at = cursor_ % owned_.size();
@@ -304,11 +313,12 @@ class RemoteQueuing : public mq::Queuing {
     w.putVarint(placement->numParts());
     try {
       // Every server hosts the full queue array of the set; only the
-      // queues it owns under the placement map ever see traffic.
+      // queues it owns under the placement map ever see traffic.  Creation
+      // is non-idempotent ("already exists"), so it rides the dedup cache.
       for (std::size_t e = 0; e < store_->placement().endpointCount(); ++e) {
         store_->client().call(e, Opcode::kQueueCreate, w.view(),
                               fault::Op::kEnqueue, name, 0,
-                              /*retryIo=*/false);
+                              /*retryIo=*/false, /*dedup=*/true);
       }
     } catch (...) {
       LockGuard lock(mu_);
@@ -319,6 +329,37 @@ class RemoteQueuing : public mq::Queuing {
     LockGuard lock(mu_);
     sets_[name] = set;
     return set;
+  }
+
+  /// Client restart hook: recreate every registered queue set on the
+  /// restarted endpoint's fresh incarnation.  The messages it held are
+  /// gone — engine recovery owns re-deriving those — but the sets must
+  /// exist again before replay traffic reaches them.  Same discipline as
+  /// createQueueSet: snapshot under the lock, wire calls unlocked.
+  void reseedEndpoint(std::size_t endpoint) {
+    std::vector<std::pair<std::string, std::uint32_t>> snapshot;
+    {
+      LockGuard lock(mu_);
+      snapshot.reserve(sets_.size());
+      for (const auto& [name, set] : sets_) {
+        if (set != nullptr) {  // Skip in-flight reservations.
+          snapshot.emplace_back(name, set->numQueues());
+        }
+      }
+    }
+    std::sort(snapshot.begin(), snapshot.end());
+    for (const auto& [name, queues] : snapshot) {
+      ByteWriter w(name.size() + 12);
+      w.putBytes(name);
+      w.putVarint(queues);
+      try {
+        store_->client().call(endpoint, Opcode::kQueueCreate, w.view(),
+                              fault::Op::kEnqueue, name, 0,
+                              /*retryIo=*/false, /*dedup=*/true);
+      } catch (const std::invalid_argument&) {
+        // Already recreated by a racing reseed (or survived): fine.
+      }
+    }
   }
 
   void deleteQueueSet(const std::string& name) override {
@@ -368,7 +409,16 @@ mq::QueuingPtr makeRemoteQueuing(kv::KVStorePtr store) {
     throw std::invalid_argument(
         "makeRemoteQueuing: store is not a net::RemoteStore");
   }
-  return std::make_shared<RemoteQueuing>(std::move(remote));
+  auto queuing = std::make_shared<RemoteQueuing>(remote);
+  // weak_ptr: the queuing plane may be torn down while the store (and its
+  // client, which owns the hook list) lives on.
+  remote->client().addRestartHook(
+      [weak = std::weak_ptr<RemoteQueuing>(queuing)](std::size_t endpoint) {
+        if (auto queuing = weak.lock()) {
+          queuing->reseedEndpoint(endpoint);
+        }
+      });
+  return queuing;
 }
 
 }  // namespace ripple::net

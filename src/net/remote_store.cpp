@@ -116,8 +116,12 @@ class RemoteTable : public kv::Table {
     w.putBytes(name_);
     w.putFixed32(part);
     w.putBytes(key);
+    // The erase EFFECT is idempotent but the boolean is not: a re-sent
+    // erase whose first send executed would answer false.  The dedup
+    // cache replays the recorded answer instead.
     const Bytes response = callPart(Opcode::kErase, fault::Op::kErase, part,
-                                    w.view(), /*retryIo=*/true);
+                                    w.view(), /*retryIo=*/false,
+                                    /*dedup=*/true);
     account(part, w.size());
     return ByteReader(response).getBool();
   }
@@ -228,8 +232,11 @@ class RemoteTable : public kv::Table {
     ByteWriter w(name_.size() + 12);
     w.putBytes(name_);
     w.putFixed32(part);
+    // Like erase: re-executing a clear is harmless but its cleared-pair
+    // COUNT is not re-derivable, so the answer rides the dedup cache.
     const Bytes response = callPart(Opcode::kClearPart, fault::Op::kDrain,
-                                    part, w.view(), /*retryIo=*/true);
+                                    part, w.view(), /*retryIo=*/false,
+                                    /*dedup=*/true);
     account(part, w.size());
     return ByteReader(response).getFixed64();
   }
@@ -240,16 +247,12 @@ class RemoteTable : public kv::Table {
     ByteWriter w(name_.size() + 12);
     w.putBytes(name_);
     w.putFixed32(part);
-    Bytes response;
-    try {
-      // Destructive read: a lost response must not be blind-retried (the
-      // server may have already consumed the part), so no retryIo; the
-      // engines' recovery sites own the decision.
-      response = callPart(Opcode::kDrainPart, fault::Op::kDrain, part,
-                          w.view(), /*retryIo=*/false);
-    } catch (const ConnectionClosed& e) {
-      throw fault::TransientStoreError(e.what());
-    }
+    // Destructive read: a blind re-execution could observe an already
+    // consumed part, so it rides the dedup cache instead of retryIo — a
+    // re-sent request id replays the recorded drain result byte-for-byte.
+    const Bytes response =
+        callPart(Opcode::kDrainPart, fault::Op::kDrain, part, w.view(),
+                 /*retryIo=*/false, /*dedup=*/true);
     account(part, w.size() + response.size());
     ByteReader r(response);
     const std::uint64_t count = r.getVarint();
@@ -264,9 +267,10 @@ class RemoteTable : public kv::Table {
 
  private:
   Bytes callPart(Opcode op, fault::Op faultOp, std::uint32_t part,
-                 BytesView payload, bool retryIo) {
+                 BytesView payload, bool retryIo, bool dedup = false) {
     return store_->client_->call(store_->placement().endpointOf(part), op,
-                                 payload, faultOp, name_, part, retryIo);
+                                 payload, faultOp, name_, part, retryIo,
+                                 dedup);
   }
 
   /// Scan one part at its location and drive `consumer` through the SPI's
@@ -320,6 +324,42 @@ RemoteStore::RemoteStore(Options options)
   for (std::uint32_t i = 0; i < locations; ++i) {
     locations_.push_back(
         std::make_unique<SerialExecutor>("remote-loc-" + std::to_string(i)));
+  }
+  // Raw `this` is safe: client_ is owned by this store and every call
+  // that can detect an epoch change comes through it.
+  client_->addRestartHook(
+      [this](std::size_t endpoint) { reseedEndpoint(endpoint); });
+}
+
+void RemoteStore::reseedEndpoint(std::size_t endpoint) {
+  // Snapshot (name, shape) pairs under the registry lock — no wire I/O
+  // here — then recreate over the wire unlocked, in sorted order so
+  // concurrent reseeds of the same incarnation collide deterministically.
+  std::vector<std::pair<std::string, kv::TablePtr>> snapshot;
+  {
+    LockGuard lock(tablesMu_);
+    snapshot.reserve(tables_.size());
+    for (const auto& [name, table] : tables_) {
+      if (table != nullptr) {  // Skip in-flight createTable reservations.
+        snapshot.emplace_back(name, table);
+      }
+    }
+  }
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [name, table] : snapshot) {
+    const kv::TableOptions& opts = table->options();
+    ByteWriter w(name.size() + 16);
+    w.putBytes(name);
+    w.putVarint(opts.parts);
+    w.putBool(opts.ordered);
+    w.putBool(opts.ubiquitous);
+    try {
+      client_->call(endpoint, Opcode::kCreateTable, w.view(), fault::Op::kPut,
+                    name, 0, /*retryIo=*/false, /*dedup=*/true);
+    } catch (const std::invalid_argument&) {
+      // Already recreated by a racing reseed (or survived): fine.
+    }
   }
 }
 
@@ -423,9 +463,11 @@ kv::TablePtr RemoteStore::createTable(const std::string& name,
   w.putBool(normalized.ubiquitous);
   try {
     // A table's parts shard across every server, so it must exist on all.
+    // Creation is non-idempotent (a second execution answers "already
+    // exists"), so it rides the dedup cache rather than retryIo.
     for (std::size_t e = 0; e < placement_.endpointCount(); ++e) {
       client_->call(e, Opcode::kCreateTable, w.view(), fault::Op::kPut, name,
-                    0, /*retryIo=*/false);
+                    0, /*retryIo=*/false, /*dedup=*/true);
     }
   } catch (...) {
     LockGuard lock(tablesMu_);
@@ -516,12 +558,69 @@ std::shared_ptr<void> RemoteStore::adoptPartThread(const kv::Table& placement,
   return std::make_shared<ScopedLocation>(this, locationOf(part));
 }
 
+std::optional<int> parseEnvMs(const char* name, int minVal, int maxVal) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  const long value = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || value < minVal || value > maxVal) {
+    RIPPLE_WARN << name << "='" << env << "' is not an integer in ["
+                << minVal << ", " << maxVal << "]; ignoring";
+    return std::nullopt;
+  }
+  return static_cast<int>(value);
+}
+
+NetTuning resolveNetTuning(NetTuning tuning) {
+  if (tuning.timeoutMs == 0) {
+    tuning.timeoutMs = parseEnvMs("RIPPLE_NET_TIMEOUT_MS", 1, 3600000)
+                           .value_or(0);
+  }
+  if (tuning.redialMs == 0) {
+    tuning.redialMs = parseEnvMs("RIPPLE_NET_REDIAL_MS", 1, 3600000)
+                          .value_or(0);
+  }
+  if (tuning.queueWaitMs == 0) {
+    tuning.queueWaitMs = parseEnvMs("RIPPLE_NET_QUEUE_WAIT_MS", 1, 60000)
+                             .value_or(0);
+  }
+  return tuning;
+}
+
+namespace {
+
+/// Apply resolved tuning onto client/store options (zero = keep default).
+void applyTuning(const NetTuning& tuning, Client::Options& client,
+                 std::uint32_t& queueWaitSliceMs) {
+  if (tuning.timeoutMs != 0) {
+    client.connectTimeoutMs = tuning.timeoutMs;
+    client.requestTimeoutMs = tuning.timeoutMs;
+  }
+  if (tuning.redialMs != 0) {
+    client.redialTimeoutMs = tuning.redialMs;
+  }
+  if (tuning.queueWaitMs != 0) {
+    queueWaitSliceMs = static_cast<std::uint32_t>(tuning.queueWaitMs);
+  }
+}
+
+}  // namespace
+
 kv::KVStorePtr makeRemoteStoreFromEnv(std::uint32_t containers) {
+  return makeRemoteStoreFromEnv(containers, NetTuning{});
+}
+
+kv::KVStorePtr makeRemoteStoreFromEnv(std::uint32_t containers,
+                                      NetTuning tuning) {
+  tuning = resolveNetTuning(tuning);
   const char* endpoints = std::getenv("RIPPLE_REMOTE_ENDPOINTS");
   if (endpoints != nullptr && *endpoints != '\0') {
     RemoteStore::Options options;
     options.client.endpoints = parseEndpointList(endpoints);
     options.locations = containers;
+    applyTuning(tuning, options.client, options.queueWaitSliceMs);
     return RemoteStore::create(std::move(options));
   }
 
@@ -530,6 +629,12 @@ kv::KVStorePtr makeRemoteStoreFromEnv(std::uint32_t containers) {
   LoopbackOptions loopback;
   loopback.hostedContainers = containers;
   loopback.locations = containers;
+  loopback.connectTimeoutMs = tuning.timeoutMs;
+  loopback.requestTimeoutMs = tuning.timeoutMs;
+  loopback.redialTimeoutMs = tuning.redialMs;
+  loopback.maxQueueWaitMs =
+      tuning.queueWaitMs > 0 ? static_cast<std::uint32_t>(tuning.queueWaitMs)
+                             : 0;
   if (const char* hosted = std::getenv("RIPPLE_REMOTE_HOSTED");
       hosted != nullptr && *hosted != '\0') {
     std::optional<kv::StoreBackend> parsed = kv::parseStoreBackend(hosted);
@@ -580,6 +685,12 @@ RemoteStorePtr makeLoopbackStore(LoopbackOptions options) {
         kv::makeStore(options.hostedBackend, options.hostedContainers);
     Server::Options serverOptions;
     serverOptions.hosted = hosted;
+    if (options.requestTimeoutMs > 0) {
+      serverOptions.sendTimeoutMs = options.requestTimeoutMs;
+    }
+    if (options.maxQueueWaitMs > 0) {
+      serverOptions.maxQueueWaitMs = options.maxQueueWaitMs;
+    }
     auto server = std::make_unique<Server>(std::move(serverOptions));
     server->start();
     storeOptions.client.endpoints.push_back(
@@ -589,6 +700,20 @@ RemoteStorePtr makeLoopbackStore(LoopbackOptions options) {
   }
   storeOptions.client.retry = options.retry;
   storeOptions.client.injector = options.injector;
+  storeOptions.client.clientId = options.clientId;
+  storeOptions.client.chaos = std::move(options.chaos);
+  if (options.connectTimeoutMs > 0) {
+    storeOptions.client.connectTimeoutMs = options.connectTimeoutMs;
+  }
+  if (options.requestTimeoutMs > 0) {
+    storeOptions.client.requestTimeoutMs = options.requestTimeoutMs;
+  }
+  if (options.redialTimeoutMs > 0) {
+    storeOptions.client.redialTimeoutMs = options.redialTimeoutMs;
+  }
+  if (options.maxQueueWaitMs > 0) {
+    storeOptions.queueWaitSliceMs = options.maxQueueWaitMs;
+  }
   storeOptions.locations = options.locations;
   RemoteStorePtr store = RemoteStore::create(std::move(storeOptions));
   store->holdKeepalive(std::move(keepalive));

@@ -29,6 +29,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -73,6 +74,28 @@ class PlacementMap {
 
 class RemoteTable;
 
+/// Wire-timeout tuning for makeRemoteStoreFromEnv.  Zero fields fall back
+/// to the RIPPLE_NET_* environment, then to the built-in defaults.
+struct NetTuning {
+  /// Connect + per-exchange send/recv bound (RIPPLE_NET_TIMEOUT_MS).
+  int timeoutMs = 0;
+  /// Redial budget bridging a server restart (RIPPLE_NET_REDIAL_MS).
+  int redialMs = 0;
+  /// Server-side cap on one queue wait AND the client-side blocking wait
+  /// slice (RIPPLE_NET_QUEUE_WAIT_MS).
+  int queueWaitMs = 0;
+};
+
+/// Strict env-int parsing (same discipline as resolveThreads): nullopt
+/// when `name` is unset; warns and returns nullopt when the value is not
+/// an integer in [minVal, maxVal].
+[[nodiscard]] std::optional<int> parseEnvMs(const char* name, int minVal,
+                                            int maxVal);
+
+/// Resolve a NetTuning: explicit nonzero fields win, then the RIPPLE_NET_*
+/// environment, then zeros (meaning "keep built-in defaults").
+[[nodiscard]] NetTuning resolveNetTuning(NetTuning tuning);
+
 class RemoteStore : public kv::KVStore,
                     public std::enable_shared_from_this<RemoteStore> {
  public:
@@ -83,6 +106,11 @@ class RemoteStore : public kv::KVStore,
     /// PartitionedStore's containers).  Part p runs at location
     /// p % locations.
     std::uint32_t locations = 4;
+
+    /// Bound on one client-side blocking queue wait, ms.  Should mirror
+    /// the hosting servers' Options::maxQueueWaitMs (the server caps any
+    /// longer request at its own bound anyway).
+    std::uint32_t queueWaitSliceMs = 250;
   };
 
   static std::shared_ptr<RemoteStore> create(Options options);
@@ -112,6 +140,9 @@ class RemoteStore : public kv::KVStore,
   [[nodiscard]] Client& client() { return *client_; }
   [[nodiscard]] const PlacementMap& placement() const { return placement_; }
   [[nodiscard]] std::uint32_t locationCount() const;
+  [[nodiscard]] std::uint32_t queueWaitSliceMs() const {
+    return options_.queueWaitSliceMs;
+  }
 
   /// Keep an implicit in-process server (and its hosted backend) alive
   /// for this store's lifetime; released at shutdown after the client
@@ -131,6 +162,14 @@ class RemoteStore : public kv::KVStore,
 
  private:
   explicit RemoteStore(Options options);
+
+  /// Client restart hook (DESIGN.md §11): after `endpoint` restarted with
+  /// empty in-memory state, re-issue kCreateTable for every registered
+  /// table so engine-level recovery has somewhere to restore data into.
+  /// Snapshots the registry under tablesMu_, then does the wire calls
+  /// UNLOCKED; "already exists" answers are tolerated (another thread, or
+  /// a surviving creation from before the snapshot, won the race).
+  void reseedEndpoint(std::size_t endpoint);
 
   SerialExecutor& executorAt(std::uint32_t location);
 
@@ -170,8 +209,13 @@ using RemoteStorePtr = std::shared_ptr<RemoteStore>;
 ///     RIPPLE_REMOTE_SERVERS loopback server count, default 1) kept
 ///     alive by the returned store.
 /// `containers` sizes both the client-side locations and any implicit
-/// hosted backend.
+/// hosted backend.  `tuning` (then the RIPPLE_NET_* environment) overrides
+/// the wire timeouts.  Two overloads, not a default argument: the 1-arg
+/// form is also forward-declared by kvstore/store_factory.cpp, which must
+/// stay include-acyclic with the net layer.
 [[nodiscard]] kv::KVStorePtr makeRemoteStoreFromEnv(std::uint32_t containers);
+[[nodiscard]] kv::KVStorePtr makeRemoteStoreFromEnv(std::uint32_t containers,
+                                                    NetTuning tuning);
 
 /// Test/bench helper: spin `servers` in-process loopback servers (each
 /// hosting a fresh `hostedBackend` store) and return a RemoteStore wired
@@ -183,6 +227,18 @@ struct LoopbackOptions {
   std::uint32_t locations = 4;
   fault::RetryPolicy retry{};
   fault::FaultInjectorPtr injector;
+
+  /// Wire timeouts; zero = client/server defaults.
+  int connectTimeoutMs = 0;
+  int requestTimeoutMs = 0;
+  int redialTimeoutMs = 0;
+  std::uint32_t maxQueueWaitMs = 0;  // Server cap AND client wait slice.
+
+  /// Dedup identity for the client (0 mints a process-unique id).
+  std::uint64_t clientId = 0;
+
+  /// Test-only connection chaos, passed through to Client::Options.
+  ChaosHook chaos;
 };
 
 [[nodiscard]] RemoteStorePtr makeLoopbackStore(LoopbackOptions options = {});

@@ -1,5 +1,7 @@
 #include "net/server.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <stdexcept>
@@ -37,6 +39,20 @@ std::uint64_t partPrefixHash(BytesView key) {
     v = (v << 8) | static_cast<std::uint8_t>(key[i]);
   }
   return v;
+}
+
+/// Incarnation ids need only be distinct across restarts of one logical
+/// endpoint (and never zero); clock ticks + pid + a process counter are
+/// plenty.
+std::uint64_t mintIncarnation() {
+  static std::atomic<std::uint64_t> counter{0};
+  const auto ticks = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  const auto pid = static_cast<std::uint64_t>(::getpid());
+  const std::uint64_t nonce =
+      (counter.fetch_add(1, std::memory_order_relaxed) + 1) *
+      0x9e3779b97f4a7c15ULL;
+  return (ticks ^ (pid << 32) ^ nonce) | 1;
 }
 
 void checkPart(std::uint32_t part, std::uint32_t parts,
@@ -116,6 +132,13 @@ void Server::start() {
     throw std::invalid_argument("net::Server: a hosted store is required");
   }
   stopping_.store(false, std::memory_order_release);
+  // Fresh incarnation: new session epoch, and recorded responses of the
+  // previous incarnation must not replay against it.
+  epoch_.store(mintIncarnation(), std::memory_order_release);
+  {
+    LockGuard dedupLock(dedupMu_);
+    dedup_.clear();
+  }
   listener_.open(options_.listenOn);
   running_.store(true, std::memory_order_release);
   acceptThread_ = std::thread([this] { acceptLoop(); });
@@ -224,11 +247,43 @@ void Server::serve(Conn& conn) {
       decoder.feed(chunk);
       while (std::optional<Frame> frame = decoder.next()) {
         bool isError = false;
-        Bytes payload = dispatch(frame->opcode, frame->payload, isError);
-        const std::uint16_t flags = isError ? kFlagError : 0;
-        conn.sock.sendAll(encodeFrame(static_cast<Opcode>(frame->opcode),
-                                      flags, frame->requestId, payload),
-                          options_.sendTimeoutMs);
+        bool replayed = false;
+        Bytes payload;
+        if (static_cast<Opcode>(frame->opcode) == Opcode::kHello) {
+          // Handshake: record the connection's dedup identity.  Malformed
+          // hellos leave it at 0 (dedup disabled for the connection).
+          try {
+            conn.clientId = ByteReader(frame->payload).getFixed64();
+          } catch (const std::exception& e) {
+            isError = true;
+            payload = encodeError(ErrorKind::kInvalidArgument, e.what());
+          }
+        } else if ((frame->flags & kFlagDedup) != 0 && conn.clientId != 0) {
+          if (std::optional<DedupEntry> hit =
+                  lookupDedup(conn.clientId, frame->requestId)) {
+            payload = std::move(hit->payload);
+            isError = hit->isError;
+            replayed = true;
+          } else {
+            payload = dispatch(frame->opcode, frame->payload, isError);
+            recordDedup(conn.clientId, frame->requestId, payload, isError);
+          }
+        } else {
+          payload = dispatch(frame->opcode, frame->payload, isError);
+        }
+        std::uint16_t flags = kFlagEpoch;
+        if (isError) {
+          flags |= kFlagError;
+        }
+        if (replayed) {
+          flags |= kFlagReplayed;
+        }
+        conn.sock.sendAll(
+            encodeFrame(static_cast<Opcode>(frame->opcode), flags,
+                        frame->requestId,
+                        prependEpoch(epoch_.load(std::memory_order_relaxed),
+                                     payload)),
+            options_.sendTimeoutMs);
       }
     }
   } catch (const FrameError&) {
@@ -289,6 +344,64 @@ Bytes Server::dispatch(std::uint8_t opcode, BytesView payload,
   } catch (const std::exception& e) {
     isError = true;
     return encodeError(ErrorKind::kRuntime, e.what());
+  }
+}
+
+std::optional<Server::DedupEntry> Server::lookupDedup(
+    std::uint64_t clientId, std::uint64_t requestId) {
+  LockGuard lock(dedupMu_);
+  auto it = dedup_.find(clientId);
+  if (it == dedup_.end()) {
+    return std::nullopt;
+  }
+  it->second.lastTouch = ++dedupTouch_;
+  auto hit = it->second.byId.find(requestId);
+  if (hit == it->second.byId.end()) {
+    return std::nullopt;
+  }
+  return hit->second;
+}
+
+void Server::recordDedup(std::uint64_t clientId, std::uint64_t requestId,
+                         const Bytes& payload, bool isError) {
+  LockGuard lock(dedupMu_);
+  auto [it, inserted] = dedup_.try_emplace(clientId);
+  if (inserted && dedup_.size() > kDedupClients) {
+    // Evict the least-recently-active other client (bounded scan: the
+    // client cap is small).
+    auto victim = dedup_.end();
+    for (auto c = dedup_.begin(); c != dedup_.end(); ++c) {
+      if (c->first == clientId) {
+        continue;
+      }
+      if (victim == dedup_.end() ||
+          c->second.lastTouch < victim->second.lastTouch) {
+        victim = c;
+      }
+    }
+    if (victim != dedup_.end()) {
+      dedup_.erase(victim);
+    }
+  }
+  ClientDedup& cd = it->second;
+  cd.lastTouch = ++dedupTouch_;
+  if (cd.byId.contains(requestId)) {
+    return;  // Already recorded (a replayed re-send raced the record).
+  }
+  cd.byId.emplace(requestId, DedupEntry{payload, isError});
+  cd.order.push_back(requestId);
+  cd.bytes += payload.size();
+  // FIFO eviction under both per-client caps.  An evicted entry degrades
+  // a future replay into a re-execution; it never corrupts data.
+  while (!cd.order.empty() && (cd.order.size() > kDedupEntriesPerClient ||
+                               cd.bytes > kDedupBytesPerClient)) {
+    const std::uint64_t oldest = cd.order.front();
+    cd.order.pop_front();
+    auto old = cd.byId.find(oldest);
+    if (old != cd.byId.end()) {
+      cd.bytes -= old->second.payload.size();
+      cd.byId.erase(old);
+    }
   }
 }
 
@@ -476,7 +589,7 @@ Bytes Server::handleQueue(std::uint8_t opcode, BytesView payload) {
       auto set = lookupQueueSet(name);
       const std::uint32_t queue = r.getFixed32();
       const std::uint32_t waitMs =
-          std::min(r.getFixed32(), kMaxServerQueueWaitMs);
+          std::min(r.getFixed32(), options_.maxQueueWaitMs);
       const std::uint8_t mode = r.getU8();
       BlockingQueue<Bytes>& q = set->queueAt(queue, name);
       std::optional<Bytes> message;

@@ -24,13 +24,30 @@
 // slice long waits into bounded polls).  A kShutdown frame only *requests*
 // stop (observable via waitUntilStopRequested) so the hosting process
 // controls teardown order.
+//
+// Failover contract (DESIGN.md §11): start() mints a session epoch (the
+// incarnation id) and every response is prefixed with it (kFlagEpoch), so
+// clients can tell a connection blip from a restart that lost in-memory
+// parts.  Requests flagged kFlagDedup have their responses recorded in a
+// bounded per-client dedup cache keyed by (client id from the kHello
+// handshake, request id); a re-sent request id replays the recorded
+// response (kFlagReplayed) instead of re-executing the op, which is what
+// makes ConnectionClosed mid-request safely retriable for non-idempotent
+// ops.  The cache is bounded three ways (entries and bytes per client,
+// client count) with FIFO eviction per client and least-recently-active
+// eviction across clients; an evicted entry simply degrades a replay into
+// a re-execution, never into wrong data for idempotent ops, and the
+// entry budget (256) far exceeds any client's in-flight window (one
+// pooled connection per thread, one request per connection).
 
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -47,6 +64,12 @@ namespace ripple::net {
 /// connection threads joinable within this bound during stop().
 inline constexpr std::uint32_t kMaxServerQueueWaitMs = 250;
 
+/// Dedup-cache bounds (DESIGN.md §11): per-client FIFO entry/byte caps
+/// plus a client-count cap with least-recently-active eviction.
+inline constexpr std::size_t kDedupEntriesPerClient = 256;
+inline constexpr std::size_t kDedupBytesPerClient = 8u << 20;
+inline constexpr std::size_t kDedupClients = 64;
+
 class Server {
  public:
   struct Options {
@@ -58,6 +81,10 @@ class Server {
 
     /// Send timeout for responses, ms.
     int sendTimeoutMs = 30000;
+
+    /// Upper bound applied to one kQueueRead wait (clients slice longer
+    /// waits into repeated bounded polls; RIPPLE_NET_QUEUE_WAIT_MS).
+    std::uint32_t maxQueueWaitMs = kMaxServerQueueWaitMs;
   };
 
   explicit Server(Options options);
@@ -95,11 +122,21 @@ class Server {
   /// Live connection count (diagnostics / tests).
   [[nodiscard]] std::size_t connectionCount() const;
 
+  /// Session epoch minted by start(); nonzero while running.  A client
+  /// observing a different value than it recorded knows this process
+  /// restarted and its in-memory parts are gone.
+  [[nodiscard]] std::uint64_t incarnation() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
  private:
   struct Conn {
     Socket sock;
     std::thread thread;
     std::atomic<bool> done{false};
+    // Set by the kHello handshake; only the connection's serve thread
+    // touches it.
+    std::uint64_t clientId = 0;
   };
 
   struct HostedTable {
@@ -108,6 +145,20 @@ class Server {
   };
 
   struct HostedQueueSet;
+
+  struct DedupEntry {
+    Bytes payload;
+    bool isError = false;
+  };
+
+  /// One client's recorded responses: FIFO order for eviction, byte total
+  /// for the per-client byte cap, lastTouch for cross-client eviction.
+  struct ClientDedup {
+    std::unordered_map<std::uint64_t, DedupEntry> byId;
+    std::deque<std::uint64_t> order;
+    std::size_t bytes = 0;
+    std::uint64_t lastTouch = 0;
+  };
 
   void acceptLoop();
   void serve(Conn& conn);
@@ -119,6 +170,11 @@ class Server {
 
   Bytes handleStore(std::uint8_t opcode, BytesView payload);
   Bytes handleQueue(std::uint8_t opcode, BytesView payload);
+
+  [[nodiscard]] std::optional<DedupEntry> lookupDedup(
+      std::uint64_t clientId, std::uint64_t requestId);
+  void recordDedup(std::uint64_t clientId, std::uint64_t requestId,
+                   const Bytes& payload, bool isError);
 
   [[nodiscard]] HostedTable lookupHosted(const std::string& name) const;
   [[nodiscard]] std::shared_ptr<HostedQueueSet> lookupQueueSet(
@@ -145,6 +201,17 @@ class Server {
   mutable RankedMutex<LockRank::kNetRegistry> queuesMu_;
   std::unordered_map<std::string, std::shared_ptr<HostedQueueSet>> queues_
       RIPPLE_GUARDED_BY(queuesMu_);
+
+  /// Session epoch; minted by start(), echoed in every response.
+  std::atomic<std::uint64_t> epoch_{0};
+
+  // Same rank as the other registries and never held together with them:
+  // the dedup lookup happens before dispatch, the record after, both with
+  // the dispatch locks released.
+  mutable RankedMutex<LockRank::kNetRegistry> dedupMu_;
+  std::unordered_map<std::uint64_t, ClientDedup> dedup_
+      RIPPLE_GUARDED_BY(dedupMu_);
+  std::uint64_t dedupTouch_ RIPPLE_GUARDED_BY(dedupMu_) = 0;
 };
 
 }  // namespace ripple::net

@@ -203,6 +203,31 @@ std::size_t Socket::recvSome(Bytes& out, std::size_t capacity, int timeoutMs) {
   }
 }
 
+bool Socket::peerClosed() const {
+  if (fd_ < 0) {
+    return true;
+  }
+  pollfd p{};
+  p.fd = fd_;
+  p.events = POLLIN;
+  const int r = ::poll(&p, 1, 0);
+  if (r <= 0) {
+    // Nothing pending (or a transient poll hiccup): assume alive — the
+    // exchange path handles a late failure anyway.
+    return false;
+  }
+  if ((p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+    return true;
+  }
+  if ((p.revents & POLLIN) != 0) {
+    char probe = 0;
+    const ssize_t n = ::recv(fd_, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+    // 0 = EOF queued; >0 = unsolicited bytes on an idle connection.
+    return n >= 0;
+  }
+  return false;
+}
+
 void Socket::close() {
   if (fd_ >= 0) {
     ::close(fd_);

@@ -83,6 +83,13 @@ class Socket {
   /// or when the deadline lapses with nothing read.
   std::size_t recvSome(Bytes& out, std::size_t capacity, int timeoutMs);
 
+  /// Non-blocking staleness probe for pooled idle connections: true when
+  /// the peer has closed (EOF or error queued) or the connection carries
+  /// unexpected bytes — an idle request/response connection must be
+  /// silent, so pending input means protocol debris and the connection is
+  /// equally unusable.  Never blocks; false on a healthy idle socket.
+  [[nodiscard]] bool peerClosed() const;
+
   /// Half-close + close; idempotent, callable to unblock a peer.
   void close();
 

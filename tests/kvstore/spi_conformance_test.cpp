@@ -55,6 +55,32 @@ KVStorePtr makeRemote() {
   return net::makeLoopbackStore(options);
 }
 
+KVStorePtr makeDroppyRemote() {
+  // Failover leg: every 7th exchange has its connection severed, cycling
+  // through all three boundaries (before send / after send / after the
+  // response).  Because every RemoteStore/RemoteQueuing wire op is either
+  // idempotent (retryIo) or dedup-protected, the ENTIRE conformance
+  // contract must hold unchanged — lost responses replay from the server
+  // dedup cache instead of re-executing, so even destructive ops (drain,
+  // create) keep exactly-once effects.
+  net::LoopbackOptions options;
+  options.hostedContainers = 4;
+  options.locations = 4;
+  options.retry.maxAttempts = 8;
+  options.retry.initialBackoffMs = 0.05;
+  options.retry.maxBackoffMs = 0.5;
+  auto consults = std::make_shared<std::atomic<std::uint64_t>>(0);
+  options.chaos = [consults](net::Opcode, net::ChaosPoint point) {
+    const std::uint64_t n =
+        consults->fetch_add(1, std::memory_order_relaxed);
+    if (n % 7 != 0) {
+      return false;
+    }
+    return static_cast<net::ChaosPoint>((n / 7) % 3) == point;
+  };
+  return net::makeLoopbackStore(std::move(options));
+}
+
 // The fault-injection decorator with an empty plan must be contractually
 // invisible: the whole suite runs against it too.
 KVStorePtr makeFaultyLocal() {
@@ -540,6 +566,7 @@ INSTANTIATE_TEST_SUITE_P(
         StoreFactory{"PartitionedStore", &makePartitioned},
         StoreFactory{"ShardStore", &makeShard},
         StoreFactory{"RemoteStore", &makeRemote},
+        StoreFactory{"DroppyRemoteStore", &makeDroppyRemote},
         StoreFactory{"FaultyLocalStore", &makeFaultyLocal},
         StoreFactory{"FaultyPartitionedStore", &makeFaultyPartitioned},
         StoreFactory{"FaultyShardStore", &makeFaultyShard},

@@ -1,0 +1,642 @@
+// Endpoint failover (DESIGN.md §11): a server process crashing and
+// restarting mid-job must be *detected* (session epoch change), *bridged*
+// at the transport (stale-pool invalidation, redial budget, dedup replay
+// of re-sent non-idempotent requests), and *escalated* correctly — the
+// synchronized engine re-seeds the fresh incarnation from its driver-side
+// checkpoint mirror and replays to a digest-identical result; paths with
+// no checkpoint surface fault::StateLostError instead of hanging or
+// silently corrupting.
+//
+// The Fleet harness below runs real servers on real sockets and bounces
+// them: stop, discard the hosted store (the "lost in-memory parts"), and
+// restart on the same port (the listener sets SO_REUSEADDR precisely so a
+// restarted server can rebind its address).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <atomic>
+
+#include "apps/pagerank.h"
+#include "common/codec.h"
+#include "common/random.h"
+#include "ebsp/engine.h"
+#include "ebsp/library.h"
+#include "fault/fault.h"
+#include "graph/graph_gen.h"
+#include "kvstore/partitioned_store.h"
+#include "matrix/summa.h"
+#include "mq/queue.h"
+#include "net/remote_queue.h"
+#include "net/remote_store.h"
+#include "net/server.h"
+
+namespace ripple::net {
+namespace {
+
+/// Fast test retry: a handful of attempts, sub-millisecond backoffs.
+fault::RetryPolicy fastRetry(int maxAttempts = 6) {
+  fault::RetryPolicy policy;
+  policy.maxAttempts = maxAttempts;
+  policy.initialBackoffMs = 0.05;
+  policy.maxBackoffMs = 0.5;
+  return policy;
+}
+
+/// N real servers, each hosting a discardable PartitionedStore.
+/// bounce(i) models a crash/restart: the hosted store is REPLACED (all
+/// in-memory parts lost) and the new incarnation listens on the same port.
+class Fleet {
+ public:
+  explicit Fleet(std::size_t servers, std::uint32_t hostedContainers = 4,
+                 std::uint32_t maxQueueWaitMs = 0)
+      : hostedContainers_(hostedContainers), maxQueueWaitMs_(maxQueueWaitMs) {
+    for (std::size_t i = 0; i < servers; ++i) {
+      servers_.push_back(makeServer(Endpoint{}));
+      servers_.back()->start();
+      ports_.push_back(servers_.back()->port());
+    }
+  }
+
+  ~Fleet() {
+    for (auto& server : servers_) {
+      if (server) {
+        server->stop();
+      }
+    }
+  }
+
+  [[nodiscard]] std::vector<Endpoint> endpoints() const {
+    std::vector<Endpoint> out;
+    for (const std::uint16_t port : ports_) {
+      out.push_back(Endpoint{"127.0.0.1", port});
+    }
+    return out;
+  }
+
+  [[nodiscard]] Server& server(std::size_t i) { return *servers_.at(i); }
+
+  /// Crash + restart server `i` on its original port with empty state.
+  void bounce(std::size_t i) {
+    servers_.at(i)->stop();
+    servers_.at(i).reset();  // Hosted store (and all its parts) dies here.
+    servers_.at(i) = makeServer(Endpoint{"127.0.0.1", ports_.at(i)});
+    servers_.at(i)->start();
+  }
+
+ private:
+  [[nodiscard]] std::unique_ptr<Server> makeServer(Endpoint listenOn) {
+    Server::Options options;
+    options.listenOn = std::move(listenOn);
+    options.hosted = kv::PartitionedStore::create(hostedContainers_);
+    if (maxQueueWaitMs_ != 0) {
+      options.maxQueueWaitMs = maxQueueWaitMs_;
+    }
+    return std::make_unique<Server>(std::move(options));
+  }
+
+  std::uint32_t hostedContainers_;
+  std::uint32_t maxQueueWaitMs_;
+  std::vector<std::unique_ptr<Server>> servers_;
+  std::vector<std::uint16_t> ports_;
+};
+
+std::shared_ptr<RemoteStore> storeOver(const Fleet& fleet,
+                                       fault::RetryPolicy retry = fastRetry()) {
+  RemoteStore::Options options;
+  options.client.endpoints = fleet.endpoints();
+  options.client.retry = retry;
+  return RemoteStore::create(std::move(options));
+}
+
+// ---------------------------------------------------------------------
+// Session epochs.
+// ---------------------------------------------------------------------
+
+TEST(FailoverEpoch, HandshakeRecordsServerIncarnation) {
+  Fleet fleet(1);
+  auto store = storeOver(fleet);
+  kv::TableOptions topts;
+  topts.parts = 2;
+  (void)store->createTable("t", std::move(topts));
+
+  const std::uint64_t epoch = store->client().knownEpoch(0);
+  EXPECT_NE(epoch, 0u);
+  EXPECT_EQ(epoch, fleet.server(0).incarnation());
+  store->shutdown();
+}
+
+TEST(FailoverEpoch, BounceMintsADistinctIncarnation) {
+  Fleet fleet(1);
+  const std::uint64_t first = fleet.server(0).incarnation();
+  EXPECT_NE(first, 0u);
+  fleet.bounce(0);
+  EXPECT_NE(fleet.server(0).incarnation(), 0u);
+  EXPECT_NE(fleet.server(0).incarnation(), first);
+}
+
+// ---------------------------------------------------------------------
+// Pool staleness + restart detection (regression: pre-failover, a bounced
+// server wedged the client on dead pooled connections, and `reconnects`
+// conflated first dials with true re-dials).
+// ---------------------------------------------------------------------
+
+TEST(FailoverRestart, StalePoolIsInvalidatedAndStateLossEscalates) {
+  Fleet fleet(1);
+  auto store = storeOver(fleet);
+  kv::TableOptions topts;
+  topts.parts = 2;
+  auto table = store->createTable("t", std::move(topts));
+  table->put("a", "1");
+  const NetMetrics& m = store->client().metrics();
+  EXPECT_EQ(m.dials.load(), 1u);
+  EXPECT_EQ(m.reconnects.load(), 0u);  // First dial is not a "reconnect".
+
+  fleet.bounce(0);
+
+  // First op after the bounce: the pooled connection probes dead and is
+  // invalidated, the re-dial reaches the fresh incarnation, the handshake
+  // detects the epoch change, the restart hook re-creates the table
+  // registry there, and the op escalates as StateLostError — NOT as a
+  // transient absorbed by blind retries.
+  EXPECT_THROW((void)table->get("a"), fault::StateLostError);
+  EXPECT_EQ(store->client().retries(), 0u);
+  EXPECT_GE(m.poolInvalidated.load(), 1u);
+  EXPECT_EQ(m.epochChanges.load(), 1u);
+  EXPECT_EQ(m.reseeds.load(), 1u);
+  // Dial ledger: initial dial, the re-dial that detected the restart, and
+  // the reseed hook's own connection (which is pooled afterwards).
+  EXPECT_EQ(m.dials.load(), 3u);
+  EXPECT_EQ(m.reconnects.load(), 2u);
+
+  // The endpoint is healthy again: the reseeded table exists (no
+  // invalid_argument), its data is gone (that is what "state lost"
+  // means), and new writes stick — all without another dial.
+  EXPECT_EQ(table->get("a"), std::nullopt);
+  table->put("a", "2");
+  EXPECT_EQ(table->get("a"), "2");
+  EXPECT_EQ(m.dials.load(), 3u);
+  EXPECT_EQ(m.epochChanges.load(), 1u);
+  store->shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Dedup replay: exactly-once effects for re-sent non-idempotent requests.
+// ---------------------------------------------------------------------
+
+/// Sever the connection the first `times` exchanges matching `op`/`point`.
+ChaosHook severOnce(Opcode op, ChaosPoint point, int times = 1) {
+  auto remaining = std::make_shared<std::atomic<int>>(times);
+  return [op, point, remaining](Opcode o, ChaosPoint p) {
+    if (o == op && p == point &&
+        remaining->fetch_sub(1, std::memory_order_acq_rel) > 0) {
+      return true;
+    }
+    return false;
+  };
+}
+
+TEST(FailoverDedup, QueuePutSeveredAfterSendIsReplayedNotReExecuted) {
+  LoopbackOptions options;
+  options.retry = fastRetry();
+  options.chaos = severOnce(Opcode::kQueuePut, ChaosPoint::kAfterSend);
+  auto store = makeLoopbackStore(std::move(options));
+  auto queuing = makeRemoteQueuing(store);
+  kv::TableOptions topts;
+  topts.parts = 2;
+  auto placement = store->createTable("placement", std::move(topts));
+  auto set = queuing->createQueueSet("q", placement);
+
+  // The first put's response is lost after the server executed it.  The
+  // re-send must hit the dedup cache: one message in the queue, not two.
+  EXPECT_TRUE(set->put(0, "m"));
+  EXPECT_EQ(set->backlog(), 1u);
+  EXPECT_EQ(store->client().metrics().dedupReplays.load(), 1u);
+  EXPECT_GE(store->client().retries(), 1u);
+  store->shutdown();
+}
+
+TEST(FailoverDedup, DrainSeveredAfterSendReplaysTheDrainedPairs) {
+  LoopbackOptions options;
+  options.retry = fastRetry();
+  options.chaos = severOnce(Opcode::kDrainPart, ChaosPoint::kAfterSend);
+  auto store = makeLoopbackStore(std::move(options));
+  kv::TableOptions topts;
+  topts.parts = 1;
+  auto table = store->createTable("d", std::move(topts));
+  table->put("a", "1");
+  table->put("b", "2");
+
+  // drainPart is destructive: the server drained the part but the
+  // response died.  The replay must return the recorded pairs — losing
+  // them (or draining twice) would drop or duplicate engine messages.
+  const auto pairs = table->drainPart(0);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].first, "a");
+  EXPECT_EQ(pairs[0].second, "1");
+  EXPECT_EQ(pairs[1].first, "b");
+  EXPECT_EQ(pairs[1].second, "2");
+  EXPECT_EQ(store->client().metrics().dedupReplays.load(), 1u);
+  EXPECT_EQ(table->drainPart(0).size(), 0u);  // Drained exactly once.
+  store->shutdown();
+}
+
+TEST(FailoverDedup, CreateTableSeveredAfterSendDoesNotRefuseTheRetry) {
+  LoopbackOptions options;
+  options.retry = fastRetry();
+  options.chaos = severOnce(Opcode::kCreateTable, ChaosPoint::kAfterSend);
+  auto store = makeLoopbackStore(std::move(options));
+  kv::TableOptions topts;
+  topts.parts = 2;
+  // Without dedup the re-sent CREATE would be refused as a duplicate by
+  // the server that already executed the first send.
+  auto table = store->createTable("t", std::move(topts));
+  table->put("k", "v");
+  EXPECT_EQ(table->get("k"), "v");
+  EXPECT_EQ(store->client().metrics().dedupReplays.load(), 1u);
+  store->shutdown();
+}
+
+// ---------------------------------------------------------------------
+// ConnectionClosed at every exchange boundary, per idempotence class.
+// ---------------------------------------------------------------------
+
+TEST(FailoverBoundaries, IdempotentOpsRetryAtEveryBoundary) {
+  for (const ChaosPoint point :
+       {ChaosPoint::kBeforeSend, ChaosPoint::kAfterSend,
+        ChaosPoint::kAfterReceive}) {
+    SCOPED_TRACE(static_cast<int>(point));
+    LoopbackOptions options;
+    options.retry = fastRetry();
+    options.chaos = severOnce(Opcode::kGet, point, 2);
+    auto store = makeLoopbackStore(std::move(options));
+    kv::TableOptions topts;
+    topts.parts = 2;
+    auto table = store->createTable("t", std::move(topts));
+    table->put("k", "v");
+    // kGet is marked idempotent (retryIo): severed connections at any
+    // boundary are absorbed.  kAfterReceive completes the exchange and
+    // only kills the pooled connection, so it costs a reconnect, not a
+    // retry.
+    EXPECT_EQ(table->get("k"), "v");
+    EXPECT_EQ(table->get("k"), "v");
+    if (point != ChaosPoint::kAfterReceive) {
+      EXPECT_GE(store->client().retries(), 1u);
+    } else {
+      EXPECT_EQ(store->client().retries(), 0u);
+      EXPECT_GE(store->client().metrics().reconnects.load(), 1u);
+    }
+    store->shutdown();
+  }
+}
+
+TEST(FailoverBoundaries, NonIdempotentNonDedupRequestsPropagateClosed) {
+  // A raw exchange with neither retryIo nor dedup must surface the
+  // precise ConnectionClosed condition: the client cannot know whether
+  // the server performed the op, and it must not guess.
+  Fleet fleet(1);
+  Client::Options copts;
+  copts.endpoints = fleet.endpoints();
+  copts.retry = fastRetry();
+  copts.chaos = severOnce(Opcode::kPing, ChaosPoint::kAfterSend);
+  Client client(std::move(copts));
+  EXPECT_THROW((void)client.call(0, Opcode::kPing, "", fault::Op::kGet, "",
+                                 0, /*retryIo=*/false, /*dedup=*/false),
+               ConnectionClosed);
+  (void)client.call(0, Opcode::kPing, "", fault::Op::kGet, "", 0);
+  client.closeAll();
+}
+
+// ---------------------------------------------------------------------
+// Circuit breaker + half-open probes.
+// ---------------------------------------------------------------------
+
+TEST(FailoverBreaker, OpensAfterThresholdAndRecoversViaHalfOpenProbe) {
+  // Reserve a real port, then stop its owner so dials are refused.
+  std::uint16_t port = 0;
+  {
+    Fleet probe(1);
+    port = probe.endpoints()[0].port;
+  }
+
+  Client::Options copts;
+  copts.endpoints = {Endpoint{"127.0.0.1", port}};
+  copts.retry = fastRetry(/*maxAttempts=*/1);  // One dial per call.
+  copts.breakerThreshold = 3;
+  Client client(std::move(copts));
+
+  const NetMetrics& m = client.metrics();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_THROW((void)client.call(0, Opcode::kPing, "", fault::Op::kGet,
+                                   "", 0),
+                 fault::TransientStoreError);
+  }
+  EXPECT_EQ(m.breakerOpens.load(), 1u);
+  EXPECT_EQ(m.dials.load(), 0u);  // No dial ever succeeded.
+
+  // A server comes up on the address.  After the cooldown, the next call
+  // is the half-open probe; it must close the breaker and succeed.
+  Server::Options sopts;
+  sopts.listenOn = Endpoint{"127.0.0.1", port};
+  sopts.hosted = kv::PartitionedStore::create(2);
+  Server server(std::move(sopts));
+  server.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  (void)client.call(0, Opcode::kPing, "", fault::Op::kGet, "", 0);
+  EXPECT_EQ(m.halfOpenProbes.load(), 1u);
+  EXPECT_EQ(m.dials.load(), 1u);
+  (void)client.call(0, Opcode::kPing, "", fault::Op::kGet, "", 0);
+  EXPECT_EQ(m.halfOpenProbes.load(), 1u);  // Breaker closed again.
+  client.closeAll();
+  server.stop();
+}
+
+// ---------------------------------------------------------------------
+// Queue plane: restarts escalate; dead servers still terminate reads.
+// ---------------------------------------------------------------------
+
+TEST(FailoverQueues, PutAfterBounceEscalatesAsStateLost) {
+  Fleet fleet(1);
+  auto store = storeOver(fleet);
+  auto queuing = makeRemoteQueuing(store);
+  kv::TableOptions topts;
+  topts.parts = 2;
+  auto placement = store->createTable("placement", std::move(topts));
+  auto set = queuing->createQueueSet("q", placement);
+  EXPECT_TRUE(set->put(0, "m"));
+
+  fleet.bounce(0);
+
+  // The restart lost the queue's buffered messages; there is no replay
+  // for that, so the queue plane must escalate the typed error (the
+  // no-sync engine turns it into a job failure), and the reseed hook
+  // must have re-created the set on the fresh incarnation.
+  EXPECT_THROW((void)set->put(0, "n"), fault::StateLostError);
+  EXPECT_TRUE(set->put(0, "n"));
+  EXPECT_EQ(set->backlog(), 1u);  // "m" is gone with the old incarnation.
+  store->shutdown();
+}
+
+TEST(FailoverQueues, ServerCapsOverlongQueueWaits) {
+  // A client asking for a 5s blocking read against a server configured
+  // with a 30ms cap must come back quickly (the cap is what keeps server
+  // connection threads joinable during stop()).
+  Fleet fleet(1, 2, /*maxQueueWaitMs=*/30);
+  Client::Options copts;
+  copts.endpoints = fleet.endpoints();
+  Client client(std::move(copts));
+
+  {
+    ByteWriter w;
+    w.putBytes("q");
+    w.putVarint(1);
+    (void)client.call(0, Opcode::kQueueCreate, w.view(), fault::Op::kEnqueue,
+                      "q", 0, /*retryIo=*/false, /*dedup=*/true);
+  }
+  ByteWriter w;
+  w.putBytes("q");
+  w.putFixed32(0);
+  w.putFixed32(5000);  // Client asks for 5s...
+  w.putU8(0);
+  const auto start = std::chrono::steady_clock::now();
+  const Bytes response = client.call(0, Opcode::kQueueRead, w.view(),
+                                     fault::Op::kDequeue, "q", 0);
+  const double elapsedMs =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ByteReader r(response);
+  EXPECT_EQ(r.getU8(), 1);       // ...and gets a bounded "empty for now".
+  EXPECT_LT(elapsedMs, 2000.0);  // Not the requested 5s.
+  client.closeAll();
+}
+
+// ---------------------------------------------------------------------
+// Engine escalation: synchronized replays from the driver mirror to a
+// digest-identical result; paths without checkpoints fail typed.
+// ---------------------------------------------------------------------
+
+graph::Graph failoverGraph() {
+  graph::PowerLawOptions options;
+  options.vertices = 120;
+  options.edges = 600;
+  options.seed = 5;
+  return graph::generatePowerLaw(options);
+}
+
+std::vector<double> runRemotePageRank(Fleet& fleet, bool bounceAtStep2,
+                                      std::uint64_t* recoveriesOut) {
+  auto store = storeOver(fleet, fastRetry(8));
+  const graph::Graph g = failoverGraph();
+  apps::loadPageRankGraph(*store, "pr_graph", g, 6);
+
+  ebsp::EngineOptions engineOptions;
+  engineOptions.retry = fastRetry(8);
+  engineOptions.checkpoint.enabled = true;
+  engineOptions.checkpoint.interval = 1;
+  bool bounced = false;
+  engineOptions.onBarrier = [&](int step) {
+    if (bounceAtStep2 && step == 2 && !bounced) {
+      bounced = true;
+      fleet.bounce(1);
+    }
+  };
+  ebsp::Engine engine(store, engineOptions);
+  apps::PageRankOptions options;
+  options.iterations = 5;
+  const apps::PageRankResult result = apps::runPageRank(engine, options);
+  if (recoveriesOut != nullptr) {
+    *recoveriesOut = result.job.metrics.recoveries;
+  }
+  const auto ranks = apps::readRanks(*store, "pr_graph", g.vertexCount());
+  store->shutdown();
+  return ranks;
+}
+
+TEST(FailoverEngine, SyncPageRankSurvivesABounceDigestIdentical) {
+  std::vector<double> baseline;
+  {
+    Fleet fleet(2);
+    baseline = runRemotePageRank(fleet, /*bounceAtStep2=*/false, nullptr);
+  }
+  Fleet fleet(2);
+  std::uint64_t recoveries = 0;
+  const std::vector<double> ranks =
+      runRemotePageRank(fleet, /*bounceAtStep2=*/true, &recoveries);
+
+  // Server 1 was killed after barrier 2 (its parts and their shadow of
+  // the graph died with it).  The engine re-seeded the fresh incarnation
+  // from the committed driver-mirror checkpoint and re-ran from step 3:
+  // same ranks, to the same FP-combine tolerance the chaos suite uses.
+  ASSERT_EQ(ranks.size(), baseline.size());
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    EXPECT_NEAR(ranks[i], baseline[i], 1e-12) << "vertex " << i;
+  }
+  EXPECT_GE(recoveries, 1u);
+}
+
+matrix::BlockMatrix runRemoteSumma(Fleet& fleet, bool bounceAtStep2,
+                                   std::uint64_t* recoveriesOut) {
+  auto store = storeOver(fleet, fastRetry(8));
+  // Grid 3 so the block multicasts are multi-hop rings: at any barrier
+  // some forwarded blocks exist ONLY as in-flight messages, the state
+  // that dies hardest with a server.
+  constexpr std::size_t kGrid = 3;
+  Rng rng(77);
+  matrix::BlockMatrix a(kGrid, 4);
+  matrix::BlockMatrix b(kGrid, 4);
+  a.fillRandom(rng);
+  b.fillRandom(rng);
+
+  ebsp::EngineOptions engineOptions;
+  engineOptions.retry = fastRetry(8);
+  engineOptions.checkpoint.enabled = true;
+  engineOptions.checkpoint.interval = 1;
+  bool bounced = false;
+  engineOptions.onBarrier = [&](int step) {
+    if (bounceAtStep2 && step == 2 && !bounced) {
+      bounced = true;
+      fleet.bounce(1);
+    }
+  };
+  ebsp::Engine engine(store, engineOptions);
+  matrix::SummaOptions options;
+  options.parts = kGrid * kGrid;
+  matrix::SummaResult result = runSumma(engine, a, b, options);
+  if (recoveriesOut != nullptr) {
+    *recoveriesOut = result.job.metrics.recoveries;
+  }
+  store->shutdown();
+  return result.c;
+}
+
+// Regression: SUMMA caches component state as live objects and writes the
+// table back only at completion.  Without the checkpointed() write-back
+// contract and the onRecovery cache drop, a restart mid-job replays
+// against a stale table + an ahead-of-truth cache, forwarded blocks are
+// never re-sent, and components quiesce with unfinished multiplies.
+TEST(FailoverEngine, SyncSummaSurvivesABounceDigestIdentical) {
+  matrix::BlockMatrix baseline(0, 0);
+  {
+    Fleet fleet(2);
+    baseline = runRemoteSumma(fleet, /*bounceAtStep2=*/false, nullptr);
+  }
+  Fleet fleet(2);
+  std::uint64_t recoveries = 0;
+  const matrix::BlockMatrix c =
+      runRemoteSumma(fleet, /*bounceAtStep2=*/true, &recoveries);
+
+  ASSERT_EQ(c.grid(), baseline.grid());
+  for (std::size_t i = 0; i < c.grid(); ++i) {
+    for (std::size_t j = 0; j < c.grid(); ++j) {
+      const auto& got = c.block(i, j).data();
+      const auto& want = baseline.block(i, j).data();
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t k = 0; k < got.size(); ++k) {
+        EXPECT_NEAR(got[k], want[k], 1e-12) << "block (" << i << "," << j
+                                            << ") element " << k;
+      }
+    }
+  }
+  EXPECT_GE(recoveries, 1u);
+}
+
+TEST(FailoverEngine, NoSyncWithLostQueueStateFailsTyped) {
+  Fleet fleet(1);
+  auto store = storeOver(fleet);
+  ebsp::EngineOptions engineOptions;
+  engineOptions.mode = ebsp::ExecutionMode::kNoSync;
+  engineOptions.retry = fastRetry();
+  ebsp::Engine engine(store, engineOptions);
+
+  kv::TableOptions refOptions;
+  refOptions.parts = 4;
+  (void)store->createTable("ref", std::move(refOptions));
+
+  // A minimal no-sync-eligible job whose compute crashes the server
+  // mid-run: the in-flight messages died with the old incarnation, and
+  // the no-sync strategy has no checkpoint to replay them from.
+  ebsp::RawJob job;
+  job.referenceTable = "ref";
+  job.stateTableNames = {"ref"};
+  job.properties.oneMsg = true;
+  job.properties.noContinue = true;
+  job.properties.noSsOrder = true;
+  std::atomic<bool> bounced{false};
+  job.compute.compute = [&](ebsp::RawComputeContext& ctx) {
+    if (!bounced.exchange(true)) {
+      fleet.bounce(0);
+      ctx.outputMessage("b", "ripple");  // First wire op after the crash.
+    }
+    return false;
+  };
+  auto loader = std::make_shared<ebsp::VectorLoader>();
+  loader->message("a", "go");
+  job.loaders = {loader};
+
+  // The engine must surface the typed escalation — not hang on the
+  // recreated-empty queues of the fresh incarnation, and not silently
+  // complete with lost messages.
+  EXPECT_THROW((void)engine.run(job), fault::StateLostError);
+  store->shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Timeout configuration (EngineOptions + RIPPLE_NET_* environment).
+// ---------------------------------------------------------------------
+
+TEST(FailoverTuning, ParseEnvMsIsStrict) {
+  ::unsetenv("RIPPLE_NET_TIMEOUT_MS");
+  EXPECT_EQ(parseEnvMs("RIPPLE_NET_TIMEOUT_MS", 1, 1000), std::nullopt);
+  ::setenv("RIPPLE_NET_TIMEOUT_MS", "250", 1);
+  EXPECT_EQ(parseEnvMs("RIPPLE_NET_TIMEOUT_MS", 1, 1000), 250);
+  for (const char* bad : {"", "abc", "250x", "-5", "1000000"}) {
+    ::setenv("RIPPLE_NET_TIMEOUT_MS", bad, 1);
+    EXPECT_EQ(parseEnvMs("RIPPLE_NET_TIMEOUT_MS", 1, 1000), std::nullopt)
+        << "'" << bad << "' must be rejected";
+  }
+  ::unsetenv("RIPPLE_NET_TIMEOUT_MS");
+}
+
+TEST(FailoverTuning, ExplicitTuningWinsOverEnvironment) {
+  ::setenv("RIPPLE_NET_TIMEOUT_MS", "1111", 1);
+  ::setenv("RIPPLE_NET_REDIAL_MS", "2222", 1);
+  ::setenv("RIPPLE_NET_QUEUE_WAIT_MS", "333", 1);
+  NetTuning explicitTuning;
+  explicitTuning.timeoutMs = 4444;
+  const NetTuning resolved = resolveNetTuning(explicitTuning);
+  EXPECT_EQ(resolved.timeoutMs, 4444);  // Explicit field wins.
+  EXPECT_EQ(resolved.redialMs, 2222);   // Unset fields fall to the env.
+  EXPECT_EQ(resolved.queueWaitMs, 333);
+  ::unsetenv("RIPPLE_NET_TIMEOUT_MS");
+  ::unsetenv("RIPPLE_NET_REDIAL_MS");
+  ::unsetenv("RIPPLE_NET_QUEUE_WAIT_MS");
+  const NetTuning defaults = resolveNetTuning(NetTuning{});
+  EXPECT_EQ(defaults.timeoutMs, 0);  // Zero = keep built-in defaults.
+  EXPECT_EQ(defaults.redialMs, 0);
+  EXPECT_EQ(defaults.queueWaitMs, 0);
+}
+
+TEST(FailoverTuning, EnvTimeoutsReachTheLoopbackClient) {
+  ::setenv("RIPPLE_NET_TIMEOUT_MS", "1234", 1);
+  ::setenv("RIPPLE_NET_REDIAL_MS", "321", 1);
+  ::unsetenv("RIPPLE_REMOTE_ENDPOINTS");
+  auto store = std::dynamic_pointer_cast<RemoteStore>(
+      makeRemoteStoreFromEnv(/*containers=*/2));
+  ASSERT_TRUE(store);
+  EXPECT_EQ(store->client().options().connectTimeoutMs, 1234);
+  EXPECT_EQ(store->client().options().requestTimeoutMs, 1234);
+  EXPECT_EQ(store->client().options().redialTimeoutMs, 321);
+  store->shutdown();
+  ::unsetenv("RIPPLE_NET_TIMEOUT_MS");
+  ::unsetenv("RIPPLE_NET_REDIAL_MS");
+}
+
+}  // namespace
+}  // namespace ripple::net

@@ -183,7 +183,8 @@ TEST(FrameCodec, UnknownVersionThrows) {
 }
 
 TEST(FrameCodec, InvalidOpcodeThrows) {
-  for (const unsigned bad : {0u, 20u, 255u}) {
+  // 21 is one past kHello, the highest assigned opcode.
+  for (const unsigned bad : {0u, 21u, 255u}) {
     Bytes wire = encodeFrame(Opcode::kPing, 0, 1, "");
     wire[5] = static_cast<char>(bad);
     FrameDecoder decoder;
