@@ -1,0 +1,168 @@
+// ripple_durable_driver — the restart-resume proof for the durable log
+// store (DESIGN.md §14).
+//
+// Runs incremental SSSP on a deterministic graph against the "log"
+// backend rooted at --store-path, with per-step checkpoints pinned to a
+// stable jobId so a restarted process can find them.  Three phases:
+//
+//   --phase baseline   Fresh store, uninterrupted run.  Prints the final
+//                      distance digest: SSSP_DIGEST <16 hex>.
+//   --phase crash      Same workload, but after the first barrier's
+//                      checkpoint has committed it prints
+//                      DURABLE_WINDOW sssp
+//                      and pauses, inviting scripts/bench_durable.sh to
+//                      kill -9 the process mid-job.
+//   --phase resume     Reopens the crash phase's store directory with
+//                      checkpoint.resume: the engine finds the committed
+//                      on-disk checkpoint, restores it, and finishes the
+//                      job from the recorded step.  Prints the digest
+//                      plus DURABLE_RESUMED <n> (engine recoveries; must
+//                      be >= 1 or nothing was actually resumed).
+//
+// scripts/bench_durable.sh requires the resumed digest to be
+// byte-identical to the baseline digest: recovery to the last committed
+// epoch plus checkpoint replay must be invisible in the final state.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "apps/sssp.h"
+#include "common/bytes.h"
+#include "common/hash.h"
+#include "ebsp/engine.h"
+#include "graph/graph_gen.h"
+#include "kvstore/log_store.h"
+#include "kvstore/store_factory.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using namespace ripple;
+
+enum class Phase { kBaseline, kCrash, kResume };
+
+constexpr const char* kJobId = "durable-sssp";
+constexpr const char* kStateTable = "sssp_state";
+constexpr std::uint32_t kParts = 6;
+
+graph::Graph makeGraph(bool smoke) {
+  graph::PowerLawOptions gopts;
+  gopts.vertices = smoke ? 100 : 250;
+  gopts.edges = smoke ? 500 : 1200;
+  gopts.seed = 4;
+  return graph::generatePowerLaw(gopts);
+}
+
+std::uint64_t distanceDigest(const std::vector<std::int32_t>& distances) {
+  ByteWriter w;
+  for (const std::int32_t d : distances) {
+    w.putVarintSigned(d);
+  }
+  return fnv1a64(w.view());
+}
+
+int runPhase(Phase phase, const std::string& storePath, int threads,
+             bool smoke) {
+  const graph::Graph g = makeGraph(smoke);
+
+  obs::MetricsRegistry registry;
+  ebsp::EngineOptions eopts;
+  eopts.threads = threads;
+  eopts.metrics = &registry;
+  eopts.checkpoint.enabled = true;
+  eopts.checkpoint.interval = 1;
+  eopts.checkpoint.jobId = kJobId;
+  eopts.checkpoint.resume = phase == Phase::kResume;
+  if (phase == Phase::kCrash) {
+    // The step loop commits the checkpoint's durable epoch BEFORE the
+    // barrier hook runs, so a kill -9 landing inside this pause finds a
+    // complete step-1 checkpoint on disk.
+    eopts.onBarrier = [](int step) {
+      if (step == 1) {
+        std::printf("DURABLE_WINDOW sssp\n");
+        std::fflush(stdout);
+        std::this_thread::sleep_for(std::chrono::milliseconds(3000));
+      }
+    };
+  }
+
+  auto store = kv::makeStore(kv::StoreBackend::kLog, kParts, storePath);
+  std::printf("DRIVER_BACKEND %s\n", store->backendName());
+  std::fflush(stdout);
+
+  // The graph load is deterministic, so the resume phase rebuilds the
+  // state table from scratch (the recovered incarnation is dropped — its
+  // values are about to be overwritten from the checkpoint shadows
+  // anyway, and recreating pins the partitioner the job expects).
+  if (store->lookupTable(kStateTable)) {
+    store->dropTable(kStateTable);
+  }
+
+  ebsp::Engine engine(store, eopts);
+  apps::SsspOptions options;
+  options.parts = kParts;
+  options.stateTable = kStateTable;
+  apps::SsspDriver driver(engine, options);
+  driver.loadGraph(g);
+  driver.initialize();
+
+  const std::uint64_t digest = distanceDigest(driver.distances(g.vertexCount()));
+  std::printf("SSSP_DIGEST %016llx\n",
+              static_cast<unsigned long long>(digest));
+  if (auto* durable = dynamic_cast<kv::DurableStore*>(store.get())) {
+    std::printf("DURABLE_EPOCH %llu\n",
+                static_cast<unsigned long long>(durable->lastCommittedEpoch()));
+  }
+  std::printf("DURABLE_RESUMED %llu\n",
+              static_cast<unsigned long long>(
+                  registry.counter("ebsp.recoveries").value()));
+  std::printf("DRIVER_OK\n");
+  std::fflush(stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Phase phase = Phase::kBaseline;
+  std::string storePath;
+  int threads = 4;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--phase" && i + 1 < argc) {
+      const std::string name = argv[++i];
+      if (name == "baseline") {
+        phase = Phase::kBaseline;
+      } else if (name == "crash") {
+        phase = Phase::kCrash;
+      } else if (name == "resume") {
+        phase = Phase::kResume;
+      } else {
+        std::fprintf(stderr, "unknown phase '%s'\n", name.c_str());
+        return 2;
+      }
+    } else if (arg == "--store-path" && i + 1 < argc) {
+      storePath = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s --phase baseline|crash|resume "
+                   "--store-path DIR [--threads N] [--smoke]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (storePath.empty()) {
+    std::fprintf(stderr, "%s: --store-path is required\n", argv[0]);
+    return 2;
+  }
+  return runPhase(phase, storePath, threads, smoke);
+}

@@ -10,6 +10,7 @@
 #include <string_view>
 #include <thread>
 
+#include "kvstore/log_store.h"
 #include "kvstore/store_factory.h"
 #include "kvstore/table.h"
 #include "obs/report.h"
@@ -57,7 +58,7 @@ inline void printHeader(const std::string& title) {
 /// obs/report.h).  Without --report every accessor returns null and the
 /// bench runs untraced, exactly as before.
 ///
-/// `--store <partitioned|shard|local>` (also `--store=`) selects the K/V
+/// `--store <partitioned|shard|local|remote|log>` (also `--store=`) selects the K/V
 /// backend; absent it defers to RIPPLE_STORE via the factory.  Harnesses
 /// create their store through makeStore() so the flag takes effect.
 class BenchReport {
@@ -95,6 +96,15 @@ class BenchReport {
         }
       } else if (arg.rfind("--store=", 0) == 0) {
         parseStore(std::string(arg.substr(8)));
+      } else if (arg == "--store-path") {
+        if (i + 1 < argc) {
+          storePath_ = argv[++i];
+        } else {
+          std::cerr << "warning: --store-path requires a directory; "
+                       "ignored\n";
+        }
+      } else if (arg.rfind("--store-path=", 0) == 0) {
+        storePath_ = std::string(arg.substr(13));
       }
     }
     if (threads_ > 0) {
@@ -125,21 +135,37 @@ class BenchReport {
   /// when the flag was absent.  Forward into kv::makeStore / the engine.
   [[nodiscard]] kv::StoreBackend storeBackend() const { return store_; }
 
+  /// Directory from `--store-path` for the durable "log" backend; empty
+  /// defers to RIPPLE_STORE_PATH / an ephemeral temp directory.
+  [[nodiscard]] const std::string& storePath() const { return storePath_; }
+
   /// Create the harness's store on the selected backend and record the
-  /// backend name in the report info.
+  /// backend name in the report info.  Each call gets its own
+  /// subdirectory under --store-path: benchmark variants expect a fresh
+  /// store (their loaders createTable unconditionally), exactly like
+  /// the ephemeral default — the subdirectories are left behind for
+  /// inspection rather than wiped.
   [[nodiscard]] kv::KVStorePtr makeStore(std::uint32_t containers) {
-    kv::KVStorePtr store = kv::makeStore(store_, containers);
+    std::string path = storePath_;
+    if (!path.empty()) {
+      path += "/store-" + std::to_string(storeCount_++);
+    }
+    kv::KVStorePtr store = kv::makeStore(store_, containers, path);
     setInfo("store", store->backendName());
     return store;
   }
 
   /// Mirror the store's counters into the report's registry under a
   /// per-backend `store.<backend>.*` prefix, so reports from different
-  /// backends stay distinguishable side by side.
+  /// backends stay distinguishable side by side.  The log backend
+  /// additionally exposes its segment/compaction internals.
   void bindStore(kv::KVStore& store) {
     if (registry_) {
       store.metrics().bindRegistry(
           *registry_, std::string("store.") + store.backendName());
+      if (auto* log = dynamic_cast<kv::LogStore*>(&store)) {
+        log->bindLogMetrics(*registry_);
+      }
     }
   }
 
@@ -182,7 +208,7 @@ class BenchReport {
       store_ = *parsed;
       return;
     }
-    std::cerr << "warning: --store expects partitioned|shard|local, got '"
+    std::cerr << "warning: --store expects partitioned|shard|local|remote|log, got '"
               << value << "'; ignored\n";
   }
 
@@ -190,6 +216,8 @@ class BenchReport {
   std::string path_;
   int threads_ = 0;
   kv::StoreBackend store_ = kv::StoreBackend::kDefault;
+  std::string storePath_;
+  int storeCount_ = 0;
   std::map<std::string, std::string> info_;
   std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<obs::MetricsRegistry> registry_;

@@ -1,0 +1,116 @@
+// Fuzz the log store's on-disk decoders (DESIGN.md §14): arbitrary bytes
+// through record framing, part-log and manifest record decoding, manifest
+// recovery, and sealed-segment validation must either decode or be
+// rejected (nullopt / SegmentError) — never crash, over-read, or trip a
+// sanitizer.  Whatever decodes must survive a re-encode round-trip:
+// recovery correctness rests on these decoders, so a silent asymmetry
+// here is a durability bug.
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "kvstore/manifest.h"
+#include "kvstore/segment.h"
+
+namespace ls = ripple::kv::logstore;
+
+namespace {
+
+void checkFrames(ripple::BytesView buf) {
+  std::size_t pos = 0;
+  while (auto frame = ls::readFrame(buf, pos)) {
+    // Every framed payload goes through both record decoders; each must
+    // reject or accept without UB, and an accepted record must re-encode
+    // to a payload that decodes back to the same record.
+    if (auto rec = ls::decodeLogRecord(frame->payload)) {
+      const ripple::Bytes again =
+          ls::encodeLogRecord(rec->op, rec->key, rec->value);
+      auto redecoded = ls::decodeLogRecord(again);
+      if (!redecoded || redecoded->op != rec->op ||
+          redecoded->key != rec->key || redecoded->value != rec->value) {
+        __builtin_trap();  // Log-record round-trip mismatch.
+      }
+    }
+    if (auto rec = ls::decodeManifestRecord(frame->payload)) {
+      const ripple::Bytes again =
+          rec->isCommit ? ls::encodeCommitRecord(rec->state)
+                        : ls::encodeBeginRecord(rec->epoch);
+      auto redecoded = ls::decodeManifestRecord(again);
+      if (!redecoded || redecoded->isCommit != rec->isCommit ||
+          redecoded->epoch != rec->epoch ||
+          redecoded->state.tables.size() != rec->state.tables.size()) {
+        __builtin_trap();  // Manifest-record round-trip mismatch.
+      }
+    }
+    if (frame->end <= pos || frame->end > buf.size()) {
+      __builtin_trap();  // Frame cursor must strictly advance in bounds.
+    }
+    pos = frame->end;
+  }
+}
+
+void checkManifestRecovery(ripple::BytesView buf) {
+  const ls::ManifestRecovery rec = ls::recoverManifest(buf);
+  if (rec.validBytes > buf.size()) {
+    __builtin_trap();  // Recovery claimed bytes past the input.
+  }
+  if (rec.hasCommit) {
+    // The recovered state must re-encode into a manifest that recovers
+    // to the same epoch — otherwise a store could not reopen its own
+    // output after a crash.
+    ripple::Bytes rebuilt;
+    ls::appendFrame(rebuilt, ls::encodeCommitRecord(rec.state));
+    const ls::ManifestRecovery again = ls::recoverManifest(rebuilt);
+    if (!again.hasCommit || again.state.epoch != rec.state.epoch ||
+        again.state.tables.size() != rec.state.tables.size()) {
+      __builtin_trap();  // Manifest recovery round-trip mismatch.
+    }
+  } else if (rec.validBytes != 0) {
+    __builtin_trap();  // No commit means no adoptable prefix.
+  }
+}
+
+void checkSealedSegment(ripple::BytesView buf) {
+  ls::SealedSegment segment;
+  try {
+    segment.openFromBytes(ripple::Bytes(buf));
+  } catch (const ls::SegmentError&) {
+    return;  // Corruption correctly rejected.
+  }
+  // A segment that validated must be fully readable: every entry in
+  // strictly ascending key order and findable at its own key.
+  std::vector<std::pair<ripple::Bytes, ripple::Bytes>> entries;
+  entries.reserve(segment.count());
+  for (std::uint64_t i = 0; i < segment.count(); ++i) {
+    const auto [key, value] = segment.entry(i);
+    if (!entries.empty() && ripple::BytesView(entries.back().first) >= key) {
+      __builtin_trap();  // Key order violation survived validation.
+    }
+    auto found = segment.find(key);
+    if (!found || *found != value) {
+      __builtin_trap();  // Entry not findable at its own key.
+    }
+    entries.emplace_back(ripple::Bytes(key), ripple::Bytes(value));
+  }
+  // Re-encoding the entries must produce a valid segment with the same
+  // content (not necessarily the same bytes: the input may carry slack
+  // the encoder does not emit).
+  ls::SealedSegment rebuilt;
+  rebuilt.openFromBytes(ls::SealedSegment::encode(entries));
+  if (rebuilt.count() != segment.count()) {
+    __builtin_trap();  // Segment round-trip lost entries.
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const ripple::BytesView buf(reinterpret_cast<const char*>(data), size);
+  checkFrames(buf);
+  checkManifestRecovery(buf);
+  checkSealedSegment(buf);
+  return 0;
+}

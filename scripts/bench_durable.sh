@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Durable restart-resume drill for the log store (DESIGN.md §14): run the
+# SSSP driver once uninterrupted (baseline), once to a kill -9 mid-job
+# (crash), then reopen the crashed store directory and resume.  The
+# resumed run must report at least one engine recovery and its final
+# distance digest must be byte-identical to the baseline — recovery to
+# the last committed epoch plus checkpoint replay is invisible in the
+# final state.
+#
+# Usage:
+#   scripts/bench_durable.sh [--smoke] [--threads=N] [--build-dir=DIR]
+#
+#   --smoke        smaller workload (CI-sized)
+#   --threads=N    engine threads (default 4)
+#   --build-dir=D  where the binaries live (default build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SMOKE=""
+THREADS=4
+BUILD_DIR="build"
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE="--smoke" ;;
+    --threads=*) THREADS="${arg#--threads=}" ;;
+    --build-dir=*) BUILD_DIR="${arg#--build-dir=}" ;;
+    *) echo "usage: $0 [--smoke] [--threads=N] [--build-dir=DIR]" >&2; exit 2 ;;
+  esac
+done
+
+DRIVER_BIN="$BUILD_DIR/apps/ripple_durable_driver"
+if [[ ! -x "$DRIVER_BIN" ]]; then
+  echo "error: $DRIVER_BIN not built (cmake --build $BUILD_DIR)" >&2
+  exit 2
+fi
+
+WORK_DIR="$(mktemp -d)"
+DRIVER_PID=""
+cleanup() {
+  [[ -n "$DRIVER_PID" ]] && kill -9 "$DRIVER_PID" 2>/dev/null || true
+  rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT
+
+# --- Baseline: uninterrupted run on its own store directory. -------------
+echo "== baseline: uninterrupted run =="
+"$DRIVER_BIN" --phase baseline --store-path "$WORK_DIR/store-baseline" \
+  --threads "$THREADS" $SMOKE | tee "$WORK_DIR/baseline.out"
+
+# --- Crash: kill -9 inside the announced window. -------------------------
+# The driver prints DURABLE_WINDOW after the first barrier's checkpoint
+# has committed its durable epoch, then pauses; the kill lands on a
+# committed store with the job only partly done.
+echo "== crash: kill -9 mid-job =="
+"$DRIVER_BIN" --phase crash --store-path "$WORK_DIR/store-crash" \
+  --threads "$THREADS" $SMOKE > "$WORK_DIR/crash.out" 2>&1 &
+DRIVER_PID=$!
+killed=""
+for _ in $(seq 1 200); do
+  if grep -q '^DURABLE_WINDOW ' "$WORK_DIR/crash.out" 2>/dev/null; then
+    echo "crash: kill -9 driver (pid $DRIVER_PID)"
+    kill -9 "$DRIVER_PID" 2>/dev/null || true
+    killed=1
+    break
+  fi
+  if ! kill -0 "$DRIVER_PID" 2>/dev/null; then
+    break
+  fi
+  sleep 0.05
+done
+wait "$DRIVER_PID" 2>/dev/null || true
+DRIVER_PID=""
+if [[ -z "$killed" ]]; then
+  echo "error: crash run never announced its kill window" >&2
+  cat "$WORK_DIR/crash.out" >&2
+  exit 1
+fi
+if grep -q '^DRIVER_OK$' "$WORK_DIR/crash.out"; then
+  echo "error: crash run finished before the kill landed" >&2
+  exit 1
+fi
+cat "$WORK_DIR/crash.out"
+
+# --- Resume: reopen the crashed store and finish the job. ----------------
+echo "== resume: reopen crashed store =="
+"$DRIVER_BIN" --phase resume --store-path "$WORK_DIR/store-crash" \
+  --threads "$THREADS" $SMOKE | tee "$WORK_DIR/resume.out"
+
+# --- Verdict. ------------------------------------------------------------
+status=0
+base="$(awk '$1 == "SSSP_DIGEST" {print $2}' "$WORK_DIR/baseline.out")"
+resumed="$(awk '$1 == "SSSP_DIGEST" {print $2}' "$WORK_DIR/resume.out")"
+if [[ -z "$base" || -z "$resumed" || "$base" != "$resumed" ]]; then
+  echo "MISMATCH SSSP_DIGEST: baseline=$base resumed=$resumed"
+  status=1
+else
+  echo "MATCH    SSSP_DIGEST: $base"
+fi
+recoveries="$(awk '$1 == "DURABLE_RESUMED" {print $2}' "$WORK_DIR/resume.out")"
+if [[ "${recoveries:-0}" -lt 1 ]]; then
+  echo "RESUME: expected >= 1 recovery, saw ${recoveries:-none} (run was" \
+       "not actually resumed)"
+  status=1
+fi
+if ! grep -q '^DRIVER_OK$' "$WORK_DIR/resume.out"; then
+  echo "MISSING DRIVER_OK in resume run"
+  status=1
+fi
+
+if [[ "$status" -eq 0 ]]; then
+  echo "BENCH_DURABLE OK (resumed digest matches baseline," \
+       "$recoveries recovery(ies))"
+else
+  echo "BENCH_DURABLE FAILED"
+fi
+exit "$status"

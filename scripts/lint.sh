@@ -15,6 +15,11 @@
 #   4. Thread-safety attributes are spelled via thread_annotations.h
 #      macros, never raw __attribute__((...)) — the macros are the only
 #      place the Clang-only gating lives.
+#   5. Raw file-durability syscalls (::open/::write/::fsync/::mmap and
+#      friends) are confined to src/kvstore/segment.cpp: the log store's
+#      crash-consistency argument (DESIGN.md §14) rests on every byte
+#      reaching disk through AppendFile/writeFileDurable/syncDir, so a
+#      stray ::write anywhere else silently escapes the epoch discipline.
 #
 # Usage: scripts/lint.sh   (exits non-zero on any violation)
 
@@ -116,6 +121,30 @@ raw_attr=$(grep -rn --include='*.h' --include='*.cpp' \
 if [ -n "$raw_attr" ]; then
   report "raw thread-safety attribute (use thread_annotations.h macros)" \
     "$raw_attr"
+fi
+
+# --- Rule 5: raw file-durability syscalls outside segment.cpp ---------------
+# Global-namespace syscall calls (::open(...), ::fsync(...), ...).  The
+# leading [^A-Za-z0-9_>] keeps C++ method definitions like LogStore::open(
+# from matching.  Socket-fd ::close in src/net is not on the list: closing
+# a socket is not file durability.
+raw_io=$(grep -rnE --include='*.h' --include='*.cpp' \
+  '(^|[^A-Za-z0-9_>])::(open|write|read|fsync|fstat|fdatasync|ftruncate|mmap|munmap|pread|pwrite)\s*\(' \
+  src/ | grep -v 'src/kvstore/segment\.cpp' || true)
+if [ -n "$raw_io" ]; then
+  report "raw file syscall outside kvstore/segment.cpp (use AppendFile/writeFileDurable/syncDir)" \
+    "$raw_io"
+fi
+
+# Unqualified spellings of the durability-only syscalls (no sockets-vs-files
+# ambiguity for these, so the rule needs no allowlist beyond segment.cpp).
+raw_sync=$(grep -rnE --include='*.h' --include='*.cpp' \
+  '(^|[^A-Za-z0-9_:.>])(fsync|fdatasync|mmap|munmap|ftruncate|pwrite|pread)\s*\(' \
+  src/ | grep -v 'src/kvstore/segment\.cpp' \
+  | grep -vE ':[0-9]+:\s*//' || true)
+if [ -n "$raw_sync" ]; then
+  report "raw durability syscall outside kvstore/segment.cpp (use segment.h helpers)" \
+    "$raw_sync"
 fi
 
 if [ "$fail" -ne 0 ]; then

@@ -18,6 +18,8 @@ const char* lockRankName(LockRank rank) noexcept {
       return "kStoreStripe(20)";
     case LockRank::kStoreBuffer:
       return "kStoreBuffer(24)";
+    case LockRank::kStoreManifest:
+      return "kStoreManifest(27)";
     case LockRank::kStoreTableMap:
       return "kStoreTableMap(30)";
     case LockRank::kQueue:

@@ -68,6 +68,12 @@ enum class LockRank : int {
   /// is always taken before them.
   kStoreBuffer = 24,
 
+  /// Log-store manifest: epoch commits and background compaction
+  /// serialize here, then flush the per-part data (kStoreStripe) they
+  /// cover, so the manifest sits above the data-plane leaves and below
+  /// the table registry.
+  kStoreManifest = 27,
+
   /// Store control plane: table registries of every backend and of the
   /// fault decorators.
   kStoreTableMap = 30,

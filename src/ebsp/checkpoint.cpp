@@ -86,15 +86,28 @@ Checkpointer::Checkpointer(kv::KVStorePtr store, std::string jobId,
   if (driverMirror_) {
     return;  // No shadow/meta tables: the snapshot lives in driver memory.
   }
+  // Lookup-or-create: on a durable store reopened after a crash the
+  // shadows of the interrupted run are already on disk (they ARE the
+  // checkpoint a resuming run restores from), so adopt them instead of
+  // throwing "already exists".
   shadows_.reserve(tables_.size());
   for (std::size_t i = 0; i < tables_.size(); ++i) {
-    shadows_.push_back(
-        store_->createConsistentTable(shadowName(i), *tables_[i],
-                                      tables_[i]->options().ordered));
+    if (kv::TablePtr existing = store_->lookupTable(shadowName(i))) {
+      shadows_.push_back(std::move(existing));
+    } else {
+      shadows_.push_back(
+          store_->createConsistentTable(shadowName(i), *tables_[i],
+                                        tables_[i]->options().ordered));
+    }
   }
-  kv::TableOptions metaOptions;
-  metaOptions.parts = 1;
-  meta_ = store_->createTable("__ck_" + jobId_ + "_meta", metaOptions);
+  const std::string metaName = "__ck_" + jobId_ + "_meta";
+  if (kv::TablePtr existing = store_->lookupTable(metaName)) {
+    meta_ = std::move(existing);
+  } else {
+    kv::TableOptions metaOptions;
+    metaOptions.parts = 1;
+    meta_ = store_->createTable(metaName, metaOptions);
+  }
 }
 
 Checkpointer::~Checkpointer() {

@@ -45,6 +45,20 @@ struct CheckpointConfig {
   /// restarted server's fresh incarnation.  Forced on when the engine's
   /// store backend is "remote".
   bool driverMirror = false;
+
+  /// Stable checkpoint identity.  Empty derives one from the engine's
+  /// process-local run counter, which is fine within a process; a run
+  /// that should be resumable across a process restart (durable store)
+  /// must pin an explicit id so the restarted run finds the shadows the
+  /// crashed one left behind.
+  std::string jobId;
+
+  /// Adopt a pre-existing on-store checkpoint: before loading initial
+  /// state the engine probes hasCheckpoint() and, when one is complete,
+  /// restores it and resumes from the recorded step instead of starting
+  /// over.  Requires a stable `jobId`.  With no checkpoint present the
+  /// run starts from scratch — resume is idempotent over fresh stores.
+  bool resume = false;
 };
 
 /// Thrown by failure-injection hooks; the engine catches it and recovers.

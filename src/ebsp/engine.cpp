@@ -19,7 +19,7 @@ kv::KVStorePtr makeEngineStore(const EngineOptions& options,
     tuning.queueWaitMs = options.netQueueWaitMs;
     return net::makeRemoteStoreFromEnv(containers, tuning);
   }
-  return kv::makeStore(options.storeBackend, containers);
+  return kv::makeStore(options.storeBackend, containers, options.storePath);
 }
 
 Engine::Engine(kv::KVStorePtr store, EngineOptions options)

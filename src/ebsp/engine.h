@@ -30,6 +30,11 @@ struct EngineOptions {
   /// through RIPPLE_STORE; see kvstore/store_factory.h.
   kv::StoreBackend storeBackend = kv::StoreBackend::kDefault;
 
+  /// Directory for the durable "log" backend, forwarded by
+  /// makeEngineStore.  Empty resolves through RIPPLE_STORE_PATH, then an
+  /// ephemeral temp directory.  Other backends ignore it.
+  std::string storePath;
+
   sim::CostModel costModel = sim::CostModel::defaults();
   bool virtualTime = true;
 

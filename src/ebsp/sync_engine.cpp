@@ -14,6 +14,7 @@
 #include "common/stats.h"
 #include "ebsp/transport.h"
 #include "fault/faulty_store.h"
+#include "kvstore/log_store.h"
 #include "sim/cost_model.h"
 
 namespace ripple::ebsp {
@@ -95,6 +96,10 @@ class SyncEngine::Run {
     if (auto* faulty = dynamic_cast<fault::FaultyStore*>(store_.get())) {
       injector_ = faulty->injector().get();
     }
+    // On a durable backend every successful checkpoint is sealed with a
+    // store epoch commit, so the on-disk state a kill -9 recovers to is
+    // always a checkpoint boundary.
+    durable_ = dynamic_cast<kv::DurableStore*>(store_.get());
     if (options_.checkpoint.enabled) {
       if (directSink_.present() && !props_.declared.deterministic) {
         throw std::invalid_argument(
@@ -108,9 +113,14 @@ class SyncEngine::Run {
       // driver memory instead (DESIGN.md §11 failover).
       driverMirror_ = options_.checkpoint.driverMirror ||
                       std::string_view(store_->backendName()) == "remote";
+      // A stable jobId pins the shadow-table names across process
+      // restarts (durable resume); the default run-counter id is only
+      // unique within one process.
+      const std::string jobId = options_.checkpoint.jobId.empty()
+                                    ? "job" + runId_
+                                    : options_.checkpoint.jobId;
       checkpointer_ = std::make_unique<Checkpointer>(
-          store_, "job" + runId_, std::move(restartable), ref_,
-          driverMirror_);
+          store_, jobId, std::move(restartable), ref_, driverMirror_);
       checkpointer_->setTracer(options_.tracer);
       // Non-deterministic steps must never re-execute: checkpoint every
       // barrier (the fast-recovery optimization of the deterministic
@@ -135,32 +145,55 @@ class SyncEngine::Run {
   JobResult execute() {
     Stopwatch wall;
     obs::Tracer* const tracer = options_.tracer;
-    {
-      obs::Tracer::Scoped load(tracer, obs::Phase::kLoad);
-      load->note = "synchronized";
-      loadInitial();
-      load->messages = collection_->size();
-    }
-
-    // Driver-mirror checkpointing snapshots the loaded state up front so
-    // a server crash BEFORE the first interval boundary is recoverable
-    // (shadow-table mode skips this: the store outlives the servers
-    // there, and tests pin exact checkpoint counts).
-    if (checkpointer_ && driverMirror_) {
-      try {
-        clientRetry_([&] { checkpointer_->checkpoint(0, aggFinals_); });
-      } catch (const fault::TransientError& e) {
-        throw std::runtime_error(
-            std::string("SyncEngine: initial checkpoint failed after "
-                        "retries: ") +
-            e.what());
-      }
-      ++metrics_.checkpoints;
-    }
-
-    std::uint64_t pending = collection_->size();
+    std::uint64_t pending = 0;
     int step = 0;
     bool aborted = false;
+
+    if (checkpointer_ && options_.checkpoint.resume &&
+        clientRetry_([&] { return checkpointer_->hasCheckpoint(); })) {
+      // Restart-resume: a complete checkpoint survives from an earlier
+      // incarnation of this job (durable store reopened after a crash).
+      // Adopt it instead of reloading: restore the state tables and the
+      // collection, and continue from the recorded step.  Direct output
+      // is NOT suppressed — whatever the dead process emitted died with
+      // its sink, so the replayed steps' output is the first delivery.
+      step = clientRetry_([&] { return checkpointer_->restore(aggFinals_); });
+      if (job_.compute.onRecovery) {
+        job_.compute.onRecovery();
+      }
+      pending = collection_->size();
+      ++metrics_.recoveries;
+      RIPPLE_INFO << "SyncEngine: resumed from checkpoint at completed step "
+                  << step;
+    } else {
+      {
+        obs::Tracer::Scoped load(tracer, obs::Phase::kLoad);
+        load->note = "synchronized";
+        loadInitial();
+        load->messages = collection_->size();
+      }
+
+      // Driver-mirror checkpointing snapshots the loaded state up front so
+      // a server crash BEFORE the first interval boundary is recoverable
+      // (shadow-table mode skips this: the store outlives the servers
+      // there, and tests pin exact checkpoint counts).  A durable store
+      // takes the same up-front snapshot so a kill before the first
+      // interval boundary resumes instead of reloading.
+      if (checkpointer_ && (driverMirror_ || durable_ != nullptr)) {
+        try {
+          clientRetry_([&] { checkpointer_->checkpoint(0, aggFinals_); });
+        } catch (const fault::TransientError& e) {
+          throw std::runtime_error(
+              std::string("SyncEngine: initial checkpoint failed after "
+                          "retries: ") +
+              e.what());
+        }
+        ++metrics_.checkpoints;
+        commitDurableEpoch();
+      }
+
+      pending = collection_->size();
+    }
 
     while (pending > 0 && step < options_.maxSteps) {
       ++step;
@@ -284,6 +317,7 @@ class SyncEngine::Run {
               e.what());
         }
         ++metrics_.checkpoints;
+        commitDurableEpoch();
       }
       if (options_.onBarrier) {
         try {
@@ -489,11 +523,18 @@ class SyncEngine::Run {
       }
     }
 
+    // Drop-then-create: the run-counter id restarts with the process, so
+    // on a recovered durable store the private tables of a crashed run
+    // can collide by name.  Their content is transient (the collection is
+    // restored from the checkpoint, the transport is cleared on
+    // recovery), so stale incarnations are simply discarded.
     kv::TableOptions transportOptions;
     transportOptions.parts = parts_;
     transportOptions.partitioner = makeTransportPartitioner(parts_);
+    store_->dropTable("__ebsp_tr_" + runId_);
     transport_ = store_->createTable("__ebsp_tr_" + runId_,
                                      std::move(transportOptions));
+    store_->dropTable("__ebsp_col_" + runId_);
     collection_ = store_->createConsistentTable(
         "__ebsp_col_" + runId_, *ref_,
         /*ordered=*/props_.declared.needsOrder);
@@ -830,6 +871,18 @@ class SyncEngine::Run {
     }
   }
 
+  /// Seal the checkpoint that was just written into the durable store's
+  /// on-disk state.  The commit covers the checkpoint shadows AND the
+  /// primaries as of this barrier, so recovery lands exactly on a
+  /// checkpoint boundary — never between a shadow write and its commit
+  /// marker (the store-level begin/commit discipline subsumes the
+  /// table-level one).
+  void commitDurableEpoch() {
+    if (durable_ != nullptr) {
+      clientRetry_([&] { durable_->commitEpoch(); });
+    }
+  }
+
   int recover(const std::string& why) {
     const bool usable =
         checkpointer_ &&
@@ -941,6 +994,7 @@ class SyncEngine::Run {
 
   std::unique_ptr<sim::VirtualCluster> vt_;
   std::unique_ptr<Checkpointer> checkpointer_;
+  kv::DurableStore* durable_ = nullptr;
   bool driverMirror_ = false;
   int checkpointInterval_ = 1;
   int replayBoundary_ = 0;

@@ -1,0 +1,805 @@
+#include "kvstore/log_store.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace ripple::kv {
+
+namespace fs = std::filesystem;
+using logstore::AppendFile;
+using logstore::LogOp;
+using logstore::SealedSegment;
+using logstore::SegmentError;
+
+namespace {
+
+std::string partFileName(std::uint64_t tableId, std::uint32_t part,
+                         std::uint64_t gen, const char* ext) {
+  return "t" + std::to_string(tableId) + "_p" + std::to_string(part) + "_g" +
+         std::to_string(gen) + ext;
+}
+
+constexpr const char* kManifestName = "MANIFEST";
+
+}  // namespace
+
+// --- LogTable -------------------------------------------------------------
+
+class LogStore::LogTable : public Table,
+                           public std::enable_shared_from_this<LogTable> {
+ public:
+  struct BufferedWrite {
+    Bytes key;
+    Bytes value;
+    bool tombstone = false;
+  };
+
+  /// One part = sealed past + buffered present.  `buffer` mirrors the
+  /// not-yet-sealed log tail (ShardStore's append-only write-buffer
+  /// discipline); `pending` holds the same records framed for disk,
+  /// appended and fsynced at the next epoch commit.
+  struct Part {
+    std::vector<BufferedWrite> buffer;
+    std::unordered_map<Bytes, std::size_t> index;  // key -> newest buffer slot
+    Bytes pending;
+    bool sealedCleared = false;  // A clear record masks the sealed segment.
+    SealedSegment sealed;
+    AppendFile log;
+    std::uint64_t logGen = 1;
+    std::uint64_t sealedGen = 0;
+    std::uint64_t committedLen = 0;
+    std::uint64_t liveCount = 0;
+  };
+
+  /// Fresh table.
+  LogTable(LogStore* store, std::string name, TableOptions options,
+           std::uint64_t id)
+      : store_(store), name_(std::move(name)), options_(std::move(options)),
+        id_(id) {
+    if (options_.ubiquitous) {
+      options_.parts = 1;
+    }
+    if (!options_.partitioner) {
+      options_.partitioner = makeDefaultPartitioner(options_.parts);
+    }
+    if (options_.partitioner->parts() != options_.parts) {
+      throw std::invalid_argument("LogTable '" + name_ +
+                                  "': partitioner/parts mismatch");
+    }
+    parts_.resize(options_.parts);
+  }
+
+  /// Recovered table: rebuild each part from its committed files.  A
+  /// recovered table gets the default partitioner over the recorded part
+  /// count — custom hash functions are code, not data, and cannot be
+  /// persisted (DESIGN.md §14).
+  LogTable(LogStore* store, const logstore::TableState& state,
+           const std::string& dir)
+      : store_(store), name_(state.name), id_(state.id) {
+    options_.parts = state.parts;
+    options_.ordered = state.ordered;
+    options_.ubiquitous = state.ubiquitous;
+    options_.partitioner = makeDefaultPartitioner(options_.parts);
+    parts_.resize(options_.parts);
+    for (std::uint32_t i = 0; i < options_.parts; ++i) {
+      Part& p = parts_[i];
+      const logstore::PartState& ps = state.partStates.at(i);
+      p.logGen = ps.logGen;
+      p.sealedGen = ps.sealedGen;
+      p.committedLen = ps.committedLen;
+      if (ps.sealedGen != 0) {
+        p.sealed.open(dir + "/" + partFileName(id_, i, ps.sealedGen, ".seg"));
+      }
+      const std::string logPath =
+          dir + "/" + partFileName(id_, i, ps.logGen, ".log");
+      if (ps.committedLen > 0) {
+        const Bytes bytes = logstore::readFileBytes(logPath);
+        if (bytes.size() < ps.committedLen) {
+          throw SegmentError("LogTable '" + name_ + "' part " +
+                             std::to_string(i) +
+                             ": log shorter than its committed length");
+        }
+        replay(p, BytesView(bytes.data(), ps.committedLen));
+      }
+      // Reopening truncated drops any torn tail past the committed length.
+      p.log.openTruncated(logPath, ps.committedLen);
+    }
+  }
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] const TableOptions& options() const override {
+    return options_;
+  }
+  [[nodiscard]] std::uint32_t numParts() const override {
+    return options_.parts;
+  }
+  [[nodiscard]] std::uint32_t partOf(KeyView key) const override {
+    return options_.partitioner->partOf(key);
+  }
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+  void markDropped() { dropped_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool dropped() const {
+    return dropped_.load(std::memory_order_acquire);
+  }
+
+  std::optional<Value> get(KeyView key) override {
+    LockGuard lock(store_->dataMu_);
+    store_->metrics_.incLocal();
+    Part& p = parts_[partOf(key)];
+    if (const auto it = p.index.find(Bytes(key)); it != p.index.end()) {
+      const BufferedWrite& w = p.buffer[it->second];
+      if (w.tombstone) {
+        return std::nullopt;
+      }
+      return w.value;
+    }
+    if (!p.sealedCleared && p.sealed.isOpen()) {
+      if (const auto v = p.sealed.find(key)) {
+        return Bytes(*v);
+      }
+    }
+    return std::nullopt;
+  }
+
+  void put(KeyView key, ValueView value) override {
+    checkWritable("put");
+    const std::uint32_t part = partOf(key);
+    bool overBudget = false;
+    {
+      LockGuard lock(store_->dataMu_);
+      store_->metrics_.incLocal();
+      Part& p = parts_[part];
+      apply(p, LogOp::kPut, key, value, /*writeLog=*/true);
+      overBudget = p.pending.size() > store_->options_.compactBytes;
+    }
+    if (overBudget) {
+      store_->scheduleCompaction(shared_from_this(), part);
+    }
+  }
+
+  bool erase(KeyView key) override {
+    checkWritable("erase");
+    LockGuard lock(store_->dataMu_);
+    store_->metrics_.incLocal();
+    return apply(parts_[partOf(key)], LogOp::kErase, key, {},
+                 /*writeLog=*/true);
+  }
+
+  [[nodiscard]] std::uint64_t size() const override {
+    LockGuard lock(store_->dataMu_);
+    std::uint64_t total = 0;
+    for (const Part& p : parts_) {
+      total += p.liveCount;
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::uint64_t partSize(std::uint32_t part) const override {
+    LockGuard lock(store_->dataMu_);
+    return parts_.at(part).liveCount;
+  }
+
+  Bytes enumerate(PairConsumer& consumer) override {
+    Bytes result;
+    bool first = true;
+    for (std::uint32_t p = 0; p < numParts(); ++p) {
+      Bytes r = enumeratePart(p, consumer);
+      result = first ? std::move(r)
+                     : consumer.combine(std::move(result), std::move(r));
+      first = false;
+    }
+    return result;
+  }
+
+  Bytes enumeratePart(std::uint32_t part, PairConsumer& consumer) override {
+    store_->metrics_.incScans();
+    // Fold under the lock; callbacks run outside it so they can freely
+    // mutate this or other tables.
+    std::vector<std::pair<Bytes, Bytes>> snapshot;
+    {
+      LockGuard lock(store_->dataMu_);
+      snapshot = fold(parts_.at(part));
+    }
+    consumer.setupPart(part);
+    for (const auto& [k, v] : snapshot) {
+      if (!consumer.consume(part, k, v)) {
+        break;
+      }
+    }
+    return consumer.finalizePart(part);
+  }
+
+  Bytes processParts(PartConsumer& consumer) override {
+    Bytes result;
+    bool first = true;
+    for (std::uint32_t p = 0; p < numParts(); ++p) {
+      Bytes r = consumer.processPart(p, *this);
+      result = first ? std::move(r)
+                     : consumer.combine(std::move(result), std::move(r));
+      first = false;
+    }
+    return result;
+  }
+
+  std::uint64_t clearPart(std::uint32_t part) override {
+    checkWritable("clearPart");
+    LockGuard lock(store_->dataMu_);
+    Part& p = parts_.at(part);
+    const std::uint64_t n = p.liveCount;
+    apply(p, LogOp::kClear, {}, {}, /*writeLog=*/true);
+    return n;
+  }
+
+  std::vector<std::pair<Key, Value>> drainPart(std::uint32_t part) override {
+    checkWritable("drainPart");
+    LockGuard lock(store_->dataMu_);
+    store_->metrics_.incScans();
+    Part& p = parts_.at(part);
+    std::vector<std::pair<Bytes, Bytes>> out = fold(p);
+    apply(p, LogOp::kClear, {}, {}, /*writeLog=*/true);
+    return out;
+  }
+
+  // --- Store-internal surface (all called under store locks). ---
+
+  /// Flush this table's pending records to its part logs and fsync; fill
+  /// in the table's slice of the commit record.  Caller holds manifestMu_
+  /// and dataMu_.
+  logstore::TableState commitParts(const std::string& dir) {
+    logstore::TableState state;
+    state.name = name_;
+    state.id = id_;
+    state.parts = options_.parts;
+    state.ordered = options_.ordered;
+    state.ubiquitous = options_.ubiquitous;
+    state.partStates.resize(options_.parts);
+    for (std::uint32_t i = 0; i < options_.parts; ++i) {
+      Part& p = parts_[i];
+      if (!p.pending.empty()) {
+        if (!p.log.isOpen()) {
+          p.log.open(dir + "/" + partFileName(id_, i, p.logGen, ".log"));
+        }
+        p.log.append(p.pending);
+        p.pending.clear();
+        p.log.sync();
+        p.committedLen = p.log.size();
+      }
+      logstore::PartState& ps = state.partStates[i];
+      ps.logGen = p.logGen;
+      ps.committedLen = p.committedLen;
+      ps.sealedGen = p.sealedGen;
+    }
+    return state;
+  }
+
+  /// Fold a part and swap in a new sealed generation + empty log.  Caller
+  /// holds manifestMu_ and dataMu_.  Returns the superseded files (kept
+  /// on disk until the next commit stops referencing them).
+  std::vector<std::string> compactPart(std::uint32_t part,
+                                       const std::string& dir) {
+    Part& p = parts_.at(part);
+    if (p.buffer.empty() && !p.sealedCleared) {
+      return {};  // Nothing buffered; the sealed segment is already folded.
+    }
+    std::vector<std::pair<Bytes, Bytes>> folded = fold(p);
+    const std::uint64_t newGen = std::max(p.logGen, p.sealedGen) + 1;
+    const std::string segPath =
+        dir + "/" + partFileName(id_, part, newGen, ".seg");
+    logstore::writeFileDurable(segPath, SealedSegment::encode(folded));
+
+    std::vector<std::string> superseded;
+    superseded.push_back(dir + "/" +
+                         partFileName(id_, part, p.logGen, ".log"));
+    if (p.sealedGen != 0) {
+      superseded.push_back(dir + "/" +
+                           partFileName(id_, part, p.sealedGen, ".seg"));
+    }
+
+    p.sealed.close();
+    p.sealed.open(segPath);
+    p.sealedGen = newGen;
+    p.sealedCleared = false;
+    p.buffer.clear();
+    p.index.clear();
+    p.pending.clear();
+    p.log.close();
+    p.log.open(dir + "/" + partFileName(id_, part, newGen, ".log"));
+    p.logGen = newGen;
+    p.committedLen = 0;
+    p.liveCount = folded.size();
+    return superseded;
+  }
+
+  /// File names the table's current generations occupy (for drop/stray
+  /// accounting).  Caller holds dataMu_.
+  std::vector<std::string> liveFileNames() const {
+    std::vector<std::string> out;
+    for (std::uint32_t i = 0; i < options_.parts; ++i) {
+      const Part& p = parts_[i];
+      out.push_back(partFileName(id_, i, p.logGen, ".log"));
+      if (p.sealedGen != 0) {
+        out.push_back(partFileName(id_, i, p.sealedGen, ".seg"));
+      }
+    }
+    return out;
+  }
+
+  void accumulateStats(Stats& s) const {
+    for (const Part& p : parts_) {
+      if (p.sealed.isOpen()) {
+        ++s.sealedSegments;
+        s.sealedBytes += p.sealed.sizeBytes();
+      }
+      s.logBytes += p.committedLen;
+      s.pendingBytes += p.pending.size();
+    }
+  }
+
+ private:
+  /// Apply one logical mutation: update the in-memory buffer/index/count
+  /// and (writeLog) mirror it into the part's pending disk frames.
+  /// Recovery replays committed records through the same path with
+  /// writeLog=false.  Returns whether the key existed (for erase).
+  bool apply(Part& p, LogOp op, KeyView key, ValueView value, bool writeLog) {
+    if (op == LogOp::kClear) {
+      if (writeLog) {
+        logstore::appendFrame(p.pending,
+                              logstore::encodeLogRecord(op, {}, {}));
+      }
+      p.buffer.clear();
+      p.index.clear();
+      p.sealedCleared = true;
+      p.liveCount = 0;
+      return true;
+    }
+    const bool existed = exists(p, key);
+    if (op == LogOp::kErase && !existed) {
+      return false;  // Semantic no-op; nothing to log or buffer.
+    }
+    if (writeLog) {
+      logstore::appendFrame(p.pending,
+                            logstore::encodeLogRecord(op, key, value));
+    }
+    p.buffer.push_back(BufferedWrite{Bytes(key), Bytes(value),
+                                     op == LogOp::kErase});
+    p.index[Bytes(key)] = p.buffer.size() - 1;
+    if (op == LogOp::kPut && !existed) {
+      ++p.liveCount;
+    } else if (op == LogOp::kErase) {
+      --p.liveCount;
+    }
+    return existed;
+  }
+
+  bool exists(const Part& p, KeyView key) const {
+    if (const auto it = p.index.find(Bytes(key)); it != p.index.end()) {
+      return !p.buffer[it->second].tombstone;
+    }
+    return !p.sealedCleared && p.sealed.isOpen() &&
+           p.sealed.find(key).has_value();
+  }
+
+  /// Replay a committed log prefix.  The prefix was fsynced before its
+  /// commit record, so a malformed frame inside it is corruption of
+  /// committed data, not a torn tail — fail loudly.
+  void replay(Part& p, BytesView committed) {
+    std::size_t pos = 0;
+    while (pos < committed.size()) {
+      const auto frame = logstore::readFrame(committed, pos);
+      if (!frame) {
+        throw SegmentError("LogTable '" + name_ +
+                           "': corrupt record inside committed log prefix");
+      }
+      const auto rec = logstore::decodeLogRecord(frame->payload);
+      if (!rec) {
+        throw SegmentError("LogTable '" + name_ +
+                           "': malformed record inside committed log prefix");
+      }
+      apply(p, rec->op, rec->key, rec->value, /*writeLog=*/false);
+      pos = frame->end;
+    }
+  }
+
+  /// Newest-wins fold of buffer over sealed segment into canonical
+  /// ascending-key order (the SPI's drain contract, DESIGN.md §10).
+  std::vector<std::pair<Bytes, Bytes>> fold(const Part& p) const {
+    Stopwatch watch;
+    std::map<Bytes, std::optional<Bytes>> merged;
+    if (!p.sealedCleared && p.sealed.isOpen()) {
+      for (std::uint64_t i = 0; i < p.sealed.count(); ++i) {
+        const auto [k, v] = p.sealed.entry(i);
+        merged.emplace(Bytes(k), Bytes(v));
+      }
+    }
+    for (const BufferedWrite& w : p.buffer) {
+      merged.insert_or_assign(
+          w.key, w.tombstone ? std::nullopt : std::optional<Bytes>(w.value));
+    }
+    std::vector<std::pair<Bytes, Bytes>> out;
+    out.reserve(merged.size());
+    for (auto& [k, v] : merged) {
+      if (v) {
+        out.emplace_back(k, std::move(*v));
+      }
+    }
+    store_->recordFold(watch.elapsedSeconds());
+    return out;
+  }
+
+  LogStore* store_;
+  std::string name_;
+  TableOptions options_;
+  std::uint64_t id_;
+  std::vector<Part> parts_;
+  std::atomic<bool> dropped_{false};
+};
+
+// --- LogStore -------------------------------------------------------------
+
+std::shared_ptr<LogStore> LogStore::open(Options options) {
+  return std::shared_ptr<LogStore>(new LogStore(std::move(options)));
+}
+
+LogStore::LogStore(Options options) : options_(std::move(options)) {
+  if (options_.path.empty()) {
+    std::string tmpl =
+        (fs::temp_directory_path() / "ripple-log-XXXXXX").string();
+    if (::mkdtemp(tmpl.data()) == nullptr) {
+      throw SegmentError("LogStore: cannot create ephemeral directory at " +
+                         tmpl);
+    }
+    path_ = tmpl;
+    ephemeral_ = true;
+  } else {
+    path_ = options_.path;
+    fs::create_directories(path_);
+  }
+  recover();
+  if (options_.backgroundCompaction) {
+    compactor_ = std::thread([this] { compactionLoop(); });
+  }
+}
+
+LogStore::~LogStore() {
+  {
+    UniqueLock lock(queueMu_);
+    stopping_ = true;
+  }
+  queueCv_.notify_all();
+  if (compactor_.joinable()) {
+    compactor_.join();
+  }
+  try {
+    commitEpoch();  // Clean shutdown commits whatever is buffered.
+  } catch (...) {
+    // Destructor must not throw; an unflushed tail simply rolls back to
+    // the previous epoch on the next open.
+  }
+  if (ephemeral_) {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+}
+
+void LogStore::recover() {
+  Stopwatch watch;
+  const std::string manifestPath = path_ + "/" + kManifestName;
+  logstore::ManifestRecovery rec;
+  if (fs::exists(manifestPath)) {
+    rec = logstore::recoverManifest(logstore::readFileBytes(manifestPath));
+  }
+  if (rec.hasCommit) {
+    if (rec.tornEpoch) {
+      RIPPLE_WARN << "LogStore '" << path_
+                  << "': dropping epoch torn after commit "
+                  << rec.state.epoch;
+    }
+    lastCommitted_.store(rec.state.epoch, std::memory_order_release);
+    LockGuard tl(tablesMu_);
+    {
+      LockGuard ml(manifestMu_);
+      nextTableId_ = rec.state.nextTableId;
+      manifest_.openTruncated(manifestPath, rec.validBytes);
+    }
+    LockGuard dl(dataMu_);
+    for (const logstore::TableState& ts : rec.state.tables) {
+      tables_.emplace(ts.name, std::make_shared<LogTable>(this, ts, path_));
+    }
+  }
+  removeStrayFiles();
+  lastRecoverySeconds_.store(watch.elapsedSeconds(),
+                             std::memory_order_release);
+}
+
+void LogStore::removeStrayFiles() {
+  // Anything the recovered (or empty) state does not reference is debris
+  // from an epoch that never committed: logs/segments of rolled-back
+  // creates and compactions.  Deleting them keeps generation numbers free
+  // for reuse.
+  std::vector<std::string> expected{kManifestName};
+  {
+    LockGuard tl(tablesMu_);
+    LockGuard dl(dataMu_);
+    for (const auto& [name, t] : tables_) {
+      for (std::string& f : t->liveFileNames()) {
+        expected.push_back(std::move(f));
+      }
+    }
+  }
+  bool removed = false;
+  for (const auto& entry : fs::directory_iterator(path_)) {
+    const std::string base = entry.path().filename().string();
+    bool keep = false;
+    for (const std::string& e : expected) {
+      if (base == e) {
+        keep = true;
+        break;
+      }
+    }
+    if (!keep) {
+      std::error_code ec;
+      fs::remove(entry.path(), ec);
+      removed = true;
+    }
+  }
+  if (removed) {
+    logstore::syncDir(path_);
+  }
+}
+
+TablePtr LogStore::createTable(const std::string& name, TableOptions options) {
+  LockGuard tl(tablesMu_);
+  if (tables_.contains(name)) {
+    throw std::invalid_argument("LogStore: table '" + name +
+                                "' already exists");
+  }
+  std::uint64_t id = 0;
+  {
+    LockGuard ml(manifestMu_);
+    id = nextTableId_++;
+  }
+  auto table = std::make_shared<LogTable>(this, name, std::move(options), id);
+  tables_.emplace(name, table);
+  return table;
+}
+
+TablePtr LogStore::lookupTable(const std::string& name) {
+  LockGuard tl(tablesMu_);
+  const auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second;
+}
+
+void LogStore::dropTable(const std::string& name) {
+  LockGuard tl(tablesMu_);
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return;
+  }
+  std::shared_ptr<LogTable> table = it->second;
+  tables_.erase(it);
+  table->markDropped();
+  // The files stay on disk (and stay readable through held TablePtrs —
+  // POSIX keeps unlinked mappings/fds alive) until the next commit's
+  // catalog stops referencing them.
+  std::vector<std::string> files;
+  {
+    LockGuard dl(dataMu_);
+    files = table->liveFileNames();
+  }
+  LockGuard ml(manifestMu_);
+  for (std::string& f : files) {
+    obsoleteFiles_.push_back(path_ + "/" + std::move(f));
+  }
+}
+
+void LogStore::runInParts(const Table& placement,
+                          const std::function<void(std::uint32_t)>& fn) {
+  for (std::uint32_t p = 0; p < placement.numParts(); ++p) {
+    fn(p);
+  }
+}
+
+void LogStore::runInPart(const Table& placement, std::uint32_t part,
+                         const std::function<void()>& fn) {
+  if (part >= placement.numParts()) {
+    throw std::out_of_range("LogStore::runInPart: bad part");
+  }
+  fn();
+}
+
+void LogStore::commitEpoch() {
+  {
+    LockGuard tl(tablesMu_);
+    LockGuard ml(manifestMu_);
+    const std::uint64_t epoch =
+        lastCommitted_.load(std::memory_order_acquire) + 1;
+    if (!manifest_.isOpen()) {
+      manifest_.open(path_ + "/" + kManifestName);
+    }
+    // Torn-checkpoint discipline: the begin marker lands durably BEFORE
+    // any data this epoch covers, the commit record strictly after all of
+    // it — recovery treats begin-without-commit as "this epoch never
+    // happened".
+    Bytes begin;
+    logstore::appendFrame(begin, logstore::encodeBeginRecord(epoch));
+    manifest_.append(begin);
+    manifest_.sync();
+
+    logstore::ManifestState state;
+    state.epoch = epoch;
+    {
+      LockGuard dl(dataMu_);
+      state.nextTableId = nextTableId_;
+      for (auto& [name, t] : tables_) {
+        state.tables.push_back(t->commitParts(path_));
+      }
+    }
+    Bytes commit;
+    logstore::appendFrame(commit, logstore::encodeCommitRecord(state));
+    manifest_.append(commit);
+    manifest_.sync();
+    lastCommitted_.store(epoch, std::memory_order_release);
+    commits_.fetch_add(1, std::memory_order_relaxed);
+
+    // Files superseded by compaction/drop are unreferenced as of this
+    // commit; now they can actually go.
+    for (const std::string& f : obsoleteFiles_) {
+      std::error_code ec;
+      fs::remove(f, ec);
+    }
+    if (!obsoleteFiles_.empty()) {
+      obsoleteFiles_.clear();
+      logstore::syncDir(path_);
+    }
+  }
+  refreshGauges();
+}
+
+std::uint64_t LogStore::lastCommittedEpoch() const {
+  return lastCommitted_.load(std::memory_order_acquire);
+}
+
+void LogStore::scheduleCompaction(std::shared_ptr<LogTable> table,
+                                  std::uint32_t part) {
+  if (!options_.backgroundCompaction) {
+    return;
+  }
+  {
+    UniqueLock lock(queueMu_);
+    if (stopping_) {
+      return;
+    }
+    for (const CompactionItem& item : queue_) {
+      if (item.table == table && item.part == part) {
+        return;  // Already queued; compaction is idempotent-enough.
+      }
+    }
+    queue_.push_back(CompactionItem{std::move(table), part});
+  }
+  queueCv_.notify_one();
+}
+
+void LogStore::compactionLoop() {
+  for (;;) {
+    CompactionItem item;
+    {
+      UniqueLock lock(queueMu_);
+      queueCv_.wait(lock, [&]() RIPPLE_REQUIRES(queueMu_) {
+        return stopping_ || !queue_.empty();
+      });
+      if (stopping_) {
+        return;  // Remaining compactions are optional work; commit will
+                 // flush the same data through the logs.
+      }
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      compactOne(item.table, item.part);
+    } catch (const std::exception& e) {
+      RIPPLE_WARN << "LogStore: compaction of '" << path_ << "' failed: "
+                  << e.what();
+    }
+    refreshGauges();
+  }
+}
+
+void LogStore::compactOne(const std::shared_ptr<LogTable>& table,
+                          std::uint32_t part) {
+  if (table->dropped()) {
+    return;
+  }
+  std::vector<std::string> superseded;
+  {
+    LockGuard ml(manifestMu_);
+    {
+      LockGuard dl(dataMu_);
+      superseded = table->compactPart(part, path_);
+    }
+    if (superseded.empty()) {
+      return;
+    }
+    logstore::syncDir(path_);
+    for (const std::string& f : superseded) {
+      obsoleteFiles_.push_back(f);
+    }
+  }
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void LogStore::compactNow() {
+  std::vector<std::pair<std::shared_ptr<LogTable>, std::uint32_t>> work;
+  {
+    LockGuard tl(tablesMu_);
+    for (const auto& [name, t] : tables_) {
+      for (std::uint32_t p = 0; p < t->numParts(); ++p) {
+        work.emplace_back(t, p);
+      }
+    }
+  }
+  for (const auto& [table, part] : work) {
+    compactOne(table, part);
+  }
+  refreshGauges();
+}
+
+LogStore::Stats LogStore::stats() const {
+  Stats s;
+  {
+    LockGuard tl(tablesMu_);
+    LockGuard dl(dataMu_);
+    for (const auto& [name, t] : tables_) {
+      t->accumulateStats(s);
+    }
+  }
+  s.compactions = compactions_.load(std::memory_order_relaxed);
+  s.commits = commits_.load(std::memory_order_relaxed);
+  s.lastRecoverySeconds = lastRecoverySeconds_.load(std::memory_order_acquire);
+  return s;
+}
+
+void LogStore::bindLogMetrics(obs::MetricsRegistry& registry,
+                              const std::string& prefix) {
+  logRegistry_ = &registry;
+  logPrefix_ = prefix;
+  // The recovery that already happened at open() lands in the histogram
+  // retroactively; everything else updates as commits/compactions run.
+  registry.histogram(prefix + ".recovery_seconds")
+      .record(lastRecoverySeconds_.load(std::memory_order_acquire));
+  refreshGauges();
+}
+
+void LogStore::recordFold(double seconds) {
+  if (logRegistry_ != nullptr) {
+    logRegistry_->histogram(logPrefix_ + ".fold_seconds").record(seconds);
+  }
+}
+
+void LogStore::refreshGauges() {
+  if (logRegistry_ == nullptr) {
+    return;
+  }
+  const Stats s = stats();
+  logRegistry_->gauge(logPrefix_ + ".segments")
+      .set(static_cast<double>(s.sealedSegments));
+  logRegistry_->gauge(logPrefix_ + ".segment_bytes")
+      .set(static_cast<double>(s.sealedBytes));
+  logRegistry_->gauge(logPrefix_ + ".log_bytes")
+      .set(static_cast<double>(s.logBytes));
+  logRegistry_->gauge(logPrefix_ + ".pending_bytes")
+      .set(static_cast<double>(s.pendingBytes));
+  logRegistry_->gauge(logPrefix_ + ".epoch")
+      .set(static_cast<double>(lastCommitted_.load(std::memory_order_acquire)));
+  logRegistry_->gauge(logPrefix_ + ".compactions")
+      .set(static_cast<double>(s.compactions));
+  logRegistry_->gauge(logPrefix_ + ".commits")
+      .set(static_cast<double>(s.commits));
+}
+
+}  // namespace ripple::kv

@@ -1,0 +1,199 @@
+// LogStore: the durable, log-structured implementation of the K/V store
+// SPI (DESIGN.md §14).
+//
+// Layout on disk, one directory per store:
+//
+//   MANIFEST                 append-only epoch begin/commit stream
+//   t<id>_p<part>_g<gen>.log append-only mutation log of one table part
+//   t<id>_p<part>_g<gen>.seg sealed sorted segment (mmap'd for reads)
+//
+// Every part pairs a sealed segment (the folded past) with an in-memory
+// append-only write buffer mirroring the log tail — ShardStore's fold
+// discipline given a persistence layer.  Reads scan the buffer newest-
+// first and fall through to a binary search of the sealed segment; scans
+// and drains fold buffer over segment into the SPI's canonical
+// ascending-key order.
+//
+// Durability is epoch-granular: mutations buffer in memory until
+// commitEpoch() flushes and fsyncs every dirty part log, then appends a
+// commit record to the checksummed manifest (begin marker first, commit
+// last — the torn-checkpoint discipline of src/ebsp/checkpoint.*).  On
+// reopen the store recovers to the LAST COMMITTED epoch: torn log tails
+// are truncated, un-committed epochs (and the table creates, compactions
+// and drops inside them) roll back, stray files are deleted.  The sync
+// engine commits an epoch after every successful checkpoint, which is
+// what makes a kill -9 resumable (see DurableStore below).
+//
+// Background compaction folds a part's buffer and sealed segment into a
+// new sealed generation plus a fresh empty log, bounded to one part at a
+// time; the superseded generation files are retained until the next
+// commit record stops referencing them, so a crash mid-compaction always
+// recovers from intact files.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ranked_mutex.h"
+#include "common/thread_annotations.h"
+#include "kvstore/manifest.h"
+#include "kvstore/segment.h"
+#include "kvstore/table.h"
+
+namespace ripple::kv {
+
+/// Durability side-interface, discovered via dynamic_cast (the storage
+/// SPI itself stays backend-neutral; memory-only backends simply don't
+/// implement it).  The sync engine calls commitEpoch() after every
+/// successful checkpoint so the on-disk state it would resume from is
+/// always a checkpoint boundary.
+class DurableStore {
+ public:
+  virtual ~DurableStore() = default;
+
+  /// Flush and fsync every dirty part log, then commit the epoch in the
+  /// manifest.  On return the store's entire state survives power loss.
+  virtual void commitEpoch() = 0;
+
+  /// Epoch of the last durable commit (0 = nothing committed yet).
+  [[nodiscard]] virtual std::uint64_t lastCommittedEpoch() const = 0;
+
+  /// Directory the store persists into.
+  [[nodiscard]] virtual const std::string& storePath() const = 0;
+};
+
+class LogStore : public KVStore,
+                 public DurableStore,
+                 public std::enable_shared_from_this<LogStore> {
+ public:
+  struct Options {
+    /// Store directory.  Empty picks a fresh private directory under the
+    /// system temp root which is DELETED when the store is destroyed —
+    /// that keeps `RIPPLE_STORE=log` usable for whole test suites without
+    /// path collisions; durability across processes needs an explicit
+    /// path (RIPPLE_STORE_PATH / --store-path / EngineOptions::storePath).
+    std::string path;
+
+    /// Per-part pending-log bytes that trigger a compaction.
+    std::size_t compactBytes = 256 * 1024;
+
+    /// Run compactions on a background thread (true) or only via
+    /// compactNow() (false; recovery tests pin file states).
+    bool backgroundCompaction = true;
+  };
+
+  /// Open (creating or recovering) a store.  Throws logstore::SegmentError
+  /// when committed on-disk state fails validation.
+  static std::shared_ptr<LogStore> open(Options options);
+  static std::shared_ptr<LogStore> open(const std::string& path) {
+    Options o;
+    o.path = path;
+    return open(std::move(o));
+  }
+
+  /// Commits a final epoch (clean shutdown), joins the compaction
+  /// thread, and removes the directory if it was ephemeral.
+  ~LogStore() override;
+
+  // KVStore.
+  TablePtr createTable(const std::string& name, TableOptions options) override;
+  TablePtr lookupTable(const std::string& name) override;
+  void dropTable(const std::string& name) override;
+  void runInParts(const Table& placement,
+                  const std::function<void(std::uint32_t)>& fn) override;
+  void runInPart(const Table& placement, std::uint32_t part,
+                 const std::function<void()>& fn) override;
+  StoreMetrics& metrics() override { return metrics_; }
+  [[nodiscard]] const char* backendName() const override { return "log"; }
+
+  // DurableStore.
+  void commitEpoch() override;
+  [[nodiscard]] std::uint64_t lastCommittedEpoch() const override;
+  [[nodiscard]] const std::string& storePath() const override {
+    return path_;
+  }
+
+  /// Synchronously compact every part of every table (tests, and the
+  /// only compaction path when backgroundCompaction is off).
+  void compactNow();
+
+  /// Point-in-time store shape, for tests and gauge refreshes.
+  struct Stats {
+    std::uint64_t sealedSegments = 0;
+    std::uint64_t sealedBytes = 0;
+    std::uint64_t logBytes = 0;       // Committed log bytes on disk.
+    std::uint64_t pendingBytes = 0;   // Buffered, not yet committed.
+    std::uint64_t compactions = 0;
+    std::uint64_t commits = 0;
+    double lastRecoverySeconds = 0.0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Mirror log-store internals into `registry` as `<prefix>.segments`,
+  /// `.segment_bytes`, `.log_bytes`, `.compactions`, `.commits` gauges/
+  /// counters plus `.fold_seconds` and `.recovery_seconds` histograms.
+  void bindLogMetrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix = "store.log");
+
+ private:
+  class LogTable;
+  struct CompactionItem {
+    std::shared_ptr<LogTable> table;
+    std::uint32_t part = 0;
+  };
+
+  explicit LogStore(Options options);
+  void recover();
+  void compactionLoop();
+  void scheduleCompaction(std::shared_ptr<LogTable> table, std::uint32_t part);
+  void compactOne(const std::shared_ptr<LogTable>& table, std::uint32_t part);
+  void refreshGauges();
+  void recordFold(double seconds);
+  void removeStrayFiles();
+
+  Options options_;
+  std::string path_;
+  bool ephemeral_ = false;
+
+  // Lock order (strict descent, DESIGN.md §12): tables_(30) → manifest
+  // (27) → part data (20).  The compaction queue (24) is only ever taken
+  // with nothing else held.
+  mutable RankedMutex<LockRank::kStoreTableMap> tablesMu_;
+  std::unordered_map<std::string, std::shared_ptr<LogTable>> tables_
+      RIPPLE_GUARDED_BY(tablesMu_);
+
+  mutable RankedMutex<LockRank::kStoreManifest> manifestMu_;
+  logstore::AppendFile manifest_ RIPPLE_GUARDED_BY(manifestMu_);
+  std::vector<std::string> obsoleteFiles_ RIPPLE_GUARDED_BY(manifestMu_);
+  std::uint64_t nextTableId_ RIPPLE_GUARDED_BY(manifestMu_) = 1;
+
+  // One coarse recursive lock serializes all part data, LocalStore-style
+  // (consumer callbacks may re-enter table operations); the log-structured
+  // layout, not lock striping, is this backend's contribution.
+  mutable RankedRecursiveMutex<LockRank::kStoreStripe> dataMu_;
+
+  std::atomic<std::uint64_t> lastCommitted_{0};
+  std::atomic<std::uint64_t> compactions_{0};
+  std::atomic<std::uint64_t> commits_{0};
+  std::atomic<double> lastRecoverySeconds_{0.0};
+
+  // Compaction plumbing.
+  RankedMutex<LockRank::kStoreBuffer> queueMu_;
+  std::condition_variable_any queueCv_;
+  std::deque<CompactionItem> queue_ RIPPLE_GUARDED_BY(queueMu_);
+  bool stopping_ RIPPLE_GUARDED_BY(queueMu_) = false;
+  std::thread compactor_;
+
+  StoreMetrics metrics_;
+  obs::MetricsRegistry* logRegistry_ = nullptr;
+  std::string logPrefix_;
+};
+
+}  // namespace ripple::kv

@@ -1,0 +1,133 @@
+#include "kvstore/manifest.h"
+
+#include "kvstore/segment.h"
+
+namespace ripple::kv::logstore {
+
+namespace {
+
+constexpr std::uint8_t kBegin = 1;
+constexpr std::uint8_t kCommit = 2;
+
+/// Parts per table and tables per store are bounded sanity caps, not
+/// functional limits: a fuzzer-supplied count of 2^60 must not drive a
+/// 2^60-iteration loop before the payload runs dry.
+constexpr std::uint64_t kMaxTables = 1u << 20;
+constexpr std::uint64_t kMaxParts = 1u << 20;
+
+}  // namespace
+
+Bytes encodeBeginRecord(std::uint64_t epoch) {
+  ByteWriter w;
+  w.putU8(kBegin);
+  w.putVarint(epoch);
+  return w.take();
+}
+
+Bytes encodeCommitRecord(const ManifestState& state) {
+  ByteWriter w;
+  w.putU8(kCommit);
+  w.putVarint(state.epoch);
+  w.putVarint(state.nextTableId);
+  w.putVarint(state.tables.size());
+  for (const TableState& t : state.tables) {
+    w.putBytes(t.name);
+    w.putVarint(t.id);
+    w.putVarint(t.parts);
+    w.putBool(t.ordered);
+    w.putBool(t.ubiquitous);
+    for (const PartState& p : t.partStates) {
+      w.putVarint(p.logGen);
+      w.putVarint(p.committedLen);
+      w.putVarint(p.sealedGen);
+    }
+  }
+  return w.take();
+}
+
+std::optional<ManifestRecord> decodeManifestRecord(
+    BytesView payload) noexcept {
+  try {
+    ByteReader r(payload);
+    ManifestRecord rec;
+    const std::uint8_t kind = r.getU8();
+    if (kind == kBegin) {
+      rec.epoch = r.getVarint();
+      if (!r.atEnd()) {
+        return std::nullopt;
+      }
+      return rec;
+    }
+    if (kind != kCommit) {
+      return std::nullopt;
+    }
+    rec.isCommit = true;
+    rec.state.epoch = rec.epoch = r.getVarint();
+    rec.state.nextTableId = r.getVarint();
+    const std::uint64_t nTables = r.getVarint();
+    if (nTables > kMaxTables) {
+      return std::nullopt;
+    }
+    rec.state.tables.reserve(static_cast<std::size_t>(nTables));
+    for (std::uint64_t i = 0; i < nTables; ++i) {
+      TableState t;
+      t.name = Bytes(r.getBytes());
+      t.id = r.getVarint();
+      const std::uint64_t parts = r.getVarint();
+      if (parts == 0 || parts > kMaxParts) {
+        return std::nullopt;
+      }
+      t.parts = static_cast<std::uint32_t>(parts);
+      t.ordered = r.getBool();
+      t.ubiquitous = r.getBool();
+      t.partStates.resize(static_cast<std::size_t>(parts));
+      for (PartState& p : t.partStates) {
+        p.logGen = r.getVarint();
+        p.committedLen = r.getVarint();
+        p.sealedGen = r.getVarint();
+      }
+      if (t.id == 0 || t.id >= rec.state.nextTableId) {
+        return std::nullopt;  // Ids are allocated below nextTableId.
+      }
+      rec.state.tables.push_back(std::move(t));
+    }
+    if (!r.atEnd()) {
+      return std::nullopt;
+    }
+    return rec;
+  } catch (const CodecError&) {
+    return std::nullopt;
+  }
+}
+
+ManifestRecovery recoverManifest(BytesView manifest) noexcept {
+  ManifestRecovery out;
+  std::size_t pos = 0;
+  bool sawRecordAfterCommit = false;
+  while (pos < manifest.size()) {
+    const std::optional<Frame> frame = readFrame(manifest, pos);
+    if (!frame) {
+      break;  // Torn tail: the stream ends at the last whole record.
+    }
+    const std::optional<ManifestRecord> rec =
+        decodeManifestRecord(frame->payload);
+    if (!rec) {
+      break;  // A framed-but-meaningless record reads as corruption; stop.
+    }
+    if (rec->isCommit) {
+      out.state = rec->state;
+      out.hasCommit = true;
+      out.validBytes = frame->end;
+      sawRecordAfterCommit = false;
+    } else {
+      sawRecordAfterCommit = true;
+    }
+    pos = frame->end;
+  }
+  // Anything after the last commit — a lone begin, a torn frame, garbage
+  // bytes — marks an epoch that died before committing.
+  out.tornEpoch = sawRecordAfterCommit || pos < manifest.size();
+  return out;
+}
+
+}  // namespace ripple::kv::logstore

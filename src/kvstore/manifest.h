@@ -1,0 +1,82 @@
+// The log store's manifest (DESIGN.md §14): a single append-only stream
+// of framed records that makes epochs atomic.
+//
+// Two record kinds exist, mirroring the torn-checkpoint discipline of
+// src/ebsp/checkpoint.* (begin written BEFORE the data it covers, commit
+// written last):
+//
+//   begin{epoch}   — appended before any part log is flushed for `epoch`.
+//   commit{state}  — appended after every part log has been fsynced;
+//                    carries the COMPLETE store state: table catalog and,
+//                    per part, the log generation + committed byte length
+//                    + sealed-segment generation.
+//
+// Recovery scans the stream front to back and adopts the LAST valid
+// commit record; everything after it — a begin with no commit, a torn
+// half-written commit, trailing garbage — is the signature of a death
+// mid-epoch and is dropped (the manifest is truncated back to the commit
+// on reopen).  A begin after the last commit is surfaced as `tornEpoch`
+// for observability, but carries no state.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace ripple::kv::logstore {
+
+/// Durable per-part state: which generation files hold the part and how
+/// many log bytes were committed.
+struct PartState {
+  std::uint64_t logGen = 1;
+  std::uint64_t committedLen = 0;
+  std::uint64_t sealedGen = 0;  // 0 = no sealed segment.
+};
+
+struct TableState {
+  std::string name;
+  std::uint64_t id = 0;
+  std::uint32_t parts = 1;
+  bool ordered = false;
+  bool ubiquitous = false;
+  std::vector<PartState> partStates;
+};
+
+/// The complete durable state one commit record carries.
+struct ManifestState {
+  std::uint64_t epoch = 0;
+  std::uint64_t nextTableId = 1;
+  std::vector<TableState> tables;
+};
+
+[[nodiscard]] Bytes encodeBeginRecord(std::uint64_t epoch);
+[[nodiscard]] Bytes encodeCommitRecord(const ManifestState& state);
+
+/// Decode one record payload (already de-framed).  nullopt for anything
+/// malformed — unknown kind, truncated fields, trailing bytes, or
+/// internally inconsistent geometry.  Never throws, never reads out of
+/// bounds (the fuzz harness drives this directly).
+struct ManifestRecord {
+  bool isCommit = false;
+  std::uint64_t epoch = 0;           // begin and commit both carry one.
+  ManifestState state;               // Populated for commits.
+};
+[[nodiscard]] std::optional<ManifestRecord> decodeManifestRecord(
+    BytesView payload) noexcept;
+
+struct ManifestRecovery {
+  ManifestState state;       // Last committed state; default when !hasCommit.
+  bool hasCommit = false;
+  bool tornEpoch = false;    // A begin (or garbage) follows the last commit.
+  std::uint64_t validBytes = 0;  // Stream prefix ending at the last commit.
+};
+
+/// Scan a manifest image and recover the last committed state.  Stops at
+/// the first invalid frame (torn tail).  Never throws.
+[[nodiscard]] ManifestRecovery recoverManifest(BytesView manifest) noexcept;
+
+}  // namespace ripple::kv::logstore

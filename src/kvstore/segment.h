@@ -1,0 +1,197 @@
+// On-disk building blocks for the durable log store (DESIGN.md §14).
+//
+// Three layers live here, and ONLY here — scripts/lint.sh forbids raw
+// file-descriptor I/O (::open/::write/::fsync/::mmap) anywhere else so
+// the durability story is auditable in one file:
+//
+//  * Frames: every record on disk (part-log records and manifest records
+//    alike) is framed [fixed32 len][fixed64 check][payload] where the
+//    check covers both the payload and the length.  readFrame() never
+//    throws: a short, bit-flipped, or torn frame decodes to nullopt,
+//    which recovery interprets as "the log ends here".
+//  * AppendFile: an append-only fd with explicit sync(); recovery can
+//    reopen one truncated to the last committed length, dropping a torn
+//    tail.
+//  * SealedSegment: an immutable, sorted, checksummed key/value file
+//    (entries + offset index + footer) opened read-only via mmap for
+//    binary-searched point reads.  open() validates the whole file —
+//    magic, checksum, index bounds, strict key order — and throws
+//    SegmentError on any corruption; openFromBytes() backs the fuzz
+//    harness with the identical decoder.
+//
+// Part-log records (LogRecord) are the logical mutation stream one table
+// part appends: put/erase/clear.  Replaying a part log's committed prefix
+// over its sealed segment reproduces the part's state exactly.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace ripple::kv::logstore {
+
+/// Thrown when a sealed segment or manifest fails validation (corruption
+/// of COMMITTED data — unlike a torn tail, this is not silently
+/// recoverable).
+class SegmentError : public std::runtime_error {
+ public:
+  explicit SegmentError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// --- Record framing -------------------------------------------------------
+
+/// Bytes of frame overhead preceding every payload.
+inline constexpr std::size_t kFrameHeader = 12;
+
+/// Append one framed record to `out`.
+void appendFrame(Bytes& out, BytesView payload);
+
+struct Frame {
+  BytesView payload;
+  std::size_t end;  // Offset just past this frame.
+};
+
+/// Decode the frame starting at `pos`.  Returns nullopt when the buffer
+/// ends cleanly at `pos`, when the frame is truncated, or when the
+/// checksum does not match — all three read as "no valid record here".
+[[nodiscard]] std::optional<Frame> readFrame(BytesView buf,
+                                             std::size_t pos) noexcept;
+
+// --- Part-log records -----------------------------------------------------
+
+enum class LogOp : std::uint8_t {
+  kPut = 1,
+  kErase = 2,
+  kClear = 3,
+};
+
+struct LogRecord {
+  LogOp op = LogOp::kPut;
+  Bytes key;
+  Bytes value;
+};
+
+/// Encode a record payload (frame it with appendFrame for disk).
+[[nodiscard]] Bytes encodeLogRecord(LogOp op, BytesView key, BytesView value);
+
+/// Decode a record payload; nullopt on any malformation (unknown op,
+/// truncated fields, trailing garbage).
+[[nodiscard]] std::optional<LogRecord> decodeLogRecord(
+    BytesView payload) noexcept;
+
+// --- File primitives ------------------------------------------------------
+
+/// Append-only file handle.  All writes go straight to the fd; sync()
+/// makes them durable.  Move-only.
+class AppendFile {
+ public:
+  AppendFile() = default;
+  ~AppendFile();
+
+  AppendFile(AppendFile&& other) noexcept;
+  AppendFile& operator=(AppendFile&& other) noexcept;
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  /// Open (creating if absent) and position at the current end.
+  void open(const std::string& path);
+
+  /// Open and truncate to `length` first — recovery drops a torn tail by
+  /// reopening the log at its last committed length.
+  void openTruncated(const std::string& path, std::uint64_t length);
+
+  [[nodiscard]] bool isOpen() const { return fd_ >= 0; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Current file length in bytes (tracked; equals on-disk size).
+  [[nodiscard]] std::uint64_t size() const { return size_; }
+
+  void append(BytesView data);
+
+  /// fsync the fd; after return the appended bytes survive power loss.
+  void sync();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+  std::string path_;
+};
+
+/// Read a whole file into memory; throws SegmentError if unreadable.
+[[nodiscard]] Bytes readFileBytes(const std::string& path);
+
+/// Write `bytes` to `path` (replacing it) and fsync before returning.
+void writeFileDurable(const std::string& path, BytesView bytes);
+
+/// fsync a directory so created/renamed/unlinked names are durable.
+void syncDir(const std::string& path);
+
+// --- Sealed segments ------------------------------------------------------
+
+/// Immutable sorted key/value file.
+///
+///   [magic "RSG1"]
+///   entries: n × [fixed32 klen][fixed32 vlen][key][value]
+///   index:   n × [fixed64 entryOffset]   (ascending)
+///   footer:  [fixed64 indexOff][fixed64 n][fixed64 check][magic "1GSR"]
+///
+/// `check` = fnv1a64 over everything before the check field.  Keys are
+/// strictly ascending (byte-lexicographic), enforced at open.
+class SealedSegment {
+ public:
+  /// Encode a sealed segment image from ascending-key, duplicate-free
+  /// pairs (the fold output).
+  [[nodiscard]] static Bytes encode(
+      const std::vector<std::pair<Bytes, Bytes>>& sorted);
+
+  /// Map `path` read-only and validate; throws SegmentError on any
+  /// corruption.
+  void open(const std::string& path);
+
+  /// Validate and adopt an in-memory image (fuzzing and tests).
+  void openFromBytes(Bytes image);
+
+  [[nodiscard]] bool isOpen() const { return data_ != nullptr; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sizeBytes() const { return size_; }
+
+  /// Binary-searched point read; the view borrows from the mapping.
+  [[nodiscard]] std::optional<BytesView> find(BytesView key) const;
+
+  /// i-th entry in ascending key order.
+  [[nodiscard]] std::pair<BytesView, BytesView> entry(std::uint64_t i) const;
+
+  void close();
+
+  SealedSegment() = default;
+  ~SealedSegment();
+  SealedSegment(SealedSegment&& other) noexcept;
+  SealedSegment& operator=(SealedSegment&& other) noexcept;
+  SealedSegment(const SealedSegment&) = delete;
+  SealedSegment& operator=(const SealedSegment&) = delete;
+
+ private:
+  void validate(const std::string& origin);
+  [[nodiscard]] std::uint64_t offsetAt(std::uint64_t i) const;
+
+  const char* data_ = nullptr;
+  std::uint64_t size_ = 0;
+  std::uint64_t indexOff_ = 0;
+  std::uint64_t count_ = 0;
+
+  // Backing storage: either an mmap (munmap'd on close) or an owned heap
+  // buffer (openFromBytes, or the read() fallback when mmap fails).
+  void* map_ = nullptr;
+  std::uint64_t mapLen_ = 0;
+  Bytes owned_;
+};
+
+}  // namespace ripple::kv::logstore

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "kvstore/local_store.h"
+#include "kvstore/log_store.h"
 #include "kvstore/partitioned_store.h"
 #include "kvstore/shard_store.h"
 
@@ -29,6 +30,9 @@ std::optional<StoreBackend> parseStoreBackend(const std::string& name) {
   if (name == "remote") {
     return StoreBackend::kRemote;
   }
+  if (name == "log") {
+    return StoreBackend::kLog;
+  }
   return std::nullopt;
 }
 
@@ -40,6 +44,8 @@ const char* storeBackendName(StoreBackend backend) {
       return "local";
     case StoreBackend::kRemote:
       return "remote";
+    case StoreBackend::kLog:
+      return "log";
     case StoreBackend::kPartitioned:
     case StoreBackend::kDefault:
       break;
@@ -59,12 +65,21 @@ StoreBackend resolveStoreBackend(StoreBackend requested) {
     return *parsed;
   }
   RIPPLE_WARN << "RIPPLE_STORE='" << env
-              << "' is not a backend name (partitioned|shard|local|remote); "
-                 "using partitioned";
+              << "' is not a backend name "
+                 "(partitioned|shard|local|remote|log); using partitioned";
   return StoreBackend::kPartitioned;
 }
 
-KVStorePtr makeStore(StoreBackend backend, std::uint32_t containers) {
+std::string resolveStorePath(const std::string& storePath) {
+  if (!storePath.empty()) {
+    return storePath;
+  }
+  const char* env = std::getenv("RIPPLE_STORE_PATH");
+  return env == nullptr ? std::string() : std::string(env);
+}
+
+KVStorePtr makeStore(StoreBackend backend, std::uint32_t containers,
+                     const std::string& storePath) {
   switch (resolveStoreBackend(backend)) {
     case StoreBackend::kShard:
       return ShardStore::create(containers);
@@ -72,6 +87,8 @@ KVStorePtr makeStore(StoreBackend backend, std::uint32_t containers) {
       return LocalStore::create();
     case StoreBackend::kRemote:
       return ripple::net::makeRemoteStoreFromEnv(containers);
+    case StoreBackend::kLog:
+      return LogStore::open(resolveStorePath(storePath));
     case StoreBackend::kPartitioned:
     case StoreBackend::kDefault:
       break;

@@ -1,13 +1,16 @@
 // Backend selection for the K/V store SPI.
 //
-// Four backends ship (DESIGN.md §10–11); callers pick one per run via
-// EngineOptions::storeBackend, the RIPPLE_STORE environment variable
-// ("partitioned" | "shard" | "local" | "remote"), or a bench harness's
-// --store flag.  The SPI conformance suite asserts the choice is
-// behaviorally invisible: PageRank/SSSP/SUMMA snapshots are byte-identical
-// across backends.  "remote" speaks the ripple::net wire protocol to one
-// or more net::Server processes (RIPPLE_REMOTE_ENDPOINTS), spinning an
-// implicit in-process loopback server when none are given.
+// Five backends ship (DESIGN.md §10–11, §14); callers pick one per run
+// via EngineOptions::storeBackend, the RIPPLE_STORE environment variable
+// ("partitioned" | "shard" | "local" | "remote" | "log"), or a bench
+// harness's --store flag.  The SPI conformance suite asserts the choice
+// is behaviorally invisible: PageRank/SSSP/SUMMA snapshots are
+// byte-identical across backends.  "remote" speaks the ripple::net wire
+// protocol to one or more net::Server processes (RIPPLE_REMOTE_ENDPOINTS),
+// spinning an implicit in-process loopback server when none are given.
+// "log" is the durable log-structured backend; it persists into
+// RIPPLE_STORE_PATH / --store-path / EngineOptions::storePath, or a
+// throwaway temp directory when no path is given.
 
 #pragma once
 
@@ -25,15 +28,16 @@ enum class StoreBackend {
   kShard,
   kLocal,
   kRemote,
+  kLog,
 };
 
-/// "partitioned" | "shard" | "local" | "remote" (case-sensitive); nullopt
-/// otherwise.
+/// "partitioned" | "shard" | "local" | "remote" | "log" (case-sensitive);
+/// nullopt otherwise.
 [[nodiscard]] std::optional<StoreBackend> parseStoreBackend(
     const std::string& name);
 
 /// Canonical name of a concrete backend
-/// ("partitioned"/"shard"/"local"/"remote"); kDefault resolves first.
+/// ("partitioned"/"shard"/"local"/"remote"/"log"); kDefault resolves first.
 [[nodiscard]] const char* storeBackendName(StoreBackend backend);
 
 /// Resolve kDefault through RIPPLE_STORE; unset picks kPartitioned, and a
@@ -45,7 +49,16 @@ enum class StoreBackend {
 /// Create a store of the resolved backend with `containers` locations
 /// (executor domains).  PartitionedStore calls them containers,
 /// ShardStore locations; LocalStore runs inline and ignores the count.
+/// The log backend persists into `storePath` (empty resolves through
+/// RIPPLE_STORE_PATH, then a fresh temp directory deleted on close);
+/// other backends ignore it.
 [[nodiscard]] KVStorePtr makeStore(StoreBackend backend,
-                                   std::uint32_t containers);
+                                   std::uint32_t containers,
+                                   const std::string& storePath = {});
+
+/// The store directory the log backend would use for `storePath`:
+/// `storePath` itself when set, else RIPPLE_STORE_PATH, else "" (which
+/// LogStore turns into an ephemeral temp directory).
+[[nodiscard]] std::string resolveStorePath(const std::string& storePath);
 
 }  // namespace ripple::kv

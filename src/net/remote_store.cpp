@@ -642,7 +642,8 @@ kv::KVStorePtr makeRemoteStoreFromEnv(std::uint32_t containers,
       loopback.hostedBackend = *parsed;
     } else {
       RIPPLE_WARN << "RIPPLE_REMOTE_HOSTED='" << hosted
-                  << "' is not a hostable backend (partitioned|shard|local); "
+                  << "' is not a hostable backend "
+                     "(partitioned|shard|local|log); "
                      "using partitioned";
     }
   }

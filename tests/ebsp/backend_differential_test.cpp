@@ -36,10 +36,12 @@ namespace {
 
 // kRemote resolves (with RIPPLE_REMOTE_* unset) to an implicit loopback
 // net::Server, so the remote legs push every byte of application state
-// through the frame codec and TCP.
+// through the frame codec and TCP.  kLog (with no path configured) opens
+// an ephemeral on-disk directory, so its legs push every byte through
+// the log-structured durable layout.
 const std::vector<kv::StoreBackend> kBackends = {
     kv::StoreBackend::kPartitioned, kv::StoreBackend::kShard,
-    kv::StoreBackend::kRemote};
+    kv::StoreBackend::kRemote, kv::StoreBackend::kLog};
 
 graph::Graph testGraph(std::uint32_t vertices, std::uint32_t edges,
                        std::uint64_t seed) {
@@ -245,7 +247,9 @@ TEST(BackendDifferential, ParseStoreBackend) {
   EXPECT_EQ(kv::parseStoreBackend("shard"), kv::StoreBackend::kShard);
   EXPECT_EQ(kv::parseStoreBackend("local"), kv::StoreBackend::kLocal);
   EXPECT_EQ(kv::parseStoreBackend("remote"), kv::StoreBackend::kRemote);
+  EXPECT_EQ(kv::parseStoreBackend("log"), kv::StoreBackend::kLog);
   EXPECT_EQ(kv::parseStoreBackend(""), std::nullopt);
+  EXPECT_EQ(kv::parseStoreBackend("Log"), std::nullopt);
   EXPECT_EQ(kv::parseStoreBackend("Shard"), std::nullopt);
   EXPECT_EQ(kv::parseStoreBackend("Remote"), std::nullopt);
   EXPECT_EQ(kv::parseStoreBackend("rocksdb"), std::nullopt);
@@ -279,6 +283,8 @@ TEST(BackendDifferential, MakeEngineStoreUsesRequestedBackend) {
   EngineOptions eopts;
   eopts.storeBackend = kv::StoreBackend::kShard;
   EXPECT_STREQ(makeEngineStore(eopts, 4)->backendName(), "shard");
+  eopts.storeBackend = kv::StoreBackend::kLog;
+  EXPECT_STREQ(makeEngineStore(eopts, 4)->backendName(), "log");
   eopts.storeBackend = kv::StoreBackend::kDefault;
   EXPECT_STREQ(makeEngineStore(eopts, 4)->backendName(), "partitioned");
   ::setenv("RIPPLE_STORE", "shard", 1);

@@ -1,0 +1,437 @@
+// Torn-write crash matrix for the durable log store (DESIGN.md §14).
+//
+// The tests build a reference store with two committed epochs, snapshot
+// the directory after each, and then replay every crash state a power
+// cut could leave behind:
+//
+//  * the manifest cut at EVERY byte boundary (mid-begin, begin-without-
+//    commit, torn commit record, clean commit boundary), and
+//  * a part log cut at EVERY byte boundary of the bytes one epoch
+//    appended, under a begin-without-commit manifest.
+//
+// Recovery must land exactly on the last committed epoch: the full
+// content of that epoch, no partial records, and nothing from the torn
+// epoch.  Corruption *inside* a committed prefix is different — that is
+// fatal (SegmentError), never silently patched over.
+//
+// Every scenario works on a copy of a snapshot, never the original, so
+// the matrices are independent and order-insensitive.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "kvstore/log_store.h"
+#include "kvstore/manifest.h"
+#include "kvstore/segment.h"
+#include "kvstore/table.h"
+
+namespace fs = std::filesystem;
+namespace kv = ripple::kv;
+namespace ls = ripple::kv::logstore;
+
+namespace {
+
+constexpr const char* kTable = "pages";
+constexpr std::uint32_t kParts = 3;
+
+/// Gather a table's full contents; part enumeration may be concurrent.
+class Collector : public kv::PairConsumer {
+ public:
+  bool consume(std::uint32_t /*part*/, kv::KeyView key,
+               kv::ValueView value) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    pairs_.emplace(std::string(key), std::string(value));
+    return true;
+  }
+
+  std::map<std::string, std::string> pairs_;
+
+ private:
+  std::mutex mu_;
+};
+
+std::map<std::string, std::string> contents(kv::KVStore& store) {
+  kv::TablePtr t = store.lookupTable(kTable);
+  if (t == nullptr) {
+    return {};
+  }
+  Collector c;
+  t->enumerate(c);
+  return std::move(c.pairs_);
+}
+
+void copyDir(const fs::path& from, const fs::path& to) {
+  fs::remove_all(to);
+  fs::create_directories(to);
+  for (const auto& entry : fs::directory_iterator(from)) {
+    fs::copy_file(entry.path(), to / entry.path().filename());
+  }
+}
+
+void flipByte(const fs::path& p, std::uint64_t off) {
+  std::fstream f(p, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open()) << p;
+  f.seekg(static_cast<std::streamoff>(off));
+  char c = 0;
+  f.get(c);
+  f.seekp(static_cast<std::streamoff>(off));
+  f.put(static_cast<char>(c ^ 0x5a));
+}
+
+void appendBytes(const fs::path& p, const std::string& bytes) {
+  std::ofstream f(p, std::ios::app | std::ios::binary);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+class LogStoreRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("ripple-logrec-" + std::to_string(::getpid()) + "-" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::shared_ptr<kv::LogStore> open(const fs::path& dir) {
+    kv::LogStore::Options o;
+    o.path = dir.string();
+    // Compaction only via compactNow() so the matrices pin file states.
+    o.backgroundCompaction = false;
+    return kv::LogStore::open(std::move(o));
+  }
+
+  /// Two sessions against `base`, snapshotting the directory after each
+  /// clean close.  Epoch numbering on disk: the explicit commit plus the
+  /// destructor's shutdown commit per session, all carrying the same
+  /// content — so snapA holds epochs {1..epochA_} with contentA_, and
+  /// snapB additionally {epochA_+1..epochB_} with contentB_.
+  void buildReference() {
+    const fs::path base = root_ / "base";
+    {
+      auto store = open(base);
+      kv::TableOptions opts;
+      opts.parts = kParts;
+      kv::TablePtr t = store->createTable(kTable, opts);
+      for (int i = 0; i < 24; ++i) {
+        t->put("k" + std::to_string(i), "a" + std::to_string(i * 3));
+      }
+      store->commitEpoch();
+      contentA_ = contents(*store);
+    }
+    copyDir(base, snapA_ = root_ / "snapA");
+    {
+      auto store = open(base);
+      kv::TablePtr t = store->lookupTable(kTable);
+      ASSERT_NE(t, nullptr);
+      for (int i = 24; i < 40; ++i) {
+        t->put("k" + std::to_string(i), "b" + std::to_string(i));
+      }
+      for (int i = 0; i < 8; i += 2) {
+        t->erase("k" + std::to_string(i));
+      }
+      t->put("k1", "rewritten");
+      store->commitEpoch();
+      contentB_ = contents(*store);
+    }
+    copyDir(base, snapB_ = root_ / "snapB");
+    // Committed-epoch numbers come from a recovery, not from the writing
+    // sessions (the destructor commits once more on close).
+    epochA_ = probeEpoch(snapA_);
+    epochB_ = probeEpoch(snapB_);
+    ASSERT_GT(epochA_, 0u);
+    ASSERT_GT(epochB_, epochA_);
+    ASSERT_NE(contentA_, contentB_);
+  }
+
+  std::uint64_t probeEpoch(const fs::path& snap) {
+    const fs::path work = root_ / "probe";
+    copyDir(snap, work);
+    auto store = open(work);
+    EXPECT_EQ(contents(*store),
+              snap == snapA_ ? contentA_ : contentB_);
+    return store->lastCommittedEpoch();
+  }
+
+  /// Open a crash-state copy and assert it recovered to a whole epoch:
+  /// nothing (epoch 0), all of A, or all of B — never a blend.
+  enum class Landed { kFresh, kA, kB };
+  Landed assertWholeEpoch(const fs::path& work, const std::string& what) {
+    auto store = open(work);
+    const std::uint64_t epoch = store->lastCommittedEpoch();
+    const std::map<std::string, std::string> got = contents(*store);
+    if (epoch == 0) {
+      EXPECT_EQ(store->lookupTable(kTable), nullptr) << what;
+      EXPECT_TRUE(got.empty()) << what;
+      return Landed::kFresh;
+    }
+    if (epoch <= epochA_) {
+      EXPECT_EQ(got, contentA_) << what << " (epoch " << epoch << ")";
+      return Landed::kA;
+    }
+    EXPECT_LE(epoch, epochB_) << what;
+    EXPECT_EQ(got, contentB_) << what << " (epoch " << epoch << ")";
+    return Landed::kB;
+  }
+
+  fs::path root_;
+  fs::path snapA_;
+  fs::path snapB_;
+  std::map<std::string, std::string> contentA_;
+  std::map<std::string, std::string> contentB_;
+  std::uint64_t epochA_ = 0;
+  std::uint64_t epochB_ = 0;
+};
+
+// Power cut while appending to the MANIFEST: truncate it at every byte
+// boundary from empty through the final commit.  Each prefix must
+// recover to exactly the newest commit it wholly contains.
+TEST_F(LogStoreRecoveryTest, ManifestTornAtEveryByte) {
+  buildReference();
+  const std::uintmax_t full = fs::file_size(snapB_ / "MANIFEST");
+  bool sawFresh = false;
+  bool sawA = false;
+  bool sawB = false;
+  const fs::path work = root_ / "work";
+  for (std::uintmax_t cut = 0; cut <= full; ++cut) {
+    copyDir(snapB_, work);
+    fs::resize_file(work / "MANIFEST", cut);
+    switch (assertWholeEpoch(work, "manifest cut at " + std::to_string(cut))) {
+      case Landed::kFresh:
+        sawFresh = true;
+        break;
+      case Landed::kA:
+        sawA = true;
+        break;
+      case Landed::kB:
+        sawB = true;
+        break;
+    }
+    if (HasFatalFailure() || HasNonfatalFailure()) {
+      break;  // One broken boundary is enough signal; don't spam.
+    }
+  }
+  // The matrix must actually have exercised all three regimes.
+  EXPECT_TRUE(sawFresh);
+  EXPECT_TRUE(sawA);
+  EXPECT_TRUE(sawB);
+}
+
+// Power cut while appending to a part log: epoch A committed, a begin
+// record for the next epoch written, and the log's new tail torn at
+// every byte boundary.  Recovery must truncate the tail and land on
+// epoch A with no partial records visible.
+TEST_F(LogStoreRecoveryTest, PartLogTornAtEveryByte) {
+  buildReference();
+  std::string begin;
+  ls::appendFrame(begin, ls::encodeBeginRecord(epochA_ + 1));
+  const fs::path work = root_ / "work";
+  int grownLogs = 0;
+  for (const auto& entry : fs::directory_iterator(snapB_)) {
+    const fs::path name = entry.path().filename();
+    if (name.extension() != ".log") {
+      continue;
+    }
+    const std::uintmax_t lenB = fs::file_size(entry.path());
+    const std::uintmax_t lenA =
+        fs::exists(snapA_ / name) ? fs::file_size(snapA_ / name) : 0;
+    if (lenB <= lenA) {
+      continue;  // This part saw no epoch-B appends.
+    }
+    ++grownLogs;
+    for (std::uintmax_t cut = lenA; cut <= lenB; ++cut) {
+      copyDir(snapA_, work);
+      appendBytes(work / "MANIFEST", begin);  // begin, no commit
+      fs::copy_file(entry.path(), work / name,
+                    fs::copy_options::overwrite_existing);
+      fs::resize_file(work / name, cut);
+      ASSERT_EQ(assertWholeEpoch(work, name.string() + " cut at " +
+                                           std::to_string(cut)),
+                Landed::kA);
+      if (HasFatalFailure() || HasNonfatalFailure()) {
+        return;
+      }
+    }
+  }
+  // Sixteen puts plus erases must have touched every part's log.
+  EXPECT_EQ(grownLogs, static_cast<int>(kParts));
+}
+
+// A log shorter than its committed length means committed data is gone:
+// fatal, never a silent rollback.
+TEST_F(LogStoreRecoveryTest, LogShorterThanCommittedLengthIsFatal) {
+  buildReference();
+  const fs::path work = root_ / "work";
+  for (const auto& entry : fs::directory_iterator(snapB_)) {
+    const fs::path name = entry.path().filename();
+    if (name.extension() != ".log" || fs::file_size(entry.path()) == 0) {
+      continue;
+    }
+    copyDir(snapB_, work);
+    fs::resize_file(work / name, fs::file_size(entry.path()) / 2);
+    EXPECT_THROW(open(work), ls::SegmentError) << name;
+    return;  // One file suffices; the check is per-part identical.
+  }
+  FAIL() << "no non-empty part log found";
+}
+
+// A bit flip inside the committed prefix of a part log is fatal.
+TEST_F(LogStoreRecoveryTest, CorruptCommittedLogIsFatal) {
+  buildReference();
+  const fs::path work = root_ / "work";
+  for (const auto& entry : fs::directory_iterator(snapB_)) {
+    const fs::path name = entry.path().filename();
+    if (name.extension() != ".log" || fs::file_size(entry.path()) == 0) {
+      continue;
+    }
+    copyDir(snapB_, work);
+    flipByte(work / name, fs::file_size(entry.path()) / 2);
+    EXPECT_THROW(open(work), ls::SegmentError) << name;
+    return;
+  }
+  FAIL() << "no non-empty part log found";
+}
+
+// A torn manifest with garbage appended (not a clean truncation) still
+// recovers to the last commit: the scan stops at the first bad frame.
+TEST_F(LogStoreRecoveryTest, TrailingManifestGarbageIgnored) {
+  buildReference();
+  const fs::path work = root_ / "work";
+  copyDir(snapB_, work);
+  appendBytes(work / "MANIFEST", std::string(97, '\x7f'));
+  EXPECT_EQ(assertWholeEpoch(work, "trailing garbage"), Landed::kB);
+}
+
+// A manifest that is pure garbage has no commit: the store opens fresh
+// and deletes the unreferenced part files.
+TEST_F(LogStoreRecoveryTest, GarbageManifestOpensFresh) {
+  buildReference();
+  const fs::path work = root_ / "work";
+  copyDir(snapB_, work);
+  std::ofstream(work / "MANIFEST", std::ios::trunc | std::ios::binary)
+      << std::string(64, '\xee');
+  EXPECT_EQ(assertWholeEpoch(work, "garbage manifest"), Landed::kFresh);
+  // Recovery removed the stray part files the manifest no longer names.
+  for (const auto& entry : fs::directory_iterator(work)) {
+    EXPECT_EQ(entry.path().filename().string(), "MANIFEST");
+  }
+}
+
+// Crash after a compaction wrote its new generation but before any
+// commit referenced it: recovery uses the old generation (still intact)
+// and deletes the orphaned new-generation files.
+TEST_F(LogStoreRecoveryTest, CrashMidCompactionRecoversOldGeneration) {
+  const fs::path base = root_ / "cbase";
+  std::map<std::string, std::string> expected;
+  std::uint64_t epoch = 0;
+  auto store = open(base);
+  {
+    kv::TableOptions opts;
+    opts.parts = kParts;
+    kv::TablePtr t = store->createTable(kTable, opts);
+    for (int i = 0; i < 24; ++i) {
+      t->put("k" + std::to_string(i), "v" + std::to_string(i));
+    }
+    store->commitEpoch();
+    epoch = store->lastCommittedEpoch();
+    expected = contents(*store);
+    store->compactNow();  // New generation on disk, not yet committed.
+  }
+  // Snapshot the directory as a power cut would leave it (the live store
+  // stays open so its shutdown commit cannot retroactively bless the
+  // new generation in our copy).
+  const fs::path crash = root_ / "crash";
+  copyDir(base, crash);
+  bool sawNewGen = false;
+  for (const auto& entry : fs::directory_iterator(crash)) {
+    sawNewGen |= entry.path().filename().string().find("_g2") !=
+                 std::string::npos;
+  }
+  ASSERT_TRUE(sawNewGen) << "compaction should have written gen-2 files";
+  {
+    auto recovered = open(crash);
+    EXPECT_EQ(recovered->lastCommittedEpoch(), epoch);
+    EXPECT_EQ(contents(*recovered), expected);
+    for (const auto& entry : fs::directory_iterator(crash)) {
+      EXPECT_EQ(entry.path().filename().string().find("_g2"),
+                std::string::npos)
+          << "stray " << entry.path().filename();
+    }
+  }
+  store.reset();
+}
+
+// A bit flip in a committed sealed segment is fatal at open.
+TEST_F(LogStoreRecoveryTest, CorruptSealedSegmentIsFatal) {
+  const fs::path base = root_ / "sbase";
+  {
+    auto store = open(base);
+    kv::TableOptions opts;
+    opts.parts = kParts;
+    kv::TablePtr t = store->createTable(kTable, opts);
+    for (int i = 0; i < 24; ++i) {
+      t->put("k" + std::to_string(i), "v" + std::to_string(i));
+    }
+    store->commitEpoch();
+    store->compactNow();
+    store->commitEpoch();  // Manifest now references the sealed files.
+  }
+  const fs::path work = root_ / "work";
+  copyDir(base, work);
+  for (const auto& entry : fs::directory_iterator(work)) {
+    if (entry.path().extension() == ".seg" &&
+        fs::file_size(entry.path()) > 0) {
+      flipByte(entry.path(), fs::file_size(entry.path()) / 2);
+      EXPECT_THROW(open(work), ls::SegmentError)
+          << entry.path().filename();
+      return;
+    }
+  }
+  FAIL() << "no sealed segment found after compaction";
+}
+
+// Reopening after compaction + commit round-trips through the sealed
+// generation: the recovered store reads from segments, not logs.
+TEST_F(LogStoreRecoveryTest, SealedGenerationRoundTrips) {
+  const fs::path base = root_ / "rbase";
+  std::map<std::string, std::string> expected;
+  {
+    auto store = open(base);
+    kv::TableOptions opts;
+    opts.parts = kParts;
+    kv::TablePtr t = store->createTable(kTable, opts);
+    for (int i = 0; i < 24; ++i) {
+      t->put("k" + std::to_string(i), "v" + std::to_string(i));
+    }
+    store->commitEpoch();
+    store->compactNow();
+    store->commitEpoch();
+    t->put("k100", "after-compaction");
+    t->erase("k3");
+    store->commitEpoch();
+    expected = contents(*store);
+  }
+  {
+    auto store = open(base);
+    EXPECT_EQ(contents(*store), expected);
+    const kv::LogStore::Stats stats = store->stats();
+    EXPECT_GT(stats.sealedSegments, 0u);
+    // Point reads hit the sealed segment through the recovered store.
+    kv::TablePtr t = store->lookupTable(kTable);
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->get("k5"), std::optional<kv::Value>("v5"));
+    EXPECT_EQ(t->get("k3"), std::nullopt);
+    EXPECT_EQ(t->get("k100"), std::optional<kv::Value>("after-compaction"));
+  }
+}
+
+}  // namespace

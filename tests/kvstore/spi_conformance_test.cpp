@@ -12,11 +12,16 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <thread>
+
+#include <unistd.h>
 
 #include "common/codec.h"
 #include "fault/faulty_store.h"
 #include "kvstore/local_store.h"
+#include "kvstore/log_store.h"
 #include "kvstore/partitioned_store.h"
 #include "kvstore/shard_store.h"
 #include "kvstore/store_util.h"
@@ -81,6 +86,68 @@ KVStorePtr makeDroppyRemote() {
   return net::makeLoopbackStore(std::move(options));
 }
 
+KVStorePtr makeLog() {
+  // Ephemeral mode: a private temp directory, deleted with the store.
+  return LogStore::open(LogStore::Options{});
+}
+
+KVStorePtr makeDroppyLogRemote() {
+  // The durable backend hosted BEHIND the chaotic wire: same severed-
+  // connection schedule as DroppyRemoteStore, but every server-side op
+  // lands in a LogStore.  Durability must not perturb the wire contract.
+  net::LoopbackOptions options;
+  options.hostedBackend = StoreBackend::kLog;
+  options.hostedContainers = 4;
+  options.locations = 4;
+  options.retry.maxAttempts = 8;
+  options.retry.initialBackoffMs = 0.05;
+  options.retry.maxBackoffMs = 0.5;
+  auto consults = std::make_shared<std::atomic<std::uint64_t>>(0);
+  options.chaos = [consults](net::Opcode, net::ChaosPoint point) {
+    const std::uint64_t n =
+        consults->fetch_add(1, std::memory_order_relaxed);
+    if (n % 7 != 0) {
+      return false;
+    }
+    return static_cast<net::ChaosPoint>((n / 7) % 3) == point;
+  };
+  return net::makeLoopbackStore(std::move(options));
+}
+
+constexpr std::string_view kReopenDirPrefix = "ripple-spi-reopen-";
+
+KVStorePtr makeReopenedLog() {
+  // Reopen-between-ops leg: the whole contract runs against a RECOVERED
+  // store instance.  Open a store at a pinned path, write a marker,
+  // close cleanly (commits the final epoch), reopen the same directory
+  // and verify recovery carried the marker across — then hand the
+  // recovered store to the suite.  The broken-manifest regression test
+  // below proves this probe actually bites.
+  static std::atomic<int> counter{0};
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       (std::string(kReopenDirPrefix) + std::to_string(::getpid()) + "-" +
+        std::to_string(counter.fetch_add(1))))
+          .string();
+  std::filesystem::remove_all(dir);
+  {
+    std::shared_ptr<LogStore> first = LogStore::open(dir);
+    TableOptions markerOptions;
+    markerOptions.parts = 2;
+    TablePtr marker =
+        first->createTable("__reopen_marker", std::move(markerOptions));
+    marker->put("k", "survives");
+  }
+  std::shared_ptr<LogStore> reopened = LogStore::open(dir);
+  TablePtr marker = reopened->lookupTable("__reopen_marker");
+  if (!marker || marker->get("k") != std::optional<Value>("survives")) {
+    throw std::runtime_error(
+        "reopen leg: marker did not survive close/reopen");
+  }
+  reopened->dropTable("__reopen_marker");
+  return reopened;
+}
+
 // The fault-injection decorator with an empty plan must be contractually
 // invisible: the whole suite runs against it too.
 KVStorePtr makeFaultyLocal() {
@@ -103,10 +170,28 @@ KVStorePtr makeFaultyRemote() {
       makeRemote(),
       std::make_shared<fault::FaultInjector>(fault::FaultPlan{}));
 }
+KVStorePtr makeFaultyLog() {
+  return fault::FaultyStore::wrap(
+      makeLog(),
+      std::make_shared<fault::FaultInjector>(fault::FaultPlan{}));
+}
 
 class StoreConformanceTest : public ::testing::TestWithParam<StoreFactory> {
  protected:
   void SetUp() override { store_ = GetParam().make(); }
+
+  void TearDown() override {
+    // The reopened-log leg uses pinned (non-ephemeral) directories;
+    // collect them once the store is gone.
+    std::string path;
+    if (auto* log = dynamic_cast<LogStore*>(store_.get())) {
+      path = log->storePath();
+    }
+    store_.reset();
+    if (path.find(kReopenDirPrefix) != std::string::npos) {
+      std::filesystem::remove_all(path);
+    }
+  }
 
   TablePtr makeTable(const std::string& name, std::uint32_t parts,
                      bool ordered = false) {
@@ -523,7 +608,7 @@ TEST_P(StoreConformanceTest, BackendNameIsConcrete) {
   // factory in this suite resolves to a concrete backend name.
   const std::string name = store_->backendName();
   EXPECT_TRUE(name == "local" || name == "partitioned" || name == "shard" ||
-              name == "remote")
+              name == "remote" || name == "log")
       << name;
 }
 
@@ -570,10 +655,56 @@ INSTANTIATE_TEST_SUITE_P(
         StoreFactory{"FaultyLocalStore", &makeFaultyLocal},
         StoreFactory{"FaultyPartitionedStore", &makeFaultyPartitioned},
         StoreFactory{"FaultyShardStore", &makeFaultyShard},
-        StoreFactory{"FaultyRemoteStore", &makeFaultyRemote}),
+        StoreFactory{"FaultyRemoteStore", &makeFaultyRemote},
+        StoreFactory{"LogStore", &makeLog},
+        StoreFactory{"FaultyLogStore", &makeFaultyLog},
+        StoreFactory{"DroppyLogRemoteStore", &makeDroppyLogRemote},
+        StoreFactory{"ReopenedLogStore", &makeReopenedLog}),
     [](const ::testing::TestParamInfo<StoreFactory>& info) {
       return info.param.name;
     });
+
+TEST(LogStoreReopenLeg, ReopenProbeFailsOnBrokenManifest) {
+  // The same close/reopen sequence makeReopenedLog runs, with one byte of
+  // the manifest's final commit record flipped in between.  Recovery must
+  // reject the torn commit and roll back to an empty store, making the
+  // reopen probe's marker check fail — evidence that the ReopenedLogStore
+  // leg detects broken recovery rather than vacuously passing.
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("ripple-spi-manifest-" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(dir);
+  {
+    std::shared_ptr<LogStore> first = LogStore::open(dir);
+    TableOptions options;
+    options.parts = 2;
+    TablePtr marker =
+        first->createTable("__reopen_marker", std::move(options));
+    marker->put("k", "survives");
+  }
+  {
+    std::fstream f(dir + "/MANIFEST",
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<std::streamoff>(f.tellg());
+    ASSERT_GT(size, 0);
+    f.seekg(size - 1);
+    char last = 0;
+    f.read(&last, 1);
+    last = static_cast<char>(last ^ 0x5a);
+    f.seekp(size - 1);
+    f.write(&last, 1);
+    ASSERT_TRUE(f.good());
+  }
+  std::shared_ptr<LogStore> reopened = LogStore::open(dir);
+  EXPECT_EQ(reopened->lookupTable("__reopen_marker"), nullptr)
+      << "a torn final commit must roll the store back to the prior epoch";
+  reopened.reset();
+  fs::remove_all(dir);
+}
 
 }  // namespace
 }  // namespace ripple::kv
