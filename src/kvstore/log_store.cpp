@@ -94,6 +94,9 @@ class LogStore::LogTable : public Table,
       p.committedLen = ps.committedLen;
       if (ps.sealedGen != 0) {
         p.sealed.open(dir + "/" + partFileName(id_, i, ps.sealedGen, ".seg"));
+        // Sealed entries are live until replay() erases/clears them; it
+        // only counts net-new keys (exists() sees the sealed segment).
+        p.liveCount = p.sealed.count();
       }
       const std::string logPath =
           dir + "/" + partFileName(id_, i, ps.logGen, ".log");
@@ -249,9 +252,12 @@ class LogStore::LogTable : public Table,
   // --- Store-internal surface (all called under store locks). ---
 
   /// Flush this table's pending records to its part logs and fsync; fill
-  /// in the table's slice of the commit record.  Caller holds manifestMu_
-  /// and dataMu_.
-  logstore::TableState commitParts(const std::string& dir) {
+  /// in the table's slice of the commit record.  Sets `createdFiles` when
+  /// a part log was created (its directory entry still needs a syncDir
+  /// before the commit record may reference it).  Caller holds
+  /// manifestMu_ and dataMu_.
+  logstore::TableState commitParts(const std::string& dir,
+                                   bool& createdFiles) {
     logstore::TableState state;
     state.name = name_;
     state.id = id_;
@@ -263,7 +269,10 @@ class LogStore::LogTable : public Table,
       Part& p = parts_[i];
       if (!p.pending.empty()) {
         if (!p.log.isOpen()) {
+          // Only ever unopened before the part's first flush, so this
+          // open creates the file.
           p.log.open(dir + "/" + partFileName(id_, i, p.logGen, ".log"));
+          createdFiles = true;
         }
         p.log.append(p.pending);
         p.pending.clear();
@@ -491,25 +500,38 @@ void LogStore::recover() {
   Stopwatch watch;
   const std::string manifestPath = path_ + "/" + kManifestName;
   logstore::ManifestRecovery rec;
-  if (fs::exists(manifestPath)) {
+  const bool manifestExists = fs::exists(manifestPath);
+  if (manifestExists) {
     rec = logstore::recoverManifest(logstore::readFileBytes(manifestPath));
   }
-  if (rec.hasCommit) {
-    if (rec.tornEpoch) {
-      RIPPLE_WARN << "LogStore '" << path_
-                  << "': dropping epoch torn after commit "
-                  << rec.state.epoch;
-    }
-    lastCommitted_.store(rec.state.epoch, std::memory_order_release);
+  {
     LockGuard tl(tablesMu_);
     {
       LockGuard ml(manifestMu_);
-      nextTableId_ = rec.state.nextTableId;
-      manifest_.openTruncated(manifestPath, rec.validBytes);
+      if (manifestExists) {
+        // ALWAYS truncate back to the valid prefix — to zero when no
+        // commit survived.  commitEpoch appends (O_APPEND); a torn begin
+        // frame or garbage left in place would precede every future
+        // commit, and the next recovery's front-to-back scan would stop
+        // at it, never see those commits, and delete their files as
+        // strays.
+        manifest_.openTruncated(manifestPath, rec.validBytes);
+      }
+      if (rec.hasCommit) {
+        nextTableId_ = rec.state.nextTableId;
+      }
     }
-    LockGuard dl(dataMu_);
-    for (const logstore::TableState& ts : rec.state.tables) {
-      tables_.emplace(ts.name, std::make_shared<LogTable>(this, ts, path_));
+    if (rec.hasCommit) {
+      if (rec.tornEpoch) {
+        RIPPLE_WARN << "LogStore '" << path_
+                    << "': dropping epoch torn after commit "
+                    << rec.state.epoch;
+      }
+      lastCommitted_.store(rec.state.epoch, std::memory_order_release);
+      LockGuard dl(dataMu_);
+      for (const logstore::TableState& ts : rec.state.tables) {
+        tables_.emplace(ts.name, std::make_shared<LogTable>(this, ts, path_));
+      }
     }
   }
   removeStrayFiles();
@@ -619,8 +641,12 @@ void LogStore::commitEpoch() {
     LockGuard ml(manifestMu_);
     const std::uint64_t epoch =
         lastCommitted_.load(std::memory_order_acquire) + 1;
+    // recover() opened (and truncated) any pre-existing manifest, so an
+    // unopened one here is a first commit creating the file.
+    bool createdFiles = false;
     if (!manifest_.isOpen()) {
       manifest_.open(path_ + "/" + kManifestName);
+      createdFiles = true;
     }
     // Torn-checkpoint discipline: the begin marker lands durably BEFORE
     // any data this epoch covers, the commit record strictly after all of
@@ -637,8 +663,15 @@ void LogStore::commitEpoch() {
       LockGuard dl(dataMu_);
       state.nextTableId = nextTableId_;
       for (auto& [name, t] : tables_) {
-        state.tables.push_back(t->commitParts(path_));
+        state.tables.push_back(t->commitParts(path_, createdFiles));
       }
+    }
+    // Directory entries of files created this epoch (part logs, the
+    // MANIFEST itself) must be durable before the commit record
+    // references them, or power loss can leave a committed epoch whose
+    // files recovery cannot open.
+    if (createdFiles) {
+      logstore::syncDir(path_);
     }
     Bytes commit;
     logstore::appendFrame(commit, logstore::encodeCommitRecord(state));

@@ -420,12 +420,15 @@ void SealedSegment::validate(const std::string& origin) {
   BytesView prevKey;
   for (std::uint64_t i = 0; i < count_; ++i) {
     const std::uint64_t off = offsetAt(i);
-    if (off < kSegHeader || off + 8 > indexOff_) {
+    // Subtraction-only bounds: `off + 8` could wrap for an off near
+    // UINT64_MAX and sail past the check into an OOB read.
+    if (off < kSegHeader || off > indexOff_ || indexOff_ - off < 8) {
       fail("entry offset out of bounds");
     }
     const std::uint64_t klen = readLE32(data_ + off);
     const std::uint64_t vlen = readLE32(data_ + off + 4);
-    if (klen + vlen > indexOff_ - off - 8) {
+    const std::uint64_t room = indexOff_ - off - 8;
+    if (klen > room || vlen > room - klen) {
       fail("entry length out of bounds");
     }
     const BytesView key(data_ + off + 8, klen);

@@ -226,6 +226,77 @@ TEST_F(LogStoreRecoveryTest, ManifestTornAtEveryByte) {
   EXPECT_TRUE(sawB);
 }
 
+// Regression for the append-after-garbage hazard: recovery must trim a
+// manifest down to its valid prefix (to zero when no commit survived the
+// cut) BEFORE new epochs append to it.  Otherwise the bad bytes sit in
+// front of every future commit and the NEXT recovery, whose scan stops
+// at the first bad frame, silently opens fresh and deletes the new
+// commits' files.  So: cut, reopen, commit a new epoch, reopen again —
+// the new epoch must always be there.
+TEST_F(LogStoreRecoveryTest, CommitAfterTornManifestSurvivesReopen) {
+  buildReference();
+  const std::uintmax_t full = fs::file_size(snapB_ / "MANIFEST");
+  const fs::path work = root_ / "work";
+  for (std::uintmax_t cut = 0; cut <= full; ++cut) {
+    copyDir(snapB_, work);
+    fs::resize_file(work / "MANIFEST", cut);
+    const std::string marker = "cut" + std::to_string(cut);
+    std::uint64_t epoch = 0;
+    {
+      auto store = open(work);
+      epoch = store->lastCommittedEpoch();
+      kv::TablePtr t = store->lookupTable(kTable);
+      if (t == nullptr) {
+        kv::TableOptions opts;
+        opts.parts = kParts;
+        t = store->createTable(kTable, opts);
+      }
+      t->put("marker", marker);
+      store->commitEpoch();
+    }
+    {
+      auto store = open(work);
+      EXPECT_GT(store->lastCommittedEpoch(), epoch)
+          << "manifest cut at " << cut;
+      kv::TablePtr t = store->lookupTable(kTable);
+      ASSERT_NE(t, nullptr) << "manifest cut at " << cut;
+      EXPECT_EQ(t->get("marker"), std::optional<kv::Value>(marker))
+          << "manifest cut at " << cut;
+    }
+    if (HasFatalFailure() || HasNonfatalFailure()) {
+      break;
+    }
+  }
+}
+
+// Same hazard with garbage instead of a truncation: a pure-garbage
+// manifest opens fresh, and an epoch committed afterwards must survive
+// the next reopen (recovery truncated the garbage rather than letting
+// the commit land behind it).
+TEST_F(LogStoreRecoveryTest, CommitAfterGarbageManifestSurvivesReopen) {
+  buildReference();
+  const fs::path work = root_ / "work";
+  copyDir(snapB_, work);
+  std::ofstream(work / "MANIFEST", std::ios::trunc | std::ios::binary)
+      << std::string(64, '\xee');
+  {
+    auto store = open(work);
+    ASSERT_EQ(store->lastCommittedEpoch(), 0u);
+    kv::TableOptions opts;
+    opts.parts = kParts;
+    kv::TablePtr t = store->createTable(kTable, opts);
+    t->put("phoenix", "risen");
+    store->commitEpoch();
+  }
+  {
+    auto store = open(work);
+    EXPECT_GT(store->lastCommittedEpoch(), 0u);
+    kv::TablePtr t = store->lookupTable(kTable);
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->get("phoenix"), std::optional<kv::Value>("risen"));
+  }
+}
+
 // Power cut while appending to a part log: epoch A committed, a begin
 // record for the next epoch written, and the log's new tail torn at
 // every byte boundary.  Recovery must truncate the tail and land on
@@ -397,6 +468,38 @@ TEST_F(LogStoreRecoveryTest, CorruptSealedSegmentIsFatal) {
     }
   }
   FAIL() << "no sealed segment found after compaction";
+}
+
+// size()/partSize() must count the sealed entries after recovery, not
+// just the keys replayed from the committed log on top of them.
+TEST_F(LogStoreRecoveryTest, SizeSurvivesCompactedReopen) {
+  const fs::path base = root_ / "szbase";
+  {
+    auto store = open(base);
+    kv::TableOptions opts;
+    opts.parts = kParts;
+    kv::TablePtr t = store->createTable(kTable, opts);
+    for (int i = 0; i < 24; ++i) {
+      t->put("k" + std::to_string(i), "v" + std::to_string(i));
+    }
+    store->compactNow();
+    store->commitEpoch();
+    t->put("k100", "post");  // One net-new key through the log...
+    t->erase("k3");          // ...one sealed key erased through it.
+    store->commitEpoch();
+    ASSERT_EQ(t->size(), 24u);
+  }
+  {
+    auto store = open(base);
+    kv::TablePtr t = store->lookupTable(kTable);
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->size(), 24u);
+    std::uint64_t sum = 0;
+    for (std::uint32_t p = 0; p < t->numParts(); ++p) {
+      sum += t->partSize(p);
+    }
+    EXPECT_EQ(sum, 24u);
+  }
 }
 
 // Reopening after compaction + commit round-trips through the sealed
