@@ -105,6 +105,15 @@ class BenchReport {
         }
       } else if (arg.rfind("--store-path=", 0) == 0) {
         storePath_ = std::string(arg.substr(13));
+      } else if (arg == "--store-mem") {
+        if (i + 1 < argc) {
+          parseStoreMem(argv[++i]);
+        } else {
+          std::cerr << "warning: --store-mem requires a byte size; "
+                       "ignored\n";
+        }
+      } else if (arg.rfind("--store-mem=", 0) == 0) {
+        parseStoreMem(std::string(arg.substr(12)));
       }
     }
     if (threads_ > 0) {
@@ -139,6 +148,11 @@ class BenchReport {
   /// defers to RIPPLE_STORE_PATH / an ephemeral temp directory.
   [[nodiscard]] const std::string& storePath() const { return storePath_; }
 
+  /// Resident-memory budget from `--store-mem <bytes|K|M|G>` for the
+  /// "log" backend (out-of-core eviction, DESIGN.md §14); 0 defers to
+  /// RIPPLE_STORE_MEM via the factory (unset = unbounded).
+  [[nodiscard]] std::size_t storeMemoryBytes() const { return storeMem_; }
+
   /// Create the harness's store on the selected backend and record the
   /// backend name in the report info.  Each call gets its own
   /// subdirectory under --store-path: benchmark variants expect a fresh
@@ -150,8 +164,11 @@ class BenchReport {
     if (!path.empty()) {
       path += "/store-" + std::to_string(storeCount_++);
     }
-    kv::KVStorePtr store = kv::makeStore(store_, containers, path);
+    kv::KVStorePtr store = kv::makeStore(store_, containers, path, storeMem_);
     setInfo("store", store->backendName());
+    if (storeMem_ > 0) {
+      setInfo("store_mem", std::to_string(storeMem_));
+    }
     return store;
   }
 
@@ -202,6 +219,15 @@ class BenchReport {
     threads_ = static_cast<int>(parsed);
   }
 
+  void parseStoreMem(const std::string& value) {
+    if (std::optional<std::size_t> parsed = kv::parseByteSize(value)) {
+      storeMem_ = *parsed;
+      return;
+    }
+    std::cerr << "warning: --store-mem expects <digits>[K|M|G], got '" << value
+              << "'; ignored\n";
+  }
+
   void parseStore(const std::string& value) {
     if (std::optional<kv::StoreBackend> parsed =
             kv::parseStoreBackend(value)) {
@@ -217,6 +243,7 @@ class BenchReport {
   int threads_ = 0;
   kv::StoreBackend store_ = kv::StoreBackend::kDefault;
   std::string storePath_;
+  std::size_t storeMem_ = 0;
   int storeCount_ = 0;
   std::map<std::string, std::string> info_;
   std::unique_ptr<obs::Tracer> tracer_;

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Out-of-core drill for the log store (DESIGN.md §14): run an analytics
+# workload once unbounded, then again with a resident-memory budget far
+# smaller than the dataset — the bounded run executing under a hard
+# `ulimit -v` address-space cap so a real (unaccounted) memory blow-up
+# dies loudly instead of passing on swap.  The bounded digest must be
+# byte-identical to the unbounded digest, and the bounded run must
+# report evictions > 0 (the binary itself fails otherwise), so "passed"
+# can never mean "the budget never engaged".
+#
+# ulimit -v counts file-backed mmaps too, so the cap covers the sealed
+# segments the read-through path maps — it is sized for the smoke
+# dataset, not just the budget.
+#
+# Usage:
+#   scripts/bench_outofcore.sh [--smoke] [--threads=N] [--build-dir=DIR]
+#                              [--budget=SPEC] [--vmem-kb=N]
+#
+#   --smoke        smaller workload (CI-sized)
+#   --threads=N    engine threads (default 2)
+#   --build-dir=D  where the binaries live (default build)
+#   --budget=S     store budget for the bounded run (default 16K)
+#   --vmem-kb=N    ulimit -v for the bounded run, KiB (default 2097152)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SMOKE=""
+THREADS=2
+BUILD_DIR="build"
+BUDGET="16K"
+VMEM_KB=2097152
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE="--smoke" ;;
+    --threads=*) THREADS="${arg#--threads=}" ;;
+    --build-dir=*) BUILD_DIR="${arg#--build-dir=}" ;;
+    --budget=*) BUDGET="${arg#--budget=}" ;;
+    --vmem-kb=*) VMEM_KB="${arg#--vmem-kb=}" ;;
+    *) echo "usage: $0 [--smoke] [--threads=N] [--build-dir=DIR]" \
+            "[--budget=SPEC] [--vmem-kb=N]" >&2; exit 2 ;;
+  esac
+done
+
+BENCH_BIN="$BUILD_DIR/bench/bench_outofcore"
+if [[ ! -x "$BENCH_BIN" ]]; then
+  echo "error: $BENCH_BIN not built (cmake --build $BUILD_DIR)" >&2
+  exit 2
+fi
+
+WORK_DIR="$(mktemp -d)"
+cleanup() { rm -rf "$WORK_DIR"; }
+trap cleanup EXIT
+
+status=0
+for workload in pagerank sssp; do
+  echo "== $workload: unbounded baseline =="
+  "$BENCH_BIN" --workload "$workload" --budget 0 \
+    --store-path "$WORK_DIR/$workload-unbounded" \
+    --threads "$THREADS" $SMOKE | tee "$WORK_DIR/$workload-unbounded.out"
+
+  # One variant per process: the address-space cap applies only to the
+  # bounded leg, and digests are compared across the two runs.
+  echo "== $workload: budget $BUDGET under ulimit -v ${VMEM_KB}KiB =="
+  ( ulimit -v "$VMEM_KB"
+    exec "$BENCH_BIN" --workload "$workload" --budget "$BUDGET" \
+      --store-path "$WORK_DIR/$workload-bounded" \
+      --threads "$THREADS" $SMOKE
+  ) | tee "$WORK_DIR/$workload-bounded.out"
+
+  tag="$(echo "$workload" | tr '[:lower:]' '[:upper:]')_DIGEST"
+  base="$(awk -v t="$tag" '$1 == t {print $2}' \
+          "$WORK_DIR/$workload-unbounded.out")"
+  bounded="$(awk -v t="$tag" '$1 == t {print $2}' \
+             "$WORK_DIR/$workload-bounded.out")"
+  if [[ -z "$base" || -z "$bounded" || "$base" != "$bounded" ]]; then
+    echo "MISMATCH $tag: unbounded=$base bounded=$bounded"
+    status=1
+  else
+    echo "MATCH    $tag: $base"
+  fi
+  if ! grep -q '^OUTOFCORE_OK$' "$WORK_DIR/$workload-bounded.out"; then
+    echo "MISSING OUTOFCORE_OK in bounded $workload run"
+    status=1
+  fi
+done
+
+if [[ "$status" -eq 0 ]]; then
+  echo "BENCH_OUTOFCORE OK (bounded digests match unbounded)"
+else
+  echo "BENCH_OUTOFCORE FAILED"
+fi
+exit "$status"

@@ -20,6 +20,8 @@ const char* lockRankName(LockRank rank) noexcept {
       return "kStoreBuffer(24)";
     case LockRank::kStoreManifest:
       return "kStoreManifest(27)";
+    case LockRank::kStoreEvict:
+      return "kStoreEvict(28)";
     case LockRank::kStoreTableMap:
       return "kStoreTableMap(30)";
     case LockRank::kQueue:

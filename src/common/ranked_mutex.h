@@ -74,6 +74,12 @@ enum class LockRank : int {
   /// the table registry.
   kStoreManifest = 27,
 
+  /// Log-store eviction: budget enforcement serializes victim selection
+  /// here, then compacts each victim under the manifest (kStoreManifest)
+  /// and part data (kStoreStripe) below it.  Taken with the table
+  /// registry (kStoreTableMap) above so the victim scan can walk tables.
+  kStoreEvict = 28,
+
   /// Store control plane: table registries of every backend and of the
   /// fault decorators.
   kStoreTableMap = 30,

@@ -19,7 +19,8 @@ kv::KVStorePtr makeEngineStore(const EngineOptions& options,
     tuning.queueWaitMs = options.netQueueWaitMs;
     return net::makeRemoteStoreFromEnv(containers, tuning);
   }
-  return kv::makeStore(options.storeBackend, containers, options.storePath);
+  return kv::makeStore(options.storeBackend, containers, options.storePath,
+                       options.storeMemoryBytes);
 }
 
 Engine::Engine(kv::KVStorePtr store, EngineOptions options)

@@ -35,6 +35,11 @@ struct EngineOptions {
   /// ephemeral temp directory.  Other backends ignore it.
   std::string storePath;
 
+  /// Resident-memory budget for the "log" backend (out-of-core eviction,
+  /// DESIGN.md §14), forwarded by makeEngineStore.  0 resolves through
+  /// RIPPLE_STORE_MEM; unset = unbounded.  Other backends ignore it.
+  std::size_t storeMemoryBytes = 0;
+
   sim::CostModel costModel = sim::CostModel::defaults();
   bool virtualTime = true;
 

@@ -1,6 +1,8 @@
 #include "kvstore/log_store.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <map>
 #include <stdexcept>
@@ -26,6 +28,28 @@ std::string partFileName(std::uint64_t tableId, std::uint32_t part,
 
 constexpr const char* kManifestName = "MANIFEST";
 
+/// Approximate heap cost of one buffered write beyond its payload bytes:
+/// the BufferedWrite control block, the vector headers of key and value,
+/// and the index hash-table slot.  The accounting is a budget, not an
+/// allocator audit — a stable over-estimate keeps eviction honest.
+constexpr std::size_t kEntryOverhead = 96;
+
+/// Byte-lexicographic three-way compare, matching the order std::map
+/// over Bytes and SealedSegment both use.
+int compareKeys(BytesView a, BytesView b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n != 0) {
+    const int c = std::memcmp(a.data(), b.data(), n);
+    if (c != 0) {
+      return c;
+    }
+  }
+  if (a.size() == b.size()) {
+    return 0;
+  }
+  return a.size() < b.size() ? -1 : 1;
+}
+
 }  // namespace
 
 // --- LogTable -------------------------------------------------------------
@@ -43,17 +67,32 @@ class LogStore::LogTable : public Table,
   /// not-yet-sealed log tail (ShardStore's append-only write-buffer
   /// discipline); `pending` holds the same records framed for disk,
   /// appended and fsynced at the next epoch commit.
+  ///
+  /// `sealed` is a shared_ptr so readers streaming the segment outside
+  /// dataMu_ can pin the generation: a concurrent compaction swaps the
+  /// pointer, and the superseded mapping stays alive until its last pin
+  /// drops (POSIX keeps an unlinked mapping readable).
+  ///
+  /// `loaded` is the out-of-core switch: recovery under a memory budget
+  /// records the committed log tail's length but defers its replay; the
+  /// first touch (ensureLoaded) replays it through the sealed segment —
+  /// the read-through path.  `bufferBytes` + `pending.size()` is the
+  /// part's accounted resident footprint; `lastTouch` feeds LRU victim
+  /// selection.
   struct Part {
     std::vector<BufferedWrite> buffer;
     std::unordered_map<Bytes, std::size_t> index;  // key -> newest buffer slot
     Bytes pending;
     bool sealedCleared = false;  // A clear record masks the sealed segment.
-    SealedSegment sealed;
+    bool loaded = true;          // Committed log tail replayed into buffer.
+    std::shared_ptr<SealedSegment> sealed;
     AppendFile log;
     std::uint64_t logGen = 1;
     std::uint64_t sealedGen = 0;
     std::uint64_t committedLen = 0;
     std::uint64_t liveCount = 0;
+    std::uint64_t bufferBytes = 0;  // Accounted buffer + index bytes.
+    std::uint64_t lastTouch = 0;    // LRU clock snapshot.
   };
 
   /// Fresh table.
@@ -86,6 +125,7 @@ class LogStore::LogTable : public Table,
     options_.ubiquitous = state.ubiquitous;
     options_.partitioner = makeDefaultPartitioner(options_.parts);
     parts_.resize(options_.parts);
+    const bool lazy = store_->options_.memoryBudgetBytes > 0;
     for (std::uint32_t i = 0; i < options_.parts; ++i) {
       Part& p = parts_[i];
       const logstore::PartState& ps = state.partStates.at(i);
@@ -93,21 +133,41 @@ class LogStore::LogTable : public Table,
       p.sealedGen = ps.sealedGen;
       p.committedLen = ps.committedLen;
       if (ps.sealedGen != 0) {
-        p.sealed.open(dir + "/" + partFileName(id_, i, ps.sealedGen, ".seg"));
+        auto seg = std::make_shared<SealedSegment>();
+        seg->open(dir + "/" + partFileName(id_, i, ps.sealedGen, ".seg"));
+        p.sealed = std::move(seg);
         // Sealed entries are live until replay() erases/clears them; it
         // only counts net-new keys (exists() sees the sealed segment).
-        p.liveCount = p.sealed.count();
+        p.liveCount = p.sealed->count();
       }
       const std::string logPath =
           dir + "/" + partFileName(id_, i, ps.logGen, ".log");
       if (ps.committedLen > 0) {
-        const Bytes bytes = logstore::readFileBytes(logPath);
-        if (bytes.size() < ps.committedLen) {
-          throw SegmentError("LogTable '" + name_ + "' part " +
-                             std::to_string(i) +
-                             ": log shorter than its committed length");
+        if (lazy) {
+          // Under a memory budget, materializing every part at open
+          // would blow the budget before the first eviction could run;
+          // defer the tail replay to first touch (ensureLoaded).  Fail
+          // fast here on the one corruption shape that is cheap to
+          // detect without reading the file; frame-level validation of
+          // the committed prefix happens on load.
+          std::error_code ec;
+          const std::uintmax_t onDisk = fs::file_size(logPath, ec);
+          if (ec || onDisk < ps.committedLen) {
+            throw SegmentError("LogTable '" + name_ + "' part " +
+                               std::to_string(i) +
+                               ": log shorter than its committed length");
+          }
+          p.loaded = false;
+          p.liveCount = ps.liveEntries;  // Manifest-recorded; exact.
+        } else {
+          const Bytes bytes = logstore::readFileBytes(logPath);
+          if (bytes.size() < ps.committedLen) {
+            throw SegmentError("LogTable '" + name_ + "' part " +
+                               std::to_string(i) +
+                               ": log shorter than its committed length");
+          }
+          replay(p, BytesView(bytes.data(), ps.committedLen));
         }
-        replay(p, BytesView(bytes.data(), ps.committedLen));
       }
       // Reopening truncated drops any torn tail past the committed length.
       p.log.openTruncated(logPath, ps.committedLen);
@@ -132,22 +192,31 @@ class LogStore::LogTable : public Table,
   }
 
   std::optional<Value> get(KeyView key) override {
-    LockGuard lock(store_->dataMu_);
-    store_->metrics_.incLocal();
-    Part& p = parts_[partOf(key)];
-    if (const auto it = p.index.find(Bytes(key)); it != p.index.end()) {
-      const BufferedWrite& w = p.buffer[it->second];
-      if (w.tombstone) {
-        return std::nullopt;
+    std::optional<Value> out;
+    {
+      LockGuard lock(store_->dataMu_);
+      store_->metrics_.incLocal();
+      Part& p = parts_[partOf(key)];
+      ensureLoaded(p);
+      touch(p);
+      if (const auto it = p.index.find(Bytes(key)); it != p.index.end()) {
+        const BufferedWrite& w = p.buffer[it->second];
+        if (!w.tombstone) {
+          out = w.value;
+        }
+      } else if (!p.sealedCleared && p.sealed) {
+        // Read-through: the buffer has no verdict, so the mmap'd sealed
+        // segment is the part's state — the whole of it once evicted.
+        if (const auto v = p.sealed->find(key)) {
+          out = Bytes(*v);
+          store_->segReadHits_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          store_->segReadMisses_.fetch_add(1, std::memory_order_relaxed);
+        }
       }
-      return w.value;
     }
-    if (!p.sealedCleared && p.sealed.isOpen()) {
-      if (const auto v = p.sealed.find(key)) {
-        return Bytes(*v);
-      }
-    }
-    return std::nullopt;
+    store_->enforceBudget();  // ensureLoaded may have grown the resident set.
+    return out;
   }
 
   void put(KeyView key, ValueView value) override {
@@ -158,27 +227,37 @@ class LogStore::LogTable : public Table,
       LockGuard lock(store_->dataMu_);
       store_->metrics_.incLocal();
       Part& p = parts_[part];
+      ensureLoaded(p);
+      touch(p);
       apply(p, LogOp::kPut, key, value, /*writeLog=*/true);
       overBudget = p.pending.size() > store_->options_.compactBytes;
     }
     if (overBudget) {
       store_->scheduleCompaction(shared_from_this(), part);
     }
+    store_->enforceBudget();
   }
 
   bool erase(KeyView key) override {
     checkWritable("erase");
-    LockGuard lock(store_->dataMu_);
-    store_->metrics_.incLocal();
-    return apply(parts_[partOf(key)], LogOp::kErase, key, {},
-                 /*writeLog=*/true);
+    bool existed = false;
+    {
+      LockGuard lock(store_->dataMu_);
+      store_->metrics_.incLocal();
+      Part& p = parts_[partOf(key)];
+      ensureLoaded(p);
+      touch(p);
+      existed = apply(p, LogOp::kErase, key, {}, /*writeLog=*/true);
+    }
+    store_->enforceBudget();
+    return existed;
   }
 
   [[nodiscard]] std::uint64_t size() const override {
     LockGuard lock(store_->dataMu_);
     std::uint64_t total = 0;
     for (const Part& p : parts_) {
-      total += p.liveCount;
+      total += p.liveCount;  // Exact even for unloaded parts (manifest).
     }
     return total;
   }
@@ -202,19 +281,58 @@ class LogStore::LogTable : public Table,
 
   Bytes enumeratePart(std::uint32_t part, PairConsumer& consumer) override {
     store_->metrics_.incScans();
-    // Fold under the lock; callbacks run outside it so they can freely
-    // mutate this or other tables.
-    std::vector<std::pair<Bytes, Bytes>> snapshot;
+    // Snapshot the dirty overlay and PIN the sealed generation under the
+    // lock, then merge-stream outside it so callbacks can freely mutate
+    // this or other tables.  Streaming (rather than folding a full copy)
+    // is what keeps scans of an evicted part within the memory budget:
+    // sealed entries are read straight from the mapping, one at a time.
+    // The pin keeps that mapping alive if a concurrent compaction swaps
+    // generations mid-stream — without it the views handed to the
+    // consumer would dangle into munmap'd memory.
+    std::shared_ptr<const SealedSegment> pinned;
+    std::map<Bytes, std::optional<Bytes>> overlay;  // newest-wins dirty tail
     {
       LockGuard lock(store_->dataMu_);
-      snapshot = fold(parts_.at(part));
-    }
-    consumer.setupPart(part);
-    for (const auto& [k, v] : snapshot) {
-      if (!consumer.consume(part, k, v)) {
-        break;
+      Part& p = parts_.at(part);
+      ensureLoaded(p);
+      touch(p);
+      if (!p.sealedCleared) {
+        pinned = p.sealed;
+      }
+      for (const BufferedWrite& w : p.buffer) {
+        overlay.insert_or_assign(
+            w.key, w.tombstone ? std::nullopt : std::optional<Bytes>(w.value));
       }
     }
+    consumer.setupPart(part);
+    auto it = overlay.begin();
+    const std::uint64_t n = pinned ? pinned->count() : 0;
+    std::uint64_t i = 0;
+    bool more = true;
+    while (more) {
+      if (i < n) {
+        const auto [sk, sv] = pinned->entry(i);
+        int cmp = 1;  // Overlay exhausted: the segment entry goes next.
+        if (it != overlay.end()) {
+          cmp = compareKeys(it->first, sk);
+        }
+        if (cmp > 0) {
+          more = consumer.consume(part, sk, sv);
+          ++i;
+          continue;
+        }
+        if (cmp == 0) {
+          ++i;  // The overlay's newer verdict masks this sealed entry.
+        }
+      } else if (it == overlay.end()) {
+        break;
+      }
+      if (it->second) {
+        more = consumer.consume(part, it->first, *it->second);
+      }
+      ++it;  // Tombstones emit nothing but still advance.
+    }
+    store_->enforceBudget();
     return consumer.finalizePart(part);
   }
 
@@ -234,6 +352,9 @@ class LogStore::LogTable : public Table,
     checkWritable("clearPart");
     LockGuard lock(store_->dataMu_);
     Part& p = parts_.at(part);
+    touch(p);
+    // No ensureLoaded: the clear masks the unreplayed tail (apply marks
+    // the part loaded), and liveCount is exact even while unloaded.
     const std::uint64_t n = p.liveCount;
     apply(p, LogOp::kClear, {}, {}, /*writeLog=*/true);
     return n;
@@ -241,11 +362,17 @@ class LogStore::LogTable : public Table,
 
   std::vector<std::pair<Key, Value>> drainPart(std::uint32_t part) override {
     checkWritable("drainPart");
-    LockGuard lock(store_->dataMu_);
-    store_->metrics_.incScans();
-    Part& p = parts_.at(part);
-    std::vector<std::pair<Bytes, Bytes>> out = fold(p);
-    apply(p, LogOp::kClear, {}, {}, /*writeLog=*/true);
+    std::vector<std::pair<Bytes, Bytes>> out;
+    {
+      LockGuard lock(store_->dataMu_);
+      store_->metrics_.incScans();
+      Part& p = parts_.at(part);
+      ensureLoaded(p);
+      touch(p);
+      out = fold(p);
+      apply(p, LogOp::kClear, {}, {}, /*writeLog=*/true);
+    }
+    store_->enforceBudget();
     return out;
   }
 
@@ -274,8 +401,10 @@ class LogStore::LogTable : public Table,
           p.log.open(dir + "/" + partFileName(id_, i, p.logGen, ".log"));
           createdFiles = true;
         }
+        const std::uint64_t flushed = p.pending.size();
         p.log.append(p.pending);
         p.pending.clear();
+        store_->noteResident(-static_cast<std::int64_t>(flushed));
         p.log.sync();
         p.committedLen = p.log.size();
       }
@@ -283,6 +412,7 @@ class LogStore::LogTable : public Table,
       ps.logGen = p.logGen;
       ps.committedLen = p.committedLen;
       ps.sealedGen = p.sealedGen;
+      ps.liveEntries = p.liveCount;
     }
     return state;
   }
@@ -290,6 +420,12 @@ class LogStore::LogTable : public Table,
   /// Fold a part and swap in a new sealed generation + empty log.  Caller
   /// holds manifestMu_ and dataMu_.  Returns the superseded files (kept
   /// on disk until the next commit stops referencing them).
+  ///
+  /// This is also the eviction primitive: the in-memory fold is dropped
+  /// only AFTER writeFileDurable has the new segment on disk, so dirty
+  /// uncommitted data is never lost — it becomes sealed-and-readable
+  /// immediately, and a crash before the next commit rolls back to the
+  /// old generation the manifest still names.
   std::vector<std::string> compactPart(std::uint32_t part,
                                        const std::string& dir) {
     Part& p = parts_.at(part);
@@ -310,19 +446,45 @@ class LogStore::LogTable : public Table,
                            partFileName(id_, part, p.sealedGen, ".seg"));
     }
 
-    p.sealed.close();
-    p.sealed.open(segPath);
+    auto fresh = std::make_shared<SealedSegment>();
+    fresh->open(segPath);
+    // Swap, don't close: readers pinning the old generation keep its
+    // mapping alive until their last reference drops.
+    p.sealed = std::move(fresh);
     p.sealedGen = newGen;
     p.sealedCleared = false;
+    const std::uint64_t wasResident = p.bufferBytes + p.pending.size();
     p.buffer.clear();
     p.index.clear();
     p.pending.clear();
+    p.bufferBytes = 0;
+    store_->noteResident(-static_cast<std::int64_t>(wasResident));
     p.log.close();
     p.log.open(dir + "/" + partFileName(id_, part, newGen, ".log"));
     p.logGen = newGen;
     p.committedLen = 0;
     p.liveCount = folded.size();
+    p.loaded = true;  // The fresh log has no tail to replay.
     return superseded;
+  }
+
+  /// Coldest part with accounted resident bytes, for LRU eviction.
+  /// Caller holds dataMu_.  Returns false when nothing is evictable.
+  bool coldestResidentPart(std::uint64_t& bestTouch,
+                           std::uint32_t& bestPart) const {
+    bool found = false;
+    for (std::uint32_t i = 0; i < parts_.size(); ++i) {
+      const Part& p = parts_[i];
+      if (p.bufferBytes + p.pending.size() == 0) {
+        continue;
+      }
+      if (!found || p.lastTouch < bestTouch) {
+        found = true;
+        bestTouch = p.lastTouch;
+        bestPart = i;
+      }
+    }
+    return found;
   }
 
   /// File names the table's current generations occupy (for drop/stray
@@ -341,9 +503,9 @@ class LogStore::LogTable : public Table,
 
   void accumulateStats(Stats& s) const {
     for (const Part& p : parts_) {
-      if (p.sealed.isOpen()) {
+      if (p.sealed) {
         ++s.sealedSegments;
-        s.sealedBytes += p.sealed.sizeBytes();
+        s.sealedBytes += p.sealed->sizeBytes();
       }
       s.logBytes += p.committedLen;
       s.pendingBytes += p.pending.size();
@@ -351,11 +513,38 @@ class LogStore::LogTable : public Table,
   }
 
  private:
+  /// Stamp the part's LRU clock.  Caller holds dataMu_.
+  void touch(Part& p) {
+    p.lastTouch =
+        store_->touchClock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Replay the committed log tail the recovery pass deferred (out-of-
+  /// core open).  Caller holds dataMu_.  Throws SegmentError on corrupt
+  /// committed records, exactly as eager recovery would have.
+  void ensureLoaded(Part& p) {
+    if (p.loaded) {
+      return;
+    }
+    p.loaded = true;
+    // Reset to the sealed baseline; replay re-derives the live count the
+    // same way eager recovery does.
+    p.liveCount = p.sealed ? p.sealed->count() : 0;
+    const Bytes bytes = logstore::readFileBytes(p.log.path());
+    if (bytes.size() < p.committedLen) {
+      throw SegmentError("LogTable '" + name_ +
+                         "': log shorter than its committed length");
+    }
+    replay(p, BytesView(bytes.data(), p.committedLen));
+  }
+
   /// Apply one logical mutation: update the in-memory buffer/index/count
   /// and (writeLog) mirror it into the part's pending disk frames.
   /// Recovery replays committed records through the same path with
   /// writeLog=false.  Returns whether the key existed (for erase).
   bool apply(Part& p, LogOp op, KeyView key, ValueView value, bool writeLog) {
+    const std::uint64_t before = p.bufferBytes + p.pending.size();
+    bool result = true;
     if (op == LogOp::kClear) {
       if (writeLog) {
         logstore::appendFrame(p.pending,
@@ -363,35 +552,41 @@ class LogStore::LogTable : public Table,
       }
       p.buffer.clear();
       p.index.clear();
+      p.bufferBytes = 0;
       p.sealedCleared = true;
       p.liveCount = 0;
-      return true;
+      p.loaded = true;  // The clear masks any unreplayed committed tail.
+    } else {
+      const bool existed = exists(p, key);
+      if (op == LogOp::kErase && !existed) {
+        return false;  // Semantic no-op; nothing to log or buffer.
+      }
+      if (writeLog) {
+        logstore::appendFrame(p.pending,
+                              logstore::encodeLogRecord(op, key, value));
+      }
+      p.buffer.push_back(BufferedWrite{Bytes(key), Bytes(value),
+                                       op == LogOp::kErase});
+      p.index[Bytes(key)] = p.buffer.size() - 1;
+      p.bufferBytes += key.size() + value.size() + kEntryOverhead;
+      if (op == LogOp::kPut && !existed) {
+        ++p.liveCount;
+      } else if (op == LogOp::kErase) {
+        --p.liveCount;
+      }
+      result = existed;
     }
-    const bool existed = exists(p, key);
-    if (op == LogOp::kErase && !existed) {
-      return false;  // Semantic no-op; nothing to log or buffer.
-    }
-    if (writeLog) {
-      logstore::appendFrame(p.pending,
-                            logstore::encodeLogRecord(op, key, value));
-    }
-    p.buffer.push_back(BufferedWrite{Bytes(key), Bytes(value),
-                                     op == LogOp::kErase});
-    p.index[Bytes(key)] = p.buffer.size() - 1;
-    if (op == LogOp::kPut && !existed) {
-      ++p.liveCount;
-    } else if (op == LogOp::kErase) {
-      --p.liveCount;
-    }
-    return existed;
+    store_->noteResident(
+        static_cast<std::int64_t>(p.bufferBytes + p.pending.size()) -
+        static_cast<std::int64_t>(before));
+    return result;
   }
 
   bool exists(const Part& p, KeyView key) const {
     if (const auto it = p.index.find(Bytes(key)); it != p.index.end()) {
       return !p.buffer[it->second].tombstone;
     }
-    return !p.sealedCleared && p.sealed.isOpen() &&
-           p.sealed.find(key).has_value();
+    return !p.sealedCleared && p.sealed && p.sealed->find(key).has_value();
   }
 
   /// Replay a committed log prefix.  The prefix was fsynced before its
@@ -420,9 +615,9 @@ class LogStore::LogTable : public Table,
   std::vector<std::pair<Bytes, Bytes>> fold(const Part& p) const {
     Stopwatch watch;
     std::map<Bytes, std::optional<Bytes>> merged;
-    if (!p.sealedCleared && p.sealed.isOpen()) {
-      for (std::uint64_t i = 0; i < p.sealed.count(); ++i) {
-        const auto [k, v] = p.sealed.entry(i);
+    if (!p.sealedCleared && p.sealed) {
+      for (std::uint64_t i = 0; i < p.sealed->count(); ++i) {
+        const auto [k, v] = p.sealed->entry(i);
         merged.emplace(Bytes(k), Bytes(v));
       }
     }
@@ -455,6 +650,13 @@ std::shared_ptr<LogStore> LogStore::open(Options options) {
   return std::shared_ptr<LogStore>(new LogStore(std::move(options)));
 }
 
+LogStore::EphemeralDirGuard::~EphemeralDirGuard() {
+  if (!path.empty()) {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+}
+
 LogStore::LogStore(Options options) : options_(std::move(options)) {
   if (options_.path.empty()) {
     std::string tmpl =
@@ -467,7 +669,15 @@ LogStore::LogStore(Options options) : options_(std::move(options)) {
     ephemeral_ = true;
   } else {
     path_ = options_.path;
+    ephemeral_ = options_.ephemeral;
     fs::create_directories(path_);
+  }
+  if (ephemeral_) {
+    // Armed BEFORE recover(): if recovery throws, ~LogStore never runs,
+    // but member destructors still do and the guard removes the
+    // directory — the cleanup-on-destroy contract holds on the throwing
+    // path too.
+    ephemeralDir_.path = path_;
   }
   recover();
   if (options_.backgroundCompaction) {
@@ -490,10 +700,8 @@ LogStore::~LogStore() {
     // Destructor must not throw; an unflushed tail simply rolls back to
     // the previous epoch on the next open.
   }
-  if (ephemeral_) {
-    std::error_code ec;
-    fs::remove_all(path_, ec);
-  }
+  // An ephemeral directory is removed by ephemeralDir_'s destructor,
+  // which runs after this body — and also when the constructor throws.
 }
 
 void LogStore::recover() {
@@ -698,6 +906,84 @@ std::uint64_t LogStore::lastCommittedEpoch() const {
   return lastCommitted_.load(std::memory_order_acquire);
 }
 
+void LogStore::noteResident(std::int64_t delta) {
+  if (delta == 0) {
+    return;
+  }
+  std::uint64_t now = 0;
+  if (delta > 0) {
+    const auto d = static_cast<std::uint64_t>(delta);
+    now = resident_.fetch_add(d, std::memory_order_relaxed) + d;
+  } else {
+    const auto d = static_cast<std::uint64_t>(-delta);
+    now = resident_.fetch_sub(d, std::memory_order_relaxed) - d;
+  }
+  std::uint64_t peak = residentPeak_.load(std::memory_order_relaxed);
+  while (now > peak && !residentPeak_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void LogStore::enforceBudget() {
+  const std::size_t budget = options_.memoryBudgetBytes;
+  if (budget == 0 || resident_.load(std::memory_order_relaxed) <= budget) {
+    return;  // Fast path: unbounded, or already within budget.
+  }
+  bool evicted = false;
+  {
+    // tablesMu_ (30) pins the victim scan's table set; evictMu_ (28)
+    // serializes evictors; each eviction then descends through
+    // manifestMu_ (27) and dataMu_ (20) exactly like a compaction.
+    LockGuard tl(tablesMu_);
+    LockGuard el(evictMu_);
+    while (resident_.load(std::memory_order_relaxed) > budget) {
+      std::shared_ptr<LogTable> victim;
+      std::uint32_t victimPart = 0;
+      {
+        LockGuard dl(dataMu_);
+        std::uint64_t bestTouch = 0;
+        for (const auto& [name, t] : tables_) {
+          std::uint64_t partTouch = 0;
+          std::uint32_t part = 0;
+          if (t->coldestResidentPart(partTouch, part) &&
+              (!victim || partTouch < bestTouch)) {
+            victim = t;
+            bestTouch = partTouch;
+            victimPart = part;
+          }
+        }
+      }
+      if (!victim) {
+        break;  // Nothing evictable (resident state all in dropped tables).
+      }
+      std::vector<std::string> superseded;
+      {
+        LockGuard ml(manifestMu_);
+        {
+          LockGuard dl(dataMu_);
+          superseded = victim->compactPart(victimPart, path_);
+        }
+        if (!superseded.empty()) {
+          logstore::syncDir(path_);
+          for (std::string& f : superseded) {
+            obsoleteFiles_.push_back(std::move(f));
+          }
+        }
+      }
+      if (superseded.empty()) {
+        break;  // A racing compaction got there first and nothing else is
+                // resident enough to matter; avoid spinning.
+      }
+      evicted = true;
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      compactions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (evicted) {
+    refreshGauges();
+  }
+}
+
 void LogStore::scheduleCompaction(std::shared_ptr<LogTable> table,
                                   std::uint32_t part) {
   if (!options_.backgroundCompaction) {
@@ -793,6 +1079,12 @@ LogStore::Stats LogStore::stats() const {
   }
   s.compactions = compactions_.load(std::memory_order_relaxed);
   s.commits = commits_.load(std::memory_order_relaxed);
+  s.residentBytes = resident_.load(std::memory_order_relaxed);
+  s.residentPeakBytes = residentPeak_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.segmentReadHits = segReadHits_.load(std::memory_order_relaxed);
+  s.segmentReadMisses = segReadMisses_.load(std::memory_order_relaxed);
+  s.memoryBudgetBytes = options_.memoryBudgetBytes;
   s.lastRecoverySeconds = lastRecoverySeconds_.load(std::memory_order_acquire);
   return s;
 }
@@ -827,6 +1119,18 @@ void LogStore::refreshGauges() {
       .set(static_cast<double>(s.logBytes));
   logRegistry_->gauge(logPrefix_ + ".pending_bytes")
       .set(static_cast<double>(s.pendingBytes));
+  logRegistry_->gauge(logPrefix_ + ".resident_bytes")
+      .set(static_cast<double>(s.residentBytes));
+  logRegistry_->gauge(logPrefix_ + ".resident_peak_bytes")
+      .set(static_cast<double>(s.residentPeakBytes));
+  logRegistry_->gauge(logPrefix_ + ".memory_budget_bytes")
+      .set(static_cast<double>(s.memoryBudgetBytes));
+  logRegistry_->gauge(logPrefix_ + ".evictions")
+      .set(static_cast<double>(s.evictions));
+  logRegistry_->gauge(logPrefix_ + ".segment_read_hits")
+      .set(static_cast<double>(s.segmentReadHits));
+  logRegistry_->gauge(logPrefix_ + ".segment_read_misses")
+      .set(static_cast<double>(s.segmentReadMisses));
   logRegistry_->gauge(logPrefix_ + ".epoch")
       .set(static_cast<double>(lastCommitted_.load(std::memory_order_acquire)));
   logRegistry_->gauge(logPrefix_ + ".compactions")

@@ -29,6 +29,24 @@
 // time; the superseded generation files are retained until the next
 // commit record stops referencing them, so a crash mid-compaction always
 // recovers from intact files.
+//
+// Out-of-core operation (DESIGN.md §14): a store-wide memory budget
+// (Options::memoryBudgetBytes, 0 = unbounded) bounds the bytes held in
+// part write buffers.  When a mutation or a lazy load pushes the
+// accounted resident total over the budget, the store force-compacts the
+// least-recently-touched resident parts — folding their buffered state
+// into a new sealed generation on disk and dropping the in-memory copy —
+// until the total fits again.  Data is only ever dropped AFTER the fold
+// is durable in the new segment file, so nothing uncommitted is lost;
+// crash recovery still lands exactly on the last committed epoch because
+// the manifest keeps naming the old generation until the next commit.
+// Reads on an evicted part go through the mmap'd sealed segment (point
+// reads binary-search it, scans stream it) plus a replay of the
+// committed log tail, and recovery under a budget defers that replay to
+// first touch instead of materializing every part eagerly.  Readers that
+// stream a segment outside the data lock pin its generation via a
+// shared_ptr so a concurrent compaction swap cannot unmap it from under
+// their borrowed views.
 
 #pragma once
 
@@ -81,8 +99,22 @@ class LogStore : public KVStore,
     /// path (RIPPLE_STORE_PATH / --store-path / EngineOptions::storePath).
     std::string path;
 
+    /// Treat a non-empty `path` under the ephemeral contract too: the
+    /// directory is deleted when the store is destroyed OR when open()
+    /// throws mid-recovery.  Tests use this to open pre-seeded (possibly
+    /// corrupt) directories with ephemeral cleanup semantics.
+    bool ephemeral = false;
+
     /// Per-part pending-log bytes that trigger a compaction.
     std::size_t compactBytes = 256 * 1024;
+
+    /// Store-wide budget for resident part state (write buffers + their
+    /// indexes + pending frames), in bytes.  0 = unbounded (no eviction,
+    /// eager recovery — exactly the pre-budget behavior).  When > 0,
+    /// exceeding the budget force-compacts cold parts and drops their
+    /// in-memory fold; see the eviction notes in the file comment.
+    /// Env/CLI: RIPPLE_STORE_MEM / --store-mem.
+    std::size_t memoryBudgetBytes = 0;
 
     /// Run compactions on a background thread (true) or only via
     /// compactNow() (false; recovery tests pin file states).
@@ -132,12 +164,19 @@ class LogStore : public KVStore,
     std::uint64_t pendingBytes = 0;   // Buffered, not yet committed.
     std::uint64_t compactions = 0;
     std::uint64_t commits = 0;
+    std::uint64_t residentBytes = 0;      // Accounted in-memory part state.
+    std::uint64_t residentPeakBytes = 0;  // High-water mark of the above.
+    std::uint64_t evictions = 0;          // Budget-forced compactions.
+    std::uint64_t segmentReadHits = 0;    // Point reads answered by a
+    std::uint64_t segmentReadMisses = 0;  //   sealed segment (hit/miss).
+    std::uint64_t memoryBudgetBytes = 0;  // 0 = unbounded.
     double lastRecoverySeconds = 0.0;
   };
   [[nodiscard]] Stats stats() const;
 
   /// Mirror log-store internals into `registry` as `<prefix>.segments`,
-  /// `.segment_bytes`, `.log_bytes`, `.compactions`, `.commits` gauges/
+  /// `.segment_bytes`, `.log_bytes`, `.resident_bytes`, `.evictions`,
+  /// `.segment_read_{hits,misses}`, `.compactions`, `.commits` gauges/
   /// counters plus `.fold_seconds` and `.recovery_seconds` histograms.
   void bindLogMetrics(obs::MetricsRegistry& registry,
                       const std::string& prefix = "store.log");
@@ -149,6 +188,18 @@ class LogStore : public KVStore,
     std::uint32_t part = 0;
   };
 
+  /// Deletes an ephemeral store directory when destroyed.  A member
+  /// rather than destructor logic so the cleanup-on-destroy contract
+  /// holds even when the constructor throws mid-recovery and ~LogStore
+  /// never runs (member destructors still do).
+  struct EphemeralDirGuard {
+    std::string path;  // Empty = nothing to remove.
+    EphemeralDirGuard() = default;
+    ~EphemeralDirGuard();
+    EphemeralDirGuard(const EphemeralDirGuard&) = delete;
+    EphemeralDirGuard& operator=(const EphemeralDirGuard&) = delete;
+  };
+
   explicit LogStore(Options options);
   void recover();
   void compactionLoop();
@@ -158,16 +209,31 @@ class LogStore : public KVStore,
   void recordFold(double seconds);
   void removeStrayFiles();
 
+  /// Adjust the store-wide resident-byte total (called under dataMu_
+  /// whenever a part's accounted bytes change) and track the peak.
+  void noteResident(std::int64_t delta);
+
+  /// Evict least-recently-touched parts until the resident total fits the
+  /// budget again.  Called with NO store locks held; no-op when the
+  /// budget is 0 or already satisfied.
+  void enforceBudget();
+
   Options options_;
   std::string path_;
   bool ephemeral_ = false;
+  EphemeralDirGuard ephemeralDir_;
 
-  // Lock order (strict descent, DESIGN.md §12): tables_(30) → manifest
-  // (27) → part data (20).  The compaction queue (24) is only ever taken
-  // with nothing else held.
+  // Lock order (strict descent, DESIGN.md §12): tables_(30) → eviction
+  // (28) → manifest (27) → part data (20).  The compaction queue (24) is
+  // only ever taken with nothing else held.
   mutable RankedMutex<LockRank::kStoreTableMap> tablesMu_;
   std::unordered_map<std::string, std::shared_ptr<LogTable>> tables_
       RIPPLE_GUARDED_BY(tablesMu_);
+
+  /// Serializes budget enforcement: one evictor at a time scans for
+  /// victims and compacts them, so concurrent mutators cannot gang up and
+  /// evict the same (or every) part redundantly.
+  mutable RankedMutex<LockRank::kStoreEvict> evictMu_;
 
   mutable RankedMutex<LockRank::kStoreManifest> manifestMu_;
   logstore::AppendFile manifest_ RIPPLE_GUARDED_BY(manifestMu_);
@@ -182,6 +248,12 @@ class LogStore : public KVStore,
   std::atomic<std::uint64_t> lastCommitted_{0};
   std::atomic<std::uint64_t> compactions_{0};
   std::atomic<std::uint64_t> commits_{0};
+  std::atomic<std::uint64_t> resident_{0};
+  std::atomic<std::uint64_t> residentPeak_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> segReadHits_{0};
+  std::atomic<std::uint64_t> segReadMisses_{0};
+  std::atomic<std::uint64_t> touchClock_{0};  // LRU clock for part touches.
   std::atomic<double> lastRecoverySeconds_{0.0};
 
   // Compaction plumbing.

@@ -40,6 +40,7 @@ Bytes encodeCommitRecord(const ManifestState& state) {
       w.putVarint(p.logGen);
       w.putVarint(p.committedLen);
       w.putVarint(p.sealedGen);
+      w.putVarint(p.liveEntries);
     }
   }
   return w.take();
@@ -85,6 +86,7 @@ std::optional<ManifestRecord> decodeManifestRecord(
         p.logGen = r.getVarint();
         p.committedLen = r.getVarint();
         p.sealedGen = r.getVarint();
+        p.liveEntries = r.getVarint();
       }
       if (t.id == 0 || t.id >= rec.state.nextTableId) {
         return std::nullopt;  // Ids are allocated below nextTableId.

@@ -34,7 +34,8 @@ namespace ripple::kv::logstore {
 struct PartState {
   std::uint64_t logGen = 1;
   std::uint64_t committedLen = 0;
-  std::uint64_t sealedGen = 0;  // 0 = no sealed segment.
+  std::uint64_t sealedGen = 0;   // 0 = no sealed segment.
+  std::uint64_t liveEntries = 0; // Live keys after replaying committedLen.
 };
 
 struct TableState {

@@ -1,6 +1,7 @@
 #include "kvstore/store_factory.h"
 
 #include <cstdlib>
+#include <limits>
 
 #include "common/logging.h"
 #include "kvstore/local_store.h"
@@ -78,8 +79,64 @@ std::string resolveStorePath(const std::string& storePath) {
   return env == nullptr ? std::string() : std::string(env);
 }
 
+std::optional<std::size_t> parseByteSize(const std::string& spec) {
+  if (spec.empty()) {
+    return std::nullopt;
+  }
+  std::size_t multiplier = 1;
+  std::string digits = spec;
+  const char last = spec.back();
+  if (last == 'k' || last == 'K') {
+    multiplier = std::size_t{1} << 10;
+  } else if (last == 'm' || last == 'M') {
+    multiplier = std::size_t{1} << 20;
+  } else if (last == 'g' || last == 'G') {
+    multiplier = std::size_t{1} << 30;
+  }
+  if (multiplier != 1) {
+    digits.pop_back();
+  }
+  if (digits.empty()) {
+    return std::nullopt;
+  }
+  std::size_t value = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') {
+      return std::nullopt;
+    }
+    const std::size_t digit = static_cast<std::size_t>(c - '0');
+    if (value > (std::numeric_limits<std::size_t>::max() - digit) / 10) {
+      return std::nullopt;
+    }
+    value = value * 10 + digit;
+  }
+  if (multiplier != 1 &&
+      value > std::numeric_limits<std::size_t>::max() / multiplier) {
+    return std::nullopt;
+  }
+  return value * multiplier;
+}
+
+std::size_t resolveStoreMemory(std::size_t requested) {
+  if (requested != 0) {
+    return requested;
+  }
+  const char* env = std::getenv("RIPPLE_STORE_MEM");
+  if (env == nullptr || *env == '\0') {
+    return 0;
+  }
+  if (std::optional<std::size_t> parsed = parseByteSize(env)) {
+    return *parsed;
+  }
+  RIPPLE_WARN << "RIPPLE_STORE_MEM='" << env
+              << "' is not a byte size (e.g. 8388608, 8192K, 8M, 1G); "
+                 "running unbounded";
+  return 0;
+}
+
 KVStorePtr makeStore(StoreBackend backend, std::uint32_t containers,
-                     const std::string& storePath) {
+                     const std::string& storePath,
+                     std::size_t memoryBudgetBytes) {
   switch (resolveStoreBackend(backend)) {
     case StoreBackend::kShard:
       return ShardStore::create(containers);
@@ -87,8 +144,12 @@ KVStorePtr makeStore(StoreBackend backend, std::uint32_t containers,
       return LocalStore::create();
     case StoreBackend::kRemote:
       return ripple::net::makeRemoteStoreFromEnv(containers);
-    case StoreBackend::kLog:
-      return LogStore::open(resolveStorePath(storePath));
+    case StoreBackend::kLog: {
+      LogStore::Options o;
+      o.path = resolveStorePath(storePath);
+      o.memoryBudgetBytes = resolveStoreMemory(memoryBudgetBytes);
+      return LogStore::open(std::move(o));
+    }
     case StoreBackend::kPartitioned:
     case StoreBackend::kDefault:
       break;

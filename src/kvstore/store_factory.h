@@ -50,15 +50,30 @@ enum class StoreBackend {
 /// (executor domains).  PartitionedStore calls them containers,
 /// ShardStore locations; LocalStore runs inline and ignores the count.
 /// The log backend persists into `storePath` (empty resolves through
-/// RIPPLE_STORE_PATH, then a fresh temp directory deleted on close);
-/// other backends ignore it.
+/// RIPPLE_STORE_PATH, then a fresh temp directory deleted on close) and
+/// bounds its resident working set to `memoryBudgetBytes` (0 resolves
+/// through RIPPLE_STORE_MEM, unset = unbounded); other backends ignore
+/// both.
 [[nodiscard]] KVStorePtr makeStore(StoreBackend backend,
                                    std::uint32_t containers,
-                                   const std::string& storePath = {});
+                                   const std::string& storePath = {},
+                                   std::size_t memoryBudgetBytes = 0);
 
 /// The store directory the log backend would use for `storePath`:
 /// `storePath` itself when set, else RIPPLE_STORE_PATH, else "" (which
 /// LogStore turns into an ephemeral temp directory).
 [[nodiscard]] std::string resolveStorePath(const std::string& storePath);
+
+/// Parse a byte-size spec like "8388608", "8192K", "8M", or "1G"
+/// (suffixes are binary multiples, case-insensitive); nullopt on
+/// anything malformed or overflowing.
+[[nodiscard]] std::optional<std::size_t> parseByteSize(
+    const std::string& spec);
+
+/// The log backend's memory budget for `requested`: `requested` itself
+/// when non-zero, else RIPPLE_STORE_MEM, else 0 (unbounded).  A garbage
+/// env value logs a warning and resolves to unbounded (never throws: env
+/// misconfiguration must not take down a run).
+[[nodiscard]] std::size_t resolveStoreMemory(std::size_t requested);
 
 }  // namespace ripple::kv

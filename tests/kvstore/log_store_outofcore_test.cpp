@@ -1,0 +1,389 @@
+// Out-of-core behavior of the durable log store (DESIGN.md §14): the
+// store-wide memory budget, LRU eviction into sealed segments, the
+// evicted read-through path (mmap'd segment + committed log-tail
+// replay), lazy recovery under a budget, and the two latent-bug
+// regressions the eviction paths sit on top of:
+//
+//  * the ephemeral-directory leak when recovery throws mid-constructor
+//    (the destructor never runs; the RAII guard member must still clean
+//    up), and
+//  * the borrowed-view use-after-unmap when a reader streams a sealed
+//    segment while a concurrent compaction retires its generation (the
+//    pinned-generation shared_ptr must keep the mapping alive) — run
+//    under ASan this fails loudly pre-fix.
+//
+// Plus the end-to-end acceptance angle: PageRank through the sync engine
+// with checkpointing produces bit-identical ranks bounded vs unbounded.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <map>
+#include <random>
+#include <string>
+#include <thread>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "apps/pagerank.h"
+#include "ebsp/engine.h"
+#include "graph/graph_gen.h"
+#include "kvstore/log_store.h"
+#include "kvstore/segment.h"
+#include "kvstore/store_factory.h"
+#include "kvstore/table.h"
+
+namespace fs = std::filesystem;
+namespace kv = ripple::kv;
+namespace ls = ripple::kv::logstore;
+
+namespace {
+
+fs::path uniqueDir(const std::string& tag) {
+  const fs::path p = fs::temp_directory_path() /
+                     ("ripple-oc-" + tag + "-" + std::to_string(::getpid()));
+  fs::remove_all(p);
+  fs::create_directories(p);
+  return p;
+}
+
+std::shared_ptr<kv::LogStore> openStore(const std::string& path,
+                                        std::size_t budget) {
+  kv::LogStore::Options o;
+  o.path = path;
+  o.memoryBudgetBytes = budget;
+  o.backgroundCompaction = false;
+  return kv::LogStore::open(std::move(o));
+}
+
+/// Gather a table's full contents.
+class Collector : public kv::PairConsumer {
+ public:
+  bool consume(std::uint32_t /*part*/, kv::KeyView key,
+               kv::ValueView value) override {
+    pairs_.emplace(std::string(key), std::string(value));
+    return true;
+  }
+  std::map<std::string, std::string> pairs_;
+};
+
+std::map<std::string, std::string> contentsOf(kv::Table& table) {
+  Collector c;
+  table.enumerate(c);
+  return std::move(c.pairs_);
+}
+
+// --- Byte-size parsing (RIPPLE_STORE_MEM / --store-mem) -------------------
+
+TEST(StoreMemorySpec, ParsesPlainAndSuffixedSizes) {
+  EXPECT_EQ(kv::parseByteSize("8388608"), std::size_t{8388608});
+  EXPECT_EQ(kv::parseByteSize("8192K"), std::size_t{8192} << 10);
+  EXPECT_EQ(kv::parseByteSize("8m"), std::size_t{8} << 20);
+  EXPECT_EQ(kv::parseByteSize("1G"), std::size_t{1} << 30);
+  EXPECT_EQ(kv::parseByteSize("0"), std::size_t{0});
+}
+
+TEST(StoreMemorySpec, RejectsGarbageAndOverflow) {
+  EXPECT_EQ(kv::parseByteSize(""), std::nullopt);
+  EXPECT_EQ(kv::parseByteSize("M"), std::nullopt);
+  EXPECT_EQ(kv::parseByteSize("8MB"), std::nullopt);
+  EXPECT_EQ(kv::parseByteSize("-8M"), std::nullopt);
+  EXPECT_EQ(kv::parseByteSize("8.5M"), std::nullopt);
+  EXPECT_EQ(kv::parseByteSize("eight"), std::nullopt);
+  EXPECT_EQ(kv::parseByteSize("99999999999999999999999"), std::nullopt);
+  EXPECT_EQ(kv::parseByteSize("99999999999999999999G"), std::nullopt);
+}
+
+// --- Budget invariant ------------------------------------------------------
+
+// Randomized puts/erases/gets against a model map.  After every
+// operation the accounted resident bytes must sit at or below the
+// budget (enforcement runs before the op returns); the high-water mark
+// may additionally carry ONE operation's transient footprint — the
+// documented slack.  And the data must, of course, stay correct.
+TEST(LogStoreOutOfCore, BudgetInvariantUnderRandomizedOps) {
+  constexpr std::size_t kBudget = 16 * 1024;
+  auto store = openStore("", kBudget);
+  kv::TableOptions topts;
+  topts.parts = 4;
+  kv::TablePtr t = store->createTable("rand", topts);
+  std::map<std::string, std::string> model;
+  std::mt19937 rng(1234);
+  for (int op = 0; op < 4000; ++op) {
+    const int k = static_cast<int>(rng() % 400);
+    const std::string key = "key" + std::to_string(k);
+    const std::uint32_t action = rng() % 10;
+    if (action < 6) {
+      const std::string value(rng() % 64 + 1,
+                              static_cast<char>('a' + k % 26));
+      t->put(key, value);
+      model[key] = value;
+    } else if (action < 8) {
+      t->erase(key);
+      model.erase(key);
+    } else {
+      const std::optional<kv::Value> got = t->get(key);
+      const auto it = model.find(key);
+      if (it == model.end()) {
+        EXPECT_EQ(got, std::nullopt) << key;
+      } else {
+        EXPECT_EQ(got, std::optional<kv::Value>(it->second)) << key;
+      }
+    }
+    ASSERT_LE(store->stats().residentBytes, kBudget) << "op " << op;
+    if (op % 500 == 499) {
+      store->commitEpoch();
+    }
+  }
+  const kv::LogStore::Stats s = store->stats();
+  EXPECT_GT(s.evictions, 0u);
+  EXPECT_GT(s.segmentReadHits, 0u);  // Gets read through sealed segments.
+  // One op's worst footprint: key + value + entry overhead + its framed
+  // pending record.  512 bytes over-covers it.
+  EXPECT_LE(s.residentPeakBytes, kBudget + 512);
+  EXPECT_EQ(t->size(), model.size());
+  EXPECT_EQ(contentsOf(*t), model);
+}
+
+// --- Evicted read-through --------------------------------------------------
+
+// A 1-byte budget evicts after every op: all state lives in sealed
+// segments.  Point reads, scans and drains must serve it back through
+// the mmap regardless, in the SPI's canonical order.
+TEST(LogStoreOutOfCore, EvictedPartServesReadsThroughSealedSegment) {
+  auto store = openStore("", 1);
+  kv::TablePtr t = store->createTable("cold", kv::TableOptions{});
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "key" + std::to_string(100 + i);
+    t->put(key, "v" + std::to_string(i));
+    model[key] = "v" + std::to_string(i);
+  }
+  kv::LogStore::Stats s = store->stats();
+  EXPECT_GT(s.evictions, 0u);
+  EXPECT_LE(s.residentBytes, 1u);
+
+  for (const auto& [k, v] : model) {
+    EXPECT_EQ(t->get(k), std::optional<kv::Value>(v)) << k;
+  }
+  EXPECT_EQ(t->get("absent"), std::nullopt);
+  s = store->stats();
+  EXPECT_GE(s.segmentReadHits, 50u);
+  EXPECT_GE(s.segmentReadMisses, 1u);
+
+  EXPECT_EQ(contentsOf(*t), model);
+
+  const std::vector<std::pair<kv::Key, kv::Value>> drained = t->drainPart(0);
+  ASSERT_EQ(drained.size(), model.size());
+  auto it = model.begin();  // drainPart's contract: ascending key order.
+  for (const auto& [k, v] : drained) {
+    EXPECT_EQ(std::string(k.begin(), k.end()), it->first);
+    EXPECT_EQ(std::string(v.begin(), v.end()), it->second);
+    ++it;
+  }
+  EXPECT_EQ(t->size(), 0u);
+}
+
+// --- Lazy recovery ---------------------------------------------------------
+
+// Under a budget, reopening defers log-tail replay to first touch.
+// size() must be exact before any touch (the manifest records live
+// counts), and reads must merge the sealed segment with the committed
+// tail exactly as an eager recovery would.
+TEST(LogStoreOutOfCore, LazyRecoveryReadsThroughSegmentPlusLogTail) {
+  const fs::path dir = uniqueDir("lazy");
+  {
+    auto store = openStore(dir.string(), 0);
+    kv::TableOptions topts;
+    topts.parts = 2;
+    kv::TablePtr t = store->createTable("t", topts);
+    for (int i = 0; i < 20; ++i) {
+      t->put("k" + std::to_string(i), "sealed" + std::to_string(i));
+    }
+    store->compactNow();
+    store->commitEpoch();
+    t->put("k3", "tail3");     // Committed log tail over the sealed gen...
+    t->put("k20", "tail20");   // ...with a net-new key...
+    t->erase("k5");            // ...and a sealed key erased through it.
+    store->commitEpoch();
+  }
+  {
+    auto store = openStore(dir.string(), 4096);
+    kv::TablePtr t = store->lookupTable("t");
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->size(), 20u);  // 20 sealed + 1 new - 1 erased; untouched.
+    EXPECT_EQ(t->get("k3"), std::optional<kv::Value>("tail3"));
+    EXPECT_EQ(t->get("k5"), std::nullopt);
+    EXPECT_EQ(t->get("k20"), std::optional<kv::Value>("tail20"));
+    EXPECT_EQ(t->get("k7"), std::optional<kv::Value>("sealed7"));
+    EXPECT_GT(store->stats().segmentReadHits, 0u);
+    std::map<std::string, std::string> expected;
+    for (int i = 0; i < 20; ++i) {
+      expected["k" + std::to_string(i)] = "sealed" + std::to_string(i);
+    }
+    expected["k3"] = "tail3";
+    expected["k20"] = "tail20";
+    expected.erase("k5");
+    EXPECT_EQ(contentsOf(*t), expected);
+    EXPECT_EQ(t->size(), 20u);  // Still exact after the replay.
+  }
+  fs::remove_all(dir);
+}
+
+// --- Satellite regression: ephemeral-dir leak on throwing recovery ---------
+
+// When recovery throws mid-constructor the destructor never runs; the
+// cleanup-on-destroy contract for ephemeral directories must hold
+// anyway (RAII member, not destructor logic).  Pre-fix this leaked the
+// directory.
+TEST(LogStoreOutOfCore, EphemeralDirRemovedWhenRecoveryThrows) {
+  const fs::path dir = uniqueDir("leak");
+  {
+    auto store = openStore(dir.string(), 0);
+    kv::TablePtr t = store->createTable("t", kv::TableOptions{});
+    for (int i = 0; i < 12; ++i) {
+      t->put("k" + std::to_string(i), "v" + std::to_string(i));
+    }
+    store->commitEpoch();
+  }
+  // Corrupt the committed prefix of a part log: recovery must throw.
+  bool flipped = false;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".log" &&
+        fs::file_size(entry.path()) > 0) {
+      const std::uint64_t off = fs::file_size(entry.path()) / 2;
+      std::fstream f(entry.path(),
+                     std::ios::in | std::ios::out | std::ios::binary);
+      ASSERT_TRUE(f.is_open());
+      f.seekg(static_cast<std::streamoff>(off));
+      char c = 0;
+      f.get(c);
+      f.seekp(static_cast<std::streamoff>(off));
+      f.put(static_cast<char>(c ^ 0x5a));
+      flipped = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(flipped) << "no non-empty part log to corrupt";
+
+  kv::LogStore::Options o;
+  o.path = dir.string();
+  o.ephemeral = true;  // Adopt the pre-seeded dir under the cleanup contract.
+  o.backgroundCompaction = false;
+  EXPECT_THROW(kv::LogStore::open(std::move(o)), ls::SegmentError);
+  EXPECT_FALSE(fs::exists(dir))
+      << "ephemeral directory leaked by a throwing recovery";
+}
+
+// --- Satellite regression: borrowed views across a compaction swap ---------
+
+/// Parks mid-scan on the first pair so the main thread can compact and
+/// commit (retiring the generation being streamed), then resumes and
+/// keeps reading the now-superseded segment through its pin.
+class ParkingCollector : public kv::PairConsumer {
+ public:
+  bool consume(std::uint32_t /*part*/, kv::KeyView key,
+               kv::ValueView value) override {
+    if (!parkedOnce_) {
+      parkedOnce_ = true;
+      parked.set_value();
+      resume.get_future().wait();
+    }
+    pairs_.emplace(std::string(key), std::string(value));
+    return true;
+  }
+  std::promise<void> parked;
+  std::promise<void> resume;
+  std::map<std::string, std::string> pairs_;
+
+ private:
+  bool parkedOnce_ = false;
+};
+
+// Pre-fix (sealed segment swapped with close()+reopen under the lock,
+// no pinning) the resumed reader dereferences views into an munmap'd
+// mapping — under ASan this is a hard failure.  Post-fix the pinned
+// generation keeps the mapping alive and the scan returns the exact
+// snapshot it started from.
+TEST(LogStoreOutOfCore, ScanViewsSurviveConcurrentCompactionSwap) {
+  auto store = openStore("", 0);
+  kv::TablePtr t = store->createTable("pin", kv::TableOptions{});
+  std::map<std::string, std::string> expected;
+  for (int i = 0; i < 60; ++i) {
+    const std::string key = "k" + std::to_string(100 + i);
+    t->put(key, "old" + std::to_string(i));
+    expected[key] = "old" + std::to_string(i);
+  }
+  store->compactNow();   // Seal generation 2...
+  store->commitEpoch();
+  t->put("k110", "rewritten");  // ...and dirty it so the next compaction
+  expected["k110"] = "rewritten";  // writes a superseding generation.
+
+  ParkingCollector collector;
+  std::thread reader([&] { t->enumeratePart(0, collector); });
+  collector.parked.get_future().wait();
+  store->compactNow();    // Swap generations under the parked reader...
+  store->commitEpoch();   // ...and delete the superseded files.
+  collector.resume.set_value();
+  reader.join();
+
+  EXPECT_EQ(collector.pairs_, expected);
+}
+
+// --- Engine acceptance: bounded == unbounded, bit for bit ------------------
+
+// PageRank through the sync engine with per-step checkpoints (the path
+// that calls commitEpoch against evicted parts).  A budget several
+// times smaller than the dataset must not change a single bit of the
+// final ranks.
+TEST(LogStoreOutOfCore, PageRankDigestIdenticalBoundedVsUnbounded) {
+  namespace graph = ripple::graph;
+  namespace ebsp = ripple::ebsp;
+  namespace apps = ripple::apps;
+  graph::PowerLawOptions gopts;
+  gopts.vertices = 120;
+  gopts.edges = 600;
+  gopts.seed = 7;
+  const graph::Graph g = graph::generatePowerLaw(gopts);
+
+  const auto run = [&](std::size_t budget, std::uint64_t& evictions) {
+    const fs::path dir =
+        uniqueDir(budget == 0 ? "pr-unbounded" : "pr-bounded");
+    std::vector<double> ranks;
+    {
+      kv::LogStore::Options o;
+      o.path = dir.string();
+      o.memoryBudgetBytes = budget;
+      auto store = kv::LogStore::open(std::move(o));
+      ebsp::EngineOptions eopts;
+      eopts.threads = 2;
+      eopts.checkpoint.enabled = true;
+      eopts.checkpoint.interval = 1;
+      eopts.checkpoint.jobId = "oc-pagerank";
+      ebsp::Engine engine(store, eopts);
+      apps::loadPageRankGraph(*store, "pr_graph", g, 4);
+      apps::PageRankOptions popts;
+      popts.iterations = 6;
+      apps::runPageRank(engine, popts);
+      ranks = apps::readRanks(*store, "pr_graph", g.vertexCount());
+      evictions = store->stats().evictions;
+    }
+    fs::remove_all(dir);
+    return ranks;
+  };
+
+  std::uint64_t unboundedEvictions = 0;
+  std::uint64_t boundedEvictions = 0;
+  const std::vector<double> unbounded = run(0, unboundedEvictions);
+  const std::vector<double> bounded = run(4096, boundedEvictions);
+  EXPECT_EQ(unboundedEvictions, 0u);
+  EXPECT_GT(boundedEvictions, 0u) << "budget never engaged; not out-of-core";
+  ASSERT_EQ(bounded.size(), unbounded.size());
+  for (std::size_t i = 0; i < bounded.size(); ++i) {
+    EXPECT_EQ(bounded[i], unbounded[i]) << "rank of vertex " << i;
+  }
+}
+
+}  // namespace

@@ -110,6 +110,15 @@ class LogStoreRecoveryTest : public ::testing::Test {
     return kv::LogStore::open(std::move(o));
   }
 
+  std::shared_ptr<kv::LogStore> openBudget(const fs::path& dir,
+                                           std::size_t budget) {
+    kv::LogStore::Options o;
+    o.path = dir.string();
+    o.backgroundCompaction = false;
+    o.memoryBudgetBytes = budget;
+    return kv::LogStore::open(std::move(o));
+  }
+
   /// Two sessions against `base`, snapshotting the directory after each
   /// clean close.  Epoch numbering on disk: the explicit commit plus the
   /// destructor's shutdown commit per session, all carrying the same
@@ -437,6 +446,62 @@ TEST_F(LogStoreRecoveryTest, CrashMidCompactionRecoversOldGeneration) {
                 std::string::npos)
           << "stray " << entry.path().filename();
     }
+  }
+  store.reset();
+}
+
+// Eviction × crash interplay: under a tiny memory budget every mutation
+// forces an eviction, which folds the part into a NEW uncommitted
+// segment generation on disk.  Commit, keep mutating (more evictions,
+// more uncommitted generations), then cut power before the next commit.
+// Recovery must land on the last committed epoch exactly — never a blend
+// of committed state with evicted-then-rewritten data, because the
+// manifest still names the committed generations and everything newer is
+// a stray.
+TEST_F(LogStoreRecoveryTest, EvictThenMutateThenCrashLandsOnCommit) {
+  const fs::path base = root_ / "ebase";
+  std::map<std::string, std::string> committed;
+  std::uint64_t epoch = 0;
+  auto store = openBudget(base, 1);  // Evict after every single op.
+  {
+    kv::TableOptions opts;
+    opts.parts = kParts;
+    kv::TablePtr t = store->createTable(kTable, opts);
+    for (int i = 0; i < 24; ++i) {
+      t->put("k" + std::to_string(i), "committed" + std::to_string(i));
+    }
+    ASSERT_GT(store->stats().evictions, 0u);
+    ASSERT_LE(store->stats().residentBytes, 1u);
+    store->commitEpoch();
+    epoch = store->lastCommittedEpoch();
+    committed = contents(*store);
+    // Mutate the evicted parts again: each op reloads nothing (the state
+    // is sealed), buffers the write, and is immediately evicted into yet
+    // another uncommitted generation.
+    for (int i = 0; i < 24; i += 2) {
+      t->put("k" + std::to_string(i), "UNCOMMITTED");
+    }
+    t->erase("k1");
+    t->put("k100", "UNCOMMITTED");
+  }
+  // Snapshot the directory as a power cut would leave it (the live store
+  // stays open so its shutdown commit cannot bless the new generations
+  // in our copy).
+  const fs::path crash = root_ / "crash";
+  copyDir(base, crash);
+  {
+    auto recovered = open(crash);
+    EXPECT_EQ(recovered->lastCommittedEpoch(), epoch);
+    EXPECT_EQ(contents(*recovered), committed);
+  }
+  // Same crash state recovered under a budget (lazy, read-through open)
+  // must land on the identical epoch and contents.
+  const fs::path crash2 = root_ / "crash2";
+  copyDir(base, crash2);
+  {
+    auto recovered = openBudget(crash2, 1);
+    EXPECT_EQ(recovered->lastCommittedEpoch(), epoch);
+    EXPECT_EQ(contents(*recovered), committed);
   }
   store.reset();
 }
